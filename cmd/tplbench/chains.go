@@ -1,0 +1,7 @@
+package main
+
+import "repro/internal/markov"
+
+// fig7Chain returns the moderate 2-state correlation used by the Table II
+// demonstration.
+func fig7Chain() *markov.Chain { return markov.Fig7Backward() }

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeMatrix(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "m.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBothChains(t *testing.T) {
+	pb := writeMatrix(t, "0.8 0.2\n0.2 0.8\n")
+	pf := writeMatrix(t, "0.8,0.2\n0.1,0.9\n")
+	var buf bytes.Buffer
+	if err := run(&buf, pb, pf, 0.1, 5, "", false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"BPL", "FPL", "TPL", "supremum", "user-level"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBackwardOnly(t *testing.T) {
+	pb := writeMatrix(t, "# comment line\n0.8 0.2\n0 1\n")
+	var buf bytes.Buffer
+	if err := run(&buf, pb, "", 0.23, 4, "", false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no supremum") {
+		t.Error("eps=0.23 under (0.8 0.2; 0 1) should report unbounded BPL")
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	pb := writeMatrix(t, "0.5 0.5\n0.5 0.5\n")
+	var buf bytes.Buffer
+	if err := run(&buf, pb, "", 0.1, 3, "", true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "t,eps,BPL,FPL,TPL") {
+		t.Errorf("csv header missing: %q", buf.String())
+	}
+}
+
+func TestRunWithBudgetsFile(t *testing.T) {
+	pb := writeMatrix(t, "0.8 0.2\n0.2 0.8\n")
+	budgets := writeMatrix(t, "# plan from tplrelease\n0.5\n0.2\n0.2\n0.7\n")
+	var buf bytes.Buffer
+	if err := run(&buf, pb, "", 0.1, 99, budgets, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "4 time points") {
+		t.Errorf("budgets file should set T=4:\n%s", out)
+	}
+	if !strings.Contains(out, "0.700000") {
+		t.Errorf("per-step budgets should appear in the table:\n%s", out)
+	}
+	// Invalid budgets files.
+	for _, content := range []string{"", "0.1\n-0.5\n", "abc\n"} {
+		bad := writeMatrix(t, content)
+		if err := run(&buf, pb, "", 0.1, 5, bad, false); err == nil {
+			t.Errorf("budgets %q should fail", content)
+		}
+	}
+	if err := run(&buf, pb, "", 0.1, 5, "/nonexistent", false); err == nil {
+		t.Error("missing budgets file should fail")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "", "", 0.1, 3, "", false); err == nil {
+		t.Error("no chains should fail")
+	}
+	pb := writeMatrix(t, "1 0\n0 1\n")
+	if err := run(&buf, pb, "", 0.1, 0, "", false); err == nil {
+		t.Error("T=0 should fail")
+	}
+	if err := run(&buf, "/nonexistent/file", "", 0.1, 3, "", false); err == nil {
+		t.Error("missing file should fail")
+	}
+	bad := writeMatrix(t, "0.5 0.6\n0 1\n")
+	if err := run(&buf, bad, "", 0.1, 3, "", false); err == nil {
+		t.Error("non-stochastic matrix should fail")
+	}
+	notNum := writeMatrix(t, "0.5 abc\n0 1\n")
+	if err := run(&buf, notNum, "", 0.1, 3, "", false); err == nil {
+		t.Error("non-numeric matrix should fail")
+	}
+}

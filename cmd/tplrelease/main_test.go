@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeMatrix(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "m.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAlgorithm3(t *testing.T) {
+	pb := writeMatrix(t, "0.8 0.2\n0.2 0.8\n")
+	pf := writeMatrix(t, "0.8 0.2\n0.1 0.9\n")
+	var buf bytes.Buffer
+	if err := run(&buf, pb, pf, 1, 3, 6, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Algorithm 3 plan") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	// Algorithm 3 realizes the target exactly.
+	if !strings.Contains(out, "max realized TPL: 1.000000 (target 1.000000)") {
+		t.Errorf("expected exact realization:\n%s", out)
+	}
+}
+
+func TestRunAlgorithm2(t *testing.T) {
+	pb := writeMatrix(t, "0.8 0.2\n0.2 0.8\n")
+	var buf bytes.Buffer
+	if err := run(&buf, pb, "", 1, 2, 8, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Algorithm 2 plan") {
+		t.Errorf("missing title:\n%s", buf.String())
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	pb := writeMatrix(t, "0.9 0.1\n0.1 0.9\n")
+	var buf bytes.Buffer
+	if err := run(&buf, pb, "", 0.5, 3, 4, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "t,eps,") {
+		t.Errorf("csv header missing: %q", buf.String())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	pb := writeMatrix(t, "0.9 0.1\n0.1 0.9\n")
+	var buf bytes.Buffer
+	if err := run(&buf, pb, "", 1, 9, 5, false); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+	if err := run(&buf, pb, "", 1, 3, 0, false); err == nil {
+		t.Error("T=0 should fail")
+	}
+	if err := run(&buf, "/nope", "", 1, 3, 5, false); err == nil {
+		t.Error("missing file should fail")
+	}
+	// Strongest correlation is refused by the fine planners.
+	id := writeMatrix(t, "1 0\n0 1\n")
+	if err := run(&buf, id, "", 1, 3, 5, false); err == nil {
+		t.Error("identity correlation should be refused")
+	}
+}

@@ -1,0 +1,201 @@
+// Command tplsim generates the synthetic workloads of the reproduction:
+// user trajectories and per-location counts under a chosen mobility
+// model, optionally released with Laplace noise. Output is CSV, ready
+// to feed external analysis or the other tools (tplquant consumes the
+// same matrices tplsim can dump).
+//
+// Usage:
+//
+//	tplsim -model fig1 -users 100 -T 20 -out counts
+//	tplsim -model smoothed -n 50 -s 0.01 -users 500 -T 50 -out traces
+//	tplsim -model lazy -n 10 -stay 0.9 -out matrix
+//	tplsim -model fig1 -users 100 -T 20 -out noisy -eps 0.5
+//
+// Models: fig1 (the paper's road network, 5 locations), smoothed
+// (strongest correlation smoothed by Eq. 25 with -s over -n states),
+// lazy (stay with probability -stay else uniform move, -n states).
+// Outputs: traces (one row per user), counts (one row per time step),
+// noisy (counts + Laplace noise at -eps), matrix (the model's forward
+// transition matrix, loadable by tplquant/tplrelease).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+
+	"repro/internal/markov"
+	"repro/internal/matrix"
+	"repro/internal/mechanism"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		model = flag.String("model", "fig1", "mobility model: fig1, smoothed, lazy")
+		out   = flag.String("out", "counts", "what to emit: traces, counts, noisy, matrix, matrixB")
+		users = flag.Int("users", 100, "population size")
+		T     = flag.Int("T", 20, "number of time steps")
+		n     = flag.Int("n", 10, "domain size (smoothed/lazy models)")
+		s     = flag.Float64("s", 0.05, "Laplacian smoothing parameter (smoothed model)")
+		stay  = flag.Float64("stay", 0.8, "stay probability (lazy model)")
+		eps   = flag.Float64("eps", 1, "Laplace budget for -out noisy")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *model, *out, *users, *T, *n, *s, *stay, *eps, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "tplsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, model, out string, users, T, n int, s, stay, eps float64, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	chain, err := buildModel(rng, model, n, s, stay)
+	if err != nil {
+		return err
+	}
+	switch out {
+	case "matrix":
+		return writeMatrix(w, chain)
+	case "matrixB":
+		// The backward correlation via Bayes at the stationary
+		// distribution (Section III-A) — feed this to tplquant -pb.
+		pi, err := chain.Stationary(0, 0)
+		if err != nil {
+			return err
+		}
+		back, err := chain.Reverse(pi)
+		if err != nil {
+			return err
+		}
+		return writeMatrix(w, back)
+	case "traces", "counts", "noisy":
+		if users < 1 || T < 1 {
+			return fmt.Errorf("need positive -users and -T, got %d, %d", users, T)
+		}
+		pop, err := trace.NewPopulation(chain, users, matrix.Uniform(chain.N()), rng)
+		if err != nil {
+			return err
+		}
+		locs, counts, err := pop.Run(T)
+		if err != nil {
+			return err
+		}
+		switch out {
+		case "traces":
+			return writeTraces(w, locs)
+		case "counts":
+			return writeCounts(w, counts)
+		default:
+			lap, err := mechanism.NewLaplace(eps, mechanism.CountSensitivity, rng)
+			if err != nil {
+				return err
+			}
+			return writeNoisy(w, counts, lap)
+		}
+	default:
+		return fmt.Errorf("unknown -out %q (want traces, counts, noisy, matrix, matrixB)", out)
+	}
+}
+
+func buildModel(rng *rand.Rand, model string, n int, s, stay float64) (*markov.Chain, error) {
+	switch model {
+	case "fig1":
+		return trace.Fig1Network().UniformChain()
+	case "smoothed":
+		return markov.Smoothed(rng, n, s)
+	case "lazy":
+		return markov.Lazy(n, stay)
+	default:
+		return nil, fmt.Errorf("unknown -model %q (want fig1, smoothed, lazy)", model)
+	}
+}
+
+func writeMatrix(w io.Writer, c *markov.Chain) error {
+	cw := csv.NewWriter(w)
+	p := c.P()
+	for i := 0; i < p.Rows(); i++ {
+		row := make([]string, p.Cols())
+		for j := range row {
+			row[j] = strconv.FormatFloat(p.At(i, j), 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func writeTraces(w io.Writer, locs [][]int) error {
+	cw := csv.NewWriter(w)
+	header := []string{"user"}
+	for t := range locs {
+		header = append(header, fmt.Sprintf("t%d", t+1))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	users := len(locs[0])
+	for u := 0; u < users; u++ {
+		row := []string{strconv.Itoa(u)}
+		for t := range locs {
+			row = append(row, strconv.Itoa(locs[t][u]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func writeCounts(w io.Writer, counts [][]int) error {
+	cw := csv.NewWriter(w)
+	header := []string{"t"}
+	for l := range counts[0] {
+		header = append(header, fmt.Sprintf("loc%d", l+1))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for t, row := range counts {
+		cells := []string{strconv.Itoa(t + 1)}
+		for _, c := range row {
+			cells = append(cells, strconv.Itoa(c))
+		}
+		if err := cw.Write(cells); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func writeNoisy(w io.Writer, counts [][]int, lap *mechanism.Laplace) error {
+	cw := csv.NewWriter(w)
+	header := []string{"t"}
+	for l := range counts[0] {
+		header = append(header, fmt.Sprintf("loc%d", l+1))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for t, row := range counts {
+		noisy := lap.ReleaseCounts(row)
+		cells := []string{strconv.Itoa(t + 1)}
+		for _, c := range noisy {
+			cells = append(cells, strconv.FormatFloat(c, 'f', 2, 64))
+		}
+		if err := cw.Write(cells); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

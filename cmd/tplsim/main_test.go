@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRunMatrixOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig1", "matrix", 10, 5, 10, 0.05, 0.8, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("fig1 matrix should have 5 rows, got %d", len(lines))
+	}
+	// Row 4 (loc4) must be deterministic to loc5: 0,0,0,0,1.
+	if lines[3] != "0,0,0,0,1" {
+		t.Errorf("loc4 row = %q, want deterministic road", lines[3])
+	}
+}
+
+func TestRunMatrixBackward(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig1", "matrixB", 10, 5, 10, 0.05, 0.8, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("backward matrix should have 5 rows, got %d", len(lines))
+	}
+	// Every row must parse as probabilities summing to ~1.
+	for i, line := range lines {
+		sum := 0.0
+		for _, c := range strings.Split(line, ",") {
+			v, err := strconv.ParseFloat(c, 64)
+			if err != nil {
+				t.Fatalf("row %d: bad cell %q", i, c)
+			}
+			sum += v
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("row %d sums to %v", i, sum)
+		}
+	}
+	// The backward matrix of loc5 (row 5) must give positive probability
+	// of having come from loc4 (column 4): the Example 1 inference.
+	cells := strings.Split(lines[4], ",")
+	v, err := strconv.ParseFloat(cells[3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 {
+		t.Error("Pr(prev=loc4 | cur=loc5) should be positive")
+	}
+}
+
+func TestRunTraces(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "lazy", "traces", 7, 4, 3, 0, 0.9, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 8 { // header + 7 users
+		t.Fatalf("%d lines", len(lines))
+	}
+	if lines[0] != "user,t1,t2,t3,t4" {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestRunCounts(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "smoothed", "counts", 20, 3, 4, 0.1, 0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // header + 3 steps
+		t.Fatalf("%d lines", len(lines))
+	}
+	// Each data row's counts sum to the population.
+	for _, line := range lines[1:] {
+		cells := strings.Split(line, ",")
+		sum := 0
+		for _, c := range cells[1:] {
+			v, err := strconv.Atoi(c)
+			if err != nil {
+				t.Fatalf("bad cell %q", c)
+			}
+			sum += v
+		}
+		if sum != 20 {
+			t.Errorf("row %q sums to %d, want 20", line, sum)
+		}
+	}
+}
+
+func TestRunNoisy(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig1", "noisy", 15, 3, 0, 0, 0, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.Contains(lines[1], ".") {
+		t.Error("noisy output should have fractional counts")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "bogus", "counts", 10, 5, 3, 0.1, 0.8, 1, 1); err == nil {
+		t.Error("unknown model should fail")
+	}
+	if err := run(&buf, "fig1", "bogus", 10, 5, 3, 0.1, 0.8, 1, 1); err == nil {
+		t.Error("unknown output should fail")
+	}
+	if err := run(&buf, "fig1", "counts", 0, 5, 3, 0.1, 0.8, 1, 1); err == nil {
+		t.Error("0 users should fail")
+	}
+	if err := run(&buf, "fig1", "noisy", 5, 5, 3, 0.1, 0.8, 0, 1); err == nil {
+		t.Error("eps=0 noisy should fail")
+	}
+	if err := run(&buf, "lazy", "matrix", 5, 5, 0, 0.1, 0.8, 1, 1); err == nil {
+		t.Error("n=0 lazy should fail")
+	}
+}

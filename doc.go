@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Quantifying
+// Differential Privacy under Temporal Correlations" (Cao, Yoshikawa,
+// Xiao, Xiong - ICDE 2017).
+//
+// The public API lives in repro/tpl; the experiment harness that
+// regenerates every table and figure of the paper is repro/internal/expt
+// (driven by cmd/tplbench and the benchmarks in bench_test.go). See
+// README.md for the architecture overview and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package repro

@@ -1,0 +1,113 @@
+// Inference attack: run the paper's adversary for real. A victim's
+// value is released repeatedly through an eps-DP randomized-response
+// mechanism; an adversary who knows the victim's temporal correlation
+// performs exact Bayesian inference over the output sequence. The demo
+// shows (1) the posterior sharpening that a correlation-unaware analysis
+// says cannot happen, and (2) that the exact leakage matches this
+// library's analytical quantification.
+//
+// Run with: go run ./examples/inferenceattack
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/tpl"
+)
+
+func main() {
+	const (
+		eps   = 0.5 // per-release budget: "0.5-DP, every time"
+		steps = 8
+	)
+	rng := rand.New(rand.NewSource(4))
+
+	// The victim's value barely changes between releases and the
+	// adversary knows it (e.g. home location across nights).
+	sticky, err := tpl.NewChain([][]float64{{0.95, 0.05}, {0.05, 0.95}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mech, err := tpl.RandomizedResponse(eps, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mechs := make([]*tpl.DiscreteMechanism, steps)
+	for i := range mechs {
+		mechs[i] = mech
+	}
+
+	// Simulate: the victim's true value is 0 throughout; each release
+	// reports it through randomized response.
+	outputs := make([]int, steps)
+	reportTrue := func() int {
+		// Pr(report = value) = e^eps / (e^eps + 1).
+		if rng.Float64() < 0.6225 {
+			return 0
+		}
+		return 1
+	}
+	fmt.Printf("Victim's true value: 0 at every step. Releases (eps=%g each):\n  ", eps)
+	for i := range outputs {
+		outputs[i] = reportTrue()
+		fmt.Printf("%d ", outputs[i])
+	}
+	fmt.Println()
+
+	// The adversary's posterior after each prefix of observations.
+	fmt.Println("\nAdversary's posterior Pr(value = 0 | outputs so far):")
+	fmt.Println("t   correlation-aware  correlation-blind")
+	for t := 1; t <= steps; t++ {
+		aware, err := tpl.AdversaryPosterior(sticky, mechs[:t], outputs[:t])
+		if err != nil {
+			log.Fatal(err)
+		}
+		blind, err := tpl.AdversaryPosterior(nil, mechs[:t], outputs[:t])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-3d %-18.4f %-18.4f\n", t, aware[0], blind[0])
+	}
+	fmt.Println("\nThe correlation-blind adversary never gets past the single-release")
+	fmt.Println("posterior; the correlation-aware one converges on the victim.")
+
+	// Quantify: exact leakage of this concrete release vs the
+	// analytical bound from the paper's Algorithm 1.
+	exact, err := tpl.ExactBPL(sticky, mechs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound, err := tpl.BPLSeries(sticky, tpl.UniformBudgets(eps, steps))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nExact leakage of this release after %d steps: %.4f\n", steps, exact)
+	fmt.Printf("Algorithm-1 analytical bound:                 %.4f\n", bound[steps-1])
+	fmt.Printf("Nominal per-release guarantee:                %.4f\n", eps)
+	fmt.Println("\nThe release was sold as 0.5-DP; against this adversary it leaks")
+	fmt.Printf("%.1fx more. The analytical bound correctly dominates the exact value.\n",
+		exact/eps)
+
+	// Full trajectory reconstruction: the adversary models the release
+	// as an HMM (states = values evolving by the sticky chain, emissions
+	// = randomized-response outputs) and Viterbi-decodes the whole path.
+	hmm, err := tpl.AttackHMM(sticky, mech, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path, _, err := hmm.Viterbi(outputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nViterbi trajectory reconstruction: %v\n", path)
+	correct := 0
+	for _, s := range path {
+		if s == 0 {
+			correct++
+		}
+	}
+	fmt.Printf("%d/%d positions recovered (true trajectory is all zeros).\n",
+		correct, len(path))
+}

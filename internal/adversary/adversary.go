@@ -1,0 +1,333 @@
+// Package adversary grounds the paper's leakage definitions in an
+// executable attacker. It computes, by exact enumeration, the true
+// backward privacy leakage (Definition 6) of a *concrete* discrete
+// mechanism sequence against adversary_T(P^B): the supremum over output
+// sequences r^1..r^t and value pairs (l, l') of
+//
+//	log Pr(r^1..r^t | l_t = l) / Pr(r^1..r^t | l_t = l')
+//
+// with the conditional sequence probabilities propagated through the
+// backward correlation exactly as in Eq. (12).
+//
+// This is the semantic cross-check for the analytical machinery in
+// package core: Algorithm 1's BPL is the supremum over *all* mechanisms
+// with the given per-step budget, so for any concrete mechanism the
+// exact leakage computed here must never exceed it — and must meet it
+// in the extremal cases (identity correlation, no correlation).
+//
+// Enumeration is exponential in t (outputs^t sequences), so this is a
+// verification tool for small instances, not a production path.
+package adversary
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/markov"
+	"repro/internal/matrix"
+)
+
+// DiscreteMechanism is a memoryless randomized mechanism over a finite
+// output alphabet: Response.At(l, r) = Pr(output = r | true value = l).
+type DiscreteMechanism struct {
+	Response *matrix.Matrix // values x outputs, row-stochastic
+}
+
+// NewDiscreteMechanism validates the response matrix.
+func NewDiscreteMechanism(response *matrix.Matrix) (*DiscreteMechanism, error) {
+	if response == nil {
+		return nil, errors.New("adversary: nil response matrix")
+	}
+	if !response.IsRowStochastic(1e-9) {
+		return nil, errors.New("adversary: response matrix is not row-stochastic")
+	}
+	return &DiscreteMechanism{Response: response.Clone()}, nil
+}
+
+// Values returns the size of the input domain.
+func (m *DiscreteMechanism) Values() int { return m.Response.Rows() }
+
+// Outputs returns the size of the output alphabet.
+func (m *DiscreteMechanism) Outputs() int { return m.Response.Cols() }
+
+// PL0 returns the mechanism's standalone privacy leakage in the sense
+// of Definition 2: sup over outputs r and value pairs (l, l') of
+// log Pr(r|l)/Pr(r|l'). It is +Inf when some output is possible under
+// one value and impossible under another.
+func (m *DiscreteMechanism) PL0() float64 {
+	worst := 0.0
+	for r := 0; r < m.Outputs(); r++ {
+		for l := 0; l < m.Values(); l++ {
+			for lp := 0; lp < m.Values(); lp++ {
+				if l == lp {
+					continue
+				}
+				p, pp := m.Response.At(l, r), m.Response.At(lp, r)
+				if p == 0 {
+					continue
+				}
+				if pp == 0 {
+					return math.Inf(1)
+				}
+				if v := math.Log(p / pp); v > worst {
+					worst = v
+				}
+			}
+		}
+	}
+	return worst
+}
+
+// RandomizedResponse builds the n-ary randomized-response mechanism with
+// privacy budget eps: the true value is reported with probability
+// e^eps / (e^eps + n - 1) and each other value with probability
+// 1 / (e^eps + n - 1). Its PL0 is exactly eps.
+func RandomizedResponse(eps float64, n int) (*DiscreteMechanism, error) {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("adversary: eps must be finite and positive, got %v", eps)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("adversary: need at least two values, got %d", n)
+	}
+	den := math.Exp(eps) + float64(n) - 1
+	m := matrix.New(n, n)
+	for l := 0; l < n; l++ {
+		for r := 0; r < n; r++ {
+			if l == r {
+				m.Set(l, r, math.Exp(eps)/den)
+			} else {
+				m.Set(l, r, 1/den)
+			}
+		}
+	}
+	return NewDiscreteMechanism(m)
+}
+
+// ExactBPL computes the exact backward privacy leakage at time t of
+// releasing with the given per-step mechanisms (mechs[k] used at step
+// k+1; len(mechs) = t) against an adversary with backward correlation
+// pb. pb == nil means no correlation is known.
+//
+// The likelihood recursion follows Eq. (12):
+//
+//	f_1(l)  = Pr(r^1 | l)
+//	f_k(l)  = Pr(r^k | l) * sum_{l'} Pr(l_{k-1} = l' | l_k = l) f_{k-1}(l')
+//
+// and the leakage is max over output sequences and value pairs of the
+// log ratio of f_t.
+func ExactBPL(pb *markov.Chain, mechs []*DiscreteMechanism) (float64, error) {
+	if len(mechs) == 0 {
+		return 0, errors.New("adversary: need at least one mechanism")
+	}
+	n := mechs[0].Values()
+	for i, m := range mechs {
+		if m.Values() != n {
+			return 0, fmt.Errorf("adversary: mechanism %d has %d values, want %d", i, m.Values(), n)
+		}
+	}
+	if pb != nil && pb.N() != n {
+		return 0, fmt.Errorf("adversary: chain has %d states for %d values", pb.N(), n)
+	}
+	worst := 0.0
+	// Depth-first over output sequences, carrying the likelihood vector.
+	var rec func(step int, f matrix.Vector)
+	rec = func(step int, f matrix.Vector) {
+		if step == len(mechs) {
+			for l := 0; l < n; l++ {
+				for lp := 0; lp < n; lp++ {
+					if l == lp || f[l] == 0 || f[lp] == 0 {
+						continue
+					}
+					if v := math.Log(f[l] / f[lp]); v > worst {
+						worst = v
+					}
+				}
+			}
+			return
+		}
+		mech := mechs[step]
+		// Propagate through the backward correlation before applying
+		// the step's response likelihood (no propagation at step 0).
+		base := f
+		if step > 0 {
+			base = matrix.NewVector(n)
+			if pb == nil {
+				// Without correlation knowledge the previous outputs
+				// carry no information about l_t: the prior resets.
+				for l := 0; l < n; l++ {
+					base[l] = 1
+				}
+			} else {
+				for l := 0; l < n; l++ {
+					s := 0.0
+					for lprev := 0; lprev < n; lprev++ {
+						s += pb.Prob(l, lprev) * f[lprev]
+					}
+					base[l] = s
+				}
+			}
+		}
+		for r := 0; r < mech.Outputs(); r++ {
+			next := matrix.NewVector(n)
+			for l := 0; l < n; l++ {
+				next[l] = base[l] * mech.Response.At(l, r)
+			}
+			rec(step+1, next)
+		}
+	}
+	init := matrix.NewVector(n)
+	for l := 0; l < n; l++ {
+		init[l] = 1
+	}
+	rec(0, init)
+	return worst, nil
+}
+
+// ExactFPL computes the exact forward privacy leakage (Definition 7) at
+// the FIRST time step of releasing with the given mechanisms: the
+// supremum over output sequences r^1..r^T and value pairs (l, l') of
+//
+//	log Pr(r^1..r^T | l_1 = l) / Pr(r^1..r^T | l_1 = l')
+//
+// with likelihoods propagated through the forward correlation pf
+// (mirror of Eq. (14)): the value at time 1 constrains future values,
+// so future releases leak about it. pf == nil means no correlation.
+//
+// By the time-symmetry of the framework, ExactFPL with chain P equals
+// ExactBPL with the same P — both recursions evaluate identical sums —
+// which the tests assert; it exists as a separate entry point so the
+// forward semantics are independently exercised.
+func ExactFPL(pf *markov.Chain, mechs []*DiscreteMechanism) (float64, error) {
+	if len(mechs) == 0 {
+		return 0, errors.New("adversary: need at least one mechanism")
+	}
+	n := mechs[0].Values()
+	for i, m := range mechs {
+		if m.Values() != n {
+			return 0, fmt.Errorf("adversary: mechanism %d has %d values, want %d", i, m.Values(), n)
+		}
+	}
+	if pf != nil && pf.N() != n {
+		return 0, fmt.Errorf("adversary: chain has %d states for %d values", pf.N(), n)
+	}
+	worst := 0.0
+	// g_t(l) = Pr(r^t..r^T | l_t = l), evaluated by backward recursion
+	// over the suffix; enumeration is over suffixes, depth-first from
+	// the last step toward the first.
+	var rec func(step int, g func(l int) float64)
+	rec = func(step int, g func(l int) float64) {
+		if step < 0 {
+			for l := 0; l < n; l++ {
+				for lp := 0; lp < n; lp++ {
+					gl, glp := g(l), g(lp)
+					if l == lp || gl == 0 || glp == 0 {
+						continue
+					}
+					if v := math.Log(gl / glp); v > worst {
+						worst = v
+					}
+				}
+			}
+			return
+		}
+		mech := mechs[step]
+		for r := 0; r < mech.Outputs(); r++ {
+			next := make([]float64, n)
+			for l := 0; l < n; l++ {
+				// Pr(r^step..r^T | l_step = l) =
+				// Pr(r | l) * sum_{l'} Pr(l_{step+1} = l' | l) g(l').
+				prop := 1.0
+				if step < len(mechs)-1 {
+					prop = 0
+					if pf == nil {
+						// No forward correlation: the future says nothing;
+						// marginalize to the (constant) total suffix mass.
+						// With no information the suffix factor is equal
+						// for all l; use 1 after checking g is defined.
+						prop = 1
+					} else {
+						for lnext := 0; lnext < n; lnext++ {
+							prop += pf.Prob(l, lnext) * g(lnext)
+						}
+					}
+				}
+				next[l] = mech.Response.At(l, r) * prop
+			}
+			snapshot := next
+			rec(step-1, func(l int) float64 { return snapshot[l] })
+		}
+	}
+	rec(len(mechs)-1, func(int) float64 { return 1 })
+	return worst, nil
+}
+
+// SequenceCount returns outputs^steps, the number of output sequences
+// ExactBPL enumerates, so callers can bound the work before running.
+func SequenceCount(outputs, steps int) float64 {
+	return math.Pow(float64(outputs), float64(steps))
+}
+
+// AttackHMM assembles the adversary's generative model of the noisy
+// release as a hidden Markov model: hidden states evolve by the
+// victim's forward chain, and each state emits a mechanism output with
+// the mechanism's response probabilities. Viterbi decoding on the model
+// is the trajectory-reconstruction attack — the MAP estimate of the
+// victim's whole path from the published noisy values. initial may be
+// nil for a uniform prior.
+func AttackHMM(forward *markov.Chain, mech *DiscreteMechanism, initial matrix.Vector) (*markov.HMM, error) {
+	if forward == nil || mech == nil {
+		return nil, errors.New("adversary: nil chain or mechanism")
+	}
+	if forward.N() != mech.Values() {
+		return nil, fmt.Errorf("adversary: chain has %d states, mechanism expects %d values", forward.N(), mech.Values())
+	}
+	if initial == nil {
+		initial = matrix.Uniform(forward.N())
+	}
+	return markov.NewHMM(forward.P(), mech.Response, initial)
+}
+
+// Posterior computes the adversary's Bayesian posterior over the
+// victim's value at time t after observing the given output sequence,
+// starting from a uniform prior — the inference attack of Example 1
+// made executable. outputs[k] is the observed output at step k+1.
+func Posterior(pb *markov.Chain, mechs []*DiscreteMechanism, outputs []int) (matrix.Vector, error) {
+	if len(outputs) != len(mechs) {
+		return nil, fmt.Errorf("adversary: %d outputs for %d mechanisms", len(outputs), len(mechs))
+	}
+	if len(mechs) == 0 {
+		return nil, errors.New("adversary: need at least one step")
+	}
+	n := mechs[0].Values()
+	f := matrix.NewVector(n)
+	for l := 0; l < n; l++ {
+		f[l] = 1
+	}
+	for step, m := range mechs {
+		if outputs[step] < 0 || outputs[step] >= m.Outputs() {
+			return nil, fmt.Errorf("adversary: output %d at step %d outside [0,%d)", outputs[step], step, m.Outputs())
+		}
+		if step > 0 {
+			prev := f
+			f = matrix.NewVector(n)
+			if pb == nil {
+				for l := 0; l < n; l++ {
+					f[l] = 1
+				}
+			} else {
+				for l := 0; l < n; l++ {
+					s := 0.0
+					for lprev := 0; lprev < n; lprev++ {
+						s += pb.Prob(l, lprev) * prev[lprev]
+					}
+					f[l] = s
+				}
+			}
+		}
+		for l := 0; l < n; l++ {
+			f[l] *= m.Response.At(l, outputs[step])
+		}
+	}
+	return f.Normalize()
+}

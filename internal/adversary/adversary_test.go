@@ -1,0 +1,387 @@
+package adversary
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/markov"
+	"repro/internal/matrix"
+)
+
+func rr(t *testing.T, eps float64, n int) *DiscreteMechanism {
+	t.Helper()
+	m, err := RandomizedResponse(eps, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func repeat(m *DiscreteMechanism, k int) []*DiscreteMechanism {
+	out := make([]*DiscreteMechanism, k)
+	for i := range out {
+		out[i] = m
+	}
+	return out
+}
+
+func TestRandomizedResponsePL0(t *testing.T) {
+	for _, eps := range []float64{0.1, 0.5, 1, 2} {
+		for _, n := range []int{2, 3, 5} {
+			m := rr(t, eps, n)
+			if got := m.PL0(); math.Abs(got-eps) > 1e-12 {
+				t.Errorf("eps=%v n=%d: PL0 = %v", eps, n, got)
+			}
+		}
+	}
+	if _, err := RandomizedResponse(0, 2); err == nil {
+		t.Error("eps=0 should fail")
+	}
+	if _, err := RandomizedResponse(1, 1); err == nil {
+		t.Error("n=1 should fail")
+	}
+}
+
+func TestNewDiscreteMechanismValidation(t *testing.T) {
+	if _, err := NewDiscreteMechanism(nil); err == nil {
+		t.Error("nil should fail")
+	}
+	bad := matrix.MustFromRows([][]float64{{0.5, 0.6}})
+	if _, err := NewDiscreteMechanism(bad); err == nil {
+		t.Error("non-stochastic should fail")
+	}
+}
+
+func TestPL0InfiniteForDeterministic(t *testing.T) {
+	det, err := NewDiscreteMechanism(matrix.Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(det.PL0(), 1) {
+		t.Error("deterministic mechanism should have infinite PL0")
+	}
+}
+
+func TestExactBPLSingleStepEqualsPL0(t *testing.T) {
+	m := rr(t, 0.3, 2)
+	got, err := ExactBPL(markov.ModerateExample(), repeat(m, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("1-step BPL = %v, want PL0 = 0.3", got)
+	}
+}
+
+func TestExactBPLNoCorrelationStaysPL0(t *testing.T) {
+	// Without correlation knowledge, past outputs say nothing about the
+	// current value: BPL(t) = PL0 for every t (Fig. 3(a)(iii)).
+	m := rr(t, 0.4, 2)
+	for steps := 1; steps <= 5; steps++ {
+		got, err := ExactBPL(nil, repeat(m, steps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-0.4) > 1e-12 {
+			t.Errorf("steps=%d: BPL = %v, want 0.4", steps, got)
+		}
+	}
+}
+
+func TestExactBPLIdentityChainComposesLinearly(t *testing.T) {
+	// Example 2: under the strongest correlation, releasing t times is
+	// releasing the same value t times: exact BPL = t * eps, meeting the
+	// analytical bound with equality.
+	id, err := markov.IdentityChain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 0.25
+	m := rr(t, eps, 2)
+	for steps := 1; steps <= 6; steps++ {
+		got, err := ExactBPL(id, repeat(m, steps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(steps) * eps
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("steps=%d: BPL = %v, want %v", steps, got, want)
+		}
+	}
+}
+
+func TestExactBPLNeverExceedsAlgorithm1Bound(t *testing.T) {
+	// The semantic soundness of the whole framework: Algorithm 1's BPL
+	// is the supremum over all mechanisms with the per-step budget, so
+	// the exact leakage of randomized response must stay within it —
+	// for several correlations and budgets.
+	chains := map[string]*markov.Chain{
+		"moderate": markov.ModerateExample(),
+		"fig4a":    markov.Fig4aExample(),
+		"fig2fwd":  markov.Fig2Backward(),
+	}
+	for name, chain := range chains {
+		n := chain.N()
+		for _, eps := range []float64{0.2, 0.7} {
+			m := rr(t, eps, n)
+			steps := 5
+			exact, err := ExactBPL(chain, repeat(m, steps))
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound, err := core.BPLSeries(core.NewQuantifier(chain), core.UniformBudgets(eps, steps))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if exact > bound[steps-1]+1e-9 {
+				t.Errorf("%s eps=%v: exact leakage %v exceeds Algorithm-1 bound %v",
+					name, eps, exact, bound[steps-1])
+			}
+			// Correlation must amplify the concrete mechanism too.
+			if exact <= eps-1e-9 {
+				t.Errorf("%s eps=%v: exact leakage %v below single-step PL0", name, eps, exact)
+			}
+		}
+	}
+}
+
+func TestExactBPLMonotoneInSteps(t *testing.T) {
+	chain := markov.ModerateExample()
+	m := rr(t, 0.3, 2)
+	prev := 0.0
+	for steps := 1; steps <= 6; steps++ {
+		got, err := ExactBPL(chain, repeat(m, steps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < prev-1e-12 {
+			t.Errorf("steps=%d: BPL decreased: %v < %v", steps, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestExactBPLValidation(t *testing.T) {
+	if _, err := ExactBPL(nil, nil); err == nil {
+		t.Error("no mechanisms should fail")
+	}
+	m2 := rr(t, 0.5, 2)
+	m3 := rr(t, 0.5, 3)
+	if _, err := ExactBPL(nil, []*DiscreteMechanism{m2, m3}); err == nil {
+		t.Error("mismatched domains should fail")
+	}
+	three := markov.Fig2Forward()
+	if _, err := ExactBPL(three, repeat(m2, 2)); err == nil {
+		t.Error("chain/domain mismatch should fail")
+	}
+}
+
+func TestExactFPLMirrorsExactBPL(t *testing.T) {
+	// The forward and backward recursions are structurally identical, so
+	// the two exact leakages coincide for the same chain and mechanisms.
+	chains := []*markov.Chain{
+		markov.ModerateExample(),
+		markov.Fig4aExample(),
+		nil,
+	}
+	m := rr(t, 0.35, 2)
+	for i, chain := range chains {
+		for steps := 1; steps <= 5; steps++ {
+			b, err := ExactBPL(chain, repeat(m, steps))
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := ExactFPL(chain, repeat(m, steps))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(b-f) > 1e-9 {
+				t.Errorf("chain %d steps %d: BPL %v vs FPL %v", i, steps, b, f)
+			}
+		}
+	}
+}
+
+func TestExactFPLNeverExceedsAlgorithm1Bound(t *testing.T) {
+	chain := markov.Fig7Forward()
+	eps := 0.4
+	m := rr(t, eps, 2)
+	steps := 5
+	exact, err := ExactFPL(chain, repeat(m, steps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FPL at the first time point equals the last entry of the reversed
+	// series: FPLSeries counts from the release end.
+	fpl, err := core.FPLSeries(core.NewQuantifier(chain), core.UniformBudgets(eps, steps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact > fpl[0]+1e-9 {
+		t.Errorf("exact FPL %v exceeds analytical %v", exact, fpl[0])
+	}
+	if exact <= eps-1e-9 {
+		t.Errorf("exact FPL %v below single-step PL0", exact)
+	}
+}
+
+func TestExactFPLValidation(t *testing.T) {
+	if _, err := ExactFPL(nil, nil); err == nil {
+		t.Error("no mechanisms should fail")
+	}
+	m2 := rr(t, 0.5, 2)
+	m3 := rr(t, 0.5, 3)
+	if _, err := ExactFPL(nil, []*DiscreteMechanism{m2, m3}); err == nil {
+		t.Error("mismatched domains should fail")
+	}
+	three := markov.Fig2Forward()
+	if _, err := ExactFPL(three, repeat(m2, 2)); err == nil {
+		t.Error("chain/domain mismatch should fail")
+	}
+}
+
+func TestPosteriorSharpensUnderCorrelation(t *testing.T) {
+	// Observing consistent outputs under a sticky chain concentrates the
+	// posterior far beyond a single-observation posterior.
+	id, err := markov.IdentityChain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rr(t, 0.5, 2)
+	one, err := Posterior(id, repeat(m, 1), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	six, err := Posterior(id, repeat(m, 6), []int{0, 0, 0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if six[0] <= one[0] {
+		t.Errorf("posterior should sharpen: %v -> %v", one[0], six[0])
+	}
+	if six[0] < 0.94 {
+		t.Errorf("six consistent observations under identity chain should be near-certain, got %v", six[0])
+	}
+	// Without correlation the posterior after many steps equals the
+	// single-step posterior (only the last output matters).
+	flat, err := Posterior(nil, repeat(m, 6), []int{0, 0, 0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(flat[0]-one[0]) > 1e-12 {
+		t.Errorf("uncorrelated posterior %v should equal single-step %v", flat[0], one[0])
+	}
+}
+
+func TestPosteriorValidation(t *testing.T) {
+	m := rr(t, 0.5, 2)
+	if _, err := Posterior(nil, repeat(m, 2), []int{0}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Posterior(nil, nil, nil); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, err := Posterior(nil, repeat(m, 1), []int{5}); err == nil {
+		t.Error("out-of-range output should fail")
+	}
+}
+
+func TestSequenceCount(t *testing.T) {
+	if got := SequenceCount(2, 10); got != 1024 {
+		t.Errorf("SequenceCount = %v", got)
+	}
+}
+
+func TestRRExtremalityIsBinarySpecific(t *testing.T) {
+	// Companion to expt's TestSoundnessBinaryRRIsExtremal: the bound is
+	// TIGHT for binary randomized response but strictly LOOSE for n >= 3
+	// — n-ary RR has a single free parameter and cannot realize the
+	// likelihood-ratio vector the worst-case mechanism needs, so the gap
+	// to the Algorithm-1 supremum opens and grows with the horizon.
+	chain := markov.Fig2Backward() // 3-state
+	eps := 0.3
+	m := rr(t, eps, 3)
+	var prevGap float64
+	for steps := 2; steps <= 5; steps++ {
+		exact, err := ExactBPL(chain, repeat(m, steps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := core.BPLSeries(core.NewQuantifier(chain), core.UniformBudgets(eps, steps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gap := bound[steps-1] - exact
+		if gap <= 1e-6 {
+			t.Errorf("steps=%d: expected a strict gap for 3-state RR, got %v", steps, gap)
+		}
+		if gap < prevGap {
+			t.Errorf("steps=%d: gap should grow with the horizon: %v -> %v", steps, prevGap, gap)
+		}
+		prevGap = gap
+	}
+}
+
+func TestAttackHMMReconstructsTrajectory(t *testing.T) {
+	// A sticky victim released through randomized response: Viterbi on
+	// the attack HMM must reconstruct the hidden trajectory better than
+	// taking each noisy output at face value.
+	sticky := markov.MustNew(matrix.MustFromRows([][]float64{
+		{0.97, 0.03},
+		{0.03, 0.97},
+	}))
+	mech := rr(t, 0.7, 2)
+	hmm, err := AttackHMM(sticky, mech, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	const T, trials = 60, 50
+	var viterbiHits, naiveHits, total int
+	for trial := 0; trial < trials; trial++ {
+		states, obs, err := hmm.Sample(rng, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path, _, err := hmm.Viterbi(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range states {
+			total++
+			if path[i] == states[i] {
+				viterbiHits++
+			}
+			if obs[i] == states[i] {
+				naiveHits++
+			}
+		}
+	}
+	vAcc := float64(viterbiHits) / float64(total)
+	nAcc := float64(naiveHits) / float64(total)
+	if vAcc <= nAcc {
+		t.Errorf("Viterbi accuracy %.3f should beat naive %.3f (the whole point of the attack)", vAcc, nAcc)
+	}
+	if vAcc < 0.85 {
+		t.Errorf("Viterbi accuracy %.3f implausibly low for a 0.97-sticky chain", vAcc)
+	}
+}
+
+func TestAttackHMMValidation(t *testing.T) {
+	m := rr(t, 0.5, 2)
+	if _, err := AttackHMM(nil, m, nil); err == nil {
+		t.Error("nil chain should fail")
+	}
+	if _, err := AttackHMM(markov.ModerateExample(), nil, nil); err == nil {
+		t.Error("nil mechanism should fail")
+	}
+	three := markov.Fig2Forward()
+	if _, err := AttackHMM(three, m, nil); err == nil {
+		t.Error("domain mismatch should fail")
+	}
+	if _, err := AttackHMM(markov.ModerateExample(), m, matrix.Vector{0.9, 0.2}); err == nil {
+		t.Error("invalid initial distribution should fail")
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/markov"
+)
+
+// Accountant tracks the temporal privacy leakage of an ongoing
+// continuous release against one adversary_T(P^B, P^F). Each call to
+// Observe records that an eps-DP mechanism was applied at the next time
+// step; the accountant maintains the backward leakage incrementally
+// (BPL at time t depends only on the past) and recomputes the forward
+// series lazily (FPL at every past time point grows when new releases
+// happen — Example 3).
+//
+// The zero value is not usable; construct with NewAccountant.
+// An Accountant is not safe for concurrent use.
+type Accountant struct {
+	qb, qf *Quantifier
+	eps    []float64
+	bpl    []float64 // bpl[t], maintained incrementally
+	fpl    []float64 // cached FPL series, valid iff fplFresh
+	fplOK  bool
+}
+
+// NewAccountant builds an accountant for an adversary with the given
+// backward and forward correlations. Either chain may be nil, meaning
+// the adversary does not know that direction (the three adversary types
+// of Definition 4).
+func NewAccountant(pb, pf *markov.Chain) *Accountant {
+	return &Accountant{qb: NewQuantifier(pb), qf: NewQuantifier(pf)}
+}
+
+// NewAccountantFromQuantifiers is NewAccountant for callers that already
+// built (and possibly share) Quantifiers.
+func NewAccountantFromQuantifiers(qb, qf *Quantifier) *Accountant {
+	return &Accountant{qb: qb, qf: qf}
+}
+
+// Observe records a release with per-step budget eps at the next time
+// step and returns the new length of the sequence.
+func (a *Accountant) Observe(eps float64) (int, error) {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return 0, fmt.Errorf("core: budget must be finite and positive, got %v", eps)
+	}
+	if len(a.bpl) == 0 {
+		a.bpl = append(a.bpl, eps)
+	} else {
+		prev := a.bpl[len(a.bpl)-1]
+		a.bpl = append(a.bpl, a.qb.LossValue(prev)+eps)
+	}
+	a.eps = append(a.eps, eps)
+	a.fplOK = false
+	return len(a.eps), nil
+}
+
+// T returns the number of releases observed so far.
+func (a *Accountant) T() int { return len(a.eps) }
+
+// BPL returns the backward privacy leakage at 1-based time t.
+func (a *Accountant) BPL(t int) (float64, error) {
+	if err := a.checkT(t); err != nil {
+		return 0, err
+	}
+	return a.bpl[t-1], nil
+}
+
+// FPL returns the forward privacy leakage at 1-based time t, as of the
+// releases observed so far.
+func (a *Accountant) FPL(t int) (float64, error) {
+	if err := a.checkT(t); err != nil {
+		return 0, err
+	}
+	if err := a.refreshFPL(); err != nil {
+		return 0, err
+	}
+	return a.fpl[t-1], nil
+}
+
+// TPL returns the total temporal privacy leakage at 1-based time t per
+// Eq. (10).
+func (a *Accountant) TPL(t int) (float64, error) {
+	if err := a.checkT(t); err != nil {
+		return 0, err
+	}
+	if err := a.refreshFPL(); err != nil {
+		return 0, err
+	}
+	return a.bpl[t-1] + a.fpl[t-1] - a.eps[t-1], nil
+}
+
+// MaxTPL returns the worst TPL across all time points so far: the
+// smallest alpha for which the release so far satisfies alpha-DP_T.
+func (a *Accountant) MaxTPL() (float64, error) {
+	if len(a.eps) == 0 {
+		return 0, nil
+	}
+	if err := a.refreshFPL(); err != nil {
+		return 0, err
+	}
+	worst := math.Inf(-1)
+	for t := range a.eps {
+		if v := a.bpl[t] + a.fpl[t] - a.eps[t]; v > worst {
+			worst = v
+		}
+	}
+	return worst, nil
+}
+
+// UserLevel returns the user-level leakage of everything released so far
+// (Corollary 1).
+func (a *Accountant) UserLevel() float64 { return UserLevelTPL(a.eps) }
+
+// WEvent returns the worst w-window leakage so far (Theorem 2).
+func (a *Accountant) WEvent(w int) (float64, error) {
+	if err := a.refreshFPL(); err != nil {
+		return 0, err
+	}
+	return WEventTPL(a.bpl, a.fpl, a.eps, w)
+}
+
+// WindowTPL returns the leakage of the specific window {M_from, ...,
+// M_to} (1-based, inclusive) under Theorem 2: event-level for from ==
+// to, otherwise BPL(from) + FPL(to) + the budgets strictly between.
+func (a *Accountant) WindowTPL(from, to int) (float64, error) {
+	if err := a.checkT(from); err != nil {
+		return 0, err
+	}
+	if err := a.checkT(to); err != nil {
+		return 0, err
+	}
+	if from > to {
+		return 0, fmt.Errorf("core: window [%d,%d] is empty", from, to)
+	}
+	if err := a.refreshFPL(); err != nil {
+		return 0, err
+	}
+	if from == to {
+		return EventLevelTPL(a.bpl[from-1], a.fpl[from-1], a.eps[from-1]), nil
+	}
+	return ComposeTPL(a.bpl[from-1], a.fpl[to-1], a.eps[from:to-1]), nil
+}
+
+// Budgets returns a copy of the per-step budgets observed so far.
+func (a *Accountant) Budgets() []float64 { return append([]float64(nil), a.eps...) }
+
+func (a *Accountant) checkT(t int) error {
+	if t < 1 || t > len(a.eps) {
+		return fmt.Errorf("core: time %d out of range [1,%d]", t, len(a.eps))
+	}
+	return nil
+}
+
+func (a *Accountant) refreshFPL() error {
+	if a.fplOK {
+		return nil
+	}
+	fpl, err := FPLSeries(a.qf, a.eps)
+	if err != nil {
+		return err
+	}
+	a.fpl = fpl
+	a.fplOK = true
+	return nil
+}

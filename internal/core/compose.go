@@ -1,0 +1,70 @@
+package core
+
+import "fmt"
+
+// ComposeTPL evaluates Theorem 2, the sequential composition of a window
+// of DP mechanisms {M_t, ..., M_{t+j}} under temporal correlations:
+//
+//	j = 1:  alphaB_t + alphaF_{t+1}
+//	j >= 2: alphaB_t + alphaF_{t+j} + sum of the middle budgets
+//	        eps_{t+1} .. eps_{t+j-1}
+//
+// alphaBFirst is the backward leakage of the first mechanism in the
+// window, alphaFLast the forward leakage of the last, and middleEps the
+// j-1 budgets strictly between them (empty for j = 1).
+func ComposeTPL(alphaBFirst, alphaFLast float64, middleEps []float64) float64 {
+	total := alphaBFirst + alphaFLast
+	for _, e := range middleEps {
+		total += e
+	}
+	return total
+}
+
+// EventLevelTPL is the j = 0 case: the leakage of a single mechanism in
+// the sequence, TPL(t) = BPL(t) + FPL(t) - eps_t (Eq. (10)).
+func EventLevelTPL(alphaB, alphaF, eps float64) float64 {
+	return alphaB + alphaF - eps
+}
+
+// UserLevelTPL is Corollary 1: the temporal privacy leakage of the whole
+// combined mechanism {M_1, ..., M_T} equals the plain sequential
+// composition sum of the per-step budgets — temporal correlations do not
+// change user-level privacy.
+func UserLevelTPL(eps []float64) float64 {
+	total := 0.0
+	for _, e := range eps {
+		total += e
+	}
+	return total
+}
+
+// WEventTPL evaluates the leakage of every length-w window of the
+// sequence under Theorem 2 and returns the worst one. It needs the full
+// BPL and FPL series plus the per-step budgets; all three must have
+// equal length T, and 1 <= w <= T.
+//
+// This is the quantity that replaces the "w*eps" guarantee of w-event
+// privacy (Kellaris et al.) once temporal correlations are present
+// (Table II, middle row).
+func WEventTPL(bpl, fpl, eps []float64, w int) (float64, error) {
+	T := len(eps)
+	if len(bpl) != T || len(fpl) != T {
+		return 0, fmt.Errorf("core: series length mismatch: bpl=%d fpl=%d eps=%d", len(bpl), len(fpl), T)
+	}
+	if w < 1 || w > T {
+		return 0, fmt.Errorf("core: window w=%d out of range [1,%d]", w, T)
+	}
+	worst := 0.0
+	for start := 0; start+w <= T; start++ {
+		var v float64
+		if w == 1 {
+			v = EventLevelTPL(bpl[start], fpl[start], eps[start])
+		} else {
+			v = ComposeTPL(bpl[start], fpl[start+w-1], eps[start+1:start+w-1])
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst, nil
+}

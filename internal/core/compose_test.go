@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/markov"
+)
+
+func TestComposeTPLArithmetic(t *testing.T) {
+	if got := ComposeTPL(0.5, 0.3, nil); got != 0.8 {
+		t.Errorf("j=1 composition = %v, want 0.8", got)
+	}
+	if got := ComposeTPL(0.5, 0.3, []float64{0.1, 0.2}); math.Abs(got-1.1) > 1e-12 {
+		t.Errorf("j=3 composition = %v, want 1.1", got)
+	}
+}
+
+func TestEventLevelTPL(t *testing.T) {
+	if got := EventLevelTPL(0.5, 0.4, 0.1); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("event-level = %v, want 0.8", got)
+	}
+}
+
+func TestUserLevelTPL(t *testing.T) {
+	if got := UserLevelTPL([]float64{0.1, 0.2, 0.3}); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("user-level = %v, want 0.6", got)
+	}
+	if got := UserLevelTPL(nil); got != 0 {
+		t.Errorf("empty user-level = %v", got)
+	}
+}
+
+func TestCorollary1FullWindowEqualsBudgetSum(t *testing.T) {
+	// Theorem 2 with t=1, j=T-1 must equal sum of budgets because
+	// alphaB_1 = eps_1 and alphaF_T = eps_T (Corollary 1): temporal
+	// correlations do not change user-level privacy.
+	q := NewQuantifier(markov.ModerateExample())
+	eps := []float64{0.1, 0.25, 0.05, 0.3}
+	bpl, err := BPLSeries(q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpl, err := FPLSeries(q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	composed := ComposeTPL(bpl[0], fpl[len(fpl)-1], eps[1:len(eps)-1])
+	if math.Abs(composed-UserLevelTPL(eps)) > 1e-12 {
+		t.Errorf("full-window composition %v != budget sum %v", composed, UserLevelTPL(eps))
+	}
+}
+
+func TestWEventTPL(t *testing.T) {
+	q := NewQuantifier(markov.ModerateExample())
+	eps := UniformBudgets(0.1, 6)
+	bpl, _ := BPLSeries(q, eps)
+	fpl, _ := FPLSeries(q, eps)
+
+	// w = 1 equals the max event-level TPL.
+	w1, err := WEventTPL(bpl, fpl, eps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxEvent := 0.0
+	for i := range eps {
+		maxEvent = math.Max(maxEvent, EventLevelTPL(bpl[i], fpl[i], eps[i]))
+	}
+	if math.Abs(w1-maxEvent) > 1e-12 {
+		t.Errorf("w=1: %v, want %v", w1, maxEvent)
+	}
+
+	// w = T equals user-level (Corollary 1).
+	wT, err := WEventTPL(bpl, fpl, eps, len(eps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wT-UserLevelTPL(eps)) > 1e-12 {
+		t.Errorf("w=T: %v, want %v", wT, UserLevelTPL(eps))
+	}
+
+	// Monotone in w: wider windows leak at least as much.
+	prev := 0.0
+	for w := 1; w <= len(eps); w++ {
+		v, err := WEventTPL(bpl, fpl, eps, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev-1e-12 {
+			t.Errorf("w-event leakage decreased at w=%d: %v < %v", w, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestWEventTPLWExceedsIndependentBound(t *testing.T) {
+	// Under correlation, a w-window leaks at least w*eps (the
+	// independent-data w-event guarantee is optimistic; Table II).
+	q := NewQuantifier(markov.ModerateExample())
+	eps := UniformBudgets(0.1, 8)
+	bpl, _ := BPLSeries(q, eps)
+	fpl, _ := FPLSeries(q, eps)
+	for w := 1; w <= 8; w++ {
+		v, err := WEventTPL(bpl, fpl, eps, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < float64(w)*0.1-1e-12 {
+			t.Errorf("w=%d: leakage %v below independent bound %v", w, v, float64(w)*0.1)
+		}
+	}
+}
+
+func TestWEventTPLErrors(t *testing.T) {
+	eps := UniformBudgets(0.1, 3)
+	if _, err := WEventTPL([]float64{1}, eps, eps, 1); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := WEventTPL(eps, eps, eps, 0); err == nil {
+		t.Error("w=0 should fail")
+	}
+	if _, err := WEventTPL(eps, eps, eps, 4); err == nil {
+		t.Error("w>T should fail")
+	}
+}

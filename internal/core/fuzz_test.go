@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lfp"
+)
+
+// FuzzPairLossOracle fuzzes Algorithm 1's pair kernel against the exact
+// 2^n vertex-enumeration oracle. The seed corpus runs in ordinary
+// `go test`; `go test -fuzz=FuzzPairLossOracle ./internal/core` explores
+// further. Raw bytes are decoded into two stochastic rows and a prior
+// leakage, so every input is a valid instance.
+func FuzzPairLossOracle(f *testing.F) {
+	f.Add([]byte{10, 20, 30, 40, 50, 60}, uint16(100))
+	f.Add([]byte{0, 0, 1, 255, 1, 0, 3, 9}, uint16(2000))
+	f.Add([]byte{255, 255}, uint16(1))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint16(65535))
+	f.Fuzz(func(t *testing.T, raw []byte, alphaRaw uint16) {
+		if len(raw) < 4 || len(raw) > 2*lfp.BruteForceLimit {
+			return
+		}
+		n := len(raw) / 2
+		q := make([]float64, n)
+		d := make([]float64, n)
+		var sq, sd float64
+		for i := 0; i < n; i++ {
+			q[i] = float64(raw[i])
+			d[i] = float64(raw[n+i])
+			sq += q[i]
+			sd += d[i]
+		}
+		if sq == 0 || sd == 0 {
+			return
+		}
+		for i := 0; i < n; i++ {
+			q[i] /= sq
+			d[i] /= sd
+		}
+		alpha := float64(alphaRaw) / 1000 // up to 65.5
+		got := PairLoss(q, d, alpha).Log
+		want, err := (&lfp.Problem{Q: q, D: d, Alpha: alpha}).LogBruteForce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-8*(1+want) {
+			t.Fatalf("PairLoss=%v oracle=%v (alpha=%v)\nq=%v\nd=%v", got, want, alpha, q, d)
+		}
+		// Invariants regardless of the oracle.
+		if got < 0 || got > alpha+1e-9 || math.IsNaN(got) {
+			t.Fatalf("PairLoss=%v violates [0, alpha]", got)
+		}
+	})
+}
+
+// FuzzTheorem5RoundTrip fuzzes the supremum closed form against its
+// inverse.
+func FuzzTheorem5RoundTrip(f *testing.F) {
+	f.Add(uint8(200), uint8(30), uint16(500))
+	f.Add(uint8(255), uint8(0), uint16(100))
+	f.Add(uint8(1), uint8(1), uint16(9000))
+	f.Fuzz(func(t *testing.T, qRaw, dRaw uint8, epsRaw uint16) {
+		q := float64(qRaw) / 255
+		d := float64(dRaw) / 255
+		if d > q { // keep d <= q: the regime Theorem 5 addresses
+			q, d = d, q
+		}
+		eps := float64(epsRaw)/1000 + 1e-4
+		sup, ok := Theorem5(q, d, eps)
+		if !ok {
+			return
+		}
+		if sup < eps-1e-9 {
+			t.Fatalf("supremum %v below eps %v (q=%v d=%v)", sup, eps, q, d)
+		}
+		back, err := BudgetForSupremum(q, d, sup)
+		if err != nil {
+			return
+		}
+		if math.Abs(back-eps) > 1e-5*(1+eps) {
+			t.Fatalf("round trip: eps %v -> sup %v -> eps %v (q=%v d=%v)", eps, sup, back, q, d)
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/markov"
+	"repro/internal/matrix"
+)
+
+// LossResult is the outcome of evaluating the temporal privacy loss
+// function L^B or L^F (Eq. (23) or (24)) on a whole transition matrix:
+// the maximum PairLoss over all ordered row pairs, together with the
+// maximizing pair.
+type LossResult struct {
+	// Log is the loss increment L(alpha): max over ordered row pairs of
+	// the pair log-ratio. Always >= 0.
+	Log float64
+	// QSum, DSum identify the maximizing pair for Theorem 5 (the q and d
+	// scalars of the paper).
+	QSum, DSum float64
+	// RowQ, RowD are the indices of the maximizing rows (q is row RowQ,
+	// d is row RowD). Both are -1 when every pair yields zero loss.
+	RowQ, RowD int
+}
+
+// Quantifier computes temporal privacy loss functions for a fixed
+// transition matrix. It pre-extracts the rows once so repeated
+// evaluations (the per-time-step recurrences, supremum searches and
+// release planners) avoid re-cloning the matrix.
+//
+// A nil *Quantifier is valid and represents "no correlation known to the
+// adversary" (the paper's empty matrix ∅): its loss function is
+// identically zero, so BPL/FPL reduce to the per-step leakage PL0.
+type Quantifier struct {
+	rows []matrix.Vector
+	n    int
+}
+
+// NewQuantifier builds a Quantifier from a Markov chain describing the
+// adversary's backward or forward temporal correlation. A nil chain
+// yields a nil Quantifier, meaning no correlation.
+func NewQuantifier(c *markov.Chain) *Quantifier {
+	if c == nil {
+		return nil
+	}
+	p := c.P()
+	rows := make([]matrix.Vector, p.Rows())
+	for i := range rows {
+		rows[i] = p.Row(i)
+	}
+	return &Quantifier{rows: rows, n: p.Rows()}
+}
+
+// N returns the state-space size, or 0 for the nil (no-correlation)
+// quantifier.
+func (qt *Quantifier) N() int {
+	if qt == nil {
+		return 0
+	}
+	return qt.n
+}
+
+// Loss evaluates the loss function at prior leakage alpha: Algorithm 1's
+// outer loop over every ordered pair of distinct rows. For the nil
+// quantifier it returns a zero LossResult.
+func (qt *Quantifier) Loss(alpha float64) LossResult {
+	res := LossResult{RowQ: -1, RowD: -1}
+	if qt == nil || alpha == 0 {
+		return res
+	}
+	scratch := make([]int, 0, qt.n) // one buffer for the whole scan
+	for i := 0; i < qt.n; i++ {
+		for j := 0; j < qt.n; j++ {
+			if i == j {
+				continue
+			}
+			pr := pairLoss(qt.rows[i], qt.rows[j], alpha, scratch)
+			if pr.Log > res.Log {
+				res.Log = pr.Log
+				res.QSum = pr.QSum
+				res.DSum = pr.DSum
+				res.RowQ = i
+				res.RowD = j
+			}
+		}
+	}
+	return res
+}
+
+// LossValue is Loss but returns only the increment, for call sites that
+// do not need the maximizing pair.
+func (qt *Quantifier) LossValue(alpha float64) float64 { return qt.Loss(alpha).Log }
+
+// IsIdentityLike reports whether the loss function is the identity map
+// (L(alpha) = alpha for alpha > 0), which happens exactly under the
+// strongest correlation (some pair with q = 1, d = 0). Under such
+// correlation leakage accumulates linearly without bound and no
+// supremum exists (Theorem 5, fourth case).
+func (qt *Quantifier) IsIdentityLike() bool {
+	if qt == nil {
+		return false
+	}
+	const probe = 1.0
+	res := qt.Loss(probe)
+	return math.Abs(res.Log-probe) < 1e-12
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lfp"
+	"repro/internal/markov"
+	"repro/internal/matrix"
+)
+
+func TestNilQuantifier(t *testing.T) {
+	var qt *Quantifier
+	if qt.N() != 0 {
+		t.Error("nil quantifier N should be 0")
+	}
+	if got := qt.LossValue(5); got != 0 {
+		t.Errorf("nil quantifier loss = %v, want 0", got)
+	}
+	if qt.IsIdentityLike() {
+		t.Error("nil quantifier must not be identity-like")
+	}
+	if NewQuantifier(nil) != nil {
+		t.Error("NewQuantifier(nil) should be nil")
+	}
+}
+
+func TestQuantifierN(t *testing.T) {
+	qt := NewQuantifier(markov.Fig2Forward())
+	if qt.N() != 3 {
+		t.Errorf("N = %d", qt.N())
+	}
+}
+
+func TestLossZeroAlpha(t *testing.T) {
+	qt := NewQuantifier(markov.Fig2Forward())
+	res := qt.Loss(0)
+	if res.Log != 0 || res.RowQ != -1 {
+		t.Errorf("alpha=0 loss = %+v", res)
+	}
+}
+
+func TestLossUniformChainIsZero(t *testing.T) {
+	uni, _ := markov.UniformChain(5)
+	qt := NewQuantifier(uni)
+	for _, a := range []float64{0.1, 1, 10} {
+		if got := qt.LossValue(a); got != 0 {
+			t.Errorf("uniform chain loss(%v) = %v, want 0", a, got)
+		}
+	}
+}
+
+func TestLossIdentityChainIsIdentity(t *testing.T) {
+	id, _ := markov.IdentityChain(3)
+	qt := NewQuantifier(id)
+	for _, a := range []float64{0.1, 1, 7} {
+		if got := qt.LossValue(a); math.Abs(got-a) > 1e-12 {
+			t.Errorf("identity chain loss(%v) = %v, want %v", a, got, a)
+		}
+	}
+	if !qt.IsIdentityLike() {
+		t.Error("identity chain should be identity-like")
+	}
+}
+
+func TestLossStrongestPermutationIsIdentityLike(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c, err := markov.Strongest(rng, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !NewQuantifier(c).IsIdentityLike() {
+		t.Error("permutation chain should be identity-like")
+	}
+}
+
+func TestLossModerateNotIdentityLike(t *testing.T) {
+	if NewQuantifier(markov.ModerateExample()).IsIdentityLike() {
+		t.Error("moderate chain should not be identity-like")
+	}
+}
+
+func TestLossMatchesMaxOverPairsBruteForce(t *testing.T) {
+	// The chain-level loss must equal the max over ordered row pairs of
+	// the brute-force LFP optimum.
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(4)
+		c, err := markov.UniformRandom(rng, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alpha := 0.05 + rng.Float64()*3
+		qt := NewQuantifier(c)
+		got := qt.LossValue(alpha)
+		want := 0.0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				lg, err := (&lfp.Problem{Q: c.Row(i), D: c.Row(j), Alpha: alpha}).LogBruteForce()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if lg > want {
+					want = lg
+				}
+			}
+		}
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Errorf("trial %d: Loss=%v, brute max=%v", trial, got, want)
+		}
+	}
+}
+
+func TestLossReportsMaximizingPair(t *testing.T) {
+	qt := NewQuantifier(markov.ModerateExample())
+	res := qt.Loss(0.5)
+	if res.RowQ < 0 || res.RowD < 0 {
+		t.Fatal("no maximizing pair reported")
+	}
+	// Recompute the pair loss for the reported rows and compare.
+	c := markov.ModerateExample()
+	pr := PairLoss(c.Row(res.RowQ), c.Row(res.RowD), 0.5)
+	if math.Abs(pr.Log-res.Log) > 1e-12 {
+		t.Errorf("pair recompute %v != loss %v", pr.Log, res.Log)
+	}
+	if math.Abs(pr.QSum-res.QSum) > 1e-12 || math.Abs(pr.DSum-res.DSum) > 1e-12 {
+		t.Errorf("pair sums mismatch")
+	}
+}
+
+func TestLossSingleStateChain(t *testing.T) {
+	one := markov.MustNew(matrix.Identity(1))
+	qt := NewQuantifier(one)
+	if got := qt.LossValue(3); got != 0 {
+		t.Errorf("1-state loss = %v, want 0 (no distinct pairs)", got)
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/markov"
+)
+
+// TestMixingTimeTracksLeakage ties the structural and privacy views of
+// temporal correlation together: chains that mix more slowly (carry
+// information across more steps) must accumulate strictly more backward
+// privacy leakage and saturate at a higher supremum.
+func TestMixingTimeTracksLeakage(t *testing.T) {
+	const eps = 0.2
+	type point struct {
+		stay   float64
+		mixing int
+		sup    float64
+	}
+	var pts []point
+	for _, stay := range []float64{0.4, 0.6, 0.8, 0.9} {
+		c, err := markov.Lazy(3, stay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mix, ok := c.MixingTime(1e-3, 100000)
+		if !ok {
+			t.Fatalf("stay=%v: chain should mix", stay)
+		}
+		sup, ok := Supremum(NewQuantifier(c), eps)
+		if !ok {
+			t.Fatalf("stay=%v: supremum should exist", stay)
+		}
+		pts = append(pts, point{stay, mix, sup})
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].mixing < pts[i-1].mixing {
+			t.Errorf("mixing time should grow with stickiness: %+v -> %+v", pts[i-1], pts[i])
+		}
+		if pts[i].sup <= pts[i-1].sup {
+			t.Errorf("leakage supremum should grow with stickiness: %+v -> %+v", pts[i-1], pts[i])
+		}
+	}
+	// The fastest-mixing chain stays close to the uncorrelated floor.
+	if pts[0].sup > 3*eps {
+		t.Errorf("fast-mixing chain supremum %v implausibly high", pts[0].sup)
+	}
+}

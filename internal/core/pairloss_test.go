@@ -1,0 +1,283 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lfp"
+)
+
+func randomStochasticRow(rng *rand.Rand, n int) []float64 {
+	row := make([]float64, n)
+	s := 0.0
+	for i := range row {
+		row[i] = rng.Float64()
+		s += row[i]
+	}
+	for i := range row {
+		row[i] /= s
+	}
+	return row
+}
+
+func TestPairLossZeroAlpha(t *testing.T) {
+	res := PairLoss([]float64{1, 0}, []float64{0, 1}, 0)
+	if res.Log != 0 || res.Subset != nil {
+		t.Errorf("alpha=0 should give zero loss, got %+v", res)
+	}
+}
+
+func TestPairLossEqualRows(t *testing.T) {
+	q := []float64{0.3, 0.7}
+	res := PairLoss(q, q, 1.5)
+	if res.Log != 0 {
+		t.Errorf("equal rows loss = %v, want 0", res.Log)
+	}
+}
+
+func TestPairLossStrongestCorrelation(t *testing.T) {
+	// q=(1,0), d=(0,1): the increment equals alpha (upper bound of
+	// Remark 1; leakage accumulates 1:1).
+	for _, alpha := range []float64{0.1, 1, 5, 20} {
+		res := PairLoss([]float64{1, 0}, []float64{0, 1}, alpha)
+		if math.Abs(res.Log-alpha) > 1e-12 {
+			t.Errorf("alpha=%v: loss = %v, want alpha", alpha, res.Log)
+		}
+		if res.QSum != 1 || res.DSum != 0 {
+			t.Errorf("alpha=%v: pair sums q=%v d=%v", alpha, res.QSum, res.DSum)
+		}
+	}
+}
+
+func TestPairLossModerateExampleHandValue(t *testing.T) {
+	// Rows of the paper's (0.8 0.2; 0 1): q=(0.8,0.2), d=(0,1) selects
+	// {0}: log(0.8(e^a-1)+1).
+	alpha := 0.1
+	res := PairLoss([]float64{0.8, 0.2}, []float64{0, 1}, alpha)
+	want := math.Log(0.8*(math.Exp(alpha)-1) + 1)
+	if math.Abs(res.Log-want) > 1e-12 {
+		t.Errorf("loss = %v, want %v", res.Log, want)
+	}
+	if len(res.Subset) != 1 || res.Subset[0] != 0 {
+		t.Errorf("subset = %v, want [0]", res.Subset)
+	}
+}
+
+func TestPairLossMatchesBruteForceOracle(t *testing.T) {
+	// The centerpiece correctness property: Algorithm 1's O(n^2) filter
+	// must agree with exhaustive 2^n vertex enumeration (Lemma 3) on
+	// random stochastic row pairs across a wide alpha range.
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 400; trial++ {
+		n := 2 + rng.Intn(9) // up to 10 states
+		alpha := []float64{0.001, 0.01, 0.1, 0.5, 1, 2, 5, 10, 20}[rng.Intn(9)]
+		q := randomStochasticRow(rng, n)
+		d := randomStochasticRow(rng, n)
+		got := PairLoss(q, d, alpha).Log
+		want, err := (&lfp.Problem{Q: q, D: d, Alpha: alpha}).LogBruteForce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Errorf("trial %d (n=%d alpha=%v): PairLoss=%v brute=%v\nq=%v\nd=%v",
+				trial, n, alpha, got, want, q, d)
+		}
+	}
+}
+
+func TestPairLossMatchesBruteForceSparseRows(t *testing.T) {
+	// Rows with many exact zeros exercise the d_j = 0 branch of the
+	// filter predicate.
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(7)
+		q := randomStochasticRow(rng, n)
+		d := randomStochasticRow(rng, n)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.4 {
+				q[i] = 0
+			}
+			if rng.Float64() < 0.4 {
+				d[i] = 0
+			}
+		}
+		// Renormalize, skipping degenerate all-zero draws.
+		qs, ds := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			qs += q[i]
+			ds += d[i]
+		}
+		if qs == 0 || ds == 0 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			q[i] /= qs
+			d[i] /= ds
+		}
+		alpha := 0.01 + rng.Float64()*5
+		got := PairLoss(q, d, alpha).Log
+		want, err := (&lfp.Problem{Q: q, D: d, Alpha: alpha}).LogBruteForce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Errorf("trial %d: PairLoss=%v brute=%v (alpha=%v)\nq=%v\nd=%v", trial, got, want, alpha, q, d)
+		}
+	}
+}
+
+func TestPairLossMatchesSimplexLP(t *testing.T) {
+	// Cross-check against the Charnes-Cooper + simplex route (the
+	// "external solver" path the paper benchmarks against).
+	rng := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(5)
+		alpha := 0.05 + rng.Float64()*3
+		q := randomStochasticRow(rng, n)
+		d := randomStochasticRow(rng, n)
+		got := PairLoss(q, d, alpha).Log
+		ratio, err := (&lfp.Problem{Q: q, D: d, Alpha: alpha}).SolveLP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Log(ratio)
+		if math.Abs(got-want) > 1e-6*(1+want) {
+			t.Errorf("trial %d: PairLoss=%v simplex=%v", trial, got, want)
+		}
+	}
+}
+
+func TestPairLossRemark1Bounds(t *testing.T) {
+	// 0 <= L(alpha) <= alpha for all stochastic row pairs (Remark 1).
+	rng := rand.New(rand.NewSource(109))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(10)
+		alpha := rng.Float64() * 30
+		q := randomStochasticRow(rng, n)
+		d := randomStochasticRow(rng, n)
+		got := PairLoss(q, d, alpha).Log
+		if got < 0 {
+			t.Fatalf("negative loss %v", got)
+		}
+		if got > alpha+1e-9 {
+			t.Fatalf("loss %v exceeds alpha %v", got, alpha)
+		}
+	}
+}
+
+func TestPairLossMonotoneInAlpha(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	q := randomStochasticRow(rng, 6)
+	d := randomStochasticRow(rng, 6)
+	prev := -1.0
+	for _, alpha := range []float64{0, 0.01, 0.1, 0.5, 1, 2, 5, 10, 50, 200} {
+		got := PairLoss(q, d, alpha).Log
+		if got < prev-1e-12 {
+			t.Errorf("loss decreased at alpha=%v: %v < %v", alpha, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestPairLossHugeAlphaNoOverflow(t *testing.T) {
+	// The log-space formulation must survive alpha far beyond e^alpha
+	// overflow territory.
+	q := []float64{0.6, 0.4}
+	d := []float64{0.1, 0.9}
+	got := PairLoss(q, d, 2000).Log
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("loss = %v", got)
+	}
+	// As alpha -> inf with the subset {0}: ratio -> q0/d0 = 6, so the
+	// loss saturates at log 6.
+	if math.Abs(got-math.Log(6)) > 1e-9 {
+		t.Errorf("saturated loss = %v, want log 6 = %v", got, math.Log(6))
+	}
+}
+
+func TestPairLossHugeAlphaWithZeroD(t *testing.T) {
+	// With d-support disjoint from some q mass the loss grows like
+	// alpha + log(q) for large alpha.
+	q := []float64{0.5, 0.5}
+	d := []float64{0, 1}
+	alpha := 1000.0
+	got := PairLoss(q, d, alpha).Log
+	want := alpha + math.Log(0.5)
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("loss = %v, want ~%v", got, want)
+	}
+}
+
+func TestPairLossPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"length mismatch": func() { PairLoss([]float64{1}, []float64{0.5, 0.5}, 1) },
+		"negative alpha":  func() { PairLoss([]float64{1}, []float64{1}, -1) },
+		"NaN alpha":       func() { PairLoss([]float64{1}, []float64{1}, math.NaN()) },
+		"negative coeff":  func() { PairLoss([]float64{-0.5, 1.5}, []float64{0.5, 0.5}, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPairLossSubsetSatisfiesTheorem4(t *testing.T) {
+	// Verify the returned subset satisfies Inequalities (21) and (22):
+	// every kept index has q_j/d_j strictly above the achieved ratio and
+	// every dropped index at most the ratio.
+	rng := rand.New(rand.NewSource(127))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(8)
+		alpha := 0.05 + rng.Float64()*4
+		q := randomStochasticRow(rng, n)
+		d := randomStochasticRow(rng, n)
+		res := PairLoss(q, d, alpha)
+		if res.Log == 0 {
+			continue
+		}
+		e := math.Exp(alpha) - 1
+		ratio := (res.QSum*e + 1) / (res.DSum*e + 1)
+		in := make(map[int]bool, len(res.Subset))
+		for _, j := range res.Subset {
+			in[j] = true
+			if q[j] <= ratio*d[j]-1e-12 {
+				t.Fatalf("trial %d: kept index %d violates Inequality (21)", trial, j)
+			}
+		}
+		for j := 0; j < n; j++ {
+			if in[j] {
+				continue
+			}
+			if q[j] > ratio*d[j]+1e-9 {
+				t.Fatalf("trial %d: dropped index %d violates Inequality (22): q=%v d=%v ratio=%v",
+					trial, j, q[j], d[j], ratio)
+			}
+		}
+	}
+}
+
+func TestLogAffineExp(t *testing.T) {
+	cases := []struct {
+		c, total, a, want float64
+	}{
+		{0, 1, 5, 0},
+		{1, 1, 5, 5},
+		{0.5, 1, 0, 0},
+		{0.5, 1, 1, math.Log(0.5*(math.E-1) + 1)},
+		{1.0000001, 1, 3, 3},                    // clamped to total
+		{0.5, 2, 1, math.Log(0.5*math.E + 1.5)}, // unnormalized total
+		{0, 2, 4, math.Log(2)},                  // zero mass, total 2
+		{2, 2, 4, 4 + math.Log(2)},              // full mass at total 2
+	}
+	for _, cse := range cases {
+		if got := logAffineExp(cse.c, cse.total, cse.a); math.Abs(got-cse.want) > 1e-12 {
+			t.Errorf("logAffineExp(%v,%v,%v) = %v, want %v", cse.c, cse.total, cse.a, got, cse.want)
+		}
+	}
+}

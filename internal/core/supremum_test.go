@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/markov"
+)
+
+func TestTheorem5DNonZeroFixedPoint(t *testing.T) {
+	// For any (q, d) with d != 0 the returned value must satisfy the
+	// fixed-point equation alpha = log((q(e^a-1)+1)/(d(e^a-1)+1)) + eps.
+	cases := []struct{ q, d, eps float64 }{
+		{0.8, 0.1, 0.23},
+		{0.9, 0.5, 1},
+		{0.3, 0.2, 0.05},
+		{1, 0.1, 2},
+	}
+	for _, c := range cases {
+		sup, ok := Theorem5(c.q, c.d, c.eps)
+		if !ok {
+			t.Fatalf("q=%v d=%v: no supremum", c.q, c.d)
+		}
+		e := math.Exp(sup) - 1
+		lhs := sup
+		rhs := math.Log((c.q*e+1)/(c.d*e+1)) + c.eps
+		if math.Abs(lhs-rhs) > 1e-9 {
+			t.Errorf("q=%v d=%v eps=%v: fixed point violated: %v vs %v", c.q, c.d, c.eps, lhs, rhs)
+		}
+	}
+}
+
+func TestTheorem5DZeroBranch(t *testing.T) {
+	// d = 0, q*e^eps < 1: closed form log((1-q)e^eps / (1-q e^eps)).
+	q, eps := 0.8, 0.15
+	sup, ok := Theorem5(q, 0, eps)
+	if !ok {
+		t.Fatal("supremum should exist (0.8*e^0.15 < 1)")
+	}
+	want := math.Log((1 - q) * math.Exp(eps) / (1 - q*math.Exp(eps)))
+	if math.Abs(sup-want) > 1e-12 {
+		t.Errorf("sup = %v, want %v", sup, want)
+	}
+}
+
+func TestTheorem5NoSupremumCases(t *testing.T) {
+	// d = 0, q != 1, eps > log(1/q): log(1/0.8) ~= 0.223 < 0.23.
+	if _, ok := Theorem5(0.8, 0, 0.23); ok {
+		t.Error("supremum should not exist for q=0.8, eps=0.23")
+	}
+	// d = 0, q = 1 (strongest correlation).
+	if _, ok := Theorem5(1, 0, 0.1); ok {
+		t.Error("supremum should not exist for q=1, d=0")
+	}
+}
+
+func TestTheorem5ZeroPair(t *testing.T) {
+	sup, ok := Theorem5(0, 0, 0.4)
+	if !ok || sup != 0.4 {
+		t.Errorf("zero pair sup = %v/%v, want (0.4, true)", sup, ok)
+	}
+}
+
+func TestTheorem5EqualQD(t *testing.T) {
+	// q = d: increment is zero, supremum is eps.
+	sup, ok := Theorem5(0.5, 0.5, 0.3)
+	if !ok || math.Abs(sup-0.3) > 1e-12 {
+		t.Errorf("q=d sup = %v/%v, want (0.3, true)", sup, ok)
+	}
+}
+
+func TestTheorem5Panics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero eps":     func() { Theorem5(0.5, 0.1, 0) },
+		"negative eps": func() { Theorem5(0.5, 0.1, -1) },
+		"q > 1":        func() { Theorem5(1.5, 0.1, 0.1) },
+		"negative d":   func() { Theorem5(0.5, -0.1, 0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSupremumMatchesPaperFig4(t *testing.T) {
+	// Fig. 4(c): P^B = (0.8 0.2; 0 1), eps = 0.15: plateau ~1.2.
+	sup, ok := Supremum(NewQuantifier(markov.ModerateExample()), 0.15)
+	if !ok {
+		t.Fatal("Fig 4(c) supremum should exist")
+	}
+	want := math.Log((1 - 0.8) * math.Exp(0.15) / (1 - 0.8*math.Exp(0.15)))
+	if math.Abs(sup-want) > 1e-6 {
+		t.Errorf("sup = %v, want %v (paper plots ~1.2)", sup, want)
+	}
+	// Fig. 4(b): same matrix, eps = 0.23: unbounded.
+	if _, ok := Supremum(NewQuantifier(markov.ModerateExample()), 0.23); ok {
+		t.Error("Fig 4(b) supremum should not exist")
+	}
+	// Fig. 4(d): identity, eps = 0.23: unbounded (linear growth).
+	id, _ := markov.IdentityChain(2)
+	if _, ok := Supremum(NewQuantifier(id), 0.23); ok {
+		t.Error("Fig 4(d) supremum should not exist")
+	}
+	// Fig. 4(a): (0.8 0.2; 0.1 0.9), eps = 0.23: plateau ~0.8.
+	sup4a, ok := Supremum(NewQuantifier(markov.Fig4aExample()), 0.23)
+	if !ok {
+		t.Fatal("Fig 4(a) supremum should exist")
+	}
+	if sup4a < 0.7 || sup4a > 0.9 {
+		t.Errorf("Fig 4(a) sup = %v, paper plots ~0.8", sup4a)
+	}
+}
+
+func TestSupremumAgreesWithLongRecurrence(t *testing.T) {
+	// "The results are in line with the ones from computing BPL step by
+	// step at each time point using Algorithm 1" (Example 4).
+	qb := NewQuantifier(markov.Fig4aExample())
+	eps := 0.23
+	sup, ok := Supremum(qb, eps)
+	if !ok {
+		t.Fatal("supremum should exist")
+	}
+	bpl, err := BPLSeries(qb, UniformBudgets(eps, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := bpl[len(bpl)-1]
+	if last > sup+1e-9 {
+		t.Errorf("recurrence exceeded supremum: %v > %v", last, sup)
+	}
+	if sup-last > 1e-6 {
+		t.Errorf("recurrence did not approach supremum: %v vs %v", last, sup)
+	}
+}
+
+func TestSupremumSeriesNeverExceeds(t *testing.T) {
+	// The whole BPL series must stay below the supremum.
+	for _, eps := range []float64{0.05, 0.15, 0.5, 1} {
+		qb := NewQuantifier(markov.Fig4aExample())
+		sup, ok := Supremum(qb, eps)
+		if !ok {
+			t.Fatalf("eps=%v: no supremum", eps)
+		}
+		bpl, err := BPLSeries(qb, UniformBudgets(eps, 300))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range bpl {
+			if v > sup+1e-9 {
+				t.Fatalf("eps=%v: BPL[%d] = %v exceeds sup %v", eps, i, v, sup)
+			}
+		}
+	}
+}
+
+func TestSupremumNoCorrelation(t *testing.T) {
+	sup, ok := Supremum(nil, 0.4)
+	if !ok || sup != 0.4 {
+		t.Errorf("nil quantifier sup = %v/%v", sup, ok)
+	}
+	uni, _ := markov.UniformChain(4)
+	sup, ok = Supremum(NewQuantifier(uni), 0.4)
+	if !ok || math.Abs(sup-0.4) > 1e-12 {
+		t.Errorf("uniform chain sup = %v/%v, want 0.4", sup, ok)
+	}
+}
+
+func TestSupremumPanicsOnBadEps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Supremum(nil, -0.1)
+}
+
+func TestBudgetForSupremumInverse(t *testing.T) {
+	// BudgetForSupremum must invert Theorem5: for random (q, d, eps),
+	// eps == BudgetForSupremum(q, d, Theorem5(q, d, eps)).
+	cases := []struct{ q, d, eps float64 }{
+		{0.8, 0.1, 0.23},
+		{0.8, 0, 0.15},
+		{0.9, 0.3, 1.5},
+		{0.5, 0.2, 0.01},
+	}
+	for _, c := range cases {
+		sup, ok := Theorem5(c.q, c.d, c.eps)
+		if !ok {
+			t.Fatalf("no supremum for %+v", c)
+		}
+		eps, err := BudgetForSupremum(c.q, c.d, sup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(eps-c.eps) > 1e-9 {
+			t.Errorf("%+v: recovered eps = %v", c, eps)
+		}
+	}
+}
+
+func TestBudgetForSupremumStrongest(t *testing.T) {
+	if _, err := BudgetForSupremum(1, 0, 1); err == nil {
+		t.Error("strongest correlation should have no positive budget")
+	}
+}
+
+func TestBudgetForSupremumValidation(t *testing.T) {
+	if _, err := BudgetForSupremum(0.5, 0.1, 0); err == nil {
+		t.Error("alpha=0 should fail")
+	}
+	if _, err := BudgetForSupremum(0.5, 0.1, math.NaN()); err == nil {
+		t.Error("NaN alpha should fail")
+	}
+	if _, err := BudgetForSupremum(-0.5, 0.1, 1); err == nil {
+		t.Error("negative q should fail")
+	}
+}
+
+func TestBudgetForSupremumMatchesLossFixedPoint(t *testing.T) {
+	// Using the maximizing pair at the target alpha, eps =
+	// alpha - L(alpha) and the supremum search at that eps returns alpha.
+	qb := NewQuantifier(markov.Fig4aExample())
+	alpha := 0.9
+	res := qb.Loss(alpha)
+	eps, err := BudgetForSupremum(res.QSum, res.DSum, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eps-(alpha-res.Log)) > 1e-9 {
+		t.Errorf("eps = %v, want alpha - L(alpha) = %v", eps, alpha-res.Log)
+	}
+	sup, ok := Supremum(qb, eps)
+	if !ok {
+		t.Fatal("supremum should exist")
+	}
+	if math.Abs(sup-alpha) > 1e-6 {
+		t.Errorf("round-trip supremum = %v, want %v", sup, alpha)
+	}
+}

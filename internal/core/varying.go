@@ -1,0 +1,74 @@
+package core
+
+import "fmt"
+
+// This file extends the paper's recurrences to time-inhomogeneous
+// correlations: a different transition matrix per step. The paper
+// assumes a time-homogeneous chain (Section III-A) and mentions richer
+// correlation models as future work; the recurrences themselves only
+// ever evaluate the loss function of the transition between two
+// adjacent steps, so they generalize directly:
+//
+//	BPL(t) = L^B_t(BPL(t-1)) + eps_t
+//
+// where L^B_t is built from the backward transition matrix governing
+// the (t-1, t) step. The same Theorem-4 machinery applies per step.
+
+// BPLSeriesVarying computes backward privacy leakage when the backward
+// correlation differs per transition: qbs[t-1] quantifies the transition
+// into step t+1 (so len(qbs) = len(eps)-1; the first step has no
+// incoming transition). Nil entries mean no correlation is known for
+// that transition.
+func BPLSeriesVarying(qbs []*Quantifier, eps []float64) ([]float64, error) {
+	if err := validateBudgets(eps); err != nil {
+		return nil, err
+	}
+	if len(qbs) != len(eps)-1 {
+		return nil, fmt.Errorf("core: need %d transition quantifiers for %d steps, got %d",
+			len(eps)-1, len(eps), len(qbs))
+	}
+	out := make([]float64, len(eps))
+	out[0] = eps[0]
+	for t := 1; t < len(eps); t++ {
+		out[t] = qbs[t-1].LossValue(out[t-1]) + eps[t]
+	}
+	return out, nil
+}
+
+// FPLSeriesVarying mirrors BPLSeriesVarying for forward leakage:
+// qfs[t-1] quantifies the forward correlation of the (t, t+1)
+// transition (len(qfs) = len(eps)-1).
+func FPLSeriesVarying(qfs []*Quantifier, eps []float64) ([]float64, error) {
+	if err := validateBudgets(eps); err != nil {
+		return nil, err
+	}
+	if len(qfs) != len(eps)-1 {
+		return nil, fmt.Errorf("core: need %d transition quantifiers for %d steps, got %d",
+			len(eps)-1, len(eps), len(qfs))
+	}
+	T := len(eps)
+	out := make([]float64, T)
+	out[T-1] = eps[T-1]
+	for t := T - 2; t >= 0; t-- {
+		out[t] = qfs[t].LossValue(out[t+1]) + eps[t]
+	}
+	return out, nil
+}
+
+// TPLSeriesVarying combines the inhomogeneous backward and forward
+// series per Eq. (10)/(11).
+func TPLSeriesVarying(qbs, qfs []*Quantifier, eps []float64) ([]float64, error) {
+	bpl, err := BPLSeriesVarying(qbs, eps)
+	if err != nil {
+		return nil, err
+	}
+	fpl, err := FPLSeriesVarying(qfs, eps)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(eps))
+	for t := range out {
+		out[t] = bpl[t] + fpl[t] - eps[t]
+	}
+	return out, nil
+}

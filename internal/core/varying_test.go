@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/markov"
+)
+
+func TestVaryingReducesToHomogeneous(t *testing.T) {
+	// With the same quantifier at every transition, the inhomogeneous
+	// series must equal the homogeneous ones.
+	q := NewQuantifier(markov.ModerateExample())
+	eps := []float64{0.1, 0.2, 0.15, 0.3}
+	qs := []*Quantifier{q, q, q}
+	bplV, err := BPLSeriesVarying(qs, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpl, err := BPLSeries(q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bpl {
+		if math.Abs(bpl[i]-bplV[i]) > 1e-15 {
+			t.Errorf("BPL[%d]: %v vs %v", i, bplV[i], bpl[i])
+		}
+	}
+	fplV, err := FPLSeriesVarying(qs, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpl, err := FPLSeries(q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fpl {
+		if math.Abs(fpl[i]-fplV[i]) > 1e-15 {
+			t.Errorf("FPL[%d]: %v vs %v", i, fplV[i], fpl[i])
+		}
+	}
+	tplV, err := TPLSeriesVarying(qs, qs, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tplH, err := TPLSeries(q, q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tplH {
+		if math.Abs(tplH[i]-tplV[i]) > 1e-15 {
+			t.Errorf("TPL[%d]: %v vs %v", i, tplV[i], tplH[i])
+		}
+	}
+}
+
+func TestVaryingMixedCorrelations(t *testing.T) {
+	// A correlated transition followed by an uncorrelated one: the
+	// uncorrelated transition resets BPL accumulation to eps.
+	id, err := markov.IdentityChain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong := NewQuantifier(id)
+	eps := []float64{0.1, 0.1, 0.1}
+	bpl, err := BPLSeriesVarying([]*Quantifier{strong, nil}, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bpl[1]-0.2) > 1e-15 {
+		t.Errorf("BPL[2] = %v, want 0.2 (accumulated)", bpl[1])
+	}
+	if math.Abs(bpl[2]-0.1) > 1e-15 {
+		t.Errorf("BPL[3] = %v, want 0.1 (reset by the uncorrelated transition)", bpl[2])
+	}
+}
+
+func TestVaryingStrengtheningCorrelationMidStream(t *testing.T) {
+	// Day/night pattern: weak correlation by day, strong by night. The
+	// leakage during the strong segment must exceed the weak segment's.
+	weak := NewQuantifier(markov.Fig7Backward()) // moderate
+	id, err := markov.IdentityChain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong := NewQuantifier(id)
+	eps := UniformBudgets(0.1, 6)
+	qs := []*Quantifier{weak, weak, strong, strong, strong}
+	bpl, err := BPLSeriesVarying(qs, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// During the strong segment BPL grows by exactly eps per step.
+	for _, i := range []int{3, 4, 5} {
+		if math.Abs((bpl[i]-bpl[i-1])-0.1) > 1e-12 {
+			t.Errorf("strong segment step %d: increment %v, want 0.1", i, bpl[i]-bpl[i-1])
+		}
+	}
+	// During the weak segment the increment is below eps + full carryover.
+	if bpl[1] >= bpl[0]+0.1 {
+		t.Errorf("weak segment should not accumulate fully: %v -> %v", bpl[0], bpl[1])
+	}
+}
+
+func TestVaryingValidation(t *testing.T) {
+	q := NewQuantifier(markov.ModerateExample())
+	if _, err := BPLSeriesVarying([]*Quantifier{q}, []float64{0.1, 0.1, 0.1}); err == nil {
+		t.Error("wrong quantifier count should fail")
+	}
+	if _, err := FPLSeriesVarying(nil, []float64{0.1, 0.1}); err == nil {
+		t.Error("wrong quantifier count should fail")
+	}
+	if _, err := BPLSeriesVarying(nil, nil); err == nil {
+		t.Error("empty budgets should fail")
+	}
+	if _, err := TPLSeriesVarying([]*Quantifier{q}, []*Quantifier{}, []float64{0.1, 0.1}); err == nil {
+		t.Error("mismatched forward quantifiers should fail")
+	}
+	// Single step needs no quantifiers.
+	out, err := TPLSeriesVarying(nil, nil, []float64{0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0.4 {
+		t.Errorf("single step TPL = %v", out[0])
+	}
+}

@@ -1,0 +1,211 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lfp"
+	"repro/internal/markov"
+	"repro/internal/mechanism"
+	"repro/internal/release"
+)
+
+// AblationPlannersRow compares the three ways of guaranteeing
+// alpha-DP_T for one correlation strength: the group-DP bundle baseline
+// the paper argues against in Section I, Algorithm 2 (supremum bound)
+// and Algorithm 3 (exact quantification).
+type AblationPlannersRow struct {
+	S            float64
+	GroupNoise   float64 // E|noise| of the alpha/T bundle baseline
+	Alg2Noise    float64
+	Alg3Noise    float64
+	OptNoise     float64 // the local-search noise optimizer (beyond the paper)
+	GroupMaxTPL  float64 // realized worst-case leakage of each plan
+	Alg2MaxTPL   float64
+	Alg3MaxTPL   float64
+	OptMaxTPL    float64
+	FinePlanners bool // false when the correlation is too strong for Alg 2/3
+}
+
+// AblationPlanners sweeps correlation strength s and reports noise and
+// realized leakage for all three planners at target alpha over horizon
+// T. It quantifies the paper's Section I claim that the bundle approach
+// "may over-perturb the data" under probabilistic correlations: the
+// weaker the correlation, the larger the gap.
+func AblationPlanners(rng *rand.Rand, alpha float64, T, n int, ss []float64) ([]AblationPlannersRow, error) {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	var out []AblationPlannersRow
+	for _, s := range ss {
+		pb, err := markov.Smoothed(rng, n, s)
+		if err != nil {
+			return nil, err
+		}
+		pf, err := markov.Smoothed(rng, n, s)
+		if err != nil {
+			return nil, err
+		}
+		qb, qf := core.NewQuantifier(pb), core.NewQuantifier(pf)
+		row := AblationPlannersRow{S: s}
+
+		group, err := release.GroupPrivacy(alpha, T)
+		if err != nil {
+			return nil, err
+		}
+		gBudgets, err := group.Budgets(T)
+		if err != nil {
+			return nil, err
+		}
+		if row.GroupNoise, err = mechanism.MeanExpectedAbsNoise(1, gBudgets); err != nil {
+			return nil, err
+		}
+		if row.GroupMaxTPL, err = core.MaxTPL(qb, qf, gBudgets); err != nil {
+			return nil, err
+		}
+
+		// The noise optimizer applies in every regime (it starts from the
+		// group baseline when the fine planners refuse). One sweep keeps
+		// the ablation quick; the dedicated optimizer tests use the full
+		// budget.
+		opt0, err := release.OptimizeNoise(pb, pf, alpha, T, 1)
+		if err != nil {
+			return nil, err
+		}
+		opt0Budgets, err := opt0.Budgets(T)
+		if err != nil {
+			return nil, err
+		}
+		if row.OptNoise, err = mechanism.MeanExpectedAbsNoise(1, opt0Budgets); err != nil {
+			return nil, err
+		}
+		if row.OptMaxTPL, err = core.MaxTPL(qb, qf, opt0Budgets); err != nil {
+			return nil, err
+		}
+
+		ub, errUB := release.UpperBound(pb, pf, alpha)
+		qp, errQP := release.Quantified(pb, pf, alpha, T)
+		if errUB != nil || errQP != nil {
+			// Strongest correlation: only the bundle baseline applies.
+			out = append(out, row)
+			continue
+		}
+		row.FinePlanners = true
+		ubBudgets, err := ub.Budgets(T)
+		if err != nil {
+			return nil, err
+		}
+		if row.Alg2Noise, err = mechanism.MeanExpectedAbsNoise(1, ubBudgets); err != nil {
+			return nil, err
+		}
+		if row.Alg2MaxTPL, err = core.MaxTPL(qb, qf, ubBudgets); err != nil {
+			return nil, err
+		}
+		qpBudgets, err := qp.Budgets(T)
+		if err != nil {
+			return nil, err
+		}
+		if row.Alg3Noise, err = mechanism.MeanExpectedAbsNoise(1, qpBudgets); err != nil {
+			return nil, err
+		}
+		if row.Alg3MaxTPL, err = core.MaxTPL(qb, qf, qpBudgets); err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// AblationPlannersTable renders the sweep.
+func AblationPlannersTable(alpha float64, T int, rows []AblationPlannersRow) *Table {
+	tb := &Table{
+		Title: fmt.Sprintf("Ablation: group-DP bundle vs Algorithm 2 vs Algorithm 3 vs noise optimizer (alpha=%g, T=%d)", alpha, T),
+		Header: []string{"s", "group noise", "alg2 noise", "alg3 noise", "opt noise",
+			"group maxTPL", "alg2 maxTPL", "alg3 maxTPL", "opt maxTPL"},
+	}
+	for _, r := range rows {
+		if !r.FinePlanners {
+			tb.AddRow(fmt.Sprintf("%g", r.S), f(r.GroupNoise), "refused", "refused", f(r.OptNoise),
+				f(r.GroupMaxTPL), "-", "-", f(r.OptMaxTPL))
+			continue
+		}
+		tb.AddRow(fmt.Sprintf("%g", r.S),
+			f(r.GroupNoise), f(r.Alg2Noise), f(r.Alg3Noise), f(r.OptNoise),
+			f(r.GroupMaxTPL), f(r.Alg2MaxTPL), f(r.Alg3MaxTPL), f(r.OptMaxTPL))
+	}
+	tb.Notes = append(tb.Notes,
+		"the bundle baseline is sound for any correlation and near-optimal under the strongest;",
+		"the fine planners win under weaker correlation and longer horizons, where alpha/T over-perturbs",
+		"'refused' marks the strongest correlation, where only the bundle approach is sound")
+	return tb
+}
+
+// AblationSolverRow is one timing/agreement measurement of the three
+// LFP solver routes on a single row pair.
+type AblationSolverRow struct {
+	N          int
+	Alpha      float64
+	Alg1       time.Duration
+	Dinkelbach time.Duration
+	Simplex    time.Duration
+	MaxDiff    float64 // worst absolute disagreement of the three optima (log scale)
+}
+
+// AblationSolvers times Algorithm 1's closed-form filter, Dinkelbach's
+// parametric iteration and the Charnes-Cooper simplex on the same
+// random row pair per n, and verifies the three agree.
+func AblationSolvers(rng *rand.Rand, ns []int, alpha float64) ([]AblationSolverRow, error) {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	var out []AblationSolverRow
+	for _, n := range ns {
+		c, err := markov.UniformRandom(rng, n)
+		if err != nil {
+			return nil, err
+		}
+		q, d := c.Row(0), c.Row(1)
+		row := AblationSolverRow{N: n, Alpha: alpha}
+
+		start := time.Now()
+		v1 := core.PairLoss(q, d, alpha).Log
+		row.Alg1 = time.Since(start)
+
+		prob := &lfp.Problem{Q: q, D: d, Alpha: alpha}
+		start = time.Now()
+		v2, err := prob.LogDinkelbach()
+		if err != nil {
+			return nil, err
+		}
+		row.Dinkelbach = time.Since(start)
+
+		start = time.Now()
+		ratio, err := prob.SolveLP()
+		if err != nil {
+			return nil, err
+		}
+		row.Simplex = time.Since(start)
+		v3 := logOf(ratio)
+
+		row.MaxDiff = maxAbsDiff3(v1, v2, v3)
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// AblationSolversTable renders the solver comparison.
+func AblationSolversTable(alpha float64, rows []AblationSolverRow) *Table {
+	tb := &Table{
+		Title:  fmt.Sprintf("Ablation: per-pair LFP solver routes (alpha=%g)", alpha),
+		Header: []string{"n", "Algorithm 1", "Dinkelbach", "simplex-LP", "max disagreement"},
+	}
+	for _, r := range rows {
+		tb.AddRow(fmt.Sprintf("%d", r.N), r.Alg1.String(), r.Dinkelbach.String(),
+			r.Simplex.String(), fmt.Sprintf("%.2e", r.MaxDiff))
+	}
+	tb.Notes = append(tb.Notes,
+		"all three routes solve the same linear-fractional program (18)-(20); Theorem 4's closed form wins by construction")
+	return tb
+}

@@ -1,0 +1,120 @@
+package expt
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestAblationPlannersCrossover(t *testing.T) {
+	// The honest version of the paper's Section I comparison. The
+	// group-DP bundle (eps = alpha/T uniformly) is sound for any
+	// correlation and is actually near-optimal under the strongest
+	// ones — there, leakage composes ~linearly and the bundle split is
+	// exactly right. The fine planners win where the paper says they
+	// do: under *probabilistic* (weaker) correlations and longer
+	// horizons, where alpha/T massively over-perturbs while the
+	// supremum-aware budgets stay O(1) per step.
+	rng := rand.New(rand.NewSource(91))
+	const alpha, T = 2.0, 50
+	rows, err := AblationPlanners(rng, alpha, T, 10, []float64{0.01, 0.1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.FinePlanners {
+			t.Fatalf("s=%v: fine planners refused unexpectedly", r.S)
+		}
+		// Soundness: every plan keeps realized leakage within alpha.
+		for name, v := range map[string]float64{
+			"group": r.GroupMaxTPL, "alg2": r.Alg2MaxTPL, "alg3": r.Alg3MaxTPL,
+		} {
+			if v > alpha+1e-9 {
+				t.Errorf("s=%v: %s leaks %v > alpha", r.S, name, v)
+			}
+		}
+	}
+	// Under weak correlation and a long horizon, the bundle baseline
+	// over-perturbs badly: group noise = T/alpha = 25, while the fine
+	// planners stay near the uncorrelated floor 1/alpha.
+	weak := rows[2]
+	if weak.Alg3Noise >= weak.GroupNoise {
+		t.Errorf("s=1: alg3 noise %v should beat the bundle's %v", weak.Alg3Noise, weak.GroupNoise)
+	}
+	if weak.GroupNoise/weak.Alg3Noise < 5 {
+		t.Errorf("s=1,T=50: expected a large over-perturbation factor, got %vx",
+			weak.GroupNoise/weak.Alg3Noise)
+	}
+	// The optimizer never does worse than Algorithm 3 and stays sound.
+	for _, r := range rows {
+		if r.OptNoise > r.Alg3Noise+1e-9 {
+			t.Errorf("s=%v: optimizer noise %v above alg3 %v", r.S, r.OptNoise, r.Alg3Noise)
+		}
+		if r.OptMaxTPL > alpha+1e-6 {
+			t.Errorf("s=%v: optimizer leaks %v > alpha", r.S, r.OptMaxTPL)
+		}
+	}
+	// The over-perturbation ratio grows as correlation weakens.
+	gapStrong := rows[0].GroupNoise / rows[0].Alg3Noise
+	gapWeak := rows[2].GroupNoise / rows[2].Alg3Noise
+	if gapWeak <= gapStrong {
+		t.Errorf("bundle over-perturbation should widen with s: %v vs %v", gapStrong, gapWeak)
+	}
+}
+
+func TestAblationPlannersStrongestRefused(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	rows, err := AblationPlanners(rng, 1, 5, 8, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].FinePlanners {
+		t.Error("s=0 (strongest) should refuse the fine planners")
+	}
+	if rows[0].GroupMaxTPL > 1+1e-9 {
+		t.Errorf("bundle baseline leaks %v > alpha even at s=0", rows[0].GroupMaxTPL)
+	}
+	var buf bytes.Buffer
+	if err := AblationPlannersTable(1, 5, rows).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "refused") {
+		t.Error("table should mark the refusal")
+	}
+}
+
+func TestAblationSolversAgreeAndRender(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	rows, err := AblationSolvers(rng, []int{5, 10, 20}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.MaxDiff > 1e-6 {
+			t.Errorf("n=%d: solver routes disagree by %v", r.N, r.MaxDiff)
+		}
+		if r.Alg1 <= 0 || r.Dinkelbach <= 0 || r.Simplex <= 0 {
+			t.Errorf("n=%d: non-positive timing", r.N)
+		}
+	}
+	var buf bytes.Buffer
+	if err := AblationSolversTable(3, rows).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Dinkelbach") {
+		t.Error("table missing solver column")
+	}
+}
+
+func TestUtilHelpers(t *testing.T) {
+	if logOf(0.5) != 0 {
+		t.Error("logOf should clamp sub-1 ratios")
+	}
+	if got := maxAbsDiff3(1, 4, 2); got != 3 {
+		t.Errorf("maxAbsDiff3 = %v", got)
+	}
+}

@@ -1,0 +1,407 @@
+package expt
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tb := &Table{
+		Title:  "demo",
+		Header: []string{"a", "b"},
+		Notes:  []string{"n1"},
+	}
+	tb.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "a", "1", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "a,b\n1,2\n" {
+		t.Errorf("csv = %q", got)
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	r, err := Fig3(0.1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strong correlation: linear growth, BPL(10) = 1.0.
+	if math.Abs(r.BPL[0][9]-1.0) > 1e-9 {
+		t.Errorf("strong BPL(10) = %v, want 1.0", r.BPL[0][9])
+	}
+	// Paper's printed moderate values.
+	wantBPL := []float64{0.10, 0.18, 0.25, 0.30, 0.35, 0.39, 0.42, 0.45, 0.48, 0.50}
+	for i, w := range wantBPL {
+		if math.Abs(r.BPL[1][i]-w) > 0.005 {
+			t.Errorf("moderate BPL[%d] = %v, paper %v", i+1, r.BPL[1][i], w)
+		}
+	}
+	// No correlation: flat at eps.
+	for i, v := range r.TPL[2] {
+		if math.Abs(v-0.1) > 1e-12 {
+			t.Errorf("uncorrelated TPL[%d] = %v", i+1, v)
+		}
+	}
+	// TPL peaks mid-timeline for the moderate case.
+	if r.TPL[1][4] <= r.TPL[1][0] {
+		t.Error("moderate TPL should peak mid-timeline")
+	}
+	if _, err := Fig3(0.1, 0); err == nil {
+		t.Error("T=0 should fail")
+	}
+	tables := r.Tables()
+	if len(tables) != 3 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	var buf bytes.Buffer
+	if err := tables[2].Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.64") {
+		t.Error("TPL table should contain the paper's peak value 0.64")
+	}
+}
+
+func TestFig4Shapes(t *testing.T) {
+	panels, err := Fig4(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 4 {
+		t.Fatalf("%d panels", len(panels))
+	}
+	// (a) and (c) have suprema; (b) and (d) do not.
+	if !panels[0].HasSupremum || !panels[2].HasSupremum {
+		t.Error("panels (a), (c) should have suprema")
+	}
+	if panels[1].HasSupremum || panels[3].HasSupremum {
+		t.Error("panels (b), (d) should not have suprema")
+	}
+	// Paper magnitudes: (a) ~0.8, (c) ~1.2.
+	if panels[0].Supremum < 0.7 || panels[0].Supremum > 0.9 {
+		t.Errorf("panel (a) supremum = %v, paper ~0.8", panels[0].Supremum)
+	}
+	if panels[2].Supremum < 1.1 || panels[2].Supremum > 1.3 {
+		t.Errorf("panel (c) supremum = %v, paper ~1.2", panels[2].Supremum)
+	}
+	// (d): BPL at t=100 is 100*eps = 23.
+	if math.Abs(panels[3].BPL[99]-23) > 1e-9 {
+		t.Errorf("panel (d) BPL(100) = %v, want 23", panels[3].BPL[99])
+	}
+	if v := Fig4Verify(panels); v > 1e-6 {
+		t.Errorf("Fig4Verify worst violation = %v", v)
+	}
+	tb := Fig4Table(panels)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "none") {
+		t.Error("table should mark missing suprema")
+	}
+	if _, err := Fig4(0); err == nil {
+		t.Error("T=0 should fail")
+	}
+}
+
+func TestFig5SolversAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for _, n := range []int{3, 5, 8} {
+		diff, err := Fig5AgreementCheck(rng, n, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff > 1e-6 {
+			t.Errorf("n=%d: solvers disagree by %v", n, diff)
+		}
+	}
+}
+
+func TestFig5NShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	pts, err := Fig5N(rng, []int{10, 20}, []int{4, 6}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// Algorithm 1 at n=20 must be far faster than simplex at n=6 per
+	// unit problem... at minimum, all measurements are positive and the
+	// losses are finite.
+	for _, p := range pts {
+		if p.Elapsed <= 0 {
+			t.Errorf("%s n=%d: non-positive elapsed", p.Solver, p.N)
+		}
+		if math.IsNaN(p.Loss) || p.Loss < 0 {
+			t.Errorf("%s n=%d: bad loss %v", p.Solver, p.N, p.Loss)
+		}
+	}
+	tb := Fig5Table("fig5", pts)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Algorithm 1") {
+		t.Error("table missing solver name")
+	}
+}
+
+func TestFig5AlphaRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	pts, err := Fig5Alpha(rng, []float64{0.01, 1, 10}, 12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("%d points", len(pts))
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(58))
+	configs := []Fig6Config{
+		{S: 0, N: 20, Eps: 1},
+		{S: 0.005, N: 20, Eps: 1},
+		{S: 0.05, N: 20, Eps: 1},
+	}
+	curves, err := Fig6(rng, configs, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strongest correlation grows linearly: BPL(15) = 15.
+	if math.Abs(curves[0].BPL[14]-15) > 1e-9 {
+		t.Errorf("s=0 BPL(15) = %v, want 15", curves[0].BPL[14])
+	}
+	// Stronger correlation leaks more at every time point after the first.
+	for t2 := 1; t2 < 15; t2++ {
+		if curves[1].BPL[t2] < curves[2].BPL[t2]-1e-9 {
+			t.Errorf("t=%d: s=0.005 leak %v below s=0.05 leak %v",
+				t2+1, curves[1].BPL[t2], curves[2].BPL[t2])
+		}
+		if curves[0].BPL[t2] < curves[1].BPL[t2]-1e-9 {
+			t.Errorf("t=%d: s=0 leak below s=0.005", t2+1)
+		}
+	}
+	tb := Fig6Table(1, curves)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fig6(rng, configs, 0); err == nil {
+		t.Error("T=0 should fail")
+	}
+}
+
+func TestFig6DefaultConfigs(t *testing.T) {
+	configs := Fig6DefaultConfigs(0.1)
+	if len(configs) != 4 {
+		t.Fatalf("%d configs", len(configs))
+	}
+	for _, c := range configs {
+		if c.Eps != 0.1 {
+			t.Errorf("config eps = %v", c.Eps)
+		}
+	}
+	// The paper's panel: s=0 strongest, s=0.005 at two sizes, s=0.05.
+	if configs[0].S != 0 || configs[2].N != 200 {
+		t.Errorf("configs = %+v", configs)
+	}
+	if got := configs[1].Name(); got != "s=0.005 (n=50)" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestFig6LargerNLeaksLess(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	curves, err := Fig6(rng, []Fig6Config{
+		{S: 0.005, N: 20, Eps: 1},
+		{S: 0.005, N: 100, Eps: 1},
+	}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under the same s, larger n means weaker effective correlation.
+	last := len(curves[0].BPL) - 1
+	if curves[1].BPL[last] >= curves[0].BPL[last] {
+		t.Errorf("n=100 leak %v should be below n=20 leak %v",
+			curves[1].BPL[last], curves[0].BPL[last])
+	}
+}
+
+func TestFig6SmallerEpsDelaysGrowth(t *testing.T) {
+	// Paper: 0.1-DP delays the growth ~10x vs 1-DP. Compare the time to
+	// reach half the (approximate) plateau.
+	rng1 := rand.New(rand.NewSource(60))
+	c1, err := Fig6(rng1, []Fig6Config{{S: 0.05, N: 20, Eps: 1}}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng2 := rand.New(rand.NewSource(60))
+	c2, err := Fig6(rng2, []Fig6Config{{S: 0.05, N: 20, Eps: 0.1}}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach := func(bpl []float64, level float64) int {
+		for i, v := range bpl {
+			if v >= level {
+				return i + 1
+			}
+		}
+		return len(bpl) + 1
+	}
+	plateau1 := c1[0].BPL[len(c1[0].BPL)-1]
+	t1 := reach(c1[0].BPL, plateau1/2)
+	t2 := reach(c2[0].BPL, plateau1/2)
+	if t2 <= t1 {
+		t.Errorf("eps=0.1 reached half-plateau at t=%d, not later than eps=1 at t=%d", t2, t1)
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	r, err := Fig7(1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Algorithm 3 holds TPL = alpha at every time point.
+	for i, v := range r.Alg3TPL {
+		if math.Abs(v-1) > 1e-9 {
+			t.Errorf("alg3 TPL[%d] = %v, want 1", i+1, v)
+		}
+	}
+	// Algorithm 2 never exceeds alpha and stays strictly below early on.
+	for i, v := range r.Alg2TPL {
+		if v > 1+1e-9 {
+			t.Errorf("alg2 TPL[%d] = %v exceeds alpha", i+1, v)
+		}
+	}
+	if r.Alg2TPL[0] >= 1-1e-6 {
+		t.Error("alg2 should underspend at t=1 for short horizons")
+	}
+	// Algorithm 3's first/last budgets exceed its middle budget.
+	if r.Alg3Budget[0] <= r.Alg3Budget[1] || r.Alg3Budget[29] <= r.Alg3Budget[15] {
+		t.Error("alg3 edge budgets should exceed middle")
+	}
+	var buf bytes.Buffer
+	if err := r.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig8TShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	pts, err := Fig8T(rng, 2, 0.001, 20, []int{5, 10, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// For every T, Algorithm 3 is at least as good (not noisier).
+	for i := 0; i+1 < len(pts); i += 2 {
+		if pts[i+1].Noise > pts[i].Noise+1e-9 {
+			t.Errorf("T=%d: alg3 noise %v exceeds alg2 %v", pts[i].T, pts[i+1].Noise, pts[i].Noise)
+		}
+	}
+	// The gap shrinks as T grows: alg3's advantage at T=5 exceeds at T=50.
+	gap5 := pts[0].Noise - pts[1].Noise
+	gap50 := pts[4].Noise - pts[5].Noise
+	if gap50 > gap5 {
+		t.Errorf("advantage should shrink with T: gap5=%v gap50=%v", gap5, gap50)
+	}
+	tb, err := Fig8Table("fig8a", "T", pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig8SShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	pts, ref, err := Fig8S(rng, 2, 10, 20, []float64{0.01, 0.1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ref-0.5) > 1e-12 {
+		t.Errorf("no-correlation reference = %v, want 1/alpha", ref)
+	}
+	// Noise decays as correlation weakens, approaching the reference.
+	alg2 := []float64{pts[0].Noise, pts[2].Noise, pts[4].Noise}
+	for i := 1; i < len(alg2); i++ {
+		if alg2[i] > alg2[i-1]+1e-9 {
+			t.Errorf("alg2 noise should decrease with s: %v", alg2)
+		}
+	}
+	if alg2[2] < ref-1e-9 {
+		t.Errorf("noise %v below the no-correlation floor %v", alg2[2], ref)
+	}
+	tb, err := Fig8Table("fig8b", "s", pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fig8Table("x", "bogus", pts); err == nil {
+		t.Error("unknown sweep key should fail")
+	}
+	if _, err := Fig8Table("x", "s", pts[:1]); err == nil {
+		t.Error("odd point count should fail")
+	}
+}
+
+func TestTableIIValues(t *testing.T) {
+	r, err := TableII(fig7BackwardForTest(), 0.1, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IndepEvent != 0.1 || math.Abs(r.IndepWEvent-0.3) > 1e-12 || math.Abs(r.IndepUser-1.0) > 1e-12 {
+		t.Errorf("independent column wrong: %+v", r)
+	}
+	if r.CorrEvent <= r.IndepEvent {
+		t.Error("correlated event-level should exceed eps")
+	}
+	if r.CorrWEvent <= r.IndepWEvent {
+		t.Error("correlated w-event should exceed w*eps")
+	}
+	if math.Abs(r.CorrUser-r.IndepUser) > 1e-12 {
+		t.Error("user-level must be unchanged by correlation (Corollary 1)")
+	}
+	var buf bytes.Buffer
+	if err := r.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TableII(fig7BackwardForTest(), 0.1, 5, 9); err == nil {
+		t.Error("w > T should fail")
+	}
+}
+
+func TestPrintPoint(t *testing.T) {
+	if !printPoint(1, 100) || !printPoint(10, 100) || !printPoint(100, 100) {
+		t.Error("must print early points and the last")
+	}
+	if printPoint(11, 100) || !printPoint(20, 100) {
+		t.Error("should decimate to every 10th after t=10")
+	}
+	if !printPoint(7, 15) {
+		t.Error("short series print everything")
+	}
+}

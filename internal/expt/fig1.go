@@ -1,0 +1,87 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/matrix"
+	"repro/internal/mechanism"
+	"repro/internal/trace"
+)
+
+// Fig1Result materializes the paper's opening figure: users walking the
+// Fig. 1(b) road network, their per-location true counts (Fig. 1(c)),
+// the Laplace-perturbed private counts (Fig. 1(d)), and the leakage
+// the deterministic road implies.
+type Fig1Result struct {
+	Users, T int
+	Eps      float64
+	// Locations[t][u] is user u's location at time t (Fig. 1(a)).
+	Locations [][]int
+	// True[t] and Private[t] are the count histograms (Fig. 1(c), (d)).
+	True    [][]int
+	Private [][]float64
+}
+
+// Fig1 simulates the scenario: users users walking the road network for
+// T steps, counts released with Lap(1/eps) per location.
+func Fig1(rng *rand.Rand, users, T int, eps float64) (*Fig1Result, error) {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	if users < 1 || T < 1 {
+		return nil, fmt.Errorf("expt: need positive users and T, got %d, %d", users, T)
+	}
+	net := trace.Fig1Network()
+	chain, err := net.UniformChain()
+	if err != nil {
+		return nil, err
+	}
+	pop, err := trace.NewPopulation(chain, users, matrix.Uniform(net.N()), rng)
+	if err != nil {
+		return nil, err
+	}
+	locs, counts, err := pop.Run(T)
+	if err != nil {
+		return nil, err
+	}
+	lap, err := mechanism.NewLaplace(eps, mechanism.CountSensitivity, rng)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig1Result{Users: users, T: T, Eps: eps, Locations: locs, True: counts}
+	for t := 0; t < T; t++ {
+		res.Private = append(res.Private, lap.ReleaseCounts(counts[t]))
+	}
+	return res, nil
+}
+
+// Tables renders the true-counts and private-counts panels.
+func (r *Fig1Result) Tables() []*Table {
+	locNames := []string{"loc1", "loc2", "loc3", "loc4", "loc5"}
+	trueTb := &Table{
+		Title:  fmt.Sprintf("Fig 1(c): true counts (%d users on the road network)", r.Users),
+		Header: []string{"location"},
+	}
+	privTb := &Table{
+		Title:  fmt.Sprintf("Fig 1(d): private counts (Laplace, eps=%g per count)", r.Eps),
+		Header: []string{"location"},
+	}
+	for t := 1; t <= r.T; t++ {
+		trueTb.Header = append(trueTb.Header, fmt.Sprintf("t=%d", t))
+		privTb.Header = append(privTb.Header, fmt.Sprintf("t=%d", t))
+	}
+	for l := 0; l < 5; l++ {
+		rowT := []string{locNames[l]}
+		rowP := []string{locNames[l]}
+		for t := 0; t < r.T; t++ {
+			rowT = append(rowT, fmt.Sprintf("%d", r.True[t][l]))
+			rowP = append(rowP, fmt.Sprintf("%.1f", r.Private[t][l]))
+		}
+		trueTb.AddRow(rowT...)
+		privTb.AddRow(rowP...)
+	}
+	trueTb.Notes = append(trueTb.Notes,
+		"everyone at loc4 is at loc5 next step: the pattern an adversary exploits (Example 1)")
+	return []*Table{trueTb, privTb}
+}

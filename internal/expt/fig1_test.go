@@ -1,0 +1,71 @@
+package expt
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFig1Consistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	r, err := Fig1(rng, 30, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.True) != 5 || len(r.Private) != 5 || len(r.Locations) != 5 {
+		t.Fatal("wrong horizon")
+	}
+	for tm := 0; tm < 5; tm++ {
+		total := 0
+		for _, c := range r.True[tm] {
+			total += c
+		}
+		if total != 30 {
+			t.Errorf("t=%d: counts sum to %d", tm, total)
+		}
+		if len(r.Private[tm]) != 5 {
+			t.Errorf("t=%d: %d private cells", tm, len(r.Private[tm]))
+		}
+	}
+	// The deterministic road: loc5 at t+1 >= loc4 at t.
+	for tm := 0; tm+1 < 5; tm++ {
+		if r.True[tm+1][4] < r.True[tm][3] {
+			t.Errorf("t=%d: road constraint violated", tm)
+		}
+	}
+}
+
+func TestFig1Tables(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	r, err := Fig1(rng, 10, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := r.Tables()
+	if len(tables) != 2 {
+		t.Fatalf("%d tables", len(tables))
+	}
+	var buf bytes.Buffer
+	for _, tb := range tables {
+		if err := tb.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "loc5") || !strings.Contains(out, "Fig 1(d)") {
+		t.Errorf("tables incomplete:\n%s", out)
+	}
+}
+
+func TestFig1Validation(t *testing.T) {
+	if _, err := Fig1(nil, 0, 5, 1); err == nil {
+		t.Error("0 users should fail")
+	}
+	if _, err := Fig1(nil, 5, 0, 1); err == nil {
+		t.Error("T=0 should fail")
+	}
+	if _, err := Fig1(nil, 5, 5, 0); err == nil {
+		t.Error("eps=0 should fail")
+	}
+}

@@ -1,0 +1,82 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/markov"
+)
+
+// Fig3Result holds the three leakage series of Fig. 3 for the three
+// correlation settings (i) strong, (ii) moderate, (iii) none.
+type Fig3Result struct {
+	Eps float64
+	T   int
+	// Indexed [setting][time]; setting 0 = strong, 1 = moderate, 2 = none.
+	BPL, FPL, TPL [3][]float64
+}
+
+// Fig3SettingNames are the row labels of the figure.
+var Fig3SettingNames = [3]string{"strong", "moderate", "none"}
+
+// Fig3 reproduces Fig. 3: the backward, forward and total temporal
+// privacy leakage of an eps-DP Laplace mechanism at each of T time
+// points, under (i) the strongest temporal correlation (the identity
+// chain of Example 2), (ii) the paper's moderate matrix (0.8 0.2; 0 1),
+// and (iii) no temporal correlation. The paper plots eps = 0.1, T = 10.
+func Fig3(eps float64, T int) (*Fig3Result, error) {
+	if T < 1 {
+		return nil, fmt.Errorf("expt: T must be positive, got %d", T)
+	}
+	id, err := markov.IdentityChain(2)
+	if err != nil {
+		return nil, err
+	}
+	chains := []*markov.Chain{id, markov.ModerateExample(), nil}
+	res := &Fig3Result{Eps: eps, T: T}
+	budgets := core.UniformBudgets(eps, T)
+	for i, c := range chains {
+		q := core.NewQuantifier(c)
+		if res.BPL[i], err = core.BPLSeries(q, budgets); err != nil {
+			return nil, err
+		}
+		if res.FPL[i], err = core.FPLSeries(q, budgets); err != nil {
+			return nil, err
+		}
+		if res.TPL[i], err = core.TPLSeries(q, q, budgets); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Tables renders the three panels (a) BPL, (b) FPL, (c) TPL.
+func (r *Fig3Result) Tables() []*Table {
+	panels := []struct {
+		name string
+		data *[3][]float64
+	}{
+		{"Fig 3(a) Backward Privacy Leakage", &r.BPL},
+		{"Fig 3(b) Forward Privacy Leakage", &r.FPL},
+		{"Fig 3(c) Temporal Privacy Leakage", &r.TPL},
+	}
+	out := make([]*Table, 0, len(panels))
+	for _, p := range panels {
+		tb := &Table{
+			Title:  fmt.Sprintf("%s of Lap(1/%g) at each time point", p.name, r.Eps),
+			Header: []string{"t"},
+		}
+		for _, name := range Fig3SettingNames {
+			tb.Header = append(tb.Header, name)
+		}
+		for t := 0; t < r.T; t++ {
+			row := []string{fmt.Sprintf("%d", t+1)}
+			for s := 0; s < 3; s++ {
+				row = append(row, f2(p.data[s][t]))
+			}
+			tb.AddRow(row...)
+		}
+		out = append(out, tb)
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/markov"
+)
+
+// Fig4Config is one panel of Fig. 4: a backward correlation matrix and a
+// per-step budget.
+type Fig4Config struct {
+	Name  string
+	Chain *markov.Chain
+	Eps   float64
+}
+
+// Fig4Panel is the computed series and supremum of one panel.
+type Fig4Panel struct {
+	Config      Fig4Config
+	BPL         []float64
+	Supremum    float64
+	HasSupremum bool
+}
+
+// Fig4Configs returns the paper's four panels:
+//
+//	(a) P = (0.8 0.2; 0.1 0.9), eps = 0.23 - supremum exists (d != 0)
+//	(b) P = (0.8 0.2; 0 1),     eps = 0.23 - no supremum (eps > log(1/q))
+//	(c) P = (0.8 0.2; 0 1),     eps = 0.15 - supremum exists (d = 0 case)
+//	(d) P = identity,           eps = 0.23 - no supremum (strongest)
+func Fig4Configs() []Fig4Config {
+	id, err := markov.IdentityChain(2)
+	if err != nil {
+		panic(err) // 2-state identity cannot fail
+	}
+	return []Fig4Config{
+		{Name: "(a) q=0.8,d=0.1 eps=0.23", Chain: markov.Fig4aExample(), Eps: 0.23},
+		{Name: "(b) q=0.8,d=0 eps=0.23", Chain: markov.ModerateExample(), Eps: 0.23},
+		{Name: "(c) q=0.8,d=0 eps=0.15", Chain: markov.ModerateExample(), Eps: 0.15},
+		{Name: "(d) q=1,d=0 eps=0.23", Chain: id, Eps: 0.23},
+	}
+}
+
+// Fig4 computes the maximum BPL over t = 1..T for each config and the
+// Theorem 5 supremum where it exists. The paper plots T = 100.
+func Fig4(T int) ([]Fig4Panel, error) {
+	if T < 1 {
+		return nil, fmt.Errorf("expt: T must be positive, got %d", T)
+	}
+	var out []Fig4Panel
+	for _, cfg := range Fig4Configs() {
+		q := core.NewQuantifier(cfg.Chain)
+		bpl, err := core.BPLSeries(q, core.UniformBudgets(cfg.Eps, T))
+		if err != nil {
+			return nil, err
+		}
+		sup, ok := core.Supremum(q, cfg.Eps)
+		out = append(out, Fig4Panel{Config: cfg, BPL: bpl, Supremum: sup, HasSupremum: ok})
+	}
+	return out, nil
+}
+
+// Fig4Table renders the panels at a decimated set of time points plus
+// the supremum line.
+func Fig4Table(panels []Fig4Panel) *Table {
+	tb := &Table{
+		Title:  "Fig 4: maximum BPL over time and Theorem-5 suprema",
+		Header: []string{"t"},
+	}
+	for _, p := range panels {
+		tb.Header = append(tb.Header, p.Config.Name)
+	}
+	T := len(panels[0].BPL)
+	for t := 0; t < T; t++ {
+		// Decimate long series: print powers-of-two-ish checkpoints.
+		if !printPoint(t+1, T) {
+			continue
+		}
+		row := []string{fmt.Sprintf("%d", t+1)}
+		for _, p := range panels {
+			row = append(row, f2(p.BPL[t]))
+		}
+		tb.AddRow(row...)
+	}
+	row := []string{"sup"}
+	for _, p := range panels {
+		if p.HasSupremum {
+			row = append(row, f2(p.Supremum))
+		} else {
+			row = append(row, "none")
+		}
+	}
+	tb.AddRow(row...)
+	tb.Notes = append(tb.Notes,
+		"panels (a) and (c) saturate at the supremum; (b) and (d) grow without bound")
+	return tb
+}
+
+// printPoint decides which time points to print for long series: all of
+// the first 10, then every 10th, plus the last.
+func printPoint(t, T int) bool {
+	if T <= 20 || t <= 10 || t == T {
+		return true
+	}
+	return t%10 == 0
+}
+
+// Fig4Verify cross-checks each panel: the recurrence never exceeds an
+// existing supremum and approaches it within tol by time T. It returns
+// the worst violation (0 when all good).
+func Fig4Verify(panels []Fig4Panel) float64 {
+	worst := 0.0
+	for _, p := range panels {
+		if !p.HasSupremum {
+			continue
+		}
+		last := p.BPL[len(p.BPL)-1]
+		if over := last - p.Supremum; over > worst {
+			worst = over
+		}
+		if gap := p.Supremum - last; gap > 0.02 && gap > worst {
+			worst = gap
+		}
+	}
+	return math.Max(worst, 0)
+}

@@ -1,0 +1,136 @@
+package expt
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/markov"
+	"repro/internal/mechanism"
+	"repro/internal/release"
+)
+
+// Fig8Point is one bar of Fig. 8: the mean expected absolute Laplace
+// noise of a release plan (lower is better).
+type Fig8Point struct {
+	Algorithm string // "Algorithm 2" or "Algorithm 3"
+	T         int
+	S         float64
+	Noise     float64
+}
+
+// fig8Chains generates the backward and forward correlations for one
+// Fig. 8 cell: two independent smoothed strongest matrices with the same
+// smoothing parameter s (Section VI-C tests "backward and forward
+// temporal correlation both with parameter s").
+func fig8Chains(rng *rand.Rand, n int, s float64) (pb, pf *markov.Chain, err error) {
+	if pb, err = markov.Smoothed(rng, n, s); err != nil {
+		return nil, nil, err
+	}
+	if pf, err = markov.Smoothed(rng, n, s); err != nil {
+		return nil, nil, err
+	}
+	return pb, pf, nil
+}
+
+// Fig8T reproduces Fig. 8(a): utility of the two algorithms at target
+// alpha under strong correlation (the paper: alpha = 2, s = 0.001,
+// n = 50) as the release length T varies over {5, 10, 50}.
+func Fig8T(rng *rand.Rand, alpha, s float64, n int, Ts []int) ([]Fig8Point, error) {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	pb, pf, err := fig8Chains(rng, n, s)
+	if err != nil {
+		return nil, err
+	}
+	ub, err := release.UpperBound(pb, pf, alpha)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig8Point
+	for _, T := range Ts {
+		// Algorithm 2 ignores T: constant budget, constant noise.
+		noise2 := 1 / ub.Eps
+		out = append(out, Fig8Point{Algorithm: "Algorithm 2", T: T, S: s, Noise: noise2})
+
+		qp, err := release.Quantified(pb, pf, alpha, T)
+		if err != nil {
+			return nil, err
+		}
+		budgets, err := qp.Budgets(T)
+		if err != nil {
+			return nil, err
+		}
+		noise3, err := mechanism.MeanExpectedAbsNoise(1, budgets)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig8Point{Algorithm: "Algorithm 3", T: T, S: s, Noise: noise3})
+	}
+	return out, nil
+}
+
+// Fig8S reproduces Fig. 8(b): utility at fixed T (10 in the paper) as
+// the correlation strength s varies over {0.01, 0.1, 1}, plus the
+// no-correlation reference noise 1/alpha.
+func Fig8S(rng *rand.Rand, alpha float64, T, n int, ss []float64) ([]Fig8Point, float64, error) {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	var out []Fig8Point
+	for _, s := range ss {
+		pb, pf, err := fig8Chains(rng, n, s)
+		if err != nil {
+			return nil, 0, err
+		}
+		ub, err := release.UpperBound(pb, pf, alpha)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, Fig8Point{Algorithm: "Algorithm 2", T: T, S: s, Noise: 1 / ub.Eps})
+
+		qp, err := release.Quantified(pb, pf, alpha, T)
+		if err != nil {
+			return nil, 0, err
+		}
+		budgets, err := qp.Budgets(T)
+		if err != nil {
+			return nil, 0, err
+		}
+		noise3, err := mechanism.MeanExpectedAbsNoise(1, budgets)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, Fig8Point{Algorithm: "Algorithm 3", T: T, S: s, Noise: noise3})
+	}
+	// Dashed reference line: Laplace noise with no temporal correlation.
+	return out, 1 / alpha, nil
+}
+
+// Fig8Table renders points keyed by the sweep variable.
+func Fig8Table(title, key string, points []Fig8Point) (*Table, error) {
+	tb := &Table{
+		Title:  title,
+		Header: []string{key, "Algorithm 2", "Algorithm 3"},
+	}
+	// Points arrive in pairs (alg2, alg3) per sweep value.
+	if len(points)%2 != 0 {
+		return nil, errors.New("expt: expected alg2/alg3 point pairs")
+	}
+	for i := 0; i+1 < len(points); i += 2 {
+		var label string
+		switch key {
+		case "T":
+			label = fmt.Sprintf("%d", points[i].T)
+		case "s":
+			label = fmt.Sprintf("%g", points[i].S)
+		default:
+			return nil, fmt.Errorf("expt: unknown sweep key %q", key)
+		}
+		tb.AddRow(label, f(points[i].Noise), f(points[i+1].Noise))
+	}
+	tb.Notes = append(tb.Notes,
+		"cells are mean E|Laplace noise| per released count; lower is better")
+	return tb, nil
+}

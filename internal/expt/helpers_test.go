@@ -1,0 +1,7 @@
+package expt
+
+import "repro/internal/markov"
+
+// fig7BackwardForTest returns a moderate 2-state correlation used by the
+// Table II test.
+func fig7BackwardForTest() *markov.Chain { return markov.Fig7Backward() }

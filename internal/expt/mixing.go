@@ -1,0 +1,75 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/markov"
+)
+
+// MixingRow relates a chain's structural memory (mixing time) to its
+// privacy cost (leakage supremum) — the mechanism behind the paper's
+// Fig. 6 observation that stronger correlations produce steeper, longer,
+// higher leakage growth.
+type MixingRow struct {
+	Stay       float64 // self-loop probability of the Lazy(n, stay) chain
+	MixingTime int     // steps to forget the starting point (L1 tol 1e-3)
+	Supremum   float64 // infinite-horizon BPL limit at the given eps
+	BPLAt10    float64 // BPL after 10 releases
+}
+
+// Mixing sweeps the stay probability of a 3-state lazy chain and
+// reports mixing time, leakage supremum and 10-step BPL at per-step
+// budget eps.
+func Mixing(eps float64, stays []float64) ([]MixingRow, error) {
+	var out []MixingRow
+	for _, stay := range stays {
+		c, err := markov.Lazy(3, stay)
+		if err != nil {
+			return nil, err
+		}
+		row := MixingRow{Stay: stay}
+		mix, ok := c.MixingTime(1e-3, 1000000)
+		if !ok {
+			row.MixingTime = -1 // never mixes
+		} else {
+			row.MixingTime = mix
+		}
+		qt := core.NewQuantifier(c)
+		if sup, ok := core.Supremum(qt, eps); ok {
+			row.Supremum = sup
+		} else {
+			row.Supremum = -1
+		}
+		bpl, err := core.BPLSeries(qt, core.UniformBudgets(eps, 10))
+		if err != nil {
+			return nil, err
+		}
+		row.BPLAt10 = bpl[9]
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// MixingTable renders the sweep.
+func MixingTable(eps float64, rows []MixingRow) *Table {
+	tb := &Table{
+		Title:  fmt.Sprintf("Structure vs privacy: mixing time against leakage (eps=%g per step, 3-state lazy chains)", eps),
+		Header: []string{"stay prob", "mixing steps", "BPL supremum", "BPL(10)"},
+	}
+	for _, r := range rows {
+		mix := fmt.Sprintf("%d", r.MixingTime)
+		if r.MixingTime < 0 {
+			mix = "never"
+		}
+		sup := f(r.Supremum)
+		if r.Supremum < 0 {
+			sup = "none"
+		}
+		tb.AddRow(fmt.Sprintf("%g", r.Stay), mix, sup, f(r.BPLAt10))
+	}
+	tb.Notes = append(tb.Notes,
+		"slower mixing = longer structural memory = higher and later-saturating leakage",
+		"stay=1 is the identity chain: never mixes, leakage unbounded (Theorem 5)")
+	return tb
+}

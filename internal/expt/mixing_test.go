@@ -1,0 +1,47 @@
+package expt
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMixingSweepShape(t *testing.T) {
+	rows, err := Mixing(0.2, []float64{1.0 / 3, 0.7, 0.95, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Uniform chain: mixes instantly, supremum = eps.
+	if rows[0].MixingTime != 1 || rows[0].Supremum != 0.2 {
+		t.Errorf("uniform row = %+v", rows[0])
+	}
+	// Monotone through the mixing regime.
+	for i := 1; i < 3; i++ {
+		if rows[i].MixingTime <= rows[i-1].MixingTime {
+			t.Errorf("mixing time should grow: %+v -> %+v", rows[i-1], rows[i])
+		}
+		if rows[i].Supremum <= rows[i-1].Supremum {
+			t.Errorf("supremum should grow: %+v -> %+v", rows[i-1], rows[i])
+		}
+	}
+	// Identity: never mixes, no supremum, BPL(10) = 10*eps.
+	last := rows[3]
+	if last.MixingTime != -1 || last.Supremum != -1 {
+		t.Errorf("identity row = %+v", last)
+	}
+	if math.Abs(last.BPLAt10-2.0) > 1e-12 {
+		t.Errorf("identity BPL(10) = %v, want 2.0", last.BPLAt10)
+	}
+	var buf bytes.Buffer
+	if err := MixingTable(0.2, rows).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "never") || !strings.Contains(out, "none") {
+		t.Errorf("table should mark the identity row:\n%s", out)
+	}
+}

@@ -1,0 +1,78 @@
+package expt
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSoundnessExactNeverExceedsBound(t *testing.T) {
+	rows, err := Soundness(0.3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Exact > r.Bound+1e-9 {
+			t.Errorf("%s: exact %v exceeds bound %v", r.Setting, r.Exact, r.Bound)
+		}
+	}
+}
+
+func TestSoundnessExtremalEquality(t *testing.T) {
+	rows, err := Soundness(0.3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]SoundnessRow{}
+	for _, r := range rows {
+		byName[r.Setting] = r
+	}
+	// Strongest correlation: equality at t*eps.
+	id := byName["identity (strongest)"]
+	if math.Abs(id.Exact-1.8) > 1e-9 || math.Abs(id.Bound-1.8) > 1e-9 {
+		t.Errorf("identity: exact %v bound %v, want 1.8", id.Exact, id.Bound)
+	}
+	// No correlation: equality at eps.
+	uni := byName["uniform (none)"]
+	if math.Abs(uni.Exact-0.3) > 1e-9 || math.Abs(uni.Bound-0.3) > 1e-9 {
+		t.Errorf("uniform: exact %v bound %v, want 0.3", uni.Exact, uni.Bound)
+	}
+}
+
+func TestSoundnessBinaryRRIsExtremal(t *testing.T) {
+	// Empirical observation promoted to a regression test: for binary
+	// randomized response the exact leakage MEETS the Algorithm-1 bound
+	// (RR realizes the extremal likelihood ratios e^{+-eps} at every
+	// step, which is exactly the vertex the LFP optimum sits on).
+	rows, err := Soundness(0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if math.Abs(r.Exact-r.Bound) > 1e-9 {
+			t.Errorf("%s: binary RR should meet the bound: exact %v vs bound %v",
+				r.Setting, r.Exact, r.Bound)
+		}
+	}
+}
+
+func TestSoundnessTableRenders(t *testing.T) {
+	rows, err := Soundness(0.2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SoundnessTable(rows).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "identity (strongest)") {
+		t.Error("table missing settings")
+	}
+	if _, err := Soundness(0.2, 0); err == nil {
+		t.Error("steps=0 should fail")
+	}
+}

@@ -1,0 +1,111 @@
+// Package expt contains one runner per table and figure of the paper's
+// evaluation (Section VI) plus the illustrative figures of Section III.
+// Each runner returns structured results and can render them as an
+// aligned text table (the same rows/series the paper plots) or CSV.
+//
+// Experiment index (see DESIGN.md for the full mapping):
+//
+//	Fig3      - BPL/FPL/TPL of Lap(1/0.1) over time, three correlation levels
+//	Fig4      - max BPL over time for four (P, eps) configs + Theorem 5 suprema
+//	Fig5N     - runtime of Algorithm 1 vs the simplex LFP baseline vs n
+//	Fig5Alpha - runtime vs the prior leakage alpha
+//	Fig6      - BPL growth under graded correlation strength s, eps, n
+//	Fig7      - per-time TPL of the Algorithm 2 vs Algorithm 3 release plans
+//	Fig8T     - release utility vs T (mean |Laplace noise|)
+//	Fig8S     - release utility vs correlation strength s
+//	TableII   - privacy guarantees of eps-DP mechanisms on independent vs
+//	            temporally correlated data
+package expt
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result: a titled grid of cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes an aligned text rendering of the table.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				for pad := len(c); pad < widths[i]; pad++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes the table as CSV (header row first; notes omitted).
+func (t *Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// f formats a float with 4 decimals for table cells.
+func f(x float64) string { return fmt.Sprintf("%.4f", x) }
+
+// f2 formats a float with 2 decimals, matching the paper's figures.
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }

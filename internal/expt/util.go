@@ -1,0 +1,24 @@
+package expt
+
+import "math"
+
+// logOf is a checked log for solver outputs that are mathematically >= 1.
+func logOf(ratio float64) float64 {
+	if ratio < 1 {
+		ratio = 1
+	}
+	return math.Log(ratio)
+}
+
+// maxAbsDiff3 returns the largest pairwise absolute difference of three
+// values.
+func maxAbsDiff3(a, b, c float64) float64 {
+	m := math.Abs(a - b)
+	if d := math.Abs(a - c); d > m {
+		m = d
+	}
+	if d := math.Abs(b - c); d > m {
+		m = d
+	}
+	return m
+}

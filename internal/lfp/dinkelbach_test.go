@@ -1,0 +1,137 @@
+package lfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDinkelbachKnownOptimum(t *testing.T) {
+	p := &Problem{Q: []float64{1, 0}, D: []float64{0, 1}, Alpha: 0.5}
+	r, err := p.SolveDinkelbach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-math.Exp(0.5)) > 1e-9 {
+		t.Errorf("ratio = %v, want e^0.5", r)
+	}
+}
+
+func TestDinkelbachEqualRows(t *testing.T) {
+	q := []float64{0.3, 0.7}
+	p := &Problem{Q: q, D: q, Alpha: 2}
+	r, err := p.SolveDinkelbach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-9 {
+		t.Errorf("ratio = %v, want 1", r)
+	}
+}
+
+func TestDinkelbachMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(9)
+		alpha := []float64{0.01, 0.1, 0.5, 1, 3, 8, 15}[rng.Intn(7)]
+		p := &Problem{
+			Q:     randomStochasticRow(rng, n),
+			D:     randomStochasticRow(rng, n),
+			Alpha: alpha,
+		}
+		bf, _, err := p.BruteForce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dk, err := p.SolveDinkelbach()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(bf-dk) > 1e-9*(1+bf) {
+			t.Errorf("trial %d (n=%d alpha=%v): brute %v vs Dinkelbach %v", trial, n, alpha, bf, dk)
+		}
+	}
+}
+
+func TestDinkelbachMatchesSimplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(5)
+		p := &Problem{
+			Q:     randomStochasticRow(rng, n),
+			D:     randomStochasticRow(rng, n),
+			Alpha: 0.1 + rng.Float64()*2,
+		}
+		lp, err := p.SolveLP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dk, err := p.SolveDinkelbach()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(lp-dk) > 1e-6*(1+lp) {
+			t.Errorf("trial %d: simplex %v vs Dinkelbach %v", trial, lp, dk)
+		}
+	}
+}
+
+func TestDinkelbachSparseRows(t *testing.T) {
+	// Zero denominators in some coordinates (d_i = 0 with q_i > 0)
+	// push those coordinates high regardless of lambda.
+	p := &Problem{Q: []float64{0.5, 0.5}, D: []float64{0, 1}, Alpha: 1}
+	dk, err := p.SolveDinkelbach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, _, err := p.BruteForce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dk-bf) > 1e-9 {
+		t.Errorf("Dinkelbach %v vs brute %v", dk, bf)
+	}
+}
+
+func TestDinkelbachValidation(t *testing.T) {
+	p := &Problem{Q: []float64{1}, D: []float64{1, 0}, Alpha: 1}
+	if _, err := p.SolveDinkelbach(); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+	zeroD := &Problem{Q: []float64{1, 0}, D: []float64{0, 0}, Alpha: 1}
+	if _, err := zeroD.SolveDinkelbach(); err == nil {
+		t.Error("zero-mass denominator should fail")
+	}
+}
+
+func TestLogDinkelbach(t *testing.T) {
+	p := &Problem{Q: []float64{1, 0}, D: []float64{0, 1}, Alpha: 0.7}
+	lg, err := p.LogDinkelbach()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lg-0.7) > 1e-9 {
+		t.Errorf("log = %v, want 0.7", lg)
+	}
+}
+
+func TestDinkelbachMonotoneLambdaSequence(t *testing.T) {
+	// The Dinkelbach iterates are non-decreasing; the final answer is at
+	// least the all-low vertex ratio 1 (stochastic rows).
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(6)
+		p := &Problem{
+			Q:     randomStochasticRow(rng, n),
+			D:     randomStochasticRow(rng, n),
+			Alpha: rng.Float64() * 5,
+		}
+		r, err := p.SolveDinkelbach()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r < 1-1e-9 {
+			t.Errorf("ratio %v below 1", r)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package lfp formulates the paper's privacy-leakage linear-fractional
+// program (problem (18)-(20) in Section IV-A) and solves it exactly by
+// two independent routes that serve as baselines and test oracles for
+// Algorithm 1:
+//
+//  1. Charnes-Cooper transformation to a linear program solved by the
+//     dense simplex solver in package simplex. This is the stand-in for
+//     the external solvers (Gurobi, lp_solve) in the Fig. 5 runtime
+//     comparison.
+//  2. Exhaustive vertex enumeration: by Lemma 3 of the paper an optimal
+//     solution assigns every variable either m or e^alpha*m, so for
+//     small n the optimum is found exactly by scanning all 2^n subsets.
+//
+// The problem, for one ordered pair of transition-matrix rows q and d
+// and a prior leakage alpha >= 0, is
+//
+//	maximize (q.x)/(d.x)
+//	subject to x_j <= e^alpha * x_k   for all j, k
+//	           0 < x_j < 1.
+//
+// The objective and the ratio constraints are scale-invariant, so the
+// open box (0,1) never binds and is dropped in the LP route.
+package lfp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/simplex"
+)
+
+// ErrDimension is returned when q and d have mismatched or zero length.
+var ErrDimension = errors.New("lfp: q and d must have equal, positive length")
+
+// Problem is one instance of the leakage LFP.
+type Problem struct {
+	Q, D  []float64 // coefficient rows (rows of a transition matrix)
+	Alpha float64   // prior leakage (BPL at t-1 or FPL at t+1); must be >= 0
+}
+
+// Validate checks the instance.
+func (p *Problem) Validate() error {
+	if len(p.Q) == 0 || len(p.Q) != len(p.D) {
+		return ErrDimension
+	}
+	if p.Alpha < 0 || math.IsNaN(p.Alpha) || math.IsInf(p.Alpha, 0) {
+		return fmt.Errorf("lfp: alpha must be finite and non-negative, got %v", p.Alpha)
+	}
+	for i := range p.Q {
+		if p.Q[i] < 0 || p.D[i] < 0 {
+			return fmt.Errorf("lfp: negative coefficient at %d (q=%v, d=%v)", i, p.Q[i], p.D[i])
+		}
+	}
+	return nil
+}
+
+// ToLP applies the Charnes-Cooper transformation. With y = x*t scaled so
+// that d.y = 1, the LFP becomes
+//
+//	maximize q.y
+//	subject to d.y = 1
+//	           y_j - e^alpha*y_k <= 0  for all ordered pairs j != k
+//	           y >= 0.
+//
+// The optimum of the LP equals the optimum ratio of the LFP.
+func (p *Problem) ToLP() (*simplex.Problem, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.Q)
+	ea := math.Exp(p.Alpha)
+	lp := &simplex.Problem{
+		NumVars:   n,
+		Objective: append([]float64(nil), p.Q...),
+	}
+	lp.Constraints = append(lp.Constraints, simplex.Constraint{
+		Coeffs: append([]float64(nil), p.D...),
+		Rel:    simplex.EQ,
+		RHS:    1,
+	})
+	for j := 0; j < n; j++ {
+		for k := 0; k < n; k++ {
+			if j == k {
+				continue
+			}
+			c := make([]float64, n)
+			c[j] = 1
+			c[k] = -ea
+			lp.Constraints = append(lp.Constraints, simplex.Constraint{Coeffs: c, Rel: simplex.LE, RHS: 0})
+		}
+	}
+	return lp, nil
+}
+
+// SolveLP solves the instance through the Charnes-Cooper LP and the
+// simplex solver, returning the optimal ratio (not its logarithm).
+func (p *Problem) SolveLP() (float64, error) {
+	lp, err := p.ToLP()
+	if err != nil {
+		return 0, err
+	}
+	sol, err := simplex.Solve(lp)
+	if err != nil {
+		return 0, fmt.Errorf("lfp: %w", err)
+	}
+	return sol.Objective, nil
+}
+
+// BruteForceLimit is the largest dimension BruteForce accepts; 2^n
+// subsets are enumerated.
+const BruteForceLimit = 24
+
+// BruteForce maximizes the ratio by Lemma 3: an optimal x places each
+// coordinate at either m or e^alpha*m, so with S the set of coordinates
+// at the high level the objective is
+//
+//	( (Σ_{j∈S} q_j)(e^alpha - 1) + 1 ) / ( (Σ_{j∈S} d_j)(e^alpha - 1) + 1 )
+//
+// (using Σq = Σd = 1 for stochastic rows; for general non-negative rows
+// the same formula holds after adding the constant low-level mass).
+// It returns the maximal ratio and the optimal subset as a bitmask.
+//
+// This is an exact oracle used in tests against both Algorithm 1 and the
+// LP route; it is exponential and restricted to n <= BruteForceLimit.
+func (p *Problem) BruteForce() (ratio float64, subset uint32, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, 0, err
+	}
+	n := len(p.Q)
+	if n > BruteForceLimit {
+		return 0, 0, fmt.Errorf("lfp: brute force limited to n <= %d, got %d", BruteForceLimit, n)
+	}
+	e := math.Exp(p.Alpha)
+	sumQ, sumD := 0.0, 0.0
+	for i := range p.Q {
+		sumQ += p.Q[i]
+		sumD += p.D[i]
+	}
+	best := math.Inf(-1)
+	var bestMask uint32
+	for mask := uint32(0); mask < 1<<uint(n); mask++ {
+		hiQ, hiD := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				hiQ += p.Q[i]
+				hiD += p.D[i]
+			}
+		}
+		// x_i = e for i in S, 1 otherwise (scale m = 1).
+		num := hiQ*e + (sumQ - hiQ)
+		den := hiD*e + (sumD - hiD)
+		if den <= 0 {
+			continue
+		}
+		if r := num / den; r > best {
+			best = r
+			bestMask = mask
+		}
+	}
+	if math.IsInf(best, -1) {
+		return 0, 0, errors.New("lfp: no feasible vertex (all denominators vanished)")
+	}
+	return best, bestMask, nil
+}
+
+// LogBruteForce returns log of the BruteForce optimum, i.e. the leakage
+// increment L(alpha) for the row pair.
+func (p *Problem) LogBruteForce() (float64, error) {
+	r, _, err := p.BruteForce()
+	if err != nil {
+		return 0, err
+	}
+	return math.Log(r), nil
+}

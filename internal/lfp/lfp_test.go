@@ -1,0 +1,221 @@
+package lfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomStochasticRow(rng *rand.Rand, n int) []float64 {
+	row := make([]float64, n)
+	s := 0.0
+	for i := range row {
+		row[i] = rng.Float64()
+		s += row[i]
+	}
+	for i := range row {
+		row[i] /= s
+	}
+	return row
+}
+
+func TestValidate(t *testing.T) {
+	ok := &Problem{Q: []float64{0.5, 0.5}, D: []float64{0.2, 0.8}, Alpha: 1}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid problem rejected: %v", err)
+	}
+	cases := []*Problem{
+		{Q: nil, D: nil, Alpha: 1},
+		{Q: []float64{1}, D: []float64{0.5, 0.5}, Alpha: 1},
+		{Q: []float64{1}, D: []float64{1}, Alpha: -1},
+		{Q: []float64{1}, D: []float64{1}, Alpha: math.NaN()},
+		{Q: []float64{-0.5, 1.5}, D: []float64{0.5, 0.5}, Alpha: 1},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid problem accepted", i)
+		}
+	}
+}
+
+func TestBruteForceKnownOptimum(t *testing.T) {
+	// q=(1,0), d=(0,1), alpha: pick S={0}: ratio = e^alpha.
+	p := &Problem{Q: []float64{1, 0}, D: []float64{0, 1}, Alpha: 0.5}
+	r, mask, err := p.BruteForce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-math.Exp(0.5)) > 1e-12 {
+		t.Errorf("ratio = %v, want e^0.5", r)
+	}
+	if mask != 1 {
+		t.Errorf("mask = %b, want 1", mask)
+	}
+}
+
+func TestBruteForceEqualRowsGiveOne(t *testing.T) {
+	q := []float64{0.3, 0.7}
+	p := &Problem{Q: q, D: q, Alpha: 2}
+	r, _, err := p.BruteForce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("ratio = %v, want 1", r)
+	}
+}
+
+func TestBruteForceAlphaZero(t *testing.T) {
+	p := &Problem{Q: []float64{1, 0}, D: []float64{0, 1}, Alpha: 0}
+	r, _, err := p.BruteForce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("alpha=0 ratio = %v, want 1", r)
+	}
+}
+
+func TestBruteForceLimit(t *testing.T) {
+	q := make([]float64, BruteForceLimit+1)
+	d := make([]float64, BruteForceLimit+1)
+	for i := range q {
+		q[i] = 1.0 / float64(len(q))
+		d[i] = q[i]
+	}
+	p := &Problem{Q: q, D: d, Alpha: 1}
+	if _, _, err := p.BruteForce(); err == nil {
+		t.Error("dimension above limit should fail")
+	}
+}
+
+func TestToLPShape(t *testing.T) {
+	p := &Problem{Q: []float64{0.5, 0.5}, D: []float64{0.2, 0.8}, Alpha: 1}
+	lp, err := p.ToLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.NumVars != 2 {
+		t.Errorf("NumVars = %d", lp.NumVars)
+	}
+	// 1 equality + n(n-1) ratio constraints.
+	if len(lp.Constraints) != 1+2 {
+		t.Errorf("constraints = %d, want 3", len(lp.Constraints))
+	}
+}
+
+func TestLPMatchesBruteForceSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(4)
+		alpha := rng.Float64() * 3
+		p := &Problem{
+			Q:     randomStochasticRow(rng, n),
+			D:     randomStochasticRow(rng, n),
+			Alpha: alpha,
+		}
+		bf, _, err := p.BruteForce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lp, err := p.SolveLP()
+		if err != nil {
+			t.Fatalf("trial %d (n=%d alpha=%v): %v", trial, n, alpha, err)
+		}
+		if math.Abs(bf-lp) > 1e-6*(1+bf) {
+			t.Errorf("trial %d: brute force %v vs LP %v (n=%d alpha=%v q=%v d=%v)",
+				trial, bf, lp, n, alpha, p.Q, p.D)
+		}
+	}
+}
+
+func TestLPDeterministicRows(t *testing.T) {
+	// Point-mass rows on different states: ratio should hit e^alpha.
+	p := &Problem{Q: []float64{1, 0, 0}, D: []float64{0, 0, 1}, Alpha: 1.5}
+	lp, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lp-math.Exp(1.5)) > 1e-6 {
+		t.Errorf("LP = %v, want e^1.5 = %v", lp, math.Exp(1.5))
+	}
+}
+
+func TestToLPAndSolveLPValidation(t *testing.T) {
+	bad := &Problem{Q: []float64{1}, D: []float64{0.5, 0.5}, Alpha: 1}
+	if _, err := bad.ToLP(); err == nil {
+		t.Error("ToLP on invalid problem should fail")
+	}
+	if _, err := bad.SolveLP(); err == nil {
+		t.Error("SolveLP on invalid problem should fail")
+	}
+	if _, err := bad.LogBruteForce(); err == nil {
+		t.Error("LogBruteForce on invalid problem should fail")
+	}
+}
+
+func TestBruteForceZeroDenominatorEverywhere(t *testing.T) {
+	// A d row with zero mass makes every subset denominator... the
+	// all-low vertex still has den = sumD = 0; only subsets with no
+	// usable denominator are skipped. Validate does not reject it (the
+	// entries are non-negative), so BruteForce must report the error.
+	p := &Problem{Q: []float64{0.5, 0.5}, D: []float64{0, 0}, Alpha: 1}
+	if _, _, err := p.BruteForce(); err == nil {
+		t.Error("all-zero denominator should fail")
+	}
+}
+
+func TestLogBruteForce(t *testing.T) {
+	p := &Problem{Q: []float64{1, 0}, D: []float64{0, 1}, Alpha: 0.7}
+	lg, err := p.LogBruteForce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lg-0.7) > 1e-12 {
+		t.Errorf("log optimum = %v, want 0.7", lg)
+	}
+}
+
+func TestBruteForceMonotoneInAlpha(t *testing.T) {
+	// The optimum ratio is non-decreasing in alpha (larger prior leakage
+	// can only allow more).
+	rng := rand.New(rand.NewSource(37))
+	q := randomStochasticRow(rng, 5)
+	d := randomStochasticRow(rng, 5)
+	prev := 0.0
+	for _, alpha := range []float64{0, 0.1, 0.5, 1, 2, 5} {
+		p := &Problem{Q: q, D: d, Alpha: alpha}
+		r, _, err := p.BruteForce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r < prev-1e-12 {
+			t.Errorf("ratio decreased: %v < %v at alpha=%v", r, prev, alpha)
+		}
+		prev = r
+	}
+}
+
+func TestBruteForceBoundedByExpAlpha(t *testing.T) {
+	// Remark 1: the increment never exceeds alpha, i.e. ratio <= e^alpha.
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(5)
+		alpha := rng.Float64() * 4
+		p := &Problem{
+			Q:     randomStochasticRow(rng, n),
+			D:     randomStochasticRow(rng, n),
+			Alpha: alpha,
+		}
+		r, _, err := p.BruteForce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r > math.Exp(alpha)+1e-9 {
+			t.Errorf("ratio %v exceeds e^alpha %v", r, math.Exp(alpha))
+		}
+		if r < 1-1e-12 {
+			t.Errorf("ratio %v below 1", r)
+		}
+	}
+}

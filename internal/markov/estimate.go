@@ -1,0 +1,123 @@
+package markov
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// EstimateMLE estimates a forward transition matrix from observed
+// trajectories by maximum likelihood: the (i,j) entry is the fraction of
+// observed transitions out of state i that landed in state j. This is
+// the supervised estimation route the paper names in Section III-A
+// ("the adversaries can learn them from user's historical trajectories
+// ... by well studied methods such as Maximum Likelihood estimation").
+//
+// pseudocount is added to every transition count before normalization
+// (Laplace smoothing); with pseudocount = 0, rows of states that were
+// never left are set to a point mass on the state itself (the only
+// consistent completion for an absorbing observation).
+func EstimateMLE(n int, traces [][]int, pseudocount float64) (*Chain, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("markov: need at least one state, got %d", n)
+	}
+	if pseudocount < 0 {
+		return nil, fmt.Errorf("markov: pseudocount must be non-negative, got %v", pseudocount)
+	}
+	counts := matrix.New(n, n)
+	for ti, tr := range traces {
+		for k := 0; k+1 < len(tr); k++ {
+			a, b := tr[k], tr[k+1]
+			if a < 0 || a >= n || b < 0 || b >= n {
+				return nil, fmt.Errorf("markov: trace %d has state out of range [0,%d): %d -> %d", ti, n, a, b)
+			}
+			counts.Set(a, b, counts.At(a, b)+1)
+		}
+	}
+	p := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		total := counts.Row(i).Sum() + pseudocount*float64(n)
+		if total == 0 {
+			// Never observed leaving state i: treat as absorbing.
+			p.Set(i, i, 1)
+			continue
+		}
+		for j := 0; j < n; j++ {
+			p.Set(i, j, (counts.At(i, j)+pseudocount)/total)
+		}
+	}
+	return New(p)
+}
+
+// EstimateBackwardMLE estimates a backward transition matrix
+// Pr(l_{t-1} | l_t) from trajectories by counting reversed transitions.
+// This corresponds to learning from "the reversed trajectories"
+// (Section III-A).
+func EstimateBackwardMLE(n int, traces [][]int, pseudocount float64) (*Chain, error) {
+	rev := make([][]int, len(traces))
+	for i, tr := range traces {
+		r := make([]int, len(tr))
+		for k, v := range tr {
+			r[len(tr)-1-k] = v
+		}
+		rev[i] = r
+	}
+	return EstimateMLE(n, rev, pseudocount)
+}
+
+// EmpiricalInitial returns the empirical distribution of trace starting
+// states, optionally Laplace-smoothed with pseudocount.
+func EmpiricalInitial(n int, traces [][]int, pseudocount float64) (matrix.Vector, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("markov: need at least one state, got %d", n)
+	}
+	if pseudocount < 0 {
+		return nil, fmt.Errorf("markov: pseudocount must be non-negative, got %v", pseudocount)
+	}
+	v := matrix.NewVector(n)
+	for ti, tr := range traces {
+		if len(tr) == 0 {
+			continue
+		}
+		s := tr[0]
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("markov: trace %d starts at state %d, out of range [0,%d)", ti, s, n)
+		}
+		v[s]++
+	}
+	for i := range v {
+		v[i] += pseudocount
+	}
+	out, err := v.Normalize()
+	if err != nil {
+		return nil, fmt.Errorf("markov: no observations and zero pseudocount: %w", err)
+	}
+	return out, nil
+}
+
+// LogLikelihood returns the log-likelihood of the traces under the chain
+// and initial distribution. Transitions with zero model probability give
+// -Inf, as expected for MLE diagnostics.
+func (c *Chain) LogLikelihood(initial matrix.Vector, traces [][]int) (float64, error) {
+	if len(initial) != c.N() {
+		return 0, fmt.Errorf("markov: initial distribution length %d for %d states", len(initial), c.N())
+	}
+	ll := 0.0
+	for ti, tr := range traces {
+		if len(tr) == 0 {
+			continue
+		}
+		if tr[0] < 0 || tr[0] >= c.N() {
+			return 0, fmt.Errorf("markov: trace %d state out of range: %d", ti, tr[0])
+		}
+		ll += logOrNegInf(initial[tr[0]])
+		for k := 0; k+1 < len(tr); k++ {
+			a, b := tr[k], tr[k+1]
+			if b < 0 || b >= c.N() {
+				return 0, fmt.Errorf("markov: trace %d state out of range: %d", ti, b)
+			}
+			ll += logOrNegInf(c.Prob(a, b))
+		}
+	}
+	return ll, nil
+}

@@ -1,0 +1,223 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestEstimateMLEExactCounts(t *testing.T) {
+	// One trace 0->1->0->1->1: transitions 0->1 twice, 1->0 once, 1->1 once.
+	traces := [][]int{{0, 1, 0, 1, 1}}
+	c, err := EstimateMLE(2, traces, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Prob(0, 1) != 1 {
+		t.Errorf("Pr(0->1) = %v, want 1", c.Prob(0, 1))
+	}
+	if c.Prob(1, 0) != 0.5 || c.Prob(1, 1) != 0.5 {
+		t.Errorf("row 1 = %v", c.Row(1))
+	}
+}
+
+func TestEstimateMLEUnvisitedStateAbsorbing(t *testing.T) {
+	c, err := EstimateMLE(3, [][]int{{0, 1, 0}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Prob(2, 2) != 1 {
+		t.Errorf("unvisited state row = %v, want absorbing", c.Row(2))
+	}
+}
+
+func TestEstimateMLEPseudocount(t *testing.T) {
+	c, err := EstimateMLE(2, [][]int{{0, 1}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From state 0: counts (0,1) + pseudo (1,1) = (1,2)/3.
+	if math.Abs(c.Prob(0, 0)-1.0/3) > 1e-12 || math.Abs(c.Prob(0, 1)-2.0/3) > 1e-12 {
+		t.Errorf("row 0 = %v", c.Row(0))
+	}
+	// From state 1: no observations, pseudo only -> uniform.
+	if math.Abs(c.Prob(1, 0)-0.5) > 1e-12 {
+		t.Errorf("row 1 = %v", c.Row(1))
+	}
+}
+
+func TestEstimateMLEErrors(t *testing.T) {
+	if _, err := EstimateMLE(0, nil, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := EstimateMLE(2, [][]int{{0, 5}}, 0); err == nil {
+		t.Error("out-of-range state should fail")
+	}
+	if _, err := EstimateMLE(2, nil, -1); err == nil {
+		t.Error("negative pseudocount should fail")
+	}
+}
+
+func TestEstimateMLERecoversChain(t *testing.T) {
+	// Long walks from a known chain: the estimate should converge to it.
+	truth := MustNew(matrix.MustFromRows([][]float64{
+		{0.7, 0.2, 0.1},
+		{0.1, 0.6, 0.3},
+		{0.3, 0.3, 0.4},
+	}))
+	rng := rand.New(rand.NewSource(9))
+	var traces [][]int
+	for i := 0; i < 20; i++ {
+		w, err := truth.Walk(rng, matrix.Uniform(3), 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, w)
+	}
+	est, err := EstimateMLE(3, traces, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := est.P().MaxAbsDiff(truth.P()); d > 0.02 {
+		t.Errorf("MLE estimate off by %v", d)
+	}
+}
+
+func TestEstimateBackwardMLEMatchesReversedTraces(t *testing.T) {
+	traces := [][]int{{0, 1, 2}}
+	// Reversed trace is 2->1->0, so Pr(prev=1|cur... ) as forward chain on
+	// reversed data: 2->1 and 1->0 each once.
+	c, err := EstimateBackwardMLE(3, traces, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Prob(2, 1) != 1 || c.Prob(1, 0) != 1 {
+		t.Errorf("backward estimate wrong: %v", c.P())
+	}
+}
+
+func TestBackwardEstimateAgreesWithBayesReversal(t *testing.T) {
+	// For a stationary chain, the backward MLE from long traces should
+	// approximate the Bayes reversal at the stationary distribution.
+	truth := MustNew(matrix.MustFromRows([][]float64{
+		{0.6, 0.4},
+		{0.2, 0.8},
+	}))
+	pi, err := truth.Stationary(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bayes, err := truth.Reverse(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	var traces [][]int
+	for i := 0; i < 10; i++ {
+		w, err := truth.Walk(rng, pi, 20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, w)
+	}
+	est, err := EstimateBackwardMLE(2, traces, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := est.P().MaxAbsDiff(bayes.P()); d > 0.02 {
+		t.Errorf("backward MLE off Bayes reversal by %v\nest:\n%v\nbayes:\n%v", d, est.P(), bayes.P())
+	}
+}
+
+func TestEmpiricalInitial(t *testing.T) {
+	traces := [][]int{{0, 1}, {0, 2}, {1, 0}, {}}
+	v, err := EmpiricalInitial(3, traces, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v[0]-2.0/3) > 1e-12 || math.Abs(v[1]-1.0/3) > 1e-12 || v[2] != 0 {
+		t.Errorf("initial = %v", v)
+	}
+	if _, err := EmpiricalInitial(3, nil, 0); err == nil {
+		t.Error("no data and zero pseudocount should fail")
+	}
+	u, err := EmpiricalInitial(3, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.IsDistribution(1e-12) {
+		t.Errorf("smoothed initial = %v", u)
+	}
+	if _, err := EmpiricalInitial(2, [][]int{{9}}, 0); err == nil {
+		t.Error("out-of-range start should fail")
+	}
+}
+
+func TestLogLikelihood(t *testing.T) {
+	c := MustNew(matrix.MustFromRows([][]float64{{0.5, 0.5}, {0.5, 0.5}}))
+	init := matrix.Vector{0.5, 0.5}
+	ll, err := c.LogLikelihood(init, [][]int{{0, 1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(0.5) * 3
+	if math.Abs(ll-want) > 1e-12 {
+		t.Errorf("ll = %v, want %v", ll, want)
+	}
+	// Impossible transition gives -Inf.
+	det := MustNew(matrix.MustFromRows([][]float64{{0, 1}, {1, 0}}))
+	ll2, err := det.LogLikelihood(init, [][]int{{0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(ll2, -1) {
+		t.Errorf("impossible trace ll = %v, want -Inf", ll2)
+	}
+	if _, err := c.LogLikelihood(matrix.Vector{1}, nil); err == nil {
+		t.Error("bad initial length should fail")
+	}
+	if _, err := c.LogLikelihood(init, [][]int{{0, 7}}); err == nil {
+		t.Error("out-of-range state should fail")
+	}
+}
+
+func TestMLEMaximizesLikelihoodLocally(t *testing.T) {
+	// The MLE should beat nearby perturbed chains on the training data.
+	truth := MustNew(matrix.MustFromRows([][]float64{{0.8, 0.2}, {0.3, 0.7}}))
+	rng := rand.New(rand.NewSource(23))
+	w, err := truth.Walk(rng, matrix.Uniform(2), 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := [][]int{w}
+	est, err := EstimateMLE(2, traces, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init, err := EmpiricalInitial(2, traces, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llBest, err := est.LogLikelihood(init, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, delta := range []float64{0.05, -0.05} {
+		p := est.P()
+		p.Set(0, 0, p.At(0, 0)+delta)
+		p.Set(0, 1, p.At(0, 1)-delta)
+		alt, err := New(p)
+		if err != nil {
+			continue // perturbation left [0,1]
+		}
+		ll, err := alt.LogLikelihood(init, traces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ll > llBest+1e-9 {
+			t.Errorf("perturbed chain beats MLE: %v > %v", ll, llBest)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package markov
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/matrix"
+)
+
+// Strongest returns the "strongest correlation" transition matrix used
+// as the seed for the paper's experiments (Section VI): every row has a
+// single cell with probability 1.0, placed on a random permutation so
+// that different rows map to different columns. With such a matrix an
+// adversary can infer the next (or previous) value exactly, which yields
+// the upper-bound privacy leakage of Examples 2 and 3.
+func Strongest(rng *rand.Rand, n int) (*Chain, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("markov: need at least one state, got %d", n)
+	}
+	perm := rng.Perm(n)
+	m := matrix.New(n, n)
+	for i, j := range perm {
+		m.Set(i, j, 1)
+	}
+	return New(m)
+}
+
+// IdentityChain returns the n-state identity chain: each state transitions
+// to itself with probability 1. This is the extreme correlation of
+// Example 1 ("the counts will not change over time") under which
+// event-level leakage grows linearly without bound.
+func IdentityChain(n int) (*Chain, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("markov: need at least one state, got %d", n)
+	}
+	return New(matrix.Identity(n))
+}
+
+// UniformChain returns the n-state chain whose every row is uniform:
+// no temporal correlation at all. Under this chain BPL and FPL reduce to
+// the per-step privacy leakage PL0 (Fig. 3 (iii)).
+func UniformChain(n int) (*Chain, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("markov: need at least one state, got %d", n)
+	}
+	m := matrix.New(n, n)
+	u := 1.0 / float64(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, u)
+		}
+	}
+	return New(m)
+}
+
+// Smoothed generates the paper's graded-correlation workload: a
+// Strongest matrix smoothed by Eq. (25) with parameter s. Smaller s
+// means stronger correlation. s = 0 returns the strongest matrix itself.
+func Smoothed(rng *rand.Rand, n int, s float64) (*Chain, error) {
+	strongest, err := Strongest(rng, n)
+	if err != nil {
+		return nil, err
+	}
+	if s == 0 {
+		return strongest, nil
+	}
+	sm, err := matrix.LaplacianSmooth(strongest.p, s)
+	if err != nil {
+		return nil, err
+	}
+	return New(sm)
+}
+
+// UniformRandom returns a chain whose transition matrix has entries drawn
+// i.i.d. uniformly from [0,1] and then row-normalized. This reproduces
+// the random matrices used for the Fig. 5 runtime experiments.
+func UniformRandom(rng *rand.Rand, n int) (*Chain, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("markov: need at least one state, got %d", n)
+	}
+	m := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, rng.Float64())
+		}
+	}
+	if err := m.NormalizeRows(); err != nil {
+		return nil, err
+	}
+	return New(m)
+}
+
+// Lazy returns a chain that stays in place with probability stay and
+// otherwise moves to a uniformly random other state. stay=1 is the
+// identity chain; stay=1/n is the uniform chain. Useful for constructing
+// chains with a single interpretable knob.
+func Lazy(n int, stay float64) (*Chain, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("markov: need at least one state, got %d", n)
+	}
+	if stay < 0 || stay > 1 {
+		return nil, fmt.Errorf("markov: stay probability must be in [0,1], got %v", stay)
+	}
+	m := matrix.New(n, n)
+	if n == 1 {
+		m.Set(0, 0, 1)
+		return New(m)
+	}
+	off := (1 - stay) / float64(n-1)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				m.Set(i, j, stay)
+			} else {
+				m.Set(i, j, off)
+			}
+		}
+	}
+	return New(m)
+}
+
+// Fig2Backward returns the example backward temporal correlation
+// Pr(l_{t-1} | l_t) of Fig. 2(a) in the paper.
+func Fig2Backward() *Chain {
+	return MustNew(matrix.MustFromRows([][]float64{
+		{0.1, 0.2, 0.7},
+		{0, 0, 1},
+		{0.3, 0.3, 0.4},
+	}))
+}
+
+// Fig2Forward returns the example forward temporal correlation
+// Pr(l_t | l_{t-1}) of Fig. 2(b) in the paper.
+func Fig2Forward() *Chain {
+	return MustNew(matrix.MustFromRows([][]float64{
+		{0.2, 0.3, 0.5},
+		{0.1, 0.1, 0.8},
+		{0.6, 0.2, 0.2},
+	}))
+}
+
+// ModerateExample returns the 2-state matrix (0.8 0.2; 0 1) used for the
+// "moderate temporal correlation" curves of Fig. 3 and Fig. 4(b,c).
+func ModerateExample() *Chain {
+	return MustNew(matrix.MustFromRows([][]float64{
+		{0.8, 0.2},
+		{0, 1},
+	}))
+}
+
+// Fig4aExample returns the 2-state matrix (0.8 0.2; 0.1 0.9) of Fig. 4(a),
+// whose BPL supremum exists by the d != 0 case of Theorem 5.
+func Fig4aExample() *Chain {
+	return MustNew(matrix.MustFromRows([][]float64{
+		{0.8, 0.2},
+		{0.1, 0.9},
+	}))
+}
+
+// Fig7Backward returns the backward correlation (0.8 0.2; 0.2 0.8) used
+// in the Fig. 7 data-release experiment.
+func Fig7Backward() *Chain {
+	return MustNew(matrix.MustFromRows([][]float64{
+		{0.8, 0.2},
+		{0.2, 0.8},
+	}))
+}
+
+// Fig7Forward returns the forward correlation (0.8 0.2; 0.1 0.9) used in
+// the Fig. 7 data-release experiment.
+func Fig7Forward() *Chain {
+	return MustNew(matrix.MustFromRows([][]float64{
+		{0.8, 0.2},
+		{0.1, 0.9},
+	}))
+}

@@ -1,0 +1,198 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestStrongestStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 5, 20} {
+		c, err := Strongest(rng, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cols := make(map[int]bool)
+		for i := 0; i < n; i++ {
+			ones := 0
+			var at int
+			for j := 0; j < n; j++ {
+				switch c.Prob(i, j) {
+				case 1:
+					ones++
+					at = j
+				case 0:
+				default:
+					t.Fatalf("n=%d: entry (%d,%d)=%v not in {0,1}", n, i, j, c.Prob(i, j))
+				}
+			}
+			if ones != 1 {
+				t.Fatalf("n=%d: row %d has %d ones", n, i, ones)
+			}
+			if cols[at] {
+				t.Fatalf("n=%d: column %d used twice (not a permutation)", n, at)
+			}
+			cols[at] = true
+		}
+	}
+	if _, err := Strongest(rng, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestStrongestMaxCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c, err := Strongest(rng, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MaxCorrelation(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("correlation = %v, want 1", got)
+	}
+}
+
+func TestIdentityChain(t *testing.T) {
+	c, err := IdentityChain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if c.Prob(i, i) != 1 {
+			t.Errorf("Prob(%d,%d) = %v", i, i, c.Prob(i, i))
+		}
+	}
+	if _, err := IdentityChain(-1); err == nil {
+		t.Error("negative n should fail")
+	}
+}
+
+func TestUniformChain(t *testing.T) {
+	c, err := UniformChain(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if math.Abs(c.Prob(i, j)-0.25) > 1e-12 {
+				t.Errorf("Prob(%d,%d) = %v", i, j, c.Prob(i, j))
+			}
+		}
+	}
+	if _, err := UniformChain(0); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestSmoothedInterpolates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// s=0 must be exactly the strongest matrix (0/1 entries).
+	c0, err := Smoothed(rng, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c0.MaxCorrelation(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("s=0 correlation = %v", got)
+	}
+	// Correlation strictly decreases as s grows.
+	prev := 2.0
+	for _, s := range []float64{0.001, 0.01, 0.1, 1, 10} {
+		rngS := rand.New(rand.NewSource(3)) // same permutation each time
+		c, err := Smoothed(rngS, 6, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := c.MaxCorrelation()
+		if got >= prev {
+			t.Errorf("s=%v: correlation %v did not decrease from %v", s, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestSmoothedRowStochastic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, s := range []float64{0.005, 0.05, 1} {
+		c, err := Smoothed(rng, 50, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.N() != 50 {
+			t.Errorf("N = %d", c.N())
+		}
+	}
+}
+
+func TestUniformRandomIsStochastic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c, err := UniformRandom(rng, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 30 {
+		t.Errorf("N = %d", c.N())
+	}
+	// Spot-check a row sums to 1 (chain constructor validates all).
+	if math.Abs(c.Row(7).Sum()-1) > 1e-9 {
+		t.Error("row 7 does not sum to 1")
+	}
+	if _, err := UniformRandom(rng, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestLazy(t *testing.T) {
+	c, err := Lazy(4, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Prob(0, 0)-0.7) > 1e-12 {
+		t.Errorf("stay prob = %v", c.Prob(0, 0))
+	}
+	if math.Abs(c.Prob(0, 1)-0.1) > 1e-12 {
+		t.Errorf("move prob = %v", c.Prob(0, 1))
+	}
+	one, err := Lazy(1, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Prob(0, 0) != 1 {
+		t.Error("single-state lazy chain must be absorbing")
+	}
+	if _, err := Lazy(3, 1.5); err == nil {
+		t.Error("stay > 1 should fail")
+	}
+	if _, err := Lazy(0, 0.5); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestFig2Fixtures(t *testing.T) {
+	b := Fig2Backward()
+	if b.Prob(0, 2) != 0.7 {
+		t.Errorf("Fig2Backward Pr(prev=loc3|cur=loc1) = %v, want 0.7", b.Prob(0, 2))
+	}
+	f := Fig2Forward()
+	if f.Prob(2, 0) != 0.6 {
+		t.Errorf("Fig2Forward Pr(cur=loc1|prev=loc3) = %v, want 0.6", f.Prob(2, 0))
+	}
+}
+
+func TestPaperExampleFixtures(t *testing.T) {
+	m := ModerateExample()
+	if m.Prob(0, 0) != 0.8 || m.Prob(1, 1) != 1 {
+		t.Errorf("ModerateExample = %v", m.P())
+	}
+	a := Fig4aExample()
+	if a.Prob(1, 0) != 0.1 {
+		t.Errorf("Fig4aExample = %v", a.P())
+	}
+	fb := Fig7Backward()
+	if fb.Prob(0, 1) != 0.2 || fb.Prob(1, 0) != 0.2 {
+		t.Errorf("Fig7Backward = %v", fb.P())
+	}
+	ff := Fig7Forward()
+	if ff.Prob(1, 1) != 0.9 {
+		t.Errorf("Fig7Forward = %v", ff.P())
+	}
+}

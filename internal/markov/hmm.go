@@ -1,0 +1,290 @@
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/matrix"
+)
+
+// HMM is a discrete hidden Markov model: hidden states evolve by a
+// Markov chain (Trans) and each state emits an observable symbol
+// (Emit). The paper names the Baum-Welch algorithm as the unsupervised
+// route by which an adversary learns temporal correlations from
+// observation sequences (Section III-A); this file provides it, built on
+// the scaled forward-backward recursions.
+type HMM struct {
+	// Trans[i][j] = Pr(state_{t+1} = j | state_t = i), row-stochastic.
+	Trans *matrix.Matrix
+	// Emit[i][k] = Pr(obs = k | state = i), row-stochastic
+	// (states x symbols).
+	Emit *matrix.Matrix
+	// Init[i] = Pr(state_1 = i).
+	Init matrix.Vector
+}
+
+// NewHMM validates the parameter triple.
+func NewHMM(trans, emit *matrix.Matrix, init matrix.Vector) (*HMM, error) {
+	if trans == nil || emit == nil {
+		return nil, errors.New("markov: nil HMM parameter")
+	}
+	if trans.Rows() != trans.Cols() {
+		return nil, fmt.Errorf("markov: transition matrix must be square, got %dx%d", trans.Rows(), trans.Cols())
+	}
+	n := trans.Rows()
+	if emit.Rows() != n {
+		return nil, fmt.Errorf("markov: emission matrix has %d rows for %d states", emit.Rows(), n)
+	}
+	if len(init) != n {
+		return nil, fmt.Errorf("markov: initial distribution length %d for %d states", len(init), n)
+	}
+	if !trans.IsRowStochastic(1e-6) || !emit.IsRowStochastic(1e-6) {
+		return nil, ErrNotStochastic
+	}
+	if !init.IsDistribution(1e-6) {
+		return nil, fmt.Errorf("markov: initial vector is not a distribution")
+	}
+	return &HMM{Trans: trans.Clone(), Emit: emit.Clone(), Init: init.Clone()}, nil
+}
+
+// States returns the number of hidden states.
+func (h *HMM) States() int { return h.Trans.Rows() }
+
+// Symbols returns the number of observable symbols.
+func (h *HMM) Symbols() int { return h.Emit.Cols() }
+
+// Chain returns the hidden-state transition chain, which is what the
+// temporal-privacy framework consumes as P^F.
+func (h *HMM) Chain() (*Chain, error) { return New(h.Trans) }
+
+// Sample generates an observation sequence of the given length,
+// returning both the hidden states and the observations.
+func (h *HMM) Sample(rng *rand.Rand, length int) (states, obs []int, err error) {
+	if length <= 0 {
+		return nil, nil, fmt.Errorf("markov: length must be positive, got %d", length)
+	}
+	states = make([]int, length)
+	obs = make([]int, length)
+	states[0] = Sample(rng, h.Init)
+	for t := 0; t < length; t++ {
+		if t > 0 {
+			states[t] = Sample(rng, h.Trans.Row(states[t-1]))
+		}
+		obs[t] = Sample(rng, h.Emit.Row(states[t]))
+	}
+	return states, obs, nil
+}
+
+// forwardBackward runs the scaled forward-backward recursions for one
+// observation sequence. It returns the per-step scaled forward (alpha)
+// and backward (beta) variables, the scaling factors, and the sequence
+// log-likelihood.
+func (h *HMM) forwardBackward(obs []int) (alpha, beta [][]float64, scale []float64, ll float64, err error) {
+	n, T := h.States(), len(obs)
+	if T == 0 {
+		return nil, nil, nil, 0, errors.New("markov: empty observation sequence")
+	}
+	for t, o := range obs {
+		if o < 0 || o >= h.Symbols() {
+			return nil, nil, nil, 0, fmt.Errorf("markov: observation %d at %d outside [0,%d)", o, t, h.Symbols())
+		}
+	}
+	alpha = make([][]float64, T)
+	beta = make([][]float64, T)
+	scale = make([]float64, T)
+	for t := range alpha {
+		alpha[t] = make([]float64, n)
+		beta[t] = make([]float64, n)
+	}
+	// Forward with per-step normalization.
+	for i := 0; i < n; i++ {
+		alpha[0][i] = h.Init[i] * h.Emit.At(i, obs[0])
+	}
+	for t := 0; t < T; t++ {
+		if t > 0 {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for i := 0; i < n; i++ {
+					s += alpha[t-1][i] * h.Trans.At(i, j)
+				}
+				alpha[t][j] = s * h.Emit.At(j, obs[t])
+			}
+		}
+		c := 0.0
+		for i := 0; i < n; i++ {
+			c += alpha[t][i]
+		}
+		if c <= 0 {
+			return nil, nil, nil, 0, fmt.Errorf("markov: observation sequence has zero likelihood at t=%d", t)
+		}
+		scale[t] = c
+		for i := 0; i < n; i++ {
+			alpha[t][i] /= c
+		}
+		ll += math.Log(c)
+	}
+	// Backward with the same scaling.
+	for i := 0; i < n; i++ {
+		beta[T-1][i] = 1
+	}
+	for t := T - 2; t >= 0; t-- {
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += h.Trans.At(i, j) * h.Emit.At(j, obs[t+1]) * beta[t+1][j]
+			}
+			beta[t][i] = s / scale[t+1]
+		}
+	}
+	return alpha, beta, scale, ll, nil
+}
+
+// LogLikelihood returns the log-probability of the observation sequence
+// under the model.
+func (h *HMM) LogLikelihood(obs []int) (float64, error) {
+	_, _, _, ll, err := h.forwardBackward(obs)
+	return ll, err
+}
+
+// BaumWelchResult reports the outcome of an EM fit.
+type BaumWelchResult struct {
+	Model         *HMM
+	LogLikelihood float64 // total log-likelihood of all sequences at the fitted model
+	Iterations    int
+	Converged     bool
+}
+
+// BaumWelch fits HMM parameters to observation sequences by
+// expectation-maximization, starting from the receiver's parameters.
+// It stops when the total log-likelihood improves by less than tol or
+// after maxIter iterations. A small floor keeps every probability
+// strictly positive so the loss functions downstream never see exact
+// zeros fabricated by EM round-off.
+func (h *HMM) BaumWelch(seqs [][]int, maxIter int, tol float64) (*BaumWelchResult, error) {
+	if len(seqs) == 0 {
+		return nil, errors.New("markov: no observation sequences")
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	cur := &HMM{Trans: h.Trans.Clone(), Emit: h.Emit.Clone(), Init: h.Init.Clone()}
+	n, m := h.States(), h.Symbols()
+	prevLL := math.Inf(-1)
+	for iter := 1; iter <= maxIter; iter++ {
+		transNum := matrix.New(n, n)
+		emitNum := matrix.New(n, m)
+		initNum := matrix.NewVector(n)
+		stateOcc := matrix.NewVector(n)     // sum of gamma over t = 1..T-1 (for transitions)
+		stateOccFull := matrix.NewVector(n) // sum over all t (for emissions)
+		total := 0.0
+		for _, obs := range seqs {
+			alpha, beta, scale, ll, err := cur.forwardBackward(obs)
+			if err != nil {
+				return nil, err
+			}
+			total += ll
+			T := len(obs)
+			// gamma_t(i) = alpha_t(i) * beta_t(i) (already normalized).
+			for t := 0; t < T; t++ {
+				for i := 0; i < n; i++ {
+					g := alpha[t][i] * beta[t][i]
+					if t == 0 {
+						initNum[i] += g
+					}
+					stateOccFull[i] += g
+					if t < T-1 {
+						stateOcc[i] += g
+					}
+					emitNum.Set(i, obs[t], emitNum.At(i, obs[t])+g)
+				}
+			}
+			// xi_t(i,j) accumulation.
+			for t := 0; t+1 < T; t++ {
+				for i := 0; i < n; i++ {
+					if alpha[t][i] == 0 {
+						continue
+					}
+					for j := 0; j < n; j++ {
+						xi := alpha[t][i] * cur.Trans.At(i, j) * cur.Emit.At(j, obs[t+1]) * beta[t+1][j] / scale[t+1]
+						transNum.Set(i, j, transNum.At(i, j)+xi)
+					}
+				}
+			}
+		}
+		// M-step with a positivity floor.
+		const floor = 1e-12
+		next := &HMM{Trans: matrix.New(n, n), Emit: matrix.New(n, m), Init: matrix.NewVector(n)}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := floor
+				if stateOcc[i] > 0 {
+					v += transNum.At(i, j) / stateOcc[i]
+				} else if i == j {
+					v += 1
+				}
+				next.Trans.Set(i, j, v)
+			}
+			for k := 0; k < m; k++ {
+				v := floor
+				if stateOccFull[i] > 0 {
+					v += emitNum.At(i, k) / stateOccFull[i]
+				} else {
+					v += 1.0 / float64(m)
+				}
+				next.Emit.Set(i, k, v)
+			}
+			next.Init[i] = initNum[i] + floor
+		}
+		if err := next.Trans.NormalizeRows(); err != nil {
+			return nil, err
+		}
+		if err := next.Emit.NormalizeRows(); err != nil {
+			return nil, err
+		}
+		if _, err := next.Init.Normalize(); err != nil {
+			return nil, err
+		}
+		cur = next
+		if total-prevLL < tol && iter > 1 {
+			return &BaumWelchResult{Model: cur, LogLikelihood: total, Iterations: iter, Converged: true}, nil
+		}
+		prevLL = total
+	}
+	return &BaumWelchResult{Model: cur, LogLikelihood: prevLL, Iterations: maxIter, Converged: false}, nil
+}
+
+// RandomHMM returns a randomly initialized HMM for EM restarts: rows are
+// perturbed-uniform so no symmetry traps EM at the exact uniform fixed
+// point.
+func RandomHMM(rng *rand.Rand, states, symbols int) (*HMM, error) {
+	if states <= 0 || symbols <= 0 {
+		return nil, fmt.Errorf("markov: need positive states and symbols, got %d, %d", states, symbols)
+	}
+	trans := matrix.New(states, states)
+	emit := matrix.New(states, symbols)
+	initV := matrix.NewVector(states)
+	for i := 0; i < states; i++ {
+		for j := 0; j < states; j++ {
+			trans.Set(i, j, 1+0.5*rng.Float64())
+		}
+		for k := 0; k < symbols; k++ {
+			emit.Set(i, k, 1+0.5*rng.Float64())
+		}
+		initV[i] = 1 + 0.5*rng.Float64()
+	}
+	if err := trans.NormalizeRows(); err != nil {
+		return nil, err
+	}
+	if err := emit.NormalizeRows(); err != nil {
+		return nil, err
+	}
+	if _, err := initV.Normalize(); err != nil {
+		return nil, err
+	}
+	return NewHMM(trans, emit, initV)
+}

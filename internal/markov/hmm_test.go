@@ -1,0 +1,252 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func testHMM(t *testing.T) *HMM {
+	t.Helper()
+	h, err := NewHMM(
+		matrix.MustFromRows([][]float64{{0.9, 0.1}, {0.2, 0.8}}),
+		matrix.MustFromRows([][]float64{{0.8, 0.1, 0.1}, {0.1, 0.1, 0.8}}),
+		matrix.Vector{0.6, 0.4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewHMMValidation(t *testing.T) {
+	trans := matrix.MustFromRows([][]float64{{0.9, 0.1}, {0.2, 0.8}})
+	emit := matrix.MustFromRows([][]float64{{1, 0}, {0, 1}})
+	init := matrix.Vector{0.5, 0.5}
+	if _, err := NewHMM(nil, emit, init); err == nil {
+		t.Error("nil trans should fail")
+	}
+	if _, err := NewHMM(matrix.MustFromRows([][]float64{{1, 0}}), emit, init); err == nil {
+		t.Error("non-square trans should fail")
+	}
+	if _, err := NewHMM(trans, matrix.MustFromRows([][]float64{{1, 0}}), init); err == nil {
+		t.Error("emission row mismatch should fail")
+	}
+	if _, err := NewHMM(trans, emit, matrix.Vector{1}); err == nil {
+		t.Error("bad init length should fail")
+	}
+	if _, err := NewHMM(trans, emit, matrix.Vector{0.9, 0.3}); err == nil {
+		t.Error("non-distribution init should fail")
+	}
+	h, err := NewHMM(trans, emit, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.States() != 2 || h.Symbols() != 2 {
+		t.Errorf("shape %d/%d", h.States(), h.Symbols())
+	}
+}
+
+func TestHMMChain(t *testing.T) {
+	h := testHMM(t)
+	c, err := h.Chain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Prob(0, 0) != 0.9 {
+		t.Errorf("chain Prob(0,0) = %v", c.Prob(0, 0))
+	}
+}
+
+func TestHMMSample(t *testing.T) {
+	h := testHMM(t)
+	rng := rand.New(rand.NewSource(1))
+	states, obs, err := h.Sample(rng, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 100 || len(obs) != 100 {
+		t.Fatal("wrong lengths")
+	}
+	for i := range states {
+		if states[i] < 0 || states[i] >= 2 || obs[i] < 0 || obs[i] >= 3 {
+			t.Fatalf("out-of-range draw at %d", i)
+		}
+	}
+	if _, _, err := h.Sample(rng, 0); err == nil {
+		t.Error("length 0 should fail")
+	}
+}
+
+func TestForwardLikelihoodHandComputed(t *testing.T) {
+	// Two-state, two-symbol, hand-computable single step:
+	// Pr(obs = [0]) = init . emit_col0.
+	h, err := NewHMM(
+		matrix.MustFromRows([][]float64{{0.5, 0.5}, {0.5, 0.5}}),
+		matrix.MustFromRows([][]float64{{0.9, 0.1}, {0.3, 0.7}}),
+		matrix.Vector{0.4, 0.6},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, err := h.LogLikelihood([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(0.4*0.9 + 0.6*0.3)
+	if math.Abs(ll-want) > 1e-12 {
+		t.Errorf("ll = %v, want %v", ll, want)
+	}
+	// Two steps: sum over paths.
+	ll2, err := h.LogLikelihood([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alpha1 = (0.36, 0.18); uniform transition: pred = (0.27, 0.27);
+	// emit symbol 1: (0.27*0.1, 0.27*0.7); total = 0.027+0.189 = 0.216.
+	want2 := math.Log(0.216)
+	if math.Abs(ll2-want2) > 1e-12 {
+		t.Errorf("ll2 = %v, want %v", ll2, want2)
+	}
+}
+
+func TestLogLikelihoodValidation(t *testing.T) {
+	h := testHMM(t)
+	if _, err := h.LogLikelihood(nil); err == nil {
+		t.Error("empty sequence should fail")
+	}
+	if _, err := h.LogLikelihood([]int{0, 9}); err == nil {
+		t.Error("out-of-range symbol should fail")
+	}
+}
+
+func TestBaumWelchIncreasesLikelihood(t *testing.T) {
+	// EM's defining property: the training likelihood never decreases.
+	truth := testHMM(t)
+	rng := rand.New(rand.NewSource(3))
+	var seqs [][]int
+	for i := 0; i < 10; i++ {
+		_, obs, err := truth.Sample(rng, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, obs)
+	}
+	start, err := RandomHMM(rng, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llBefore := 0.0
+	for _, s := range seqs {
+		ll, err := start.LogLikelihood(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		llBefore += ll
+	}
+	res, err := start.BaumWelch(seqs, 50, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llAfter := 0.0
+	for _, s := range seqs {
+		ll, err := res.Model.LogLikelihood(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		llAfter += ll
+	}
+	if llAfter < llBefore {
+		t.Errorf("EM decreased likelihood: %v -> %v", llBefore, llAfter)
+	}
+	if res.Iterations < 1 {
+		t.Error("no iterations recorded")
+	}
+}
+
+func TestBaumWelchRecoversDistinctiveModel(t *testing.T) {
+	// With near-deterministic emissions the hidden chain is almost
+	// observed, so EM should recover the transition structure (up to
+	// state relabeling).
+	truth, err := NewHMM(
+		matrix.MustFromRows([][]float64{{0.95, 0.05}, {0.10, 0.90}}),
+		matrix.MustFromRows([][]float64{{0.99, 0.01}, {0.01, 0.99}}),
+		matrix.Vector{0.5, 0.5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var seqs [][]int
+	for i := 0; i < 20; i++ {
+		_, obs, err := truth.Sample(rng, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, obs)
+	}
+	start, err := RandomHMM(rng, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := start.BaumWelch(seqs, 200, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Model.Trans
+	// Accept either labeling of the two states.
+	direct := math.Max(math.Abs(got.At(0, 0)-0.95), math.Abs(got.At(1, 1)-0.90))
+	swapped := math.Max(math.Abs(got.At(0, 0)-0.90), math.Abs(got.At(1, 1)-0.95))
+	if math.Min(direct, swapped) > 0.08 {
+		t.Errorf("EM failed to recover transition structure:\n%v", got)
+	}
+}
+
+func TestBaumWelchValidation(t *testing.T) {
+	h := testHMM(t)
+	if _, err := h.BaumWelch(nil, 10, 1e-6); err == nil {
+		t.Error("no sequences should fail")
+	}
+	if _, err := h.BaumWelch([][]int{{0, 99}}, 10, 1e-6); err == nil {
+		t.Error("bad symbol should fail")
+	}
+}
+
+func TestBaumWelchOutputIsValidModel(t *testing.T) {
+	truth := testHMM(t)
+	rng := rand.New(rand.NewSource(21))
+	_, obs, err := truth.Sample(rng, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := truth.BaumWelch([][]int{obs}, 20, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Model.Trans.IsRowStochastic(1e-9) || !res.Model.Emit.IsRowStochastic(1e-9) {
+		t.Error("EM produced non-stochastic parameters")
+	}
+	if !res.Model.Init.IsDistribution(1e-9) {
+		t.Error("EM produced invalid initial distribution")
+	}
+	// The learned chain plugs straight into the privacy framework.
+	if _, err := res.Model.Chain(); err != nil {
+		t.Errorf("learned chain rejected: %v", err)
+	}
+}
+
+func TestRandomHMMValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	h, err := RandomHMM(rng, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.States() != 3 || h.Symbols() != 4 {
+		t.Error("wrong shape")
+	}
+	if _, err := RandomHMM(rng, 0, 2); err == nil {
+		t.Error("0 states should fail")
+	}
+}

@@ -1,0 +1,52 @@
+package markov
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// chainJSON is the wire format of a Chain: the transition rows plus
+// optional state labels.
+type chainJSON struct {
+	Rows   [][]float64 `json:"rows"`
+	Labels []string    `json:"labels,omitempty"`
+}
+
+// MarshalJSON encodes the chain as {"rows": [[...], ...], "labels": [...]}.
+func (c *Chain) MarshalJSON() ([]byte, error) {
+	n := c.N()
+	out := chainJSON{Rows: make([][]float64, n)}
+	for i := 0; i < n; i++ {
+		out.Rows[i] = c.Row(i)
+	}
+	if c.labels != nil {
+		out.Labels = append([]string(nil), c.labels...)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes and validates a chain (rows must be square and
+// row-stochastic; label count, when present, must match).
+func (c *Chain) UnmarshalJSON(data []byte) error {
+	var in chainJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("markov: decoding chain: %w", err)
+	}
+	m, err := matrix.FromRows(in.Rows)
+	if err != nil {
+		return fmt.Errorf("markov: decoding chain: %w", err)
+	}
+	decoded, err := New(m)
+	if err != nil {
+		return err
+	}
+	if in.Labels != nil {
+		if err := decoded.SetLabels(in.Labels); err != nil {
+			return err
+		}
+	}
+	*c = *decoded
+	return nil
+}

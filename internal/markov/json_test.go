@@ -1,0 +1,61 @@
+package markov
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestChainJSONRoundTrip(t *testing.T) {
+	c := Fig2Forward()
+	if err := c.SetLabels([]string{"loc1", "loc2", "loc3"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Chain
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 3 {
+		t.Fatalf("N = %d", back.N())
+	}
+	if back.P().MaxAbsDiff(c.P()) > 1e-15 {
+		t.Error("rows changed in round trip")
+	}
+	if back.Label(2) != "loc3" {
+		t.Errorf("label = %q", back.Label(2))
+	}
+}
+
+func TestChainJSONNoLabels(t *testing.T) {
+	c := ModerateExample()
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Chain
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Label(0) != "loc1" {
+		t.Errorf("default label = %q", back.Label(0))
+	}
+}
+
+func TestChainJSONRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"bad json":       `{`,
+		"empty rows":     `{"rows":[]}`,
+		"non-square":     `{"rows":[[1,0]]}`,
+		"non-stochastic": `{"rows":[[0.5,0.6],[0,1]]}`,
+		"label count":    `{"rows":[[1,0],[0,1]],"labels":["a"]}`,
+	}
+	for name, data := range cases {
+		var c Chain
+		if err := json.Unmarshal([]byte(data), &c); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package markov models the temporal correlations of the paper
+// (Definition 3): time-homogeneous first-order Markov chains over a
+// finite value domain loc = {loc1, ..., locn}, represented by
+// row-stochastic transition matrices.
+//
+// The package provides the two directions the paper needs —
+//
+//   - forward temporal correlation  P^F: Pr(l_t | l_{t-1})
+//   - backward temporal correlation P^B: Pr(l_{t-1} | l_t)
+//
+// — together with Bayesian time reversal to derive one from the other
+// (Section III-A), stationary distributions, trajectory simulation, and
+// maximum-likelihood estimation of transition matrices from observed
+// traces. Correlation generators used by the paper's experiments live in
+// generate.go.
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/matrix"
+)
+
+// DefaultTol is the numeric tolerance used when validating stochastic
+// matrices and distributions.
+const DefaultTol = 1e-9
+
+// ErrNotStochastic is returned when a supplied matrix is not
+// row-stochastic.
+var ErrNotStochastic = errors.New("markov: matrix is not row-stochastic")
+
+// Chain is a time-homogeneous first-order Markov chain over n states.
+// The transition matrix P holds Pr(next = j | current = i) at (i, j).
+type Chain struct {
+	p      *matrix.Matrix
+	labels []string
+}
+
+// New validates p as a row-stochastic square matrix and wraps it in a
+// Chain. The matrix is cloned; the caller keeps ownership of p.
+func New(p *matrix.Matrix) (*Chain, error) {
+	if p == nil {
+		return nil, errors.New("markov: nil transition matrix")
+	}
+	if p.Rows() != p.Cols() {
+		return nil, fmt.Errorf("markov: transition matrix must be square, got %dx%d", p.Rows(), p.Cols())
+	}
+	if !p.IsRowStochastic(DefaultTol) {
+		return nil, ErrNotStochastic
+	}
+	return &Chain{p: p.Clone()}, nil
+}
+
+// MustNew is New but panics on error; intended for fixtures.
+func MustNew(p *matrix.Matrix) *Chain {
+	c, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// FromRows builds a chain from row slices.
+func FromRows(rows [][]float64) (*Chain, error) {
+	m, err := matrix.FromRows(rows)
+	if err != nil {
+		return nil, err
+	}
+	return New(m)
+}
+
+// N returns the number of states.
+func (c *Chain) N() int { return c.p.Rows() }
+
+// P returns a copy of the transition matrix.
+func (c *Chain) P() *matrix.Matrix { return c.p.Clone() }
+
+// Prob returns Pr(next = j | current = i).
+func (c *Chain) Prob(i, j int) float64 { return c.p.At(i, j) }
+
+// Row returns a copy of row i of the transition matrix, i.e. the
+// distribution of the next state given current state i.
+func (c *Chain) Row(i int) matrix.Vector { return c.p.Row(i).Clone() }
+
+// SetLabels attaches human-readable state names (e.g. "loc1".."loc5").
+// The length must match the number of states.
+func (c *Chain) SetLabels(labels []string) error {
+	if len(labels) != c.N() {
+		return fmt.Errorf("markov: %d labels for %d states", len(labels), c.N())
+	}
+	c.labels = append([]string(nil), labels...)
+	return nil
+}
+
+// Label returns the label for state i, or a generated "locI" name when no
+// labels were set.
+func (c *Chain) Label(i int) string {
+	if c.labels != nil {
+		return c.labels[i]
+	}
+	return fmt.Sprintf("loc%d", i+1)
+}
+
+// Propagate returns the distribution after one step: dist * P.
+func (c *Chain) Propagate(dist matrix.Vector) (matrix.Vector, error) {
+	if len(dist) != c.N() {
+		return nil, fmt.Errorf("markov: distribution length %d for %d states", len(dist), c.N())
+	}
+	return c.p.VecMul(dist)
+}
+
+// PropagateK returns the distribution after k steps.
+func (c *Chain) PropagateK(dist matrix.Vector, k int) (matrix.Vector, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("markov: negative step count %d", k)
+	}
+	cur := dist.Clone()
+	for s := 0; s < k; s++ {
+		next, err := c.Propagate(cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Stationary computes a stationary distribution by power iteration from
+// the uniform distribution. maxIter bounds the number of iterations; the
+// iteration stops early once successive distributions are within tol in
+// L1. For periodic chains (where plain power iteration oscillates) the
+// iterate is averaged with its successor, which converges for any chain
+// with a unique stationary distribution.
+func (c *Chain) Stationary(maxIter int, tol float64) (matrix.Vector, error) {
+	if maxIter <= 0 {
+		maxIter = 10000
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	cur := matrix.Uniform(c.N())
+	for it := 0; it < maxIter; it++ {
+		next, err := c.Propagate(cur)
+		if err != nil {
+			return nil, err
+		}
+		// Lazy averaging damps period-2 oscillation.
+		for i := range next {
+			next[i] = 0.5*next[i] + 0.5*cur[i]
+		}
+		if cur.L1Distance(next) <= tol {
+			return next, nil
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Reverse computes the time-reversed chain given the marginal
+// distribution prior of the *earlier* time step, per the Bayesian
+// inference in Section III-A of the paper:
+//
+//	Pr(l_{t-1}=j | l_t=k) = Pr(l_t=k | l_{t-1}=j) Pr(l_{t-1}=j) / Σ_j' ...
+//
+// If a state k is unreachable under prior (zero posterior mass), its
+// reversed row is set to uniform, which is the maximally uninformative
+// completion and keeps the result row-stochastic.
+func (c *Chain) Reverse(prior matrix.Vector) (*Chain, error) {
+	n := c.N()
+	if len(prior) != n {
+		return nil, fmt.Errorf("markov: prior length %d for %d states", len(prior), n)
+	}
+	if !prior.IsDistribution(1e-6) {
+		return nil, fmt.Errorf("markov: prior is not a probability distribution: %v", prior)
+	}
+	rev := matrix.New(n, n)
+	for k := 0; k < n; k++ {
+		denom := 0.0
+		for j := 0; j < n; j++ {
+			denom += c.p.At(j, k) * prior[j]
+		}
+		if denom <= 0 {
+			u := matrix.Uniform(n)
+			for j := 0; j < n; j++ {
+				rev.Set(k, j, u[j])
+			}
+			continue
+		}
+		for j := 0; j < n; j++ {
+			rev.Set(k, j, c.p.At(j, k)*prior[j]/denom)
+		}
+	}
+	return New(rev)
+}
+
+// Step samples the next state from state i using rng.
+func (c *Chain) Step(rng *rand.Rand, i int) int {
+	row := c.p.Row(i)
+	u := rng.Float64()
+	acc := 0.0
+	for j, p := range row {
+		acc += p
+		if u < acc {
+			return j
+		}
+	}
+	// Rounding may leave acc slightly below 1; return the last state
+	// with positive probability.
+	for j := len(row) - 1; j >= 0; j-- {
+		if row[j] > 0 {
+			return j
+		}
+	}
+	return len(row) - 1
+}
+
+// Sample draws an initial state from dist using rng.
+func Sample(rng *rand.Rand, dist matrix.Vector) int {
+	u := rng.Float64()
+	acc := 0.0
+	for j, p := range dist {
+		acc += p
+		if u < acc {
+			return j
+		}
+	}
+	return len(dist) - 1
+}
+
+// Walk simulates a trajectory of the given length starting from a state
+// drawn from initial. It returns the sequence of visited states.
+func (c *Chain) Walk(rng *rand.Rand, initial matrix.Vector, length int) ([]int, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("markov: walk length must be positive, got %d", length)
+	}
+	if len(initial) != c.N() {
+		return nil, fmt.Errorf("markov: initial distribution length %d for %d states", len(initial), c.N())
+	}
+	out := make([]int, length)
+	out[0] = Sample(rng, initial)
+	for t := 1; t < length; t++ {
+		out[t] = c.Step(rng, out[t-1])
+	}
+	return out, nil
+}
+
+// MaxCorrelation returns a crude scalar summary of how far the chain is
+// from uniform: the maximum over rows of the L1 distance between the row
+// and the uniform distribution, scaled to [0, 1]. Zero means every row is
+// uniform (no temporal correlation); one means some row is a point mass
+// in a chain with many states.
+func (c *Chain) MaxCorrelation() float64 {
+	n := c.N()
+	if n == 1 {
+		return 0
+	}
+	u := matrix.Uniform(n)
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		d := c.p.Row(i).L1Distance(u)
+		if d > worst {
+			worst = d
+		}
+	}
+	// A point-mass row has L1 distance 2(n-1)/n from uniform.
+	return worst / (2 * float64(n-1) / float64(n))
+}
+
+// Mix returns a new chain (1-w)*c + w*uniform. w=0 returns a copy of c;
+// w=1 returns the fully uniform chain. It is a convenience used in tests
+// to build chains of graded strength independently of Laplacian
+// smoothing.
+func (c *Chain) Mix(w float64) (*Chain, error) {
+	if w < 0 || w > 1 || math.IsNaN(w) {
+		return nil, fmt.Errorf("markov: mix weight must be in [0,1], got %v", w)
+	}
+	n := c.N()
+	out := matrix.New(n, n)
+	u := 1.0 / float64(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Set(i, j, (1-w)*c.p.At(i, j)+w*u)
+		}
+	}
+	return New(out)
+}

@@ -1,0 +1,341 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil matrix should fail")
+	}
+	if _, err := New(matrix.MustFromRows([][]float64{{1, 0}})); err == nil {
+		t.Error("non-square should fail")
+	}
+	if _, err := New(matrix.MustFromRows([][]float64{{0.5, 0.6}, {0, 1}})); err == nil {
+		t.Error("non-stochastic should fail")
+	}
+	c, err := New(matrix.Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 3 {
+		t.Errorf("N = %d", c.N())
+	}
+}
+
+func TestNewClonesInput(t *testing.T) {
+	m := matrix.Identity(2)
+	c, err := New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Set(0, 0, 0.5)
+	m.Set(0, 1, 0.5)
+	if c.Prob(0, 0) != 1 {
+		t.Error("New did not clone the matrix")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(matrix.MustFromRows([][]float64{{2, -1}, {0, 1}}))
+}
+
+func TestFromRows(t *testing.T) {
+	c, err := FromRows([][]float64{{0.5, 0.5}, {0.1, 0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Prob(1, 0) != 0.1 {
+		t.Errorf("Prob(1,0) = %v", c.Prob(1, 0))
+	}
+}
+
+func TestPReturnsCopy(t *testing.T) {
+	c := MustNew(matrix.Identity(2))
+	p := c.P()
+	p.Set(0, 0, 0)
+	if c.Prob(0, 0) != 1 {
+		t.Error("P() shares storage")
+	}
+}
+
+func TestRowReturnsCopy(t *testing.T) {
+	c := MustNew(matrix.Identity(2))
+	r := c.Row(0)
+	r[0] = 0
+	if c.Prob(0, 0) != 1 {
+		t.Error("Row() shares storage")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	c := MustNew(matrix.Identity(2))
+	if got := c.Label(0); got != "loc1" {
+		t.Errorf("default label = %q", got)
+	}
+	if err := c.SetLabels([]string{"home", "work"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Label(1); got != "work" {
+		t.Errorf("label = %q", got)
+	}
+	if err := c.SetLabels([]string{"x"}); err == nil {
+		t.Error("wrong label count should fail")
+	}
+}
+
+func TestPropagate(t *testing.T) {
+	c := MustNew(matrix.MustFromRows([][]float64{{0, 1}, {1, 0}}))
+	d, err := c.Propagate(matrix.Vector{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0] != 0 || d[1] != 1 {
+		t.Errorf("Propagate = %v", d)
+	}
+	if _, err := c.Propagate(matrix.Vector{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestPropagateKMatchesRepeated(t *testing.T) {
+	c := Fig2Forward()
+	d0 := matrix.Vector{1, 0, 0}
+	d3, err := c.PropagateK(d0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := d0.Clone()
+	for i := 0; i < 3; i++ {
+		cur, err = c.Propagate(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d3.L1Distance(cur) > 1e-12 {
+		t.Errorf("PropagateK disagrees with repeated Propagate")
+	}
+	if _, err := c.PropagateK(d0, -1); err == nil {
+		t.Error("negative k should fail")
+	}
+}
+
+func TestPropagatePreservesDistribution(t *testing.T) {
+	c := Fig2Forward()
+	d := matrix.Vector{0.2, 0.3, 0.5}
+	out, err := c.Propagate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.IsDistribution(1e-12) {
+		t.Errorf("Propagate broke distribution: %v (sum %v)", out, out.Sum())
+	}
+}
+
+func TestStationaryFixedPoint(t *testing.T) {
+	c := Fig2Forward()
+	pi, err := c.Stationary(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pi.IsDistribution(1e-6) {
+		t.Fatalf("stationary not a distribution: %v", pi)
+	}
+	next, err := c.Propagate(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi.L1Distance(next) > 1e-6 {
+		t.Errorf("stationary not fixed: moved by %v", pi.L1Distance(next))
+	}
+}
+
+func TestStationaryPeriodicChain(t *testing.T) {
+	// A 2-cycle has stationary (1/2, 1/2); plain power iteration
+	// oscillates but the damped iteration must converge.
+	c := MustNew(matrix.MustFromRows([][]float64{{0, 1}, {1, 0}}))
+	pi, err := c.Stationary(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-0.5) > 1e-6 || math.Abs(pi[1]-0.5) > 1e-6 {
+		t.Errorf("stationary = %v, want (0.5,0.5)", pi)
+	}
+}
+
+func TestReverseBayes(t *testing.T) {
+	// Hand-checkable 2-state example.
+	c := MustNew(matrix.MustFromRows([][]float64{{0.9, 0.1}, {0.5, 0.5}}))
+	prior := matrix.Vector{0.5, 0.5}
+	rev, err := c.Reverse(prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pr(prev=0 | cur=0) = 0.9*0.5 / (0.9*0.5 + 0.5*0.5) = 0.45/0.7.
+	want := 0.45 / 0.7
+	if math.Abs(rev.Prob(0, 0)-want) > 1e-12 {
+		t.Errorf("rev(0,0) = %v, want %v", rev.Prob(0, 0), want)
+	}
+	if rev.N() != 2 {
+		t.Errorf("N = %d", rev.N())
+	}
+}
+
+func TestReverseUnreachableStateGetsUniformRow(t *testing.T) {
+	// State 1 is unreachable when prior is all mass on state 0 and
+	// transitions from 0 never reach 1.
+	c := MustNew(matrix.MustFromRows([][]float64{{1, 0}, {0.5, 0.5}}))
+	rev, err := c.Reverse(matrix.Vector{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rev.Prob(1, 0)-0.5) > 1e-12 {
+		t.Errorf("unreachable row = %v, want uniform", rev.Row(1))
+	}
+}
+
+func TestReverseErrors(t *testing.T) {
+	c := Fig2Forward()
+	if _, err := c.Reverse(matrix.Vector{0.5, 0.5}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := c.Reverse(matrix.Vector{0.5, 0.5, 0.5}); err == nil {
+		t.Error("non-distribution prior should fail")
+	}
+}
+
+func TestReverseConsistencyWithJointDistribution(t *testing.T) {
+	// For any prior p and forward chain F, the joint distribution
+	// J(prev=j, cur=k) = p_j F_jk must satisfy
+	// B_kj * Pr(cur=k) == J(j,k) where B = Reverse(p).
+	c := Fig2Forward()
+	prior := matrix.Vector{0.2, 0.3, 0.5}
+	rev, err := c.Reverse(prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := c.Propagate(prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		for k := 0; k < 3; k++ {
+			joint := prior[j] * c.Prob(j, k)
+			got := rev.Prob(k, j) * cur[k]
+			if math.Abs(joint-got) > 1e-12 {
+				t.Errorf("joint(%d,%d): %v vs %v", j, k, joint, got)
+			}
+		}
+	}
+}
+
+func TestStepRespectsSupport(t *testing.T) {
+	c := MustNew(matrix.MustFromRows([][]float64{{0, 1}, {1, 0}}))
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		if got := c.Step(rng, 0); got != 1 {
+			t.Fatalf("Step from 0 gave %d, want 1", got)
+		}
+		if got := c.Step(rng, 1); got != 0 {
+			t.Fatalf("Step from 1 gave %d, want 0", got)
+		}
+	}
+}
+
+func TestStepFrequencies(t *testing.T) {
+	c := MustNew(matrix.MustFromRows([][]float64{{0.25, 0.75}, {0.5, 0.5}}))
+	rng := rand.New(rand.NewSource(1))
+	const trials = 200000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if c.Step(rng, 0) == 1 {
+			hits++
+		}
+	}
+	freq := float64(hits) / trials
+	if math.Abs(freq-0.75) > 0.01 {
+		t.Errorf("empirical Pr(0->1) = %v, want ~0.75", freq)
+	}
+}
+
+func TestSampleFrequencies(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dist := matrix.Vector{0.1, 0.2, 0.7}
+	counts := make([]int, 3)
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		counts[Sample(rng, dist)]++
+	}
+	for j, want := range dist {
+		freq := float64(counts[j]) / trials
+		if math.Abs(freq-want) > 0.01 {
+			t.Errorf("state %d frequency %v, want ~%v", j, freq, want)
+		}
+	}
+}
+
+func TestWalk(t *testing.T) {
+	c := MustNew(matrix.MustFromRows([][]float64{{0, 1}, {1, 0}}))
+	rng := rand.New(rand.NewSource(3))
+	w, err := c.Walk(rng, matrix.Vector{1, 0}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 0, 1, 0, 1}
+	for i, v := range want {
+		if w[i] != v {
+			t.Fatalf("walk = %v, want %v", w, want)
+		}
+	}
+	if _, err := c.Walk(rng, matrix.Vector{1, 0}, 0); err == nil {
+		t.Error("zero length should fail")
+	}
+	if _, err := c.Walk(rng, matrix.Vector{1}, 3); err == nil {
+		t.Error("bad initial should fail")
+	}
+}
+
+func TestMaxCorrelation(t *testing.T) {
+	uni, _ := UniformChain(4)
+	if got := uni.MaxCorrelation(); got > 1e-12 {
+		t.Errorf("uniform chain correlation = %v, want 0", got)
+	}
+	id, _ := IdentityChain(4)
+	if got := id.MaxCorrelation(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("identity chain correlation = %v, want 1", got)
+	}
+	single := MustNew(matrix.Identity(1))
+	if got := single.MaxCorrelation(); got != 0 {
+		t.Errorf("1-state correlation = %v", got)
+	}
+}
+
+func TestMix(t *testing.T) {
+	id, _ := IdentityChain(3)
+	half, err := id.Mix(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(half.Prob(0, 0)-(0.5+0.5/3)) > 1e-12 {
+		t.Errorf("Prob(0,0) = %v", half.Prob(0, 0))
+	}
+	full, err := id.Mix(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.MaxCorrelation() > 1e-12 {
+		t.Error("Mix(1) should be uniform")
+	}
+	if _, err := id.Mix(1.5); err == nil {
+		t.Error("out-of-range weight should fail")
+	}
+}

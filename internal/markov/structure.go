@@ -1,0 +1,164 @@
+package markov
+
+import "repro/internal/matrix"
+
+// Structural diagnostics for chains. Stationary-distribution-based
+// workflows (Bayesian time reversal at the stationary prior, long-run
+// trajectory simulation) silently assume the chain is irreducible and
+// aperiodic; these predicates let callers check instead of assume.
+
+// IsIrreducible reports whether every state can reach every other state
+// through transitions of positive probability.
+func (c *Chain) IsIrreducible() bool {
+	n := c.N()
+	if n == 1 {
+		return true
+	}
+	// Reachability from each state via BFS on the positive-probability
+	// graph. O(n^3) worst case, fine for the domain sizes in play.
+	for start := 0; start < n; start++ {
+		seen := make([]bool, n)
+		queue := []int{start}
+		seen[start] = true
+		count := 1
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := 0; v < n; v++ {
+				if !seen[v] && c.p.At(u, v) > 0 {
+					seen[v] = true
+					count++
+					queue = append(queue, v)
+				}
+			}
+		}
+		if count != n {
+			return false
+		}
+	}
+	return true
+}
+
+// Period returns the period of the given state: the gcd of the lengths
+// of all cycles through it, or 0 if the state lies on no cycle. A chain
+// is aperiodic iff every state's period is 1; for irreducible chains
+// all states share the same period.
+func (c *Chain) Period(state int) int {
+	n := c.N()
+	if state < 0 || state >= n {
+		return 0
+	}
+	// BFS layering from the state; for every edge u -> v with u at depth
+	// du and v at depth dv, any return cycle through that edge has
+	// length du + 1 - dv (mod cycles): gcd over all such closures gives
+	// the period. Standard trick: period = gcd over edges u->v of
+	// (depth[u] + 1 - depth[v]) restricted to reachable u, v.
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[state] = 0
+	queue := []int{state}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := 0; v < n; v++ {
+			if c.p.At(u, v) > 0 && depth[v] < 0 {
+				depth[v] = depth[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	g := 0
+	for u := 0; u < n; u++ {
+		if depth[u] < 0 {
+			continue
+		}
+		for v := 0; v < n; v++ {
+			if c.p.At(u, v) > 0 && depth[v] >= 0 {
+				g = gcd(g, depth[u]+1-depth[v])
+			}
+		}
+	}
+	if g < 0 {
+		g = -g
+	}
+	return g
+}
+
+// IsAperiodic reports whether every state has period 1.
+func (c *Chain) IsAperiodic() bool {
+	for s := 0; s < c.N(); s++ {
+		if c.Period(s) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsErgodic reports whether the chain is both irreducible and
+// aperiodic, i.e. has a unique stationary distribution that power
+// iteration converges to from any start.
+func (c *Chain) IsErgodic() bool { return c.IsIrreducible() && c.IsAperiodic() }
+
+// MixingTime returns the smallest number of steps after which the
+// distributions started from every point mass are within tol of each
+// other in L1 (an empirical mixing-time proxy: once all starting points
+// agree, the chain has forgotten its origin). It returns 0, false if
+// that does not happen within maxSteps — e.g. for reducible or periodic
+// chains.
+//
+// Mixing speed is the structural counterpart of temporal privacy
+// leakage: a fast-mixing chain forgets the past quickly, so BPL
+// saturates early and low; a slow-mixing chain carries information
+// across many releases (see TestMixingTimeTracksLeakage in the core
+// package's integration tests).
+func (c *Chain) MixingTime(tol float64, maxSteps int) (int, bool) {
+	if tol <= 0 {
+		tol = 1e-3
+	}
+	if maxSteps <= 0 {
+		maxSteps = 10000
+	}
+	n := c.N()
+	if n == 1 {
+		return 0, true
+	}
+	dists := make([]matrix.Vector, n)
+	for i := range dists {
+		dists[i] = matrix.NewVector(n)
+		dists[i][i] = 1
+	}
+	for step := 1; step <= maxSteps; step++ {
+		for i := range dists {
+			next, err := c.Propagate(dists[i])
+			if err != nil {
+				return 0, false
+			}
+			dists[i] = next
+		}
+		worst := 0.0
+		for i := 1; i < n; i++ {
+			if d := dists[0].L1Distance(dists[i]); d > worst {
+				worst = d
+			}
+		}
+		if worst <= tol {
+			return step, true
+		}
+	}
+	return 0, false
+}
+
+func gcd(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,183 @@
+package markov
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestIsIrreducible(t *testing.T) {
+	cases := []struct {
+		name string
+		rows [][]float64
+		want bool
+	}{
+		{"2-cycle", [][]float64{{0, 1}, {1, 0}}, true},
+		{"identity", [][]float64{{1, 0}, {0, 1}}, false},
+		{"absorbing", [][]float64{{0.5, 0.5}, {0, 1}}, false},
+		{"full", [][]float64{{0.5, 0.5}, {0.5, 0.5}}, true},
+	}
+	for _, c := range cases {
+		ch := MustNew(matrix.MustFromRows(c.rows))
+		if got := ch.IsIrreducible(); got != c.want {
+			t.Errorf("%s: IsIrreducible = %v, want %v", c.name, got, c.want)
+		}
+	}
+	one := MustNew(matrix.Identity(1))
+	if !one.IsIrreducible() {
+		t.Error("single state should be irreducible")
+	}
+}
+
+func TestPeriod(t *testing.T) {
+	cycle2 := MustNew(matrix.MustFromRows([][]float64{{0, 1}, {1, 0}}))
+	if got := cycle2.Period(0); got != 2 {
+		t.Errorf("2-cycle period = %d, want 2", got)
+	}
+	cycle3 := MustNew(matrix.MustFromRows([][]float64{
+		{0, 1, 0}, {0, 0, 1}, {1, 0, 0},
+	}))
+	if got := cycle3.Period(1); got != 3 {
+		t.Errorf("3-cycle period = %d, want 3", got)
+	}
+	lazy, err := Lazy(3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lazy.Period(0); got != 1 {
+		t.Errorf("lazy chain period = %d, want 1 (self-loop)", got)
+	}
+	if cycle2.Period(-1) != 0 || cycle2.Period(5) != 0 {
+		t.Error("out-of-range state should return 0")
+	}
+}
+
+func TestIsAperiodicAndErgodic(t *testing.T) {
+	cycle2 := MustNew(matrix.MustFromRows([][]float64{{0, 1}, {1, 0}}))
+	if cycle2.IsAperiodic() {
+		t.Error("2-cycle should be periodic")
+	}
+	if cycle2.IsErgodic() {
+		t.Error("2-cycle should not be ergodic")
+	}
+	lazy, err := Lazy(4, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lazy.IsErgodic() {
+		t.Error("lazy positive chain should be ergodic")
+	}
+	id, err := IdentityChain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.IsErgodic() {
+		t.Error("identity chain should not be ergodic (reducible)")
+	}
+}
+
+func TestErgodicImpliesStationaryConvergence(t *testing.T) {
+	// For random ergodic chains, power iteration from two different
+	// starts converges to the same stationary distribution.
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		c, err := UniformRandom(rng, 2+rng.Intn(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.IsErgodic() {
+			continue // uniform-random chains are a.s. ergodic, but be safe
+		}
+		pi, err := c.Stationary(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Converge from a point mass instead of uniform.
+		start := matrix.NewVector(c.N())
+		start[0] = 1
+		cur := start
+		for k := 0; k < 10000; k++ {
+			next, err := c.Propagate(cur)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cur.L1Distance(next) < 1e-13 {
+				cur = next
+				break
+			}
+			cur = next
+		}
+		if pi.L1Distance(cur) > 1e-6 {
+			t.Errorf("trial %d: stationary mismatch %v", trial, pi.L1Distance(cur))
+		}
+	}
+}
+
+func TestMixingTime(t *testing.T) {
+	// The uniform chain mixes in one step.
+	uni, err := UniformChain(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, ok := uni.MixingTime(1e-6, 100)
+	if !ok || steps != 1 {
+		t.Errorf("uniform chain mixing = %d/%v, want 1 step", steps, ok)
+	}
+	// A stickier chain mixes more slowly.
+	fast, err := Lazy(4, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Lazy(4, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, ok := fast.MixingTime(1e-3, 10000)
+	if !ok {
+		t.Fatal("fast chain should mix")
+	}
+	ss, ok := slow.MixingTime(1e-3, 10000)
+	if !ok {
+		t.Fatal("slow chain should mix")
+	}
+	if ss <= fs {
+		t.Errorf("sticky chain should mix more slowly: %d vs %d", ss, fs)
+	}
+	// Identity chain never mixes.
+	id, err := IdentityChain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := id.MixingTime(1e-3, 500); ok {
+		t.Error("identity chain must not mix")
+	}
+	// 2-cycle never mixes (periodic).
+	cyc := MustNew(matrix.MustFromRows([][]float64{{0, 1}, {1, 0}}))
+	if _, ok := cyc.MixingTime(1e-3, 500); ok {
+		t.Error("periodic chain must not mix")
+	}
+	// Single state mixes trivially.
+	one := MustNew(matrix.Identity(1))
+	if steps, ok := one.MixingTime(1e-3, 10); !ok || steps != 0 {
+		t.Errorf("single state = %d/%v", steps, ok)
+	}
+}
+
+func TestGCD(t *testing.T) {
+	cases := [][3]int{{0, 5, 5}, {6, 4, 2}, {-6, 4, 2}, {7, 3, 1}, {0, 0, 0}}
+	for _, c := range cases {
+		if got := gcd(c[0], c[1]); got != c[2] {
+			t.Errorf("gcd(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+func TestFig1ChainStructure(t *testing.T) {
+	// The Fig. 1 road network's uniform chain should be ergodic: every
+	// location is reachable and self-loops exist.
+	c := Fig2Forward()
+	if !c.IsErgodic() {
+		t.Error("Fig2Forward should be ergodic")
+	}
+}

@@ -1,0 +1,12 @@
+package markov
+
+import "math"
+
+// logOrNegInf returns log(x), mapping x <= 0 to -Inf rather than NaN so
+// log-likelihoods degrade gracefully.
+func logOrNegInf(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(x)
+}

@@ -1,0 +1,94 @@
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Viterbi returns the most likely hidden-state path for an observation
+// sequence under the model, together with its log-probability. This is
+// the MAP counterpart of the Bayesian filtering the paper's adversary
+// performs: given intercepted (noisy) observations, reconstruct the
+// victim's most plausible trajectory.
+//
+// Computation is in log space, so long sequences do not underflow.
+func (h *HMM) Viterbi(obs []int) (path []int, logProb float64, err error) {
+	T := len(obs)
+	if T == 0 {
+		return nil, 0, errors.New("markov: empty observation sequence")
+	}
+	n := h.States()
+	for t, o := range obs {
+		if o < 0 || o >= h.Symbols() {
+			return nil, 0, fmt.Errorf("markov: observation %d at %d outside [0,%d)", o, t, h.Symbols())
+		}
+	}
+	// delta[t][i]: best log-prob of any path ending in state i at t.
+	delta := make([]float64, n)
+	prevDelta := make([]float64, n)
+	back := make([][]int, T)
+	for i := 0; i < n; i++ {
+		prevDelta[i] = logOrNegInf(h.Init[i]) + logOrNegInf(h.Emit.At(i, obs[0]))
+	}
+	for t := 1; t < T; t++ {
+		back[t] = make([]int, n)
+		for j := 0; j < n; j++ {
+			best := math.Inf(-1)
+			arg := 0
+			for i := 0; i < n; i++ {
+				v := prevDelta[i] + logOrNegInf(h.Trans.At(i, j))
+				if v > best {
+					best = v
+					arg = i
+				}
+			}
+			delta[j] = best + logOrNegInf(h.Emit.At(j, obs[t]))
+			back[t][j] = arg
+		}
+		prevDelta, delta = delta, prevDelta
+	}
+	// Terminal state.
+	bestEnd, bestVal := 0, math.Inf(-1)
+	for i := 0; i < n; i++ {
+		if prevDelta[i] > bestVal {
+			bestVal = prevDelta[i]
+			bestEnd = i
+		}
+	}
+	if math.IsInf(bestVal, -1) {
+		return nil, 0, errors.New("markov: observation sequence has zero probability under the model")
+	}
+	path = make([]int, T)
+	path[T-1] = bestEnd
+	for t := T - 1; t > 0; t-- {
+		path[t-1] = back[t][path[t]]
+	}
+	return path, bestVal, nil
+}
+
+// PathLogProb returns the joint log-probability of a specific hidden
+// path and observation sequence under the model — the quantity Viterbi
+// maximizes, exposed for testing and for scoring candidate trajectories.
+func (h *HMM) PathLogProb(states, obs []int) (float64, error) {
+	if len(states) != len(obs) || len(states) == 0 {
+		return 0, fmt.Errorf("markov: need equal, positive lengths, got %d and %d", len(states), len(obs))
+	}
+	n, m := h.States(), h.Symbols()
+	lp := 0.0
+	for t := range states {
+		if states[t] < 0 || states[t] >= n {
+			return 0, fmt.Errorf("markov: state %d at %d outside [0,%d)", states[t], t, n)
+		}
+		if obs[t] < 0 || obs[t] >= m {
+			return 0, fmt.Errorf("markov: observation %d at %d outside [0,%d)", obs[t], t, m)
+		}
+		if t == 0 {
+			lp += logOrNegInf(h.Init[states[0]])
+		} else {
+			lp += logOrNegInf(h.Trans.At(states[t-1], states[t]))
+		}
+		lp += logOrNegInf(h.Emit.At(states[t], obs[t]))
+	}
+	return lp, nil
+}

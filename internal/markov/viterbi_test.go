@@ -1,0 +1,144 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestViterbiDeterministicEmissions(t *testing.T) {
+	// With identity emissions the observations ARE the states.
+	h, err := NewHMM(
+		matrix.MustFromRows([][]float64{{0.5, 0.5}, {0.5, 0.5}}),
+		matrix.Identity(2),
+		matrix.Vector{0.5, 0.5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := []int{0, 1, 1, 0, 1}
+	path, lp, err := h.Viterbi(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range obs {
+		if path[i] != obs[i] {
+			t.Fatalf("path = %v, want %v", path, obs)
+		}
+	}
+	want := math.Log(0.5) * 5 // init + 4 transitions; emissions certain
+	if math.Abs(lp-want) > 1e-12 {
+		t.Errorf("logProb = %v, want %v", lp, want)
+	}
+}
+
+func TestViterbiPrefersStickyPath(t *testing.T) {
+	// Sticky chain, noisy emissions: one outlier observation should be
+	// explained as noise, keeping the path constant.
+	h, err := NewHMM(
+		matrix.MustFromRows([][]float64{{0.95, 0.05}, {0.05, 0.95}}),
+		matrix.MustFromRows([][]float64{{0.8, 0.2}, {0.2, 0.8}}),
+		matrix.Vector{0.5, 0.5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := []int{0, 0, 1, 0, 0}
+	path, _, err := h.Viterbi(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range path {
+		if s != 0 {
+			t.Errorf("position %d: state %d, want 0 (outlier should be noise)", i, s)
+		}
+	}
+}
+
+func TestViterbiIsOptimalBruteForce(t *testing.T) {
+	// Compare against exhaustive path enumeration on small instances.
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 30; trial++ {
+		h, err := RandomHMM(rng, 2+rng.Intn(2), 2+rng.Intn(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		T := 2 + rng.Intn(5)
+		obs := make([]int, T)
+		for i := range obs {
+			obs[i] = rng.Intn(h.Symbols())
+		}
+		path, lp, err := h.Viterbi(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := h.PathLogProb(path, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-lp) > 1e-9 {
+			t.Fatalf("trial %d: reported %v but path scores %v", trial, lp, got)
+		}
+		// Exhaustive check.
+		n := h.States()
+		total := 1
+		for i := 0; i < T; i++ {
+			total *= n
+		}
+		best := math.Inf(-1)
+		states := make([]int, T)
+		for code := 0; code < total; code++ {
+			c := code
+			for i := 0; i < T; i++ {
+				states[i] = c % n
+				c /= n
+			}
+			v, err := h.PathLogProb(states, obs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v > best {
+				best = v
+			}
+		}
+		if math.Abs(best-lp) > 1e-9 {
+			t.Fatalf("trial %d: Viterbi %v vs brute force %v", trial, lp, best)
+		}
+	}
+}
+
+func TestViterbiValidation(t *testing.T) {
+	h, err := RandomHMM(rand.New(rand.NewSource(1)), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.Viterbi(nil); err == nil {
+		t.Error("empty observations should fail")
+	}
+	if _, _, err := h.Viterbi([]int{0, 9}); err == nil {
+		t.Error("out-of-range symbol should fail")
+	}
+	if _, err := h.PathLogProb([]int{0}, []int{0, 1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := h.PathLogProb([]int{9}, []int{0}); err == nil {
+		t.Error("bad state should fail")
+	}
+}
+
+func TestViterbiImpossibleSequence(t *testing.T) {
+	// Emissions that make an observation impossible from every state.
+	h, err := NewHMM(
+		matrix.MustFromRows([][]float64{{1, 0}, {0, 1}}),
+		matrix.MustFromRows([][]float64{{1, 0, 0}, {1, 0, 0}}),
+		matrix.Vector{0.5, 0.5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.Viterbi([]int{0, 2}); err == nil {
+		t.Error("zero-probability sequence should fail")
+	}
+}

@@ -1,0 +1,235 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns a zero matrix with the given shape. It panics if either
+// dimension is non-positive.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices. All rows must have equal,
+// non-zero length.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, ErrEmpty
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("matrix: row %d has %d columns, want %d", i, len(r), cols)
+		}
+		copy(m.data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// MustFromRows is FromRows but panics on error. Intended for literals in
+// tests and examples.
+func MustFromRows(rows [][]float64) *Matrix {
+	m, err := FromRows(rows)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns row i as a Vector sharing the matrix's storage. Mutating
+// the returned vector mutates the matrix.
+func (m *Matrix) Row(i int) Vector {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("matrix: row %d out of range %d", i, m.rows))
+	}
+	return Vector(m.data[i*m.cols : (i+1)*m.cols])
+}
+
+// Col returns column j as a freshly allocated Vector.
+func (m *Matrix) Col(j int) Vector {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: col %d out of range %d", j, m.cols))
+	}
+	v := NewVector(m.rows)
+	for i := 0; i < m.rows; i++ {
+		v[i] = m.data[i*m.cols+j]
+	}
+	return v
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*out.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return out
+}
+
+// Mul returns the matrix product m * other.
+func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
+	if m.cols != other.rows {
+		return nil, fmt.Errorf("matrix: cannot multiply %dx%d by %dx%d", m.rows, m.cols, other.rows, other.cols)
+	}
+	out := New(m.rows, other.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.data[i*m.cols+k]
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < other.cols; j++ {
+				out.data[i*out.cols+j] += a * other.data[k*other.cols+j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// VecMul returns v * m (a row vector times the matrix).
+func (m *Matrix) VecMul(v Vector) (Vector, error) {
+	if len(v) != m.rows {
+		return nil, fmt.Errorf("matrix: cannot multiply row vector of length %d by %dx%d", len(v), m.rows, m.cols)
+	}
+	out := NewVector(m.cols)
+	for i, a := range v {
+		if a == 0 {
+			continue
+		}
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, b := range row {
+			out[j] += a * b
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns m * v (the matrix times a column vector).
+func (m *Matrix) MulVec(v Vector) (Vector, error) {
+	if len(v) != m.cols {
+		return nil, fmt.Errorf("matrix: cannot multiply %dx%d by column vector of length %d", m.rows, m.cols, len(v))
+	}
+	out := NewVector(m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = Vector(m.data[i*m.cols : (i+1)*m.cols]).Dot(v)
+	}
+	return out, nil
+}
+
+// Equal reports whether m and other have the same shape and all elements
+// within tol of each other.
+func (m *Matrix) Equal(other *Matrix, tol float64) bool {
+	if m.rows != other.rows || m.cols != other.cols {
+		return false
+	}
+	for i, x := range m.data {
+		if math.Abs(x-other.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the maximum absolute element-wise difference between
+// m and other. It returns +Inf for shape mismatches.
+func (m *Matrix) MaxAbsDiff(other *Matrix) float64 {
+	if m.rows != other.rows || m.cols != other.cols {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for i, x := range m.data {
+		if d := math.Abs(x - other.data[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// String renders the matrix with 4 decimal places, one row per line.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(m.Row(i).String())
+	}
+	return b.String()
+}
+
+// IsRowStochastic reports whether every element of m is in [0,1] (up to
+// tol) and every row sums to 1 (up to tol). Transition matrices in the
+// paper (Definition 3) are row-stochastic.
+func (m *Matrix) IsRowStochastic(tol float64) bool {
+	for i := 0; i < m.rows; i++ {
+		if !m.Row(i).IsDistribution(tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// NormalizeRows rescales every row to sum to 1 in place. It returns an
+// error naming the first row whose sum is non-positive or non-finite.
+func (m *Matrix) NormalizeRows() error {
+	for i := 0; i < m.rows; i++ {
+		if _, err := m.Row(i).Normalize(); err != nil {
+			return fmt.Errorf("matrix: row %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewShape(t *testing.T) {
+	m := New(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("shape = %dx%d, want 2x3", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != 0 {
+				t.Errorf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on invalid shape")
+		}
+	}()
+	New(0, 3)
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v", m.At(1, 0))
+	}
+}
+
+func TestFromRowsErrors(t *testing.T) {
+	if _, err := FromRows(nil); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged input should fail")
+	}
+}
+
+func TestMustFromRowsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustFromRows([][]float64{{1}, {2, 3}})
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Errorf("I(%d,%d) = %v", i, j, m.At(i, j))
+			}
+		}
+	}
+	if !m.IsRowStochastic(0) {
+		t.Error("identity should be row-stochastic")
+	}
+}
+
+func TestSetAtBounds(t *testing.T) {
+	m := New(2, 2)
+	m.Set(1, 1, 5)
+	if m.At(1, 1) != 5 {
+		t.Errorf("At(1,1) = %v", m.At(1, 1))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic out of range")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestRowSharesStorage(t *testing.T) {
+	m := MustFromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(0)
+	r[0] = 9
+	if m.At(0, 0) != 9 {
+		t.Error("Row should share storage")
+	}
+}
+
+func TestColCopies(t *testing.T) {
+	m := MustFromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Col(1)
+	if c[0] != 2 || c[1] != 4 {
+		t.Errorf("Col(1) = %v", c)
+	}
+	c[0] = 9
+	if m.At(0, 1) != 2 {
+		t.Error("Col should copy")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := MustFromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := MustFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("shape = %dx%d", tr.Rows(), tr.Cols())
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Errorf("transpose wrong: %v", tr)
+	}
+	back := tr.Transpose()
+	if !back.Equal(m, 0) {
+		t.Error("double transpose != original")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := MustFromRows([][]float64{{1, 2}, {3, 4}})
+	b := MustFromRows([][]float64{{0, 1}, {1, 0}})
+	p, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustFromRows([][]float64{{2, 1}, {4, 3}})
+	if !p.Equal(want, 1e-12) {
+		t.Errorf("Mul = %v", p)
+	}
+	if _, err := a.Mul(MustFromRows([][]float64{{1, 2, 3}})); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := New(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			a.Set(i, j, rng.Float64())
+		}
+	}
+	p, err := a.Mul(Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(a, 1e-12) {
+		t.Error("A*I != A")
+	}
+}
+
+func TestVecMulAndMulVec(t *testing.T) {
+	m := MustFromRows([][]float64{{1, 2}, {3, 4}})
+	row, err := m.VecMul(Vector{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != 4 || row[1] != 6 {
+		t.Errorf("VecMul = %v", row)
+	}
+	col, err := m.MulVec(Vector{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col[0] != 3 || col[1] != 7 {
+		t.Errorf("MulVec = %v", col)
+	}
+	if _, err := m.VecMul(Vector{1}); err == nil {
+		t.Error("VecMul length mismatch should fail")
+	}
+	if _, err := m.MulVec(Vector{1, 2, 3}); err == nil {
+		t.Error("MulVec length mismatch should fail")
+	}
+}
+
+func TestEqualAndMaxAbsDiff(t *testing.T) {
+	a := MustFromRows([][]float64{{1, 2}})
+	b := MustFromRows([][]float64{{1, 2.001}})
+	if a.Equal(b, 1e-6) {
+		t.Error("should differ at tol 1e-6")
+	}
+	if !a.Equal(b, 0.01) {
+		t.Error("should be equal at tol 0.01")
+	}
+	if d := a.MaxAbsDiff(b); !almostEqual(d, 0.001, 1e-12) {
+		t.Errorf("MaxAbsDiff = %v", d)
+	}
+	c := MustFromRows([][]float64{{1, 2}, {3, 4}})
+	if !math.IsInf(a.MaxAbsDiff(c), 1) {
+		t.Error("shape mismatch should give +Inf")
+	}
+}
+
+func TestIsRowStochastic(t *testing.T) {
+	good := MustFromRows([][]float64{{0.5, 0.5}, {0, 1}})
+	if !good.IsRowStochastic(1e-9) {
+		t.Error("good matrix rejected")
+	}
+	bad := MustFromRows([][]float64{{0.5, 0.6}, {0, 1}})
+	if bad.IsRowStochastic(1e-9) {
+		t.Error("bad row sum accepted")
+	}
+	neg := MustFromRows([][]float64{{-0.5, 1.5}})
+	if neg.IsRowStochastic(1e-9) {
+		t.Error("negative entry accepted")
+	}
+}
+
+func TestNormalizeRows(t *testing.T) {
+	m := MustFromRows([][]float64{{2, 2}, {1, 3}})
+	if err := m.NormalizeRows(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsRowStochastic(1e-12) {
+		t.Errorf("not stochastic after NormalizeRows: %v", m)
+	}
+	zero := MustFromRows([][]float64{{0, 0}})
+	if err := zero.NormalizeRows(); err == nil {
+		t.Error("zero row should fail")
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	m := MustFromRows([][]float64{{1, 0}, {0, 1}})
+	want := "[1.0000 0.0000]\n[0.0000 1.0000]"
+	if got := m.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+// Property: (A*B)*v == A*(B*v) for random small matrices.
+func TestMulAssociatesWithVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(5)
+		a, b := New(n, n), New(n, n)
+		v := NewVector(n)
+		for i := 0; i < n; i++ {
+			v[i] = rng.NormFloat64()
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+				b.Set(i, j, rng.NormFloat64())
+			}
+		}
+		ab, err := a.Mul(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		left, err := ab.MulVec(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bv, err := b.MulVec(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		right, err := a.MulVec(bv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if left.L1Distance(right) > 1e-8 {
+			t.Fatalf("associativity violated by %v", left.L1Distance(right))
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// LaplacianSmooth returns a new matrix obtained by applying the paper's
+// Eq. (25) to every row of p:
+//
+//	p̂_jk = (p_jk + s) / Σ_u (p_ju + s)
+//
+// A smaller s preserves more of the original (stronger) correlation; a
+// larger s pushes every row toward uniform. s must be positive unless
+// every row already has positive mass (s = 0 leaves the matrix unchanged
+// up to normalization).
+//
+// The paper uses this operator to turn a "strongest correlation" matrix
+// (a 0/1 permutation-like matrix) into transition matrices of tunable
+// correlation degree for the Fig. 6 and Fig. 8 experiments.
+func LaplacianSmooth(p *Matrix, s float64) (*Matrix, error) {
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("matrix: smoothing parameter must be finite and non-negative, got %v", s)
+	}
+	out := p.Clone()
+	n := float64(out.Cols())
+	for i := 0; i < out.Rows(); i++ {
+		row := out.Row(i)
+		denom := row.Sum() + s*n
+		if denom <= 0 {
+			return nil, fmt.Errorf("matrix: row %d has zero mass and s=0; cannot smooth", i)
+		}
+		for j := range row {
+			row[j] = (row[j] + s) / denom
+		}
+	}
+	return out, nil
+}
+
+// SmoothingSweep applies LaplacianSmooth for each value of s and returns
+// the resulting matrices in order. It is a convenience for the
+// correlation-strength sweeps in the Fig. 6 and Fig. 8 experiments.
+func SmoothingSweep(p *Matrix, ss []float64) ([]*Matrix, error) {
+	out := make([]*Matrix, 0, len(ss))
+	for _, s := range ss {
+		m, err := LaplacianSmooth(p, s)
+		if err != nil {
+			return nil, fmt.Errorf("matrix: sweep at s=%v: %w", s, err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

@@ -1,0 +1,130 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLaplacianSmoothKeepsStochastic(t *testing.T) {
+	p := MustFromRows([][]float64{{1, 0}, {0, 1}})
+	for _, s := range []float64{0, 0.001, 0.05, 1, 100} {
+		out, err := LaplacianSmooth(p, s)
+		if err != nil {
+			t.Fatalf("s=%v: %v", s, err)
+		}
+		if !out.IsRowStochastic(1e-12) {
+			t.Errorf("s=%v: result not row-stochastic:\n%v", s, out)
+		}
+	}
+}
+
+func TestLaplacianSmoothZeroIsIdentityOp(t *testing.T) {
+	p := MustFromRows([][]float64{{0.3, 0.7}, {0.9, 0.1}})
+	out, err := LaplacianSmooth(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(p, 1e-12) {
+		t.Errorf("s=0 changed a stochastic matrix:\n%v", out)
+	}
+}
+
+func TestLaplacianSmoothExactValue(t *testing.T) {
+	// For a point-mass row (1,0) with s: (1+s)/(1+2s), s/(1+2s).
+	p := MustFromRows([][]float64{{1, 0}})
+	out, err := LaplacianSmooth(p, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(out.At(0, 0), 1.5/2.0, 1e-12) || !almostEqual(out.At(0, 1), 0.5/2.0, 1e-12) {
+		t.Errorf("got %v", out)
+	}
+}
+
+func TestLaplacianSmoothLargeSTendsUniform(t *testing.T) {
+	p := MustFromRows([][]float64{{1, 0, 0}, {0, 0, 1}, {0, 1, 0}})
+	out, err := LaplacianSmooth(p, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if !almostEqual(out.At(i, j), 1.0/3, 1e-4) {
+				t.Errorf("(%d,%d) = %v, want ~1/3", i, j, out.At(i, j))
+			}
+		}
+	}
+}
+
+func TestLaplacianSmoothMonotoneTowardUniform(t *testing.T) {
+	// Larger s should strictly shrink the distance to uniform for a
+	// point-mass row.
+	p := MustFromRows([][]float64{{1, 0, 0, 0}})
+	u := Uniform(4)
+	prev := math.Inf(1)
+	for _, s := range []float64{0.001, 0.01, 0.1, 1, 10} {
+		out, err := LaplacianSmooth(p, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := out.Row(0).L1Distance(u)
+		if d >= prev {
+			t.Errorf("s=%v: distance %v not smaller than %v", s, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestLaplacianSmoothErrors(t *testing.T) {
+	p := MustFromRows([][]float64{{1, 0}})
+	if _, err := LaplacianSmooth(p, -1); err == nil {
+		t.Error("negative s should fail")
+	}
+	if _, err := LaplacianSmooth(p, math.NaN()); err == nil {
+		t.Error("NaN s should fail")
+	}
+	zero := MustFromRows([][]float64{{0, 0}})
+	if _, err := LaplacianSmooth(zero, 0); err == nil {
+		t.Error("zero-mass row with s=0 should fail")
+	}
+}
+
+func TestSmoothingSweep(t *testing.T) {
+	p := MustFromRows([][]float64{{1, 0}, {0, 1}})
+	ms, err := SmoothingSweep(p, []float64{0.01, 0.1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("got %d matrices", len(ms))
+	}
+	for _, m := range ms {
+		if !m.IsRowStochastic(1e-12) {
+			t.Error("sweep result not stochastic")
+		}
+	}
+	if _, err := SmoothingSweep(p, []float64{0.1, -1}); err == nil {
+		t.Error("sweep with invalid s should fail")
+	}
+}
+
+func TestLaplacianSmoothDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := New(3, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			p.Set(i, j, rng.Float64())
+		}
+	}
+	if err := p.NormalizeRows(); err != nil {
+		t.Fatal(err)
+	}
+	before := p.Clone()
+	if _, err := LaplacianSmooth(p, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(before, 0) {
+		t.Error("LaplacianSmooth mutated its input")
+	}
+}

@@ -1,0 +1,168 @@
+// Package matrix provides the small dense linear-algebra substrate used
+// throughout the reproduction: vectors, dense row-major matrices,
+// row-stochastic (probability) matrices, and the Laplacian smoothing
+// operator of Eq. (25) in the paper, which generates transition matrices
+// of tunable correlation strength.
+//
+// Everything here is deliberately simple and allocation-conscious: the
+// privacy-quantification algorithms call into this package in tight
+// loops over row pairs of transition matrices.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Vector is a dense vector of float64 values.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (v Vector) Sum() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Dot returns the inner product of v and w.
+// It panics if the lengths differ, since that is always a programming error.
+func (v Vector) Dot(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("matrix: Dot length mismatch %d vs %d", len(v), len(w)))
+	}
+	s := 0.0
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// Scale multiplies every element by k in place and returns v.
+func (v Vector) Scale(k float64) Vector {
+	for i := range v {
+		v[i] *= k
+	}
+	return v
+}
+
+// Add adds w to v element-wise in place and returns v.
+func (v Vector) Add(w Vector) Vector {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("matrix: Add length mismatch %d vs %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += w[i]
+	}
+	return v
+}
+
+// Max returns the maximum element and its index. It panics on an empty
+// vector.
+func (v Vector) Max() (float64, int) {
+	if len(v) == 0 {
+		panic("matrix: Max of empty vector")
+	}
+	best, at := v[0], 0
+	for i, x := range v[1:] {
+		if x > best {
+			best, at = x, i+1
+		}
+	}
+	return best, at
+}
+
+// Min returns the minimum element and its index. It panics on an empty
+// vector.
+func (v Vector) Min() (float64, int) {
+	if len(v) == 0 {
+		panic("matrix: Min of empty vector")
+	}
+	best, at := v[0], 0
+	for i, x := range v[1:] {
+		if x < best {
+			best, at = x, i+1
+		}
+	}
+	return best, at
+}
+
+// L1Distance returns the L1 norm of v-w.
+func (v Vector) L1Distance(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("matrix: L1Distance length mismatch %d vs %d", len(v), len(w)))
+	}
+	s := 0.0
+	for i, x := range v {
+		s += math.Abs(x - w[i])
+	}
+	return s
+}
+
+// IsDistribution reports whether v is a probability distribution: all
+// elements within [0,1] (up to tol) and summing to 1 (up to tol).
+func (v Vector) IsDistribution(tol float64) bool {
+	for _, x := range v {
+		if x < -tol || x > 1+tol || math.IsNaN(x) {
+			return false
+		}
+	}
+	return math.Abs(v.Sum()-1) <= tol
+}
+
+// Normalize rescales v in place so it sums to 1 and returns v. It
+// returns an error if the sum is zero, negative, or not finite.
+func (v Vector) Normalize() (Vector, error) {
+	s := v.Sum()
+	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("matrix: cannot normalize vector with sum %v", s)
+	}
+	for i := range v {
+		v[i] /= s
+	}
+	return v, nil
+}
+
+// String formats the vector with 4 decimal places.
+func (v Vector) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.4f", x)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// ErrEmpty is returned when an operation receives an empty vector or
+// matrix where a non-empty one is required.
+var ErrEmpty = errors.New("matrix: empty operand")
+
+// Uniform returns the uniform distribution over n outcomes.
+func Uniform(n int) Vector {
+	if n <= 0 {
+		return nil
+	}
+	v := NewVector(n)
+	p := 1.0 / float64(n)
+	for i := range v {
+		v[i] = p
+	}
+	return v
+}

@@ -1,0 +1,215 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewVectorZero(t *testing.T) {
+	v := NewVector(4)
+	if len(v) != 4 {
+		t.Fatalf("len = %d, want 4", len(v))
+	}
+	for i, x := range v {
+		if x != 0 {
+			t.Errorf("v[%d] = %v, want 0", i, x)
+		}
+	}
+}
+
+func TestVectorClone(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := v.Clone()
+	w[0] = 99
+	if v[0] != 1 {
+		t.Errorf("Clone aliases the original")
+	}
+}
+
+func TestVectorSum(t *testing.T) {
+	cases := []struct {
+		v    Vector
+		want float64
+	}{
+		{Vector{}, 0},
+		{Vector{1.5}, 1.5},
+		{Vector{1, 2, 3}, 6},
+		{Vector{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := c.v.Sum(); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Sum(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestVectorDot(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	if got := v.Dot(w); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+}
+
+func TestVectorDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestVectorScaleAdd(t *testing.T) {
+	v := Vector{1, 2}.Scale(3)
+	if v[0] != 3 || v[1] != 6 {
+		t.Errorf("Scale = %v", v)
+	}
+	v.Add(Vector{1, 1})
+	if v[0] != 4 || v[1] != 7 {
+		t.Errorf("Add = %v", v)
+	}
+}
+
+func TestVectorMaxMin(t *testing.T) {
+	v := Vector{3, 1, 4, 1, 5}
+	if got, at := v.Max(); got != 5 || at != 4 {
+		t.Errorf("Max = %v@%d", got, at)
+	}
+	if got, at := v.Min(); got != 1 || at != 1 {
+		t.Errorf("Min = %v@%d, want first minimum", got, at)
+	}
+}
+
+func TestVectorMaxEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty vector")
+		}
+	}()
+	Vector{}.Max()
+}
+
+func TestL1Distance(t *testing.T) {
+	v := Vector{1, 2}
+	w := Vector{2, 0}
+	if got := v.L1Distance(w); got != 3 {
+		t.Errorf("L1Distance = %v, want 3", got)
+	}
+	if got := v.L1Distance(v); got != 0 {
+		t.Errorf("self distance = %v", got)
+	}
+}
+
+func TestIsDistribution(t *testing.T) {
+	cases := []struct {
+		v    Vector
+		want bool
+	}{
+		{Vector{0.5, 0.5}, true},
+		{Vector{1}, true},
+		{Vector{0.3, 0.3}, false},
+		{Vector{-0.1, 1.1}, false},
+		{Vector{math.NaN(), 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.v.IsDistribution(1e-9); got != c.want {
+			t.Errorf("IsDistribution(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Vector{2, 2, 4}
+	out, err := v.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.IsDistribution(1e-12) {
+		t.Errorf("not a distribution after Normalize: %v", out)
+	}
+	if !almostEqual(out[2], 0.5, 1e-12) {
+		t.Errorf("out[2] = %v, want 0.5", out[2])
+	}
+}
+
+func TestNormalizeErrors(t *testing.T) {
+	for _, v := range []Vector{{0, 0}, {-1, 0.5}, {math.Inf(1)}} {
+		if _, err := v.Clone().Normalize(); err == nil && v.Sum() <= 0 {
+			t.Errorf("Normalize(%v) should fail", v)
+		}
+	}
+	if _, err := (Vector{0, 0}).Normalize(); err == nil {
+		t.Error("Normalize of zero vector should fail")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	u := Uniform(4)
+	if !u.IsDistribution(1e-12) {
+		t.Fatalf("Uniform(4) = %v is not a distribution", u)
+	}
+	for _, x := range u {
+		if !almostEqual(x, 0.25, 1e-12) {
+			t.Errorf("Uniform(4) element = %v", x)
+		}
+	}
+	if Uniform(0) != nil {
+		t.Error("Uniform(0) should be nil")
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	got := Vector{0.5, 0.25}.String()
+	want := "[0.5000 0.2500]"
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+// Property: normalizing any vector with positive sum yields a
+// distribution, and rescaling preserves ratios.
+func TestNormalizeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		v := make(Vector, 0, len(raw))
+		for _, x := range raw {
+			v = append(v, math.Abs(math.Mod(x, 100)))
+		}
+		if v.Sum() <= 0 {
+			return true // skip degenerate draws
+		}
+		w, err := v.Clone().Normalize()
+		if err != nil {
+			return false
+		}
+		return w.IsDistribution(1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dot is symmetric and linear in the first argument.
+func TestDotProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(8)
+		v, w := NewVector(n), NewVector(n)
+		for i := 0; i < n; i++ {
+			v[i] = rng.NormFloat64()
+			w[i] = rng.NormFloat64()
+		}
+		if !almostEqual(v.Dot(w), w.Dot(v), 1e-9) {
+			t.Fatalf("Dot not symmetric: %v vs %v", v.Dot(w), w.Dot(v))
+		}
+		k := rng.NormFloat64()
+		scaled := v.Clone().Scale(k)
+		if !almostEqual(scaled.Dot(w), k*v.Dot(w), 1e-6*(1+math.Abs(k*v.Dot(w)))) {
+			t.Fatalf("Dot not linear under scaling")
+		}
+	}
+}

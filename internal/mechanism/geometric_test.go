@@ -1,0 +1,122 @@
+package mechanism
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewGeometricValidation(t *testing.T) {
+	if _, err := NewGeometric(0, 1, nil); !errors.Is(err, ErrBudget) {
+		t.Error("eps=0 should fail")
+	}
+	if _, err := NewGeometric(math.NaN(), 1, nil); !errors.Is(err, ErrBudget) {
+		t.Error("NaN eps should fail")
+	}
+	if _, err := NewGeometric(1, 0, nil); !errors.Is(err, ErrSensitivity) {
+		t.Error("zero sensitivity should fail")
+	}
+	g, err := NewGeometric(0.5, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Epsilon() != 0.5 || g.Sensitivity() != 2 || g.LogRatioBound() != 0.5 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestGeometricNoiseDistribution(t *testing.T) {
+	g, err := NewGeometric(1, 1, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := math.Exp(-1.0)
+	p0want := (1 - a) / (1 + a)
+	const n = 400000
+	zero, pos, neg := 0, 0, 0
+	sumAbs := 0.0
+	for i := 0; i < n; i++ {
+		x := g.SampleNoise()
+		switch {
+		case x == 0:
+			zero++
+		case x > 0:
+			pos++
+		default:
+			neg++
+		}
+		sumAbs += math.Abs(float64(x))
+	}
+	if got := float64(zero) / n; math.Abs(got-p0want) > 0.005 {
+		t.Errorf("Pr(0) = %v, want %v", got, p0want)
+	}
+	if math.Abs(float64(pos-neg))/n > 0.01 {
+		t.Errorf("asymmetric tails: %d vs %d", pos, neg)
+	}
+	if got, want := sumAbs/n, g.ExpectedAbsNoise(); math.Abs(got-want) > 0.02 {
+		t.Errorf("E|X| = %v, want %v", got, want)
+	}
+}
+
+func TestGeometricDPRatioEmpirical(t *testing.T) {
+	// Empirically verify the eps-DP property: for neighboring true
+	// values v and v+1, the output distributions differ by at most e^eps
+	// pointwise (within sampling error on well-populated outputs).
+	eps := 0.8
+	g1, _ := NewGeometric(eps, 1, rand.New(rand.NewSource(2)))
+	g2, _ := NewGeometric(eps, 1, rand.New(rand.NewSource(3)))
+	const n = 500000
+	h1 := map[int]int{}
+	h2 := map[int]int{}
+	for i := 0; i < n; i++ {
+		h1[g1.Release(0)]++
+		h2[g2.Release(1)]++
+	}
+	for out, c1 := range h1 {
+		c2 := h2[out]
+		if c1 < 2000 || c2 < 2000 {
+			continue // skip sparsely populated outputs
+		}
+		ratio := float64(c1) / float64(c2)
+		if ratio > math.Exp(eps)*1.1 || ratio < math.Exp(-eps)/1.1 {
+			t.Errorf("output %d: ratio %v outside e^+-%v", out, ratio, eps)
+		}
+	}
+}
+
+func TestGeometricReleaseCounts(t *testing.T) {
+	g, err := NewGeometric(5, 1, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := g.ReleaseCounts([]int{10, 0, 7})
+	if len(out) != 3 {
+		t.Fatalf("len %d", len(out))
+	}
+	for i, want := range []int{10, 0, 7} {
+		if int(math.Abs(float64(out[i]-want))) > 10 {
+			t.Errorf("count %d drifted implausibly: %d vs %d", i, out[i], want)
+		}
+	}
+}
+
+func TestGeometricVsLaplaceUtility(t *testing.T) {
+	// At the same eps the geometric mechanism's expected absolute noise
+	// is below the Laplace scale (discrete noise is tighter), and both
+	// decrease as eps grows.
+	for _, eps := range []float64{0.2, 0.5, 1, 2} {
+		g, err := NewGeometric(eps, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := NewLaplace(eps, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.ExpectedAbsNoise() >= l.ExpectedAbsNoise() {
+			t.Errorf("eps=%v: geometric noise %v not below Laplace %v",
+				eps, g.ExpectedAbsNoise(), l.ExpectedAbsNoise())
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package mechanism
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSampleLaplaceMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 500000
+	scale := 2.0
+	sum, sumAbs, sumSq := 0.0, 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := SampleLaplace(rng, scale)
+		sum += x
+		sumAbs += math.Abs(x)
+		sumSq += x * x
+	}
+	mean := sum / n
+	meanAbs := sumAbs / n
+	variance := sumSq / n
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(meanAbs-scale) > 0.02 {
+		t.Errorf("E|X| = %v, want %v", meanAbs, scale)
+	}
+	if math.Abs(variance-2*scale*scale) > 0.15 {
+		t.Errorf("Var = %v, want %v", variance, 2*scale*scale)
+	}
+}
+
+func TestSampleLaplaceSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 200000
+	pos := 0
+	for i := 0; i < n; i++ {
+		if SampleLaplace(rng, 1) > 0 {
+			pos++
+		}
+	}
+	frac := float64(pos) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("positive fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestSampleLaplaceTailProbability(t *testing.T) {
+	// Pr(|X| > b*k) = e^{-k}.
+	rng := rand.New(rand.NewSource(3))
+	const n = 300000
+	exceed := 0
+	for i := 0; i < n; i++ {
+		if math.Abs(SampleLaplace(rng, 1)) > 2 {
+			exceed++
+		}
+	}
+	frac := float64(exceed) / n
+	want := math.Exp(-2)
+	if math.Abs(frac-want) > 0.005 {
+		t.Errorf("tail fraction = %v, want ~%v", frac, want)
+	}
+}
+
+func TestSampleLaplacePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("scale %v: expected panic", bad)
+				}
+			}()
+			SampleLaplace(rng, bad)
+		}()
+	}
+}
+
+func TestNewLaplaceValidation(t *testing.T) {
+	if _, err := NewLaplace(0, 1, nil); !errors.Is(err, ErrBudget) {
+		t.Errorf("eps=0: err = %v", err)
+	}
+	if _, err := NewLaplace(math.Inf(1), 1, nil); !errors.Is(err, ErrBudget) {
+		t.Error("inf eps should fail")
+	}
+	if _, err := NewLaplace(1, 0, nil); !errors.Is(err, ErrSensitivity) {
+		t.Error("zero sensitivity should fail")
+	}
+	if _, err := NewLaplace(1, math.NaN(), nil); !errors.Is(err, ErrSensitivity) {
+		t.Error("NaN sensitivity should fail")
+	}
+}
+
+func TestLaplaceAccessors(t *testing.T) {
+	l, err := NewLaplace(0.5, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Epsilon() != 0.5 || l.Sensitivity() != 2 {
+		t.Error("accessors wrong")
+	}
+	if l.Scale() != 4 {
+		t.Errorf("Scale = %v, want 4", l.Scale())
+	}
+	if l.ExpectedAbsNoise() != 4 {
+		t.Errorf("ExpectedAbsNoise = %v", l.ExpectedAbsNoise())
+	}
+}
+
+func TestReleaseUnbiased(t *testing.T) {
+	l, err := NewLaplace(1, 1, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += l.Release(10)
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.02 {
+		t.Errorf("mean release = %v, want ~10", mean)
+	}
+}
+
+func TestReleaseVecShapeAndIndependence(t *testing.T) {
+	l, err := NewLaplace(1, 1, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []float64{1, 2, 3}
+	out := l.ReleaseVec(truth)
+	if len(out) != 3 {
+		t.Fatalf("len = %d", len(out))
+	}
+	// Overwhelmingly unlikely that two noises coincide.
+	if out[0]-truth[0] == out[1]-truth[1] {
+		t.Error("noise looks repeated across elements")
+	}
+}
+
+func TestReleaseCounts(t *testing.T) {
+	l, err := NewLaplace(10, 1, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := l.ReleaseCounts([]int{5, 0, 100})
+	if len(out) != 3 {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i, want := range []float64{5, 0, 100} {
+		if math.Abs(out[i]-want) > 5 {
+			t.Errorf("count %d drifted implausibly: %v vs %v", i, out[i], want)
+		}
+	}
+}
+
+func TestEmpiricalAbsNoiseMatchesScale(t *testing.T) {
+	// E|noisy - true| should approach Sensitivity/eps (the Fig. 8 metric).
+	l, err := NewLaplace(0.5, 1, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Abs(l.Release(0))
+	}
+	if got, want := sum/n, 2.0; math.Abs(got-want) > 0.03 {
+		t.Errorf("empirical E|noise| = %v, want ~%v", got, want)
+	}
+}
+
+func TestNilRNGDeterministic(t *testing.T) {
+	a, _ := NewLaplace(1, 1, nil)
+	b, _ := NewLaplace(1, 1, nil)
+	if a.Release(0) != b.Release(0) {
+		t.Error("nil-rng mechanisms should be reproducible")
+	}
+}

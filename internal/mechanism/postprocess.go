@@ -1,0 +1,100 @@
+package mechanism
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Post-processing helpers for released histograms. Differential privacy
+// is closed under post-processing, so none of these affect the privacy
+// guarantee; they restore structural facts the consumer knows anyway
+// (counts are non-negative; the histogram sums to the population size)
+// and typically reduce error.
+
+// ClampNonNegative replaces negative noisy counts with zero, in place,
+// and returns the slice.
+func ClampNonNegative(noisy []float64) []float64 {
+	for i, v := range noisy {
+		if v < 0 {
+			noisy[i] = 0
+		}
+	}
+	return noisy
+}
+
+// ProjectToSum shifts the histogram uniformly so it sums to total (the
+// L2 projection onto the sum-constraint hyperplane), in place, and
+// returns the slice. Use when the population size is public knowledge.
+func ProjectToSum(noisy []float64, total float64) ([]float64, error) {
+	if len(noisy) == 0 {
+		return nil, fmt.Errorf("mechanism: empty histogram")
+	}
+	if math.IsNaN(total) || math.IsInf(total, 0) {
+		return nil, fmt.Errorf("mechanism: non-finite total %v", total)
+	}
+	s := 0.0
+	for _, v := range noisy {
+		s += v
+	}
+	shift := (total - s) / float64(len(noisy))
+	for i := range noisy {
+		noisy[i] += shift
+	}
+	return noisy, nil
+}
+
+// ProjectToSimplex projects the histogram onto the scaled probability
+// simplex {x : x >= 0, sum x = total} in L2, in place, and returns the
+// slice. This is the standard simplex-projection algorithm (sort,
+// running threshold); it combines non-negativity and the sum constraint
+// optimally rather than applying them one after the other.
+func ProjectToSimplex(noisy []float64, total float64) ([]float64, error) {
+	n := len(noisy)
+	if n == 0 {
+		return nil, fmt.Errorf("mechanism: empty histogram")
+	}
+	if total < 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+		return nil, fmt.Errorf("mechanism: total must be finite and non-negative, got %v", total)
+	}
+	sorted := append([]float64(nil), noisy...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	cum := 0.0
+	theta := 0.0
+	k := 0
+	for i, v := range sorted {
+		cum += v
+		t := (cum - total) / float64(i+1)
+		if v-t > 0 {
+			theta = t
+			k = i + 1
+		}
+	}
+	if k == 0 {
+		// All mass at one corner: distribute total over... this happens
+		// only when total = 0 and all entries non-positive; zero out.
+		for i := range noisy {
+			noisy[i] = 0
+		}
+		return noisy, nil
+	}
+	for i, v := range noisy {
+		noisy[i] = math.Max(v-theta, 0)
+	}
+	return noisy, nil
+}
+
+// RoundCounts rounds each cell to the nearest non-negative integer, in
+// place (as ints in a new slice). Appropriate for presentation; for
+// downstream numeric use prefer the unrounded projections.
+func RoundCounts(noisy []float64) []int {
+	out := make([]int, len(noisy))
+	for i, v := range noisy {
+		r := math.Round(v)
+		if r < 0 {
+			r = 0
+		}
+		out[i] = int(r)
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package mechanism
+
+import (
+	"fmt"
+)
+
+// Snapshot is one time step's database D^t: Values[i] is the value
+// (location index in [0, Domain)) of user i. It matches the paper's
+// setting where each user contributes exactly one tuple per time step.
+type Snapshot struct {
+	Domain int
+	Values []int
+}
+
+// NewSnapshot validates and wraps one column of the continuous database.
+func NewSnapshot(domain int, values []int) (*Snapshot, error) {
+	if domain <= 0 {
+		return nil, fmt.Errorf("mechanism: domain must be positive, got %d", domain)
+	}
+	for i, v := range values {
+		if v < 0 || v >= domain {
+			return nil, fmt.Errorf("mechanism: user %d has value %d outside [0,%d)", i, v, domain)
+		}
+	}
+	return &Snapshot{Domain: domain, Values: append([]int(nil), values...)}, nil
+}
+
+// Users returns the number of users in the snapshot.
+func (s *Snapshot) Users() int { return len(s.Values) }
+
+// Histogram returns the count of users at each value — the true
+// aggregate of Fig. 1(c).
+func (s *Snapshot) Histogram() []int {
+	counts := make([]int, s.Domain)
+	for _, v := range s.Values {
+		counts[v]++
+	}
+	return counts
+}
+
+// Count returns the number of users at one value.
+func (s *Snapshot) Count(value int) (int, error) {
+	if value < 0 || value >= s.Domain {
+		return 0, fmt.Errorf("mechanism: value %d outside [0,%d)", value, s.Domain)
+	}
+	c := 0
+	for _, v := range s.Values {
+		if v == value {
+			c++
+		}
+	}
+	return c, nil
+}
+
+// Neighbor returns a copy of the snapshot with user i's value replaced,
+// i.e. a neighboring database D^t' in the sense of event-level DP.
+func (s *Snapshot) Neighbor(user, newValue int) (*Snapshot, error) {
+	if user < 0 || user >= len(s.Values) {
+		return nil, fmt.Errorf("mechanism: user %d outside [0,%d)", user, len(s.Values))
+	}
+	if newValue < 0 || newValue >= s.Domain {
+		return nil, fmt.Errorf("mechanism: value %d outside [0,%d)", newValue, s.Domain)
+	}
+	out := &Snapshot{Domain: s.Domain, Values: append([]int(nil), s.Values...)}
+	out.Values[user] = newValue
+	return out, nil
+}
+
+// CountSensitivity is the L1 sensitivity of a single location count
+// under the modification of one user's tuple: the count changes by at
+// most 1. This is the paper's Example 1 calibration (Lap(1/eps) per
+// count).
+const CountSensitivity = 1.0
+
+// HistogramL1Sensitivity is the L1 sensitivity of the full histogram
+// under one tuple modification: the user leaves one cell and enters
+// another, changing the histogram by 2 in L1. Provided for callers who
+// want the strict joint-release calibration instead of the paper's
+// per-count convention.
+const HistogramL1Sensitivity = 2.0

@@ -1,0 +1,110 @@
+package mechanism
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewSnapshotValidation(t *testing.T) {
+	if _, err := NewSnapshot(0, nil); err == nil {
+		t.Error("domain 0 should fail")
+	}
+	if _, err := NewSnapshot(3, []int{0, 3}); err == nil {
+		t.Error("out-of-range value should fail")
+	}
+	if _, err := NewSnapshot(3, []int{0, -1}); err == nil {
+		t.Error("negative value should fail")
+	}
+	s, err := NewSnapshot(3, []int{0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Users() != 3 {
+		t.Errorf("Users = %d", s.Users())
+	}
+}
+
+func TestSnapshotCopiesInput(t *testing.T) {
+	vals := []int{0, 1}
+	s, err := NewSnapshot(2, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals[0] = 1
+	if s.Values[0] != 0 {
+		t.Error("snapshot aliases caller slice")
+	}
+}
+
+func TestHistogramMatchesFig1(t *testing.T) {
+	// Fig. 1(a) column t=1: u1 at loc3, u2 at loc2, u3 at loc2, u4 at loc4
+	// -> counts (0, 2, 1, 1, 0), Fig. 1(c) column t=1.
+	s, err := NewSnapshot(5, []int{2, 1, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Histogram()
+	want := []int{0, 2, 1, 1, 0}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Errorf("hist[%d] = %d, want %d", i, h[i], want[i])
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	s, _ := NewSnapshot(3, []int{0, 1, 1, 2, 1})
+	c, err := s.Count(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 3 {
+		t.Errorf("Count(1) = %d", c)
+	}
+	if _, err := s.Count(5); err == nil {
+		t.Error("out-of-range count should fail")
+	}
+}
+
+func TestNeighbor(t *testing.T) {
+	s, _ := NewSnapshot(3, []int{0, 1})
+	n, err := s.Neighbor(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Values[0] != 2 || s.Values[0] != 0 {
+		t.Error("Neighbor should copy and modify")
+	}
+	if _, err := s.Neighbor(5, 0); err == nil {
+		t.Error("bad user should fail")
+	}
+	if _, err := s.Neighbor(0, 9); err == nil {
+		t.Error("bad value should fail")
+	}
+}
+
+func TestNeighborCountSensitivity(t *testing.T) {
+	// A single-count query changes by at most CountSensitivity across
+	// neighbors; the full histogram by at most HistogramL1Sensitivity.
+	s, _ := NewSnapshot(4, []int{0, 1, 2, 3, 0})
+	for u := 0; u < s.Users(); u++ {
+		for v := 0; v < 4; v++ {
+			n, err := s.Neighbor(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h1, h2 := s.Histogram(), n.Histogram()
+			l1 := 0.0
+			for i := range h1 {
+				d := math.Abs(float64(h1[i] - h2[i]))
+				if d > CountSensitivity {
+					t.Fatalf("count sensitivity violated at cell %d: %v", i, d)
+				}
+				l1 += d
+			}
+			if l1 > HistogramL1Sensitivity {
+				t.Fatalf("histogram L1 sensitivity violated: %v", l1)
+			}
+		}
+	}
+}

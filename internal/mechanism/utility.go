@@ -1,0 +1,58 @@
+package mechanism
+
+import (
+	"fmt"
+	"math"
+)
+
+// MeanAbsError returns the mean absolute difference between true and
+// noisy releases — the empirical counterpart of ExpectedAbsNoise.
+func MeanAbsError(truth, noisy []float64) (float64, error) {
+	if len(truth) != len(noisy) {
+		return 0, fmt.Errorf("mechanism: length mismatch %d vs %d", len(truth), len(noisy))
+	}
+	if len(truth) == 0 {
+		return 0, fmt.Errorf("mechanism: empty series")
+	}
+	s := 0.0
+	for i := range truth {
+		s += math.Abs(truth[i] - noisy[i])
+	}
+	return s / float64(len(truth)), nil
+}
+
+// RootMeanSquaredError returns the RMSE between true and noisy releases.
+func RootMeanSquaredError(truth, noisy []float64) (float64, error) {
+	if len(truth) != len(noisy) {
+		return 0, fmt.Errorf("mechanism: length mismatch %d vs %d", len(truth), len(noisy))
+	}
+	if len(truth) == 0 {
+		return 0, fmt.Errorf("mechanism: empty series")
+	}
+	s := 0.0
+	for i := range truth {
+		d := truth[i] - noisy[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(truth))), nil
+}
+
+// MeanExpectedAbsNoise returns the average of Delta/eps_t over a budget
+// sequence — the analytic utility figure reported for a whole release
+// plan in Fig. 8 (lower is better).
+func MeanExpectedAbsNoise(sensitivity float64, eps []float64) (float64, error) {
+	if sensitivity <= 0 || math.IsNaN(sensitivity) || math.IsInf(sensitivity, 0) {
+		return 0, fmt.Errorf("%w: got %v", ErrSensitivity, sensitivity)
+	}
+	if len(eps) == 0 {
+		return 0, fmt.Errorf("mechanism: empty budget sequence")
+	}
+	s := 0.0
+	for t, e := range eps {
+		if e <= 0 || math.IsNaN(e) || math.IsInf(e, 0) {
+			return 0, fmt.Errorf("%w: step %d has %v", ErrBudget, t, e)
+		}
+		s += sensitivity / e
+	}
+	return s / float64(len(eps)), nil
+}

@@ -1,0 +1,58 @@
+package mechanism
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanAbsError(t *testing.T) {
+	got, err := MeanAbsError([]float64{1, 2, 3}, []float64{2, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("MAE = %v, want 1", got)
+	}
+	if _, err := MeanAbsError([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := MeanAbsError(nil, nil); err == nil {
+		t.Error("empty should fail")
+	}
+}
+
+func TestRootMeanSquaredError(t *testing.T) {
+	got, err := RootMeanSquaredError([]float64{0, 0}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(12.5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("RMSE = %v, want %v", got, want)
+	}
+	if _, err := RootMeanSquaredError([]float64{1}, nil); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := RootMeanSquaredError(nil, nil); err == nil {
+		t.Error("empty should fail")
+	}
+}
+
+func TestMeanExpectedAbsNoise(t *testing.T) {
+	got, err := MeanExpectedAbsNoise(1, []float64{0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.5) > 1e-12 { // (2 + 1)/2
+		t.Errorf("mean noise = %v, want 1.5", got)
+	}
+	if _, err := MeanExpectedAbsNoise(0, []float64{1}); err == nil {
+		t.Error("zero sensitivity should fail")
+	}
+	if _, err := MeanExpectedAbsNoise(1, nil); err == nil {
+		t.Error("empty budgets should fail")
+	}
+	if _, err := MeanExpectedAbsNoise(1, []float64{1, 0}); err == nil {
+		t.Error("zero budget should fail")
+	}
+}

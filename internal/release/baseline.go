@@ -1,0 +1,59 @@
+package release
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// GroupPrivacyPlan is the baseline the paper argues against in Section I:
+// protect all temporally correlated data "in a bundle" via group
+// differential privacy, i.e. split the target alpha uniformly across the
+// whole horizon (eps = alpha/T per step, noise scale T/alpha).
+//
+// It is safe against ANY temporal correlation — including the strongest,
+// where the fine-grained planners must refuse — because
+// TPL(t) = BPL(t) + FPL(t) - eps_t <= t*eps + (T-t+1)*eps - eps = T*eps
+// = alpha. But it cannot exploit weak correlations: "regardless of
+// whether Pr(...) is 1 or 0.1, it always protects the correlated data in
+// a bundle", over-perturbing the release. The ablation benchmark
+// BenchmarkAblationPlanners quantifies exactly that gap.
+type GroupPrivacyPlan struct {
+	TargetAlpha float64
+	T           int
+	Eps         float64
+}
+
+// GroupPrivacy builds the group-DP baseline plan for a horizon of T
+// steps.
+func GroupPrivacy(alpha float64, T int) (*GroupPrivacyPlan, error) {
+	if err := checkAlpha(alpha); err != nil {
+		return nil, err
+	}
+	if T < 1 {
+		return nil, fmt.Errorf("release: horizon must be at least 1, got %d", T)
+	}
+	return &GroupPrivacyPlan{TargetAlpha: alpha, T: T, Eps: alpha / float64(T)}, nil
+}
+
+// Alpha implements Plan.
+func (p *GroupPrivacyPlan) Alpha() float64 { return p.TargetAlpha }
+
+// Horizon implements Plan.
+func (p *GroupPrivacyPlan) Horizon() int { return p.T }
+
+// BudgetAt implements Plan.
+func (p *GroupPrivacyPlan) BudgetAt(t int) (float64, error) {
+	if t < 1 || t > p.T {
+		return 0, fmt.Errorf("release: time %d outside plan horizon [1,%d]: %w", t, p.T, ErrHorizonExceeded)
+	}
+	return p.Eps, nil
+}
+
+// Budgets implements Plan. T must equal the plan horizon.
+func (p *GroupPrivacyPlan) Budgets(T int) ([]float64, error) {
+	if T != p.T {
+		return nil, fmt.Errorf("release: group plan covers exactly T=%d, asked for %d: %w", p.T, T, ErrHorizonExceeded)
+	}
+	return core.UniformBudgets(p.Eps, T), nil
+}

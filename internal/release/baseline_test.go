@@ -1,0 +1,200 @@
+package release
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/markov"
+)
+
+func TestGroupPrivacySafeUnderAnyCorrelation(t *testing.T) {
+	// The group-DP baseline must hold alpha even under the strongest
+	// correlation, where the fine planners refuse.
+	id, _ := markov.IdentityChain(2)
+	plan, err := GroupPrivacy(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets, err := plan.Budgets(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := core.NewQuantifier(id)
+	worst, err := core.MaxTPL(q, q, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 1+1e-9 {
+		t.Errorf("group baseline leaks %v > alpha under identity correlation", worst)
+	}
+	// And for a random weaker correlation too.
+	pb, pf := fig7Chains()
+	worst2, err := core.MaxTPL(core.NewQuantifier(pb), core.NewQuantifier(pf), budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst2 > 1+1e-9 {
+		t.Errorf("group baseline leaks %v > alpha", worst2)
+	}
+}
+
+func TestGroupPrivacyOverPerturbsWeakCorrelation(t *testing.T) {
+	// Section I's criticism: under weak (non-strongest) correlation the
+	// bundle approach wastes budget relative to Algorithm 3.
+	pb, pf := fig7Chains()
+	const alpha, T = 1.0, 10
+	group, err := GroupPrivacy(alpha, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Quantified(pb, pf, alpha, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fineBudgets, err := fine.Budgets(T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tm := 0; tm < T; tm++ {
+		if fineBudgets[tm] <= group.Eps {
+			t.Errorf("t=%d: Algorithm 3 budget %v not above group baseline %v",
+				tm+1, fineBudgets[tm], group.Eps)
+		}
+	}
+}
+
+func TestGroupPrivacyPlanInterface(t *testing.T) {
+	plan, err := GroupPrivacy(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Alpha() != 2 || plan.Horizon() != 4 {
+		t.Error("metadata wrong")
+	}
+	e, err := plan.BudgetAt(3)
+	if err != nil || math.Abs(e-0.5) > 1e-12 {
+		t.Errorf("BudgetAt = %v/%v", e, err)
+	}
+	if _, err := plan.BudgetAt(5); !errors.Is(err, ErrHorizonExceeded) {
+		t.Error("beyond horizon should fail")
+	}
+	if _, err := plan.Budgets(3); !errors.Is(err, ErrHorizonExceeded) {
+		t.Error("wrong horizon should fail")
+	}
+	if _, err := GroupPrivacy(0, 5); err == nil {
+		t.Error("alpha=0 should fail")
+	}
+	if _, err := GroupPrivacy(1, 0); err == nil {
+		t.Error("T=0 should fail")
+	}
+}
+
+func TestUpperBoundMultiWorstUserDominates(t *testing.T) {
+	pb, pf := fig7Chains()
+	weakB, err := markov.Lazy(2, 0.55) // nearly uniform
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := []UserModel{
+		{Backward: pb, Forward: pf},
+		{Backward: weakB, Forward: weakB},
+	}
+	mp, err := UpperBoundMulti(users, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Combined budget = min over users at each step; the strongly
+	// correlated user should be the binding one.
+	strong := mp.Users[0].(*UpperBoundPlan)
+	weak := mp.Users[1].(*UpperBoundPlan)
+	if strong.Eps >= weak.Eps {
+		t.Fatalf("expected the strong user to need the smaller budget: %v vs %v", strong.Eps, weak.Eps)
+	}
+	for tm := 1; tm <= 10; tm++ {
+		e, err := mp.BudgetAt(tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(e-strong.Eps) > 1e-12 {
+			t.Errorf("t=%d: combined %v, want %v", tm, e, strong.Eps)
+		}
+	}
+}
+
+func TestQuantifiedMultiEveryUserWithinTarget(t *testing.T) {
+	pb, pf := fig7Chains()
+	weak, err := markov.Lazy(2, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := []UserModel{
+		{Backward: pb, Forward: pf},
+		{Backward: weak, Forward: weak},
+	}
+	const alpha, T = 1.0, 8
+	mp, err := QuantifiedMulti(users, alpha, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range users {
+		worst, err := core.MaxTPL(core.NewQuantifier(u.Backward), core.NewQuantifier(u.Forward), mp.Combined)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worst > alpha+1e-9 {
+			t.Errorf("user %d leaks %v > alpha under the combined budgets", i, worst)
+		}
+	}
+}
+
+func TestMultiPersonalizedTargets(t *testing.T) {
+	pb, pf := fig7Chains()
+	users := []UserModel{
+		{Backward: pb, Forward: pf, Alpha: 0.5}, // stricter personal target
+		{Backward: pb, Forward: pf},             // global target
+	}
+	mp, err := QuantifiedMulti(users, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The strict user's leakage under the combined budgets must respect
+	// their personal 0.5.
+	worst, err := core.MaxTPL(core.NewQuantifier(pb), core.NewQuantifier(pf), mp.Combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 0.5+1e-9 {
+		t.Errorf("strict user leaks %v > personal alpha 0.5", worst)
+	}
+}
+
+func TestMultiValidation(t *testing.T) {
+	if _, err := UpperBoundMulti(nil, 1, 5); err == nil {
+		t.Error("no users should fail")
+	}
+	pb, pf := fig7Chains()
+	users := []UserModel{{Backward: pb, Forward: pf}}
+	if _, err := UpperBoundMulti(users, 1, 0); err == nil {
+		t.Error("T=0 should fail")
+	}
+	if _, err := QuantifiedMulti(nil, 1, 5); err == nil {
+		t.Error("no users should fail")
+	}
+	if _, err := QuantifiedMulti(users, 1, 0); err == nil {
+		t.Error("T=0 should fail")
+	}
+	id, _ := markov.IdentityChain(2)
+	bad := []UserModel{{Backward: id}}
+	if _, err := UpperBoundMulti(bad, 1, 5); !errors.Is(err, ErrStrongestCorrelation) {
+		t.Errorf("err = %v, want ErrStrongestCorrelation", err)
+	}
+	mp, err := QuantifiedMulti(users, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mp.BudgetAt(6); !errors.Is(err, ErrHorizonExceeded) {
+		t.Error("beyond horizon should fail")
+	}
+}

@@ -1,0 +1,106 @@
+package release
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// planJSON is the self-describing wire format shared by all plan kinds,
+// so saved plans can be reloaded without knowing their type up front.
+type planJSON struct {
+	Kind        string  `json:"kind"`
+	TargetAlpha float64 `json:"alpha"`
+	T           int     `json:"t,omitempty"`
+	W           int     `json:"w,omitempty"`
+	Eps         float64 `json:"eps,omitempty"`
+	Eps1        float64 `json:"eps1,omitempty"`
+	EpsM        float64 `json:"epsM,omitempty"`
+	EpsT        float64 `json:"epsT,omitempty"`
+	AlphaB      float64 `json:"alphaB,omitempty"`
+	AlphaF      float64 `json:"alphaF,omitempty"`
+}
+
+// Plan kind tags used in the JSON encoding.
+const (
+	kindUpperBound   = "upper-bound"   // Algorithm 2
+	kindQuantified   = "quantified"    // Algorithm 3
+	kindGroupPrivacy = "group-privacy" // Section I bundle baseline
+	kindWEvent       = "w-event"       // Theorem 2 window planner
+)
+
+// MarshalJSON encodes an Algorithm 2 plan.
+func (p *UpperBoundPlan) MarshalJSON() ([]byte, error) {
+	return json.Marshal(planJSON{
+		Kind: kindUpperBound, TargetAlpha: p.TargetAlpha,
+		Eps: p.Eps, AlphaB: p.AlphaB, AlphaF: p.AlphaF,
+	})
+}
+
+// MarshalJSON encodes an Algorithm 3 plan.
+func (p *QuantifiedPlan) MarshalJSON() ([]byte, error) {
+	return json.Marshal(planJSON{
+		Kind: kindQuantified, TargetAlpha: p.TargetAlpha, T: p.T,
+		Eps1: p.Eps1, EpsM: p.EpsM, EpsT: p.EpsT,
+		AlphaB: p.AlphaB, AlphaF: p.AlphaF,
+	})
+}
+
+// MarshalJSON encodes the bundle baseline.
+func (p *GroupPrivacyPlan) MarshalJSON() ([]byte, error) {
+	return json.Marshal(planJSON{
+		Kind: kindGroupPrivacy, TargetAlpha: p.TargetAlpha, T: p.T, Eps: p.Eps,
+	})
+}
+
+// MarshalJSON encodes a w-event plan.
+func (p *WEventPlan) MarshalJSON() ([]byte, error) {
+	return json.Marshal(planJSON{
+		Kind: kindWEvent, TargetAlpha: p.TargetAlpha, W: p.W,
+		Eps: p.Eps, AlphaB: p.AlphaB, AlphaF: p.AlphaF,
+	})
+}
+
+// ErrUnknownPlanKind is returned by UnmarshalPlan for unrecognized kind
+// tags.
+var ErrUnknownPlanKind = errors.New("release: unknown plan kind")
+
+// UnmarshalPlan decodes any plan previously encoded by the MarshalJSON
+// methods above, dispatching on the kind tag.
+func UnmarshalPlan(data []byte) (Plan, error) {
+	var in planJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("release: decoding plan: %w", err)
+	}
+	if err := checkAlpha(in.TargetAlpha); err != nil {
+		return nil, err
+	}
+	switch in.Kind {
+	case kindUpperBound:
+		if in.Eps <= 0 {
+			return nil, fmt.Errorf("release: decoding plan: non-positive eps %v", in.Eps)
+		}
+		return &UpperBoundPlan{TargetAlpha: in.TargetAlpha, Eps: in.Eps, AlphaB: in.AlphaB, AlphaF: in.AlphaF}, nil
+	case kindQuantified:
+		if in.T < 1 || in.Eps1 <= 0 || in.EpsM <= 0 || in.EpsT <= 0 {
+			return nil, fmt.Errorf("release: decoding plan: invalid quantified parameters")
+		}
+		return &QuantifiedPlan{
+			TargetAlpha: in.TargetAlpha, T: in.T,
+			Eps1: in.Eps1, EpsM: in.EpsM, EpsT: in.EpsT,
+			AlphaB: in.AlphaB, AlphaF: in.AlphaF,
+		}, nil
+	case kindGroupPrivacy:
+		if in.T < 1 || in.Eps <= 0 {
+			return nil, fmt.Errorf("release: decoding plan: invalid group parameters")
+		}
+		return &GroupPrivacyPlan{TargetAlpha: in.TargetAlpha, T: in.T, Eps: in.Eps}, nil
+	case kindWEvent:
+		if in.W < 1 || in.Eps <= 0 {
+			return nil, fmt.Errorf("release: decoding plan: invalid w-event parameters")
+		}
+		return &WEventPlan{TargetAlpha: in.TargetAlpha, W: in.W, Eps: in.Eps, AlphaB: in.AlphaB, AlphaF: in.AlphaF}, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPlanKind, in.Kind)
+	}
+}

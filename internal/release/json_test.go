@@ -1,0 +1,86 @@
+package release
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+)
+
+func roundTrip(t *testing.T, p Plan) Plan {
+	t.Helper()
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalPlan(data)
+	if err != nil {
+		t.Fatalf("decoding %s: %v", data, err)
+	}
+	return back
+}
+
+func TestPlanJSONRoundTrips(t *testing.T) {
+	pb, pf := fig7Chains()
+	ub, err := UpperBound(pb, pf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := Quantified(pb, pf, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := GroupPrivacy(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	we, err := WEvent(pb, pf, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Plan{ub, qp, gp, we} {
+		back := roundTrip(t, p)
+		if back.Alpha() != p.Alpha() || back.Horizon() != p.Horizon() {
+			t.Errorf("%T: metadata changed: %v/%d vs %v/%d",
+				p, back.Alpha(), back.Horizon(), p.Alpha(), p.Horizon())
+		}
+		T := p.Horizon()
+		if T == 0 {
+			T = 6
+		}
+		orig, err := p.Budgets(T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := back.Budgets(T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range orig {
+			if math.Abs(orig[i]-dec[i]) > 1e-15 {
+				t.Errorf("%T: budget %d changed: %v vs %v", p, i, dec[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestUnmarshalPlanErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":     `{`,
+		"unknown kind": `{"kind":"mystery","alpha":1}`,
+		"bad alpha":    `{"kind":"upper-bound","alpha":0,"eps":0.1}`,
+		"bad eps":      `{"kind":"upper-bound","alpha":1,"eps":0}`,
+		"bad T":        `{"kind":"quantified","alpha":1,"t":0,"eps1":1,"epsM":1,"epsT":1}`,
+		"bad epsM":     `{"kind":"quantified","alpha":1,"t":3,"eps1":1,"epsM":0,"epsT":1}`,
+		"bad group":    `{"kind":"group-privacy","alpha":1,"t":0,"eps":0.1}`,
+		"bad w":        `{"kind":"w-event","alpha":1,"w":0,"eps":0.1}`,
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalPlan([]byte(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	if _, err := UnmarshalPlan([]byte(`{"kind":"nope","alpha":1}`)); !errors.Is(err, ErrUnknownPlanKind) {
+		t.Errorf("err = %v, want ErrUnknownPlanKind", err)
+	}
+}

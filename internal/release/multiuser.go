@@ -1,0 +1,109 @@
+package release
+
+import (
+	"fmt"
+
+	"repro/internal/markov"
+)
+
+// UserModel is one user's adversary correlations plus an optional
+// personalized leakage target (Section III-D: the framework is
+// compatible with personalized differential privacy). Alpha <= 0 means
+// "use the global target".
+type UserModel struct {
+	Backward *markov.Chain
+	Forward  *markov.Chain
+	Alpha    float64
+}
+
+// MultiPlan is the outcome of planning for a whole user population:
+// per-user plans plus the combined budgets that satisfy every user
+// simultaneously (the element-wise minimum, the paper's Algorithms 2 and
+// 3 line 11: "eps <- min{eps_i, i in U}").
+type MultiPlan struct {
+	Users    []Plan
+	Combined []float64 // per-step budgets, length T
+	T        int
+}
+
+// BudgetAt returns the combined budget for 1-based time t.
+func (m *MultiPlan) BudgetAt(t int) (float64, error) {
+	if t < 1 || t > m.T {
+		return 0, fmt.Errorf("release: time %d outside [1,%d]: %w", t, m.T, ErrHorizonExceeded)
+	}
+	return m.Combined[t-1], nil
+}
+
+// UpperBoundMulti runs Algorithm 2 for every user and combines the
+// plans: the released mechanism uses the minimum per-step budget across
+// users, which bounds every user's leakage by their target (a smaller
+// budget never increases leakage — the loss functions are monotone).
+// T materializes the combined budgets for that many steps (the
+// underlying plans are horizon-free).
+func UpperBoundMulti(users []UserModel, globalAlpha float64, T int) (*MultiPlan, error) {
+	if len(users) == 0 {
+		return nil, fmt.Errorf("release: need at least one user")
+	}
+	if T < 1 {
+		return nil, fmt.Errorf("release: horizon must be at least 1, got %d", T)
+	}
+	mp := &MultiPlan{T: T}
+	for i, u := range users {
+		alpha := u.Alpha
+		if alpha <= 0 {
+			alpha = globalAlpha
+		}
+		p, err := UpperBound(u.Backward, u.Forward, alpha)
+		if err != nil {
+			return nil, fmt.Errorf("release: user %d: %w", i, err)
+		}
+		mp.Users = append(mp.Users, p)
+	}
+	mp.Combined = combineMin(mp.Users, T)
+	return mp, nil
+}
+
+// QuantifiedMulti runs Algorithm 3 for every user over a common horizon
+// T and combines by element-wise minimum.
+func QuantifiedMulti(users []UserModel, globalAlpha float64, T int) (*MultiPlan, error) {
+	if len(users) == 0 {
+		return nil, fmt.Errorf("release: need at least one user")
+	}
+	if T < 1 {
+		return nil, fmt.Errorf("release: horizon must be at least 1, got %d", T)
+	}
+	mp := &MultiPlan{T: T}
+	for i, u := range users {
+		alpha := u.Alpha
+		if alpha <= 0 {
+			alpha = globalAlpha
+		}
+		p, err := Quantified(u.Backward, u.Forward, alpha, T)
+		if err != nil {
+			return nil, fmt.Errorf("release: user %d: %w", i, err)
+		}
+		mp.Users = append(mp.Users, p)
+	}
+	mp.Combined = combineMin(mp.Users, T)
+	return mp, nil
+}
+
+// combineMin materializes every plan over T steps and takes the
+// element-wise minimum.
+func combineMin(plans []Plan, T int) []float64 {
+	out := make([]float64, T)
+	for t := 1; t <= T; t++ {
+		best := 0.0
+		for i, p := range plans {
+			e, err := p.BudgetAt(t)
+			if err != nil {
+				continue // finite plans were built with horizon T; cannot happen
+			}
+			if i == 0 || e < best {
+				best = e
+			}
+		}
+		out[t-1] = best
+	}
+	return out
+}

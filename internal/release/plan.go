@@ -1,0 +1,73 @@
+// Package release implements the paper's private data release algorithms
+// (Section V): converting a traditional eps-DP mechanism into one that
+// satisfies alpha-DP_T against adversaries with temporal correlations.
+//
+// Two planners are provided, matching the paper's Algorithms 2 and 3:
+//
+//   - UpperBound (Algorithm 2) allocates one constant per-step budget
+//     such that the *supremum* of BPL and FPL over infinite time stays
+//     within the target alpha. It works for any release length, including
+//     unknown/infinite T, but under-spends when T is short.
+//   - Quantified (Algorithm 3) exploits a known, finite T: it gives the
+//     first and last mechanisms larger budgets and holds the temporal
+//     privacy leakage exactly at alpha at every time point.
+//
+// A Releaser combines a plan with the Laplace mechanism to publish noisy
+// histograms step by step.
+package release
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrStrongestCorrelation is returned when no positive per-step budget
+// can bound the leakage because the adversary's correlation is the
+// strongest possible (q = 1, d = 0; Theorem 5's "not exist" cases).
+var ErrStrongestCorrelation = errors.New("release: leakage supremum does not exist under the strongest correlation; no positive budget can achieve the target")
+
+// ErrHorizonExceeded is returned by a Releaser asked to publish more
+// steps than its finite plan covers.
+var ErrHorizonExceeded = errors.New("release: plan horizon exceeded")
+
+// Plan is a per-time-step privacy budget allocation guaranteeing
+// alpha-DP_T.
+type Plan interface {
+	// Alpha returns the temporal-privacy-leakage target the plan was
+	// built for.
+	Alpha() float64
+	// BudgetAt returns the per-step budget for 1-based time t.
+	BudgetAt(t int) (float64, error)
+	// Horizon returns the number of steps the plan covers, or 0 for an
+	// unbounded plan.
+	Horizon() int
+	// Budgets materializes the budgets for the first T steps.
+	Budgets(T int) ([]float64, error)
+}
+
+// checkAlpha validates a leakage target.
+func checkAlpha(alpha float64) error {
+	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return fmt.Errorf("release: target alpha must be finite and positive, got %v", alpha)
+	}
+	return nil
+}
+
+// bisect finds a root of f on (lo, hi] assuming f(lo+) <= 0 <= f(hi).
+// It is robust to f being merely continuous (no derivative needed) and
+// stops once the bracket is below ~1e-13 relative width — each
+// iteration costs two full Algorithm-1 quantifications inside the
+// planners, so the tolerance-based stop matters at paper-scale domain
+// sizes.
+func bisect(f func(float64) float64, lo, hi float64) float64 {
+	for i := 0; i < 200 && hi-lo > 1e-13*math.Max(1, hi); i++ {
+		mid := 0.5 * (lo + hi)
+		if f(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}

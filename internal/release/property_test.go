@@ -1,0 +1,166 @@
+package release
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/markov"
+)
+
+func TestPlannersMonotoneInAlpha(t *testing.T) {
+	// A looser leakage target must never produce smaller per-step
+	// budgets (more privacy tolerance = less noise).
+	pb, pf := fig7Chains()
+	var prevUB, prevQPMid float64
+	for i, alpha := range []float64{0.25, 0.5, 1, 2, 4} {
+		ub, err := UpperBound(pb, pf, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qp, err := Quantified(pb, pf, alpha, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if ub.Eps < prevUB-1e-9 {
+				t.Errorf("alpha=%v: Algorithm 2 budget decreased: %v < %v", alpha, ub.Eps, prevUB)
+			}
+			if qp.EpsM < prevQPMid-1e-9 {
+				t.Errorf("alpha=%v: Algorithm 3 middle budget decreased: %v < %v", alpha, qp.EpsM, prevQPMid)
+			}
+		}
+		prevUB = ub.Eps
+		prevQPMid = qp.EpsM
+	}
+}
+
+func TestPlannersMonotoneInCorrelationStrength(t *testing.T) {
+	// Stronger correlation (smaller smoothing s) must never allow larger
+	// budgets at the same alpha.
+	const alpha = 1.0
+	var prev float64
+	first := true
+	for _, s := range []float64{0.005, 0.05, 0.5, 5} {
+		rng := rand.New(rand.NewSource(7)) // same permutation every s
+		pb, err := markov.Smoothed(rng, 10, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf, err := markov.Smoothed(rng, 10, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ub, err := UpperBound(pb, pf, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !first && ub.Eps < prev-1e-9 {
+			t.Errorf("s=%v: budget decreased with weaker correlation: %v < %v", s, ub.Eps, prev)
+		}
+		prev = ub.Eps
+		first = false
+	}
+}
+
+func TestQuantifiedRandomChainsStayExact(t *testing.T) {
+	// Algorithm 3's exactness is not special to the Fig. 7 fixtures:
+	// random smoothed chains must also pin TPL at alpha.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(6)
+		s := 0.01 + rng.Float64()
+		pb, err := markov.Smoothed(rng, n, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf, err := markov.Smoothed(rng, n, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alpha := 0.2 + rng.Float64()*3
+		T := 2 + rng.Intn(12)
+		qp, err := Quantified(pb, pf, alpha, T)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d s=%v alpha=%v T=%d): %v", trial, n, s, alpha, T, err)
+		}
+		dev, err := qp.VerifyExact(pb, pf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev > 1e-8 {
+			t.Errorf("trial %d: deviation %v (n=%d s=%v alpha=%v T=%d)", trial, dev, n, s, alpha, T)
+		}
+	}
+}
+
+func TestUpperBoundRandomChainsStaySound(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(6)
+		s := 0.01 + rng.Float64()
+		pb, err := markov.Smoothed(rng, n, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf, err := markov.Smoothed(rng, n, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alpha := 0.2 + rng.Float64()*3
+		ub, err := UpperBound(pb, pf, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst, err := core.MaxTPL(core.NewQuantifier(pb), core.NewQuantifier(pf),
+			core.UniformBudgets(ub.Eps, 150))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worst > alpha+1e-7 {
+			t.Errorf("trial %d: leakage %v > alpha %v", trial, worst, alpha)
+		}
+		// The budget should not be absurdly conservative either: the
+		// long-run leakage should approach the target.
+		if worst < alpha*0.9 {
+			t.Errorf("trial %d: long-run leakage %v far below alpha %v (wasted budget)", trial, worst, alpha)
+		}
+	}
+}
+
+func TestPlanBudgetsAlwaysPositive(t *testing.T) {
+	pb, pf := fig7Chains()
+	plans := []Plan{}
+	ub, err := UpperBound(pb, pf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans = append(plans, ub)
+	qp, err := Quantified(pb, pf, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans = append(plans, qp)
+	gp, err := GroupPrivacy(1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans = append(plans, gp)
+	we, err := WEvent(pb, pf, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans = append(plans, we)
+	for _, p := range plans {
+		budgets, err := p.Budgets(9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, e := range budgets {
+			if e <= 0 || math.IsNaN(e) || math.IsInf(e, 0) {
+				t.Errorf("%T: budget %d = %v", p, i, e)
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package release
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/markov"
+)
+
+// QuantifiedPlan is the output of Algorithm 3 for a known, finite
+// release length T: budget Eps1 at the first step, EpsM at every middle
+// step, and EpsT at the last step, chosen so the temporal privacy
+// leakage equals the target alpha at *every* time point.
+type QuantifiedPlan struct {
+	TargetAlpha      float64
+	T                int
+	Eps1, EpsM, EpsT float64
+	// AlphaB and AlphaF are the constant BPL and FPL levels the plan
+	// holds across the timeline (AlphaB = Eps1, AlphaF = EpsT).
+	AlphaB, AlphaF float64
+}
+
+// Alpha implements Plan.
+func (p *QuantifiedPlan) Alpha() float64 { return p.TargetAlpha }
+
+// Horizon implements Plan.
+func (p *QuantifiedPlan) Horizon() int { return p.T }
+
+// BudgetAt implements Plan.
+func (p *QuantifiedPlan) BudgetAt(t int) (float64, error) {
+	switch {
+	case t < 1 || t > p.T:
+		return 0, fmt.Errorf("release: time %d outside plan horizon [1,%d]: %w", t, p.T, ErrHorizonExceeded)
+	case t == 1:
+		return p.Eps1, nil
+	case t == p.T:
+		return p.EpsT, nil
+	default:
+		return p.EpsM, nil
+	}
+}
+
+// Budgets implements Plan. T must equal the plan horizon.
+func (p *QuantifiedPlan) Budgets(T int) ([]float64, error) {
+	if T != p.T {
+		return nil, fmt.Errorf("release: quantified plan covers exactly T=%d, asked for %d: %w", p.T, T, ErrHorizonExceeded)
+	}
+	out := make([]float64, T)
+	for t := 1; t <= T; t++ {
+		out[t-1], _ = p.BudgetAt(t)
+	}
+	return out, nil
+}
+
+// Quantified runs Algorithm 3: allocate budgets for a release of known
+// length T so that TPL(t) = alpha exactly for every t in [1, T].
+//
+// The construction (Section V): pick alphaB and set eps_1 = alphaB so
+// BPL(1) = alphaB; choose the middle budget eps_m = alphaB - L^B(alphaB)
+// so BPL stays pinned at alphaB; set eps_T = alpha - eps_1 + eps_m (from
+// TPL = BPL + FPL - eps) so FPL(T) = eps_T =: alphaF; the forward
+// middle budget that pins FPL at alphaF is eps^F_m = alphaF -
+// L^F(alphaF). Bisect alphaB until the backward and forward middle
+// budgets coincide.
+//
+// T = 1 degenerates to eps_1 = alpha (a single release leaks exactly its
+// budget); T = 2 is solved by a direct bisection on eps_1 (there is no
+// middle step).
+func Quantified(pb, pf *markov.Chain, alpha float64, T int) (*QuantifiedPlan, error) {
+	if err := checkAlpha(alpha); err != nil {
+		return nil, err
+	}
+	if T < 1 {
+		return nil, fmt.Errorf("release: horizon must be at least 1, got %d", T)
+	}
+	qb := core.NewQuantifier(pb)
+	qf := core.NewQuantifier(pf)
+	return quantified(qb, qf, alpha, T)
+}
+
+func quantified(qb, qf *core.Quantifier, alpha float64, T int) (*QuantifiedPlan, error) {
+	if T == 1 {
+		return &QuantifiedPlan{TargetAlpha: alpha, T: 1, Eps1: alpha, EpsM: alpha, EpsT: alpha, AlphaB: alpha, AlphaF: alpha}, nil
+	}
+	if qb.IsIdentityLike() || qf.IsIdentityLike() {
+		// With the strongest correlation the middle budget collapses to
+		// zero: no finite-T allocation holds TPL at alpha beyond the
+		// composition bound.
+		return nil, ErrStrongestCorrelation
+	}
+	if T == 2 {
+		// TPL(1) = eps1 + L^F(eps2), TPL(2) = L^B(eps1) + eps2; set both
+		// to alpha: eps2 = alpha - L^B(eps1), then bisect
+		// f(eps1) = eps1 + L^F(alpha - L^B(eps1)) - alpha.
+		f := func(e1 float64) float64 {
+			e2 := alpha - qb.LossValue(e1)
+			return e1 + qf.LossValue(e2) - alpha
+		}
+		e1 := bisect(f, 0, alpha)
+		e2 := alpha - qb.LossValue(e1)
+		return &QuantifiedPlan{TargetAlpha: alpha, T: 2, Eps1: e1, EpsM: e1, EpsT: e2, AlphaB: e1, AlphaF: e2}, nil
+	}
+	// General case T >= 3 (Algorithm 3's loop, as a bisection on alphaB).
+	f := func(aB float64) float64 {
+		eBm := aB - qb.LossValue(aB)
+		eT := alpha - aB + eBm
+		if eT <= 0 {
+			return 1 // aB too large
+		}
+		eFm := eT - qf.LossValue(eT)
+		return eBm - eFm
+	}
+	aB := bisect(f, 0, alpha)
+	eps1 := aB
+	epsM := aB - qb.LossValue(aB)
+	epsT := alpha - eps1 + epsM
+	if epsM <= 1e-12 || epsT <= 0 || eps1 <= 0 {
+		return nil, ErrStrongestCorrelation
+	}
+	return &QuantifiedPlan{
+		TargetAlpha: alpha, T: T,
+		Eps1: eps1, EpsM: epsM, EpsT: epsT,
+		AlphaB: eps1, AlphaF: epsT,
+	}, nil
+}
+
+// VerifyExact recomputes the exact TPL series of the plan and returns
+// its maximum deviation from the target alpha. Tests assert it is ~0 for
+// T >= 2 (every time point sits exactly at alpha).
+func (p *QuantifiedPlan) VerifyExact(pb, pf *markov.Chain) (float64, error) {
+	eps, err := p.Budgets(p.T)
+	if err != nil {
+		return 0, err
+	}
+	tpl, err := core.TPLSeries(core.NewQuantifier(pb), core.NewQuantifier(pf), eps)
+	if err != nil {
+		return 0, err
+	}
+	worst := 0.0
+	for _, v := range tpl {
+		if d := v - p.TargetAlpha; d > worst {
+			worst = d
+		} else if -d > worst {
+			worst = -d
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,303 @@
+package release
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/markov"
+)
+
+func fig7Chains() (*markov.Chain, *markov.Chain) {
+	return markov.Fig7Backward(), markov.Fig7Forward()
+}
+
+func TestUpperBoundBudgetsBalance(t *testing.T) {
+	pb, pf := fig7Chains()
+	plan, err := UpperBound(pb, pf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Eps <= 0 || plan.Eps > 1 {
+		t.Errorf("eps = %v out of (0, alpha]", plan.Eps)
+	}
+	// The accounting identity alpha = alphaB + alphaF - eps must hold.
+	if got := plan.AlphaB + plan.AlphaF - plan.Eps; math.Abs(got-1) > 1e-9 {
+		t.Errorf("alphaB+alphaF-eps = %v, want 1", got)
+	}
+	// The supremum of BPL under eps must be alphaB, and of FPL alphaF.
+	supB, ok := core.Supremum(core.NewQuantifier(pb), plan.Eps)
+	if !ok {
+		t.Fatal("BPL supremum should exist")
+	}
+	if math.Abs(supB-plan.AlphaB) > 1e-6 {
+		t.Errorf("BPL supremum %v != alphaB %v", supB, plan.AlphaB)
+	}
+	supF, ok := core.Supremum(core.NewQuantifier(pf), plan.Eps)
+	if !ok {
+		t.Fatal("FPL supremum should exist")
+	}
+	if math.Abs(supF-plan.AlphaF) > 1e-6 {
+		t.Errorf("FPL supremum %v != alphaF %v", supF, plan.AlphaF)
+	}
+}
+
+func TestUpperBoundHoldsForAnyHorizon(t *testing.T) {
+	pb, pf := fig7Chains()
+	plan, err := UpperBound(pb, pf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, T := range []int{1, 2, 5, 30, 200} {
+		worst, err := plan.VerifyHorizon(pb, pf, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worst > 1+1e-9 {
+			t.Errorf("T=%d: max TPL %v exceeds alpha 1", T, worst)
+		}
+	}
+}
+
+func TestUpperBoundApproachesAlphaAsymptotically(t *testing.T) {
+	pb, pf := fig7Chains()
+	plan, err := UpperBound(pb, pf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := plan.VerifyHorizon(pb, pf, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst < 0.99 {
+		t.Errorf("long-run max TPL %v should approach alpha 1 (budget is wasted otherwise)", worst)
+	}
+}
+
+func TestUpperBoundNoCorrelation(t *testing.T) {
+	// Without correlations the whole budget goes to each step: eps = alpha.
+	plan, err := UpperBound(nil, nil, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.Eps-0.8) > 1e-9 {
+		t.Errorf("eps = %v, want 0.8", plan.Eps)
+	}
+}
+
+func TestUpperBoundStrongestCorrelationFails(t *testing.T) {
+	id, _ := markov.IdentityChain(2)
+	if _, err := UpperBound(id, nil, 1); !errors.Is(err, ErrStrongestCorrelation) {
+		t.Errorf("err = %v, want ErrStrongestCorrelation", err)
+	}
+	if _, err := UpperBound(nil, id, 1); !errors.Is(err, ErrStrongestCorrelation) {
+		t.Errorf("err = %v, want ErrStrongestCorrelation", err)
+	}
+}
+
+func TestUpperBoundValidation(t *testing.T) {
+	pb, pf := fig7Chains()
+	for _, alpha := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := UpperBound(pb, pf, alpha); err == nil {
+			t.Errorf("alpha=%v should fail", alpha)
+		}
+	}
+}
+
+func TestUpperBoundPlanInterface(t *testing.T) {
+	pb, pf := fig7Chains()
+	plan, err := UpperBound(pb, pf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Alpha() != 2 || plan.Horizon() != 0 {
+		t.Error("plan metadata wrong")
+	}
+	e, err := plan.BudgetAt(99)
+	if err != nil || e != plan.Eps {
+		t.Error("BudgetAt should return the uniform budget at any t")
+	}
+	if _, err := plan.BudgetAt(0); err == nil {
+		t.Error("t=0 should fail")
+	}
+	bs, err := plan.Budgets(4)
+	if err != nil || len(bs) != 4 {
+		t.Error("Budgets(4) failed")
+	}
+	if _, err := plan.Budgets(0); err == nil {
+		t.Error("Budgets(0) should fail")
+	}
+}
+
+func TestQuantifiedExactAtEveryTimePoint(t *testing.T) {
+	pb, pf := fig7Chains()
+	for _, T := range []int{2, 3, 5, 10, 30} {
+		plan, err := Quantified(pb, pf, 1, T)
+		if err != nil {
+			t.Fatalf("T=%d: %v", T, err)
+		}
+		dev, err := plan.VerifyExact(pb, pf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev > 1e-9 {
+			t.Errorf("T=%d: max |TPL - alpha| = %v, want ~0", T, dev)
+		}
+	}
+}
+
+func TestQuantifiedT1(t *testing.T) {
+	pb, pf := fig7Chains()
+	plan, err := Quantified(pb, pf, 0.7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Eps1 != 0.7 {
+		t.Errorf("T=1 budget = %v, want alpha", plan.Eps1)
+	}
+	dev, err := plan.VerifyExact(pb, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev > 1e-12 {
+		t.Errorf("T=1 deviation %v", dev)
+	}
+}
+
+func TestQuantifiedEdgeBudgetsLarger(t *testing.T) {
+	// "The DP mechanisms at the first and last time points should be
+	// allocated more budgets" (Section V).
+	pb, pf := fig7Chains()
+	plan, err := Quantified(pb, pf, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Eps1 <= plan.EpsM || plan.EpsT <= plan.EpsM {
+		t.Errorf("edge budgets should exceed middle: eps1=%v epsM=%v epsT=%v",
+			plan.Eps1, plan.EpsM, plan.EpsT)
+	}
+}
+
+func TestQuantifiedBeatsUpperBoundForShortT(t *testing.T) {
+	// Fig. 8(a): for short T Algorithm 3 spends more budget per step
+	// (less noise) than Algorithm 2.
+	pb, pf := fig7Chains()
+	ub, err := UpperBound(pb, pf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, T := range []int{2, 5, 10} {
+		qp, err := Quantified(pb, pf, 2, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare average noise 1/eps across the horizon.
+		ubNoise := 1 / ub.Eps
+		qpBudgets, err := qp.Budgets(T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qpNoise := 0.0
+		for _, e := range qpBudgets {
+			qpNoise += 1 / e
+		}
+		qpNoise /= float64(T)
+		if qpNoise > ubNoise+1e-9 {
+			t.Errorf("T=%d: quantified noise %v exceeds upper-bound noise %v", T, qpNoise, ubNoise)
+		}
+	}
+}
+
+func TestQuantifiedMiddleConvergesToUpperBoundEps(t *testing.T) {
+	// As T grows the middle budget approaches Algorithm 2's uniform
+	// budget (both pin the same fixed point).
+	pb, pf := fig7Chains()
+	ub, err := UpperBound(pb, pf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := Quantified(pb, pf, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(qp.EpsM-ub.Eps) > 0.05 {
+		t.Errorf("middle budget %v far from upper-bound eps %v", qp.EpsM, ub.Eps)
+	}
+}
+
+func TestQuantifiedNoCorrelation(t *testing.T) {
+	plan, err := Quantified(nil, nil, 0.9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tm := 1; tm <= 5; tm++ {
+		e, err := plan.BudgetAt(tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(e-0.9) > 1e-9 {
+			t.Errorf("t=%d: eps = %v, want alpha (no correlation)", tm, e)
+		}
+	}
+}
+
+func TestQuantifiedStrongestCorrelationFails(t *testing.T) {
+	id, _ := markov.IdentityChain(2)
+	if _, err := Quantified(id, id, 1, 5); !errors.Is(err, ErrStrongestCorrelation) {
+		t.Errorf("err = %v, want ErrStrongestCorrelation", err)
+	}
+}
+
+func TestQuantifiedValidation(t *testing.T) {
+	pb, pf := fig7Chains()
+	if _, err := Quantified(pb, pf, 0, 5); err == nil {
+		t.Error("alpha=0 should fail")
+	}
+	if _, err := Quantified(pb, pf, 1, 0); err == nil {
+		t.Error("T=0 should fail")
+	}
+}
+
+func TestQuantifiedPlanInterface(t *testing.T) {
+	pb, pf := fig7Chains()
+	plan, err := Quantified(pb, pf, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Alpha() != 1 || plan.Horizon() != 4 {
+		t.Error("plan metadata wrong")
+	}
+	if _, err := plan.BudgetAt(5); !errors.Is(err, ErrHorizonExceeded) {
+		t.Error("beyond horizon should fail with ErrHorizonExceeded")
+	}
+	if _, err := plan.Budgets(3); !errors.Is(err, ErrHorizonExceeded) {
+		t.Error("wrong horizon should fail")
+	}
+	bs, err := plan.Budgets(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs[0] != plan.Eps1 || bs[1] != plan.EpsM || bs[3] != plan.EpsT {
+		t.Errorf("budgets = %v", bs)
+	}
+}
+
+func TestAsymmetricCorrelations(t *testing.T) {
+	// Backward-only and forward-only adversaries.
+	pb, pf := fig7Chains()
+	planB, err := Quantified(pb, nil, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev, _ := planB.VerifyExact(pb, nil); dev > 1e-9 {
+		t.Errorf("backward-only deviation %v", dev)
+	}
+	planF, err := Quantified(nil, pf, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev, _ := planF.VerifyExact(nil, pf); dev > 1e-9 {
+		t.Errorf("forward-only deviation %v", dev)
+	}
+}

@@ -1,0 +1,134 @@
+package release
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mechanism"
+)
+
+// Noise selects the perturbation primitive a Releaser applies.
+type Noise int
+
+// Supported noise kinds.
+const (
+	// LaplaceNoise is the paper's mechanism: continuous Lap(Delta/eps).
+	LaplaceNoise Noise = iota
+	// GeometricNoise is the discrete analogue: integral two-sided
+	// geometric noise, exactly eps-DP for integer-valued queries.
+	GeometricNoise
+)
+
+// Releaser publishes noisy histograms step by step under a Plan,
+// instantiating a fresh mechanism with the planned budget at each time
+// point. It is the executable form of the paper's "-DP data at each
+// time point" output of Algorithms 2 and 3.
+//
+// A Releaser is not safe for concurrent use.
+type Releaser struct {
+	plan        Plan
+	sensitivity float64
+	noise       Noise
+	rng         *rand.Rand
+	t           int // 1-based time of the *next* release
+}
+
+// NewReleaser builds a Laplace-noise Releaser for the given plan and
+// query sensitivity. rng may be nil for a deterministic default source.
+func NewReleaser(plan Plan, sensitivity float64, rng *rand.Rand) (*Releaser, error) {
+	return NewReleaserWithNoise(plan, sensitivity, LaplaceNoise, rng)
+}
+
+// NewReleaserWithNoise is NewReleaser with an explicit noise kind.
+// GeometricNoise requires an integral sensitivity >= 1.
+func NewReleaserWithNoise(plan Plan, sensitivity float64, noise Noise, rng *rand.Rand) (*Releaser, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("release: nil plan")
+	}
+	if sensitivity <= 0 {
+		return nil, fmt.Errorf("release: sensitivity must be positive, got %v", sensitivity)
+	}
+	switch noise {
+	case LaplaceNoise:
+	case GeometricNoise:
+		if sensitivity != float64(int(sensitivity)) {
+			return nil, fmt.Errorf("release: geometric noise needs integral sensitivity, got %v", sensitivity)
+		}
+	default:
+		return nil, fmt.Errorf("release: unknown noise kind %d", int(noise))
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Releaser{plan: plan, sensitivity: sensitivity, noise: noise, rng: rng, t: 1}, nil
+}
+
+// T returns the 1-based time of the next release.
+func (r *Releaser) T() int { return r.t }
+
+// step checks the horizon and fetches the current step's budget,
+// advancing time on success.
+func (r *Releaser) step() (float64, error) {
+	if h := r.plan.Horizon(); h > 0 && r.t > h {
+		return 0, fmt.Errorf("release: step %d beyond plan horizon %d: %w", r.t, h, ErrHorizonExceeded)
+	}
+	eps, err := r.plan.BudgetAt(r.t)
+	if err != nil {
+		return 0, err
+	}
+	r.t++
+	return eps, nil
+}
+
+// Release publishes the noisy histogram of one snapshot, consuming the
+// budget planned for the current time step.
+func (r *Releaser) Release(snap *mechanism.Snapshot) ([]float64, error) {
+	eps, err := r.step()
+	if err != nil {
+		return nil, err
+	}
+	counts := snap.Histogram()
+	switch r.noise {
+	case GeometricNoise:
+		geo, err := mechanism.NewGeometric(eps, int(r.sensitivity), r.rng)
+		if err != nil {
+			return nil, err
+		}
+		ints := geo.ReleaseCounts(counts)
+		out := make([]float64, len(ints))
+		for i, v := range ints {
+			out[i] = float64(v)
+		}
+		return out, nil
+	default:
+		lap, err := mechanism.NewLaplace(eps, r.sensitivity, r.rng)
+		if err != nil {
+			return nil, err
+		}
+		return lap.ReleaseCounts(counts), nil
+	}
+}
+
+// ReleaseValue publishes a single noisy scalar (e.g. one count) under
+// the current step's budget. With GeometricNoise the true value is
+// rounded to the nearest integer before perturbation.
+func (r *Releaser) ReleaseValue(trueValue float64) (float64, error) {
+	eps, err := r.step()
+	if err != nil {
+		return 0, err
+	}
+	switch r.noise {
+	case GeometricNoise:
+		geo, err := mechanism.NewGeometric(eps, int(r.sensitivity), r.rng)
+		if err != nil {
+			return 0, err
+		}
+		return float64(geo.Release(int(trueValue + 0.5))), nil
+	default:
+		lap, err := mechanism.NewLaplace(eps, r.sensitivity, r.rng)
+		if err != nil {
+			return 0, err
+		}
+		return lap.Release(trueValue), nil
+	}
+}

@@ -1,0 +1,171 @@
+package release
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mechanism"
+)
+
+func TestNewReleaserValidation(t *testing.T) {
+	pb, pf := fig7Chains()
+	plan, err := UpperBound(pb, pf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReleaser(nil, 1, nil); err == nil {
+		t.Error("nil plan should fail")
+	}
+	if _, err := NewReleaser(plan, 0, nil); err == nil {
+		t.Error("zero sensitivity should fail")
+	}
+	r, err := NewReleaser(plan, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.T() != 1 {
+		t.Errorf("initial T = %d", r.T())
+	}
+}
+
+func TestReleaserAdvancesTime(t *testing.T) {
+	pb, pf := fig7Chains()
+	plan, err := UpperBound(pb, pf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReleaser(plan, 1, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := mechanism.NewSnapshot(3, []int{0, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		out, err := r.Release(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 3 {
+			t.Fatalf("histogram length %d", len(out))
+		}
+	}
+	if r.T() != 6 {
+		t.Errorf("T = %d after 5 releases", r.T())
+	}
+}
+
+func TestReleaserHonorsFiniteHorizon(t *testing.T) {
+	pb, pf := fig7Chains()
+	plan, err := Quantified(pb, pf, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReleaser(plan, 1, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := mechanism.NewSnapshot(2, []int{0, 1})
+	for i := 0; i < 2; i++ {
+		if _, err := r.Release(snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Release(snap); !errors.Is(err, ErrHorizonExceeded) {
+		t.Errorf("err = %v, want ErrHorizonExceeded", err)
+	}
+	if _, err := r.ReleaseValue(3); !errors.Is(err, ErrHorizonExceeded) {
+		t.Errorf("scalar err = %v, want ErrHorizonExceeded", err)
+	}
+}
+
+func TestReleaserGeometricNoise(t *testing.T) {
+	pb, pf := fig7Chains()
+	plan, err := UpperBound(pb, pf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReleaserWithNoise(plan, 1, GeometricNoise, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := mechanism.NewSnapshot(3, []int{0, 1, 1, 2})
+	out, err := r.Release(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != math.Trunc(v) {
+			t.Errorf("cell %d: geometric release %v not integral", i, v)
+		}
+	}
+	v, err := r.ReleaseValue(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != math.Trunc(v) {
+		t.Errorf("scalar geometric release %v not integral", v)
+	}
+}
+
+func TestReleaserWithNoiseValidation(t *testing.T) {
+	pb, pf := fig7Chains()
+	plan, err := UpperBound(pb, pf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReleaserWithNoise(plan, 1.5, GeometricNoise, nil); err == nil {
+		t.Error("fractional sensitivity with geometric noise should fail")
+	}
+	if _, err := NewReleaserWithNoise(plan, 1, Noise(99), nil); err == nil {
+		t.Error("unknown noise kind should fail")
+	}
+	if _, err := NewReleaserWithNoise(plan, 2, GeometricNoise, nil); err != nil {
+		t.Errorf("integral sensitivity rejected: %v", err)
+	}
+}
+
+func TestReleaserNoiseScaleTracksBudgets(t *testing.T) {
+	// The first step of a quantified plan has a larger budget, hence
+	// less noise, than the middle steps. Verify empirically.
+	pb, pf := fig7Chains()
+	plan, err := Quantified(pb, pf, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	const trials = 20000
+	absFirst, absMiddle := 0.0, 0.0
+	for i := 0; i < trials; i++ {
+		r, err := NewReleaser(plan, 1, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1, err := r.ReleaseValue(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := r.ReleaseValue(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		absFirst += math.Abs(v1)
+		absMiddle += math.Abs(v2)
+	}
+	absFirst /= trials
+	absMiddle /= trials
+	wantFirst := 1 / plan.Eps1
+	wantMiddle := 1 / plan.EpsM
+	if math.Abs(absFirst-wantFirst) > 0.1*wantFirst {
+		t.Errorf("first-step E|noise| = %v, want ~%v", absFirst, wantFirst)
+	}
+	if math.Abs(absMiddle-wantMiddle) > 0.1*wantMiddle {
+		t.Errorf("middle-step E|noise| = %v, want ~%v", absMiddle, wantMiddle)
+	}
+	if absFirst >= absMiddle {
+		t.Errorf("first step should be less noisy: %v vs %v", absFirst, absMiddle)
+	}
+}

@@ -1,0 +1,100 @@
+package release
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/markov"
+)
+
+// UpperBoundPlan is the output of Algorithm 2: a single constant
+// per-step budget Eps such that BPL never exceeds AlphaB, FPL never
+// exceeds AlphaF, and hence TPL = BPL + FPL - eps never exceeds the
+// target alpha = AlphaB + AlphaF - Eps, no matter how long the release
+// runs.
+type UpperBoundPlan struct {
+	TargetAlpha float64
+	Eps         float64 // the constant per-step budget
+	AlphaB      float64 // supremum of backward privacy leakage
+	AlphaF      float64 // supremum of forward privacy leakage
+}
+
+// Alpha implements Plan.
+func (p *UpperBoundPlan) Alpha() float64 { return p.TargetAlpha }
+
+// Horizon implements Plan: 0, the plan is unbounded.
+func (p *UpperBoundPlan) Horizon() int { return 0 }
+
+// BudgetAt implements Plan: the same budget at every step.
+func (p *UpperBoundPlan) BudgetAt(t int) (float64, error) {
+	if t < 1 {
+		return 0, fmt.Errorf("release: time %d out of range", t)
+	}
+	return p.Eps, nil
+}
+
+// Budgets implements Plan.
+func (p *UpperBoundPlan) Budgets(T int) ([]float64, error) {
+	if T < 1 {
+		return nil, fmt.Errorf("release: horizon %d out of range", T)
+	}
+	return core.UniformBudgets(p.Eps, T), nil
+}
+
+// UpperBound runs Algorithm 2: it finds the split of the target alpha
+// into a BPL supremum alphaB and an FPL supremum alphaF (with the
+// per-step budget counted once, alpha = alphaB + alphaF - eps) such that
+// the per-step budgets implied by the two suprema coincide. The search
+// is a bisection on alphaB, following the paper's loop of enlarging
+// alphaB while epsB < epsF and shrinking it while epsB > epsF.
+//
+// Either chain may be nil (adversary without that correlation). When the
+// relevant correlation is the strongest possible the supremum does not
+// exist (Theorem 5) and ErrStrongestCorrelation is returned.
+func UpperBound(pb, pf *markov.Chain, alpha float64) (*UpperBoundPlan, error) {
+	if err := checkAlpha(alpha); err != nil {
+		return nil, err
+	}
+	qb := core.NewQuantifier(pb)
+	qf := core.NewQuantifier(pf)
+	return upperBound(qb, qf, alpha)
+}
+
+// upperBound is UpperBound on pre-built quantifiers.
+func upperBound(qb, qf *core.Quantifier, alpha float64) (*UpperBoundPlan, error) {
+	if qb.IsIdentityLike() || qf.IsIdentityLike() {
+		return nil, ErrStrongestCorrelation
+	}
+	// epsFor(alphaX) is the per-step budget whose infinite-time leakage
+	// supremum is exactly alphaX: from the fixed point alphaX =
+	// L(alphaX) + eps (Theorem 5 inverted through Algorithm 1's loss).
+	epsB := func(aB float64) float64 { return aB - qb.LossValue(aB) }
+	epsF := func(aF float64) float64 { return aF - qf.LossValue(aF) }
+
+	f := func(aB float64) float64 {
+		eB := epsB(aB)
+		aF := alpha - aB + eB
+		if aF <= 0 {
+			return 1 // aB too large; shrink
+		}
+		return eB - epsF(aF)
+	}
+	aB := bisect(f, 0, alpha)
+	eps := epsB(aB)
+	if eps <= 1e-12 {
+		return nil, ErrStrongestCorrelation
+	}
+	aF := alpha - aB + eps
+	return &UpperBoundPlan{TargetAlpha: alpha, Eps: eps, AlphaB: aB, AlphaF: aF}, nil
+}
+
+// VerifyHorizon recomputes the exact TPL series for the first T steps of
+// the plan through the quantification machinery and returns its maximum.
+// Tests use it to confirm max TPL <= alpha for any T.
+func (p *UpperBoundPlan) VerifyHorizon(pb, pf *markov.Chain, T int) (float64, error) {
+	eps, err := p.Budgets(T)
+	if err != nil {
+		return 0, err
+	}
+	return core.MaxTPL(core.NewQuantifier(pb), core.NewQuantifier(pf), eps)
+}

@@ -1,0 +1,132 @@
+package release
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/markov"
+)
+
+func TestWEventHoldsEveryWindow(t *testing.T) {
+	pb, pf := fig7Chains()
+	const alpha = 1.0
+	for _, w := range []int{1, 2, 3, 5} {
+		plan, err := WEvent(pb, pf, alpha, w)
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		// Verify over a long horizon through the exact series machinery.
+		const T = 120
+		eps, err := plan.Budgets(T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qb, qf := core.NewQuantifier(pb), core.NewQuantifier(pf)
+		bpl, err := core.BPLSeries(qb, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fpl, err := core.FPLSeries(qf, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst, err := core.WEventTPL(bpl, fpl, eps, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worst > alpha+1e-6 {
+			t.Errorf("w=%d: worst window leakage %v exceeds alpha", w, worst)
+		}
+	}
+}
+
+func TestWEventW1MatchesUpperBound(t *testing.T) {
+	// w = 1 is event level: the budget should match Algorithm 2's.
+	pb, pf := fig7Chains()
+	we, err := WEvent(pb, pf, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub, err := UpperBound(pb, pf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(we.Eps-ub.Eps) > 1e-6 {
+		t.Errorf("w=1 eps %v vs Algorithm 2 eps %v", we.Eps, ub.Eps)
+	}
+}
+
+func TestWEventBudgetShrinksWithW(t *testing.T) {
+	pb, pf := fig7Chains()
+	prev := math.Inf(1)
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		plan, err := WEvent(pb, pf, 2, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Eps >= prev {
+			t.Errorf("w=%d: eps %v did not shrink from %v", w, plan.Eps, prev)
+		}
+		prev = plan.Eps
+	}
+}
+
+func TestWEventApproachesGroupForLargeW(t *testing.T) {
+	// As w grows the per-step budget approaches alpha/w from below
+	// (the middle-sum term dominates).
+	pb, pf := fig7Chains()
+	const alpha = 2.0
+	plan, err := WEvent(pb, pf, alpha, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Eps > alpha/50 {
+		t.Errorf("eps %v exceeds alpha/w", plan.Eps)
+	}
+	if plan.Eps < 0.5*alpha/50 {
+		t.Errorf("eps %v implausibly small vs alpha/w = %v", plan.Eps, alpha/50)
+	}
+}
+
+func TestWEventStrongestRefused(t *testing.T) {
+	id, _ := markov.IdentityChain(2)
+	if _, err := WEvent(id, nil, 1, 3); !errors.Is(err, ErrStrongestCorrelation) {
+		t.Errorf("err = %v, want ErrStrongestCorrelation", err)
+	}
+}
+
+func TestWEventNoCorrelation(t *testing.T) {
+	// Without correlations the constraint is w*eps <= alpha.
+	plan, err := WEvent(nil, nil, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.Eps-0.25) > 1e-6 {
+		t.Errorf("eps = %v, want alpha/w = 0.25", plan.Eps)
+	}
+}
+
+func TestWEventValidation(t *testing.T) {
+	pb, pf := fig7Chains()
+	if _, err := WEvent(pb, pf, 0, 3); err == nil {
+		t.Error("alpha=0 should fail")
+	}
+	if _, err := WEvent(pb, pf, 1, 0); err == nil {
+		t.Error("w=0 should fail")
+	}
+	plan, err := WEvent(pb, pf, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Horizon() != 0 || plan.Alpha() != 1 {
+		t.Error("metadata wrong")
+	}
+	if _, err := plan.BudgetAt(0); err == nil {
+		t.Error("t=0 should fail")
+	}
+	if _, err := plan.Budgets(0); err == nil {
+		t.Error("T=0 should fail")
+	}
+}

@@ -1,0 +1,356 @@
+// Package simplex implements a dense two-phase primal simplex solver for
+// linear programs in the form
+//
+//	maximize  c·x
+//	subject to  a_i·x (<=|=|>=) b_i   for each constraint i
+//	            x >= 0
+//
+// It is the substrate that stands in for the external LP solvers (Gurobi
+// and lp_solve) the paper benchmarks Algorithm 1 against in Fig. 5: the
+// linear-fractional privacy-leakage program (18)-(20) is reduced to an LP
+// by the Charnes-Cooper transformation (see package lfp) and solved here.
+//
+// The implementation uses Bland's anti-cycling pivot rule, so it
+// terminates on degenerate problems (the leakage LP is highly degenerate:
+// n(n-1) ratio constraints over n variables).
+package simplex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is the sense of a linear constraint.
+type Relation int
+
+// Constraint senses.
+const (
+	LE Relation = iota // a·x <= b
+	GE                 // a·x >= b
+	EQ                 // a·x == b
+)
+
+// String returns the conventional symbol for the relation.
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return fmt.Sprintf("Relation(%d)", int(r))
+}
+
+// Constraint is a single linear constraint a·x (rel) b.
+type Constraint struct {
+	Coeffs []float64
+	Rel    Relation
+	RHS    float64
+}
+
+// Problem is a linear program over NumVars non-negative variables.
+type Problem struct {
+	NumVars     int
+	Objective   []float64 // maximize Objective · x
+	Constraints []Constraint
+}
+
+// Solution holds an optimal basic feasible solution.
+type Solution struct {
+	X         []float64 // optimal variable assignment, length NumVars
+	Objective float64   // optimal objective value
+	Pivots    int       // total simplex pivots performed (both phases)
+}
+
+// Sentinel errors returned by Solve.
+var (
+	ErrInfeasible = errors.New("simplex: problem is infeasible")
+	ErrUnbounded  = errors.New("simplex: problem is unbounded")
+	ErrMalformed  = errors.New("simplex: malformed problem")
+)
+
+const tol = 1e-9
+
+// maxPivotsFactor bounds the number of pivots to factor*(rows+cols) as a
+// defensive guard; Bland's rule guarantees termination, so hitting the
+// bound indicates a numerical pathology rather than cycling.
+const maxPivotsFactor = 200
+
+// Validate checks structural well-formedness of the problem.
+func (p *Problem) Validate() error {
+	if p.NumVars <= 0 {
+		return fmt.Errorf("%w: NumVars = %d", ErrMalformed, p.NumVars)
+	}
+	if len(p.Objective) != p.NumVars {
+		return fmt.Errorf("%w: objective has %d coefficients for %d variables", ErrMalformed, len(p.Objective), p.NumVars)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != p.NumVars {
+			return fmt.Errorf("%w: constraint %d has %d coefficients for %d variables", ErrMalformed, i, len(c.Coeffs), p.NumVars)
+		}
+		if c.Rel != LE && c.Rel != GE && c.Rel != EQ {
+			return fmt.Errorf("%w: constraint %d has invalid relation %d", ErrMalformed, i, int(c.Rel))
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return fmt.Errorf("%w: constraint %d has non-finite RHS %v", ErrMalformed, i, c.RHS)
+		}
+	}
+	for j, c := range p.Objective {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("%w: objective coefficient %d is non-finite", ErrMalformed, j)
+		}
+	}
+	return nil
+}
+
+// tableau is the working representation: rows are constraints (all
+// equalities after adding slack/surplus/artificial columns), the last
+// column is the RHS.
+type tableau struct {
+	m, n   int // constraint rows, total columns (excluding RHS)
+	a      [][]float64
+	b      []float64
+	basis  []int // basis[i] = column basic in row i
+	pivots int
+}
+
+// Solve runs two-phase simplex and returns an optimal solution, or
+// ErrInfeasible / ErrUnbounded.
+func Solve(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	nVars := p.NumVars
+	m := len(p.Constraints)
+
+	// Count auxiliary columns.
+	nSlack := 0 // one per inequality (slack for <=, surplus for >=)
+	nArt := 0   // one per >= or == row
+	for _, c := range p.Constraints {
+		rhs := c.RHS
+		rel := c.Rel
+		if rhs < 0 {
+			rel = flip(rel)
+		}
+		switch rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	n := nVars + nSlack + nArt
+	t := &tableau{
+		m:     m,
+		n:     n,
+		a:     make([][]float64, m),
+		b:     make([]float64, m),
+		basis: make([]int, m),
+	}
+	artCols := make([]int, 0, nArt)
+	slackAt := nVars
+	artAt := nVars + nSlack
+	for i, c := range p.Constraints {
+		row := make([]float64, n)
+		sign := 1.0
+		rel := c.Rel
+		rhs := c.RHS
+		if rhs < 0 {
+			sign = -1
+			rhs = -rhs
+			rel = flip(rel)
+		}
+		for j, v := range c.Coeffs {
+			row[j] = sign * v
+		}
+		t.b[i] = rhs
+		switch rel {
+		case LE:
+			row[slackAt] = 1
+			t.basis[i] = slackAt
+			slackAt++
+		case GE:
+			row[slackAt] = -1
+			slackAt++
+			row[artAt] = 1
+			t.basis[i] = artAt
+			artCols = append(artCols, artAt)
+			artAt++
+		case EQ:
+			row[artAt] = 1
+			t.basis[i] = artAt
+			artCols = append(artCols, artAt)
+			artAt++
+		}
+		t.a[i] = row
+	}
+
+	// Phase 1: minimize sum of artificials, i.e. maximize -sum.
+	if len(artCols) > 0 {
+		obj := make([]float64, n)
+		for _, j := range artCols {
+			obj[j] = -1
+		}
+		val, err := t.optimize(obj)
+		if err != nil {
+			return nil, err
+		}
+		if val < -1e-7 {
+			return nil, ErrInfeasible
+		}
+		// Drive any artificial still basic (at value 0) out of the basis.
+		isArt := make(map[int]bool, len(artCols))
+		for _, j := range artCols {
+			isArt[j] = true
+		}
+		for i := 0; i < t.m; i++ {
+			if !isArt[t.basis[i]] {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < nVars+nSlack; j++ {
+				if math.Abs(t.a[i][j]) > tol {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Row is all zeros across structural columns: redundant
+				// constraint; leave the zero-valued artificial basic but
+				// block it from re-entering by zeroing the row (it stays 0).
+				continue
+			}
+		}
+		// Freeze artificial columns so phase 2 cannot bring them back.
+		for _, j := range artCols {
+			for i := 0; i < t.m; i++ {
+				t.a[i][j] = 0
+			}
+		}
+	}
+
+	// Phase 2: maximize the real objective.
+	obj := make([]float64, n)
+	copy(obj, p.Objective)
+	if _, err := t.optimize(obj); err != nil {
+		return nil, err
+	}
+
+	x := make([]float64, nVars)
+	for i, j := range t.basis {
+		if j < nVars {
+			x[j] = t.b[i]
+		}
+	}
+	val := 0.0
+	for j, c := range p.Objective {
+		val += c * x[j]
+	}
+	return &Solution{X: x, Objective: val, Pivots: t.pivots}, nil
+}
+
+// flip converts the relation sense after multiplying a row by -1.
+func flip(r Relation) Relation {
+	switch r {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+// optimize runs primal simplex with Bland's rule for the objective
+// "maximize obj·x" on the current tableau, returning the objective value
+// of the final basic solution.
+func (t *tableau) optimize(obj []float64) (float64, error) {
+	// Reduced costs are computed against the current basis each
+	// iteration; with Bland's rule the entering variable is the
+	// lowest-indexed column with positive reduced cost.
+	maxPivots := maxPivotsFactor * (t.m + t.n)
+	for iter := 0; ; iter++ {
+		if iter > maxPivots {
+			return 0, fmt.Errorf("simplex: pivot limit exceeded (%d); numerical breakdown", maxPivots)
+		}
+		// y = c_B applied to rows: reduced cost r_j = obj_j - sum_i cB_i * a[i][j].
+		cb := make([]float64, t.m)
+		for i, j := range t.basis {
+			cb[i] = obj[j]
+		}
+		enter := -1
+		for j := 0; j < t.n; j++ {
+			r := obj[j]
+			for i := 0; i < t.m; i++ {
+				if cb[i] != 0 {
+					r -= cb[i] * t.a[i][j]
+				}
+			}
+			if r > tol {
+				enter = j
+				break // Bland: first improving column
+			}
+		}
+		if enter < 0 {
+			// Optimal: compute objective value.
+			val := 0.0
+			for i, j := range t.basis {
+				val += obj[j] * t.b[i]
+			}
+			return val, nil
+		}
+		// Ratio test with Bland tie-break on the leaving basic variable.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][enter] > tol {
+				ratio := t.b[i] / t.a[i][enter]
+				if ratio < bestRatio-tol || (math.Abs(ratio-bestRatio) <= tol && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return 0, ErrUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col) and updates the basis.
+func (t *tableau) pivot(row, col int) {
+	t.pivots++
+	piv := t.a[row][col]
+	inv := 1.0 / piv
+	for j := 0; j < t.n; j++ {
+		t.a[row][j] *= inv
+	}
+	t.b[row] *= inv
+	t.a[row][col] = 1 // kill rounding noise on the pivot itself
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			t.a[i][j] -= f * t.a[row][j]
+		}
+		t.a[i][col] = 0
+		t.b[i] -= f * t.b[row]
+		if t.b[i] < 0 && t.b[i] > -tol {
+			t.b[i] = 0
+		}
+	}
+	t.basis[row] = col
+}

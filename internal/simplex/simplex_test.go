@@ -1,0 +1,244 @@
+package simplex
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return s
+}
+
+func TestSimpleLE(t *testing.T) {
+	// max x+y s.t. x+2y<=4, 3x+y<=6 -> optimum at (8/5, 6/5), value 14/5.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 2}, Rel: LE, RHS: 4},
+			{Coeffs: []float64{3, 1}, Rel: LE, RHS: 6},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-14.0/5) > 1e-9 {
+		t.Errorf("objective = %v, want 2.8", s.Objective)
+	}
+	if math.Abs(s.X[0]-8.0/5) > 1e-9 || math.Abs(s.X[1]-6.0/5) > 1e-9 {
+		t.Errorf("x = %v", s.X)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// max x s.t. x+y == 3, x <= 2 -> x=2, y=1.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 0},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: EQ, RHS: 3},
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 2},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-2) > 1e-9 {
+		t.Errorf("objective = %v", s.Objective)
+	}
+	if math.Abs(s.X[1]-1) > 1e-9 {
+		t.Errorf("y = %v, want 1", s.X[1])
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// max -x s.t. x >= 3 (i.e. minimize x) -> x = 3.
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: GE, RHS: 3},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.X[0]-3) > 1e-9 {
+		t.Errorf("x = %v, want 3", s.X[0])
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// -x <= -2 is x >= 2; max -x -> x = 2.
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1}, Rel: LE, RHS: -2},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.X[0]-2) > 1e-9 {
+		t.Errorf("x = %v, want 2", s.X[0])
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: LE, RHS: 1},
+			{Coeffs: []float64{1}, Rel: GE, RHS: 2},
+		},
+	}
+	if _, err := Solve(p); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: GE, RHS: 0},
+		},
+	}
+	if _, err := Solve(p); !errors.Is(err, ErrUnbounded) {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestMalformed(t *testing.T) {
+	cases := []*Problem{
+		{NumVars: 0},
+		{NumVars: 2, Objective: []float64{1}},
+		{NumVars: 1, Objective: []float64{1}, Constraints: []Constraint{{Coeffs: []float64{1, 2}, Rel: LE, RHS: 1}}},
+		{NumVars: 1, Objective: []float64{1}, Constraints: []Constraint{{Coeffs: []float64{1}, Rel: Relation(9), RHS: 1}}},
+		{NumVars: 1, Objective: []float64{1}, Constraints: []Constraint{{Coeffs: []float64{1}, Rel: LE, RHS: math.NaN()}}},
+		{NumVars: 1, Objective: []float64{math.Inf(1)}},
+	}
+	for i, p := range cases {
+		if _, err := Solve(p); !errors.Is(err, ErrMalformed) {
+			t.Errorf("case %d: err = %v, want ErrMalformed", i, err)
+		}
+	}
+}
+
+func TestDegenerateNoCycle(t *testing.T) {
+	// A classic degenerate LP (Beale-like structure); Bland's rule must
+	// terminate with the right optimum.
+	p := &Problem{
+		NumVars:   4,
+		Objective: []float64{0.75, -150, 0.02, -6},
+		Constraints: []Constraint{
+			{Coeffs: []float64{0.25, -60, -0.04, 9}, Rel: LE, RHS: 0},
+			{Coeffs: []float64{0.5, -90, -0.02, 3}, Rel: LE, RHS: 0},
+			{Coeffs: []float64{0, 0, 1, 0}, Rel: LE, RHS: 1},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-0.05) > 1e-9 {
+		t.Errorf("objective = %v, want 0.05", s.Objective)
+	}
+}
+
+func TestZeroObjective(t *testing.T) {
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{0, 0},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: LE, RHS: 1},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Objective != 0 {
+		t.Errorf("objective = %v", s.Objective)
+	}
+}
+
+func TestRedundantEqualities(t *testing.T) {
+	// Duplicated equality rows leave a zero-valued artificial basic;
+	// the solver must still succeed.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: EQ, RHS: 2},
+			{Coeffs: []float64{1, 1}, Rel: EQ, RHS: 2},
+			{Coeffs: []float64{2, 2}, Rel: EQ, RHS: 4},
+		},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-4) > 1e-9 {
+		t.Errorf("objective = %v, want 4 at (0,2)", s.Objective)
+	}
+}
+
+func TestFeasibilityOfSolution(t *testing.T) {
+	// Random LPs with a known feasible box: the returned point must
+	// satisfy every constraint.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(4)
+		m := 1 + rng.Intn(6)
+		p := &Problem{NumVars: n, Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = rng.NormFloat64()
+		}
+		for i := 0; i < m; i++ {
+			c := Constraint{Coeffs: make([]float64, n), Rel: LE, RHS: 1 + rng.Float64()*5}
+			for j := range c.Coeffs {
+				c.Coeffs[j] = rng.Float64() // non-negative rows + positive RHS => feasible, bounded iff obj pushed up has support... ensure bounded:
+			}
+			p.Constraints = append(p.Constraints, c)
+		}
+		// Add a box to guarantee boundedness.
+		for j := 0; j < n; j++ {
+			c := Constraint{Coeffs: make([]float64, n), Rel: LE, RHS: 10}
+			c.Coeffs[j] = 1
+			p.Constraints = append(p.Constraints, c)
+		}
+		s := solveOK(t, p)
+		for i, c := range p.Constraints {
+			lhs := 0.0
+			for j, a := range c.Coeffs {
+				lhs += a * s.X[j]
+			}
+			if lhs > c.RHS+1e-7 {
+				t.Fatalf("trial %d: constraint %d violated: %v > %v", trial, i, lhs, c.RHS)
+			}
+		}
+		for j, x := range s.X {
+			if x < -1e-9 {
+				t.Fatalf("trial %d: x[%d] = %v negative", trial, j, x)
+			}
+		}
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Error("relation strings wrong")
+	}
+	if Relation(7).String() == "" {
+		t.Error("unknown relation should still format")
+	}
+}
+
+func TestPivotsReported(t *testing.T) {
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 1},
+			{Coeffs: []float64{0, 1}, Rel: LE, RHS: 1},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Pivots < 2 {
+		t.Errorf("pivots = %d, expected at least 2", s.Pivots)
+	}
+}

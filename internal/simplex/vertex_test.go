@@ -1,0 +1,140 @@
+package simplex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteForce2D maximizes a 2-variable LP by enumerating all candidate
+// vertices: pairwise intersections of constraint boundaries (including
+// the axes x=0, y=0), filtered for feasibility. Exact for bounded
+// feasible regions, so it is an independent oracle for the simplex
+// implementation.
+func bruteForce2D(obj []float64, cons []Constraint) (float64, bool) {
+	// Boundary lines: a·x = b for each constraint plus the two axes.
+	type line struct{ a0, a1, b float64 }
+	var lines []line
+	for _, c := range cons {
+		lines = append(lines, line{c.Coeffs[0], c.Coeffs[1], c.RHS})
+	}
+	lines = append(lines, line{1, 0, 0}, line{0, 1, 0})
+
+	feasible := func(x, y float64) bool {
+		if x < -1e-9 || y < -1e-9 {
+			return false
+		}
+		for _, c := range cons {
+			lhs := c.Coeffs[0]*x + c.Coeffs[1]*y
+			switch c.Rel {
+			case LE:
+				if lhs > c.RHS+1e-9 {
+					return false
+				}
+			case GE:
+				if lhs < c.RHS-1e-9 {
+					return false
+				}
+			case EQ:
+				if math.Abs(lhs-c.RHS) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	best := math.Inf(-1)
+	found := false
+	for i := 0; i < len(lines); i++ {
+		for j := i + 1; j < len(lines); j++ {
+			det := lines[i].a0*lines[j].a1 - lines[i].a1*lines[j].a0
+			if math.Abs(det) < 1e-12 {
+				continue
+			}
+			x := (lines[i].b*lines[j].a1 - lines[i].a1*lines[j].b) / det
+			y := (lines[i].a0*lines[j].b - lines[i].b*lines[j].a0) / det
+			if feasible(x, y) {
+				v := obj[0]*x + obj[1]*y
+				if v > best {
+					best = v
+					found = true
+				}
+			}
+		}
+	}
+	return best, found
+}
+
+func TestSimplexMatchesVertexEnumeration2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	trials, checked := 0, 0
+	for trials < 400 {
+		trials++
+		// Random LE constraints with positive RHS (origin feasible) plus
+		// a bounding box so the optimum is finite.
+		m := 1 + rng.Intn(4)
+		obj := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		var cons []Constraint
+		for i := 0; i < m; i++ {
+			cons = append(cons, Constraint{
+				Coeffs: []float64{rng.NormFloat64(), rng.NormFloat64()},
+				Rel:    LE,
+				RHS:    0.5 + rng.Float64()*4,
+			})
+		}
+		cons = append(cons,
+			Constraint{Coeffs: []float64{1, 0}, Rel: LE, RHS: 5},
+			Constraint{Coeffs: []float64{0, 1}, Rel: LE, RHS: 5},
+		)
+		want, ok := bruteForce2D(obj, cons)
+		if !ok {
+			continue
+		}
+		sol, err := Solve(&Problem{NumVars: 2, Objective: obj, Constraints: cons})
+		if err != nil {
+			t.Fatalf("trial %d: %v (oracle found optimum %v)", trials, err, want)
+		}
+		if math.Abs(sol.Objective-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: simplex %v vs vertex oracle %v\nobj=%v cons=%+v",
+				trials, sol.Objective, want, obj, cons)
+		}
+		checked++
+	}
+	if checked < 300 {
+		t.Fatalf("only %d/%d trials produced a checkable LP", checked, trials)
+	}
+}
+
+func TestSimplexMatchesVertexEnumerationWithEqualities(t *testing.T) {
+	rng := rand.New(rand.NewSource(405))
+	checked := 0
+	for trial := 0; trial < 300; trial++ {
+		obj := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		// One equality through the positive quadrant plus a box.
+		eq := Constraint{
+			Coeffs: []float64{0.2 + rng.Float64(), 0.2 + rng.Float64()},
+			Rel:    EQ,
+			RHS:    1 + rng.Float64()*3,
+		}
+		cons := []Constraint{
+			eq,
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 6},
+			{Coeffs: []float64{0, 1}, Rel: LE, RHS: 6},
+		}
+		want, ok := bruteForce2D(obj, cons)
+		if !ok {
+			continue
+		}
+		sol, err := Solve(&Problem{NumVars: 2, Objective: obj, Constraints: cons})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(sol.Objective-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: simplex %v vs oracle %v", trial, sol.Objective, want)
+		}
+		checked++
+	}
+	if checked < 200 {
+		t.Fatalf("only %d trials checkable", checked)
+	}
+}

@@ -1,0 +1,226 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/markov"
+	"repro/internal/matrix"
+	"repro/internal/release"
+	"repro/internal/trace"
+)
+
+// TestEndToEndFig1Pipeline exercises the full stack of the paper's
+// Fig. 1: road network -> mobility chains -> simulated population ->
+// noisy continuous release -> leakage accounting -> replanning, with
+// every module talking to its real neighbors (no mocks).
+func TestEndToEndFig1Pipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+
+	// Build the world.
+	net := trace.Fig1Network()
+	forward, err := net.UniformChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := forward.Stationary(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backward, err := forward.Reverse(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const users, T, eps = 60, 8, 0.25
+	pop, err := trace.NewPopulation(forward, users, matrix.Uniform(net.N()), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := make([]AdversaryModel, users)
+	for i := range models {
+		models[i] = AdversaryModel{Backward: backward, Forward: forward}
+	}
+	srv, err := NewServer(net.N(), users, models, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Release T steps; every histogram must have one cell per location
+	// and be a plausible perturbation of the truth.
+	for step := 0; step < T; step++ {
+		if step > 0 {
+			pop.Advance()
+		}
+		truth := pop.Counts()
+		noisy, err := srv.Collect(pop.Locations(), eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(noisy) != net.N() {
+			t.Fatalf("step %d: %d cells", step, len(noisy))
+		}
+		for i := range noisy {
+			// eps=0.25, sensitivity 1: |noise| > 60 has probability
+			// e^-15; treat as a correctness failure.
+			if math.Abs(noisy[i]-float64(truth[i])) > 60 {
+				t.Fatalf("step %d cell %d: noisy %v vs true %d", step, i, noisy[i], truth[i])
+			}
+		}
+	}
+
+	// The server's accounting must agree with the batch quantification.
+	rep, err := srv.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, qf := core.NewQuantifier(backward), core.NewQuantifier(forward)
+	want, err := core.MaxTPL(qb, qf, core.UniformBudgets(eps, T))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.EventLevelAlpha-want) > 1e-9 {
+		t.Errorf("server alpha %v vs batch %v", rep.EventLevelAlpha, want)
+	}
+	if rep.EventLevelAlpha <= eps {
+		t.Error("correlation should amplify the event-level leakage")
+	}
+	if math.Abs(rep.UserLevel-float64(T)*eps) > 1e-9 {
+		t.Errorf("user level %v, want T*eps", rep.UserLevel)
+	}
+
+	// Replan with the group baseline (the network's deterministic road
+	// makes the correlation strongest, so the fine planners refuse) and
+	// confirm the replanned budgets keep every user within eps.
+	if _, err := release.Quantified(backward, forward, eps, T); err == nil {
+		t.Error("expected the fine planner to refuse the deterministic road network")
+	}
+	group, err := release.GroupPrivacy(eps, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets, err := group.Budgets(T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := core.MaxTPL(qb, qf, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > eps+1e-9 {
+		t.Errorf("replanned release leaks %v > %v", worst, eps)
+	}
+}
+
+// TestEndToEndHeterogeneousPopulation runs the personalized pipeline:
+// users with different mobility profiles, per-user adversary models
+// built from each profile, and a server whose report identifies the
+// user whose correlation hurts most.
+func TestEndToEndHeterogeneousPopulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	sticky, err := markov.Lazy(3, 0.97) // strong temporal correlation
+	if err != nil {
+		t.Fatal(err)
+	}
+	roamer, err := markov.Lazy(3, 1.0/3) // exactly uniform: no correlation signal
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains := []*markov.Chain{sticky, roamer}
+	assignment := []int{0, 1, 1, 0, 1, 1}
+	mp, err := trace.NewMixedPopulation(chains, assignment, matrix.Uniform(3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := make([]AdversaryModel, len(assignment))
+	for u := range models {
+		c, err := mp.Chain(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi, err := c.Stationary(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := c.Reverse(pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models[u] = AdversaryModel{Backward: back, Forward: c}
+	}
+	srv, err := NewServer(3, len(assignment), models, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const T, eps = 10, 0.2
+	for step := 0; step < T; step++ {
+		if step > 0 {
+			mp.Advance()
+		}
+		if _, err := srv.Collect(mp.Locations(), eps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := srv.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The worst user must be one of the sticky profiles.
+	if assignment[rep.WorstUser] != 0 {
+		t.Errorf("worst user %d has the roaming profile; sticky users should leak more", rep.WorstUser)
+	}
+	// Sticky users leak much more than eps; uniform users exactly eps.
+	stickyTPL, err := srv.UserTPL(0, T/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roamTPL, err := srv.UserTPL(1, T/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stickyTPL <= roamTPL {
+		t.Errorf("sticky TPL %v should exceed roamer TPL %v", stickyTPL, roamTPL)
+	}
+	if math.Abs(roamTPL-eps) > 1e-9 {
+		t.Errorf("uniform-profile TPL = %v, want exactly eps", roamTPL)
+	}
+}
+
+// TestEndToEndLearnedAdversary closes the loop the clickstream example
+// demonstrates: simulate trajectories, let the adversary learn the
+// chain by MLE, and verify the leakage computed against the learned
+// chain approximates the leakage against the truth.
+func TestEndToEndLearnedAdversary(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	truth := markov.MustNew(matrix.MustFromRows([][]float64{
+		{0.7, 0.2, 0.1},
+		{0.1, 0.7, 0.2},
+		{0.2, 0.1, 0.7},
+	}))
+	var traces [][]int
+	for i := 0; i < 30; i++ {
+		w, err := truth.Walk(rng, matrix.Uniform(3), 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, w)
+	}
+	learned, err := markov.EstimateMLE(3, traces, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := core.UniformBudgets(0.2, 10)
+	lkTrue, err := core.MaxTPL(core.NewQuantifier(truth), core.NewQuantifier(truth), eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lkLearned, err := core.MaxTPL(core.NewQuantifier(learned), core.NewQuantifier(learned), eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lkTrue-lkLearned) > 0.05*lkTrue {
+		t.Errorf("learned-chain leakage %v far from truth %v", lkLearned, lkTrue)
+	}
+}

@@ -1,0 +1,53 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/release"
+)
+
+// ErrNoPlan is returned by CollectPlanned when no release plan has been
+// attached to the server.
+var ErrNoPlan = errors.New("stream: no release plan attached; call SetPlan or use Collect with an explicit budget")
+
+// SetPlan attaches a budget plan to the server: subsequent
+// CollectPlanned calls draw their per-step budget from the plan instead
+// of taking an explicit epsilon. Passing nil detaches the plan.
+//
+// The plan's time index starts at the server's *next* step, so a plan
+// can be attached mid-stream (e.g. after an initial exploratory phase
+// released with explicit budgets).
+func (s *Server) SetPlan(plan release.Plan) {
+	s.plan = plan
+	s.planBase = len(s.budgets)
+}
+
+// CollectPlanned ingests one time step using the attached plan's budget
+// for the current step. It fails with release.ErrHorizonExceeded once a
+// finite plan is exhausted — the caller must attach a new plan (or fall
+// back to explicit budgets) to continue, which keeps budget exhaustion
+// an explicit, auditable event.
+func (s *Server) CollectPlanned(values []int) ([]float64, error) {
+	if s.plan == nil {
+		return nil, ErrNoPlan
+	}
+	step := len(s.budgets) - s.planBase + 1
+	if h := s.plan.Horizon(); h > 0 && step > h {
+		return nil, fmt.Errorf("stream: plan step %d beyond horizon %d: %w", step, h, release.ErrHorizonExceeded)
+	}
+	eps, err := s.plan.BudgetAt(step)
+	if err != nil {
+		return nil, err
+	}
+	return s.Collect(values, eps)
+}
+
+// PlanStep returns the 1-based step the next CollectPlanned will use
+// from the attached plan, or 0 when no plan is attached.
+func (s *Server) PlanStep() int {
+	if s.plan == nil {
+		return 0
+	}
+	return len(s.budgets) - s.planBase + 1
+}

@@ -1,0 +1,231 @@
+// Package stream implements the continuous-data-release substrate of the
+// paper's problem setting (Section II-C): a trusted server collects each
+// user's value into a database D^t at every time step and publishes a
+// differentially private aggregate r^t, while tracking the temporal
+// privacy leakage of everything published so far against a registry of
+// adversaries with per-user temporal correlations.
+//
+// It glues together mechanism (the Laplace primitives), core (the TPL
+// accountants) and release (the budget plans) into the end-to-end
+// pipeline of Fig. 1.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/markov"
+	"repro/internal/mechanism"
+	"repro/internal/release"
+)
+
+// ErrDomainMismatch is returned when a collected snapshot disagrees with
+// the server's configured domain or user count.
+var ErrDomainMismatch = errors.New("stream: snapshot does not match server configuration")
+
+// AdversaryModel describes the temporal correlations one adversary_T is
+// assumed to know about a user (Definition 4). Either chain may be nil.
+type AdversaryModel struct {
+	Backward *markov.Chain // P^B_i, Pr(l_{t-1} | l_t)
+	Forward  *markov.Chain // P^F_i, Pr(l_t | l_{t-1})
+}
+
+// Server is the trusted aggregator. It publishes a noisy histogram per
+// time step and maintains one TPL accountant per registered user.
+type Server struct {
+	domain      int
+	users       int
+	sensitivity float64
+	rng         *rand.Rand
+
+	accountants []*core.Accountant // one per user
+	published   [][]float64        // r^1, r^2, ... (noisy histograms)
+	budgets     []float64          // eps_t actually spent
+
+	plan     release.Plan // optional budget plan for CollectPlanned
+	planBase int          // number of steps already taken when the plan was attached
+
+	noise release.Noise // perturbation primitive; Laplace by default
+}
+
+// NewServer creates a release server over the given value domain and
+// user population. models must contain one adversary model per user; a
+// user with a nil-chains model corresponds to the traditional DP
+// adversary. rng may be nil for a deterministic default.
+func NewServer(domain, users int, models []AdversaryModel, rng *rand.Rand) (*Server, error) {
+	if domain <= 0 {
+		return nil, fmt.Errorf("stream: domain must be positive, got %d", domain)
+	}
+	if users <= 0 {
+		return nil, fmt.Errorf("stream: need at least one user, got %d", users)
+	}
+	if len(models) != users {
+		return nil, fmt.Errorf("stream: %d adversary models for %d users", len(models), users)
+	}
+	for i, m := range models {
+		if m.Backward != nil && m.Backward.N() != domain {
+			return nil, fmt.Errorf("stream: user %d backward chain has %d states, domain is %d", i, m.Backward.N(), domain)
+		}
+		if m.Forward != nil && m.Forward.N() != domain {
+			return nil, fmt.Errorf("stream: user %d forward chain has %d states, domain is %d", i, m.Forward.N(), domain)
+		}
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	s := &Server{
+		domain:      domain,
+		users:       users,
+		sensitivity: mechanism.CountSensitivity,
+		rng:         rng,
+	}
+	s.accountants = make([]*core.Accountant, users)
+	for i, m := range models {
+		s.accountants[i] = core.NewAccountant(m.Backward, m.Forward)
+	}
+	return s, nil
+}
+
+// SetSensitivity overrides the query sensitivity (default: 1, the
+// paper's per-count convention). Use mechanism.HistogramL1Sensitivity
+// for the strict joint-histogram calibration.
+func (s *Server) SetSensitivity(delta float64) error {
+	if delta <= 0 || math.IsNaN(delta) || math.IsInf(delta, 0) {
+		return fmt.Errorf("stream: sensitivity must be finite and positive, got %v", delta)
+	}
+	s.sensitivity = delta
+	return nil
+}
+
+// SetNoise selects the perturbation primitive (default Laplace).
+// Geometric noise requires the sensitivity to be integral.
+func (s *Server) SetNoise(noise release.Noise) error {
+	switch noise {
+	case release.LaplaceNoise:
+	case release.GeometricNoise:
+		if s.sensitivity != math.Trunc(s.sensitivity) {
+			return fmt.Errorf("stream: geometric noise needs integral sensitivity, have %v", s.sensitivity)
+		}
+	default:
+		return fmt.Errorf("stream: unknown noise kind %d", int(noise))
+	}
+	s.noise = noise
+	return nil
+}
+
+// Collect ingests the database of one time step and publishes its noisy
+// histogram under an eps-DP Laplace mechanism, updating every user's
+// leakage accountant. It returns the published histogram.
+func (s *Server) Collect(values []int, eps float64) ([]float64, error) {
+	if len(values) != s.users {
+		return nil, fmt.Errorf("%w: %d values for %d users", ErrDomainMismatch, len(values), s.users)
+	}
+	snap, err := mechanism.NewSnapshot(s.domain, values)
+	if err != nil {
+		return nil, err
+	}
+	var noisy []float64
+	switch s.noise {
+	case release.GeometricNoise:
+		geo, err := mechanism.NewGeometric(eps, int(s.sensitivity), s.rng)
+		if err != nil {
+			return nil, err
+		}
+		ints := geo.ReleaseCounts(snap.Histogram())
+		noisy = make([]float64, len(ints))
+		for i, v := range ints {
+			noisy[i] = float64(v)
+		}
+	default:
+		lap, err := mechanism.NewLaplace(eps, s.sensitivity, s.rng)
+		if err != nil {
+			return nil, err
+		}
+		noisy = lap.ReleaseCounts(snap.Histogram())
+	}
+	for _, acc := range s.accountants {
+		if _, err := acc.Observe(eps); err != nil {
+			return nil, err
+		}
+	}
+	s.published = append(s.published, noisy)
+	s.budgets = append(s.budgets, eps)
+	return noisy, nil
+}
+
+// T returns the number of time steps published so far.
+func (s *Server) T() int { return len(s.published) }
+
+// Published returns the noisy histogram released at 1-based time t.
+func (s *Server) Published(t int) ([]float64, error) {
+	if t < 1 || t > len(s.published) {
+		return nil, fmt.Errorf("stream: time %d out of range [1,%d]", t, len(s.published))
+	}
+	return append([]float64(nil), s.published[t-1]...), nil
+}
+
+// Budgets returns a copy of the per-step budgets spent so far.
+func (s *Server) Budgets() []float64 { return append([]float64(nil), s.budgets...) }
+
+// UserTPL returns user u's temporal privacy leakage at 1-based time t.
+func (s *Server) UserTPL(u, t int) (float64, error) {
+	if u < 0 || u >= s.users {
+		return 0, fmt.Errorf("stream: user %d out of range [0,%d)", u, s.users)
+	}
+	return s.accountants[u].TPL(t)
+}
+
+// Report summarizes the privacy guarantee of everything published so
+// far, per Definition 8 and Table II.
+type Report struct {
+	T int
+	// EventLevelAlpha is the maximum over users and time points of the
+	// temporal privacy leakage: the alpha of the overall alpha-DP_T
+	// guarantee (Definition 8 takes the max over all users).
+	EventLevelAlpha float64
+	// WorstUser is the user attaining EventLevelAlpha.
+	WorstUser int
+	// UserLevel is the user-level leakage (Corollary 1): the plain sum
+	// of the budgets, identical for all users.
+	UserLevel float64
+	// NominalEventLevel is the per-step guarantee a correlation-unaware
+	// analysis would claim: the maximum single-step budget.
+	NominalEventLevel float64
+}
+
+// Report computes the current privacy guarantee summary.
+func (s *Server) Report() (*Report, error) {
+	if len(s.budgets) == 0 {
+		return &Report{}, nil
+	}
+	r := &Report{T: len(s.budgets), UserLevel: core.UserLevelTPL(s.budgets)}
+	for _, e := range s.budgets {
+		if e > r.NominalEventLevel {
+			r.NominalEventLevel = e
+		}
+	}
+	r.EventLevelAlpha = math.Inf(-1)
+	for u, acc := range s.accountants {
+		v, err := acc.MaxTPL()
+		if err != nil {
+			return nil, err
+		}
+		if v > r.EventLevelAlpha {
+			r.EventLevelAlpha = v
+			r.WorstUser = u
+		}
+	}
+	return r, nil
+}
+
+// WEvent returns the worst leakage of any w-length window for user u
+// (Theorem 2 / Table II middle row).
+func (s *Server) WEvent(u, w int) (float64, error) {
+	if u < 0 || u >= s.users {
+		return 0, fmt.Errorf("stream: user %d out of range [0,%d)", u, s.users)
+	}
+	return s.accountants[u].WEvent(w)
+}

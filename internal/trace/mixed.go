@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/markov"
+	"repro/internal/matrix"
+)
+
+// MixedPopulation simulates users with heterogeneous mobility: each user
+// follows their own Markov chain. This matches the paper's per-user
+// adversary model (P^B_i, P^F_i differ per user i) more faithfully than
+// the shared-chain Population, and feeds the stream server's per-user
+// accountant registry in tests and examples.
+type MixedPopulation struct {
+	chains  []*markov.Chain // per profile
+	profile []int           // user -> profile index
+	current []int
+	rng     *rand.Rand
+	domain  int
+}
+
+// NewMixedPopulation builds a population where user u follows
+// chains[assignment[u]]. All chains must share one domain size. Initial
+// locations are drawn from initial. rng may be nil for a deterministic
+// default.
+func NewMixedPopulation(chains []*markov.Chain, assignment []int, initial matrix.Vector, rng *rand.Rand) (*MixedPopulation, error) {
+	if len(chains) == 0 {
+		return nil, errors.New("trace: need at least one chain")
+	}
+	if len(assignment) == 0 {
+		return nil, errors.New("trace: need at least one user")
+	}
+	for i, c := range chains {
+		if c == nil {
+			return nil, fmt.Errorf("trace: chain %d is nil", i)
+		}
+	}
+	domain := chains[0].N()
+	for i, c := range chains {
+		if c.N() != domain {
+			return nil, fmt.Errorf("trace: chain %d has %d states, chain 0 has %d", i, c.N(), domain)
+		}
+	}
+	for u, p := range assignment {
+		if p < 0 || p >= len(chains) {
+			return nil, fmt.Errorf("trace: user %d assigned to profile %d, outside [0,%d)", u, p, len(chains))
+		}
+	}
+	if len(initial) != domain {
+		return nil, fmt.Errorf("trace: initial distribution length %d for %d locations", len(initial), domain)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	mp := &MixedPopulation{
+		chains:  chains,
+		profile: append([]int(nil), assignment...),
+		current: make([]int, len(assignment)),
+		rng:     rng,
+		domain:  domain,
+	}
+	for u := range mp.current {
+		mp.current[u] = markov.Sample(rng, initial)
+	}
+	return mp, nil
+}
+
+// Users returns the population size.
+func (m *MixedPopulation) Users() int { return len(m.current) }
+
+// Profile returns user u's profile index.
+func (m *MixedPopulation) Profile(u int) (int, error) {
+	if u < 0 || u >= len(m.profile) {
+		return 0, fmt.Errorf("trace: user %d outside [0,%d)", u, len(m.profile))
+	}
+	return m.profile[u], nil
+}
+
+// Chain returns the chain of user u — what the adversary targeting u
+// would use as forward correlation.
+func (m *MixedPopulation) Chain(u int) (*markov.Chain, error) {
+	p, err := m.Profile(u)
+	if err != nil {
+		return nil, err
+	}
+	return m.chains[p], nil
+}
+
+// Locations returns a copy of every user's current location.
+func (m *MixedPopulation) Locations() []int { return append([]int(nil), m.current...) }
+
+// Counts returns the current per-location counts.
+func (m *MixedPopulation) Counts() []int {
+	counts := make([]int, m.domain)
+	for _, l := range m.current {
+		counts[l]++
+	}
+	return counts
+}
+
+// Advance moves every user one step along their own chain.
+func (m *MixedPopulation) Advance() {
+	for u, l := range m.current {
+		m.current[u] = m.chains[m.profile[u]].Step(m.rng, l)
+	}
+}
+
+// Run simulates T time steps (the initial placement is t=1) and returns
+// per-step location columns and count histograms.
+func (m *MixedPopulation) Run(T int) (locations [][]int, counts [][]int, err error) {
+	if T <= 0 {
+		return nil, nil, fmt.Errorf("trace: need at least one step, got %d", T)
+	}
+	locations = make([][]int, T)
+	counts = make([][]int, T)
+	for t := 0; t < T; t++ {
+		if t > 0 {
+			m.Advance()
+		}
+		locations[t] = m.Locations()
+		counts[t] = m.Counts()
+	}
+	return locations, counts, nil
+}

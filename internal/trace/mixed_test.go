@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/markov"
+	"repro/internal/matrix"
+)
+
+func mixedChains(t *testing.T) []*markov.Chain {
+	t.Helper()
+	sticky, err := markov.Lazy(3, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roamer, err := markov.Lazy(3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*markov.Chain{sticky, roamer}
+}
+
+func TestNewMixedPopulationValidation(t *testing.T) {
+	chains := mixedChains(t)
+	uni := matrix.Uniform(3)
+	if _, err := NewMixedPopulation(nil, []int{0}, uni, nil); err == nil {
+		t.Error("no chains should fail")
+	}
+	if _, err := NewMixedPopulation(chains, nil, uni, nil); err == nil {
+		t.Error("no users should fail")
+	}
+	if _, err := NewMixedPopulation(chains, []int{0, 5}, uni, nil); err == nil {
+		t.Error("bad assignment should fail")
+	}
+	if _, err := NewMixedPopulation(chains, []int{0}, matrix.Uniform(2), nil); err == nil {
+		t.Error("initial length mismatch should fail")
+	}
+	two, err := markov.Lazy(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMixedPopulation([]*markov.Chain{chains[0], two}, []int{0}, uni, nil); err == nil {
+		t.Error("domain mismatch should fail")
+	}
+	if _, err := NewMixedPopulation([]*markov.Chain{nil}, []int{0}, uni, nil); err == nil {
+		t.Error("nil chain should fail")
+	}
+}
+
+func TestMixedPopulationProfiles(t *testing.T) {
+	chains := mixedChains(t)
+	mp, err := NewMixedPopulation(chains, []int{0, 1, 0}, matrix.Uniform(3), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Users() != 3 {
+		t.Errorf("Users = %d", mp.Users())
+	}
+	p, err := mp.Profile(1)
+	if err != nil || p != 1 {
+		t.Errorf("Profile(1) = %d/%v", p, err)
+	}
+	c, err := mp.Chain(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Prob(0, 0) != 0.95 {
+		t.Errorf("user 0 chain stay prob = %v", c.Prob(0, 0))
+	}
+	if _, err := mp.Profile(9); err == nil {
+		t.Error("bad user should fail")
+	}
+	if _, err := mp.Chain(-1); err == nil {
+		t.Error("bad user should fail")
+	}
+}
+
+func TestMixedPopulationBehaviorDiffersByProfile(t *testing.T) {
+	// Sticky users move rarely; roamers move often. Measure move rates.
+	chains := mixedChains(t)
+	const half = 200
+	assignment := make([]int, 2*half)
+	for u := half; u < 2*half; u++ {
+		assignment[u] = 1
+	}
+	mp, err := NewMixedPopulation(chains, assignment, matrix.Uniform(3), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves := make([]int, 2)
+	const steps = 50
+	prev := mp.Locations()
+	for s := 0; s < steps; s++ {
+		mp.Advance()
+		cur := mp.Locations()
+		for u := range cur {
+			if cur[u] != prev[u] {
+				moves[assignment[u]]++
+			}
+		}
+		prev = cur
+	}
+	stickyRate := float64(moves[0]) / (half * steps)
+	roamRate := float64(moves[1]) / (half * steps)
+	if math.Abs(stickyRate-0.05) > 0.02 {
+		t.Errorf("sticky move rate = %v, want ~0.05", stickyRate)
+	}
+	if math.Abs(roamRate-0.9) > 0.05 {
+		t.Errorf("roamer move rate = %v, want ~0.9", roamRate)
+	}
+}
+
+func TestMixedPopulationRunCounts(t *testing.T) {
+	chains := mixedChains(t)
+	mp, err := NewMixedPopulation(chains, []int{0, 1, 1, 0, 1}, matrix.Uniform(3), rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs, counts, err := mp.Run(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != 6 || len(counts) != 6 {
+		t.Fatal("wrong horizon")
+	}
+	for tm := range counts {
+		total := 0
+		for _, c := range counts[tm] {
+			total += c
+		}
+		if total != 5 {
+			t.Errorf("t=%d: total %d", tm, total)
+		}
+	}
+	if _, _, err := mp.Run(0); err == nil {
+		t.Error("T=0 should fail")
+	}
+}

@@ -1,0 +1,204 @@
+// Package trace builds the location-data world of the paper's Example 1
+// and Fig. 1: a road network over locations, a population of users whose
+// mobility follows Markov chains derived from the network, and the
+// true/private count aggregation pipeline. The paper evaluates on
+// synthetic correlations; this package provides the realistic scenario
+// its introduction motivates, for the examples and integration tests.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/markov"
+	"repro/internal/matrix"
+)
+
+// RoadNetwork is a directed graph over locations: an edge u->v means a
+// user at u can be at v at the next time step. Self-loops are allowed
+// (staying in place).
+type RoadNetwork struct {
+	n   int
+	adj [][]int // adjacency lists, deduplicated and sorted by insertion
+}
+
+// NewRoadNetwork creates an empty network over n locations.
+func NewRoadNetwork(n int) (*RoadNetwork, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("trace: need at least one location, got %d", n)
+	}
+	return &RoadNetwork{n: n, adj: make([][]int, n)}, nil
+}
+
+// N returns the number of locations.
+func (r *RoadNetwork) N() int { return r.n }
+
+// AddEdge adds the directed edge u -> v. Duplicate edges are ignored.
+func (r *RoadNetwork) AddEdge(u, v int) error {
+	if u < 0 || u >= r.n || v < 0 || v >= r.n {
+		return fmt.Errorf("trace: edge (%d,%d) outside [0,%d)", u, v, r.n)
+	}
+	for _, w := range r.adj[u] {
+		if w == v {
+			return nil
+		}
+	}
+	r.adj[u] = append(r.adj[u], v)
+	return nil
+}
+
+// Out returns a copy of u's out-neighbors.
+func (r *RoadNetwork) Out(u int) []int { return append([]int(nil), r.adj[u]...) }
+
+// ErrDeadEnd is returned by UniformChain when some location has no
+// outgoing edge, which would make the mobility model ill-defined.
+var ErrDeadEnd = errors.New("trace: road network has a location with no outgoing edge")
+
+// UniformChain derives the forward temporal correlation P^F implied by
+// the network under uniform routing: from each location a user moves to
+// each out-neighbor with equal probability. This is the way an adversary
+// turns public road-network knowledge into a transition matrix
+// (Example 1: "always arriving at loc5 after visiting loc4" becomes
+// Pr(l_t = loc5 | l_{t-1} = loc4) = 1).
+func (r *RoadNetwork) UniformChain() (*markov.Chain, error) {
+	m := matrix.New(r.n, r.n)
+	for u := 0; u < r.n; u++ {
+		if len(r.adj[u]) == 0 {
+			return nil, fmt.Errorf("%w: location %d", ErrDeadEnd, u)
+		}
+		p := 1.0 / float64(len(r.adj[u]))
+		for _, v := range r.adj[u] {
+			m.Set(u, v, p)
+		}
+	}
+	return markov.New(m)
+}
+
+// WeightedChain derives P^F with explicit edge weights: weights[u][v] is
+// the propensity of moving from u to v; rows are normalized. Missing
+// edges must have weight zero.
+func (r *RoadNetwork) WeightedChain(weights [][]float64) (*markov.Chain, error) {
+	if len(weights) != r.n {
+		return nil, fmt.Errorf("trace: %d weight rows for %d locations", len(weights), r.n)
+	}
+	m := matrix.New(r.n, r.n)
+	for u := 0; u < r.n; u++ {
+		if len(weights[u]) != r.n {
+			return nil, fmt.Errorf("trace: weight row %d has %d entries for %d locations", u, len(weights[u]), r.n)
+		}
+		allowed := make(map[int]bool, len(r.adj[u]))
+		for _, v := range r.adj[u] {
+			allowed[v] = true
+		}
+		for v, w := range weights[u] {
+			if w < 0 {
+				return nil, fmt.Errorf("trace: negative weight at (%d,%d)", u, v)
+			}
+			if w > 0 && !allowed[v] {
+				return nil, fmt.Errorf("trace: weight on missing edge (%d,%d)", u, v)
+			}
+			m.Set(u, v, w)
+		}
+	}
+	if err := m.NormalizeRows(); err != nil {
+		return nil, fmt.Errorf("trace: %v", err)
+	}
+	return markov.New(m)
+}
+
+// Fig1Network returns the 5-location road network sketched in Fig. 1(b):
+// loc4 feeds loc5 deterministically ("always arriving at loc5 after
+// visiting loc4"), while the remaining locations form a connected
+// neighborhood. Location indices are 0-based (loc1 = 0 ... loc5 = 4).
+func Fig1Network() *RoadNetwork {
+	r, err := NewRoadNetwork(5)
+	if err != nil {
+		panic(err)
+	}
+	edges := [][2]int{
+		{0, 0}, {0, 1}, {0, 2}, // loc1 <-> loc2, loc3
+		{1, 0}, {1, 1}, {1, 3}, // loc2 -> loc1, loc4
+		{2, 0}, {2, 2}, {2, 4}, // loc3 -> loc1, loc5
+		{3, 4},                 // loc4 -> loc5 only (the deterministic road)
+		{4, 2}, {4, 3}, {4, 4}, // loc5 -> loc3, loc4
+	}
+	for _, e := range edges {
+		if err := r.AddEdge(e[0], e[1]); err != nil {
+			panic(err)
+		}
+	}
+	return r
+}
+
+// Population simulates users walking the network. Each user follows the
+// same forward chain; initial locations are drawn from initial.
+type Population struct {
+	chain   *markov.Chain
+	current []int
+	rng     *rand.Rand
+}
+
+// NewPopulation places users users according to initial and prepares the
+// simulation. rng may be nil for a deterministic default.
+func NewPopulation(chain *markov.Chain, users int, initial matrix.Vector, rng *rand.Rand) (*Population, error) {
+	if chain == nil {
+		return nil, errors.New("trace: nil chain")
+	}
+	if users <= 0 {
+		return nil, fmt.Errorf("trace: need at least one user, got %d", users)
+	}
+	if len(initial) != chain.N() {
+		return nil, fmt.Errorf("trace: initial distribution length %d for %d locations", len(initial), chain.N())
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	p := &Population{chain: chain, current: make([]int, users), rng: rng}
+	for i := range p.current {
+		p.current[i] = markov.Sample(rng, initial)
+	}
+	return p, nil
+}
+
+// Users returns the population size.
+func (p *Population) Users() int { return len(p.current) }
+
+// Locations returns a copy of every user's current location — one column
+// of Fig. 1(a).
+func (p *Population) Locations() []int { return append([]int(nil), p.current...) }
+
+// Counts returns the current per-location counts — one column of
+// Fig. 1(c).
+func (p *Population) Counts() []int {
+	counts := make([]int, p.chain.N())
+	for _, l := range p.current {
+		counts[l]++
+	}
+	return counts
+}
+
+// Advance moves every user one step along the chain.
+func (p *Population) Advance() {
+	for i, l := range p.current {
+		p.current[i] = p.chain.Step(p.rng, l)
+	}
+}
+
+// Run simulates T time steps (including the initial placement as t=1)
+// and returns the per-step location columns and count histograms.
+func (p *Population) Run(T int) (locations [][]int, counts [][]int, err error) {
+	if T <= 0 {
+		return nil, nil, fmt.Errorf("trace: need at least one step, got %d", T)
+	}
+	locations = make([][]int, T)
+	counts = make([][]int, T)
+	for t := 0; t < T; t++ {
+		if t > 0 {
+			p.Advance()
+		}
+		locations[t] = p.Locations()
+		counts[t] = p.Counts()
+	}
+	return locations, counts, nil
+}

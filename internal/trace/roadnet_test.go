@@ -1,0 +1,257 @@
+package trace
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestNewRoadNetwork(t *testing.T) {
+	if _, err := NewRoadNetwork(0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	r, err := NewRoadNetwork(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N() != 3 {
+		t.Errorf("N = %d", r.N())
+	}
+}
+
+func TestAddEdgeAndOut(t *testing.T) {
+	r, _ := NewRoadNetwork(3)
+	if err := r.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddEdge(0, 1); err != nil {
+		t.Fatal(err) // duplicate ignored
+	}
+	if err := r.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := r.Out(0)
+	if len(out) != 2 {
+		t.Errorf("Out(0) = %v", out)
+	}
+	if err := r.AddEdge(0, 5); err == nil {
+		t.Error("out-of-range edge should fail")
+	}
+	// Out returns a copy.
+	out[0] = 99
+	if r.Out(0)[0] == 99 {
+		t.Error("Out exposes internal state")
+	}
+}
+
+func TestUniformChain(t *testing.T) {
+	r, _ := NewRoadNetwork(2)
+	if err := r.AddEdge(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.UniformChain(); !errors.Is(err, ErrDeadEnd) {
+		t.Errorf("dead end at node 1: err = %v", err)
+	}
+	if err := r.AddEdge(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	c, err := r.UniformChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Prob(0, 0)-0.5) > 1e-12 || math.Abs(c.Prob(0, 1)-0.5) > 1e-12 {
+		t.Errorf("row 0 = %v", c.Row(0))
+	}
+	if c.Prob(1, 0) != 1 {
+		t.Errorf("row 1 = %v", c.Row(1))
+	}
+}
+
+func TestWeightedChain(t *testing.T) {
+	r, _ := NewRoadNetwork(2)
+	_ = r.AddEdge(0, 0)
+	_ = r.AddEdge(0, 1)
+	_ = r.AddEdge(1, 1)
+	c, err := r.WeightedChain([][]float64{{3, 1}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Prob(0, 0)-0.75) > 1e-12 {
+		t.Errorf("Prob(0,0) = %v", c.Prob(0, 0))
+	}
+	if c.Prob(1, 1) != 1 {
+		t.Errorf("Prob(1,1) = %v", c.Prob(1, 1))
+	}
+	if _, err := r.WeightedChain([][]float64{{1, 1}}); err == nil {
+		t.Error("row count mismatch should fail")
+	}
+	if _, err := r.WeightedChain([][]float64{{1}, {1, 1}}); err == nil {
+		t.Error("short row should fail")
+	}
+	if _, err := r.WeightedChain([][]float64{{1, -1}, {0, 1}}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	r2, _ := NewRoadNetwork(2)
+	_ = r2.AddEdge(0, 0)
+	_ = r2.AddEdge(1, 1)
+	if _, err := r2.WeightedChain([][]float64{{1, 1}, {0, 1}}); err == nil {
+		t.Error("weight on missing edge should fail")
+	}
+}
+
+func TestFig1Network(t *testing.T) {
+	r := Fig1Network()
+	if r.N() != 5 {
+		t.Fatalf("N = %d", r.N())
+	}
+	// The defining property of Example 1: loc4 (index 3) goes only to
+	// loc5 (index 4).
+	out := r.Out(3)
+	if len(out) != 1 || out[0] != 4 {
+		t.Errorf("Out(loc4) = %v, want [loc5]", out)
+	}
+	c, err := r.UniformChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Prob(3, 4) != 1 {
+		t.Errorf("Pr(l_t = loc5 | l_{t-1} = loc4) = %v, want 1", c.Prob(3, 4))
+	}
+}
+
+func TestPopulationValidation(t *testing.T) {
+	c, err := Fig1Network().UniformChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPopulation(nil, 5, matrix.Uniform(5), nil); err == nil {
+		t.Error("nil chain should fail")
+	}
+	if _, err := NewPopulation(c, 0, matrix.Uniform(5), nil); err == nil {
+		t.Error("0 users should fail")
+	}
+	if _, err := NewPopulation(c, 5, matrix.Uniform(3), nil); err == nil {
+		t.Error("bad initial length should fail")
+	}
+}
+
+func TestPopulationCountsConsistent(t *testing.T) {
+	c, err := Fig1Network().UniformChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPopulation(c, 100, matrix.Uniform(5), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 10; step++ {
+		counts := p.Counts()
+		total := 0
+		for _, v := range counts {
+			total += v
+		}
+		if total != 100 {
+			t.Fatalf("step %d: counts sum to %d", step, total)
+		}
+		locs := p.Locations()
+		recount := make([]int, 5)
+		for _, l := range locs {
+			recount[l]++
+		}
+		for i := range counts {
+			if counts[i] != recount[i] {
+				t.Fatalf("step %d: counts disagree with locations", step)
+			}
+		}
+		p.Advance()
+	}
+}
+
+func TestPopulationRespectsNetwork(t *testing.T) {
+	// Every transition must follow an edge.
+	net := Fig1Network()
+	c, err := net.UniformChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPopulation(c, 50, matrix.Uniform(5), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := p.Locations()
+	for step := 0; step < 20; step++ {
+		p.Advance()
+		cur := p.Locations()
+		for u := range cur {
+			ok := false
+			for _, v := range net.Out(prev[u]) {
+				if v == cur[u] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("user %d moved %d -> %d without an edge", u, prev[u], cur[u])
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestPopulationRun(t *testing.T) {
+	c, err := Fig1Network().UniformChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPopulation(c, 10, matrix.Uniform(5), rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs, counts, err := p.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != 7 || len(counts) != 7 {
+		t.Fatalf("lengths %d/%d", len(locs), len(counts))
+	}
+	for tm := range counts {
+		total := 0
+		for _, v := range counts[tm] {
+			total += v
+		}
+		if total != 10 {
+			t.Errorf("t=%d: total %d", tm, total)
+		}
+	}
+	if _, _, err := p.Run(0); err == nil {
+		t.Error("T=0 should fail")
+	}
+}
+
+func TestFig1DeterministicRoadLeaks(t *testing.T) {
+	// Everyone at loc4 must be at loc5 next step: the count of loc5 at
+	// t+1 is at least the count of loc4 at t (the inference of Example 1).
+	c, err := Fig1Network().UniformChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPopulation(c, 200, matrix.Uniform(5), rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, counts, err := p.Run(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tm := 0; tm+1 < len(counts); tm++ {
+		if counts[tm+1][4] < counts[tm][3] {
+			t.Errorf("t=%d: loc5 count %d < prior loc4 count %d", tm, counts[tm+1][4], counts[tm][3])
+		}
+	}
+}

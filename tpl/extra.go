@@ -1,0 +1,170 @@
+package tpl
+
+import (
+	"math/rand"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/markov"
+	"repro/internal/matrix"
+	"repro/internal/mechanism"
+	"repro/internal/release"
+)
+
+// This file exposes the extended surface beyond the paper's core
+// algorithms: the group-DP bundle baseline, multi-user/personalized
+// planning, unsupervised correlation learning (Baum-Welch), and the
+// exact Bayesian adversary used to ground the leakage semantics.
+
+// GroupPrivacyPlan is the bundle baseline of the paper's Section I:
+// alpha/T per step, sound against any correlation (including the
+// strongest), at the cost of over-perturbing weakly correlated data.
+type GroupPrivacyPlan = release.GroupPrivacyPlan
+
+// UserModel couples one user's adversary correlations with an optional
+// personalized leakage target (Alpha <= 0 means "use the global one").
+type UserModel = release.UserModel
+
+// MultiPlan is a per-user plan set combined into one budget sequence
+// satisfying every user (element-wise minimum).
+type MultiPlan = release.MultiPlan
+
+// HMM is a hidden Markov model; its Baum-Welch fit is the unsupervised
+// route by which adversaries learn temporal correlations from
+// observation sequences (Section III-A).
+type HMM = markov.HMM
+
+// BaumWelchResult reports an EM fit.
+type BaumWelchResult = markov.BaumWelchResult
+
+// DiscreteMechanism is a concrete finite-output randomized mechanism
+// for the exact-adversary validation tools.
+type DiscreteMechanism = adversary.DiscreteMechanism
+
+// WEventPlan bounds the leakage of every w-length sliding window by
+// alpha for releases of unbounded length (w-event privacy under
+// temporal correlations).
+type WEventPlan = release.WEventPlan
+
+// Geometric is the eps-DP geometric mechanism: integral two-sided
+// geometric noise, the discrete analogue of Laplace.
+type Geometric = mechanism.Geometric
+
+// PlanGroupPrivacy builds the alpha/T bundle baseline for T steps.
+func PlanGroupPrivacy(alpha float64, T int) (*GroupPrivacyPlan, error) {
+	return release.GroupPrivacy(alpha, T)
+}
+
+// PlanWEvent builds a constant-budget plan bounding every w-window's
+// temporal privacy leakage by alpha, for any release length.
+func PlanWEvent(pb, pf *Chain, alpha float64, w int) (*WEventPlan, error) {
+	return release.WEvent(pb, pf, alpha, w)
+}
+
+// OptimizedPlan is a budget vector found by local search that minimizes
+// the mean expected absolute noise subject to the alpha-DP_T constraint
+// — an extension beyond the paper showing Algorithm 3's exact pinning
+// leaves some utility on the table at short horizons.
+type OptimizedPlan = release.OptimizedPlan
+
+// PlanOptimizeNoise runs the mean-noise local search over a horizon of
+// T steps (sweeps 0 = default).
+func PlanOptimizeNoise(pb, pf *Chain, alpha float64, T, sweeps int) (*OptimizedPlan, error) {
+	return release.OptimizeNoise(pb, pf, alpha, T, sweeps)
+}
+
+// NewGeometric builds an eps-DP geometric mechanism for integer counts
+// with integer L1 sensitivity; rng may be nil for a deterministic
+// source.
+func NewGeometric(eps float64, sensitivity int, rng *rand.Rand) (*Geometric, error) {
+	return mechanism.NewGeometric(eps, sensitivity, rng)
+}
+
+// PlanUpperBoundMulti runs Algorithm 2 per user and combines the plans
+// (the paper's min over users), materialized for T steps.
+func PlanUpperBoundMulti(users []UserModel, globalAlpha float64, T int) (*MultiPlan, error) {
+	return release.UpperBoundMulti(users, globalAlpha, T)
+}
+
+// PlanQuantifiedMulti runs Algorithm 3 per user over a common horizon
+// and combines the plans.
+func PlanQuantifiedMulti(users []UserModel, globalAlpha float64, T int) (*MultiPlan, error) {
+	return release.QuantifiedMulti(users, globalAlpha, T)
+}
+
+// RandomHMM returns a randomly initialized HMM for EM restarts.
+func RandomHMM(rng *rand.Rand, states, symbols int) (*HMM, error) {
+	return markov.RandomHMM(rng, states, symbols)
+}
+
+// RandomizedResponse builds the n-ary eps-DP randomized-response
+// mechanism (PL0 exactly eps) for the exact-adversary tools.
+func RandomizedResponse(eps float64, n int) (*DiscreteMechanism, error) {
+	return adversary.RandomizedResponse(eps, n)
+}
+
+// ExactBPL computes, by exhaustive output-sequence enumeration, the true
+// backward privacy leakage of the concrete mechanism sequence against an
+// adversary with backward correlation pb. It is exponential in
+// len(mechs) and intended for validation on small instances; the
+// analytical BPLSeries bound must always dominate it.
+func ExactBPL(pb *Chain, mechs []*DiscreteMechanism) (float64, error) {
+	return adversary.ExactBPL(pb, mechs)
+}
+
+// ClampNonNegative zeroes negative noisy counts in place (DP-safe
+// post-processing).
+func ClampNonNegative(noisy []float64) []float64 { return mechanism.ClampNonNegative(noisy) }
+
+// ProjectToSimplex projects a noisy histogram onto {x >= 0, sum = total}
+// in L2 — the optimal DP-safe repair when the population size is public.
+func ProjectToSimplex(noisy []float64, total float64) ([]float64, error) {
+	return mechanism.ProjectToSimplex(noisy, total)
+}
+
+// RoundCounts rounds noisy counts to non-negative integers for
+// presentation (DP-safe post-processing).
+func RoundCounts(noisy []float64) []int { return mechanism.RoundCounts(noisy) }
+
+// TPLSeriesVarying extends TPLSeries to time-inhomogeneous
+// correlations: pbs[t-1] and pfs[t-1] describe the transition between
+// steps t and t+1 (both slices have length len(eps)-1; nil entries mean
+// no correlation for that transition). The paper assumes one
+// time-homogeneous chain; the recurrences generalize directly because
+// each step only consults the loss function of its own transition.
+func TPLSeriesVarying(pbs, pfs []*Chain, eps []float64) ([]float64, error) {
+	qbs := make([]*Quantifier, len(pbs))
+	for i, c := range pbs {
+		qbs[i] = core.NewQuantifier(c)
+	}
+	qfs := make([]*Quantifier, len(pfs))
+	for i, c := range pfs {
+		qfs[i] = core.NewQuantifier(c)
+	}
+	return core.TPLSeriesVarying(qbs, qfs, eps)
+}
+
+// AdversaryPosterior runs the Bayesian inference attack of Example 1:
+// the adversary's posterior over the victim's current value after
+// observing the given outputs, propagated through pb from a uniform
+// prior.
+func AdversaryPosterior(pb *Chain, mechs []*DiscreteMechanism, outputs []int) ([]float64, error) {
+	v, err := adversary.Posterior(pb, mechs, outputs)
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// AttackHMM assembles the adversary's generative model of a noisy
+// release (hidden states = the victim's values under the forward chain,
+// emissions = the mechanism's outputs). Viterbi decoding on it is the
+// MAP trajectory-reconstruction attack. initial may be nil for a
+// uniform prior.
+func AttackHMM(forward *Chain, mech *DiscreteMechanism, initial []float64) (*HMM, error) {
+	var init matrix.Vector
+	if initial != nil {
+		init = matrix.Vector(initial)
+	}
+	return adversary.AttackHMM(forward, mech, init)
+}

@@ -1,0 +1,217 @@
+// Package tpl is the public API of this reproduction of "Quantifying
+// Differential Privacy under Temporal Correlations" (Cao, Yoshikawa,
+// Xiao, Xiong - ICDE 2017).
+//
+// It quantifies and bounds the temporal privacy leakage (TPL) of
+// differentially private mechanisms that release statistics continuously
+// over data whose evolution an adversary can model as a Markov chain.
+//
+// # Quick orientation
+//
+// Model the adversary's knowledge as transition matrices:
+//
+//	pb, _ := tpl.NewChain([][]float64{{0.8, 0.2}, {0, 1}})   // Pr(l_{t-1} | l_t)
+//	pf, _ := tpl.NewChain([][]float64{{0.8, 0.2}, {0.1, 0.9}}) // Pr(l_t | l_{t-1})
+//
+// Quantify the leakage of releasing with budget eps at each time point:
+//
+//	series, _ := tpl.TPLSeries(pb, pf, tpl.UniformBudgets(0.1, 10))
+//
+// Or track it online with an Accountant:
+//
+//	acc := tpl.NewAccountant(pb, pf)
+//	acc.Observe(0.1)
+//	alpha, _ := acc.MaxTPL() // the achieved alpha-DP_T level
+//
+// Bound it with a release plan (the paper's Algorithms 2 and 3):
+//
+//	plan, _ := tpl.PlanUpperBound(pb, pf, 1.0)      // any horizon
+//	plan, _ := tpl.PlanQuantified(pb, pf, 1.0, 20)  // known horizon, exact
+//
+// and publish noisy counts under the plan with a Releaser, or run the
+// whole pipeline with a stream.Server (see package repro/internal/stream
+// through the facade's NewServer).
+//
+// All leakage values are natural-log epsilons, directly comparable to
+// standard differential-privacy budgets.
+package tpl
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/markov"
+	"repro/internal/matrix"
+	"repro/internal/mechanism"
+	"repro/internal/release"
+	"repro/internal/stream"
+)
+
+// Chain is a time-homogeneous Markov chain describing a temporal
+// correlation (Definition 3 of the paper). Row i holds the distribution
+// of the next (forward chain) or previous (backward chain) value given
+// value i.
+type Chain = markov.Chain
+
+// Quantifier evaluates the paper's temporal privacy loss functions for a
+// fixed transition matrix (Algorithm 1). A nil Quantifier means "no
+// correlation known to the adversary".
+type Quantifier = core.Quantifier
+
+// Accountant tracks backward, forward and total temporal privacy
+// leakage of an ongoing continuous release.
+type Accountant = core.Accountant
+
+// LossResult reports a loss-function evaluation together with the
+// maximizing transition-matrix row pair.
+type LossResult = core.LossResult
+
+// Plan allocates per-time-step privacy budgets guaranteeing alpha-DP_T.
+type Plan = release.Plan
+
+// UpperBoundPlan is Algorithm 2's output: one constant budget bounding
+// the leakage supremum for any release length.
+type UpperBoundPlan = release.UpperBoundPlan
+
+// QuantifiedPlan is Algorithm 3's output for a known finite horizon:
+// leakage pinned exactly at alpha at every time point.
+type QuantifiedPlan = release.QuantifiedPlan
+
+// Releaser publishes noisy histograms step by step under a Plan.
+type Releaser = release.Releaser
+
+// Laplace is the eps-DP Laplace mechanism (Theorem 1).
+type Laplace = mechanism.Laplace
+
+// Snapshot is one time step's database: each user's current value.
+type Snapshot = mechanism.Snapshot
+
+// Server is the continuous-release trusted aggregator with built-in
+// leakage accounting per user.
+type Server = stream.Server
+
+// AdversaryModel declares which correlations an adversary knows about a
+// user; either chain may be nil.
+type AdversaryModel = stream.AdversaryModel
+
+// Report summarizes the privacy guarantee of a Server's releases.
+type Report = stream.Report
+
+// ErrStrongestCorrelation is returned by the planners when the
+// correlation is so strong that no positive budget bounds the leakage.
+var ErrStrongestCorrelation = release.ErrStrongestCorrelation
+
+// NewChain validates a row-stochastic matrix given as row slices and
+// wraps it as a Chain.
+func NewChain(rows [][]float64) (*Chain, error) { return markov.FromRows(rows) }
+
+// NewQuantifier prepares Algorithm-1 evaluation for a chain. A nil chain
+// yields a nil Quantifier (no correlation; zero loss function).
+func NewQuantifier(c *Chain) *Quantifier { return core.NewQuantifier(c) }
+
+// NewAccountant builds an online leakage tracker for an adversary with
+// the given backward and forward correlations (either may be nil).
+func NewAccountant(pb, pf *Chain) *Accountant { return core.NewAccountant(pb, pf) }
+
+// UniformBudgets returns T copies of eps, the common "same mechanism at
+// every time point" workload.
+func UniformBudgets(eps float64, T int) []float64 { return core.UniformBudgets(eps, T) }
+
+// BPLSeries computes backward privacy leakage at every time point for
+// the per-step budgets eps against backward correlation pb (Eq. 13).
+func BPLSeries(pb *Chain, eps []float64) ([]float64, error) {
+	return core.BPLSeries(core.NewQuantifier(pb), eps)
+}
+
+// FPLSeries computes forward privacy leakage at every time point against
+// forward correlation pf (Eq. 15).
+func FPLSeries(pf *Chain, eps []float64) ([]float64, error) {
+	return core.FPLSeries(core.NewQuantifier(pf), eps)
+}
+
+// TPLSeries computes total temporal privacy leakage at every time point
+// (Eq. 10/11): the alpha of alpha-DP_T at each t.
+func TPLSeries(pb, pf *Chain, eps []float64) ([]float64, error) {
+	return core.TPLSeries(core.NewQuantifier(pb), core.NewQuantifier(pf), eps)
+}
+
+// MaxTPL returns the worst-case TPL across all time points: the overall
+// alpha-DP_T level of the release.
+func MaxTPL(pb, pf *Chain, eps []float64) (float64, error) {
+	return core.MaxTPL(core.NewQuantifier(pb), core.NewQuantifier(pf), eps)
+}
+
+// Supremum returns the limit of BPL (or FPL) over infinite time for an
+// eps-DP mechanism at every step under the given correlation, and
+// whether that limit exists (Theorem 5).
+func Supremum(c *Chain, eps float64) (float64, bool) {
+	return core.Supremum(core.NewQuantifier(c), eps)
+}
+
+// UserLevelTPL is Corollary 1: user-level leakage equals the plain sum
+// of per-step budgets regardless of temporal correlations.
+func UserLevelTPL(eps []float64) float64 { return core.UserLevelTPL(eps) }
+
+// PlanUpperBound runs Algorithm 2: one constant per-step budget bounding
+// TPL by alpha for any (even unknown) release length.
+func PlanUpperBound(pb, pf *Chain, alpha float64) (*UpperBoundPlan, error) {
+	return release.UpperBound(pb, pf, alpha)
+}
+
+// PlanQuantified runs Algorithm 3: budgets for a known horizon T that
+// hold TPL exactly at alpha at every time point.
+func PlanQuantified(pb, pf *Chain, alpha float64, T int) (*QuantifiedPlan, error) {
+	return release.Quantified(pb, pf, alpha, T)
+}
+
+// NewReleaser publishes noisy histograms under a plan with the given
+// query sensitivity; rng may be nil for a deterministic source.
+func NewReleaser(plan Plan, sensitivity float64, rng *rand.Rand) (*Releaser, error) {
+	return release.NewReleaser(plan, sensitivity, rng)
+}
+
+// NewLaplace builds an eps-DP Laplace mechanism with the given L1
+// sensitivity; rng may be nil for a deterministic source.
+func NewLaplace(eps, sensitivity float64, rng *rand.Rand) (*Laplace, error) {
+	return mechanism.NewLaplace(eps, sensitivity, rng)
+}
+
+// NewSnapshot validates one time step's user values over the domain
+// {0, ..., domain-1}.
+func NewSnapshot(domain int, values []int) (*Snapshot, error) {
+	return mechanism.NewSnapshot(domain, values)
+}
+
+// NewServer creates the continuous-release aggregator of the paper's
+// problem setting, with one adversary model per user.
+func NewServer(domain, users int, models []AdversaryModel, rng *rand.Rand) (*Server, error) {
+	return stream.NewServer(domain, users, models, rng)
+}
+
+// IdentityChain returns the strongest temporal correlation over n
+// values: each value deterministically repeats.
+func IdentityChain(n int) (*Chain, error) { return markov.IdentityChain(n) }
+
+// UniformChain returns the no-correlation chain over n values.
+func UniformChain(n int) (*Chain, error) { return markov.UniformChain(n) }
+
+// SmoothedChain generates the paper's graded-correlation workload: a
+// random strongest-correlation matrix smoothed by Eq. (25) with
+// parameter s (smaller s = stronger correlation).
+func SmoothedChain(rng *rand.Rand, n int, s float64) (*Chain, error) {
+	return markov.Smoothed(rng, n, s)
+}
+
+// EstimateChain fits a forward transition matrix to observed trajectories
+// by maximum likelihood with optional Laplace smoothing — the route the
+// paper names for adversaries learning correlations from historical data.
+func EstimateChain(n int, traces [][]int, pseudocount float64) (*Chain, error) {
+	return markov.EstimateMLE(n, traces, pseudocount)
+}
+
+// ReverseChain derives the backward correlation from a forward chain and
+// the marginal distribution of the earlier time step via Bayes' rule
+// (Section III-A).
+func ReverseChain(forward *Chain, prior []float64) (*Chain, error) {
+	return forward.Reverse(matrix.Vector(prior))
+}

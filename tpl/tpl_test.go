@@ -1,0 +1,223 @@
+package tpl_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/tpl"
+)
+
+func chains(t *testing.T) (pb, pf *tpl.Chain) {
+	t.Helper()
+	pb, err := tpl.NewChain([][]float64{{0.8, 0.2}, {0.2, 0.8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err = tpl.NewChain([][]float64{{0.8, 0.2}, {0.1, 0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pb, pf
+}
+
+func TestNewChainValidates(t *testing.T) {
+	if _, err := tpl.NewChain([][]float64{{0.5, 0.6}, {0, 1}}); err == nil {
+		t.Error("non-stochastic rows should fail")
+	}
+}
+
+func TestSeriesEndToEnd(t *testing.T) {
+	pb, pf := chains(t)
+	eps := tpl.UniformBudgets(0.1, 10)
+	tplSeries, err := tpl.TPLSeries(pb, pf, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpl, err := tpl.BPLSeries(pb, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpl, err := tpl.FPLSeries(pf, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range eps {
+		want := bpl[i] + fpl[i] - eps[i]
+		if math.Abs(tplSeries[i]-want) > 1e-12 {
+			t.Errorf("TPL[%d] = %v, want %v", i, tplSeries[i], want)
+		}
+	}
+	worst, err := tpl.MaxTPL(pb, pf, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst <= 0.1 {
+		t.Errorf("MaxTPL = %v should exceed eps under correlation", worst)
+	}
+}
+
+func TestAccountantFacade(t *testing.T) {
+	pb, pf := chains(t)
+	acc := tpl.NewAccountant(pb, pf)
+	for i := 0; i < 5; i++ {
+		if _, err := acc.Observe(0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alpha, err := acc.MaxTPL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tpl.MaxTPL(pb, pf, tpl.UniformBudgets(0.1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alpha-want) > 1e-12 {
+		t.Errorf("accountant alpha = %v, batch = %v", alpha, want)
+	}
+}
+
+func TestSupremumFacade(t *testing.T) {
+	pf, err := tpl.NewChain([][]float64{{0.8, 0.2}, {0.1, 0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, ok := tpl.Supremum(pf, 0.23)
+	if !ok || sup <= 0.23 {
+		t.Errorf("supremum = %v/%v", sup, ok)
+	}
+	id, err := tpl.IdentityChain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tpl.Supremum(id, 0.23); ok {
+		t.Error("identity chain should have no supremum")
+	}
+}
+
+func TestPlansFacade(t *testing.T) {
+	pb, pf := chains(t)
+	ub, err := tpl.PlanUpperBound(pb, pf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := tpl.PlanQuantified(pb, pf, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Realized leakage under both plans stays within alpha.
+	for _, plan := range []tpl.Plan{ub, qp} {
+		budgets, err := plan.Budgets(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst, err := tpl.MaxTPL(pb, pf, budgets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worst > 1+1e-9 {
+			t.Errorf("plan leaks %v > alpha", worst)
+		}
+	}
+	id, err := tpl.IdentityChain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tpl.PlanUpperBound(id, nil, 1); !errors.Is(err, tpl.ErrStrongestCorrelation) {
+		t.Errorf("err = %v, want ErrStrongestCorrelation", err)
+	}
+}
+
+func TestReleaserFacade(t *testing.T) {
+	pb, pf := chains(t)
+	plan, err := tpl.PlanQuantified(pb, pf, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := tpl.NewReleaser(plan, 1, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := tpl.NewSnapshot(2, []int{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		out, err := r.Release(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 2 {
+			t.Fatalf("histogram size %d", len(out))
+		}
+	}
+}
+
+func TestServerFacade(t *testing.T) {
+	pb, pf := chains(t)
+	srv, err := tpl.NewServer(2, 2, []tpl.AdversaryModel{
+		{Backward: pb, Forward: pf},
+		{},
+	}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := srv.Collect([]int{0, 1}, 0.2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := srv.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EventLevelAlpha <= 0.2 {
+		t.Errorf("correlated alpha = %v should exceed per-step eps", rep.EventLevelAlpha)
+	}
+	if math.Abs(rep.UserLevel-0.8) > 1e-12 {
+		t.Errorf("user level = %v", rep.UserLevel)
+	}
+}
+
+func TestChainHelpers(t *testing.T) {
+	u, err := tpl.UniformChain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tpl.Supremum(u, 1); !ok {
+		t.Error("uniform chain should have a supremum (eps itself)")
+	}
+	sc, err := tpl.SmoothedChain(rand.New(rand.NewSource(3)), 10, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.N() != 10 {
+		t.Errorf("smoothed chain N = %d", sc.N())
+	}
+	est, err := tpl.EstimateChain(2, [][]int{{0, 1, 0, 1}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Prob(0, 1) != 1 {
+		t.Errorf("estimated Pr(0->1) = %v", est.Prob(0, 1))
+	}
+	fwd, err := tpl.NewChain([][]float64{{0.9, 0.1}, {0.5, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bwd, err := tpl.ReverseChain(fwd, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bwd.Prob(0, 0)-0.45/0.7) > 1e-12 {
+		t.Errorf("reversed Prob(0,0) = %v", bwd.Prob(0, 0))
+	}
+}
+
+func TestUserLevelFacade(t *testing.T) {
+	if got := tpl.UserLevelTPL([]float64{0.1, 0.4}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("UserLevelTPL = %v", got)
+	}
+}
