@@ -5,6 +5,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"repro/internal/report"
 )
 
 func TestRunEveryFigure(t *testing.T) {
@@ -21,7 +23,7 @@ func TestRunEveryFigure(t *testing.T) {
 	}
 	for fig, title := range wantTitles {
 		var buf bytes.Buffer
-		if err := run(&buf, fig, false, false, 1); err != nil {
+		if err := run(&buf, fig, false, "text", 1); err != nil {
 			t.Fatalf("fig %s: %v", fig, err)
 		}
 		if !strings.Contains(buf.String(), title) {
@@ -44,7 +46,7 @@ func TestRunSlowFigures(t *testing.T) {
 	}
 	for fig, title := range wantTitles {
 		var buf bytes.Buffer
-		if err := run(&buf, fig, false, false, 1); err != nil {
+		if err := run(&buf, fig, false, "text", 1); err != nil {
 			t.Fatalf("fig %s: %v", fig, err)
 		}
 		if !strings.Contains(buf.String(), title) {
@@ -55,7 +57,7 @@ func TestRunSlowFigures(t *testing.T) {
 
 func TestRunCSVMode(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "table2", false, true, 1); err != nil {
+	if err := run(&buf, "table2", false, "csv", 1); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -66,7 +68,7 @@ func TestRunCSVMode(t *testing.T) {
 
 func TestRunUnknownFigure(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "nope", false, false, 1); err == nil {
+	if err := run(&buf, "nope", false, "text", 1); err == nil {
 		t.Error("unknown figure id should fail")
 	}
 }
@@ -80,7 +82,7 @@ func TestRunFig3MatchesGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "3", false, true, 1); err != nil {
+	if err := run(&buf, "3", false, "csv", 1); err != nil {
 		t.Fatal(err)
 	}
 	if buf.String() != string(golden) {
@@ -95,7 +97,7 @@ func TestRunTable2MatchesGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "table2", false, true, 1); err != nil {
+	if err := run(&buf, "table2", false, "csv", 1); err != nil {
 		t.Fatal(err)
 	}
 	if buf.String() != string(golden) {
@@ -106,12 +108,89 @@ func TestRunTable2MatchesGolden(t *testing.T) {
 
 func TestRunFig3PrintsPaperValues(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "3", false, false, 1); err != nil {
+	if err := run(&buf, "3", false, "text", 1); err != nil {
 		t.Fatal(err)
 	}
 	for _, v := range []string{"0.18", "0.64", "0.50"} {
 		if !strings.Contains(buf.String(), v) {
 			t.Errorf("fig 3 output missing paper value %s", v)
 		}
+	}
+}
+
+func TestCSVFlagAliasesFormat(t *testing.T) {
+	cases := []struct {
+		format string
+		csv    bool
+		want   string
+	}{
+		{"", false, ""},
+		{"", true, "csv"},
+		{"md", true, "md"}, // explicit -format wins over the alias
+		{"json", false, "json"},
+	}
+	for _, c := range cases {
+		if got := report.ResolveFormat(c.format, c.csv); got != c.want {
+			t.Errorf("report.ResolveFormat(%q, %v) = %q, want %q", c.format, c.csv, got, c.want)
+		}
+	}
+}
+
+func TestEveryFastFigureRendersInAllFormats(t *testing.T) {
+	// Acceptance: every figure id renders through internal/report in
+	// all four formats. The fast figures run the full matrix here; the
+	// multi-second ones are covered in text by TestRunSlowFigures and
+	// in JSON by TestSlowFigureJSONParses.
+	for _, fig := range []string{"1", "3", "4", "7", "table2", "mixing", "soundness"} {
+		for _, format := range []string{"text", "csv", "md", "json"} {
+			var buf bytes.Buffer
+			if err := run(&buf, fig, false, format, 1); err != nil {
+				t.Fatalf("fig %s format %s: %v", fig, format, err)
+			}
+			if buf.Len() == 0 {
+				t.Errorf("fig %s format %s: empty output", fig, format)
+			}
+			if format == "json" {
+				tables, err := report.ParseJSONLines(&buf)
+				if err != nil || len(tables) == 0 {
+					t.Errorf("fig %s: JSON lines do not parse back: %v", fig, err)
+				}
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, "3", false, "yaml", 1); err == nil {
+		t.Error("unknown format should fail")
+	}
+}
+
+func TestSlowFigureJSONParses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-second figure regeneration in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, "8t", false, "json", 1); err != nil {
+		t.Fatal(err)
+	}
+	tables, err := report.ParseJSONLines(&buf)
+	if err != nil || len(tables) == 0 {
+		t.Fatalf("fig 8t JSON lines do not parse back: %v", err)
+	}
+}
+
+func TestRunAllEmitsDocumentHeader(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full regeneration in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, "all", false, "md", 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# Paper-vs-measured record") {
+		t.Errorf("markdown document should start with the H1 preamble, got %q", out[:80])
+	}
+	if !strings.Contains(out, "go run ./cmd/tplbench -fig all -format md > EXPERIMENTS.md") {
+		t.Error("document preamble should state the regeneration command")
 	}
 }

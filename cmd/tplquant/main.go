@@ -6,7 +6,7 @@
 //
 //	tplquant -pb backward.csv -pf forward.csv -eps 0.1 -T 20
 //	tplquant -pb backward.csv -eps 0.1 -T 20        # backward-only adversary
-//	tplquant -pf forward.csv -eps 1 -T 10 -csv
+//	tplquant -pf forward.csv -eps 1 -T 10 -format csv
 //	tplquant -pb backward.csv -budgets plan.txt     # heterogeneous budgets
 //	                                                # (one eps per line, e.g.
 //	                                                # from tplrelease output)
@@ -26,9 +26,9 @@ import (
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/expt"
 	"repro/internal/markov"
 	"repro/internal/matrix"
+	"repro/internal/report"
 )
 
 func main() {
@@ -38,16 +38,22 @@ func main() {
 		eps     = flag.Float64("eps", 0.1, "per-step privacy budget of the DP mechanism")
 		T       = flag.Int("T", 10, "number of release time points")
 		budgets = flag.String("budgets", "", "file with one per-step budget per line; overrides -eps and -T")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		format  = flag.String("format", "", "output format: "+report.FormatNames()+" (default text)")
+		csv     = flag.Bool("csv", false, "deprecated: alias for -format csv")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *pbPath, *pfPath, *eps, *T, *budgets, *csv); err != nil {
+	*format = report.ResolveFormat(*format, *csv)
+	if err := run(os.Stdout, *pbPath, *pfPath, *eps, *T, *budgets, *format); err != nil {
 		fmt.Fprintf(os.Stderr, "tplquant: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, pbPath, pfPath string, eps float64, T int, budgetsPath string, csv bool) error {
+func run(w io.Writer, pbPath, pfPath string, eps float64, T int, budgetsPath, format string) error {
+	f, err := report.ParseFormat(format)
+	if err != nil {
+		return err
+	}
 	if pbPath == "" && pfPath == "" {
 		return fmt.Errorf("need at least one of -pb and -pf")
 	}
@@ -55,7 +61,6 @@ func run(w io.Writer, pbPath, pfPath string, eps float64, T int, budgetsPath str
 		return fmt.Errorf("-T must be at least 1, got %d", T)
 	}
 	var pb, pf *markov.Chain
-	var err error
 	if pbPath != "" {
 		if pb, err = loadChain(pbPath); err != nil {
 			return fmt.Errorf("loading -pb: %w", err)
@@ -91,7 +96,7 @@ func run(w io.Writer, pbPath, pfPath string, eps float64, T int, budgetsPath str
 	if budgetsPath != "" {
 		title = fmt.Sprintf("Temporal privacy leakage under per-step budgets from %s (%d time points)", budgetsPath, T)
 	}
-	tb := &expt.Table{
+	tb := &report.Table{
 		Title:  title,
 		Header: []string{"t", "eps", "BPL", "FPL", "TPL"},
 	}
@@ -118,10 +123,7 @@ func run(w io.Writer, pbPath, pfPath string, eps float64, T int, budgetsPath str
 		tb.Notes = append(tb.Notes, "FPL has no supremum: it grows without bound (Theorem 5)")
 	}
 	tb.Notes = append(tb.Notes, fmt.Sprintf("user-level leakage (Corollary 1): %.6f", core.UserLevelTPL(budgets)))
-	if csv {
-		return tb.CSV(w)
-	}
-	return tb.Render(w)
+	return tb.RenderFormat(w, f)
 }
 
 // loadBudgets reads one positive per-step budget per line ('#' comments

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/report"
 )
 
 func writeMatrix(t *testing.T, content string) string {
@@ -21,7 +23,7 @@ func TestRunBothChains(t *testing.T) {
 	pb := writeMatrix(t, "0.8 0.2\n0.2 0.8\n")
 	pf := writeMatrix(t, "0.8,0.2\n0.1,0.9\n")
 	var buf bytes.Buffer
-	if err := run(&buf, pb, pf, 0.1, 5, "", false); err != nil {
+	if err := run(&buf, pb, pf, 0.1, 5, "", "text"); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -35,7 +37,7 @@ func TestRunBothChains(t *testing.T) {
 func TestRunBackwardOnly(t *testing.T) {
 	pb := writeMatrix(t, "# comment line\n0.8 0.2\n0 1\n")
 	var buf bytes.Buffer
-	if err := run(&buf, pb, "", 0.23, 4, "", false); err != nil {
+	if err := run(&buf, pb, "", 0.23, 4, "", "text"); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "no supremum") {
@@ -46,7 +48,7 @@ func TestRunBackwardOnly(t *testing.T) {
 func TestRunCSV(t *testing.T) {
 	pb := writeMatrix(t, "0.5 0.5\n0.5 0.5\n")
 	var buf bytes.Buffer
-	if err := run(&buf, pb, "", 0.1, 3, "", true); err != nil {
+	if err := run(&buf, pb, "", 0.1, 3, "", "csv"); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(buf.String(), "t,eps,BPL,FPL,TPL") {
@@ -58,7 +60,7 @@ func TestRunWithBudgetsFile(t *testing.T) {
 	pb := writeMatrix(t, "0.8 0.2\n0.2 0.8\n")
 	budgets := writeMatrix(t, "# plan from tplrelease\n0.5\n0.2\n0.2\n0.7\n")
 	var buf bytes.Buffer
-	if err := run(&buf, pb, "", 0.1, 99, budgets, false); err != nil {
+	if err := run(&buf, pb, "", 0.1, 99, budgets, "text"); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -71,33 +73,55 @@ func TestRunWithBudgetsFile(t *testing.T) {
 	// Invalid budgets files.
 	for _, content := range []string{"", "0.1\n-0.5\n", "abc\n"} {
 		bad := writeMatrix(t, content)
-		if err := run(&buf, pb, "", 0.1, 5, bad, false); err == nil {
+		if err := run(&buf, pb, "", 0.1, 5, bad, "text"); err == nil {
 			t.Errorf("budgets %q should fail", content)
 		}
 	}
-	if err := run(&buf, pb, "", 0.1, 5, "/nonexistent", false); err == nil {
+	if err := run(&buf, pb, "", 0.1, 5, "/nonexistent", "text"); err == nil {
 		t.Error("missing budgets file should fail")
 	}
 }
 
 func TestRunValidation(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "", "", 0.1, 3, "", false); err == nil {
+	if err := run(&buf, "", "", 0.1, 3, "", "text"); err == nil {
 		t.Error("no chains should fail")
 	}
 	pb := writeMatrix(t, "1 0\n0 1\n")
-	if err := run(&buf, pb, "", 0.1, 0, "", false); err == nil {
+	if err := run(&buf, pb, "", 0.1, 0, "", "text"); err == nil {
 		t.Error("T=0 should fail")
 	}
-	if err := run(&buf, "/nonexistent/file", "", 0.1, 3, "", false); err == nil {
+	if err := run(&buf, "/nonexistent/file", "", 0.1, 3, "", "text"); err == nil {
 		t.Error("missing file should fail")
 	}
 	bad := writeMatrix(t, "0.5 0.6\n0 1\n")
-	if err := run(&buf, bad, "", 0.1, 3, "", false); err == nil {
+	if err := run(&buf, bad, "", 0.1, 3, "", "text"); err == nil {
 		t.Error("non-stochastic matrix should fail")
 	}
 	notNum := writeMatrix(t, "0.5 abc\n0 1\n")
-	if err := run(&buf, notNum, "", 0.1, 3, "", false); err == nil {
+	if err := run(&buf, notNum, "", 0.1, 3, "", "text"); err == nil {
 		t.Error("non-numeric matrix should fail")
+	}
+}
+
+func TestRunMarkdownAndJSON(t *testing.T) {
+	pb := writeMatrix(t, "0.8 0.2\n0.2 0.8\n")
+	var buf bytes.Buffer
+	if err := run(&buf, pb, "", 0.1, 3, "", "md"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "| t | eps | BPL | FPL | TPL |") {
+		t.Errorf("markdown header row missing:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := run(&buf, pb, "", 0.1, 3, "", "json"); err != nil {
+		t.Fatal(err)
+	}
+	tables, err := report.ParseJSONLines(&buf)
+	if err != nil || len(tables) != 1 || len(tables[0].Rows) != 3 {
+		t.Fatalf("json output does not round trip: %v", err)
+	}
+	if err := run(&buf, pb, "", 0.1, 3, "", "yaml"); err == nil {
+		t.Error("unknown format should fail")
 	}
 }

@@ -23,11 +23,11 @@ import (
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/expt"
 	"repro/internal/markov"
 	"repro/internal/matrix"
 	"repro/internal/mechanism"
 	"repro/internal/release"
+	"repro/internal/report"
 )
 
 func main() {
@@ -37,21 +37,26 @@ func main() {
 		alpha  = flag.Float64("alpha", 1, "target temporal privacy leakage (alpha-DP_T)")
 		alg    = flag.Int("alg", 3, "planner: 2 = upper bound (any horizon), 3 = quantification (fixed T)")
 		T      = flag.Int("T", 10, "release horizon (budgets printed for this many steps)")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		format = flag.String("format", "", "output format: "+report.FormatNames()+" (default text)")
+		csv    = flag.Bool("csv", false, "deprecated: alias for -format csv")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *pbPath, *pfPath, *alpha, *alg, *T, *csv); err != nil {
+	*format = report.ResolveFormat(*format, *csv)
+	if err := run(os.Stdout, *pbPath, *pfPath, *alpha, *alg, *T, *format); err != nil {
 		fmt.Fprintf(os.Stderr, "tplrelease: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, pbPath, pfPath string, alpha float64, alg, T int, csv bool) error {
+func run(w io.Writer, pbPath, pfPath string, alpha float64, alg, T int, format string) error {
+	f, err := report.ParseFormat(format)
+	if err != nil {
+		return err
+	}
 	if T < 1 {
 		return fmt.Errorf("-T must be at least 1, got %d", T)
 	}
 	var pb, pf *markov.Chain
-	var err error
 	if pbPath != "" {
 		if pb, err = loadChain(pbPath); err != nil {
 			return fmt.Errorf("loading -pb: %w", err)
@@ -94,7 +99,7 @@ func run(w io.Writer, pbPath, pfPath string, alpha float64, alg, T int, csv bool
 	if err != nil {
 		return err
 	}
-	tb := &expt.Table{
+	tb := &report.Table{
 		Title:  title,
 		Header: []string{"t", "eps", "realized TPL", "E|noise| (sens=1)"},
 	}
@@ -114,10 +119,7 @@ func run(w io.Writer, pbPath, pfPath string, alpha float64, alg, T int, csv bool
 		}
 	}
 	tb.Notes = append(tb.Notes, fmt.Sprintf("max realized TPL: %.6f (target %.6f)", worst, alpha))
-	if csv {
-		return tb.CSV(w)
-	}
-	return tb.Render(w)
+	return tb.RenderFormat(w, f)
 }
 
 // loadChain reads a row-stochastic matrix from a text file (one row per

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/report"
 )
 
 func writeMatrix(t *testing.T, content string) string {
@@ -21,7 +23,7 @@ func TestRunAlgorithm3(t *testing.T) {
 	pb := writeMatrix(t, "0.8 0.2\n0.2 0.8\n")
 	pf := writeMatrix(t, "0.8 0.2\n0.1 0.9\n")
 	var buf bytes.Buffer
-	if err := run(&buf, pb, pf, 1, 3, 6, false); err != nil {
+	if err := run(&buf, pb, pf, 1, 3, 6, "text"); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -37,7 +39,7 @@ func TestRunAlgorithm3(t *testing.T) {
 func TestRunAlgorithm2(t *testing.T) {
 	pb := writeMatrix(t, "0.8 0.2\n0.2 0.8\n")
 	var buf bytes.Buffer
-	if err := run(&buf, pb, "", 1, 2, 8, false); err != nil {
+	if err := run(&buf, pb, "", 1, 2, 8, "text"); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Algorithm 2 plan") {
@@ -48,7 +50,7 @@ func TestRunAlgorithm2(t *testing.T) {
 func TestRunCSVMode(t *testing.T) {
 	pb := writeMatrix(t, "0.9 0.1\n0.1 0.9\n")
 	var buf bytes.Buffer
-	if err := run(&buf, pb, "", 0.5, 3, 4, true); err != nil {
+	if err := run(&buf, pb, "", 0.5, 3, 4, "csv"); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(buf.String(), "t,eps,") {
@@ -59,18 +61,40 @@ func TestRunCSVMode(t *testing.T) {
 func TestRunValidation(t *testing.T) {
 	pb := writeMatrix(t, "0.9 0.1\n0.1 0.9\n")
 	var buf bytes.Buffer
-	if err := run(&buf, pb, "", 1, 9, 5, false); err == nil {
+	if err := run(&buf, pb, "", 1, 9, 5, "text"); err == nil {
 		t.Error("unknown algorithm should fail")
 	}
-	if err := run(&buf, pb, "", 1, 3, 0, false); err == nil {
+	if err := run(&buf, pb, "", 1, 3, 0, "text"); err == nil {
 		t.Error("T=0 should fail")
 	}
-	if err := run(&buf, "/nope", "", 1, 3, 5, false); err == nil {
+	if err := run(&buf, "/nope", "", 1, 3, 5, "text"); err == nil {
 		t.Error("missing file should fail")
 	}
 	// Strongest correlation is refused by the fine planners.
 	id := writeMatrix(t, "1 0\n0 1\n")
-	if err := run(&buf, id, "", 1, 3, 5, false); err == nil {
+	if err := run(&buf, id, "", 1, 3, 5, "text"); err == nil {
 		t.Error("identity correlation should be refused")
+	}
+}
+
+func TestRunMarkdownAndJSON(t *testing.T) {
+	pb := writeMatrix(t, "0.8 0.2\n0.2 0.8\n")
+	var buf bytes.Buffer
+	if err := run(&buf, pb, "", 1, 3, 4, "md"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "### Algorithm 3 plan") {
+		t.Errorf("markdown heading missing:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := run(&buf, pb, "", 1, 3, 4, "json"); err != nil {
+		t.Fatal(err)
+	}
+	tables, err := report.ParseJSONLines(&buf)
+	if err != nil || len(tables) != 1 || len(tables[0].Rows) != 4 {
+		t.Fatalf("json output does not round trip: %v", err)
+	}
+	if err := run(&buf, pb, "", 1, 3, 4, "yaml"); err == nil {
+		t.Error("unknown format should fail")
 	}
 }

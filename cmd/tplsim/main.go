@@ -1,8 +1,10 @@
 // Command tplsim generates the synthetic workloads of the reproduction:
 // user trajectories and per-location counts under a chosen mobility
-// model, optionally released with Laplace noise. Output is CSV, ready
-// to feed external analysis or the other tools (tplquant consumes the
-// same matrices tplsim can dump).
+// model, optionally released with Laplace noise. Tabular outputs
+// (traces, counts, noisy) render through internal/report in any of its
+// formats (-format text, csv, md, json; default csv, ready to feed
+// external analysis). The matrix outputs are always raw CSV because
+// tplquant and tplrelease load them back.
 //
 // Usage:
 //
@@ -31,29 +33,35 @@ import (
 	"repro/internal/markov"
 	"repro/internal/matrix"
 	"repro/internal/mechanism"
+	"repro/internal/report"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		model = flag.String("model", "fig1", "mobility model: fig1, smoothed, lazy")
-		out   = flag.String("out", "counts", "what to emit: traces, counts, noisy, matrix, matrixB")
-		users = flag.Int("users", 100, "population size")
-		T     = flag.Int("T", 20, "number of time steps")
-		n     = flag.Int("n", 10, "domain size (smoothed/lazy models)")
-		s     = flag.Float64("s", 0.05, "Laplacian smoothing parameter (smoothed model)")
-		stay  = flag.Float64("stay", 0.8, "stay probability (lazy model)")
-		eps   = flag.Float64("eps", 1, "Laplace budget for -out noisy")
-		seed  = flag.Int64("seed", 1, "random seed")
+		model  = flag.String("model", "fig1", "mobility model: fig1, smoothed, lazy")
+		out    = flag.String("out", "counts", "what to emit: traces, counts, noisy, matrix, matrixB")
+		users  = flag.Int("users", 100, "population size")
+		T      = flag.Int("T", 20, "number of time steps")
+		n      = flag.Int("n", 10, "domain size (smoothed/lazy models)")
+		s      = flag.Float64("s", 0.05, "Laplacian smoothing parameter (smoothed model)")
+		stay   = flag.Float64("stay", 0.8, "stay probability (lazy model)")
+		eps    = flag.Float64("eps", 1, "Laplace budget for -out noisy")
+		seed   = flag.Int64("seed", 1, "random seed")
+		format = flag.String("format", "csv", "format for tabular outputs: "+report.FormatNames()+" (matrix outputs are always raw CSV)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *model, *out, *users, *T, *n, *s, *stay, *eps, *seed); err != nil {
+	if err := run(os.Stdout, *model, *out, *users, *T, *n, *s, *stay, *eps, *seed, *format); err != nil {
 		fmt.Fprintf(os.Stderr, "tplsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, model, out string, users, T, n int, s, stay, eps float64, seed int64) error {
+func run(w io.Writer, model, out string, users, T, n int, s, stay, eps float64, seed int64, format string) error {
+	f, err := report.ParseFormat(format)
+	if err != nil {
+		return err
+	}
 	rng := rand.New(rand.NewSource(seed))
 	chain, err := buildModel(rng, model, n, s, stay)
 	if err != nil {
@@ -88,15 +96,15 @@ func run(w io.Writer, model, out string, users, T, n int, s, stay, eps float64, 
 		}
 		switch out {
 		case "traces":
-			return writeTraces(w, locs)
+			return tracesTable(model, locs).RenderFormat(w, f)
 		case "counts":
-			return writeCounts(w, counts)
+			return countsTable(model, counts).RenderFormat(w, f)
 		default:
 			lap, err := mechanism.NewLaplace(eps, mechanism.CountSensitivity, rng)
 			if err != nil {
 				return err
 			}
-			return writeNoisy(w, counts, lap)
+			return noisyTable(model, eps, counts, lap).RenderFormat(w, f)
 		}
 	default:
 		return fmt.Errorf("unknown -out %q (want traces, counts, noisy, matrix, matrixB)", out)
@@ -132,70 +140,63 @@ func writeMatrix(w io.Writer, c *markov.Chain) error {
 	return cw.Error()
 }
 
-func writeTraces(w io.Writer, locs [][]int) error {
-	cw := csv.NewWriter(w)
-	header := []string{"user"}
-	for t := range locs {
-		header = append(header, fmt.Sprintf("t%d", t+1))
+func tracesTable(model string, locs [][]int) *report.Table {
+	tb := &report.Table{
+		Title:  fmt.Sprintf("tplsim traces (model=%s, users=%d, T=%d)", model, len(locs[0]), len(locs)),
+		Header: []string{"user"},
 	}
-	if err := cw.Write(header); err != nil {
-		return err
+	for t := range locs {
+		tb.Header = append(tb.Header, fmt.Sprintf("t%d", t+1))
 	}
 	users := len(locs[0])
 	for u := 0; u < users; u++ {
-		row := []string{strconv.Itoa(u)}
+		row := make([]string, 0, len(locs)+1)
+		row = append(row, strconv.Itoa(u))
 		for t := range locs {
 			row = append(row, strconv.Itoa(locs[t][u]))
 		}
-		if err := cw.Write(row); err != nil {
-			return err
-		}
+		tb.AddRow(row...)
 	}
-	cw.Flush()
-	return cw.Error()
+	return tb
 }
 
-func writeCounts(w io.Writer, counts [][]int) error {
-	cw := csv.NewWriter(w)
+func countsHeader(counts [][]int) []string {
 	header := []string{"t"}
 	for l := range counts[0] {
 		header = append(header, fmt.Sprintf("loc%d", l+1))
 	}
-	if err := cw.Write(header); err != nil {
-		return err
+	return header
+}
+
+func countsTable(model string, counts [][]int) *report.Table {
+	tb := &report.Table{
+		Title:  fmt.Sprintf("tplsim counts (model=%s, T=%d)", model, len(counts)),
+		Header: countsHeader(counts),
 	}
 	for t, row := range counts {
-		cells := []string{strconv.Itoa(t + 1)}
+		cells := make([]string, 0, len(row)+1)
+		cells = append(cells, strconv.Itoa(t+1))
 		for _, c := range row {
 			cells = append(cells, strconv.Itoa(c))
 		}
-		if err := cw.Write(cells); err != nil {
-			return err
-		}
+		tb.AddRow(cells...)
 	}
-	cw.Flush()
-	return cw.Error()
+	return tb
 }
 
-func writeNoisy(w io.Writer, counts [][]int, lap *mechanism.Laplace) error {
-	cw := csv.NewWriter(w)
-	header := []string{"t"}
-	for l := range counts[0] {
-		header = append(header, fmt.Sprintf("loc%d", l+1))
-	}
-	if err := cw.Write(header); err != nil {
-		return err
+func noisyTable(model string, eps float64, counts [][]int, lap *mechanism.Laplace) *report.Table {
+	tb := &report.Table{
+		Title:  fmt.Sprintf("tplsim noisy counts (model=%s, T=%d, Laplace eps=%g)", model, len(counts), eps),
+		Header: countsHeader(counts),
 	}
 	for t, row := range counts {
 		noisy := lap.ReleaseCounts(row)
-		cells := []string{strconv.Itoa(t + 1)}
+		cells := make([]string, 0, len(noisy)+1)
+		cells = append(cells, strconv.Itoa(t+1))
 		for _, c := range noisy {
 			cells = append(cells, strconv.FormatFloat(c, 'f', 2, 64))
 		}
-		if err := cw.Write(cells); err != nil {
-			return err
-		}
+		tb.AddRow(cells...)
 	}
-	cw.Flush()
-	return cw.Error()
+	return tb
 }

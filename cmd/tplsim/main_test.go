@@ -5,11 +5,13 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/report"
 )
 
 func TestRunMatrixOutput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig1", "matrix", 10, 5, 10, 0.05, 0.8, 1, 1); err != nil {
+	if err := run(&buf, "fig1", "matrix", 10, 5, 10, 0.05, 0.8, 1, 1, "csv"); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -24,7 +26,7 @@ func TestRunMatrixOutput(t *testing.T) {
 
 func TestRunMatrixBackward(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig1", "matrixB", 10, 5, 10, 0.05, 0.8, 1, 1); err != nil {
+	if err := run(&buf, "fig1", "matrixB", 10, 5, 10, 0.05, 0.8, 1, 1, "csv"); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -59,7 +61,7 @@ func TestRunMatrixBackward(t *testing.T) {
 
 func TestRunTraces(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "lazy", "traces", 7, 4, 3, 0, 0.9, 1, 2); err != nil {
+	if err := run(&buf, "lazy", "traces", 7, 4, 3, 0, 0.9, 1, 2, "csv"); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -73,7 +75,7 @@ func TestRunTraces(t *testing.T) {
 
 func TestRunCounts(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "smoothed", "counts", 20, 3, 4, 0.1, 0, 1, 3); err != nil {
+	if err := run(&buf, "smoothed", "counts", 20, 3, 4, 0.1, 0, 1, 3, "csv"); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -99,7 +101,7 @@ func TestRunCounts(t *testing.T) {
 
 func TestRunNoisy(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig1", "noisy", 15, 3, 0, 0, 0, 2, 4); err != nil {
+	if err := run(&buf, "fig1", "noisy", 15, 3, 0, 0, 0, 2, 4, "csv"); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -113,19 +115,56 @@ func TestRunNoisy(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "bogus", "counts", 10, 5, 3, 0.1, 0.8, 1, 1); err == nil {
+	if err := run(&buf, "bogus", "counts", 10, 5, 3, 0.1, 0.8, 1, 1, "csv"); err == nil {
 		t.Error("unknown model should fail")
 	}
-	if err := run(&buf, "fig1", "bogus", 10, 5, 3, 0.1, 0.8, 1, 1); err == nil {
+	if err := run(&buf, "fig1", "bogus", 10, 5, 3, 0.1, 0.8, 1, 1, "csv"); err == nil {
 		t.Error("unknown output should fail")
 	}
-	if err := run(&buf, "fig1", "counts", 0, 5, 3, 0.1, 0.8, 1, 1); err == nil {
+	if err := run(&buf, "fig1", "counts", 0, 5, 3, 0.1, 0.8, 1, 1, "csv"); err == nil {
 		t.Error("0 users should fail")
 	}
-	if err := run(&buf, "fig1", "noisy", 5, 5, 3, 0.1, 0.8, 0, 1); err == nil {
+	if err := run(&buf, "fig1", "noisy", 5, 5, 3, 0.1, 0.8, 0, 1, "csv"); err == nil {
 		t.Error("eps=0 noisy should fail")
 	}
-	if err := run(&buf, "lazy", "matrix", 5, 5, 0, 0.1, 0.8, 1, 1); err == nil {
+	if err := run(&buf, "lazy", "matrix", 5, 5, 0, 0.1, 0.8, 1, 1, "csv"); err == nil {
 		t.Error("n=0 lazy should fail")
+	}
+}
+
+func TestRunCountsMarkdownAndJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig1", "counts", 10, 3, 0, 0, 0, 1, 1, "md"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "### tplsim counts") || !strings.Contains(out, "| t | loc1 |") {
+		t.Errorf("markdown table missing:\n%s", out)
+	}
+	buf.Reset()
+	if err := run(&buf, "fig1", "traces", 4, 3, 0, 0, 0, 1, 1, "json"); err != nil {
+		t.Fatal(err)
+	}
+	tables, err := report.ParseJSONLines(&buf)
+	if err != nil || len(tables) != 1 || len(tables[0].Rows) != 4 {
+		t.Fatalf("json traces do not round trip: %v", err)
+	}
+	if err := run(&buf, "fig1", "counts", 10, 3, 0, 0, 0, 1, 1, "yaml"); err == nil {
+		t.Error("unknown format should fail")
+	}
+}
+
+func TestMatrixOutputIgnoresFormat(t *testing.T) {
+	// Matrix dumps are machine food for tplquant/tplrelease: raw CSV
+	// regardless of -format.
+	var md, csvOut bytes.Buffer
+	if err := run(&md, "fig1", "matrix", 10, 5, 10, 0.05, 0.8, 1, 1, "md"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&csvOut, "fig1", "matrix", 10, 5, 10, 0.05, 0.8, 1, 1, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	if md.String() != csvOut.String() {
+		t.Error("matrix output should be identical in every format")
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 
 	"repro/internal/matrix"
 	"repro/internal/trace"
@@ -97,14 +98,17 @@ func main() {
 		fmt.Printf("%-3d %v  %v\n", t+1, counts, tpl.RoundCounts(projected))
 	}
 
-	rep, err := srv.Report()
+	// The leakage summary renders through the same report path as the
+	// experiment harness (internal/report); -format style output for
+	// free if this were a CLI.
+	repTable, err := srv.ReportTable()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nPrivacy report after %d steps:\n", rep.T)
-	fmt.Printf("  nominal (correlation-unaware) event-level: %.4f-DP\n", rep.NominalEventLevel)
-	fmt.Printf("  actual event-level under road-network correlation: %.4f-DP_T\n", rep.EventLevelAlpha)
-	fmt.Printf("  user-level (Corollary 1): %.4f\n", rep.UserLevel)
+	fmt.Println()
+	if err := repTable.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 
 	// Re-plan: hold the event-level leakage at the nominal target by
 	// spending less per step. The deterministic road loc4 -> loc5 makes

@@ -10,6 +10,7 @@ import (
 	"repro/internal/markov"
 	"repro/internal/mechanism"
 	"repro/internal/release"
+	"repro/internal/report"
 )
 
 // AblationPlannersRow compares the three ways of guaranteeing
@@ -119,8 +120,8 @@ func AblationPlanners(rng *rand.Rand, alpha float64, T, n int, ss []float64) ([]
 }
 
 // AblationPlannersTable renders the sweep.
-func AblationPlannersTable(alpha float64, T int, rows []AblationPlannersRow) *Table {
-	tb := &Table{
+func AblationPlannersTable(alpha float64, T int, rows []AblationPlannersRow) *report.Table {
+	tb := &report.Table{
 		Title: fmt.Sprintf("Ablation: group-DP bundle vs Algorithm 2 vs Algorithm 3 vs noise optimizer (alpha=%g, T=%d)", alpha, T),
 		Header: []string{"s", "group noise", "alg2 noise", "alg3 noise", "opt noise",
 			"group maxTPL", "alg2 maxTPL", "alg3 maxTPL", "opt maxTPL"},
@@ -196,8 +197,8 @@ func AblationSolvers(rng *rand.Rand, ns []int, alpha float64) ([]AblationSolverR
 }
 
 // AblationSolversTable renders the solver comparison.
-func AblationSolversTable(alpha float64, rows []AblationSolverRow) *Table {
-	tb := &Table{
+func AblationSolversTable(alpha float64, rows []AblationSolverRow) *report.Table {
+	tb := &report.Table{
 		Title:  fmt.Sprintf("Ablation: per-pair LFP solver routes (alpha=%g)", alpha),
 		Header: []string{"n", "Algorithm 1", "Dinkelbach", "simplex-LP", "max disagreement"},
 	}

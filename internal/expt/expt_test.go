@@ -6,10 +6,12 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+
+	"repro/internal/report"
 )
 
 func TestTableRenderAndCSV(t *testing.T) {
-	tb := &Table{
+	tb := &report.Table{
 		Title:  "demo",
 		Header: []string{"a", "b"},
 		Notes:  []string{"n1"},
@@ -31,6 +33,42 @@ func TestTableRenderAndCSV(t *testing.T) {
 	}
 	if got := buf.String(); got != "a,b\n1,2\n" {
 		t.Errorf("csv = %q", got)
+	}
+}
+
+func TestEveryFigureTableRendersInAllFormats(t *testing.T) {
+	// Every figure table must round through every report format; the
+	// JSON-lines output must parse back to the same cells.
+	r3, err := Fig3(0.1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panels, err := Fig4(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := append(r3.Tables(), Fig4Table(panels))
+	for _, tb := range tables {
+		for _, f := range report.Formats() {
+			var buf bytes.Buffer
+			if err := tb.RenderFormat(&buf, f); err != nil {
+				t.Fatalf("%s in %v: %v", tb.Title, f, err)
+			}
+			if buf.Len() == 0 {
+				t.Errorf("%s in %v: empty output", tb.Title, f)
+			}
+		}
+		var buf bytes.Buffer
+		if err := tb.JSONLines(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := report.ParseJSONLines(&buf)
+		if err != nil {
+			t.Fatalf("%s: JSON round trip: %v", tb.Title, err)
+		}
+		if len(back) != 1 || len(back[0].Rows) != len(tb.Rows) {
+			t.Errorf("%s: JSON round trip lost rows", tb.Title)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/matrix"
 	"repro/internal/mechanism"
+	"repro/internal/report"
 	"repro/internal/trace"
 )
 
@@ -57,13 +58,13 @@ func Fig1(rng *rand.Rand, users, T int, eps float64) (*Fig1Result, error) {
 }
 
 // Tables renders the true-counts and private-counts panels.
-func (r *Fig1Result) Tables() []*Table {
+func (r *Fig1Result) Tables() []*report.Table {
 	locNames := []string{"loc1", "loc2", "loc3", "loc4", "loc5"}
-	trueTb := &Table{
+	trueTb := &report.Table{
 		Title:  fmt.Sprintf("Fig 1(c): true counts (%d users on the road network)", r.Users),
 		Header: []string{"location"},
 	}
-	privTb := &Table{
+	privTb := &report.Table{
 		Title:  fmt.Sprintf("Fig 1(d): private counts (Laplace, eps=%g per count)", r.Eps),
 		Header: []string{"location"},
 	}
@@ -83,5 +84,5 @@ func (r *Fig1Result) Tables() []*Table {
 	}
 	trueTb.Notes = append(trueTb.Notes,
 		"everyone at loc4 is at loc5 next step: the pattern an adversary exploits (Example 1)")
-	return []*Table{trueTb, privTb}
+	return []*report.Table{trueTb, privTb}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/markov"
+	"repro/internal/report"
 )
 
 // Fig3Result holds the three leakage series of Fig. 3 for the three
@@ -51,7 +52,7 @@ func Fig3(eps float64, T int) (*Fig3Result, error) {
 }
 
 // Tables renders the three panels (a) BPL, (b) FPL, (c) TPL.
-func (r *Fig3Result) Tables() []*Table {
+func (r *Fig3Result) Tables() []*report.Table {
 	panels := []struct {
 		name string
 		data *[3][]float64
@@ -60,9 +61,9 @@ func (r *Fig3Result) Tables() []*Table {
 		{"Fig 3(b) Forward Privacy Leakage", &r.FPL},
 		{"Fig 3(c) Temporal Privacy Leakage", &r.TPL},
 	}
-	out := make([]*Table, 0, len(panels))
+	out := make([]*report.Table, 0, len(panels))
 	for _, p := range panels {
-		tb := &Table{
+		tb := &report.Table{
 			Title:  fmt.Sprintf("%s of Lap(1/%g) at each time point", p.name, r.Eps),
 			Header: []string{"t"},
 		}

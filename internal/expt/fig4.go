@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/markov"
+	"repro/internal/report"
 )
 
 // Fig4Config is one panel of Fig. 4: a backward correlation matrix and a
@@ -64,8 +65,8 @@ func Fig4(T int) ([]Fig4Panel, error) {
 
 // Fig4Table renders the panels at a decimated set of time points plus
 // the supremum line.
-func Fig4Table(panels []Fig4Panel) *Table {
-	tb := &Table{
+func Fig4Table(panels []Fig4Panel) *report.Table {
+	tb := &report.Table{
 		Title:  "Fig 4: maximum BPL over time and Theorem-5 suprema",
 		Header: []string{"t"},
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lfp"
 	"repro/internal/markov"
+	"repro/internal/report"
 )
 
 // SolverName identifies the quantification route being timed.
@@ -177,8 +178,8 @@ func Fig5AgreementCheck(rng *rand.Rand, n int, alpha float64) (float64, error) {
 }
 
 // Fig5Table renders timing points grouped by solver.
-func Fig5Table(title string, points []Fig5Point) *Table {
-	tb := &Table{
+func Fig5Table(title string, points []Fig5Point) *report.Table {
+	tb := &report.Table{
 		Title:  title,
 		Header: []string{"solver", "n", "alpha", "time", "loss"},
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/markov"
+	"repro/internal/report"
 )
 
 // Fig6Config is one curve of Fig. 6: BPL over time under a smoothed
@@ -64,8 +65,8 @@ func Fig6(rng *rand.Rand, configs []Fig6Config, T int) ([]Fig6Curve, error) {
 }
 
 // Fig6Table renders the curves at decimated time points.
-func Fig6Table(eps float64, curves []Fig6Curve) *Table {
-	tb := &Table{
+func Fig6Table(eps float64, curves []Fig6Curve) *report.Table {
+	tb := &report.Table{
 		Title:  fmt.Sprintf("Fig 6: BPL over time for eps=%g (log-scale plot in the paper)", eps),
 		Header: []string{"t"},
 	}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/markov"
 	"repro/internal/release"
+	"repro/internal/report"
 )
 
 // Fig7Result holds the per-time-step budgets and realized TPL of the two
@@ -53,8 +54,8 @@ func Fig7(alpha float64, T int) (*Fig7Result, error) {
 }
 
 // Table renders the two panels side by side.
-func (r *Fig7Result) Table() *Table {
-	tb := &Table{
+func (r *Fig7Result) Table() *report.Table {
+	tb := &report.Table{
 		Title: fmt.Sprintf("Fig 7: data release with %g-DP_T (budgets and realized leakage)", r.Alpha),
 		Header: []string{"t",
 			"alg2 eps", "alg2 TPL",

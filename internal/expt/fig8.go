@@ -8,6 +8,7 @@ import (
 	"repro/internal/markov"
 	"repro/internal/mechanism"
 	"repro/internal/release"
+	"repro/internal/report"
 )
 
 // Fig8Point is one bar of Fig. 8: the mean expected absolute Laplace
@@ -109,8 +110,8 @@ func Fig8S(rng *rand.Rand, alpha float64, T, n int, ss []float64) ([]Fig8Point, 
 }
 
 // Fig8Table renders points keyed by the sweep variable.
-func Fig8Table(title, key string, points []Fig8Point) (*Table, error) {
-	tb := &Table{
+func Fig8Table(title, key string, points []Fig8Point) (*report.Table, error) {
+	tb := &report.Table{
 		Title:  title,
 		Header: []string{key, "Algorithm 2", "Algorithm 3"},
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/markov"
+	"repro/internal/report"
 )
 
 // MixingRow relates a chain's structural memory (mixing time) to its
@@ -52,8 +53,8 @@ func Mixing(eps float64, stays []float64) ([]MixingRow, error) {
 }
 
 // MixingTable renders the sweep.
-func MixingTable(eps float64, rows []MixingRow) *Table {
-	tb := &Table{
+func MixingTable(eps float64, rows []MixingRow) *report.Table {
+	tb := &report.Table{
 		Title:  fmt.Sprintf("Structure vs privacy: mixing time against leakage (eps=%g per step, 3-state lazy chains)", eps),
 		Header: []string{"stay prob", "mixing steps", "BPL supremum", "BPL(10)"},
 	}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/markov"
+	"repro/internal/report"
 )
 
 // SoundnessRow compares the exact leakage of a concrete eps-DP
@@ -73,8 +74,8 @@ func Soundness(eps float64, steps int) ([]SoundnessRow, error) {
 }
 
 // SoundnessTable renders the comparison.
-func SoundnessTable(rows []SoundnessRow) *Table {
-	tb := &Table{
+func SoundnessTable(rows []SoundnessRow) *report.Table {
+	tb := &report.Table{
 		Title:  "Soundness: exact randomized-response leakage vs Algorithm-1 BPL bound",
 		Header: []string{"correlation", "eps", "t", "exact leakage", "analytical bound"},
 	}

@@ -1,7 +1,9 @@
 // Package expt contains one runner per table and figure of the paper's
 // evaluation (Section VI) plus the illustrative figures of Section III.
-// Each runner returns structured results and can render them as an
-// aligned text table (the same rows/series the paper plots) or CSV.
+// Each runner returns structured results and renders them as
+// report.Table values, which the report package writes as aligned
+// text, CSV, GitHub Markdown, or JSON lines (see cmd/tplbench -format
+// and the generated EXPERIMENTS.md).
 //
 // Experiment index (see DESIGN.md for the full mapping):
 //
@@ -17,92 +19,7 @@
 //	            temporally correlated data
 package expt
 
-import (
-	"encoding/csv"
-	"fmt"
-	"io"
-	"strings"
-)
-
-// Table is a rendered experiment result: a titled grid of cells.
-type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
-}
-
-// AddRow appends one formatted row.
-func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
-
-// Render writes an aligned text rendering of the table.
-func (t *Table) Render(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
-		return err
-	}
-	widths := make([]int, len(t.Header))
-	for i, h := range t.Header {
-		widths[i] = len(h)
-	}
-	for _, row := range t.Rows {
-		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
-	line := func(cells []string) string {
-		var b strings.Builder
-		for i, c := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			b.WriteString(c)
-			if i < len(widths) {
-				for pad := len(c); pad < widths[i]; pad++ {
-					b.WriteByte(' ')
-				}
-			}
-		}
-		return strings.TrimRight(b.String(), " ")
-	}
-	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
-		return err
-	}
-	total := 0
-	for _, wd := range widths {
-		total += wd + 2
-	}
-	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
-		return err
-	}
-	for _, row := range t.Rows {
-		if _, err := fmt.Fprintln(w, line(row)); err != nil {
-			return err
-		}
-	}
-	for _, n := range t.Notes {
-		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// CSV writes the table as CSV (header row first; notes omitted).
-func (t *Table) CSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(t.Header); err != nil {
-		return err
-	}
-	for _, row := range t.Rows {
-		if err := cw.Write(row); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
-}
+import "fmt"
 
 // f formats a float with 4 decimals for table cells.
 func f(x float64) string { return fmt.Sprintf("%.4f", x) }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/markov"
+	"repro/internal/report"
 )
 
 // TableIIResult quantifies the privacy guarantee of an eps-DP mechanism
@@ -57,8 +58,8 @@ func TableII(chain *markov.Chain, eps float64, T, w int) (*TableIIResult, error)
 }
 
 // Table renders the comparison in the layout of the paper's Table II.
-func (r *TableIIResult) Table() *Table {
-	tb := &Table{
+func (r *TableIIResult) Table() *report.Table {
+	tb := &report.Table{
 		Title: fmt.Sprintf("Table II: privacy guarantee of %g-DP mechanisms (T=%d, w=%d)",
 			r.Eps, r.T, r.W),
 		Header: []string{"privacy notion", "independent", "temporally correlated"},

@@ -1,0 +1,47 @@
+package report
+
+import (
+	"encoding/csv"
+	"io"
+)
+
+// csvRenderer writes the header row then the data rows, RFC-4180
+// quoted. The title and notes have no CSV representation and are
+// omitted, keeping the output directly loadable by spreadsheets and
+// plotting scripts. Ragged tables are padded to a rectangle with
+// empty cells so strict readers (e.g. encoding/csv with its default
+// FieldsPerRecord) accept every record.
+type csvRenderer struct {
+	scratch []string
+}
+
+func (r *csvRenderer) RenderTable(w io.Writer, t *Table) error {
+	cols := t.Columns()
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.rect(t.Header, cols)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(r.rect(row, cols)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// rect pads cells with empty strings to cols, reusing scratch space.
+func (r *csvRenderer) rect(cells []string, cols int) []string {
+	if len(cells) == cols {
+		return cells
+	}
+	if cap(r.scratch) < cols {
+		r.scratch = make([]string, cols)
+	}
+	out := r.scratch[:cols]
+	n := copy(out, cells)
+	for i := n; i < cols; i++ {
+		out[i] = ""
+	}
+	return out
+}

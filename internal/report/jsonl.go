@@ -1,0 +1,94 @@
+package report
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonLine is the wire form of one JSON-lines record. Exactly one of
+// the payload groups is populated, keyed by Type:
+//
+//	{"type":"report","title":"...","notes":[...]}   document preamble
+//	{"type":"table","title":"...","header":[...]}   starts a table
+//	{"type":"row","cells":[...]}                    one data row
+//	{"type":"note","text":"..."}                    one table note
+//
+// Rows and notes attach to the most recent table line, so a multi-table
+// document concatenates cleanly and still parses.
+type jsonLine struct {
+	Type   string   `json:"type"`
+	Title  string   `json:"title,omitempty"`
+	Header []string `json:"header,omitempty"`
+	Notes  []string `json:"notes,omitempty"`
+	Cells  []string `json:"cells,omitempty"`
+	Text   string   `json:"text,omitempty"`
+}
+
+// jsonRenderer writes one table as JSON lines, streaming row by row.
+type jsonRenderer struct{}
+
+func (jsonRenderer) RenderTable(w io.Writer, t *Table) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the line's newline
+	if err := enc.Encode(jsonLine{Type: "table", Title: t.Title, Header: t.Header}); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := enc.Encode(jsonLine{Type: "row", Cells: row}); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if err := enc.Encode(jsonLine{Type: "note", Text: n}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseJSONLines reads a JSON-lines document back into tables,
+// inverting the JSONLines renderer (report preamble lines are
+// recognized and skipped; blank lines between tables are tolerated).
+func ParseJSONLines(r io.Reader) ([]*Table, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var tables []*Table
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var line jsonLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			return nil, fmt.Errorf("report: line %d: %w", lineNo, err)
+		}
+		switch line.Type {
+		case "report":
+			// Document preamble; carries no table content.
+		case "table":
+			tables = append(tables, &Table{Title: line.Title, Header: line.Header})
+		case "row":
+			if len(tables) == 0 {
+				return nil, fmt.Errorf("report: line %d: row before any table line", lineNo)
+			}
+			t := tables[len(tables)-1]
+			t.Rows = append(t.Rows, line.Cells)
+		case "note":
+			if len(tables) == 0 {
+				return nil, fmt.Errorf("report: line %d: note before any table line", lineNo)
+			}
+			t := tables[len(tables)-1]
+			t.Notes = append(t.Notes, line.Text)
+		default:
+			return nil, fmt.Errorf("report: line %d: unknown record type %q", lineNo, line.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tables, nil
+}

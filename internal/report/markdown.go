@@ -1,0 +1,66 @@
+package report
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// markdownRenderer writes a GitHub-flavored Markdown section: the title
+// as an H3 heading, the grid as a pipe table padded to a rectangle, and
+// the notes as a trailing blockquote. Pipe and newline characters in
+// cells are escaped so arbitrary cell content cannot break the table.
+type markdownRenderer struct{}
+
+func (markdownRenderer) RenderTable(w io.Writer, t *Table) error {
+	bw := bufio.NewWriter(w)
+	if t.Title != "" {
+		bw.WriteString("### ")
+		bw.WriteString(mdEscape(t.Title))
+		bw.WriteString("\n\n")
+	}
+	cols := t.Columns()
+	if cols > 0 {
+		mdRow(bw, t.Header, cols)
+		bw.WriteByte('|')
+		for i := 0; i < cols; i++ {
+			bw.WriteString(" --- |")
+		}
+		bw.WriteByte('\n')
+		for _, row := range t.Rows {
+			mdRow(bw, row, cols)
+		}
+	}
+	for i, n := range t.Notes {
+		if i == 0 && cols > 0 {
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("> note: ")
+		bw.WriteString(mdEscape(n))
+		bw.WriteString("\n")
+	}
+	return bw.Flush()
+}
+
+// mdRow writes one pipe-table row padded to cols cells.
+func mdRow(bw *bufio.Writer, cells []string, cols int) {
+	bw.WriteByte('|')
+	for i := 0; i < cols; i++ {
+		bw.WriteByte(' ')
+		if i < len(cells) {
+			bw.WriteString(mdEscape(cells[i]))
+		}
+		bw.WriteString(" |")
+	}
+	bw.WriteByte('\n')
+}
+
+// mdEscape neutralizes the characters that would break a pipe table.
+var mdEscaper = strings.NewReplacer("|", "\\|", "\n", " ", "\r", "")
+
+func mdEscape(s string) string {
+	if !strings.ContainsAny(s, "|\n\r") {
+		return s
+	}
+	return mdEscaper.Replace(s)
+}

@@ -1,0 +1,31 @@
+package report
+
+import (
+	"fmt"
+	"io"
+)
+
+// Renderer writes tables in one output format. Implementations are
+// stateless with respect to the destination: the same Renderer may
+// write to many writers, and scratch space is reused across calls on
+// the same Renderer (a Renderer is not safe for concurrent use).
+type Renderer interface {
+	// RenderTable writes one table to w.
+	RenderTable(w io.Writer, t *Table) error
+}
+
+// NewRenderer returns the renderer for a format.
+func NewRenderer(f Format) (Renderer, error) {
+	switch f {
+	case Text:
+		return &textRenderer{}, nil
+	case CSV:
+		return &csvRenderer{}, nil
+	case Markdown:
+		return &markdownRenderer{}, nil
+	case JSONLines:
+		return &jsonRenderer{}, nil
+	default:
+		return nil, fmt.Errorf("report: no renderer for format %v", f)
+	}
+}

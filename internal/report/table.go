@@ -1,0 +1,53 @@
+package report
+
+import "io"
+
+// Table is a rendered experiment result: a titled grid of cells plus
+// free-form notes. Cells are preformatted strings — the experiment
+// code owns numeric formatting, the renderers own layout. Rows may be
+// ragged; renderers that need a rectangle pad with empty cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends one note line.
+func (t *Table) AddNote(note string) { t.Notes = append(t.Notes, note) }
+
+// Columns returns the widest row length, counting the header.
+func (t *Table) Columns() int {
+	n := len(t.Header)
+	for _, row := range t.Rows {
+		if len(row) > n {
+			n = len(row)
+		}
+	}
+	return n
+}
+
+// RenderFormat writes the table in the given format.
+func (t *Table) RenderFormat(w io.Writer, f Format) error {
+	r, err := NewRenderer(f)
+	if err != nil {
+		return err
+	}
+	return r.RenderTable(w, t)
+}
+
+// Render writes the aligned text rendering (the Text format).
+func (t *Table) Render(w io.Writer) error { return t.RenderFormat(w, Text) }
+
+// CSV writes the table as CSV (header row first; title and notes
+// omitted).
+func (t *Table) CSV(w io.Writer) error { return t.RenderFormat(w, CSV) }
+
+// Markdown writes the table as a GitHub Markdown section.
+func (t *Table) Markdown(w io.Writer) error { return t.RenderFormat(w, Markdown) }
+
+// JSONLines writes the table as JSON lines.
+func (t *Table) JSONLines(w io.Writer) error { return t.RenderFormat(w, JSONLines) }

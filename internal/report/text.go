@@ -1,0 +1,112 @@
+package report
+
+import (
+	"bufio"
+	"io"
+)
+
+// textRenderer writes the aligned-columns terminal layout:
+//
+//	Title
+//	col1  col2
+//	------------
+//	a     b
+//	note: ...
+//
+// Column widths come from the header and every row; cells beyond the
+// header's column count print unpadded. Scratch space (widths, the
+// padding run) is reused across tables rendered by the same instance.
+type textRenderer struct {
+	widths []int
+	pad    []byte
+}
+
+const textGutter = 2
+
+func (r *textRenderer) RenderTable(w io.Writer, t *Table) error {
+	bw := bufio.NewWriter(w)
+	if t.Title != "" {
+		bw.WriteString(t.Title)
+		bw.WriteByte('\n')
+	}
+	r.measure(t)
+	r.line(bw, t.Header)
+	total := 0
+	for _, wd := range r.widths {
+		total += wd + textGutter
+	}
+	r.rule(bw, total)
+	for _, row := range t.Rows {
+		r.line(bw, row)
+	}
+	for _, n := range t.Notes {
+		bw.WriteString("note: ")
+		bw.WriteString(n)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// measure fills r.widths with the per-column widths of the header's
+// columns (the header defines how many columns are aligned).
+func (r *textRenderer) measure(t *Table) {
+	if cap(r.widths) < len(t.Header) {
+		r.widths = make([]int, len(t.Header))
+	}
+	r.widths = r.widths[:len(t.Header)]
+	for i, h := range t.Header {
+		r.widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(r.widths) && len(c) > r.widths[i] {
+				r.widths[i] = len(c)
+			}
+		}
+	}
+	max := 0
+	for _, wd := range r.widths {
+		if wd > max {
+			max = wd
+		}
+	}
+	r.grow(max + textGutter)
+}
+
+// grow ensures the reusable padding run holds at least n spaces.
+func (r *textRenderer) grow(n int) {
+	for len(r.pad) < n {
+		r.pad = append(r.pad, ' ')
+	}
+}
+
+// line writes one row, padding every cell but the last to its column
+// width (trailing whitespace is never emitted).
+func (r *textRenderer) line(bw *bufio.Writer, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			bw.Write(r.pad[:textGutter])
+		}
+		bw.WriteString(c)
+		if i < len(cells)-1 && i < len(r.widths) {
+			if n := r.widths[i] - len(c); n > 0 {
+				bw.Write(r.pad[:n])
+			}
+		}
+	}
+	bw.WriteByte('\n')
+}
+
+// rule writes the horizontal separator under the header.
+func (r *textRenderer) rule(bw *bufio.Writer, n int) {
+	const dashes = "----------------------------------------------------------------"
+	for n > 0 {
+		k := n
+		if k > len(dashes) {
+			k = len(dashes)
+		}
+		bw.WriteString(dashes[:k])
+		n -= k
+	}
+	bw.WriteByte('\n')
+}

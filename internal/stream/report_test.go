@@ -1,0 +1,84 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+)
+
+func TestServerReportTable(t *testing.T) {
+	s, err := NewServer(2, 2, twoUserModels(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Collect([]int{0, 1}, 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb, err := s.ReportTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("summary table has %d rows, want 2", len(tb.Rows))
+	}
+	// The table renders in every report format and the JSON lines
+	// round-trip.
+	for _, f := range report.Formats() {
+		var buf bytes.Buffer
+		if err := tb.RenderFormat(&buf, f); err != nil {
+			t.Fatalf("format %v: %v", f, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("format %v: empty output", f)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tb.JSONLines(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := report.ParseJSONLines(&buf)
+	if err != nil || len(back) != 1 {
+		t.Fatalf("round trip: %v", err)
+	}
+	var text bytes.Buffer
+	if err := tb.Render(&text); err != nil {
+		t.Fatal(err)
+	}
+	out := text.String()
+	if !strings.Contains(out, "Leakage summary after 5 releases") {
+		t.Errorf("title missing:\n%s", out)
+	}
+	if !strings.Contains(out, "event-level") || !strings.Contains(out, "user-level") {
+		t.Errorf("notion rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "worst-case user: 0") {
+		t.Errorf("worst-user note missing:\n%s", out)
+	}
+	// The realized event-level cell must show more leakage than the
+	// claimed one (the whole point of the paper).
+	if tb.Rows[0][2] <= tb.Rows[0][1] {
+		t.Errorf("realized %s should exceed claimed %s", tb.Rows[0][2], tb.Rows[0][1])
+	}
+}
+
+func TestEmptyServerReportTable(t *testing.T) {
+	s, err := NewServer(2, 1, []AdversaryModel{{}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := s.ReportTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Notes) != 0 {
+		t.Error("empty summary should not claim a worst-case user")
+	}
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
