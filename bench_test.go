@@ -12,6 +12,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -19,7 +20,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/expt"
 	"repro/internal/markov"
+	"repro/internal/mechanism"
 	"repro/internal/release"
+	"repro/internal/stream"
 )
 
 // BenchmarkFig3 regenerates the BPL/FPL/TPL series of Fig. 3
@@ -201,6 +204,105 @@ func BenchmarkPairLoss(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = core.PairLoss(q, d, 10)
+	}
+}
+
+// serverBenchDomain is the value-domain size of the Collect benchmarks
+// (a small location grid; the accounting cost per update is O(domain^2)
+// pairs, the ingestion cost O(users)).
+const serverBenchDomain = 5
+
+// serverBenchModels builds a population of `users` adversary models
+// drawn from `distinct` correlation classes (chain pointers shared
+// within a class, contents distinct across classes).
+func serverBenchModels(b *testing.B, users, distinct int) []stream.AdversaryModel {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	chains := make([]*markov.Chain, distinct)
+	for k := range chains {
+		c, err := markov.Smoothed(rng, serverBenchDomain, 0.05)
+		if err != nil {
+			b.Fatal(err)
+		}
+		chains[k] = c
+	}
+	models := make([]stream.AdversaryModel, users)
+	for i := range models {
+		c := chains[i%distinct]
+		models[i] = stream.AdversaryModel{Backward: c, Forward: c}
+	}
+	return models
+}
+
+// serverBenchValues is one time step's database.
+func serverBenchValues(users int) []int {
+	values := make([]int, users)
+	for i := range values {
+		values[i] = i % serverBenchDomain
+	}
+	return values
+}
+
+// BenchmarkServerCollect measures one full collection step (snapshot,
+// Laplace release, leakage accounting) at population scale: N users
+// declaring K distinct adversary models. With cohort-sharded
+// accounting a step costs K accountant updates instead of N, so the
+// K=10 rows are nearly flat in N; the numbers are recorded in
+// DESIGN.md §4.
+func BenchmarkServerCollect(b *testing.B) {
+	for _, bc := range []struct{ users, models int }{
+		{1000, 10},
+		{100000, 10},
+		{100000, 1000},
+		{1000000, 10},
+	} {
+		b.Run(fmt.Sprintf("users=%d/models=%d", bc.users, bc.models), func(b *testing.B) {
+			models := serverBenchModels(b, bc.users, bc.models)
+			s, err := stream.NewServer(serverBenchDomain, bc.users, models, rand.New(rand.NewSource(1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			values := serverBenchValues(bc.users)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Collect(values, 0.1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServerCollectPerUserLoop reproduces the seed's pre-cohort
+// accounting path at 100k users / 10 distinct models — snapshot, noise,
+// then one Observe per *user* — as the baseline BenchmarkServerCollect
+// is compared against (TestCohortDedup proves the leakage numbers are
+// identical).
+func BenchmarkServerCollectPerUserLoop(b *testing.B) {
+	const users, distinct = 100000, 10
+	models := serverBenchModels(b, users, distinct)
+	accs := make([]*core.Accountant, users)
+	for i, m := range models {
+		accs[i] = core.NewAccountant(m.Backward, m.Forward)
+	}
+	values := serverBenchValues(users)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := mechanism.NewSnapshot(serverBenchDomain, values)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lap, err := mechanism.NewLaplace(0.1, 1, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = lap.ReleaseCounts(snap.Histogram())
+		for _, acc := range accs {
+			if _, err := acc.Observe(0.1); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
 

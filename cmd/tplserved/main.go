@@ -1,0 +1,59 @@
+// Command tplserved runs the continuous-release service: the trusted
+// aggregator of the paper's Fig. 1 as a long-running multi-tenant JSON
+// HTTP server (see internal/service for the API).
+//
+// Usage:
+//
+//	tplserved -addr :8344
+//
+// Sessions are created over the API, collect time steps with explicit
+// or planned budgets, and answer leakage queries; users declaring
+// identical adversary models share one accountant (cohort-sharded
+// accounting), so sessions scale to very large populations. The server
+// shuts down gracefully on SIGINT/SIGTERM, draining in-flight requests.
+//
+//	curl -s localhost:8344/healthz
+//	curl -s -X POST localhost:8344/v1/sessions -d '{
+//	  "name": "demo", "domain": 2,
+//	  "cohorts": [{"users": 100000, "model": {"backward": {"rows": [[0.8,0.2],[0.2,0.8]]}}},
+//	              {"users": 900000, "model": {}}]}'
+//	curl -s -X POST localhost:8344/v1/sessions/demo/steps -d '{"values": [...], "eps": 0.1}'
+//	curl -s 'localhost:8344/v1/sessions/demo/report?format=jsonl'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8344", "listen address (host:port; port 0 picks a free port)")
+		quiet = flag.Bool("quiet", false, "suppress serving logs")
+	)
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, *quiet, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "tplserved: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is cancelled. ready, when non-nil, learns the
+// bound address (tests listen on port 0).
+func run(ctx context.Context, addr string, quiet bool, ready func(net.Addr)) error {
+	var logger *log.Logger
+	if !quiet {
+		logger = log.New(os.Stderr, "", log.LstdFlags)
+	}
+	return service.New(addr, logger).Run(ctx, ready)
+}

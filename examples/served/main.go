@@ -1,0 +1,164 @@
+// Served: drive the continuous-release service over HTTP, end to end.
+//
+// This walkthrough boots the tplserved service in-process on a free
+// port, then acts as a remote tenant: it creates a session whose
+// 10,000-user population is declared as three cohorts (users sharing an
+// adversary model share one accountant — the cohort-sharded accounting
+// that makes large sessions cheap), streams twenty time steps of counts
+// with explicit and planned budgets, and reads the leakage back in the
+// report JSON-lines wire format, re-rendering it locally as text.
+//
+// Run with: go run ./examples/served
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/markov"
+	"repro/internal/report"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Boot the service as tplserved would, on a free port.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrc := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- service.New("127.0.0.1:0", nil).Run(ctx, func(a net.Addr) { addrc <- a })
+	}()
+	var base string
+	select {
+	case a := <-addrc:
+		base = "http://" + a.String()
+	case err := <-errc:
+		return err
+	}
+	fmt.Printf("service up at %s\n\n", base)
+
+	// 2. Create a session: 10,000 users in three cohorts. The strongly
+	// correlated minority dominates the leakage; the uncorrelated
+	// majority is the traditional DP population.
+	strong := markov.Fig7Backward()
+	forward := markov.Fig7Forward()
+	weak, err := strong.Mix(0.5)
+	if err != nil {
+		return err
+	}
+	cfg := service.SessionConfig{
+		Name:   "city",
+		Domain: strong.N(),
+		Cohorts: []service.CohortConfig{
+			{Users: 500, Model: service.ModelConfig{Backward: strong, Forward: forward}},
+			{Users: 1500, Model: service.ModelConfig{Backward: weak}},
+			{Users: 8000, Model: service.ModelConfig{}},
+		},
+		Plan: &service.PlanConfig{
+			Kind: "quantified", Alpha: 1, Horizon: 20,
+			Model: &service.ModelConfig{Backward: strong, Forward: forward},
+		},
+	}
+	var created service.Summary
+	if err := call(http.MethodPost, base+"/v1/sessions", cfg, &created); err != nil {
+		return err
+	}
+	fmt.Printf("created session %q: %d users deduplicated into %d cohorts\n\n",
+		created.Name, created.Users, created.Cohorts)
+
+	// 3. Stream 20 time steps: ten exploratory steps with an explicit
+	// small budget, then ten drawn from the attached quantified plan.
+	rng := rand.New(rand.NewSource(42))
+	values := make([]int, created.Users)
+	for t := 1; t <= 20; t++ {
+		for i := range values {
+			values[i] = rng.Intn(created.Domain)
+		}
+		req := map[string]any{"values": values}
+		if t <= 10 {
+			req["eps"] = 0.05
+		}
+		var step struct {
+			T       int     `json:"t"`
+			Eps     float64 `json:"eps"`
+			Planned bool    `json:"planned"`
+		}
+		if err := call(http.MethodPost, base+"/v1/sessions/city/steps", req, &step); err != nil {
+			return err
+		}
+		if t == 1 || t == 11 {
+			kind := "explicit"
+			if step.Planned {
+				kind = "planned"
+			}
+			fmt.Printf("step %2d: eps=%.4f (%s)\n", step.T, step.Eps, kind)
+		}
+	}
+	fmt.Println()
+
+	// 4. Read the guarantee back in the report JSON-lines wire format
+	// and re-render it locally — the same bytes the CLIs and docs use.
+	resp, err := http.Get(base + "/v1/sessions/city/report?format=jsonl")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("report: %s: %s", resp.Status, body)
+	}
+	tables, err := report.ParseJSONLines(resp.Body)
+	if err != nil {
+		return err
+	}
+	for _, tb := range tables {
+		if err := tb.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+
+	// 5. Shut the service down gracefully.
+	cancel()
+	return <-errc
+}
+
+// call posts (or sends) one JSON request and decodes the 2xx response.
+func call(method, url string, in, out any) error {
+	raw, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(method, url, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%s %s: %s: %s", method, url, resp.Status, body)
+	}
+	return json.Unmarshal(body, out)
+}

@@ -39,11 +39,23 @@ func NewAccountantFromQuantifiers(qb, qf *Quantifier) *Accountant {
 	return &Accountant{qb: qb, qf: qf}
 }
 
+// CheckBudget validates a per-step privacy budget: Observe accepts eps
+// if and only if CheckBudget(eps) is nil. Callers that must guarantee
+// all-or-nothing semantics across many accountants (stream.Server's
+// fan-out) validate once up front instead of discovering the error
+// mid-update.
+func CheckBudget(eps float64) error {
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return fmt.Errorf("core: budget must be finite and positive, got %v", eps)
+	}
+	return nil
+}
+
 // Observe records a release with per-step budget eps at the next time
 // step and returns the new length of the sequence.
 func (a *Accountant) Observe(eps float64) (int, error) {
-	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
-		return 0, fmt.Errorf("core: budget must be finite and positive, got %v", eps)
+	if err := CheckBudget(eps); err != nil {
+		return 0, err
 	}
 	if len(a.bpl) == 0 {
 		a.bpl = append(a.bpl, eps)

@@ -1,0 +1,262 @@
+package service
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/markov"
+	"repro/internal/release"
+	"repro/internal/stream"
+)
+
+// randomSeed draws an unpredictable seed for a session's noise stream
+// from the OS entropy source.
+func randomSeed() (int64, error) {
+	var buf [8]byte
+	if _, err := crand.Read(buf[:]); err != nil {
+		return 0, fmt.Errorf("service: seeding noise source: %w", err)
+	}
+	return int64(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+// ModelConfig is the wire form of one adversary's temporal correlations
+// (stream.AdversaryModel): either chain may be absent, and a model with
+// both absent is the traditional DP adversary. Chains use the markov
+// package's JSON encoding ({"rows": [[...], ...]}).
+type ModelConfig struct {
+	Backward *markov.Chain `json:"backward,omitempty"`
+	Forward  *markov.Chain `json:"forward,omitempty"`
+}
+
+func (m ModelConfig) adversary() stream.AdversaryModel {
+	return stream.AdversaryModel{Backward: m.Backward, Forward: m.Forward}
+}
+
+// CohortConfig declares a block of users sharing one adversary model —
+// the compact way to configure a large population. The expansion shares
+// chain pointers, so a million-user cohort costs one model fingerprint.
+type CohortConfig struct {
+	Users int         `json:"users"`
+	Model ModelConfig `json:"model"`
+}
+
+// PlanConfig selects a release plan to attach at session creation, so
+// steps can be collected without an explicit budget. Kind uses the
+// plan-kind tags of internal/release's JSON encoding.
+type PlanConfig struct {
+	// Kind is "upper-bound" (Algorithm 2), "quantified" (Algorithm 3,
+	// needs Horizon) or "w-event" (Theorem 2 windows, needs W).
+	Kind    string  `json:"kind"`
+	Alpha   float64 `json:"alpha"`
+	Horizon int     `json:"horizon,omitempty"`
+	W       int     `json:"w,omitempty"`
+	// Model supplies the correlations the plan defends against. When
+	// absent, the first user's model is used.
+	Model *ModelConfig `json:"model,omitempty"`
+}
+
+// SessionConfig is the POST /v1/sessions request body. The population
+// is declared exactly one way: Cohorts (recommended at scale), Models
+// (one per user), or bare Users (everyone a traditional DP adversary).
+type SessionConfig struct {
+	Name   string `json:"name"`
+	Domain int    `json:"domain"`
+
+	Users   int            `json:"users,omitempty"`
+	Models  []ModelConfig  `json:"models,omitempty"`
+	Cohorts []CohortConfig `json:"cohorts,omitempty"`
+
+	// Noise is "laplace" (default) or "geometric".
+	Noise string `json:"noise,omitempty"`
+	// Sensitivity overrides the query sensitivity when positive.
+	Sensitivity float64 `json:"sensitivity,omitempty"`
+	// Seed makes the noise stream reproducible when non-zero. Unlike
+	// the library CLIs, the service defaults to an *unpredictable*
+	// seed: a long-running server whose noise an observer can replay
+	// offers no privacy at all, so determinism is the explicit opt-in.
+	Seed int64 `json:"seed,omitempty"`
+
+	Plan *PlanConfig `json:"plan,omitempty"`
+}
+
+// noiseKind parses the wire name of a noise primitive.
+func noiseKind(name string) (release.Noise, error) {
+	switch name {
+	case "", "laplace":
+		return release.LaplaceNoise, nil
+	case "geometric":
+		return release.GeometricNoise, nil
+	default:
+		return 0, fmt.Errorf("service: unknown noise kind %q (want laplace or geometric)", name)
+	}
+}
+
+// noiseName is the inverse of noiseKind for summaries.
+func noiseName(n release.Noise) string {
+	if n == release.GeometricNoise {
+		return "geometric"
+	}
+	return "laplace"
+}
+
+// Resource ceilings for one session. A create request is a few bytes
+// but names its allocation sizes, so both must be bounded before
+// anything is allocated: maxUsers caps the per-user bookkeeping
+// (~40 B/user, so ~400 MB at the cap) and maxDomain caps the per-step
+// histogram.
+const (
+	maxUsers  = 10_000_000
+	maxDomain = 1_000_000
+)
+
+// population returns the declared user count without allocating
+// anything — the registry's aggregate capacity check runs before Build
+// so an over-cap request never triggers the allocation it names.
+// Nonsense declarations clamp to maxUsers+1 (rejected later with a
+// precise error by models()).
+func (c *SessionConfig) population() int {
+	switch {
+	case len(c.Cohorts) > 0:
+		total := 0
+		for _, co := range c.Cohorts {
+			if co.Users > maxUsers || co.Users < 0 {
+				return maxUsers + 1
+			}
+			if total += co.Users; total > maxUsers {
+				return maxUsers + 1
+			}
+		}
+		return total
+	case len(c.Models) > 0:
+		return len(c.Models)
+	default:
+		return c.Users
+	}
+}
+
+// models expands the population declaration into one adversary model
+// per user.
+func (c *SessionConfig) models() ([]stream.AdversaryModel, error) {
+	if c.Domain > maxDomain {
+		return nil, fmt.Errorf("service: domain %d exceeds the per-session limit %d", c.Domain, maxDomain)
+	}
+	declared := 0
+	if len(c.Cohorts) > 0 {
+		declared++
+	}
+	if len(c.Models) > 0 {
+		declared++
+	}
+	if declared > 1 {
+		return nil, fmt.Errorf("service: declare the population as cohorts or models, not both")
+	}
+	switch {
+	case len(c.Cohorts) > 0:
+		total := 0
+		for i, co := range c.Cohorts {
+			if co.Users <= 0 {
+				return nil, fmt.Errorf("service: cohort %d must have a positive user count, got %d", i, co.Users)
+			}
+			total += co.Users
+			if total > maxUsers {
+				return nil, fmt.Errorf("service: population exceeds the per-session limit %d", maxUsers)
+			}
+		}
+		if c.Users != 0 && c.Users != total {
+			return nil, fmt.Errorf("service: users field says %d but cohorts sum to %d", c.Users, total)
+		}
+		models := make([]stream.AdversaryModel, 0, total)
+		for _, co := range c.Cohorts {
+			m := co.Model.adversary()
+			for i := 0; i < co.Users; i++ {
+				models = append(models, m)
+			}
+		}
+		return models, nil
+	case len(c.Models) > 0:
+		if len(c.Models) > maxUsers {
+			return nil, fmt.Errorf("service: population %d exceeds the per-session limit %d", len(c.Models), maxUsers)
+		}
+		if c.Users != 0 && c.Users != len(c.Models) {
+			return nil, fmt.Errorf("service: users field says %d but %d models declared", c.Users, len(c.Models))
+		}
+		models := make([]stream.AdversaryModel, len(c.Models))
+		for i, m := range c.Models {
+			models[i] = m.adversary()
+		}
+		return models, nil
+	default:
+		if c.Users <= 0 {
+			return nil, fmt.Errorf("service: need a population: users, models, or cohorts")
+		}
+		if c.Users > maxUsers {
+			return nil, fmt.Errorf("service: population %d exceeds the per-session limit %d", c.Users, maxUsers)
+		}
+		return make([]stream.AdversaryModel, c.Users), nil
+	}
+}
+
+// buildPlan constructs the configured release plan. first is the first
+// user's model, the default correlation source.
+func (p *PlanConfig) buildPlan(first stream.AdversaryModel) (release.Plan, error) {
+	pb, pf := first.Backward, first.Forward
+	if p.Model != nil {
+		pb, pf = p.Model.Backward, p.Model.Forward
+	}
+	switch p.Kind {
+	case "upper-bound":
+		return release.UpperBound(pb, pf, p.Alpha)
+	case "quantified":
+		if p.Horizon <= 0 {
+			return nil, fmt.Errorf("service: quantified plan needs a positive horizon, got %d", p.Horizon)
+		}
+		return release.Quantified(pb, pf, p.Alpha, p.Horizon)
+	case "w-event":
+		if p.W <= 0 {
+			return nil, fmt.Errorf("service: w-event plan needs a positive w, got %d", p.W)
+		}
+		return release.WEvent(pb, pf, p.Alpha, p.W)
+	default:
+		return nil, fmt.Errorf("service: unknown plan kind %q (want upper-bound, quantified or w-event)", p.Kind)
+	}
+}
+
+// Build assembles the configured stream.Server.
+func (c *SessionConfig) Build() (*stream.Server, error) {
+	models, err := c.models()
+	if err != nil {
+		return nil, err
+	}
+	seed := c.Seed
+	if seed == 0 {
+		if seed, err = randomSeed(); err != nil {
+			return nil, err
+		}
+	}
+	srv, err := stream.NewServer(c.Domain, len(models), models, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	if c.Sensitivity != 0 {
+		if err := srv.SetSensitivity(c.Sensitivity); err != nil {
+			return nil, err
+		}
+	}
+	noise, err := noiseKind(c.Noise)
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.SetNoise(noise); err != nil {
+		return nil, err
+	}
+	if c.Plan != nil {
+		plan, err := c.Plan.buildPlan(models[0])
+		if err != nil {
+			return nil, err
+		}
+		srv.SetPlan(plan)
+	}
+	return srv, nil
+}

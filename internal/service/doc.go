@@ -1,0 +1,33 @@
+// Package service turns the in-process continuous-release library
+// (internal/stream) into a long-running multi-tenant server: the
+// trusted aggregator of the paper's Fig. 1 operated as a JSON HTTP
+// service instead of a batch CLI.
+//
+// The unit of tenancy is the session: one named, independently
+// configured stream.Server — value domain, per-user (or per-cohort)
+// adversary models, noise kind, optional release plan. Sessions live
+// in a concurrency-safe Registry and are driven over a stdlib-only
+// net/http API:
+//
+//	GET    /healthz                          liveness + session count
+//	GET    /v1/sessions                      list session summaries
+//	POST   /v1/sessions                      create a session (SessionConfig JSON)
+//	GET    /v1/sessions/{name}               one session summary
+//	DELETE /v1/sessions/{name}               drop a session
+//	POST   /v1/sessions/{name}/steps         collect one time step (explicit eps or planned)
+//	GET    /v1/sessions/{name}/published     release history (?t= for one step)
+//	GET    /v1/sessions/{name}/tpl?user=U    per-user TPL series
+//	GET    /v1/sessions/{name}/wevent?w=W    w-window leakage (?user=U, else population worst)
+//	GET    /v1/sessions/{name}/report        the Definition-8 guarantee summary
+//
+// The tpl, wevent and report endpoints accept ?format=jsonl and then
+// answer in internal/report's JSON-lines wire format, so API responses
+// parse back with report.ParseJSONLines and drop into the same
+// documents as the experiment harness output.
+//
+// Scale comes from the cohort-sharded accounting in internal/stream:
+// a session declares its million-user population as a handful of
+// cohorts (users sharing an adversary model share an accountant), so
+// collecting a step costs one accountant update per distinct model,
+// not per user.
+package service

@@ -1,0 +1,378 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/release"
+	"repro/internal/report"
+	"repro/internal/stream"
+)
+
+// maxBodyBytes caps a request body. It must admit a full step of the
+// largest legal session: 10M users of up-to-7-digit values is ~80 MB
+// of JSON, so 256 MiB leaves headroom while still bounding a hostile
+// payload.
+const maxBodyBytes = 256 << 20
+
+// ndjsonContentType is the media type of report JSON-lines responses.
+const ndjsonContentType = "application/x-ndjson"
+
+// API is the HTTP face of a session registry.
+type API struct {
+	reg *Registry
+}
+
+// NewAPI creates an API over a fresh registry.
+func NewAPI() *API { return &API{reg: NewRegistry()} }
+
+// Registry exposes the session store (for embedding callers and tests).
+func (a *API) Registry() *Registry { return a.reg }
+
+// Handler builds the route table.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", a.health)
+	mux.HandleFunc("GET /v1/sessions", a.listSessions)
+	mux.HandleFunc("POST /v1/sessions", a.createSession)
+	mux.HandleFunc("GET /v1/sessions/{name}", a.getSession)
+	mux.HandleFunc("DELETE /v1/sessions/{name}", a.deleteSession)
+	mux.HandleFunc("POST /v1/sessions/{name}/steps", a.postStep)
+	mux.HandleFunc("GET /v1/sessions/{name}/published", a.getPublished)
+	mux.HandleFunc("GET /v1/sessions/{name}/tpl", a.getTPL)
+	mux.HandleFunc("GET /v1/sessions/{name}/wevent", a.getWEvent)
+	mux.HandleFunc("GET /v1/sessions/{name}/report", a.getReport)
+	return mux
+}
+
+// writeJSON emits one JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the status line is already out; nothing to do on error
+}
+
+// writeError maps an error to a JSON problem body.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// errStatus picks the HTTP status for a registry/stream error.
+func errStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrExists):
+		return http.StatusConflict
+	case errors.Is(err, ErrCapacity):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, stream.ErrNoPlan), errors.Is(err, release.ErrHorizonExceeded):
+		return http.StatusConflict
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// session resolves the {name} path value, writing the 404 itself.
+func (a *API) session(w http.ResponseWriter, r *http.Request) (*Session, bool) {
+	s, err := a.reg.Get(r.PathValue("name"))
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return nil, false
+	}
+	return s, true
+}
+
+// wantJSONLines reports whether the request asked for the report
+// JSON-lines wire format, and validates the format parameter.
+func wantJSONLines(w http.ResponseWriter, r *http.Request) (jsonl, ok bool) {
+	switch f := r.URL.Query().Get("format"); f {
+	case "", "json":
+		return false, true
+	case "jsonl":
+		return true, true
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: unknown format %q (want json or jsonl)", f))
+		return false, false
+	}
+}
+
+// renderTable streams one report table as JSON lines.
+func renderTable(w http.ResponseWriter, t *report.Table) {
+	w.Header().Set("Content-Type", ndjsonContentType)
+	_ = t.JSONLines(w)
+}
+
+// intQuery parses a required integer query parameter.
+func intQuery(r *http.Request, key string) (int, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return 0, fmt.Errorf("service: missing query parameter %q", key)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("service: parameter %q: %w", key, err)
+	}
+	return v, nil
+}
+
+func (a *API) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sessions": a.reg.Len()})
+}
+
+func (a *API) listSessions(w http.ResponseWriter, r *http.Request) {
+	sessions := a.reg.List()
+	out := make([]Summary, len(sessions))
+	for i, s := range sessions {
+		out[i] = s.Summary()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+}
+
+func (a *API) createSession(w http.ResponseWriter, r *http.Request) {
+	var cfg SessionConfig
+	if err := decodeBody(w, r, &cfg); err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	s, err := a.reg.Create(&cfg)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.Summary())
+}
+
+// decodeBody reads one JSON value, rejecting trailing garbage and
+// unknown fields (a typoed config key should fail loudly, not silently
+// default).
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("service: decoding request body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("service: trailing data after request body")
+	}
+	return nil
+}
+
+func (a *API) getSession(w http.ResponseWriter, r *http.Request) {
+	s, ok := a.session(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Summary())
+}
+
+func (a *API) deleteSession(w http.ResponseWriter, r *http.Request) {
+	if err := a.reg.Delete(r.PathValue("name")); err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// stepRequest is the POST steps body. Eps nil means "use the attached
+// release plan".
+type stepRequest struct {
+	Values []int    `json:"values"`
+	Eps    *float64 `json:"eps,omitempty"`
+}
+
+// stepResponse reports the step the collection landed on.
+type stepResponse struct {
+	T         int       `json:"t"`
+	Eps       float64   `json:"eps"`
+	Planned   bool      `json:"planned"`
+	Published []float64 `json:"published"`
+}
+
+func (a *API) postStep(w http.ResponseWriter, r *http.Request) {
+	s, ok := a.session(w, r)
+	if !ok {
+		return
+	}
+	var req stepRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	var (
+		noisy []float64
+		t     int
+		eps   float64
+		err   error
+	)
+	if req.Eps != nil {
+		noisy, t, eps, err = s.Collect(req.Values, *req.Eps)
+	} else {
+		noisy, t, eps, err = s.CollectPlanned(req.Values)
+	}
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, stepResponse{T: t, Eps: eps, Planned: req.Eps == nil, Published: noisy})
+}
+
+func (a *API) getPublished(w http.ResponseWriter, r *http.Request) {
+	s, ok := a.session(w, r)
+	if !ok {
+		return
+	}
+	srv := s.Server()
+	if raw := r.URL.Query().Get("t"); raw != "" {
+		t, err := intQuery(r, "t")
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		hist, err := srv.Published(t)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"t": t, "published": hist})
+		return
+	}
+	// Full history: budgets first so len(budgets) <= len(published reads)
+	// even if a concurrent step lands between the two calls.
+	budgets := srv.Budgets()
+	published := make([][]float64, len(budgets))
+	for t := 1; t <= len(budgets); t++ {
+		hist, err := srv.Published(t)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		published[t-1] = hist
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"t":         len(budgets),
+		"budgets":   budgets,
+		"published": published,
+	})
+}
+
+func (a *API) getTPL(w http.ResponseWriter, r *http.Request) {
+	s, ok := a.session(w, r)
+	if !ok {
+		return
+	}
+	jsonl, ok := wantJSONLines(w, r)
+	if !ok {
+		return
+	}
+	user, err := intQuery(r, "user")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	series, err := s.Server().UserTPLSeries(user)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !jsonl {
+		writeJSON(w, http.StatusOK, map[string]any{"user": user, "tpl": series})
+		return
+	}
+	tb := &report.Table{
+		Title:  fmt.Sprintf("TPL series for user %d (session %s)", user, s.Name()),
+		Header: []string{"t", "tpl"},
+	}
+	for t, v := range series {
+		tb.AddRow(strconv.Itoa(t+1), fmt.Sprintf("%.6f", v))
+	}
+	renderTable(w, tb)
+}
+
+func (a *API) getWEvent(w http.ResponseWriter, r *http.Request) {
+	s, ok := a.session(w, r)
+	if !ok {
+		return
+	}
+	jsonl, ok := wantJSONLines(w, r)
+	if !ok {
+		return
+	}
+	wWin, err := intQuery(r, "w")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	srv := s.Server()
+	var (
+		leak float64
+		user int
+	)
+	if raw := r.URL.Query().Get("user"); raw != "" {
+		if user, err = intQuery(r, "user"); err == nil {
+			leak, err = srv.WEvent(user, wWin)
+		}
+	} else {
+		leak, user, err = srv.MaxWEvent(wWin)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !jsonl {
+		writeJSON(w, http.StatusOK, map[string]any{"w": wWin, "user": user, "leakage": leak})
+		return
+	}
+	tb := &report.Table{
+		Title:  fmt.Sprintf("%d-event leakage (session %s)", wWin, s.Name()),
+		Header: []string{"w", "user", "leakage"},
+	}
+	tb.AddRow(strconv.Itoa(wWin), strconv.Itoa(user), fmt.Sprintf("%.6f", leak))
+	renderTable(w, tb)
+}
+
+// reportResponse is the wire form of stream.Report: a service-owned
+// DTO so the public API keeps its snake_case convention and internal
+// field renames cannot silently change the wire format.
+type reportResponse struct {
+	T                 int     `json:"t"`
+	EventLevelAlpha   float64 `json:"event_level_alpha"`
+	WorstUser         int     `json:"worst_user"`
+	UserLevel         float64 `json:"user_level"`
+	NominalEventLevel float64 `json:"nominal_event_level"`
+}
+
+func (a *API) getReport(w http.ResponseWriter, r *http.Request) {
+	s, ok := a.session(w, r)
+	if !ok {
+		return
+	}
+	jsonl, ok := wantJSONLines(w, r)
+	if !ok {
+		return
+	}
+	rep, err := s.Server().Report()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !jsonl {
+		writeJSON(w, http.StatusOK, reportResponse{
+			T:                 rep.T,
+			EventLevelAlpha:   rep.EventLevelAlpha,
+			WorstUser:         rep.WorstUser,
+			UserLevel:         rep.UserLevel,
+			NominalEventLevel: rep.NominalEventLevel,
+		})
+		return
+	}
+	renderTable(w, rep.Table())
+}

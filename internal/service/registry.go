@@ -1,0 +1,229 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// ErrNotFound is returned when a named session does not exist.
+var ErrNotFound = errors.New("service: session not found")
+
+// ErrExists is returned when creating a session whose name is taken.
+var ErrExists = errors.New("service: session already exists")
+
+// ErrCapacity is returned when creating a session would push the
+// aggregate declared population across all sessions past the process
+// ceiling — the per-session limits bound one request's allocation,
+// this bounds their sum.
+var ErrCapacity = errors.New("service: aggregate population capacity exhausted")
+
+// maxTotalUsers caps the total declared population across sessions
+// (~40 B of per-user bookkeeping, so ~2 GB at the cap).
+const maxTotalUsers = 50_000_000
+
+// Session is one tenant: a named, configured stream.Server plus the
+// bookkeeping the API reports. The embedded server carries its own
+// concurrency guarantees; the session's mutex only serializes the
+// collect-then-read-budget sequence of the steps endpoint so each
+// response reports its own step's budget.
+type Session struct {
+	name    string
+	created time.Time
+	srv     *stream.Server
+
+	stepMu sync.Mutex
+}
+
+// Name returns the session's registry key.
+func (s *Session) Name() string { return s.name }
+
+// Created returns the creation timestamp.
+func (s *Session) Created() time.Time { return s.created }
+
+// Server returns the underlying release server (safe for concurrent
+// use; see the stream package's concurrency contract).
+func (s *Session) Server() *stream.Server { return s.srv }
+
+// Collect runs one explicit-budget step and returns the published
+// histogram together with the 1-based step index it landed on.
+func (s *Session) Collect(values []int, eps float64) ([]float64, int, float64, error) {
+	s.stepMu.Lock()
+	defer s.stepMu.Unlock()
+	noisy, err := s.srv.Collect(values, eps)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return noisy, s.srv.T(), eps, nil
+}
+
+// CollectPlanned runs one plan-budgeted step, reporting the budget the
+// plan charged.
+func (s *Session) CollectPlanned(values []int) ([]float64, int, float64, error) {
+	s.stepMu.Lock()
+	defer s.stepMu.Unlock()
+	noisy, err := s.srv.CollectPlanned(values)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	t := s.srv.T()
+	eps, err := s.srv.Budget(t)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return noisy, t, eps, nil
+}
+
+// Summary is the API's session digest.
+type Summary struct {
+	Name        string    `json:"name"`
+	Domain      int       `json:"domain"`
+	Users       int       `json:"users"`
+	Cohorts     int       `json:"cohorts"`
+	T           int       `json:"t"`
+	Noise       string    `json:"noise"`
+	Sensitivity float64   `json:"sensitivity"`
+	HasPlan     bool      `json:"has_plan"`
+	PlanStep    int       `json:"plan_step,omitempty"`
+	Created     time.Time `json:"created"`
+}
+
+// Summary captures the session's current state.
+func (s *Session) Summary() Summary {
+	return Summary{
+		Name:        s.name,
+		Domain:      s.srv.Domain(),
+		Users:       s.srv.Users(),
+		Cohorts:     s.srv.Cohorts(),
+		T:           s.srv.T(),
+		Noise:       noiseName(s.srv.Noise()),
+		Sensitivity: s.srv.Sensitivity(),
+		HasPlan:     s.srv.HasPlan(),
+		PlanStep:    s.srv.PlanStep(),
+		Created:     s.created,
+	}
+}
+
+// Registry is the concurrency-safe session store. The zero value is not
+// usable; construct with NewRegistry.
+type Registry struct {
+	mu         sync.RWMutex
+	sessions   map[string]*Session
+	totalUsers int              // declared population across all sessions
+	capacity   int              // aggregate population ceiling; lowered in tests
+	now        func() time.Time // injectable for tests
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sessions: make(map[string]*Session), capacity: maxTotalUsers, now: time.Now}
+}
+
+// checkName validates a session name: non-empty, at most 128 bytes, no
+// path or whitespace characters (names appear in URL paths).
+func checkName(name string) error {
+	if name == "" {
+		return fmt.Errorf("service: session name must not be empty")
+	}
+	if len(name) > 128 {
+		return fmt.Errorf("service: session name longer than 128 bytes")
+	}
+	if strings.ContainsAny(name, "/ \t\r\n") {
+		return fmt.Errorf("service: session name %q contains a slash or whitespace", name)
+	}
+	return nil
+}
+
+// Create builds the configured server and registers it under the
+// config's name. The build happens outside the registry lock, so a
+// slow plan construction does not block the store; only the final
+// insert is serialized, and a name collision discovered then returns
+// ErrExists with the freshly built session discarded.
+func (r *Registry) Create(cfg *SessionConfig) (*Session, error) {
+	if err := checkName(cfg.Name); err != nil {
+		return nil, err
+	}
+	pop := cfg.population()
+	r.mu.RLock()
+	_, taken := r.sessions[cfg.Name]
+	over := r.totalUsers+pop > r.capacity
+	r.mu.RUnlock()
+	if taken {
+		return nil, fmt.Errorf("%w: %q", ErrExists, cfg.Name)
+	}
+	if over {
+		return nil, fmt.Errorf("%w: %d users in use, %d requested, limit %d", ErrCapacity, r.Users(), pop, r.capacity)
+	}
+	srv, err := cfg.Build()
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{name: cfg.Name, created: r.now(), srv: srv}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, taken := r.sessions[cfg.Name]; taken {
+		return nil, fmt.Errorf("%w: %q", ErrExists, cfg.Name)
+	}
+	if r.totalUsers+srv.Users() > r.capacity {
+		return nil, fmt.Errorf("%w: %d users in use, %d requested, limit %d", ErrCapacity, r.totalUsers, srv.Users(), r.capacity)
+	}
+	r.sessions[cfg.Name] = s
+	r.totalUsers += srv.Users()
+	return s, nil
+}
+
+// Users returns the aggregate declared population across all sessions.
+func (r *Registry) Users() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.totalUsers
+}
+
+// Get returns the named session.
+func (r *Registry) Get(name string) (*Session, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.sessions[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return s, nil
+}
+
+// Delete removes the named session, releasing its population from the
+// aggregate capacity.
+func (r *Registry) Delete(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sessions[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(r.sessions, name)
+	r.totalUsers -= s.srv.Users()
+	return nil
+}
+
+// List returns all sessions sorted by name.
+func (r *Registry) List() []*Session {
+	r.mu.RLock()
+	out := make([]*Session, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		out = append(out, s)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Len returns the number of registered sessions.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.sessions)
+}

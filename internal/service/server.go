@@ -1,0 +1,93 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net"
+	"net/http"
+	"time"
+)
+
+// shutdownGrace is how long Run waits for in-flight requests to drain
+// after its context is cancelled.
+const shutdownGrace = 10 * time.Second
+
+// Server is the long-running HTTP face of the release service: an API
+// plus the net/http plumbing for serving it and shutting it down
+// gracefully.
+type Server struct {
+	api  *API
+	http *http.Server
+	log  *log.Logger
+}
+
+// New creates a server for the given listen address. logger may be nil
+// to discard serving logs.
+func New(addr string, logger *log.Logger) *Server {
+	api := NewAPI()
+	s := &Server{
+		api: api,
+		http: &http.Server{
+			Addr:              addr,
+			Handler:           api.Handler(),
+			ReadHeaderTimeout: 10 * time.Second,
+			// Generous but bounded: a million-user step uploads in well
+			// under a second, so five minutes accommodates any honest
+			// client while a byte-trickling one cannot pin a handler
+			// goroutine forever or stall graceful shutdown.
+			ReadTimeout:  5 * time.Minute,
+			WriteTimeout: 5 * time.Minute,
+			IdleTimeout:  2 * time.Minute,
+		},
+		log: logger,
+	}
+	if logger != nil {
+		s.http.ErrorLog = logger
+	}
+	return s
+}
+
+// API returns the underlying API (and through it the registry).
+func (s *Server) API() *API { return s.api }
+
+// Run listens on the configured address and serves until ctx is
+// cancelled, then drains in-flight requests for up to shutdownGrace.
+// ready, when non-nil, is called with the bound address once the
+// listener is up (tests and callers using ":0" learn the real port).
+func (s *Server) Run(ctx context.Context, ready func(net.Addr)) error {
+	ln, err := net.Listen("tcp", s.http.Addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	s.logf("tplserved: listening on %s", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- s.http.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		// Serve never returns nil; surface whatever killed it.
+		return err
+	case <-ctx.Done():
+	}
+	s.logf("tplserved: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := s.http.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.log != nil {
+		s.log.Printf(format, args...)
+	}
+}

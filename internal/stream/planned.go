@@ -19,6 +19,8 @@ var ErrNoPlan = errors.New("stream: no release plan attached; call SetPlan or us
 // can be attached mid-stream (e.g. after an initial exploratory phase
 // released with explicit budgets).
 func (s *Server) SetPlan(plan release.Plan) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.plan = plan
 	s.planBase = len(s.budgets)
 }
@@ -29,6 +31,8 @@ func (s *Server) SetPlan(plan release.Plan) {
 // back to explicit budgets) to continue, which keeps budget exhaustion
 // an explicit, auditable event.
 func (s *Server) CollectPlanned(values []int) ([]float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.plan == nil {
 		return nil, ErrNoPlan
 	}
@@ -40,14 +44,23 @@ func (s *Server) CollectPlanned(values []int) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.Collect(values, eps)
+	return s.collectLocked(values, eps)
 }
 
 // PlanStep returns the 1-based step the next CollectPlanned will use
 // from the attached plan, or 0 when no plan is attached.
 func (s *Server) PlanStep() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.plan == nil {
 		return 0
 	}
 	return len(s.budgets) - s.planBase + 1
+}
+
+// HasPlan reports whether a budget plan is attached.
+func (s *Server) HasPlan() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.plan != nil
 }

@@ -8,13 +8,39 @@
 // It glues together mechanism (the Laplace primitives), core (the TPL
 // accountants) and release (the budget plans) into the end-to-end
 // pipeline of Fig. 1.
+//
+// # Cohort-sharded accounting
+//
+// Temporal privacy leakage depends only on the adversary's correlation
+// model and the budget sequence, not on the user's identity, so users
+// declaring identical adversary models provably accrue identical
+// leakage. The server exploits this: users are deduplicated into
+// cohorts keyed by model content, each cohort shares one accountant,
+// and a step costs K accountant updates (K = distinct models, fanned
+// out over workers) instead of N (the population). A million-user
+// session with a handful of model classes accounts a step in
+// microseconds.
+//
+// # Concurrency
+//
+// A Server is safe for concurrent use: Collect and the other mutators
+// take a write lock, while the read-side accessors (Published, Budgets,
+// UserTPL, WEvent, Report, T, PlanStep) may run concurrently with each
+// other and block only for the duration of a collection. Collections
+// themselves serialize — the step sequence is the unit of accounting,
+// so this is semantic, not incidental.
 package stream
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/markov"
@@ -33,17 +59,34 @@ type AdversaryModel struct {
 	Forward  *markov.Chain // P^F_i, Pr(l_t | l_{t-1})
 }
 
+// cohort is one equivalence class of users under adversary-model
+// content equality. All members share the accountant; mu guards the
+// accountant's lazily-cached forward series so concurrent readers of
+// the same cohort do not race (Collect holds the server write lock, so
+// it never contends with readers here). Only the smallest member id is
+// retained — members resolve through Server.userCohort, so keeping the
+// full list would cost O(N) for one int of information.
+type cohort struct {
+	mu        sync.Mutex
+	acc       *core.Accountant
+	firstUser int // smallest member user id
+}
+
 // Server is the trusted aggregator. It publishes a noisy histogram per
-// time step and maintains one TPL accountant per registered user.
+// time step and maintains one TPL accountant per cohort of users with
+// identical adversary models.
 type Server struct {
-	domain      int
-	users       int
+	domain  int
+	users   int
+	workers int // observe fan-out; 0 = GOMAXPROCS
+
+	mu          sync.RWMutex
 	sensitivity float64
 	rng         *rand.Rand
-
-	accountants []*core.Accountant // one per user
-	published   [][]float64        // r^1, r^2, ... (noisy histograms)
-	budgets     []float64          // eps_t actually spent
+	cohorts     []*cohort
+	userCohort  []int       // user id -> index into cohorts
+	published   [][]float64 // r^1, r^2, ... (noisy histograms)
+	budgets     []float64   // eps_t actually spent
 
 	plan     release.Plan // optional budget plan for CollectPlanned
 	planBase int          // number of steps already taken when the plan was attached
@@ -55,6 +98,12 @@ type Server struct {
 // user population. models must contain one adversary model per user; a
 // user with a nil-chains model corresponds to the traditional DP
 // adversary. rng may be nil for a deterministic default.
+//
+// Users with content-identical models (same transition probabilities,
+// including both being absent) are grouped into one cohort sharing a
+// single accountant; see the package comment. Passing the same *Chain
+// pointer to many users is the cheap way to declare a cohort — content
+// is only fingerprinted once per distinct pointer.
 func NewServer(domain, users int, models []AdversaryModel, rng *rand.Rand) (*Server, error) {
 	if domain <= 0 {
 		return nil, fmt.Errorf("stream: domain must be positive, got %d", domain)
@@ -81,28 +130,115 @@ func NewServer(domain, users int, models []AdversaryModel, rng *rand.Rand) (*Ser
 		users:       users,
 		sensitivity: mechanism.CountSensitivity,
 		rng:         rng,
+		userCohort:  make([]int, users),
 	}
-	s.accountants = make([]*core.Accountant, users)
+	byKey := make(map[string]int) // model fingerprint -> cohort index
+	fps := make(map[*markov.Chain]string)
 	for i, m := range models {
-		s.accountants[i] = core.NewAccountant(m.Backward, m.Forward)
+		// Length-prefix the backward fingerprint so the concatenation of
+		// two variable-length byte strings stays unambiguous.
+		bfp := chainFingerprint(m.Backward, fps)
+		key := strconv.Itoa(len(bfp)) + ":" + bfp + chainFingerprint(m.Forward, fps)
+		ci, ok := byKey[key]
+		if !ok {
+			ci = len(s.cohorts)
+			byKey[key] = ci
+			s.cohorts = append(s.cohorts, &cohort{acc: core.NewAccountant(m.Backward, m.Forward), firstUser: i})
+		}
+		s.userCohort[i] = ci
 	}
 	return s, nil
 }
 
+// chainFingerprint returns a content key for a chain: the raw bits of
+// its transition probabilities in row-major order (exact equality — no
+// hashing, so no collisions; a real fingerprint is at least 8 bytes, so
+// the 1-byte nil marker cannot collide with one). The per-pointer cache
+// makes the common shared-pointer population O(1) per user after the
+// first encounter.
+func chainFingerprint(c *markov.Chain, cache map[*markov.Chain]string) string {
+	if c == nil {
+		return "-"
+	}
+	if s, ok := cache[c]; ok {
+		return s
+	}
+	n := c.N()
+	var b strings.Builder
+	b.Grow(8 * n * n)
+	var buf [8]byte
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(c.Prob(i, j)))
+			b.Write(buf[:])
+		}
+	}
+	s := b.String()
+	cache[c] = s
+	return s
+}
+
+// Cohorts returns the number of distinct adversary-model cohorts the
+// population deduplicated into: the per-step accounting cost in
+// accountant updates.
+func (s *Server) Cohorts() int { return len(s.cohorts) }
+
+// CohortOf returns the cohort index user u belongs to.
+func (s *Server) CohortOf(u int) (int, error) {
+	if u < 0 || u >= s.users {
+		return 0, fmt.Errorf("stream: user %d out of range [0,%d)", u, s.users)
+	}
+	return s.userCohort[u], nil
+}
+
+// Users returns the population size.
+func (s *Server) Users() int { return s.users }
+
+// Domain returns the value-domain size.
+func (s *Server) Domain() int { return s.domain }
+
+// SetWorkers bounds the goroutines Collect fans per-cohort accountant
+// updates over. Zero (the default) means GOMAXPROCS.
+func (s *Server) SetWorkers(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	s.workers = n
+}
+
 // SetSensitivity overrides the query sensitivity (default: 1, the
 // paper's per-count convention). Use mechanism.HistogramL1Sensitivity
-// for the strict joint-histogram calibration.
+// for the strict joint-histogram calibration. When geometric noise is
+// already selected the sensitivity must stay integral — the constraint
+// is re-validated here, not just in SetNoise, so the two setters are
+// order-independent.
 func (s *Server) SetSensitivity(delta float64) error {
 	if delta <= 0 || math.IsNaN(delta) || math.IsInf(delta, 0) {
 		return fmt.Errorf("stream: sensitivity must be finite and positive, got %v", delta)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.noise == release.GeometricNoise && delta != math.Trunc(delta) {
+		return fmt.Errorf("stream: geometric noise needs integral sensitivity, got %v", delta)
 	}
 	s.sensitivity = delta
 	return nil
 }
 
+// Sensitivity returns the configured query sensitivity.
+func (s *Server) Sensitivity() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sensitivity
+}
+
 // SetNoise selects the perturbation primitive (default Laplace).
 // Geometric noise requires the sensitivity to be integral.
 func (s *Server) SetNoise(noise release.Noise) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	switch noise {
 	case release.LaplaceNoise:
 	case release.GeometricNoise:
@@ -116,12 +252,36 @@ func (s *Server) SetNoise(noise release.Noise) error {
 	return nil
 }
 
+// Noise returns the configured perturbation primitive.
+func (s *Server) Noise() release.Noise {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.noise
+}
+
 // Collect ingests the database of one time step and publishes its noisy
-// histogram under an eps-DP Laplace mechanism, updating every user's
-// leakage accountant. It returns the published histogram.
+// histogram under an eps-DP mechanism, updating every cohort's leakage
+// accountant. It returns the published histogram.
+//
+// The step is all-or-nothing: the budget, values and noise parameters
+// are validated before any accountant is touched, so a failed Collect
+// leaves no user charged for a step that was never published.
 func (s *Server) Collect(values []int, eps float64) ([]float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.collectLocked(values, eps)
+}
+
+// collectLocked is Collect with s.mu already write-held.
+func (s *Server) collectLocked(values []int, eps float64) ([]float64, error) {
 	if len(values) != s.users {
 		return nil, fmt.Errorf("%w: %d values for %d users", ErrDomainMismatch, len(values), s.users)
+	}
+	// Validate everything that can fail — budget, snapshot, mechanism
+	// parameters — before the first accountant update, so the step is
+	// atomic from the accounting point of view.
+	if err := core.CheckBudget(eps); err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
 	}
 	snap, err := mechanism.NewSnapshot(s.domain, values)
 	if err != nil {
@@ -146,21 +306,73 @@ func (s *Server) Collect(values []int, eps float64) ([]float64, error) {
 		}
 		noisy = lap.ReleaseCounts(snap.Histogram())
 	}
-	for _, acc := range s.accountants {
-		if _, err := acc.Observe(eps); err != nil {
-			return nil, err
-		}
-	}
+	s.observeAll(eps)
 	s.published = append(s.published, noisy)
 	s.budgets = append(s.budgets, eps)
 	return noisy, nil
 }
 
+// observeAll charges eps to every cohort accountant, fanning the
+// updates out over the configured worker count. eps has already passed
+// core.CheckBudget — the only error Observe can return — so an error
+// here is a core invariant violation, not an input problem, and panics
+// rather than leaving the step half-observed. The panic is raised from
+// the calling goroutine (worker errors are collected first), so a
+// recover higher up — e.g. net/http's handler recovery — confines the
+// blast radius to one request instead of the whole process.
+func (s *Server) observeAll(eps float64) {
+	workers := s.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(s.cohorts) {
+		workers = len(s.cohorts)
+	}
+	var invariant error
+	if workers <= 1 {
+		for _, c := range s.cohorts {
+			if _, err := c.acc.Observe(eps); err != nil && invariant == nil {
+				invariant = err
+			}
+		}
+	} else {
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(s.cohorts); i += workers {
+					if _, err := s.cohorts[i].acc.Observe(eps); err != nil && errs[w] == nil {
+						errs[w] = err
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				invariant = err
+				break
+			}
+		}
+	}
+	if invariant != nil {
+		panic(fmt.Sprintf("stream: validated budget rejected by accountant: %v", invariant))
+	}
+}
+
 // T returns the number of time steps published so far.
-func (s *Server) T() int { return len(s.published) }
+func (s *Server) T() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.published)
+}
 
 // Published returns the noisy histogram released at 1-based time t.
 func (s *Server) Published(t int) ([]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if t < 1 || t > len(s.published) {
 		return nil, fmt.Errorf("stream: time %d out of range [1,%d]", t, len(s.published))
 	}
@@ -168,14 +380,65 @@ func (s *Server) Published(t int) ([]float64, error) {
 }
 
 // Budgets returns a copy of the per-step budgets spent so far.
-func (s *Server) Budgets() []float64 { return append([]float64(nil), s.budgets...) }
+func (s *Server) Budgets() []float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]float64(nil), s.budgets...)
+}
+
+// Budget returns the budget spent at 1-based time t (O(1), unlike
+// copying the whole history with Budgets).
+func (s *Server) Budget(t int) (float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if t < 1 || t > len(s.budgets) {
+		return 0, fmt.Errorf("stream: time %d out of range [1,%d]", t, len(s.budgets))
+	}
+	return s.budgets[t-1], nil
+}
 
 // UserTPL returns user u's temporal privacy leakage at 1-based time t.
 func (s *Server) UserTPL(u, t int) (float64, error) {
-	if u < 0 || u >= s.users {
-		return 0, fmt.Errorf("stream: user %d out of range [0,%d)", u, s.users)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, err := s.cohortFor(u)
+	if err != nil {
+		return 0, err
 	}
-	return s.accountants[u].TPL(t)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.acc.TPL(t)
+}
+
+// UserTPLSeries returns user u's TPL at every time point published so
+// far (1-based time t is element t-1).
+func (s *Server) UserTPLSeries(u int) ([]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, err := s.cohortFor(u)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]float64, c.acc.T())
+	for t := 1; t <= len(out); t++ {
+		v, err := c.acc.TPL(t)
+		if err != nil {
+			return nil, err
+		}
+		out[t-1] = v
+	}
+	return out, nil
+}
+
+// cohortFor resolves user u's cohort; the caller holds at least a read
+// lock.
+func (s *Server) cohortFor(u int) (*cohort, error) {
+	if u < 0 || u >= s.users {
+		return nil, fmt.Errorf("stream: user %d out of range [0,%d)", u, s.users)
+	}
+	return s.cohorts[s.userCohort[u]], nil
 }
 
 // Report summarizes the privacy guarantee of everything published so
@@ -198,6 +461,8 @@ type Report struct {
 
 // Report computes the current privacy guarantee summary.
 func (s *Server) Report() (*Report, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if len(s.budgets) == 0 {
 		return &Report{}, nil
 	}
@@ -207,15 +472,22 @@ func (s *Server) Report() (*Report, error) {
 			r.NominalEventLevel = e
 		}
 	}
+	// Every member of a cohort attains the same leakage, and cohorts
+	// are ordered by first-encountered user id, so keeping the first
+	// cohort on ties makes the worst user the smallest user id
+	// attaining the maximum — the same user the pre-cohort per-user
+	// scan reported.
 	r.EventLevelAlpha = math.Inf(-1)
-	for u, acc := range s.accountants {
-		v, err := acc.MaxTPL()
+	for _, c := range s.cohorts {
+		c.mu.Lock()
+		v, err := c.acc.MaxTPL()
+		c.mu.Unlock()
 		if err != nil {
 			return nil, err
 		}
 		if v > r.EventLevelAlpha {
 			r.EventLevelAlpha = v
-			r.WorstUser = u
+			r.WorstUser = c.firstUser
 		}
 	}
 	return r, nil
@@ -224,8 +496,36 @@ func (s *Server) Report() (*Report, error) {
 // WEvent returns the worst leakage of any w-length window for user u
 // (Theorem 2 / Table II middle row).
 func (s *Server) WEvent(u, w int) (float64, error) {
-	if u < 0 || u >= s.users {
-		return 0, fmt.Errorf("stream: user %d out of range [0,%d)", u, s.users)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, err := s.cohortFor(u)
+	if err != nil {
+		return 0, err
 	}
-	return s.accountants[u].WEvent(w)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.acc.WEvent(w)
+}
+
+// MaxWEvent returns the worst w-window leakage over the whole
+// population (one accountant query per cohort) together with the
+// smallest user id attaining it (ties keep the earliest cohort, which
+// holds the smallest user id).
+func (s *Server) MaxWEvent(w int) (float64, int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	worst, worstUser := math.Inf(-1), 0
+	for _, c := range s.cohorts {
+		c.mu.Lock()
+		v, err := c.acc.WEvent(w)
+		c.mu.Unlock()
+		if err != nil {
+			return 0, 0, err
+		}
+		if v > worst {
+			worst = v
+			worstUser = c.firstUser
+		}
+	}
+	return worst, worstUser, nil
 }

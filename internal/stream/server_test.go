@@ -208,12 +208,24 @@ func TestSetNoiseGeometric(t *testing.T) {
 			t.Errorf("cell %d: geometric release %v not integral", i, v)
 		}
 	}
-	// Fractional sensitivity conflicts with geometric noise.
+	// Fractional sensitivity conflicts with geometric noise, in either
+	// setter order: SetSensitivity must re-validate against the active
+	// noise kind (regression: it used to silently break the geometric
+	// path when called after SetNoise).
+	if err := s.SetSensitivity(1.5); err == nil {
+		t.Error("fractional sensitivity should be rejected while geometric noise is active")
+	}
+	if err := s.SetNoise(release.LaplaceNoise); err != nil {
+		t.Fatal(err)
+	}
 	if err := s.SetSensitivity(1.5); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.SetNoise(release.GeometricNoise); err == nil {
 		t.Error("fractional sensitivity should reject geometric noise")
+	}
+	if err := s.SetSensitivity(1); err != nil {
+		t.Fatal(err)
 	}
 	if err := s.SetNoise(release.Noise(42)); err == nil {
 		t.Error("unknown noise kind should fail")
