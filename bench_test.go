@@ -60,7 +60,8 @@ const (
 )
 
 // BenchmarkFig5_Algorithm1_N times one full-matrix quantification
-// (all ordered row pairs) with Algorithm 1 at alpha = 10, Fig. 5(a).
+// (all ordered row pairs) with Algorithm 1 at alpha = 10, Fig. 5(a) —
+// the naive per-evaluation scan, the paper's original route.
 func BenchmarkFig5_Algorithm1_N(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	c, err := markov.UniformRandom(rng, fig5Alg1N)
@@ -68,6 +69,25 @@ func BenchmarkFig5_Algorithm1_N(b *testing.B) {
 		b.Fatal(err)
 	}
 	qt := core.NewQuantifier(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = qt.LossNaive(10)
+	}
+}
+
+// BenchmarkFig5_Compiled_N times the same quantification through the
+// compiled leakage engine (compilation amortized outside the loop) —
+// the route every production path now takes. Compare against
+// BenchmarkFig5_Algorithm1_N; see also BenchmarkEngineLoss and
+// BenchmarkEngineCompile in internal/core.
+func BenchmarkFig5_Compiled_N(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c, err := markov.UniformRandom(rng, fig5Alg1N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qt := core.NewQuantifier(c)
+	qt.Engine() // compile once outside the timer
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = qt.LossValue(10)
@@ -105,7 +125,7 @@ func BenchmarkFig5_Algorithm1_Alpha(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, a := range alphas {
-			_ = qt.LossValue(a)
+			_ = qt.LossNaive(a)
 		}
 	}
 }
@@ -169,9 +189,10 @@ func BenchmarkTableII(b *testing.B) {
 	}
 }
 
-// BenchmarkLossParallel compares the sequential and parallel full-matrix
-// quantification at n = 100 (the Fig. 5(a) regime where parallelism
-// starts paying).
+// BenchmarkLossParallel compares the naive sequential and parallel
+// full-matrix quantification at n = 100 against the compiled engine
+// (the Fig. 5(a) regime). The naive fan-out used to be the fast path;
+// the engine makes both reference scans look stationary.
 func BenchmarkLossParallel(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	c, err := markov.UniformRandom(rng, 100)
@@ -181,12 +202,19 @@ func BenchmarkLossParallel(b *testing.B) {
 	qt := core.NewQuantifier(c)
 	b.Run("sequential", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			_ = qt.LossValue(10)
+			_ = qt.LossNaive(10)
 		}
 	})
 	b.Run("parallel", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			_ = qt.LossParallel(10, 0)
+			_ = qt.LossParallelNaive(10, 0)
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		qt.Engine() // compile outside the timer
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = qt.LossValue(10)
 		}
 	})
 }

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/markov"
+	"repro/internal/matrix"
+	"repro/internal/report"
+)
+
+// The compiled-engine perf smoke: compile cost and per-evaluation cost
+// of Loss(alpha) at the three reference sizes, written as
+// BENCH_engine.json so CI can track the perf trajectory run over run.
+// n = 16 and n = 128 are dense uniform-random matrices; n = 1024 is a
+// road-network-style sparse chain (8 successors per state), the regime
+// the engine's sparse candidate extraction targets.
+
+// enginePoint is one row of BENCH_engine.json.
+type enginePoint struct {
+	N           int     `json:"n"`
+	Chain       string  `json:"chain"`
+	CompileNs   int64   `json:"compile_ns"`
+	EvalNs      float64 `json:"eval_ns"`
+	NaiveEvalNs int64   `json:"naive_eval_ns"`
+	Speedup     float64 `json:"speedup_per_eval"`
+	Pairs       int     `json:"pairs"`
+	Curves      int     `json:"curves"`
+	Frontier    int     `json:"frontier"`
+	Segments    int     `json:"segments"`
+}
+
+// engineBenchFile is the BENCH_engine.json document.
+type engineBenchFile struct {
+	Benchmark string        `json:"benchmark"`
+	Alpha     float64       `json:"alpha"`
+	Points    []enginePoint `json:"points"`
+	Note      string        `json:"note"`
+}
+
+// engineChain builds the size-n benchmark chain (dense below 1024,
+// sparse at 1024 and beyond).
+func engineChain(seed int64, n int) (*markov.Chain, string, error) {
+	rng := rand.New(rand.NewSource(seed + int64(n)))
+	if n < 1024 {
+		c, err := markov.UniformRandom(rng, n)
+		return c, "dense-random", err
+	}
+	m := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < 8; k++ {
+			m.Set(i, (i+1+rng.Intn(n-1))%n, rng.Float64()+0.05)
+		}
+		m.Set(i, i, rng.Float64()+0.05)
+	}
+	if err := m.NormalizeRows(); err != nil {
+		return nil, "", err
+	}
+	c, err := markov.New(m)
+	return c, "sparse-roadnet", err
+}
+
+// engineBench measures one size.
+func engineBench(seed int64, n int, alpha float64) (enginePoint, error) {
+	c, kind, err := engineChain(seed, n)
+	if err != nil {
+		return enginePoint{}, err
+	}
+	p := enginePoint{N: n, Chain: kind}
+
+	// Compile: average a few repetitions at the small sizes, where a
+	// single run sits near timer resolution.
+	reps := 1
+	if n <= 128 {
+		reps = 5
+	}
+	start := time.Now()
+	var qt *core.Quantifier
+	for r := 0; r < reps; r++ {
+		qt = core.NewQuantifier(c)
+		qt.Engine()
+	}
+	p.CompileNs = time.Since(start).Nanoseconds() / int64(reps)
+	st := qt.Engine().Stats()
+	p.Pairs, p.Curves, p.Frontier, p.Segments = st.Pairs, st.Curves, st.Frontier, st.Segments
+
+	// Compiled per-eval cost, amortized over a large batch.
+	const evals = 200000
+	start = time.Now()
+	for i := 0; i < evals; i++ {
+		_ = qt.LossValue(alpha)
+	}
+	p.EvalNs = float64(time.Since(start).Nanoseconds()) / evals
+
+	// Pre-refactor pair scan, for the speedup trajectory. One repetition
+	// is plenty at the large sizes (it is the slow route by construction).
+	naiveReps := 1
+	if n <= 128 {
+		naiveReps = 3
+	}
+	start = time.Now()
+	for r := 0; r < naiveReps; r++ {
+		_ = qt.LossNaive(alpha)
+	}
+	p.NaiveEvalNs = time.Since(start).Nanoseconds() / int64(naiveReps)
+	if p.EvalNs > 0 {
+		p.Speedup = float64(p.NaiveEvalNs) / p.EvalNs
+	}
+	return p, nil
+}
+
+// engineBenchSizes is the reference size grid of BENCH_engine.json.
+var engineBenchSizes = []int{16, 128, 1024}
+
+// runEngineBench measures the given sizes (the reference grid when
+// empty), optionally writes BENCH_engine.json to jsonPath, and renders
+// a table through the report writer.
+func runEngineBench(wr *report.Writer, seed int64, jsonPath string, sizes []int) error {
+	const alpha = 10.0
+	if len(sizes) == 0 {
+		sizes = engineBenchSizes
+	}
+	doc := engineBenchFile{
+		Benchmark: "engine",
+		Alpha:     alpha,
+		Note:      "compile_ns is the one-time cost per matrix; eval_ns is per Loss(alpha) after compilation; naive_eval_ns is the pre-refactor pair scan per evaluation",
+	}
+	for _, n := range sizes {
+		p, err := engineBench(seed, n, alpha)
+		if err != nil {
+			return err
+		}
+		doc.Points = append(doc.Points, p)
+	}
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	tb := &report.Table{
+		Title:  fmt.Sprintf("Compiled-engine benchmark (alpha=%g)", alpha),
+		Header: []string{"n", "chain", "compile", "eval/op", "naive eval/op", "speedup", "segments"},
+	}
+	for _, p := range doc.Points {
+		tb.AddRow(
+			fmt.Sprintf("%d", p.N), p.Chain,
+			time.Duration(p.CompileNs).String(),
+			time.Duration(int64(p.EvalNs)).String(),
+			time.Duration(p.NaiveEvalNs).String(),
+			fmt.Sprintf("%.0fx", p.Speedup),
+			fmt.Sprintf("%d", p.Segments),
+		)
+	}
+	tb.Notes = append(tb.Notes, "regenerate BENCH_engine.json with: go run ./cmd/tplbench -fig engine -engine-json BENCH_engine.json")
+	return wr.WriteTable(tb)
+}

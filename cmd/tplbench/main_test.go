@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
@@ -23,7 +24,7 @@ func TestRunEveryFigure(t *testing.T) {
 	}
 	for fig, title := range wantTitles {
 		var buf bytes.Buffer
-		if err := run(&buf, fig, false, "text", 1); err != nil {
+		if err := run(&buf, fig, false, "text", 1, ""); err != nil {
 			t.Fatalf("fig %s: %v", fig, err)
 		}
 		if !strings.Contains(buf.String(), title) {
@@ -46,7 +47,7 @@ func TestRunSlowFigures(t *testing.T) {
 	}
 	for fig, title := range wantTitles {
 		var buf bytes.Buffer
-		if err := run(&buf, fig, false, "text", 1); err != nil {
+		if err := run(&buf, fig, false, "text", 1, ""); err != nil {
 			t.Fatalf("fig %s: %v", fig, err)
 		}
 		if !strings.Contains(buf.String(), title) {
@@ -57,7 +58,7 @@ func TestRunSlowFigures(t *testing.T) {
 
 func TestRunCSVMode(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "table2", false, "csv", 1); err != nil {
+	if err := run(&buf, "table2", false, "csv", 1, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -68,7 +69,7 @@ func TestRunCSVMode(t *testing.T) {
 
 func TestRunUnknownFigure(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "nope", false, "text", 1); err == nil {
+	if err := run(&buf, "nope", false, "text", 1, ""); err == nil {
 		t.Error("unknown figure id should fail")
 	}
 }
@@ -82,7 +83,7 @@ func TestRunFig3MatchesGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "3", false, "csv", 1); err != nil {
+	if err := run(&buf, "3", false, "csv", 1, ""); err != nil {
 		t.Fatal(err)
 	}
 	if buf.String() != string(golden) {
@@ -97,7 +98,7 @@ func TestRunTable2MatchesGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "table2", false, "csv", 1); err != nil {
+	if err := run(&buf, "table2", false, "csv", 1, ""); err != nil {
 		t.Fatal(err)
 	}
 	if buf.String() != string(golden) {
@@ -108,7 +109,7 @@ func TestRunTable2MatchesGolden(t *testing.T) {
 
 func TestRunFig3PrintsPaperValues(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "3", false, "text", 1); err != nil {
+	if err := run(&buf, "3", false, "text", 1, ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, v := range []string{"0.18", "0.64", "0.50"} {
@@ -144,7 +145,7 @@ func TestEveryFastFigureRendersInAllFormats(t *testing.T) {
 	for _, fig := range []string{"1", "3", "4", "7", "table2", "mixing", "soundness"} {
 		for _, format := range []string{"text", "csv", "md", "json"} {
 			var buf bytes.Buffer
-			if err := run(&buf, fig, false, format, 1); err != nil {
+			if err := run(&buf, fig, false, format, 1, ""); err != nil {
 				t.Fatalf("fig %s format %s: %v", fig, format, err)
 			}
 			if buf.Len() == 0 {
@@ -159,7 +160,7 @@ func TestEveryFastFigureRendersInAllFormats(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "3", false, "yaml", 1); err == nil {
+	if err := run(&buf, "3", false, "yaml", 1, ""); err == nil {
 		t.Error("unknown format should fail")
 	}
 }
@@ -169,7 +170,7 @@ func TestSlowFigureJSONParses(t *testing.T) {
 		t.Skip("skipping multi-second figure regeneration in -short mode")
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "8t", false, "json", 1); err != nil {
+	if err := run(&buf, "8t", false, "json", 1, ""); err != nil {
 		t.Fatal(err)
 	}
 	tables, err := report.ParseJSONLines(&buf)
@@ -183,7 +184,7 @@ func TestRunAllEmitsDocumentHeader(t *testing.T) {
 		t.Skip("skipping full regeneration in -short mode")
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "all", false, "md", 1); err != nil {
+	if err := run(&buf, "all", false, "md", 1, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -192,5 +193,40 @@ func TestRunAllEmitsDocumentHeader(t *testing.T) {
 	}
 	if !strings.Contains(out, "go run ./cmd/tplbench -fig all -format md > EXPERIMENTS.md") {
 		t.Error("document preamble should state the regeneration command")
+	}
+}
+
+// TestEngineBenchJSON runs the compiled-engine perf smoke at tiny sizes
+// and checks both the rendered table and the machine-readable
+// BENCH_engine.json it writes for the perf trajectory.
+func TestEngineBenchJSON(t *testing.T) {
+	path := t.TempDir() + "/BENCH_engine.json"
+	var buf bytes.Buffer
+	wr, err := report.NewWriter(&buf, report.Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runEngineBench(wr, 1, path, []int{8, 16}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Compiled-engine benchmark") {
+		t.Errorf("table missing title:\n%s", out)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc engineBenchFile
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatalf("BENCH_engine.json does not parse: %v", err)
+	}
+	if doc.Benchmark != "engine" || len(doc.Points) != 2 {
+		t.Fatalf("unexpected document %+v", doc)
+	}
+	for _, p := range doc.Points {
+		if p.CompileNs <= 0 || p.EvalNs <= 0 || p.NaiveEvalNs <= 0 || p.Segments <= 0 {
+			t.Errorf("implausible point %+v", p)
+		}
 	}
 }

@@ -7,22 +7,37 @@ import (
 	"repro/internal/markov"
 )
 
+// lossQuantifier is the one capability the accountant needs from a
+// quantifier: evaluating the loss increment. It is satisfied by
+// *Quantifier (including a nil one — the no-correlation loss) and, in
+// tests, by call-counting stubs that pin down the accountant's
+// evaluation complexity.
+type lossQuantifier interface {
+	LossValue(alpha float64) float64
+}
+
 // Accountant tracks the temporal privacy leakage of an ongoing
 // continuous release against one adversary_T(P^B, P^F). Each call to
 // Observe records that an eps-DP mechanism was applied at the next time
 // step; the accountant maintains the backward leakage incrementally
-// (BPL at time t depends only on the past) and recomputes the forward
-// series lazily (FPL at every past time point grows when new releases
-// happen — Example 3).
+// (BPL at time t depends only on the past) and refreshes the forward
+// series lazily and incrementally: FPL at every past time point grows
+// when new releases happen (Example 3), but the refresh recomputes
+// backward from the new tail only until it reproduces a cached value —
+// once FPL'(t+1) equals the cached FPL(t+1), every earlier point is
+// unchanged too (the recurrence is a deterministic function of the
+// successor), so the cached prefix is reused. Saturating series (any
+// bounded-supremum correlation) therefore refresh in O(appends + tail)
+// evaluations instead of O(T).
 //
 // The zero value is not usable; construct with NewAccountant.
 // An Accountant is not safe for concurrent use.
 type Accountant struct {
-	qb, qf *Quantifier
+	qb, qf lossQuantifier
 	eps    []float64
 	bpl    []float64 // bpl[t], maintained incrementally
-	fpl    []float64 // cached FPL series, valid iff fplFresh
-	fplOK  bool
+	fpl    []float64 // cached FPL series for the first fplT observations
+	fplT   int       // observation count the fpl cache was computed at
 }
 
 // NewAccountant builds an accountant for an adversary with the given
@@ -30,11 +45,14 @@ type Accountant struct {
 // the adversary does not know that direction (the three adversary types
 // of Definition 4).
 func NewAccountant(pb, pf *markov.Chain) *Accountant {
-	return &Accountant{qb: NewQuantifier(pb), qf: NewQuantifier(pf)}
+	return NewAccountantFromQuantifiers(NewQuantifier(pb), NewQuantifier(pf))
 }
 
 // NewAccountantFromQuantifiers is NewAccountant for callers that already
-// built (and possibly share) Quantifiers.
+// built (and possibly share) Quantifiers. Quantifiers are safe to share:
+// the compiled engine is immutable, so cohorts and sessions with
+// content-identical models hand the same quantifier to many accountants
+// and pay its compilation once.
 func NewAccountantFromQuantifiers(qb, qf *Quantifier) *Accountant {
 	return &Accountant{qb: qb, qf: qf}
 }
@@ -64,7 +82,6 @@ func (a *Accountant) Observe(eps float64) (int, error) {
 		a.bpl = append(a.bpl, a.qb.LossValue(prev)+eps)
 	}
 	a.eps = append(a.eps, eps)
-	a.fplOK = false
 	return len(a.eps), nil
 }
 
@@ -165,15 +182,30 @@ func (a *Accountant) checkT(t int) error {
 	return nil
 }
 
+// refreshFPL brings the cached forward series up to date with the
+// observations. The recurrence FPL(t) = L^F(FPL(t+1)) + eps_t runs
+// backward from the new tail; as soon as a freshly computed FPL(t+1)
+// is bit-identical to the cached value for the same t+1, every earlier
+// point must agree too (same successor, same budget, same deterministic
+// loss function), and the cached prefix is copied over wholesale. Every
+// budget was validated by Observe, so unlike the batch FPLSeries there
+// is no input to reject; the error return is kept for symmetry with the
+// other accessors.
 func (a *Accountant) refreshFPL() error {
-	if a.fplOK {
+	T := len(a.eps)
+	if a.fplT == T {
 		return nil
 	}
-	fpl, err := FPLSeries(a.qf, a.eps)
-	if err != nil {
-		return err
+	old, oldT := a.fpl, a.fplT
+	fpl := make([]float64, T)
+	fpl[T-1] = a.eps[T-1]
+	for t := T - 2; t >= 0; t-- {
+		if t+1 < oldT && fpl[t+1] == old[t+1] {
+			copy(fpl[:t+1], old[:t+1])
+			break
+		}
+		fpl[t] = a.qf.LossValue(fpl[t+1]) + a.eps[t]
 	}
-	a.fpl = fpl
-	a.fplOK = true
+	a.fpl, a.fplT = fpl, T
 	return nil
 }

@@ -1,0 +1,418 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/matrix"
+)
+
+// This file implements the compiled leakage engine: a one-time analysis
+// of a transition matrix that makes every subsequent Loss(alpha)
+// evaluation a binary search plus an O(1) closed-form lookup, instead of
+// Algorithm 1's full O(n^2)-pairs-with-pruning rescan.
+//
+// The compilation rests on the structure Theorem 4 / Corollary 2 give
+// the per-pair linear-fractional program. Write x = e^alpha - 1. For an
+// ordered row pair (q, d) and a candidate subset S, the objective is
+//
+//	g_S(x) = (Q_S*x + 1) / (D_S*x + 1),  Q_S = sum_{j in S} q_j, D_S likewise.
+//
+// At the optimum the kept set is exactly {j : q_j/d_j > g*} — a
+// threshold set in the q_j/d_j ratio order (Inequality (21) with the
+// optimal ratio g* substituted). Sorting the candidates {j : q_j > d_j}
+// by ratio once therefore reduces the pair's whole loss function to
+//
+//	f_pair(alpha) = max over ratio-order prefixes k of log g_{P_k}(x),
+//
+// because the optimal threshold set is one of the prefixes P_k and every
+// subset's value is dominated by the best prefix. Each prefix is a curve
+// determined by just two scalars (Q, D); two distinct curves cross at
+// most once on x > 0; and the matrix-level loss L(alpha) = max over
+// pairs of f_pair is then the upper envelope of ALL pairs' prefix
+// curves. Compilation builds that envelope:
+//
+//  1. per pair: candidates from the q-row's non-zero support only
+//     (q_j > d_j needs q_j > 0 — sparse-row awareness, decisive for
+//     road-network chains), ratio sort, prefix sums → curves;
+//  2. dominance pruning: a Pareto frontier over (Q, D) drops every
+//     curve that is pointwise dominated for all alpha (Q' >= Q with
+//     D' <= D implies g' >= g everywhere);
+//  3. an upper-envelope sweep over the survivors orders them by their
+//     dominance intervals and records the alpha breakpoints.
+//
+// Eval(alpha) then binary-searches the breakpoints and evaluates one
+// closed form — microseconds, independent of how many pairs the matrix
+// has. Compile cost is comparable to a small constant number of naive
+// Loss evaluations, amortized after a handful of evals; the recurrences
+// (series over T, supremum probes, accountants, cohorts, sessions)
+// evaluate thousands of times per matrix.
+//
+// Numerical contract: the dominance and envelope comparisons treat the
+// rows as exactly stochastic, while Eval reproduces the naive
+// evaluator's arithmetic with the true row sums. For rows that sum to 1
+// up to float accumulation (everything the markov generators and
+// NormalizeRows produce) engine and naive scan agree to ~1e-15
+// relative, as the differential tests pin down. A row may legally be
+// off unit sum by up to markov.DefaultTol (1e-9) — e.g. hand-truncated
+// JSON input — and near-tied curves can then resolve differently,
+// degrading the agreement to the same ~1e-9 order as the input's own
+// deviation; the loss value itself is only meaningful to that precision
+// for such inputs.
+
+// curve is one candidate prefix of some ordered row pair: the subset
+// sums (q, d) over the prefix, the full row sums (exactly the dense
+// index-order accumulations, ~1 for stochastic rows, kept so the engine
+// reproduces the naive evaluator's arithmetic), and the pair identity.
+type curve struct {
+	q, d       float64
+	sumQ, sumD float64
+	rowQ, rowD int
+}
+
+// lessPair orders curves by pair identity, the deterministic tie-break
+// for content-identical curves discovered by different pairs.
+func lessPair(a, b curve) bool {
+	if a.rowQ != b.rowQ {
+		return a.rowQ < b.rowQ
+	}
+	return a.rowD < b.rowD
+}
+
+// envSeg is one segment of the compiled upper envelope: the curve and
+// the prior-leakage value from which it dominates (its dominance
+// interval runs to the next segment's alpha).
+type envSeg struct {
+	curve
+	alpha float64
+}
+
+// EngineStats describes what compilation found, for benchmarks, the
+// Fig. 5 runtime table and capacity planning.
+type EngineStats struct {
+	// N is the state-space size.
+	N int
+	// Pairs is the number of ordered row pairs with a non-empty
+	// candidate set (pairs contributing at least one curve).
+	Pairs int
+	// Curves is the total number of prefix curves considered.
+	Curves int
+	// Frontier is how many curves survived Pareto dominance pruning.
+	Frontier int
+	// Segments is the final envelope size: the number of distinct
+	// (Q, D) optima across all of alpha in (0, inf).
+	Segments int
+}
+
+// Engine is a compiled loss function for one transition matrix. It is
+// immutable after compilation and safe for concurrent use, so one
+// engine can back any number of accountants, cohorts and sessions.
+//
+// A nil *Engine represents the no-correlation (nil quantifier) loss,
+// identically zero.
+type Engine struct {
+	n     int
+	segs  []envSeg
+	stats EngineStats
+}
+
+// compileThreshold is the state-space size at and above which
+// compilation fans the pair scan out over all cores. Below it the
+// sequential sweep wins on goroutine overhead. This is also the single
+// place the parallelism decision lives: callers of Loss never pick
+// sequential vs parallel by hand anymore.
+const compileThreshold = 64
+
+// compileRows builds the engine for the given rows (the validated
+// transition matrix of a markov.Chain). The result is a deterministic
+// function of the row contents: worker striping, Pareto insertion order
+// and tie-breaks are all content-canonical, so content-equal chains
+// compile to bit-identical engines — the property the cohort and
+// session caches rely on.
+func compileRows(rows []matrix.Vector) *Engine {
+	n := len(rows)
+	e := &Engine{n: n}
+	if n < 2 {
+		e.stats.N = n
+		return e
+	}
+
+	// Sparse supports and exact dense row sums, extracted once.
+	sparse := make([]matrix.SparseRow, n)
+	for i, r := range rows {
+		for j, x := range r {
+			if x < 0 || math.IsNaN(x) {
+				panic(fmt.Sprintf("core: engine compile: negative coefficient at (%d,%d): %v", i, j, x))
+			}
+		}
+		sparse[i] = matrix.Sparsify(r)
+	}
+
+	workers := 1
+	if n >= compileThreshold {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > n {
+			workers = n
+		}
+	}
+
+	fronts := make([]*frontier, workers)
+	stats := make([]EngineStats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			f := &frontier{}
+			st := &stats[w]
+			cand := make([]int, 0, n)
+			for i := w; i < n; i += workers {
+				q := rows[i]
+				sp := sparse[i]
+				for j := 0; j < n; j++ {
+					if i == j {
+						continue
+					}
+					c, cs := pairCurves(q, rows[j], sp, sparse[j].Sum, i, j, cand, f)
+					st.Pairs += c
+					st.Curves += cs
+				}
+			}
+			fronts[w] = f
+		}(w)
+	}
+	wg.Wait()
+
+	// Merge worker frontiers. The frontier is canonical (the set of
+	// non-dominated curves does not depend on insertion order), so the
+	// merge order does not matter for the result.
+	front := fronts[0]
+	for _, f := range fronts[1:] {
+		for _, c := range f.pts {
+			front.add(c)
+		}
+	}
+	for _, st := range stats {
+		e.stats.Pairs += st.Pairs
+		e.stats.Curves += st.Curves
+	}
+	e.stats.N = n
+	e.stats.Frontier = len(front.pts)
+	e.segs = envelope(front.pts)
+	e.stats.Segments = len(e.segs)
+	return e
+}
+
+// pairCurves emits the ratio-ordered prefix curves of one ordered row
+// pair into the frontier. It returns (1, #curves) when the pair has a
+// non-empty candidate set and (0, 0) otherwise. cand is a reusable
+// scratch buffer.
+func pairCurves(q, d matrix.Vector, sp matrix.SparseRow, sumD float64, rowQ, rowD int, cand []int, f *frontier) (int, int) {
+	// Candidates per Corollary 2, restricted to the q-row's support:
+	// q_j > d_j needs q_j > 0.
+	cand = cand[:0]
+	for _, j := range sp.Index {
+		if q[j] > d[j] {
+			cand = append(cand, j)
+		}
+	}
+	if len(cand) == 0 || sumD == 0 {
+		return 0, 0
+	}
+	// Ratio order: q_j/d_j descending (d_j == 0 means +inf, first),
+	// ties by index for determinism. Cross-multiplied to avoid the
+	// division: r_a > r_b  <=>  q_a*d_b > q_b*d_a for non-negative rows.
+	sort.Slice(cand, func(x, y int) bool {
+		a, b := cand[x], cand[y]
+		l, r := q[a]*d[b], q[b]*d[a]
+		if l != r {
+			return l > r
+		}
+		return a < b
+	})
+	sumQ := sp.Sum
+	curves := 0
+	var Q, D float64
+	for k, j := range cand {
+		Q += q[j]
+		D += d[j]
+		// Within the leading d == 0 run, D stays 0 while Q grows: every
+		// prefix but the last of the run is Pareto-dominated by the
+		// run's end, so skip it outright.
+		if D == 0 && k+1 < len(cand) && d[cand[k+1]] == 0 {
+			continue
+		}
+		curves++
+		f.add(curve{q: Q, d: D, sumQ: sumQ, sumD: sumD, rowQ: rowQ, rowD: rowD})
+	}
+	return 1, curves
+}
+
+// frontier maintains the Pareto-optimal set of curves under (maximize
+// Q, minimize D): a curve with Q' >= Q and D' <= D has g' >= g for
+// every alpha, so dominated curves can never appear on the envelope.
+// Points are kept sorted by strictly increasing q and (consequently)
+// strictly increasing d.
+type frontier struct {
+	pts []curve
+}
+
+// add inserts c unless it is dominated, evicting everything c
+// dominates. Content-identical curves keep the smallest (rowQ, rowD),
+// which makes the final set independent of insertion order.
+func (f *frontier) add(c curve) {
+	pts := f.pts
+	// First point with q >= c.q holds the smallest d among all points
+	// that could dominate c.
+	i := sort.Search(len(pts), func(k int) bool { return pts[k].q >= c.q })
+	if i < len(pts) && pts[i].d <= c.d {
+		if pts[i].q == c.q && pts[i].d == c.d && lessPair(c, pts[i]) {
+			pts[i] = c
+		}
+		return
+	}
+	// Evict points dominated by c: q <= c.q with d >= c.d. Those are a
+	// suffix of [0, i) — plus pts[i] itself when it shares c.q (its d
+	// is then > c.d). Replace pts[lo:hi] with c.
+	hi := i
+	if hi < len(pts) && pts[hi].q == c.q {
+		hi++
+	}
+	lo := sort.Search(i, func(k int) bool { return pts[k].d >= c.d })
+	if lo < hi {
+		pts[lo] = c
+		pts = append(pts[:lo+1], pts[hi:]...)
+	} else { // lo == hi: nothing evicted, pure insertion at lo
+		pts = append(pts, curve{})
+		copy(pts[lo+1:], pts[lo:])
+		pts[lo] = c
+	}
+	f.pts = pts
+}
+
+// envelope computes the upper envelope of the Pareto frontier: which
+// curve attains the maximum on which alpha interval. Curves are sorted
+// by dominance order at alpha -> inf (the g -> Q/D limit, with D == 0
+// curves last, growing without bound), then swept with a convex-hull
+// style stack; distinct curves cross at most once on x > 0, which is
+// exactly the property the sweep needs.
+func envelope(pts []curve) []envSeg {
+	if len(pts) == 0 {
+		return nil
+	}
+	order := append([]curve(nil), pts...)
+	sort.Slice(order, func(x, y int) bool {
+		a, b := order[x], order[y]
+		l, r := a.q*b.d, b.q*a.d // a.q/a.d < b.q/b.d, cross-multiplied
+		if l != r {
+			return l < r
+		}
+		return a.q < b.q
+	})
+	var segs []envSeg
+	for _, c := range order {
+		for {
+			if len(segs) == 0 {
+				segs = append(segs, envSeg{curve: c, alpha: 0})
+				break
+			}
+			t := segs[len(segs)-1]
+			a, everywhere, never := crossover(t.curve, c)
+			if never {
+				// c never overtakes t (parallel curves, c below): drop c.
+				break
+			}
+			if everywhere || a <= t.alpha {
+				// t is dominated by c from before t's own interval
+				// starts: t never appears on the envelope.
+				segs = segs[:len(segs)-1]
+				continue
+			}
+			segs = append(segs, envSeg{curve: c, alpha: a})
+			break
+		}
+	}
+	return segs
+}
+
+// crossover locates where curve c (sorted after t, so dominant as
+// alpha -> inf) overtakes t. It returns the crossing alpha, or
+// everywhere=true when c is above t for all alpha > 0, or never=true
+// when c never rises above t (only possible for parallel curves).
+//
+// In x = e^alpha - 1 the difference of the two ratios has the sign of
+//
+//	x * [ x*(t.q*c.d - c.q*t.d) + (c.q + t.d - t.q - c.d) ],
+//
+// so the non-zero root is x* = num/den with num and den as below.
+func crossover(t, c curve) (alpha float64, everywhere, never bool) {
+	num := c.q + t.d - t.q - c.d
+	den := t.q*c.d - c.q*t.d // <= 0 given the sort order
+	if den == 0 {
+		// Parallel (equal-ratio) curves: the difference is linear in x
+		// with slope num.
+		if num > 0 {
+			return 0, true, false
+		}
+		return 0, false, true
+	}
+	if num >= 0 {
+		// Root at x* <= 0: on x > 0 the later-sorted curve is above.
+		return 0, true, false
+	}
+	return math.Log1p(num / den), false, false
+}
+
+// Eval evaluates the compiled loss function at prior leakage alpha,
+// returning the same LossResult the naive pair scan produces: the
+// maximal loss increment and the maximizing pair with its subset sums.
+// It runs in O(log segments).
+func (e *Engine) Eval(alpha float64) LossResult {
+	res := LossResult{RowQ: -1, RowD: -1}
+	if e == nil || alpha == 0 {
+		return res
+	}
+	if alpha < 0 || math.IsNaN(alpha) {
+		panic(fmt.Sprintf("core: engine Eval alpha must be >= 0, got %v", alpha))
+	}
+	if len(e.segs) == 0 {
+		return res
+	}
+	// Last segment whose interval starts at or before alpha. At an exact
+	// breakpoint both neighbors attain the same value; the later segment
+	// owns the point, matching the naive scan's strict-inequality
+	// subset (the threshold item is excluded at its own threshold).
+	i := sort.Search(len(e.segs), func(k int) bool { return e.segs[k].alpha > alpha }) - 1
+	if i < 0 {
+		i = 0
+	}
+	s := e.segs[i]
+	log := logAffineExp(s.q, s.sumQ, alpha) - logAffineExp(s.d, s.sumD, alpha)
+	if log <= 0 || math.IsNaN(log) {
+		return res
+	}
+	return LossResult{Log: log, QSum: s.q, DSum: s.d, RowQ: s.rowQ, RowD: s.rowD}
+}
+
+// EvalValue is Eval but returns only the increment.
+func (e *Engine) EvalValue(alpha float64) float64 { return e.Eval(alpha).Log }
+
+// Stats returns what compilation found. The zero value is returned for
+// a nil engine.
+func (e *Engine) Stats() EngineStats {
+	if e == nil {
+		return EngineStats{}
+	}
+	return e.stats
+}
+
+// N returns the state-space size the engine was compiled for.
+func (e *Engine) N() int {
+	if e == nil {
+		return 0
+	}
+	return e.n
+}

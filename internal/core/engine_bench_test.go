@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/markov"
+	"repro/internal/matrix"
+)
+
+// benchChain builds the benchmark chains: dense uniform-random up to
+// n = 128, road-network-style sparse (8 successors per state) at
+// n = 1024 — the regime the sparse-aware candidate extraction targets.
+func benchChain(b *testing.B, n int) *markov.Chain {
+	b.Helper()
+	rng := rand.New(rand.NewSource(int64(n)))
+	if n < 1024 {
+		c, err := markov.UniformRandom(rng, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	m := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < 8; k++ {
+			m.Set(i, (i+1+rng.Intn(n-1))%n, rng.Float64()+0.05)
+		}
+		m.Set(i, i, rng.Float64()+0.05)
+	}
+	if err := m.NormalizeRows(); err != nil {
+		b.Fatal(err)
+	}
+	c, err := markov.New(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+var engineBenchSizes = []int{16, 128, 1024}
+
+// BenchmarkEngineLoss times one Loss(alpha) evaluation through the
+// compiled engine (compilation excluded — it is a one-time cost, timed
+// by BenchmarkEngineCompile). The acceptance bar of the compiled-engine
+// refactor: at n = 128 this must be >= 10x faster per evaluation than
+// BenchmarkEngineNaiveLoss, the pre-refactor pair scan.
+func BenchmarkEngineLoss(b *testing.B) {
+	for _, n := range engineBenchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			qt := NewQuantifier(benchChain(b, n))
+			qt.Engine() // compile outside the timer
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = qt.LossValue(10)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineCompile times the one-time compilation: sparse
+// candidate extraction, per-pair ratio sort + prefix sums, Pareto
+// dominance pruning and the envelope sweep.
+func BenchmarkEngineCompile(b *testing.B) {
+	for _, n := range engineBenchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			c := benchChain(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = NewQuantifier(c).Engine()
+			}
+		})
+	}
+}
+
+// BenchmarkEngineNaiveLoss times the pre-refactor evaluation path the
+// engine replaced: Algorithm 1's full ordered-pair scan per Loss call.
+// Kept in-tree so the speedup claim stays measurable.
+func BenchmarkEngineNaiveLoss(b *testing.B) {
+	for _, n := range engineBenchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			qt := NewQuantifier(benchChain(b, n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = qt.LossNaive(10)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineAccountant times the end-to-end hot path the engine
+// feeds: Observe + TPL read on an accountant over an n = 128 chain,
+// incremental FPL refresh included.
+func BenchmarkEngineAccountant(b *testing.B) {
+	qt := NewQuantifier(benchChain(b, 128))
+	acc := NewAccountantFromQuantifiers(qt, qt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := acc.Observe(0.1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := acc.TPL(1 + i%acc.T()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/markov"
+)
+
+// countingLoss is a call-counting loss stub: a saturating loss function
+// (L(alpha) = min(alpha/2, 1)) whose fixed point the FPL recurrence
+// reaches after a few steps, so the incremental refresh has a cached
+// prefix to reuse. It stands in for a quantifier through the
+// accountant's lossQuantifier seam.
+type countingLoss struct {
+	calls int
+}
+
+func (c *countingLoss) LossValue(alpha float64) float64 {
+	c.calls++
+	return math.Min(alpha/2, 1)
+}
+
+// TestAccountantFPLRefreshIncremental is the regression test for the
+// O(T)-per-read refresh: after the first full computation, an Observe
+// append must cost O(appends + saturation tail) loss evaluations on the
+// next read, not a full O(T) series recompute.
+func TestAccountantFPLRefreshIncremental(t *testing.T) {
+	const T = 500
+	stub := &countingLoss{}
+	acc := &Accountant{qb: &countingLoss{}, qf: stub}
+	for i := 0; i < T; i++ {
+		if _, err := acc.Observe(2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := acc.TPL(1); err != nil { // first read: full backward sweep
+		t.Fatal(err)
+	}
+	full := stub.calls
+	if full < T-2 {
+		t.Fatalf("first refresh made %d loss calls, expected ~%d (sanity)", full, T-1)
+	}
+
+	// One append + read: the recurrence saturates (L caps at 1, so
+	// fpl[t] = 3 for every t at least two steps from the tail) and the
+	// refresh must stop as soon as it reproduces a cached value.
+	stub.calls = 0
+	if _, err := acc.Observe(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc.TPL(1); err != nil {
+		t.Fatal(err)
+	}
+	if stub.calls > 8 {
+		t.Fatalf("refresh after one append made %d loss calls, want O(1), not O(T)=%d", stub.calls, T)
+	}
+
+	// A batch of appends costs O(batch), not O(T).
+	stub.calls = 0
+	for i := 0; i < 10; i++ {
+		if _, err := acc.Observe(2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := acc.MaxTPL(); err != nil {
+		t.Fatal(err)
+	}
+	if stub.calls > 24 {
+		t.Fatalf("refresh after 10 appends made %d loss calls, want O(10), not O(T)", stub.calls)
+	}
+
+	// Reads with no intervening append must not evaluate at all.
+	stub.calls = 0
+	for tm := 1; tm <= acc.T(); tm++ {
+		if _, err := acc.FPL(tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stub.calls != 0 {
+		t.Fatalf("clean reads made %d loss calls, want 0", stub.calls)
+	}
+}
+
+// TestAccountantIncrementalMatchesBatch drives a real correlated
+// accountant through interleaved appends and reads and checks every
+// intermediate FPL value against a from-scratch batch recompute — the
+// incremental refresh is an optimization, not an approximation.
+func TestAccountantIncrementalMatchesBatch(t *testing.T) {
+	pf := markov.Fig7Forward()
+	acc := NewAccountant(markov.Fig7Backward(), pf)
+	qf := NewQuantifier(pf)
+	var eps []float64
+	budget := []float64{0.1, 0.3, 0.05, 0.2, 0.15}
+	for i := 0; i < 40; i++ {
+		e := budget[i%len(budget)]
+		eps = append(eps, e)
+		if _, err := acc.Observe(e); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 != 0 { // interleave reads to exercise partial caches
+			continue
+		}
+		want, err := FPLSeries(qf, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tm := 1; tm <= len(eps); tm++ {
+			got, err := acc.FPL(tm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want[tm-1] {
+				t.Fatalf("T=%d: FPL(%d) = %v, batch %v", len(eps), tm, got, want[tm-1])
+			}
+		}
+	}
+}
+
+// TestAccountantLongHorizonSaturates demonstrates why the incremental
+// refresh pays: under a bounded-supremum correlation the FPL series
+// saturates, so per-append refresh cost is flat in T.
+func TestAccountantLongHorizonSaturates(t *testing.T) {
+	stub := &countingLoss{}
+	acc := &Accountant{qb: &countingLoss{}, qf: stub}
+	const T = 2000
+	worstDelta := 0
+	for i := 0; i < T; i++ {
+		if _, err := acc.Observe(2); err != nil {
+			t.Fatal(err)
+		}
+		stub.calls = 0
+		if _, err := acc.FPL(1); err != nil {
+			t.Fatal(err)
+		}
+		if i >= 10 { // skip the initial sweeps while the cache warms up
+			if stub.calls > worstDelta {
+				worstDelta = stub.calls
+			}
+		}
+	}
+	if worstDelta > 8 {
+		t.Fatalf("worst per-append refresh cost %d loss calls, want flat in T", worstDelta)
+	}
+}

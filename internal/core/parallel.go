@@ -5,17 +5,34 @@ import (
 	"sync"
 )
 
-// LossParallel evaluates the loss function like Loss but fans the
-// ordered row pairs out over the given number of workers (0 means
-// GOMAXPROCS). The result is deterministic and identical to Loss: ties
-// between equal-loss pairs are broken toward the smallest (RowQ, RowD),
-// which is also the order the sequential scan discovers them in.
+// LossParallel evaluates the loss function like Loss. Before the
+// compiled engine existed this was a hand-picked alternative that
+// fanned the pair scan over worker goroutines, and series/supremum
+// callers chose between Loss and LossParallel by matrix size; both
+// entry points now evaluate through the same compiled engine, whose
+// one-time compilation parallelizes automatically above the
+// compile-time size threshold (engine.go). The workers argument is
+// retained for API compatibility and ignored.
 //
-// The paper's Fig. 5(a) workload (n = 250: ~62k pair programs) is
-// embarrassingly parallel; this is the reproduction's concession to
-// multi-core hardware, benchmarked against the sequential path in
-// BenchmarkLossParallel.
+// The pre-refactor fan-out survives as LossParallelNaive, the parallel
+// counterpart of the LossNaive reference scan.
 func (qt *Quantifier) LossParallel(alpha float64, workers int) LossResult {
+	_ = workers
+	return qt.Loss(alpha)
+}
+
+// LossParallelNaive evaluates the loss function like LossNaive but fans
+// the ordered row pairs out over the given number of workers (0 means
+// GOMAXPROCS). The result is deterministic and identical to LossNaive:
+// ties between equal-loss pairs are broken toward the smallest
+// (RowQ, RowD), which is also the order the sequential scan discovers
+// them in.
+//
+// Like LossNaive this is a reference implementation, kept for
+// differential tests and for the benchmarks that document what the
+// compiled engine replaced (BenchmarkLossParallel,
+// BenchmarkEngineNaiveLoss).
+func (qt *Quantifier) LossParallelNaive(alpha float64, workers int) LossResult {
 	res := LossResult{RowQ: -1, RowD: -1}
 	if qt == nil || alpha == 0 {
 		return res
@@ -24,7 +41,7 @@ func (qt *Quantifier) LossParallel(alpha float64, workers int) LossResult {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 || qt.n < 4 {
-		return qt.Loss(alpha)
+		return qt.LossNaive(alpha)
 	}
 
 	results := make([]LossResult, workers)

@@ -50,8 +50,10 @@ func BPLSeries(qb *Quantifier, eps []float64) ([]float64, error) {
 // case FPL(t) = eps_t.
 //
 // Note the direction: FPL at time t grows as *future* releases happen,
-// so the whole series must be recomputed when T extends (the Accountant
-// does this lazily).
+// so extending T changes earlier values too. This batch form always
+// computes the full series; the Accountant refreshes incrementally,
+// recomputing backward from the new tail only until it reproduces a
+// cached value.
 func FPLSeries(qf *Quantifier, eps []float64) ([]float64, error) {
 	if err := validateBudgets(eps); err != nil {
 		return nil, err

@@ -175,7 +175,8 @@ func TestFig5NShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pts) != 4 {
+	// Each Algorithm-1 size also yields a compiled-engine point.
+	if len(pts) != 6 {
 		t.Fatalf("%d points", len(pts))
 	}
 	// Algorithm 1 at n=20 must be far faster than simplex at n=6 per
@@ -197,6 +198,9 @@ func TestFig5NShape(t *testing.T) {
 	if !strings.Contains(buf.String(), "Algorithm 1") {
 		t.Error("table missing solver name")
 	}
+	if !strings.Contains(buf.String(), "compiled-engine") {
+		t.Error("table missing compiled-engine column")
+	}
 }
 
 func TestFig5AlphaRuns(t *testing.T) {
@@ -205,7 +209,8 @@ func TestFig5AlphaRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pts) != 6 {
+	// Three solvers per alpha: Algorithm 1, compiled-engine, simplex.
+	if len(pts) != 9 {
 		t.Fatalf("%d points", len(pts))
 	}
 }

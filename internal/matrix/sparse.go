@@ -1,0 +1,39 @@
+package matrix
+
+// SparseRow is a compressed view of one matrix row: the indices and
+// values of its non-zero entries plus the full-row sum. Road-network
+// transition matrices — the paper's Fig. 1 setting — have a handful of
+// reachable successors per state, so algorithms that only care about
+// positive mass (candidate-set construction in the leakage LFP, support
+// walks) scan len(Index) entries instead of the full dimension.
+type SparseRow struct {
+	// Index holds the positions of the non-zero entries, increasing.
+	Index []int
+	// Value holds the entries at the corresponding positions.
+	Value []float64
+	// Sum is the sum over the whole row (zeros included, so it is the
+	// exact same accumulation a dense scan in index order produces).
+	Sum float64
+}
+
+// NNZ returns the number of non-zero entries.
+func (s SparseRow) NNZ() int { return len(s.Index) }
+
+// Sparsify compresses a dense vector into its non-zero support. The
+// returned SparseRow does not alias v.
+func Sparsify(v Vector) SparseRow {
+	s := SparseRow{}
+	for j, x := range v {
+		s.Sum += x
+		if x != 0 {
+			s.Index = append(s.Index, j)
+			s.Value = append(s.Value, x)
+		}
+	}
+	return s
+}
+
+// SparseRow returns row i compressed to its non-zero support.
+func (m *Matrix) SparseRow(i int) SparseRow {
+	return Sparsify(m.Row(i))
+}

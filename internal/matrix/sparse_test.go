@@ -1,0 +1,47 @@
+package matrix
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSparsify(t *testing.T) {
+	s := Sparsify(Vector{0, 0.25, 0, 0.75, 0})
+	if !reflect.DeepEqual(s.Index, []int{1, 3}) {
+		t.Errorf("Index = %v", s.Index)
+	}
+	if !reflect.DeepEqual(s.Value, []float64{0.25, 0.75}) {
+		t.Errorf("Value = %v", s.Value)
+	}
+	if s.Sum != 1 || s.NNZ() != 2 {
+		t.Errorf("Sum = %v, NNZ = %d", s.Sum, s.NNZ())
+	}
+	empty := Sparsify(Vector{0, 0, 0})
+	if empty.NNZ() != 0 || empty.Sum != 0 {
+		t.Errorf("empty row: %+v", empty)
+	}
+}
+
+func TestSparsifySumMatchesDenseOrder(t *testing.T) {
+	// The Sum must be the exact index-order accumulation a dense scan
+	// produces — the engine relies on reproducing the naive arithmetic.
+	v := Vector{0.1, 0.7, 0, 0.2, 1e-17}
+	dense := 0.0
+	for _, x := range v {
+		dense += x
+	}
+	if got := Sparsify(v).Sum; got != dense {
+		t.Errorf("Sum = %v, dense accumulation %v", got, dense)
+	}
+}
+
+func TestMatrixSparseRow(t *testing.T) {
+	m := MustFromRows([][]float64{{0.5, 0, 0.5}, {0, 1, 0}})
+	s := m.SparseRow(1)
+	if !reflect.DeepEqual(s.Index, []int{1}) || s.Value[0] != 1 {
+		t.Errorf("SparseRow(1) = %+v", s)
+	}
+	if first := m.SparseRow(0); !reflect.DeepEqual(first.Index, []int{0, 2}) {
+		t.Errorf("SparseRow(0) = %+v", first)
+	}
+}

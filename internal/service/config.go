@@ -223,8 +223,19 @@ func (p *PlanConfig) buildPlan(first stream.AdversaryModel) (release.Plan, error
 	}
 }
 
-// Build assembles the configured stream.Server.
+// Build assembles the configured stream.Server with a private
+// compiled-model cache. The registry uses BuildCached so sessions share
+// compiled correlation models.
 func (c *SessionConfig) Build() (*stream.Server, error) {
+	return c.BuildCached(nil)
+}
+
+// BuildCached assembles the configured stream.Server, deduplicating
+// compiled correlation models through the given cache (nil for a
+// private one). Sessions declaring content-identical chains — the
+// common case when many tenants defend against the same public road
+// map — then share one compiled leakage engine per distinct matrix.
+func (c *SessionConfig) BuildCached(cache *stream.ModelCache) (*stream.Server, error) {
 	models, err := c.models()
 	if err != nil {
 		return nil, err
@@ -235,7 +246,7 @@ func (c *SessionConfig) Build() (*stream.Server, error) {
 			return nil, err
 		}
 	}
-	srv, err := stream.NewServer(c.Domain, len(models), models, rand.New(rand.NewSource(seed)))
+	srv, err := stream.NewServerCached(c.Domain, len(models), models, rand.New(rand.NewSource(seed)), cache)
 	if err != nil {
 		return nil, err
 	}

@@ -111,18 +111,33 @@ func (s *Session) Summary() Summary {
 
 // Registry is the concurrency-safe session store. The zero value is not
 // usable; construct with NewRegistry.
+//
+// The registry owns a compiled-model cache shared by every session it
+// creates: tenants declaring content-identical correlation chains reuse
+// one compiled leakage engine per distinct transition matrix instead of
+// re-quantifying it per session.
 type Registry struct {
 	mu         sync.RWMutex
 	sessions   map[string]*Session
 	totalUsers int              // declared population across all sessions
 	capacity   int              // aggregate population ceiling; lowered in tests
 	now        func() time.Time // injectable for tests
+	models     *stream.ModelCache
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{sessions: make(map[string]*Session), capacity: maxTotalUsers, now: time.Now}
+	return &Registry{
+		sessions: make(map[string]*Session),
+		capacity: maxTotalUsers,
+		now:      time.Now,
+		models:   stream.NewModelCache(),
+	}
 }
+
+// ModelCache exposes the registry's shared compiled-model cache (for
+// stats reporting and tests).
+func (r *Registry) ModelCache() *stream.ModelCache { return r.models }
 
 // checkName validates a session name: non-empty, at most 128 bytes, no
 // path or whitespace characters (names appear in URL paths).
@@ -159,7 +174,7 @@ func (r *Registry) Create(cfg *SessionConfig) (*Session, error) {
 	if over {
 		return nil, fmt.Errorf("%w: %d users in use, %d requested, limit %d", ErrCapacity, r.Users(), pop, r.capacity)
 	}
-	srv, err := cfg.Build()
+	srv, err := cfg.BuildCached(r.models)
 	if err != nil {
 		return nil, err
 	}

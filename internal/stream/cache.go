@@ -1,0 +1,81 @@
+package stream
+
+import (
+	"crypto/sha256"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/markov"
+)
+
+// defaultModelCacheCap bounds the number of distinct compiled models a
+// cache retains. Compiled engines are immutable but not free (the
+// envelope plus the quantifier's row copies); a long-lived service fed
+// adversarial configs must not grow without bound. At the cap the cache
+// stops inserting and hands out uncached quantifiers — correctness is
+// unaffected, only the sharing.
+const defaultModelCacheCap = 1024
+
+// ModelCache deduplicates compiled correlation models by chain content.
+// Quantifiers compile their pair structure once (core.Engine) and are
+// immutable afterwards, so any number of cohorts, servers and sessions
+// can share one compiled model per distinct transition matrix: the
+// cache is what turns "every session re-quantifies the same road map"
+// into "the fleet compiles each map once".
+//
+// A ModelCache is safe for concurrent use. The zero value is not
+// usable; construct with NewModelCache.
+type ModelCache struct {
+	mu     sync.Mutex
+	m      map[[sha256.Size]byte]*core.Quantifier
+	cap    int
+	hits   int64
+	misses int64
+}
+
+// NewModelCache creates an empty cache with the default capacity.
+func NewModelCache() *ModelCache {
+	return &ModelCache{m: make(map[[sha256.Size]byte]*core.Quantifier), cap: defaultModelCacheCap}
+}
+
+// quantifier returns the shared quantifier for a chain, keyed by the
+// caller-computed content fingerprint, building and caching it on first
+// sight. A nil chain is the no-correlation model: nil quantifier,
+// nothing cached. The raw fingerprint is 8*n² bytes of matrix content;
+// the cache keys by its SHA-256 so a long-lived process retains 32
+// bytes per model, not the matrix dump, and map probes stay O(1)-sized.
+func (mc *ModelCache) quantifier(c *markov.Chain, fp string) *core.Quantifier {
+	if c == nil {
+		return nil
+	}
+	key := sha256.Sum256([]byte(fp))
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if q, ok := mc.m[key]; ok {
+		mc.hits++
+		return q
+	}
+	mc.misses++
+	q := core.NewQuantifier(c)
+	if len(mc.m) < mc.cap {
+		mc.m[key] = q
+	}
+	return q
+}
+
+// ModelCacheStats is a point-in-time snapshot of cache effectiveness.
+type ModelCacheStats struct {
+	// Size is the number of distinct compiled models retained.
+	Size int
+	// Hits counts lookups answered by an already-compiled model.
+	Hits int64
+	// Misses counts lookups that had to compile.
+	Misses int64
+}
+
+// Stats snapshots the cache counters.
+func (mc *ModelCache) Stats() ModelCacheStats {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return ModelCacheStats{Size: len(mc.m), Hits: mc.hits, Misses: mc.misses}
+}

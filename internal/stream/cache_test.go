@@ -1,0 +1,169 @@
+package stream
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/markov"
+)
+
+// TestModelCacheDedup checks that a server compiles each distinct chain
+// content once: cohorts sharing a chain (even across the
+// backward/forward roles) hit the cache, and leakage is unchanged.
+func TestModelCacheDedup(t *testing.T) {
+	pb, pf := markov.Fig7Backward(), markov.Fig7Forward()
+	pbCopy, err := markov.New(pb.P())
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := []AdversaryModel{
+		{Backward: pb, Forward: pf},
+		{Backward: pbCopy},          // same backward content, new cohort
+		{Backward: pf, Forward: pb}, // roles swapped: same two chains
+		{},
+	}
+	cache := NewModelCache()
+	s, err := NewServerCached(pb.N(), len(models), models, rand.New(rand.NewSource(2)), cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	// Two distinct chain contents total, across four cohorts and both
+	// correlation roles.
+	if st.Size != 2 || st.Misses != 2 {
+		t.Fatalf("cache stats %+v, want 2 compiled models", st)
+	}
+	if st.Hits == 0 {
+		t.Fatalf("cache stats %+v, expected hits from shared contents", st)
+	}
+	if _, err := s.Collect(make([]int, len(models)), 0.2); err != nil {
+		t.Fatal(err)
+	}
+	// Shared engines must not change the numbers: compare against
+	// dedicated accountants.
+	for u, m := range models {
+		acc := core.NewAccountant(m.Backward, m.Forward)
+		if _, err := acc.Observe(0.2); err != nil {
+			t.Fatal(err)
+		}
+		want, err := acc.TPL(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.UserTPL(u, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("user %d: TPL %v with shared engine, %v dedicated", u, got, want)
+		}
+	}
+}
+
+// TestModelCacheAcrossServers shares one cache between servers — the
+// session-registry pattern — and checks the second server compiles
+// nothing new.
+func TestModelCacheAcrossServers(t *testing.T) {
+	pb, pf := markov.Fig7Backward(), markov.Fig7Forward()
+	models := []AdversaryModel{{Backward: pb, Forward: pf}, {Backward: pb}}
+	cache := NewModelCache()
+	s1, err := NewServerCached(pb.N(), len(models), models, rand.New(rand.NewSource(3)), cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := cache.Stats().Misses
+	// Content-equal chains under fresh pointers: still fully cached.
+	pb2, err := markov.New(pb.P())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf2, err := markov.New(pf.P())
+	if err != nil {
+		t.Fatal(err)
+	}
+	models2 := []AdversaryModel{{Backward: pb2, Forward: pf2}}
+	s2, err := NewServerCached(pb.N(), 1, models2, rand.New(rand.NewSource(4)), cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Misses != misses {
+		t.Fatalf("second server compiled %d new models, want 0 (stats %+v)", st.Misses-misses, st)
+	}
+	// Both servers account identically for the shared model.
+	for i := 0; i < 3; i++ {
+		if _, err := s1.Collect(make([]int, 2), 0.1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s2.Collect(make([]int, 1), 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := s1.UserTPL(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s2.UserTPL(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("shared-model TPL diverged across servers: %v vs %v", a, b)
+	}
+}
+
+// TestModelCacheSharedRace is the race test for compiled engines shared
+// across cohorts and servers: many servers built concurrently from one
+// cache, collecting and reading concurrently, all over the same two
+// chains (run under -race in CI).
+func TestModelCacheSharedRace(t *testing.T) {
+	pb, pf := markov.Fig7Backward(), markov.Fig7Forward()
+	cache := NewModelCache()
+	const servers = 6
+	var wg sync.WaitGroup
+	for g := 0; g < servers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			models := []AdversaryModel{
+				{Backward: pb, Forward: pf},
+				{Backward: pb},
+				{},
+			}
+			s, err := NewServerCached(pb.N(), len(models), models, rand.New(rand.NewSource(int64(g))), cache)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			values := make([]int, len(models))
+			var inner sync.WaitGroup
+			inner.Add(1)
+			go func() { // concurrent reader against this server
+				defer inner.Done()
+				for i := 0; i < 20; i++ {
+					if s.T() > 0 {
+						if _, err := s.Report(); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+			}()
+			for i := 0; i < 20; i++ {
+				if _, err := s.Collect(values, 0.05); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			inner.Wait()
+			if _, err := s.UserTPL(0, 20); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := cache.Stats(); st.Misses != 2 {
+		t.Fatalf("compiled %d models across %d racing servers, want 2 (stats %+v)", st.Misses, servers, st)
+	}
+}

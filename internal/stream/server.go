@@ -104,7 +104,21 @@ type Server struct {
 // single accountant; see the package comment. Passing the same *Chain
 // pointer to many users is the cheap way to declare a cohort — content
 // is only fingerprinted once per distinct pointer.
+//
+// Compiled correlation models are additionally deduplicated by chain
+// content within the server: cohorts whose backward or forward chains
+// coincide share one core.Quantifier, so each distinct transition
+// matrix compiles its leakage engine exactly once. Use NewServerCached
+// to extend that sharing across servers.
 func NewServer(domain, users int, models []AdversaryModel, rng *rand.Rand) (*Server, error) {
+	return NewServerCached(domain, users, models, rng, nil)
+}
+
+// NewServerCached is NewServer with an explicit compiled-model cache,
+// letting many servers (the service registry's sessions) share one
+// compiled engine per distinct chain content. A nil cache gives the
+// server a private one.
+func NewServerCached(domain, users int, models []AdversaryModel, rng *rand.Rand, cache *ModelCache) (*Server, error) {
 	if domain <= 0 {
 		return nil, fmt.Errorf("stream: domain must be positive, got %d", domain)
 	}
@@ -125,6 +139,9 @@ func NewServer(domain, users int, models []AdversaryModel, rng *rand.Rand) (*Ser
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
+	if cache == nil {
+		cache = NewModelCache()
+	}
 	s := &Server{
 		domain:      domain,
 		users:       users,
@@ -138,12 +155,19 @@ func NewServer(domain, users int, models []AdversaryModel, rng *rand.Rand) (*Ser
 		// Length-prefix the backward fingerprint so the concatenation of
 		// two variable-length byte strings stays unambiguous.
 		bfp := chainFingerprint(m.Backward, fps)
-		key := strconv.Itoa(len(bfp)) + ":" + bfp + chainFingerprint(m.Forward, fps)
+		ffp := chainFingerprint(m.Forward, fps)
+		key := strconv.Itoa(len(bfp)) + ":" + bfp + ffp
 		ci, ok := byKey[key]
 		if !ok {
 			ci = len(s.cohorts)
 			byKey[key] = ci
-			s.cohorts = append(s.cohorts, &cohort{acc: core.NewAccountant(m.Backward, m.Forward), firstUser: i})
+			// The quantifiers come from the content-keyed cache: cohorts
+			// (and, with a shared cache, whole servers) with the same
+			// chain reuse one compiled engine. Compilation is a
+			// deterministic function of chain content, so sharing is
+			// invisible to the accounting.
+			acc := core.NewAccountantFromQuantifiers(cache.quantifier(m.Backward, bfp), cache.quantifier(m.Forward, ffp))
+			s.cohorts = append(s.cohorts, &cohort{acc: acc, firstUser: i})
 		}
 		s.userCohort[i] = ci
 	}
