@@ -478,3 +478,57 @@ func BenchmarkBaumWelch(b *testing.B) {
 		}
 	}
 }
+
+// snapshotBenchServer builds a stepped server at population scale for
+// the durability benchmarks: N users over 10 correlation classes, T=32
+// published steps of history.
+func snapshotBenchServer(b *testing.B, users int) *stream.Server {
+	b.Helper()
+	models := serverBenchModels(b, users, 10)
+	s, err := stream.NewServer(serverBenchDomain, users, models, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	values := serverBenchValues(users)
+	for t := 0; t < 32; t++ {
+		if _, err := s.Collect(values, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// BenchmarkSnapshot measures capturing a server's full state — the
+// coalesced cost the service pays every -snapshot-every steps. The
+// dominant term at scale is copying the per-user cohort map, so ns/op
+// grows linearly in users while journal appends (per step) stay O(domain).
+func BenchmarkSnapshot(b *testing.B) {
+	for _, users := range []int{1000, 100000} {
+		b.Run(fmt.Sprintf("users=%d", users), func(b *testing.B) {
+			s := snapshotBenchServer(b, users)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = s.Snapshot()
+			}
+		})
+	}
+}
+
+// BenchmarkRestore measures rebuilding a live server from a snapshot —
+// the boot-time cost per session. The compiled-model cache is shared
+// across iterations, as the registry shares it across sessions, so
+// this times restore proper, not engine compilation.
+func BenchmarkRestore(b *testing.B) {
+	for _, users := range []int{1000, 100000} {
+		b.Run(fmt.Sprintf("users=%d", users), func(b *testing.B) {
+			st := snapshotBenchServer(b, users).Snapshot()
+			cache := stream.NewModelCache()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := stream.RestoreServer(st, stream.RestoreOptions{Cache: cache}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

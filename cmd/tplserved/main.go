@@ -5,6 +5,16 @@
 // Usage:
 //
 //	tplserved -addr :8344
+//	tplserved -addr :8344 -state-dir /var/lib/tplserved -snapshot-every 64
+//
+// With -state-dir the accounting is durable: each session's leakage
+// state is snapshotted (coalesced, atomically replaced) and every step
+// is appended to a per-session journal, so a crash — even SIGKILL —
+// recovers to the exact leakage series via snapshot + journal replay,
+// and a restart restores all sessions before serving. Without it a
+// restart forgets all sessions (and with them every user's accumulated
+// leakage), which would let an operator reset privacy budgets by
+// bouncing the process.
 //
 // Sessions are created over the API, collect time steps with explicit
 // or planned budgets, and answer leakage queries; users declaring
@@ -36,13 +46,15 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8344", "listen address (host:port; port 0 picks a free port)")
-		quiet = flag.Bool("quiet", false, "suppress serving logs")
+		addr          = flag.String("addr", ":8344", "listen address (host:port; port 0 picks a free port)")
+		quiet         = flag.Bool("quiet", false, "suppress serving logs")
+		stateDir      = flag.String("state-dir", "", "directory for durable session state (snapshots + step journals); empty = ephemeral, state dies with the process")
+		snapshotEvery = flag.Int("snapshot-every", 0, "steps between coalesced session snapshots (0 = default; journal records are appended every step regardless)")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *quiet, nil); err != nil {
+	if err := run(ctx, *addr, *quiet, *stateDir, *snapshotEvery, nil); err != nil {
 		fmt.Fprintf(os.Stderr, "tplserved: %v\n", err)
 		os.Exit(1)
 	}
@@ -50,10 +62,14 @@ func main() {
 
 // run serves until ctx is cancelled. ready, when non-nil, learns the
 // bound address (tests listen on port 0).
-func run(ctx context.Context, addr string, quiet bool, ready func(net.Addr)) error {
+func run(ctx context.Context, addr string, quiet bool, stateDir string, snapshotEvery int, ready func(net.Addr)) error {
 	var logger *log.Logger
 	if !quiet {
 		logger = log.New(os.Stderr, "", log.LstdFlags)
 	}
-	return service.New(addr, logger).Run(ctx, ready)
+	srv, err := service.NewWithOptions(addr, logger, service.Options{StateDir: stateDir, SnapshotEvery: snapshotEvery})
+	if err != nil {
+		return err
+	}
+	return srv.Run(ctx, ready)
 }

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestKillAndRecover is the crash-safety acceptance test: a tplserved
+// child is SIGKILLed mid-stream (no graceful shutdown, so recovery runs
+// from the last coalesced snapshot plus the journal tail), restarted on
+// the same state dir, and driven to the end of the stream. Every
+// leakage answer — per-user TPL series, the report, the w-event
+// maximum — and even the published histograms must match an
+// uninterrupted in-process control run bit for bit.
+func TestKillAndRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("child-process recovery test skipped in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not in PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "tplserved")
+	if out, err := exec.Command(goBin, "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	stateDir := t.TempDir()
+
+	const (
+		sessionJSON = `{"name":"crashy","domain":2,"seed":424242,` +
+			`"cohorts":[{"users":3,"model":{"backward":{"rows":[[0.8,0.2],[0.3,0.7]]},"forward":{"rows":[[0.6,0.4],[0.1,0.9]]}}},` +
+			`{"users":2,"model":{}}]}`
+		users      = 5
+		totalSteps = 18
+		killAfter  = 12 // snapshots land at 5 and 10; the journal holds 11..12
+	)
+	values := func(i int) []int {
+		v := make([]int, users)
+		for u := range v {
+			v[u] = (i*7 + u*3) % 2
+		}
+		return v
+	}
+	eps := func(i int) float64 { return 0.1 + 0.05*float64(i%3) }
+
+	postStep := func(base string, i int) error {
+		body, _ := json.Marshal(map[string]any{"values": values(i), "eps": eps(i)})
+		resp, err := http.Post(base+"/v1/sessions/crashy/steps", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			out, _ := io.ReadAll(resp.Body)
+			return fmt.Errorf("step %d: %d: %s", i, resp.StatusCode, out)
+		}
+		return nil
+	}
+
+	// --- interrupted run, phase 1: serve, step, SIGKILL ---
+	child, base := startChild(t, bin, stateDir)
+	createResp, err := http.Post(base+"/v1/sessions", "application/json", strings.NewReader(sessionJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if createResp.StatusCode != http.StatusCreated {
+		out, _ := io.ReadAll(createResp.Body)
+		t.Fatalf("create: %d: %s", createResp.StatusCode, out)
+	}
+	createResp.Body.Close()
+	for i := 1; i <= killAfter; i++ {
+		if err := postStep(base, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := child.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_ = child.Wait()
+
+	// --- interrupted run, phase 2: restart on the same state dir ---
+	child2, base2 := startChild(t, bin, stateDir)
+	defer func() {
+		_ = child2.Process.Signal(syscall.SIGKILL)
+		_ = child2.Wait()
+	}()
+	var health struct {
+		Sessions    int `json:"sessions"`
+		Persistence struct {
+			Mode string `json:"mode"`
+		} `json:"persistence"`
+	}
+	getJSON(t, base2+"/healthz", &health)
+	if health.Sessions != 1 || health.Persistence.Mode != "durable" {
+		t.Fatalf("restarted health: %+v", health)
+	}
+	for i := killAfter + 1; i <= totalSteps; i++ {
+		if err := postStep(base2, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// --- control run: same session, uninterrupted, in process ---
+	api := service.NewAPI()
+	ctl := httptest.NewServer(api.Handler())
+	defer ctl.Close()
+	resp, err := http.Post(ctl.URL+"/v1/sessions", "application/json", strings.NewReader(sessionJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for i := 1; i <= totalSteps; i++ {
+		if err := postStep(ctl.URL, i); err != nil {
+			t.Fatalf("control %v", err)
+		}
+	}
+
+	// --- equality ---
+	for u := 0; u < users; u++ {
+		var got, want struct {
+			TPL []float64 `json:"tpl"`
+		}
+		getJSON(t, fmt.Sprintf("%s/v1/sessions/crashy/tpl?user=%d", base2, u), &got)
+		getJSON(t, fmt.Sprintf("%s/v1/sessions/crashy/tpl?user=%d", ctl.URL, u), &want)
+		if len(got.TPL) != totalSteps || len(want.TPL) != totalSteps {
+			t.Fatalf("user %d: series lengths %d/%d", u, len(got.TPL), len(want.TPL))
+		}
+		for i := range want.TPL {
+			if got.TPL[i] != want.TPL[i] {
+				t.Fatalf("user %d TPL[%d]: recovered %v != control %v", u, i, got.TPL[i], want.TPL[i])
+			}
+		}
+	}
+	var gotRep, wantRep map[string]any
+	getJSON(t, base2+"/v1/sessions/crashy/report", &gotRep)
+	getJSON(t, ctl.URL+"/v1/sessions/crashy/report", &wantRep)
+	for k, v := range wantRep {
+		if gotRep[k] != v {
+			t.Fatalf("report %q: recovered %v != control %v", k, gotRep[k], v)
+		}
+	}
+	var gotW, wantW map[string]any
+	getJSON(t, base2+"/v1/sessions/crashy/wevent?w=3", &gotW)
+	getJSON(t, ctl.URL+"/v1/sessions/crashy/wevent?w=3", &wantW)
+	if gotW["leakage"] != wantW["leakage"] || gotW["user"] != wantW["user"] {
+		t.Fatalf("wevent: recovered %v != control %v", gotW, wantW)
+	}
+	// The session's seed is an explicit opt-in, so even the noise
+	// stream must have survived the kill: every published histogram
+	// matches the control run.
+	var gotPub, wantPub struct {
+		Published [][]float64 `json:"published"`
+	}
+	getJSON(t, base2+"/v1/sessions/crashy/published", &gotPub)
+	getJSON(t, ctl.URL+"/v1/sessions/crashy/published", &wantPub)
+	if len(gotPub.Published) != totalSteps {
+		t.Fatalf("published history %d steps", len(gotPub.Published))
+	}
+	for i := range wantPub.Published {
+		for j := range wantPub.Published[i] {
+			if gotPub.Published[i][j] != wantPub.Published[i][j] {
+				t.Fatalf("published[%d][%d]: recovered %v != control %v", i, j, gotPub.Published[i][j], wantPub.Published[i][j])
+			}
+		}
+	}
+}
+
+// startChild launches the built tplserved on a free port with the given
+// state dir and returns the running command plus its base URL, parsed
+// from the listen log line.
+func startChild(t *testing.T, bin, stateDir string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-state-dir", stateDir, "-snapshot-every", "5")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Signal(syscall.SIGKILL)
+		_, _ = cmd.Process.Wait()
+	})
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				addrc <- strings.TrimSpace(line[i+len("listening on "):])
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		base := "http://" + addr
+		// The listener is up before the log line, but be patient anyway.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Get(base + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				return cmd, base
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("child never became healthy: %v", err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("child never logged its listen address")
+	}
+	panic("unreachable")
+}
+
+// getJSON fetches and decodes one JSON response.
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		out, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, out)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}

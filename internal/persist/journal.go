@@ -1,0 +1,128 @@
+package persist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+)
+
+// The journal is the write-ahead half of recovery: snapshots are
+// coalesced (expensive, every N steps), journal records are appended
+// every step, and recovery replays the journal tail on top of the last
+// snapshot. Records are full envelopes back to back, so each carries
+// its own checksum; a SIGKILL mid-append leaves a torn final record,
+// which Replay detects and ignores — everything before it is intact.
+//
+// Appends are plain writes (no per-record fsync): process death never
+// loses page-cache data, so the kill-and-recover contract holds without
+// paying an fsync per step; only a whole-machine power loss can lose
+// the un-synced tail. Sync is exposed for callers that want a stronger
+// barrier at checkpoints.
+
+// Journal is an append-only record log for one session.
+type Journal struct {
+	f    *os.File
+	path string
+}
+
+// OpenJournal opens (creating if needed) the session's journal for
+// appending.
+func (s *Store) OpenJournal(name string) (*Journal, error) {
+	if err := checkSessionName(name); err != nil {
+		return nil, err
+	}
+	path := s.journalPath(name)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: opening journal: %w", err)
+	}
+	return &Journal{f: f, path: path}, nil
+}
+
+// Append writes one record (an envelope framing body) to the journal.
+func (j *Journal) Append(version uint32, body []byte) error {
+	return EncodeEnvelope(j.f, version, body)
+}
+
+// Sync flushes appended records to stable storage.
+func (j *Journal) Sync() error { return j.f.Sync() }
+
+// Close closes the journal file.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// Reset truncates the journal to empty — called right after a snapshot
+// lands, since everything the journal held is now covered by it. The
+// order (snapshot first, truncate second) means a crash between the two
+// leaves a journal whose records are all already in the snapshot;
+// replay must therefore tolerate records at or before the snapshot's
+// position, which the service does by skipping records by step index.
+func (j *Journal) Reset() error {
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("persist: truncating journal: %w", err)
+	}
+	// O_APPEND writes position themselves at the (now zero) end; no seek
+	// is needed, and the file offset staying large is harmless.
+	return nil
+}
+
+// ReplayResult reports what a journal replay found.
+type ReplayResult struct {
+	// Records is the number of intact records handed to the callback.
+	Records int
+	// Torn reports whether the journal ended in a torn or corrupt
+	// record (ignored — the expected shape after a crash mid-append).
+	Torn bool
+}
+
+// ReplayJournal streams every intact record of the session's journal to
+// fn, in order. It stops cleanly at EOF or at the first torn/corrupt
+// record — everything before a bad record is trusted (each record
+// carries its own checksum), everything from it on is not. A missing
+// journal file replays zero records: a session that never stepped has
+// nothing to recover. An error from fn aborts the replay.
+func (s *Store) ReplayJournal(name string, fn func(version uint32, body []byte) error) (ReplayResult, error) {
+	var res ReplayResult
+	if err := checkSessionName(name); err != nil {
+		return res, err
+	}
+	f, err := os.Open(s.journalPath(name))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return res, nil
+		}
+		return res, fmt.Errorf("persist: opening journal: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	for {
+		if _, err := br.Peek(1); errors.Is(err, io.EOF) {
+			return res, nil // file ends exactly on a record boundary
+		}
+		version, body, err := DecodeEnvelope(br)
+		if err != nil {
+			if isTornTail(err) {
+				res.Torn = true
+				return res, nil
+			}
+			return res, err
+		}
+		if err := fn(version, body); err != nil {
+			return res, err
+		}
+		res.Records++
+	}
+}
+
+// isTornTail classifies a decode failure as an ignorable tail. Torn
+// writes surface as truncation; a crash can also tear *within* the
+// checksum or magic bytes of the final record, so checksum and magic
+// failures terminate the replay the same way (there is no record
+// boundary to resynchronize on — and trusting anything after a corrupt
+// record would mean trusting unchecksummed offsets).
+func isTornTail(err error) bool {
+	return errors.Is(err, ErrTruncated) || errors.Is(err, ErrChecksum) ||
+		errors.Is(err, ErrBadMagic) || errors.Is(err, ErrTooLarge)
+}

@@ -1,0 +1,293 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	bodies := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 1<<16)}
+	for _, body := range bodies {
+		var buf bytes.Buffer
+		if err := EncodeEnvelope(&buf, 7, body); err != nil {
+			t.Fatal(err)
+		}
+		version, back, err := DecodeEnvelope(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if version != 7 || !bytes.Equal(back, body) {
+			t.Fatalf("round trip mangled: version %d, %d bytes", version, len(back))
+		}
+	}
+}
+
+func TestEnvelopeRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeEnvelope(&buf, 1, []byte("the leakage series")); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+
+	// Every truncation fails with ErrTruncated.
+	for cut := 0; cut < len(wire); cut++ {
+		if _, _, err := DecodeEnvelope(bytes.NewReader(wire[:cut])); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("truncation at %d: %v", cut, err)
+		}
+	}
+	// Every single-bit flip fails with a typed error (magic, length,
+	// checksum or body corruption — never a silent success, because the
+	// checksum covers the body and the header fields guard themselves).
+	for i := 0; i < len(wire); i++ {
+		for bit := 0; bit < 8; bit++ {
+			flipped := append([]byte(nil), wire...)
+			flipped[i] ^= 1 << bit
+			_, _, err := DecodeEnvelope(bytes.NewReader(flipped))
+			switch {
+			case err == nil:
+				t.Fatalf("bit flip at byte %d bit %d decoded successfully", i, bit)
+			case errors.Is(err, ErrBadMagic), errors.Is(err, ErrChecksum),
+				errors.Is(err, ErrTruncated), errors.Is(err, ErrTooLarge):
+			default:
+				t.Fatalf("bit flip at byte %d bit %d: untyped error %v", i, bit, err)
+			}
+		}
+	}
+	if _, _, err := DecodeEnvelope(bytes.NewReader(nil)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty input: %v", err)
+	}
+}
+
+func TestStoreSaveLoadList(t *testing.T) {
+	s := testStore(t)
+	if _, _, err := s.LoadSnapshot("ghost"); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("missing snapshot: %v", err)
+	}
+	if err := s.SaveSnapshot("alpha", 3, []byte("state-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveSnapshot("beta", 3, []byte("state-b")); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite is atomic-replace: the new body wins.
+	if err := s.SaveSnapshot("alpha", 4, []byte("state-a2")); err != nil {
+		t.Fatal(err)
+	}
+	version, body, err := s.LoadSnapshot("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 4 || string(body) != "state-a2" {
+		t.Fatalf("got version %d body %q", version, body)
+	}
+	names, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Fatalf("List = %v", names)
+	}
+	if err := s.Remove("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.LoadSnapshot("alpha"); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("after Remove: %v", err)
+	}
+	if err := s.Remove("alpha"); err != nil {
+		t.Fatalf("double Remove: %v", err)
+	}
+}
+
+func TestStoreRejectsHostileNames(t *testing.T) {
+	s := testStore(t)
+	for _, name := range []string{"", ".", "..", "a/b", `a\b`, "../escape"} {
+		if err := s.SaveSnapshot(name, 1, nil); err == nil {
+			t.Fatalf("name %q accepted", name)
+		}
+		if _, _, err := s.LoadSnapshot(name); err == nil {
+			t.Fatalf("load of %q accepted", name)
+		}
+	}
+}
+
+// TestStoreIgnoresStrayTemp: a crash can leave a .snap.tmp behind; it
+// must neither be listed nor shadow the last good snapshot.
+func TestStoreIgnoresStrayTemp(t *testing.T) {
+	s := testStore(t)
+	if err := s.SaveSnapshot("sess", 1, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(s.Dir(), "sess"+snapTmpSuffix), []byte("torn garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	names, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "sess" {
+		t.Fatalf("List = %v", names)
+	}
+	if _, body, err := s.LoadSnapshot("sess"); err != nil || string(body) != "good" {
+		t.Fatalf("load: %q, %v", body, err)
+	}
+}
+
+func TestJournalAppendReplayReset(t *testing.T) {
+	s := testStore(t)
+	// Replay of a journal that never existed: zero records, no error.
+	res, err := s.ReplayJournal("sess", func(uint32, []byte) error { t.Fatal("callback on empty journal"); return nil })
+	if err != nil || res.Records != 0 || res.Torn {
+		t.Fatalf("empty replay: %+v, %v", res, err)
+	}
+	j, err := s.OpenJournal("sess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	want := [][]byte{[]byte("rec-1"), []byte("rec-2"), []byte("rec-3")}
+	for _, rec := range want {
+		if err := j.Append(2, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	res, err = s.ReplayJournal("sess", func(version uint32, body []byte) error {
+		if version != 2 {
+			t.Fatalf("record version %d", version)
+		}
+		got = append(got, append([]byte(nil), body...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Torn || res.Records != len(want) {
+		t.Fatalf("replay: %+v", res)
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d: %q != %q", i, got[i], want[i])
+		}
+	}
+	// Reset empties it; appends continue to work afterwards.
+	if err := j.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.ReplayJournal("sess", func(uint32, []byte) error { return nil })
+	if err != nil || res.Records != 0 {
+		t.Fatalf("after reset: %+v, %v", res, err)
+	}
+	if err := j.Append(2, []byte("post-reset")); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.ReplayJournal("sess", func(uint32, []byte) error { return nil })
+	if err != nil || res.Records != 1 {
+		t.Fatalf("after reset+append: %+v, %v", res, err)
+	}
+}
+
+// TestJournalTornTail simulates a crash mid-append at every possible
+// byte boundary of the final record: the intact prefix must replay,
+// the tail must be flagged torn, and nothing must error or panic.
+func TestJournalTornTail(t *testing.T) {
+	s := testStore(t)
+	j, err := s.OpenJournal("sess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")}
+	var offsets []int64
+	for _, rec := range full {
+		if err := j.Append(1, rec); err != nil {
+			t.Fatal(err)
+		}
+		off, err := j.f.Seek(0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, off)
+	}
+	j.Close()
+	path := filepath.Join(s.Dir(), "sess"+journalSuffix)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := int64(0); cut <= int64(len(whole)); cut++ {
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		wantIntact := 0
+		for _, off := range offsets {
+			if cut >= off {
+				wantIntact++
+			}
+		}
+		res, err := s.ReplayJournal("sess", func(uint32, []byte) error { return nil })
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if res.Records != wantIntact {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, res.Records, wantIntact)
+		}
+		onBoundary := cut == 0 || cut == offsets[len(offsets)-1] ||
+			(wantIntact > 0 && cut == offsets[wantIntact-1])
+		if res.Torn == onBoundary {
+			t.Fatalf("cut %d: torn=%v on boundary=%v", cut, res.Torn, onBoundary)
+		}
+	}
+}
+
+// TestJournalCorruptMiddleStopsReplay: a checksum-corrupt record in the
+// middle ends the replay there — later records are unreachable (no
+// trustworthy framing past the corruption) but earlier ones survive.
+func TestJournalCorruptMiddleStopsReplay(t *testing.T) {
+	s := testStore(t)
+	j, err := s.OpenJournal("sess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var firstEnd int64
+	for i, rec := range [][]byte{[]byte("keep"), []byte("corrupt-me"), []byte("unreachable")} {
+		if err := j.Append(1, rec); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			if firstEnd, err = j.f.Seek(0, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	j.Close()
+	path := filepath.Join(s.Dir(), "sess"+journalSuffix)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole[firstEnd+envelopeHeaderSize] ^= 0xFF // flip a body byte of record 2
+	if err := os.WriteFile(path, whole, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.ReplayJournal("sess", func(uint32, []byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 1 || !res.Torn {
+		t.Fatalf("replay after mid-corruption: %+v", res)
+	}
+}

@@ -1,0 +1,187 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Snapshot and journal file suffixes inside a store directory.
+const (
+	snapSuffix    = ".snap"
+	snapTmpSuffix = ".snap.tmp"
+	journalSuffix = ".journal"
+)
+
+// ErrNoSnapshot is returned by LoadSnapshot when the named session has
+// no snapshot on disk.
+var ErrNoSnapshot = errors.New("persist: no snapshot")
+
+// Store is a directory of per-session snapshots and journals. Snapshot
+// writes are atomic (write temp, fsync, rename), so the file named
+// <session>.snap is always the last good snapshot: a crash mid-write
+// leaves at worst an ignorable .snap.tmp next to it.
+//
+// A Store's methods are safe for concurrent use on distinct session
+// names; per-name serialization is the caller's job (the service holds
+// its per-session step mutex across persist calls).
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) a state directory.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("persist: empty state directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: creating state dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the state directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// checkSessionName rejects names that would escape the store directory
+// or collide with its file naming. The service validates names at
+// session creation; this re-validates at the trust boundary so the
+// store stays safe under any caller.
+func checkSessionName(name string) error {
+	if name == "" {
+		return errors.New("persist: empty session name")
+	}
+	if len(name) > 200 {
+		return errors.New("persist: session name longer than 200 bytes")
+	}
+	if strings.ContainsAny(name, "/\\") || name == "." || name == ".." {
+		return fmt.Errorf("persist: session name %q contains a path separator", name)
+	}
+	return nil
+}
+
+func (s *Store) snapPath(name string) string    { return filepath.Join(s.dir, name+snapSuffix) }
+func (s *Store) journalPath(name string) string { return filepath.Join(s.dir, name+journalSuffix) }
+
+// SaveSnapshot atomically replaces the session's snapshot: the envelope
+// is written to a temp file, fsynced, and renamed over the previous
+// snapshot, then the directory entry is fsynced. At no point does a
+// crash leave the store without the last good snapshot.
+func (s *Store) SaveSnapshot(name string, version uint32, body []byte) error {
+	if err := checkSessionName(name); err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, name+snapTmpSuffix)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: creating snapshot temp: %w", err)
+	}
+	if err := EncodeEnvelope(f, version, body); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, s.snapPath(name)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: publishing snapshot: %w", err)
+	}
+	syncDir(s.dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power
+// loss. Errors are ignored: not every filesystem supports it, and the
+// rename itself already happened.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// LoadSnapshot reads and verifies the session's snapshot, returning its
+// schema version and body. ErrNoSnapshot means none exists; decode
+// errors (ErrBadMagic, ErrTruncated, ErrChecksum, ErrTooLarge) mean the
+// file exists but cannot be trusted.
+func (s *Store) LoadSnapshot(name string) (version uint32, body []byte, err error) {
+	if err := checkSessionName(name); err != nil {
+		return 0, nil, err
+	}
+	f, err := os.Open(s.snapPath(name))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, nil, fmt.Errorf("%w: %q", ErrNoSnapshot, name)
+		}
+		return 0, nil, fmt.Errorf("persist: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	return DecodeEnvelope(f)
+}
+
+// SnapshotStat reports when the session's snapshot was last written
+// and its size, without reading it — boot-time restore uses the mtime
+// as the snapshot's age so operators see honest staleness, not the
+// restart time.
+func (s *Store) SnapshotStat(name string) (modTime time.Time, size int64, err error) {
+	if err := checkSessionName(name); err != nil {
+		return time.Time{}, 0, err
+	}
+	info, err := os.Stat(s.snapPath(name))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return time.Time{}, 0, fmt.Errorf("%w: %q", ErrNoSnapshot, name)
+		}
+		return time.Time{}, 0, fmt.Errorf("persist: stat snapshot: %w", err)
+	}
+	return info.ModTime(), info.Size(), nil
+}
+
+// List returns the names of all sessions with a snapshot on disk,
+// sorted. Stray temp files and journals are not listed — a session's
+// journal without a snapshot is unrecoverable by construction (the
+// initial snapshot is written at session creation, before the first
+// journal record).
+func (s *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: listing state dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.Type().IsRegular() && strings.HasSuffix(n, snapSuffix) && !strings.HasSuffix(n, snapTmpSuffix) {
+			names = append(names, strings.TrimSuffix(n, snapSuffix))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove deletes the session's snapshot and journal (missing files are
+// fine: Remove is how Delete cleans up half-created sessions too).
+func (s *Store) Remove(name string) error {
+	if err := checkSessionName(name); err != nil {
+		return err
+	}
+	var firstErr error
+	for _, p := range []string{s.snapPath(name), s.journalPath(name), filepath.Join(s.dir, name+snapTmpSuffix)} {
+		if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) && firstErr == nil {
+			firstErr = fmt.Errorf("persist: removing %s: %w", p, err)
+		}
+	}
+	return firstErr
+}

@@ -4,7 +4,6 @@ import (
 	crand "crypto/rand"
 	"encoding/binary"
 	"fmt"
-	"math/rand"
 
 	"repro/internal/markov"
 	"repro/internal/release"
@@ -198,6 +197,21 @@ func (c *SessionConfig) models() ([]stream.AdversaryModel, error) {
 	}
 }
 
+// firstModel returns the first user's adversary model without
+// expanding the whole population — boot-time restores rebuild plans
+// from the stored config and only need the plan's default correlation
+// source.
+func (c *SessionConfig) firstModel() stream.AdversaryModel {
+	switch {
+	case len(c.Cohorts) > 0:
+		return c.Cohorts[0].Model.adversary()
+	case len(c.Models) > 0:
+		return c.Models[0].adversary()
+	default:
+		return stream.AdversaryModel{}
+	}
+}
+
 // buildPlan constructs the configured release plan. first is the first
 // user's model, the default correlation source.
 func (p *PlanConfig) buildPlan(first stream.AdversaryModel) (release.Plan, error) {
@@ -240,15 +254,24 @@ func (c *SessionConfig) BuildCached(cache *stream.ModelCache) (*stream.Server, e
 	if err != nil {
 		return nil, err
 	}
-	seed := c.Seed
-	if seed == 0 {
-		if seed, err = randomSeed(); err != nil {
-			return nil, err
-		}
-	}
-	srv, err := stream.NewServerCached(c.Domain, len(models), models, rand.New(rand.NewSource(seed)), cache)
+	srv, err := stream.NewServerCached(c.Domain, len(models), models, nil, cache)
 	if err != nil {
 		return nil, err
+	}
+	// Both paths go through the stream package's tracked noise seam so
+	// snapshots can record the stream position. An explicit config seed
+	// is the reproducibility opt-in and is restored exactly across
+	// restarts; the entropy default stays unpredictable — its seed is
+	// withheld from snapshots and a restore re-seeds (recorded as
+	// "reseeded" provenance).
+	if c.Seed != 0 {
+		srv.SetNoiseSeed(c.Seed)
+	} else {
+		seed, err := randomSeed()
+		if err != nil {
+			return nil, err
+		}
+		srv.SetEphemeralNoiseSeed(seed)
 	}
 	if c.Sensitivity != 0 {
 		if err := srv.SetSensitivity(c.Sensitivity); err != nil {

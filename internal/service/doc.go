@@ -9,12 +9,13 @@
 // in a concurrency-safe Registry and are driven over a stdlib-only
 // net/http API:
 //
-//	GET    /healthz                          liveness + session count
+//	GET    /healthz                          liveness: sessions, users, uptime, persistence health
 //	GET    /v1/sessions                      list session summaries
 //	POST   /v1/sessions                      create a session (SessionConfig JSON)
 //	GET    /v1/sessions/{name}               one session summary
-//	DELETE /v1/sessions/{name}               drop a session
+//	DELETE /v1/sessions/{name}               drop a session (and its persisted state)
 //	POST   /v1/sessions/{name}/steps         collect one time step (explicit eps or planned)
+//	POST   /v1/sessions/{name}/snapshot      force a durable snapshot now (409 in ephemeral mode)
 //	GET    /v1/sessions/{name}/published     release history (?t= for one step)
 //	GET    /v1/sessions/{name}/tpl?user=U    per-user TPL series
 //	GET    /v1/sessions/{name}/wevent?w=W    w-window leakage (?user=U, else population worst)
@@ -30,4 +31,12 @@
 // cohorts (users sharing an adversary model share an accountant), so
 // collecting a step costs one accountant update per distinct model,
 // not per user.
+//
+// Durability is opt-in per process (tplserved -state-dir): the
+// registry then snapshots each session's full accounting state
+// (coalesced, atomically replaced) and journals every published step
+// through internal/persist, restores all sessions on boot from the
+// last snapshot plus the journal tail, and survives SIGKILL with a
+// bit-identical leakage series — see DESIGN.md §6, including the
+// noise-reseed provenance caveat for entropy-seeded sessions.
 package service

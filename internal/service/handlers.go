@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/release"
 	"repro/internal/report"
@@ -23,11 +24,16 @@ const ndjsonContentType = "application/x-ndjson"
 
 // API is the HTTP face of a session registry.
 type API struct {
-	reg *Registry
+	reg     *Registry
+	started time.Time
 }
 
 // NewAPI creates an API over a fresh registry.
-func NewAPI() *API { return &API{reg: NewRegistry()} }
+func NewAPI() *API {
+	api := &API{reg: NewRegistry()}
+	api.started = api.reg.now()
+	return api
+}
 
 // Registry exposes the session store (for embedding callers and tests).
 func (a *API) Registry() *Registry { return a.reg }
@@ -41,6 +47,7 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{name}", a.getSession)
 	mux.HandleFunc("DELETE /v1/sessions/{name}", a.deleteSession)
 	mux.HandleFunc("POST /v1/sessions/{name}/steps", a.postStep)
+	mux.HandleFunc("POST /v1/sessions/{name}/snapshot", a.postSnapshot)
 	mux.HandleFunc("GET /v1/sessions/{name}/published", a.getPublished)
 	mux.HandleFunc("GET /v1/sessions/{name}/tpl", a.getTPL)
 	mux.HandleFunc("GET /v1/sessions/{name}/wevent", a.getWEvent)
@@ -124,8 +131,45 @@ func intQuery(r *http.Request, key string) (int, error) {
 	return v, nil
 }
 
+// healthResponse is the GET /healthz body: enough for an operator to
+// see at a glance that the process is alive, how long it has been, how
+// many tenants it carries, and whether their accounting state is
+// durably persisted (and how stale the persistence is).
+type healthResponse struct {
+	Status        string            `json:"status"`
+	Sessions      int               `json:"sessions"`
+	Users         int               `json:"users"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Persistence   PersistenceHealth `json:"persistence"`
+}
+
 func (a *API) health(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sessions": a.reg.Len()})
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:        "ok",
+		Sessions:      a.reg.Len(),
+		Users:         a.reg.Users(),
+		UptimeSeconds: a.reg.now().Sub(a.started).Seconds(),
+		Persistence:   a.reg.PersistenceHealth(),
+	})
+}
+
+// postSnapshot forces an immediate durable snapshot of one session and
+// reports the resulting persistence metadata. 409 in ephemeral mode.
+func (a *API) postSnapshot(w http.ResponseWriter, r *http.Request) {
+	s, ok := a.session(w, r)
+	if !ok {
+		return
+	}
+	info, err := s.SnapshotNow()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrNoStore) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": s.Name(), "t": s.Server().T(), "persistence": info})
 }
 
 func (a *API) listSessions(w http.ResponseWriter, r *http.Request) {

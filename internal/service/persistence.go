@@ -1,0 +1,470 @@
+package service
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/persist"
+	"repro/internal/stream"
+)
+
+// Durable accounting. With a store attached, every session's leakage
+// state survives process death: the registry writes an initial snapshot
+// at creation, appends one journal record per published step, coalesces
+// full snapshots every snapshotEvery steps, and on boot restores every
+// session from last-good-snapshot + replayed journal tail. Restarting
+// tplserved therefore cannot reset anyone's privacy budget — which is
+// the whole point of the accounting.
+
+// Snapshot/journal schema versions inside the persist envelopes. Bump
+// on any change to sessionState / stream.StepRecord encoding; restores
+// reject versions they do not understand rather than guessing.
+const (
+	sessionSchemaVersion = 1
+	stepSchemaVersion    = 1
+)
+
+// defaultSnapshotEvery is the snapshot coalescing interval in steps: a
+// full snapshot costs O(users + cohorts·T), a journal record O(domain),
+// so snapshots ride along only every N steps and recovery replays at
+// most N records.
+const defaultSnapshotEvery = 64
+
+// sessionState is the gob body of a session snapshot: the original
+// config (JSON, exactly as submitted — plans and noise modes are
+// rebuilt from it rather than serialized), the creation time, and the
+// full server state.
+type sessionState struct {
+	ConfigJSON []byte
+	Created    time.Time
+	Server     *stream.ServerState
+}
+
+// gobEncode/gobDecode are the body codec. Gob encodes float64 as raw
+// bits, so the wire round-trip is bit-identical — the restore-equality
+// guarantee needs exactly that.
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// EnablePersistence attaches a snapshot store to the registry. Must be
+// called before any session exists (boot-time wiring, not a runtime
+// toggle); snapshotEvery <= 0 selects the default interval.
+func (r *Registry) EnablePersistence(store *persist.Store, snapshotEvery int) error {
+	if snapshotEvery <= 0 {
+		snapshotEvery = defaultSnapshotEvery
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.sessions) > 0 {
+		return fmt.Errorf("service: persistence must be enabled before sessions exist (%d registered)", len(r.sessions))
+	}
+	r.store = store
+	r.snapshotEvery = snapshotEvery
+	return nil
+}
+
+// Store returns the attached snapshot store, or nil in ephemeral mode.
+func (r *Registry) Store() *persist.Store {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.store
+}
+
+// initPersistenceLocked writes the session's initial snapshot and opens
+// its journal. Caller holds s.stepMu; the session may already be
+// visible in the registry, so holding stepMu is what keeps any early
+// step from slipping past the journal.
+func (s *Session) initPersistenceLocked(store *persist.Store, cfg *SessionConfig, snapshotEvery int) error {
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		return fmt.Errorf("service: serializing session config: %w", err)
+	}
+	// store doubles as persistInfo's "is persistence on" flag and is
+	// read under persistMu there, so its writes hold both mutexes.
+	s.persistMu.Lock()
+	s.store = store
+	s.persistMu.Unlock()
+	s.cfgJSON = cfgJSON
+	s.snapshotEvery = snapshotEvery
+	if err := s.snapshotLocked(); err != nil {
+		return err
+	}
+	j, err := store.OpenJournal(s.name)
+	if err != nil {
+		return err
+	}
+	s.journal = j
+	return nil
+}
+
+// snapshotLocked captures and durably writes the session's full state,
+// then resets the journal (snapshot first, reset second: a crash
+// between the two leaves journal records the snapshot already covers,
+// which replay skips by step index). A successful snapshot also heals
+// a poisoned journal — the reset truncates whatever partial record a
+// failed append left behind. Caller holds s.stepMu.
+func (s *Session) snapshotLocked() error {
+	st := s.srv.Snapshot()
+	body, err := gobEncode(sessionState{ConfigJSON: s.cfgJSON, Created: s.created, Server: st})
+	if err != nil {
+		return fmt.Errorf("service: encoding snapshot: %w", err)
+	}
+	if err := s.store.SaveSnapshot(s.name, sessionSchemaVersion, body); err != nil {
+		return err
+	}
+	if s.journal != nil {
+		if err := s.journal.Reset(); err != nil {
+			return err
+		}
+	}
+	s.journalBad = false
+	s.persistMu.Lock()
+	s.lastSnapT = st.T()
+	s.lastSnapAt = s.now()
+	s.journalRecords = 0
+	s.persistErr = nil
+	s.persistMu.Unlock()
+	return nil
+}
+
+// latchPersistErr records a persist failure for health reporting.
+func (s *Session) latchPersistErr(err error) {
+	s.persistMu.Lock()
+	s.persistErr = err
+	s.persistMu.Unlock()
+}
+
+// persistStep journals one just-published step and coalesces a
+// snapshot every snapshotEvery steps. Persist failures never fail the
+// step — the in-memory accounting is already correct — but they are
+// latched into the session's health so operators see durability
+// degrade instead of discovering it at the next crash.
+//
+// A failed append may leave a partial record on disk, and nothing
+// appended after such a poisoned tail is reachable by replay (recovery
+// stops at the first unverifiable record). So after an append failure
+// the session stops journaling and instead tries to resnapshot on
+// every step until one succeeds, which truncates the poisoned tail and
+// restores durability. Caller holds s.stepMu.
+func (s *Session) persistStep(t int, eps float64, noisy []float64) {
+	if s.journal == nil {
+		return
+	}
+	if s.journalBad {
+		if err := s.snapshotLocked(); err != nil {
+			s.latchPersistErr(err)
+		}
+		return // on success the snapshot covers this step
+	}
+	rec := stream.StepRecord{T: t, Eps: eps, Published: noisy, NoiseDraws: s.srv.NoiseState().Draws}
+	body, err := gobEncode(rec)
+	if err == nil {
+		err = s.journal.Append(stepSchemaVersion, body)
+	}
+	if err != nil {
+		s.latchPersistErr(fmt.Errorf("service: journaling step %d: %w", t, err))
+		s.journalBad = true
+		if serr := s.snapshotLocked(); serr != nil {
+			s.latchPersistErr(serr)
+		}
+		return
+	}
+	s.persistMu.Lock()
+	s.journalRecords++
+	snapDue := t-s.lastSnapT >= s.snapshotEvery
+	s.persistMu.Unlock()
+	if snapDue {
+		if err := s.snapshotLocked(); err != nil {
+			s.latchPersistErr(err)
+		}
+	}
+}
+
+// PersistInfo is the session-summary digest of persistence health.
+type PersistInfo struct {
+	LastSnapshotT   int       `json:"last_snapshot_t"`
+	LastSnapshotAt  time.Time `json:"last_snapshot_at"`
+	JournalRecords  int       `json:"journal_records"`
+	NoiseProvenance string    `json:"noise_provenance"`
+	Error           string    `json:"error,omitempty"`
+}
+
+// persistInfo snapshots the persistence bookkeeping (nil in ephemeral
+// mode). It takes only persistMu, never stepMu: health probes must not
+// block behind an in-flight collect or an fsync'ing snapshot.
+func (s *Session) persistInfo() *PersistInfo {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if s.store == nil {
+		return nil
+	}
+	info := &PersistInfo{
+		LastSnapshotT:   s.lastSnapT,
+		LastSnapshotAt:  s.lastSnapAt,
+		JournalRecords:  s.journalRecords,
+		NoiseProvenance: s.srv.NoiseState().Provenance,
+	}
+	if s.persistErr != nil {
+		info.Error = s.persistErr.Error()
+	}
+	return info
+}
+
+// SnapshotNow forces an immediate snapshot (the POST
+// /v1/sessions/{name}/snapshot endpoint) and returns the resulting
+// persistence info. ErrNoStore in ephemeral mode.
+func (s *Session) SnapshotNow() (*PersistInfo, error) {
+	s.stepMu.Lock()
+	defer s.stepMu.Unlock()
+	if s.store == nil {
+		return nil, ErrNoStore
+	}
+	if err := s.snapshotLocked(); err != nil {
+		s.latchPersistErr(err)
+		return nil, err
+	}
+	return s.persistInfo(), nil
+}
+
+// closePersistenceLocked finishes a session's durability: one final
+// snapshot (so a clean restart replays nothing) and journal close.
+// Caller holds s.stepMu.
+func (s *Session) closePersistenceLocked() error {
+	if s.store == nil {
+		return nil
+	}
+	err := s.snapshotLocked()
+	if s.journal != nil {
+		if cerr := s.journal.Close(); err == nil {
+			err = cerr
+		}
+		s.journal = nil
+	}
+	return err
+}
+
+// dropPersistenceLocked closes the journal and deletes the session's
+// files (session deletion, not shutdown). Caller holds s.stepMu.
+func (s *Session) dropPersistenceLocked() error {
+	if s.store == nil {
+		return nil
+	}
+	if s.journal != nil {
+		s.journal.Close()
+		s.journal = nil
+	}
+	store := s.store
+	s.persistMu.Lock()
+	s.store = nil
+	s.persistMu.Unlock()
+	return store.Remove(s.name)
+}
+
+// RestoreAll rebuilds every session found in the attached store: for
+// each, the last good snapshot is loaded and verified, the plan and
+// noise mode are rebuilt from the stored config, the compiled leakage
+// engines are re-attached by content hash through the registry's
+// shared model cache, and the journal tail is replayed on top. A
+// session that cannot be restored is skipped with its error reported —
+// its files stay on disk for inspection — so one corrupt tenant cannot
+// keep the rest of the fleet down.
+func (r *Registry) RestoreAll() (restored []string, failed map[string]error) {
+	failed = make(map[string]error)
+	store := r.Store()
+	if store == nil {
+		return nil, failed
+	}
+	names, err := store.List()
+	if err != nil {
+		failed[""] = err
+		return nil, failed
+	}
+	for _, name := range names {
+		if err := r.restoreOne(store, name); err != nil {
+			failed[name] = err
+			continue
+		}
+		restored = append(restored, name)
+	}
+	return restored, failed
+}
+
+// restoreOne loads, verifies, replays and registers one session.
+func (r *Registry) restoreOne(store *persist.Store, name string) error {
+	version, body, err := store.LoadSnapshot(name)
+	if err != nil {
+		return err
+	}
+	if version != sessionSchemaVersion {
+		return fmt.Errorf("service: snapshot schema version %d not supported (want %d)", version, sessionSchemaVersion)
+	}
+	var st sessionState
+	if err := gobDecode(body, &st); err != nil {
+		return fmt.Errorf("service: decoding snapshot: %w", err)
+	}
+	if st.Server == nil {
+		return fmt.Errorf("service: snapshot has no server state")
+	}
+	var cfg SessionConfig
+	if err := json.Unmarshal(st.ConfigJSON, &cfg); err != nil {
+		return fmt.Errorf("service: decoding stored config: %w", err)
+	}
+	if cfg.Name != name {
+		return fmt.Errorf("service: snapshot file %q holds config for session %q", name, cfg.Name)
+	}
+	opts := stream.RestoreOptions{Cache: r.models}
+	if cfg.Plan != nil {
+		plan, err := cfg.Plan.buildPlan(cfg.firstModel())
+		if err != nil {
+			return fmt.Errorf("service: rebuilding plan: %w", err)
+		}
+		opts.Plan = plan
+	}
+	if st.Server.RNG.Provenance != stream.NoiseSeeded {
+		if opts.ReseedSeed, err = randomSeed(); err != nil {
+			return err
+		}
+	}
+	srv, err := stream.RestoreServer(st.Server, opts)
+	if err != nil {
+		return err
+	}
+	snapT := srv.T()
+	// Replay the journal tail. Records at or before the snapshot are
+	// expected (crash between snapshot and journal reset) and skipped;
+	// gaps or schema mismatches beyond it fail the session.
+	replay, err := store.ReplayJournal(name, func(version uint32, body []byte) error {
+		if version != stepSchemaVersion {
+			return fmt.Errorf("service: journal schema version %d not supported (want %d)", version, stepSchemaVersion)
+		}
+		var rec stream.StepRecord
+		if err := gobDecode(body, &rec); err != nil {
+			return fmt.Errorf("service: decoding journal record: %w", err)
+		}
+		if rec.T <= snapT {
+			return nil
+		}
+		return srv.ApplyStep(rec)
+	})
+	if err != nil {
+		return err
+	}
+	snapAt := r.now()
+	if mod, _, err := store.SnapshotStat(name); err == nil {
+		snapAt = mod
+	}
+	s := &Session{
+		name:           name,
+		created:        st.Created,
+		srv:            srv,
+		now:            r.now,
+		store:          store,
+		cfgJSON:        st.ConfigJSON,
+		snapshotEvery:  r.snapshotEvery,
+		lastSnapT:      snapT,
+		lastSnapAt:     snapAt,
+		journalRecords: replay.Records,
+	}
+	j, err := store.OpenJournal(name)
+	if err != nil {
+		return err
+	}
+	s.journal = j
+	// Bake the replayed tail into a fresh snapshot and reset the
+	// journal before accepting new steps. Without this, the journal is
+	// reopened in append mode behind whatever the crash left — and if
+	// that includes a torn record, everything appended after it would
+	// be unreachable by the next recovery (replay stops at the first
+	// unverifiable record): a second crash would then silently lose
+	// acknowledged steps. The session is not yet visible, so no lock
+	// ordering concerns.
+	if err := s.snapshotLocked(); err != nil {
+		s.journalBad = true // persistStep retries the snapshot instead of appending
+		s.latchPersistErr(err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, taken := r.sessions[name]; taken {
+		j.Close()
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	if r.totalUsers+srv.Users() > r.capacity {
+		j.Close()
+		return fmt.Errorf("%w: %d users in use, %d requested, limit %d", ErrCapacity, r.totalUsers, srv.Users(), r.capacity)
+	}
+	r.sessions[name] = s
+	r.totalUsers += srv.Users()
+	return nil
+}
+
+// Close finishes every session's durability (final snapshot + journal
+// close). Called on graceful shutdown; ephemeral registries no-op.
+func (r *Registry) Close() error {
+	var firstErr error
+	for _, s := range r.List() {
+		s.stepMu.Lock()
+		if err := s.closePersistenceLocked(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		s.stepMu.Unlock()
+	}
+	return firstErr
+}
+
+// PersistenceHealth is the operator's view of durability, reported by
+// GET /healthz.
+type PersistenceHealth struct {
+	// Mode is "durable" (a state dir is attached) or "ephemeral".
+	Mode string `json:"mode"`
+	// StateDir is the snapshot directory (durable mode only).
+	StateDir string `json:"state_dir,omitempty"`
+	// SnapshotEvery is the coalescing interval in steps.
+	SnapshotEvery int `json:"snapshot_every,omitempty"`
+	// LastSnapshotAgeSeconds is the age of the *stalest* session
+	// snapshot — the worst-case recovery window. Omitted when no
+	// session exists.
+	LastSnapshotAgeSeconds *float64 `json:"last_snapshot_age_seconds,omitempty"`
+	// SessionsWithErrors counts sessions whose last persist attempt
+	// failed (non-zero means durability is degraded).
+	SessionsWithErrors int `json:"sessions_with_errors,omitempty"`
+}
+
+// PersistenceHealth summarizes durability across all sessions.
+func (r *Registry) PersistenceHealth() PersistenceHealth {
+	store := r.Store()
+	if store == nil {
+		return PersistenceHealth{Mode: "ephemeral"}
+	}
+	h := PersistenceHealth{Mode: "durable", StateDir: store.Dir(), SnapshotEvery: r.snapshotEvery}
+	now := r.now()
+	var oldest time.Time
+	for _, s := range r.List() {
+		info := s.persistInfo()
+		if info == nil {
+			continue
+		}
+		if info.Error != "" {
+			h.SessionsWithErrors++
+		}
+		if oldest.IsZero() || info.LastSnapshotAt.Before(oldest) {
+			oldest = info.LastSnapshotAt
+		}
+	}
+	if !oldest.IsZero() {
+		age := now.Sub(oldest).Seconds()
+		h.LastSnapshotAgeSeconds = &age
+	}
+	return h
+}

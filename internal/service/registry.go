@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/persist"
 	"repro/internal/stream"
 )
 
@@ -23,6 +24,10 @@ var ErrExists = errors.New("service: session already exists")
 // this bounds their sum.
 var ErrCapacity = errors.New("service: aggregate population capacity exhausted")
 
+// ErrNoStore is returned by snapshot operations when the registry runs
+// in ephemeral mode (no state directory attached).
+var ErrNoStore = errors.New("service: no snapshot store attached (ephemeral mode)")
+
 // maxTotalUsers caps the total declared population across sessions
 // (~40 B of per-user bookkeeping, so ~2 GB at the cap).
 const maxTotalUsers = 50_000_000
@@ -36,8 +41,26 @@ type Session struct {
 	name    string
 	created time.Time
 	srv     *stream.Server
+	now     func() time.Time
 
-	stepMu sync.Mutex
+	// stepMu serializes the collect-then-read-budget sequence of the
+	// steps endpoint and, in durable mode, the persist pipeline behind
+	// it (journal append order must match step order).
+	stepMu        sync.Mutex
+	store         *persist.Store
+	journal       *persist.Journal
+	journalBad    bool   // a failed append poisoned the tail; stop appending until a snapshot resets it
+	cfgJSON       []byte // the creating config, for restore-time rebuilds
+	snapshotEvery int
+
+	// persistMu guards only the bookkeeping below, so health and
+	// summary reads never block behind an in-flight collect or an
+	// fsync'ing snapshot held under stepMu.
+	persistMu      sync.Mutex
+	lastSnapT      int
+	lastSnapAt     time.Time
+	journalRecords int
+	persistErr     error
 }
 
 // Name returns the session's registry key.
@@ -59,7 +82,9 @@ func (s *Session) Collect(values []int, eps float64) ([]float64, int, float64, e
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	return noisy, s.srv.T(), eps, nil
+	t := s.srv.T()
+	s.persistStep(t, eps, noisy)
+	return noisy, t, eps, nil
 }
 
 // CollectPlanned runs one plan-budgeted step, reporting the budget the
@@ -76,6 +101,7 @@ func (s *Session) CollectPlanned(values []int) ([]float64, int, float64, error) 
 	if err != nil {
 		return nil, 0, 0, err
 	}
+	s.persistStep(t, eps, noisy)
 	return noisy, t, eps, nil
 }
 
@@ -91,6 +117,9 @@ type Summary struct {
 	HasPlan     bool      `json:"has_plan"`
 	PlanStep    int       `json:"plan_step,omitempty"`
 	Created     time.Time `json:"created"`
+	// Persistence reports snapshot/journal health; absent in ephemeral
+	// mode.
+	Persistence *PersistInfo `json:"persistence,omitempty"`
 }
 
 // Summary captures the session's current state.
@@ -106,6 +135,7 @@ func (s *Session) Summary() Summary {
 		HasPlan:     s.srv.HasPlan(),
 		PlanStep:    s.srv.PlanStep(),
 		Created:     s.created,
+		Persistence: s.persistInfo(),
 	}
 }
 
@@ -123,6 +153,10 @@ type Registry struct {
 	capacity   int              // aggregate population ceiling; lowered in tests
 	now        func() time.Time // injectable for tests
 	models     *stream.ModelCache
+
+	// Durability (persistence.go); nil store means ephemeral mode.
+	store         *persist.Store
+	snapshotEvery int
 }
 
 // NewRegistry creates an empty registry.
@@ -178,17 +212,46 @@ func (r *Registry) Create(cfg *SessionConfig) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Session{name: cfg.Name, created: r.now(), srv: srv}
+	s := &Session{name: cfg.Name, created: r.now(), srv: srv, now: r.now}
+	// The session is inserted before its persistence is initialized, so
+	// a concurrent create of the same name loses cleanly at the map —
+	// never by overwriting the winner's files. Holding stepMu across the
+	// initialization keeps any early step from slipping past the
+	// journal; a persist failure rolls the insert back.
+	s.stepMu.Lock()
+	defer s.stepMu.Unlock()
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, taken := r.sessions[cfg.Name]; taken {
+		r.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrExists, cfg.Name)
 	}
 	if r.totalUsers+srv.Users() > r.capacity {
-		return nil, fmt.Errorf("%w: %d users in use, %d requested, limit %d", ErrCapacity, r.totalUsers, srv.Users(), r.capacity)
+		inUse := r.totalUsers
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d users in use, %d requested, limit %d", ErrCapacity, inUse, srv.Users(), r.capacity)
 	}
 	r.sessions[cfg.Name] = s
 	r.totalUsers += srv.Users()
+	store, every := r.store, r.snapshotEvery
+	r.mu.Unlock()
+	if store != nil {
+		if err := s.initPersistenceLocked(store, cfg, every); err != nil {
+			r.mu.Lock()
+			owned := r.sessions[cfg.Name] == s
+			if owned {
+				delete(r.sessions, cfg.Name)
+				r.totalUsers -= srv.Users()
+			}
+			r.mu.Unlock()
+			// Only clean up files while the name is still ours: if a
+			// concurrent Delete already freed the slot, a re-created
+			// session of the same name may own them by now.
+			if owned {
+				store.Remove(cfg.Name)
+			}
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -211,17 +274,22 @@ func (r *Registry) Get(name string) (*Session, error) {
 }
 
 // Delete removes the named session, releasing its population from the
-// aggregate capacity.
+// aggregate capacity and deleting its persisted state. The map removal
+// happens first (under r.mu alone — taking stepMu under r.mu would
+// invert Create's lock order), so the file cleanup races no new steps.
 func (r *Registry) Delete(name string) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	s, ok := r.sessions[name]
 	if !ok {
+		r.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	delete(r.sessions, name)
 	r.totalUsers -= s.srv.Users()
-	return nil
+	r.mu.Unlock()
+	s.stepMu.Lock()
+	defer s.stepMu.Unlock()
+	return s.dropPersistenceLocked()
 }
 
 // List returns all sessions sorted by name.

@@ -7,6 +7,8 @@ import (
 	"net"
 	"net/http"
 	"time"
+
+	"repro/internal/persist"
 )
 
 // shutdownGrace is how long Run waits for in-flight requests to drain
@@ -22,10 +24,53 @@ type Server struct {
 	log  *log.Logger
 }
 
+// Options configures the optional durability of a server.
+type Options struct {
+	// StateDir, when non-empty, makes the registry durable: session
+	// state is snapshotted and journaled there, and every session found
+	// there is restored at construction.
+	StateDir string
+	// SnapshotEvery is the snapshot coalescing interval in steps
+	// (<= 0 selects the default).
+	SnapshotEvery int
+}
+
 // New creates a server for the given listen address. logger may be nil
 // to discard serving logs.
 func New(addr string, logger *log.Logger) *Server {
+	s, err := NewWithOptions(addr, logger, Options{})
+	if err != nil {
+		// Unreachable: only durable construction can fail.
+		panic(err)
+	}
+	return s
+}
+
+// NewWithOptions is New plus durability: with a state directory it
+// opens the snapshot store, enables persistence, and restores every
+// session found on disk before the listener comes up — a restored
+// session's leakage series continues exactly where the previous
+// process left it. Sessions that fail to restore are logged and
+// skipped (their files stay on disk); only a store that cannot be
+// opened at all fails construction.
+func NewWithOptions(addr string, logger *log.Logger, opts Options) (*Server, error) {
 	api := NewAPI()
+	if opts.StateDir != "" {
+		store, err := persist.NewStore(opts.StateDir)
+		if err != nil {
+			return nil, err
+		}
+		if err := api.Registry().EnablePersistence(store, opts.SnapshotEvery); err != nil {
+			return nil, err
+		}
+		restored, failed := api.Registry().RestoreAll()
+		if logger != nil {
+			logger.Printf("tplserved: state dir %s: restored %d session(s)", opts.StateDir, len(restored))
+			for name, err := range failed {
+				logger.Printf("tplserved: session %q not restored: %v", name, err)
+			}
+		}
+	}
 	s := &Server{
 		api: api,
 		http: &http.Server{
@@ -45,7 +90,7 @@ func New(addr string, logger *log.Logger) *Server {
 	if logger != nil {
 		s.http.ErrorLog = logger
 	}
-	return s
+	return s, nil
 }
 
 // API returns the underlying API (and through it the registry).
@@ -81,6 +126,12 @@ func (s *Server) Run(ctx context.Context, ready func(net.Addr)) error {
 		return err
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	// Requests have drained; take one final snapshot per session so a
+	// clean restart replays no journal at all.
+	if err := s.api.Registry().Close(); err != nil {
+		s.logf("tplserved: finalizing persisted state: %v", err)
 		return err
 	}
 	return nil

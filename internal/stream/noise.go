@@ -1,0 +1,132 @@
+package stream
+
+import "math/rand"
+
+// The noise-RNG seam. Restoring a server requires knowing where its
+// noise stream is, and math/rand sources are opaque: once a *rand.Rand
+// has been drawn from, its position cannot be read back. The seam fixes
+// that by wrapping the source in a draw counter — position = (seed,
+// draws), and fast-forwarding is "skip draws steps". Sessions whose
+// seed may be persisted restore their noise stream exactly; sessions
+// seeded from OS entropy (the service's privacy-preserving default)
+// deliberately withhold the seed from snapshots and are re-seeded on
+// restore, with the provenance recorded so an operator can tell the two
+// histories apart.
+
+// Noise-stream provenance values, recorded in NoiseState.Provenance.
+const (
+	// NoiseSeeded: tracked source whose seed may be serialized; a
+	// restore reproduces the stream exactly.
+	NoiseSeeded = "seeded"
+	// NoiseEphemeral: tracked source whose seed is withheld from
+	// snapshots (an unpredictable noise stream written to disk would be
+	// replayable by anyone who reads the state directory).
+	NoiseEphemeral = "ephemeral"
+	// NoiseExternal: caller-supplied *rand.Rand; position unknown.
+	NoiseExternal = "external"
+	// NoiseReseeded: this server was restored from a snapshot whose
+	// noise stream could not be reproduced and drew a fresh seed. The
+	// leakage accounting is unaffected (it never depends on the noise
+	// values), only noise reproducibility across restarts is lost.
+	NoiseReseeded = "reseeded"
+)
+
+// NoiseState is the serializable position of a server's noise stream.
+type NoiseState struct {
+	// Provenance is one of the Noise* constants above.
+	Provenance string
+	// Seed is the source seed; only set when Provenance == NoiseSeeded.
+	Seed int64
+	// Draws counts primitive values consumed from the source (0 when the
+	// source is untracked).
+	Draws uint64
+}
+
+// countingSource wraps a rand.Source64 with a draw counter. Every
+// primitive read — Int63 or Uint64 — advances the underlying generator
+// by exactly one step, so "position" is a single integer regardless of
+// which rand.Rand methods consumed the values.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+// newCountingSource builds a tracked source. rand.NewSource's result
+// implements Source64 (documented since Go 1.8).
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.draws = 0
+}
+
+// skip fast-forwards the source by n steps (used when restoring a
+// snapshot or replaying a journal).
+func (c *countingSource) skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.src.Uint64()
+	}
+	c.draws += n
+}
+
+// setNoiseSourceLocked installs a tracked noise source; the caller
+// holds the write lock.
+func (s *Server) setNoiseSourceLocked(seed int64, provenance string) {
+	s.noiseSrc = newCountingSource(seed)
+	s.rng = rand.New(s.noiseSrc)
+	s.noiseSeed = seed
+	s.noiseProvenance = provenance
+}
+
+// SetNoiseSeed makes the noise stream deterministic and fully
+// restorable: the seed is recorded in snapshots, so a restored server
+// continues the exact noise sequence. Use only when reproducibility is
+// wanted — a server whose noise an observer can replay from persisted
+// state offers no privacy against that observer. Resets the stream
+// position.
+func (s *Server) SetNoiseSeed(seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.setNoiseSourceLocked(seed, NoiseSeeded)
+}
+
+// SetEphemeralNoiseSeed makes the noise stream position-tracked but
+// withholds the seed from snapshots: restores re-seed and record
+// NoiseReseeded provenance. This is the right mode for seeds drawn from
+// OS entropy. Resets the stream position.
+func (s *Server) SetEphemeralNoiseSeed(seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.setNoiseSourceLocked(seed, NoiseEphemeral)
+}
+
+// NoiseState reports the current noise-stream position and provenance.
+func (s *Server) NoiseState() NoiseState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.noiseStateLocked()
+}
+
+// noiseStateLocked is NoiseState with s.mu already held (read or write).
+func (s *Server) noiseStateLocked() NoiseState {
+	ns := NoiseState{Provenance: s.noiseProvenance}
+	if s.noiseSrc != nil {
+		ns.Draws = s.noiseSrc.draws
+	}
+	if s.noiseProvenance == NoiseSeeded {
+		ns.Seed = s.noiseSeed
+	}
+	return ns
+}

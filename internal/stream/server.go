@@ -70,6 +70,11 @@ type cohort struct {
 	mu        sync.Mutex
 	acc       *core.Accountant
 	firstUser int // smallest member user id
+	// backward, forward retain the adversary model's chains (shared
+	// pointers, one per cohort not per user) so Snapshot can serialize
+	// the model content — the compiled engines are re-derived from it on
+	// restore rather than serialized.
+	backward, forward *markov.Chain
 }
 
 // Server is the trusted aggregator. It publishes a noisy histogram per
@@ -83,10 +88,16 @@ type Server struct {
 	mu          sync.RWMutex
 	sensitivity float64
 	rng         *rand.Rand
-	cohorts     []*cohort
-	userCohort  []int       // user id -> index into cohorts
-	published   [][]float64 // r^1, r^2, ... (noisy histograms)
-	budgets     []float64   // eps_t actually spent
+	// Noise-RNG seam (see noise.go): when the source is tracked,
+	// noiseSrc counts draws so snapshots can record the stream position;
+	// noiseSeed/noiseProvenance say whether and how it can be restored.
+	noiseSrc        *countingSource
+	noiseSeed       int64
+	noiseProvenance string
+	cohorts         []*cohort
+	userCohort      []int       // user id -> index into cohorts
+	published       [][]float64 // r^1, r^2, ... (noisy histograms)
+	budgets         []float64   // eps_t actually spent
 
 	plan     release.Plan // optional budget plan for CollectPlanned
 	planBase int          // number of steps already taken when the plan was attached
@@ -136,9 +147,6 @@ func NewServerCached(domain, users int, models []AdversaryModel, rng *rand.Rand,
 			return nil, fmt.Errorf("stream: user %d forward chain has %d states, domain is %d", i, m.Forward.N(), domain)
 		}
 	}
-	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
-	}
 	if cache == nil {
 		cache = NewModelCache()
 	}
@@ -146,8 +154,18 @@ func NewServerCached(domain, users int, models []AdversaryModel, rng *rand.Rand,
 		domain:      domain,
 		users:       users,
 		sensitivity: mechanism.CountSensitivity,
-		rng:         rng,
 		userCohort:  make([]int, users),
+	}
+	if rng == nil {
+		// The historical deterministic default, now through the tracked
+		// seam so even default-constructed servers snapshot exactly.
+		s.setNoiseSourceLocked(1, NoiseSeeded)
+	} else {
+		// A caller-supplied generator is opaque: its position cannot be
+		// serialized, so snapshots of this server record only that a
+		// restore must re-seed.
+		s.rng = rng
+		s.noiseProvenance = NoiseExternal
 	}
 	byKey := make(map[string]int) // model fingerprint -> cohort index
 	fps := make(map[*markov.Chain]string)
@@ -167,7 +185,7 @@ func NewServerCached(domain, users int, models []AdversaryModel, rng *rand.Rand,
 			// deterministic function of chain content, so sharing is
 			// invisible to the accounting.
 			acc := core.NewAccountantFromQuantifiers(cache.quantifier(m.Backward, bfp), cache.quantifier(m.Forward, ffp))
-			s.cohorts = append(s.cohorts, &cohort{acc: acc, firstUser: i})
+			s.cohorts = append(s.cohorts, &cohort{acc: acc, firstUser: i, backward: m.Backward, forward: m.Forward})
 		}
 		s.userCohort[i] = ci
 	}

@@ -1,0 +1,361 @@
+package stream
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/markov"
+	"repro/internal/release"
+)
+
+// ErrBadServerState is wrapped by every RestoreServer/ApplyStep
+// rejection: corrupt, truncated or inconsistent state must never
+// restore into a server claiming a smaller leakage than was accrued.
+var ErrBadServerState = errors.New("stream: invalid server state")
+
+// CohortState is one cohort's share of a snapshot: the adversary
+// model's chain content (from which the compiled engine is re-derived
+// on restore — engines are never serialized) and the accountant state.
+type CohortState struct {
+	FirstUser int
+	// Backward, Forward are the transition rows of the cohort's chains;
+	// nil means no correlation in that direction.
+	Backward [][]float64
+	Forward  [][]float64
+	// Accountant carries the leakage series plus the content hashes the
+	// restore re-binds against.
+	Accountant *core.AccountantState
+}
+
+// ServerState is the explicit, serializable value of a Server: every
+// piece of state a restart would otherwise lose. It is a deep copy;
+// mutating it never affects the server it came from.
+//
+// Plans are not serialized — they are pure functions of their
+// construction parameters, which the owning layer (service configs)
+// retains; the snapshot records only the attachment position so a
+// rebuilt plan resumes at the right step.
+type ServerState struct {
+	Domain      int
+	Users       int
+	Workers     int
+	Sensitivity float64
+	Noise       int // release.Noise
+	UserCohort  []int
+	Cohorts     []CohortState
+	Published   [][]float64
+	Budgets     []float64
+	HasPlan     bool
+	PlanBase    int
+	RNG         NoiseState
+}
+
+// T returns the number of published steps the state covers.
+func (st *ServerState) T() int { return len(st.Budgets) }
+
+// chainRows extracts a chain's transition rows (nil chain -> nil).
+func chainRows(c *markov.Chain) [][]float64 {
+	if c == nil {
+		return nil
+	}
+	n := c.N()
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		rows[i] = c.Row(i)
+	}
+	return rows
+}
+
+// Snapshot captures the server's complete state as an explicit value:
+// cohorts (model content + accountant series), the per-user cohort map,
+// the published history and budgets, the plan position, and the noise
+// stream position. Safe to call concurrently with readers; it takes the
+// same locks a Report does.
+func (s *Server) Snapshot() *ServerState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := &ServerState{
+		Domain:      s.domain,
+		Users:       s.users,
+		Workers:     s.workers,
+		Sensitivity: s.sensitivity,
+		Noise:       int(s.noise),
+		UserCohort:  append([]int(nil), s.userCohort...),
+		Budgets:     append([]float64(nil), s.budgets...),
+		HasPlan:     s.plan != nil,
+		PlanBase:    s.planBase,
+		RNG:         s.noiseStateLocked(),
+	}
+	st.Published = make([][]float64, len(s.published))
+	for i, row := range s.published {
+		st.Published[i] = append([]float64(nil), row...)
+	}
+	st.Cohorts = make([]CohortState, len(s.cohorts))
+	for i, c := range s.cohorts {
+		c.mu.Lock()
+		acc := c.acc.Snapshot()
+		c.mu.Unlock()
+		st.Cohorts[i] = CohortState{
+			FirstUser:  c.firstUser,
+			Backward:   chainRows(c.backward),
+			Forward:    chainRows(c.forward),
+			Accountant: acc,
+		}
+	}
+	return st
+}
+
+// RestoreOptions parameterizes RestoreServer.
+type RestoreOptions struct {
+	// Cache deduplicates the compiled correlation models the restore
+	// re-derives from chain content; nil gives the server a private one.
+	// Restoring a fleet of sessions through one cache compiles each
+	// distinct matrix once, exactly like creating them did.
+	Cache *ModelCache
+	// Plan re-attaches a budget plan at the snapshot's recorded
+	// position. Required when the state says a plan was attached
+	// (plans are rebuilt by the layer that knows their construction
+	// parameters, not serialized).
+	Plan release.Plan
+	// ReseedSeed seeds the noise stream when the snapshot's RNG is not
+	// restorable (ephemeral/external/reseeded provenance). The restored
+	// server records NoiseReseeded provenance. Zero (the natural
+	// omission) means "draw one from OS entropy" — a fixed default
+	// would hand every careless restore the same predictable noise
+	// stream, the exact hole the ephemeral-seed design closes.
+	ReseedSeed int64
+}
+
+// entropySeed draws a reseed value from the OS entropy source.
+func entropySeed() (int64, error) {
+	var buf [8]byte
+	if _, err := crand.Read(buf[:]); err != nil {
+		return 0, fmt.Errorf("stream: drawing reseed entropy: %w", err)
+	}
+	return int64(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+// badState wraps a restore rejection with ErrBadServerState.
+func badState(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadServerState, fmt.Sprintf(format, args...))
+}
+
+// validate checks every structural invariant of a snapshot before any
+// of it is adopted.
+func (st *ServerState) validate() error {
+	if st.Domain <= 0 {
+		return badState("domain %d", st.Domain)
+	}
+	if st.Users <= 0 {
+		return badState("users %d", st.Users)
+	}
+	if st.Workers < 0 {
+		return badState("workers %d", st.Workers)
+	}
+	if len(st.UserCohort) != st.Users {
+		return badState("%d cohort assignments for %d users", len(st.UserCohort), st.Users)
+	}
+	if len(st.Cohorts) == 0 || len(st.Cohorts) > st.Users {
+		return badState("%d cohorts for %d users", len(st.Cohorts), st.Users)
+	}
+	// Every cohort must be referenced, and its FirstUser must be the
+	// first reference — the Report tie-breaking contract depends on it.
+	first := make([]int, len(st.Cohorts))
+	for i := range first {
+		first[i] = -1
+	}
+	for u, ci := range st.UserCohort {
+		if ci < 0 || ci >= len(st.Cohorts) {
+			return badState("user %d assigned to cohort %d of %d", u, ci, len(st.Cohorts))
+		}
+		if first[ci] == -1 {
+			first[ci] = u
+		}
+	}
+	for ci, u := range first {
+		if u == -1 {
+			return badState("cohort %d has no members", ci)
+		}
+		if st.Cohorts[ci].FirstUser != u {
+			return badState("cohort %d records first user %d but the map says %d", ci, st.Cohorts[ci].FirstUser, u)
+		}
+	}
+	if len(st.Published) != len(st.Budgets) {
+		return badState("%d published steps but %d budgets", len(st.Published), len(st.Budgets))
+	}
+	for t, row := range st.Published {
+		if len(row) != st.Domain {
+			return badState("published step %d has %d bins, domain is %d", t+1, len(row), st.Domain)
+		}
+	}
+	for t, e := range st.Budgets {
+		if err := core.CheckBudget(e); err != nil {
+			return badState("budget at step %d: %v", t+1, err)
+		}
+	}
+	if st.Sensitivity <= 0 || math.IsNaN(st.Sensitivity) || math.IsInf(st.Sensitivity, 0) {
+		return badState("sensitivity %v", st.Sensitivity)
+	}
+	switch release.Noise(st.Noise) {
+	case release.LaplaceNoise:
+	case release.GeometricNoise:
+		if st.Sensitivity != math.Trunc(st.Sensitivity) {
+			return badState("geometric noise with non-integral sensitivity %v", st.Sensitivity)
+		}
+	default:
+		return badState("unknown noise kind %d", st.Noise)
+	}
+	if st.PlanBase < 0 || st.PlanBase > len(st.Budgets) {
+		return badState("plan base %d outside [0,%d]", st.PlanBase, len(st.Budgets))
+	}
+	switch st.RNG.Provenance {
+	case NoiseSeeded, NoiseEphemeral, NoiseExternal, NoiseReseeded:
+	default:
+		return badState("unknown noise provenance %q", st.RNG.Provenance)
+	}
+	for ci, c := range st.Cohorts {
+		if c.Accountant == nil {
+			return badState("cohort %d has no accountant state", ci)
+		}
+		if c.Accountant.T() != len(st.Budgets) {
+			return badState("cohort %d accountant covers %d steps, server published %d", ci, c.Accountant.T(), len(st.Budgets))
+		}
+	}
+	return nil
+}
+
+// RestoreServer rebuilds a server from a snapshot. The compiled leakage
+// engines are re-attached by content: each cohort's chains are
+// revalidated, fingerprinted and resolved through the cache, then the
+// accountant state is re-bound against the resulting quantifiers'
+// content hashes (a mismatch — state captured against one model,
+// restored against another — is rejected). The restored server answers
+// Report, UserTPLSeries, WEvent and every other read identically to the
+// original, bit for bit.
+func RestoreServer(st *ServerState, opts RestoreOptions) (*Server, error) {
+	if st == nil {
+		return nil, badState("nil state")
+	}
+	if err := st.validate(); err != nil {
+		return nil, err
+	}
+	if st.HasPlan && opts.Plan == nil {
+		return nil, badState("snapshot has an attached plan; RestoreOptions.Plan must supply the rebuilt plan")
+	}
+	if !st.HasPlan && opts.Plan != nil {
+		return nil, badState("snapshot has no plan but RestoreOptions.Plan is set")
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = NewModelCache()
+	}
+	s := &Server{
+		domain:      st.Domain,
+		users:       st.Users,
+		workers:     st.Workers,
+		sensitivity: st.Sensitivity,
+		noise:       release.Noise(st.Noise),
+		userCohort:  append([]int(nil), st.UserCohort...),
+		budgets:     append([]float64(nil), st.Budgets...),
+		planBase:    st.PlanBase,
+		plan:        opts.Plan,
+	}
+	s.published = make([][]float64, len(st.Published))
+	for i, row := range st.Published {
+		s.published[i] = append([]float64(nil), row...)
+	}
+	fps := make(map[*markov.Chain]string)
+	restoreChain := func(ci int, dir string, rows [][]float64) (*markov.Chain, string, error) {
+		if rows == nil {
+			return nil, "-", nil
+		}
+		c, err := markov.FromRows(rows)
+		if err != nil {
+			return nil, "", badState("cohort %d %s chain: %v", ci, dir, err)
+		}
+		if c.N() != st.Domain {
+			return nil, "", badState("cohort %d %s chain has %d states, domain is %d", ci, dir, c.N(), st.Domain)
+		}
+		return c, chainFingerprint(c, fps), nil
+	}
+	for ci, cs := range st.Cohorts {
+		pb, bfp, err := restoreChain(ci, "backward", cs.Backward)
+		if err != nil {
+			return nil, err
+		}
+		pf, ffp, err := restoreChain(ci, "forward", cs.Forward)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := core.RestoreAccountant(cs.Accountant, cache.quantifier(pb, bfp), cache.quantifier(pf, ffp))
+		if err != nil {
+			return nil, fmt.Errorf("%w: cohort %d: %v", ErrBadServerState, ci, err)
+		}
+		s.cohorts = append(s.cohorts, &cohort{acc: acc, firstUser: cs.FirstUser, backward: pb, forward: pf})
+	}
+	if st.RNG.Provenance == NoiseSeeded {
+		s.setNoiseSourceLocked(st.RNG.Seed, NoiseSeeded)
+		s.noiseSrc.skip(st.RNG.Draws)
+	} else {
+		// The snapshot's noise stream cannot be reproduced (its seed was
+		// withheld or never known). Re-seed and record that the stream
+		// history broke here — the provenance survives into future
+		// snapshots so the break stays auditable.
+		seed := opts.ReseedSeed
+		if seed == 0 {
+			var err error
+			if seed, err = entropySeed(); err != nil {
+				return nil, err
+			}
+		}
+		s.setNoiseSourceLocked(seed, NoiseReseeded)
+	}
+	return s, nil
+}
+
+// StepRecord is the journal form of one published step: everything a
+// replay needs to bring a restored server from step T-1 to step T
+// without re-drawing noise. It is deliberately free of derived leakage
+// values — replay recomputes them through the accountants, so a
+// tampered journal cannot assert a leakage the series does not imply.
+type StepRecord struct {
+	// T is the 1-based step this record publishes.
+	T int
+	// Eps is the budget the step charged.
+	Eps float64
+	// Published is the noisy histogram that was released.
+	Published []float64
+	// NoiseDraws is the noise-stream position after the step (0 when the
+	// stream was untracked).
+	NoiseDraws uint64
+}
+
+// ApplyStep replays one journal record: it charges the budget to every
+// cohort, appends the already-published histogram verbatim, and
+// fast-forwards the noise stream to the recorded position. Records must
+// arrive in order with no gaps. Used during recovery (snapshot +
+// journal tail); live traffic goes through Collect.
+func (s *Server) ApplyStep(rec StepRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec.T != len(s.budgets)+1 {
+		return badState("step record for t=%d but server is at t=%d", rec.T, len(s.budgets))
+	}
+	if err := core.CheckBudget(rec.Eps); err != nil {
+		return badState("step %d: %v", rec.T, err)
+	}
+	if len(rec.Published) != s.domain {
+		return badState("step %d publishes %d bins, domain is %d", rec.T, len(rec.Published), s.domain)
+	}
+	s.observeAll(rec.Eps)
+	s.published = append(s.published, append([]float64(nil), rec.Published...))
+	s.budgets = append(s.budgets, rec.Eps)
+	if s.noiseSrc != nil && s.noiseProvenance == NoiseSeeded && rec.NoiseDraws > s.noiseSrc.draws {
+		s.noiseSrc.skip(rec.NoiseDraws - s.noiseSrc.draws)
+	}
+	return nil
+}
