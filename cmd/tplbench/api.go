@@ -1,0 +1,286 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/report"
+	"repro/internal/service"
+	"repro/tpl/client"
+)
+
+// The wire-API perf smoke behind -fig api: how fast can a tenant push
+// time steps into the accountant over HTTP? Three wire shapes are
+// measured against a real TCP server with an identical 100k-user
+// session (10 cohorts, so each landed step does the same accounting
+// work in every mode):
+//
+//   - v1-per-step: the deprecated contract — one request per step,
+//     per-user values.
+//   - v2-ndjson-values: the v2 batch endpoint, NDJSON, per-user values.
+//     Removes the per-request overhead but still pays the dominant
+//     cost, JSON-decoding 100k integers per step.
+//   - v2-ndjson-counts: the v2 batch endpoint, NDJSON, pre-aggregated
+//     histograms. The at-scale wire shape: a step is domain-sized, so
+//     the transport stops being the bottleneck entirely.
+//
+// Request bodies are pre-encoded outside the timed window — the figure
+// is server ingest throughput, not client marshaling. Written as
+// BENCH_api.json so CI tracks the trajectory next to BENCH_engine.json
+// and BENCH_persist.json.
+
+// apiPoint is one row of BENCH_api.json.
+type apiPoint struct {
+	Mode         string  `json:"mode"`
+	Steps        int     `json:"steps"`
+	Requests     int     `json:"requests"`
+	BytesPerStep int     `json:"bytes_per_step"`
+	NsPerStep    int64   `json:"ns_per_step"`
+	StepsPerSec  float64 `json:"steps_per_sec"`
+}
+
+// apiBenchFile is the BENCH_api.json document.
+type apiBenchFile struct {
+	Benchmark          string     `json:"benchmark"`
+	Users              int        `json:"users"`
+	Domain             int        `json:"domain"`
+	Cohorts            int        `json:"cohorts"`
+	Points             []apiPoint `json:"points"`
+	SpeedupValuesVsV1  float64    `json:"speedup_values_vs_v1"`
+	SpeedupCountsVsV1  float64    `json:"speedup_counts_vs_v1"`
+	SpeedupBatchedVsV1 float64    `json:"speedup_batched_vs_v1"` // best batched mode vs v1
+	Note               string     `json:"note"`
+}
+
+// encodeStepJSON renders one step object ({"values":[...]} or
+// {"counts":[...]}) with an explicit budget.
+func encodeStepJSON(key string, data []int, eps float64) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(`{"` + key + `":[`)
+	for i, v := range data {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteString(strconv.Itoa(v))
+	}
+	buf.WriteString(`],"eps":` + strconv.FormatFloat(eps, 'g', -1, 64) + `}`)
+	return buf.Bytes()
+}
+
+// postRaw sends one pre-encoded body and drains the response.
+func postRaw(hc *http.Client, url, contentType string, body []byte) error {
+	resp, err := hc.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		out, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%s: %s", resp.Status, out)
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+// runAPIBench measures the three wire modes and optionally writes
+// BENCH_api.json.
+func runAPIBench(wr *report.Writer, seed int64, full bool, jsonPath string) error {
+	users, domain, cohorts := 100_000, 4, 10
+	v1Steps, valuesSteps, countsSteps := 12, 48, 384
+	batch := 96
+	if full {
+		v1Steps, valuesSteps, countsSteps = 30, 120, 1024
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// A real TCP server: the v1 number must pay genuine per-request
+	// overhead, not httptest in-process shortcuts.
+	api := service.NewAPI()
+	hs := &http.Server{Handler: api.Handler()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	hc := &http.Client{}
+	c, err := client.New(base)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	newSession := func(name string) error {
+		cfg, err := loadgen.SessionConfig(name, users, domain, cohorts, 0.45, 7)
+		if err != nil {
+			return err
+		}
+		_, err = c.CreateSession(ctx, cfg)
+		return err
+	}
+	values := func() []int {
+		v := make([]int, users)
+		for i := range v {
+			v[i] = rng.Intn(domain)
+		}
+		return v
+	}
+	counts := func() []int {
+		cs := make([]int, domain)
+		left := users
+		for v := 0; v < domain-1; v++ {
+			n := rng.Intn(left + 1)
+			cs[v] = n
+			left -= n
+		}
+		cs[domain-1] = left
+		return cs
+	}
+
+	doc := apiBenchFile{
+		Benchmark: "api", Users: users, Domain: domain, Cohorts: cohorts,
+		Note: "pre-encoded bodies over real TCP; identical accounting per step in every mode; counts is the recommended at-scale wire shape",
+	}
+
+	// --- v1: one request per step ---
+	if err := newSession("bench-v1"); err != nil {
+		return err
+	}
+	v1Bodies := make([][]byte, v1Steps)
+	for i := range v1Bodies {
+		v1Bodies[i] = encodeStepJSON("values", values(), 0.1)
+	}
+	start := time.Now()
+	for _, body := range v1Bodies {
+		if err := postRaw(hc, base+"/v1/sessions/bench-v1/steps", "application/json", body); err != nil {
+			return fmt.Errorf("v1 step: %w", err)
+		}
+	}
+	elapsed := time.Since(start)
+	p1 := apiPoint{
+		Mode: "v1-per-step", Steps: v1Steps, Requests: v1Steps,
+		BytesPerStep: len(v1Bodies[0]),
+		NsPerStep:    elapsed.Nanoseconds() / int64(v1Steps),
+		StepsPerSec:  float64(v1Steps) / elapsed.Seconds(),
+	}
+	doc.Points = append(doc.Points, p1)
+
+	// --- v2: NDJSON batches of per-user values ---
+	if err := newSession("bench-v2v"); err != nil {
+		return err
+	}
+	var vBodies [][]byte
+	for done := 0; done < valuesSteps; {
+		n := min(batch, valuesSteps-done)
+		var buf bytes.Buffer
+		for j := 0; j < n; j++ {
+			buf.Write(encodeStepJSON("values", values(), 0.1))
+			buf.WriteByte('\n')
+		}
+		vBodies = append(vBodies, buf.Bytes())
+		done += n
+	}
+	start = time.Now()
+	for _, body := range vBodies {
+		if err := postRaw(hc, base+"/v2/sessions/bench-v2v/steps", "application/x-ndjson", body); err != nil {
+			return fmt.Errorf("v2 values batch: %w", err)
+		}
+	}
+	elapsed = time.Since(start)
+	p2 := apiPoint{
+		Mode: "v2-ndjson-values", Steps: valuesSteps, Requests: len(vBodies),
+		BytesPerStep: len(vBodies[0]) / min(batch, valuesSteps),
+		NsPerStep:    elapsed.Nanoseconds() / int64(valuesSteps),
+		StepsPerSec:  float64(valuesSteps) / elapsed.Seconds(),
+	}
+	doc.Points = append(doc.Points, p2)
+
+	// --- v2: NDJSON batches of pre-aggregated counts ---
+	if err := newSession("bench-v2c"); err != nil {
+		return err
+	}
+	var cBodies [][]byte
+	for done := 0; done < countsSteps; {
+		n := min(batch, countsSteps-done)
+		var buf bytes.Buffer
+		for j := 0; j < n; j++ {
+			buf.Write(encodeStepJSON("counts", counts(), 0.1))
+			buf.WriteByte('\n')
+		}
+		cBodies = append(cBodies, buf.Bytes())
+		done += n
+	}
+	start = time.Now()
+	for _, body := range cBodies {
+		if err := postRaw(hc, base+"/v2/sessions/bench-v2c/steps", "application/x-ndjson", body); err != nil {
+			return fmt.Errorf("v2 counts batch: %w", err)
+		}
+	}
+	elapsed = time.Since(start)
+	p3 := apiPoint{
+		Mode: "v2-ndjson-counts", Steps: countsSteps, Requests: len(cBodies),
+		BytesPerStep: len(cBodies[0]) / min(batch, countsSteps),
+		NsPerStep:    elapsed.Nanoseconds() / int64(countsSteps),
+		StepsPerSec:  float64(countsSteps) / elapsed.Seconds(),
+	}
+	doc.Points = append(doc.Points, p3)
+
+	// Sanity: every mode really accounted its steps.
+	for _, chk := range []struct {
+		name string
+		want int
+	}{{"bench-v1", v1Steps}, {"bench-v2v", valuesSteps}, {"bench-v2c", countsSteps}} {
+		sum, err := c.GetSession(ctx, chk.name)
+		if err != nil {
+			return err
+		}
+		if sum.T != chk.want {
+			return fmt.Errorf("session %s ended at t=%d, want %d", chk.name, sum.T, chk.want)
+		}
+	}
+
+	doc.SpeedupValuesVsV1 = p2.StepsPerSec / p1.StepsPerSec
+	doc.SpeedupCountsVsV1 = p3.StepsPerSec / p1.StepsPerSec
+	doc.SpeedupBatchedVsV1 = max(doc.SpeedupValuesVsV1, doc.SpeedupCountsVsV1)
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+
+	tb := &report.Table{
+		Title:  fmt.Sprintf("Wire-API ingest benchmark (%d users, %d cohorts, domain %d)", users, cohorts, domain),
+		Header: []string{"mode", "steps", "requests", "bytes/step", "per step", "steps/s", "vs v1"},
+	}
+	for _, p := range doc.Points {
+		tb.AddRow(
+			p.Mode,
+			strconv.Itoa(p.Steps),
+			strconv.Itoa(p.Requests),
+			strconv.Itoa(p.BytesPerStep),
+			time.Duration(p.NsPerStep).Round(time.Microsecond).String(),
+			fmt.Sprintf("%.1f", p.StepsPerSec),
+			fmt.Sprintf("%.1fx", p.StepsPerSec/p1.StepsPerSec),
+		)
+	}
+	tb.Notes = append(tb.Notes,
+		"values batching removes per-request overhead but still JSON-decodes one integer per user per step; counts removes the transport bottleneck",
+		"regenerate BENCH_api.json with: go run ./cmd/tplbench -fig api -api-json BENCH_api.json")
+	return wr.WriteTable(tb)
+}

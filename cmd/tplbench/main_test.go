@@ -24,7 +24,7 @@ func TestRunEveryFigure(t *testing.T) {
 	}
 	for fig, title := range wantTitles {
 		var buf bytes.Buffer
-		if err := run(&buf, fig, false, "text", 1, "", ""); err != nil {
+		if err := run(&buf, fig, false, "text", 1, "", "", ""); err != nil {
 			t.Fatalf("fig %s: %v", fig, err)
 		}
 		if !strings.Contains(buf.String(), title) {
@@ -47,7 +47,7 @@ func TestRunSlowFigures(t *testing.T) {
 	}
 	for fig, title := range wantTitles {
 		var buf bytes.Buffer
-		if err := run(&buf, fig, false, "text", 1, "", ""); err != nil {
+		if err := run(&buf, fig, false, "text", 1, "", "", ""); err != nil {
 			t.Fatalf("fig %s: %v", fig, err)
 		}
 		if !strings.Contains(buf.String(), title) {
@@ -58,7 +58,7 @@ func TestRunSlowFigures(t *testing.T) {
 
 func TestRunCSVMode(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "table2", false, "csv", 1, "", ""); err != nil {
+	if err := run(&buf, "table2", false, "csv", 1, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -69,7 +69,7 @@ func TestRunCSVMode(t *testing.T) {
 
 func TestRunUnknownFigure(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "nope", false, "text", 1, "", ""); err == nil {
+	if err := run(&buf, "nope", false, "text", 1, "", "", ""); err == nil {
 		t.Error("unknown figure id should fail")
 	}
 }
@@ -83,7 +83,7 @@ func TestRunFig3MatchesGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "3", false, "csv", 1, "", ""); err != nil {
+	if err := run(&buf, "3", false, "csv", 1, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	if buf.String() != string(golden) {
@@ -98,7 +98,7 @@ func TestRunTable2MatchesGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "table2", false, "csv", 1, "", ""); err != nil {
+	if err := run(&buf, "table2", false, "csv", 1, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	if buf.String() != string(golden) {
@@ -109,7 +109,7 @@ func TestRunTable2MatchesGolden(t *testing.T) {
 
 func TestRunFig3PrintsPaperValues(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "3", false, "text", 1, "", ""); err != nil {
+	if err := run(&buf, "3", false, "text", 1, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, v := range []string{"0.18", "0.64", "0.50"} {
@@ -145,7 +145,7 @@ func TestEveryFastFigureRendersInAllFormats(t *testing.T) {
 	for _, fig := range []string{"1", "3", "4", "7", "table2", "mixing", "soundness"} {
 		for _, format := range []string{"text", "csv", "md", "json"} {
 			var buf bytes.Buffer
-			if err := run(&buf, fig, false, format, 1, "", ""); err != nil {
+			if err := run(&buf, fig, false, format, 1, "", "", ""); err != nil {
 				t.Fatalf("fig %s format %s: %v", fig, format, err)
 			}
 			if buf.Len() == 0 {
@@ -160,7 +160,7 @@ func TestEveryFastFigureRendersInAllFormats(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "3", false, "yaml", 1, "", ""); err == nil {
+	if err := run(&buf, "3", false, "yaml", 1, "", "", ""); err == nil {
 		t.Error("unknown format should fail")
 	}
 }
@@ -170,7 +170,7 @@ func TestSlowFigureJSONParses(t *testing.T) {
 		t.Skip("skipping multi-second figure regeneration in -short mode")
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "8t", false, "json", 1, "", ""); err != nil {
+	if err := run(&buf, "8t", false, "json", 1, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	tables, err := report.ParseJSONLines(&buf)
@@ -184,7 +184,7 @@ func TestRunAllEmitsDocumentHeader(t *testing.T) {
 		t.Skip("skipping full regeneration in -short mode")
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "all", false, "md", 1, "", ""); err != nil {
+	if err := run(&buf, "all", false, "md", 1, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -1,0 +1,205 @@
+// Command tplload is the load generator for the continuous-release
+// service: it drives one or more sessions of configurable population
+// against a running tplserved over the tpl/client SDK and reports
+// ingest throughput. Use it to size deployments, compare wire modes
+// (v1 per-step vs v2 batched values vs v2 batched pre-aggregated
+// counts), and soak the durability pipeline.
+//
+// Usage:
+//
+//	tplload -addr http://localhost:8344 -users 100000 -steps 200
+//	tplload -mode v2-values -batch 64 -sessions 4
+//	tplload -mode v1 -steps 50          # the deprecated per-step wire
+//
+// Modes: v2-counts (default; NDJSON batches of pre-aggregated
+// histograms — the at-scale shape), v2-values (NDJSON batches of raw
+// per-user values), v1 (one request per step over the deprecated API).
+// Every v2 batch carries an idempotency key, so the run is retry-safe
+// end to end.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/report"
+	"repro/internal/version"
+	"repro/tpl/client"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8344", "base URL of the tplserved service")
+		mode     = flag.String("mode", "v2-counts", "wire mode: v2-counts, v2-values, v1")
+		sessions = flag.Int("sessions", 1, "concurrent sessions (one worker each)")
+		users    = flag.Int("users", 100000, "population per session")
+		domain   = flag.Int("domain", 4, "value-domain size")
+		cohorts  = flag.Int("cohorts", 10, "distinct adversary-model cohorts per session")
+		steps    = flag.Int("steps", 100, "time steps per session")
+		batch    = flag.Int("batch", 64, "steps per v2 batch request")
+		eps      = flag.Float64("eps", 0.1, "per-step privacy budget")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		keep     = flag.Bool("keep", false, "leave the load sessions on the server (default: delete them)")
+		format   = flag.String("format", "", "output format: "+report.FormatNames()+" (default text)")
+		showVer  = flag.Bool("version", false, "print the build version and exit")
+	)
+	flag.Parse()
+	if *showVer {
+		fmt.Println("tplload", version.String())
+		return
+	}
+	if err := run(os.Stdout, *addr, *mode, *sessions, *users, *domain, *cohorts, *steps, *batch, *eps, *seed, *keep, *format); err != nil {
+		fmt.Fprintf(os.Stderr, "tplload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// workload generates one session's steps deterministically.
+type workload struct {
+	rng    *rand.Rand
+	users  int
+	domain int
+	eps    float64
+}
+
+func (wk *workload) step(counts bool) client.Step {
+	st := client.Step{Eps: &wk.eps}
+	if counts {
+		st.Counts = make([]int, wk.domain)
+		left := wk.users
+		for v := 0; v < wk.domain-1; v++ {
+			n := wk.rng.Intn(left + 1)
+			st.Counts[v] = n
+			left -= n
+		}
+		st.Counts[wk.domain-1] = left
+	} else {
+		st.Values = make([]int, wk.users)
+		for i := range st.Values {
+			st.Values[i] = wk.rng.Intn(wk.domain)
+		}
+	}
+	return st
+}
+
+func run(w io.Writer, addr, mode string, sessions, users, domain, cohorts, steps, batchSize int, eps float64, seed int64, keep bool, format string) error {
+	f, err := report.ParseFormat(report.ResolveFormat(format, false))
+	if err != nil {
+		return err
+	}
+	switch mode {
+	case "v1", "v2-values", "v2-counts":
+	default:
+		return fmt.Errorf("unknown -mode %q (want v2-counts, v2-values or v1)", mode)
+	}
+	if sessions < 1 || steps < 1 || batchSize < 1 {
+		return fmt.Errorf("-sessions, -steps and -batch must be positive")
+	}
+	c, err := client.New(addr)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if _, err := c.Health(ctx); err != nil {
+		return fmt.Errorf("service not reachable at %s: %w", addr, err)
+	}
+
+	names := make([]string, sessions)
+	for i := range names {
+		names[i] = "load-" + strconv.FormatInt(seed, 10) + "-" + strconv.Itoa(i)
+		cfg, err := loadgen.SessionConfig(names[i], users, domain, cohorts, 0.4, 0)
+		if err != nil {
+			return err
+		}
+		if _, err := c.CreateSession(ctx, cfg); err != nil {
+			return fmt.Errorf("creating %s: %w", names[i], err)
+		}
+	}
+	if !keep {
+		defer func() {
+			for _, name := range names {
+				_ = c.DeleteSession(context.Background(), name)
+			}
+		}()
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		sent     int
+	)
+	start := time.Now()
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wk := &workload{rng: rand.New(rand.NewSource(seed + int64(i))), users: users, domain: domain, eps: eps}
+			name := names[i]
+			done := 0
+			for done < steps {
+				var err error
+				var n int
+				switch mode {
+				case "v1":
+					n = 1
+					_, err = c.V1().Step(ctx, name, wk.step(false).Values, &eps)
+				default:
+					n = min(batchSize, steps-done)
+					batch := make([]client.Step, n)
+					for j := range batch {
+						batch[j] = wk.step(mode == "v2-counts")
+					}
+					_, err = c.StepsNDJSON(ctx, name, batch)
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("session %s: %w", name, err)
+					}
+					mu.Unlock()
+					return
+				}
+				done += n
+				mu.Lock()
+				sent += n
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return firstErr
+	}
+
+	perStep := elapsed / time.Duration(sent)
+	tb := &report.Table{
+		Title:  fmt.Sprintf("tplload: %s ingest against %s", mode, addr),
+		Header: []string{"sessions", "users", "cohorts", "steps", "elapsed", "steps/s", "user-values/s", "per step"},
+	}
+	tb.AddRow(
+		strconv.Itoa(sessions),
+		strconv.Itoa(users),
+		strconv.Itoa(cohorts),
+		strconv.Itoa(sent),
+		elapsed.Round(time.Millisecond).String(),
+		fmt.Sprintf("%.1f", float64(sent)/elapsed.Seconds()),
+		fmt.Sprintf("%.3g", float64(sent)*float64(users)/elapsed.Seconds()),
+		perStep.Round(time.Microsecond).String(),
+	)
+	if mode != "v1" {
+		tb.Notes = append(tb.Notes, fmt.Sprintf("batched NDJSON, %d steps per request, idempotency-keyed (retry-safe)", batchSize))
+	} else {
+		tb.Notes = append(tb.Notes, "deprecated v1 wire: one request per step, no retry safety")
+	}
+	return tb.RenderFormat(w, f)
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// TestLoadModes drives every wire mode at a tiny scale against an
+// in-process service and checks the run completes, reports the right
+// step count, and cleans its sessions up.
+func TestLoadModes(t *testing.T) {
+	api := service.NewAPI()
+	srv := httptest.NewServer(api.Handler())
+	defer srv.Close()
+
+	for _, mode := range []string{"v2-counts", "v2-values", "v1"} {
+		t.Run(mode, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf, srv.URL, mode, 2, 50, 3, 4, 7, 3, 0.1, 42, false, "csv"); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "14") { // 2 sessions x 7 steps
+				t.Fatalf("output does not report 14 steps:\n%s", out)
+			}
+			if api.Registry().Len() != 0 {
+				t.Fatalf("%d sessions left behind", api.Registry().Len())
+			}
+		})
+	}
+}
+
+func TestLoadBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "http://127.0.0.1:1", "nope", 1, 10, 2, 1, 1, 1, 0.1, 1, false, ""); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if err := run(&buf, "http://127.0.0.1:1", "v1", 0, 10, 2, 1, 1, 1, 0.1, 1, false, ""); err == nil {
+		t.Fatal("zero sessions accepted")
+	}
+}

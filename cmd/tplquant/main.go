@@ -29,6 +29,7 @@ import (
 	"repro/internal/markov"
 	"repro/internal/matrix"
 	"repro/internal/report"
+	"repro/internal/version"
 )
 
 func main() {
@@ -40,8 +41,13 @@ func main() {
 		budgets = flag.String("budgets", "", "file with one per-step budget per line; overrides -eps and -T")
 		format  = flag.String("format", "", "output format: "+report.FormatNames()+" (default text)")
 		csv     = flag.Bool("csv", false, "deprecated: alias for -format csv")
+		showVer = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println("tplquant", version.String())
+		return
+	}
 	*format = report.ResolveFormat(*format, *csv)
 	if err := run(os.Stdout, *pbPath, *pfPath, *eps, *T, *budgets, *format); err != nil {
 		fmt.Fprintf(os.Stderr, "tplquant: %v\n", err)

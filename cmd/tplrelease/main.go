@@ -28,19 +28,25 @@ import (
 	"repro/internal/mechanism"
 	"repro/internal/release"
 	"repro/internal/report"
+	"repro/internal/version"
 )
 
 func main() {
 	var (
-		pbPath = flag.String("pb", "", "backward correlation matrix file; optional")
-		pfPath = flag.String("pf", "", "forward correlation matrix file; optional")
-		alpha  = flag.Float64("alpha", 1, "target temporal privacy leakage (alpha-DP_T)")
-		alg    = flag.Int("alg", 3, "planner: 2 = upper bound (any horizon), 3 = quantification (fixed T)")
-		T      = flag.Int("T", 10, "release horizon (budgets printed for this many steps)")
-		format = flag.String("format", "", "output format: "+report.FormatNames()+" (default text)")
-		csv    = flag.Bool("csv", false, "deprecated: alias for -format csv")
+		pbPath  = flag.String("pb", "", "backward correlation matrix file; optional")
+		pfPath  = flag.String("pf", "", "forward correlation matrix file; optional")
+		alpha   = flag.Float64("alpha", 1, "target temporal privacy leakage (alpha-DP_T)")
+		alg     = flag.Int("alg", 3, "planner: 2 = upper bound (any horizon), 3 = quantification (fixed T)")
+		T       = flag.Int("T", 10, "release horizon (budgets printed for this many steps)")
+		format  = flag.String("format", "", "output format: "+report.FormatNames()+" (default text)")
+		csv     = flag.Bool("csv", false, "deprecated: alias for -format csv")
+		showVer = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println("tplrelease", version.String())
+		return
+	}
 	*format = report.ResolveFormat(*format, *csv)
 	if err := run(os.Stdout, *pbPath, *pfPath, *alpha, *alg, *T, *format); err != nil {
 		fmt.Fprintf(os.Stderr, "tplrelease: %v\n", err)

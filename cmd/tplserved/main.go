@@ -16,19 +16,27 @@
 // leakage), which would let an operator reset privacy budgets by
 // bouncing the process.
 //
-// Sessions are created over the API, collect time steps with explicit
-// or planned budgets, and answer leakage queries; users declaring
-// identical adversary models share one accountant (cohort-sharded
-// accounting), so sessions scale to very large populations. The server
-// shuts down gracefully on SIGINT/SIGTERM, draining in-flight requests.
+// Sessions are created over the API, ingest time steps in atomic
+// batches (v2: JSON arrays or NDJSON streams, idempotency-keyed so
+// retries are exactly-once) with explicit or planned budgets, and
+// answer leakage queries; users declaring identical adversary models
+// share one accountant (cohort-sharded accounting), so sessions scale
+// to very large populations. Errors are RFC 7807 problem+json with
+// stable codes; the deprecated /v1 per-step API remains as shims. Go
+// callers should use the typed tpl/client SDK instead of raw HTTP.
+// The server shuts down gracefully on SIGINT/SIGTERM, draining
+// in-flight requests.
 //
 //	curl -s localhost:8344/healthz
-//	curl -s -X POST localhost:8344/v1/sessions -d '{
+//	curl -s -X POST localhost:8344/v2/sessions -d '{
 //	  "name": "demo", "domain": 2,
 //	  "cohorts": [{"users": 100000, "model": {"backward": {"rows": [[0.8,0.2],[0.2,0.8]]}}},
 //	              {"users": 900000, "model": {}}]}'
-//	curl -s -X POST localhost:8344/v1/sessions/demo/steps -d '{"values": [...], "eps": 0.1}'
-//	curl -s 'localhost:8344/v1/sessions/demo/report?format=jsonl'
+//	curl -s -X POST localhost:8344/v2/sessions/demo/steps -H 'Idempotency-Key: b1' \
+//	  -d '[{"counts": [...], "eps": 0.1}, {"counts": [...], "eps": 0.1}]'
+//	curl -s 'localhost:8344/v2/sessions/demo/published?limit=10'
+//	curl -s 'localhost:8344/v2/sessions/demo/report?format=jsonl'
+//	curl -s -N 'localhost:8344/v2/sessions/demo/watch?from=0'
 package main
 
 import (
@@ -42,6 +50,7 @@ import (
 	"syscall"
 
 	"repro/internal/service"
+	"repro/internal/version"
 )
 
 func main() {
@@ -50,8 +59,13 @@ func main() {
 		quiet         = flag.Bool("quiet", false, "suppress serving logs")
 		stateDir      = flag.String("state-dir", "", "directory for durable session state (snapshots + step journals); empty = ephemeral, state dies with the process")
 		snapshotEvery = flag.Int("snapshot-every", 0, "steps between coalesced session snapshots (0 = default; journal records are appended every step regardless)")
+		showVer       = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println("tplserved", version.String())
+		return
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, *addr, *quiet, *stateDir, *snapshotEvery, nil); err != nil {

@@ -2,17 +2,16 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"net"
-	"net/http"
-	"strings"
 	"testing"
 	"time"
+
+	"repro/tpl/client"
 )
 
 // TestRunServesAndShutsDown boots the service on a free port, checks
-// liveness and one session round-trip over real TCP, then cancels the
-// context and expects a clean drain.
+// liveness and one session round-trip over real TCP through the SDK,
+// then cancels the context and expects a clean drain.
 func TestRunServesAndShutsDown(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -32,30 +31,23 @@ func TestRunServesAndShutsDown(t *testing.T) {
 		t.Fatal("server never came up")
 	}
 
-	resp, err := http.Get(base + "/healthz")
+	c, err := client.New(base)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var health struct {
-		Status   string `json:"status"`
-		Sessions int    `json:"sessions"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+	health, err := c.Health(ctx)
+	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if health.Status != "ok" || health.Sessions != 0 {
+	if health.Status != "ok" || health.Sessions != 0 || health.Version == "" {
 		t.Fatalf("health %+v", health)
 	}
 
-	body := `{"name":"smoke","domain":2,"users":3}`
-	resp, err = http.Post(base+"/v1/sessions", "application/json", strings.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
+	if _, err := c.CreateSession(ctx, client.SessionConfig{Name: "smoke", Domain: 2, Users: 3}); err != nil {
+		t.Fatalf("create: %v", err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		t.Fatalf("create: %d", resp.StatusCode)
+	if _, err := c.Steps(ctx, "smoke", []client.Step{{Values: []int{0, 1, 1}, Eps: client.Eps(0.5)}}); err != nil {
+		t.Fatalf("steps: %v", err)
 	}
 
 	cancel()

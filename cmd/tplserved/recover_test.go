@@ -2,10 +2,8 @@ package main
 
 import (
 	"bufio"
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
-	"io"
 	"net/http"
 	"net/http/httptest"
 	"os/exec"
@@ -16,15 +14,20 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/tpl/client"
 )
 
-// TestKillAndRecover is the crash-safety acceptance test: a tplserved
-// child is SIGKILLed mid-stream (no graceful shutdown, so recovery runs
-// from the last coalesced snapshot plus the journal tail), restarted on
-// the same state dir, and driven to the end of the stream. Every
-// leakage answer — per-user TPL series, the report, the w-event
-// maximum — and even the published histograms must match an
-// uninterrupted in-process control run bit for bit.
+// TestKillAndRecover is the crash-safety acceptance test, driven
+// entirely through the tpl/client SDK over the v2 batch endpoint: a
+// tplserved child is SIGKILLed mid-stream (no graceful shutdown, so
+// recovery runs from the last coalesced snapshot plus the journal
+// tail), restarted on the same state dir, the batch in flight at the
+// kill is RETRIED with its idempotency key — the restored process must
+// replay it from its journaled memory, not double-charge it — and the
+// stream is driven to the end. Every leakage answer — per-user TPL
+// series, the report, the w-event maximum — and even the published
+// histograms must match an uninterrupted in-process control run bit
+// for bit.
 func TestKillAndRecover(t *testing.T) {
 	if testing.Short() {
 		t.Skip("child-process recovery test skipped in -short mode")
@@ -38,15 +41,23 @@ func TestKillAndRecover(t *testing.T) {
 		t.Fatalf("build: %v\n%s", err, out)
 	}
 	stateDir := t.TempDir()
+	ctx := context.Background()
 
 	const (
-		sessionJSON = `{"name":"crashy","domain":2,"seed":424242,` +
-			`"cohorts":[{"users":3,"model":{"backward":{"rows":[[0.8,0.2],[0.3,0.7]]},"forward":{"rows":[[0.6,0.4],[0.1,0.9]]}}},` +
-			`{"users":2,"model":{}}]}`
 		users      = 5
-		totalSteps = 18
-		killAfter  = 12 // snapshots land at 5 and 10; the journal holds 11..12
+		batchLen   = 3
+		batches    = 6 // 18 steps total
+		killAfterB = 4 // kill after batch 4 (t=12); snapshots land at 5 and 10
 	)
+	chain := &client.Chain{Rows: [][]float64{{0.8, 0.2}, {0.3, 0.7}}}
+	fwd := &client.Chain{Rows: [][]float64{{0.6, 0.4}, {0.1, 0.9}}}
+	cfg := client.SessionConfig{
+		Name: "crashy", Domain: 2, Seed: 424242,
+		Cohorts: []client.Cohort{
+			{Users: 3, Model: client.Model{Backward: chain, Forward: fwd}},
+			{Users: 2, Model: client.Model{}},
+		},
+	}
 	values := func(i int) []int {
 		v := make([]int, users)
 		for u := range v {
@@ -55,35 +66,32 @@ func TestKillAndRecover(t *testing.T) {
 		return v
 	}
 	eps := func(i int) float64 { return 0.1 + 0.05*float64(i%3) }
-
-	postStep := func(base string, i int) error {
-		body, _ := json.Marshal(map[string]any{"values": values(i), "eps": eps(i)})
-		resp, err := http.Post(base+"/v1/sessions/crashy/steps", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return err
+	batch := func(b int) []client.Step {
+		steps := make([]client.Step, batchLen)
+		for j := range steps {
+			i := (b-1)*batchLen + j + 1
+			steps[j] = client.Step{Values: values(i), Eps: client.Eps(eps(i))}
 		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			out, _ := io.ReadAll(resp.Body)
-			return fmt.Errorf("step %d: %d: %s", i, resp.StatusCode, out)
-		}
-		return nil
+		return steps
 	}
+	key := func(b int) string { return fmt.Sprintf("crashy-batch-%d", b) }
 
-	// --- interrupted run, phase 1: serve, step, SIGKILL ---
+	// --- interrupted run, phase 1: serve, batch, SIGKILL ---
 	child, base := startChild(t, bin, stateDir)
-	createResp, err := http.Post(base+"/v1/sessions", "application/json", strings.NewReader(sessionJSON))
+	c1, err := client.New(base)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if createResp.StatusCode != http.StatusCreated {
-		out, _ := io.ReadAll(createResp.Body)
-		t.Fatalf("create: %d: %s", createResp.StatusCode, out)
+	if _, err := c1.CreateSession(ctx, cfg); err != nil {
+		t.Fatal(err)
 	}
-	createResp.Body.Close()
-	for i := 1; i <= killAfter; i++ {
-		if err := postStep(base, i); err != nil {
-			t.Fatal(err)
+	for b := 1; b <= killAfterB; b++ {
+		res, err := c1.StepsNDJSON(ctx, "crashy", batch(b), client.WithIdempotencyKey(key(b)))
+		if err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		if res.Replayed || res.LastT != b*batchLen {
+			t.Fatalf("batch %d: %+v", b, res)
 		}
 	}
 	if err := child.Process.Signal(syscall.SIGKILL); err != nil {
@@ -97,82 +105,114 @@ func TestKillAndRecover(t *testing.T) {
 		_ = child2.Process.Signal(syscall.SIGKILL)
 		_ = child2.Wait()
 	}()
-	var health struct {
-		Sessions    int `json:"sessions"`
-		Persistence struct {
-			Mode string `json:"mode"`
-		} `json:"persistence"`
+	c2, err := client.New(base2)
+	if err != nil {
+		t.Fatal(err)
 	}
-	getJSON(t, base2+"/healthz", &health)
+	health, err := c2.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if health.Sessions != 1 || health.Persistence.Mode != "durable" {
 		t.Fatalf("restarted health: %+v", health)
 	}
-	for i := killAfter + 1; i <= totalSteps; i++ {
-		if err := postStep(base2, i); err != nil {
-			t.Fatal(err)
+	// The client never heard back about batch 4 before the kill (as far
+	// as a real caller knows): retry it with the same key. The restored
+	// process must answer from its journaled idempotency memory.
+	res, err := c2.StepsNDJSON(ctx, "crashy", batch(killAfterB), client.WithIdempotencyKey(key(killAfterB)))
+	if err != nil {
+		t.Fatalf("post-crash retry: %v", err)
+	}
+	if !res.Replayed || res.LastT != killAfterB*batchLen {
+		t.Fatalf("post-crash retry was not replayed: %+v", res)
+	}
+	// Drive the stream to the end.
+	for b := killAfterB + 1; b <= batches; b++ {
+		res, err := c2.StepsNDJSON(ctx, "crashy", batch(b), client.WithIdempotencyKey(key(b)))
+		if err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		if res.Replayed || res.LastT != b*batchLen {
+			t.Fatalf("batch %d: %+v", b, res)
 		}
 	}
 
 	// --- control run: same session, uninterrupted, in process ---
-	api := service.NewAPI()
-	ctl := httptest.NewServer(api.Handler())
+	ctl := httptest.NewServer(service.NewAPI().Handler())
 	defer ctl.Close()
-	resp, err := http.Post(ctl.URL+"/v1/sessions", "application/json", strings.NewReader(sessionJSON))
+	cc, err := client.New(ctl.URL)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	for i := 1; i <= totalSteps; i++ {
-		if err := postStep(ctl.URL, i); err != nil {
-			t.Fatalf("control %v", err)
+	if _, err := cc.CreateSession(ctx, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for b := 1; b <= batches; b++ {
+		if _, err := cc.StepsNDJSON(ctx, "crashy", batch(b)); err != nil {
+			t.Fatalf("control batch %d: %v", b, err)
 		}
 	}
 
 	// --- equality ---
+	const totalSteps = batches * batchLen
 	for u := 0; u < users; u++ {
-		var got, want struct {
-			TPL []float64 `json:"tpl"`
+		got, err := c2.TPLSeries(ctx, "crashy", u)
+		if err != nil {
+			t.Fatal(err)
 		}
-		getJSON(t, fmt.Sprintf("%s/v1/sessions/crashy/tpl?user=%d", base2, u), &got)
-		getJSON(t, fmt.Sprintf("%s/v1/sessions/crashy/tpl?user=%d", ctl.URL, u), &want)
-		if len(got.TPL) != totalSteps || len(want.TPL) != totalSteps {
-			t.Fatalf("user %d: series lengths %d/%d", u, len(got.TPL), len(want.TPL))
+		want, err := cc.TPLSeries(ctx, "crashy", u)
+		if err != nil {
+			t.Fatal(err)
 		}
-		for i := range want.TPL {
-			if got.TPL[i] != want.TPL[i] {
-				t.Fatalf("user %d TPL[%d]: recovered %v != control %v", u, i, got.TPL[i], want.TPL[i])
+		if len(got) != totalSteps || len(want) != totalSteps {
+			t.Fatalf("user %d: series lengths %d/%d", u, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("user %d TPL[%d]: recovered %v != control %v", u, i, got[i], want[i])
 			}
 		}
 	}
-	var gotRep, wantRep map[string]any
-	getJSON(t, base2+"/v1/sessions/crashy/report", &gotRep)
-	getJSON(t, ctl.URL+"/v1/sessions/crashy/report", &wantRep)
-	for k, v := range wantRep {
-		if gotRep[k] != v {
-			t.Fatalf("report %q: recovered %v != control %v", k, gotRep[k], v)
-		}
+	gotRep, err := c2.Report(ctx, "crashy")
+	if err != nil {
+		t.Fatal(err)
 	}
-	var gotW, wantW map[string]any
-	getJSON(t, base2+"/v1/sessions/crashy/wevent?w=3", &gotW)
-	getJSON(t, ctl.URL+"/v1/sessions/crashy/wevent?w=3", &wantW)
-	if gotW["leakage"] != wantW["leakage"] || gotW["user"] != wantW["user"] {
-		t.Fatalf("wevent: recovered %v != control %v", gotW, wantW)
+	wantRep, err := cc.Report(ctx, "crashy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRep != wantRep {
+		t.Fatalf("report: recovered %+v != control %+v", gotRep, wantRep)
+	}
+	gotW, err := c2.WEvent(ctx, "crashy", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantW, err := cc.WEvent(ctx, "crashy", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotW != wantW {
+		t.Fatalf("wevent: recovered %+v != control %+v", gotW, wantW)
 	}
 	// The session's seed is an explicit opt-in, so even the noise
-	// stream must have survived the kill: every published histogram
-	// matches the control run.
-	var gotPub, wantPub struct {
-		Published [][]float64 `json:"published"`
+	// stream must have survived the kill AND the idempotent replay:
+	// every published histogram matches the control run.
+	gotPub, err := c2.PublishedAll(ctx, "crashy")
+	if err != nil {
+		t.Fatal(err)
 	}
-	getJSON(t, base2+"/v1/sessions/crashy/published", &gotPub)
-	getJSON(t, ctl.URL+"/v1/sessions/crashy/published", &wantPub)
-	if len(gotPub.Published) != totalSteps {
-		t.Fatalf("published history %d steps", len(gotPub.Published))
+	wantPub, err := cc.PublishedAll(ctx, "crashy")
+	if err != nil {
+		t.Fatal(err)
 	}
-	for i := range wantPub.Published {
-		for j := range wantPub.Published[i] {
-			if gotPub.Published[i][j] != wantPub.Published[i][j] {
-				t.Fatalf("published[%d][%d]: recovered %v != control %v", i, j, gotPub.Published[i][j], wantPub.Published[i][j])
+	if len(gotPub) != totalSteps {
+		t.Fatalf("published history %d steps", len(gotPub))
+	}
+	for i := range wantPub {
+		for j := range wantPub[i].Published {
+			if gotPub[i].Published[j] != wantPub[i].Published[j] {
+				t.Fatalf("published[%d][%d]: recovered %v != control %v", i, j, gotPub[i].Published[j], wantPub[i].Published[j])
 			}
 		}
 	}
@@ -225,21 +265,4 @@ func startChild(t *testing.T, bin, stateDir string) (*exec.Cmd, string) {
 		t.Fatal("child never logged its listen address")
 	}
 	panic("unreachable")
-}
-
-// getJSON fetches and decodes one JSON response.
-func getJSON(t *testing.T, url string, v any) {
-	t.Helper()
-	resp, err := http.Get(url)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		out, _ := io.ReadAll(resp.Body)
-		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, out)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
-		t.Fatalf("GET %s: %v", url, err)
-	}
 }

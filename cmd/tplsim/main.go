@@ -35,22 +35,28 @@ import (
 	"repro/internal/mechanism"
 	"repro/internal/report"
 	"repro/internal/trace"
+	"repro/internal/version"
 )
 
 func main() {
 	var (
-		model  = flag.String("model", "fig1", "mobility model: fig1, smoothed, lazy")
-		out    = flag.String("out", "counts", "what to emit: traces, counts, noisy, matrix, matrixB")
-		users  = flag.Int("users", 100, "population size")
-		T      = flag.Int("T", 20, "number of time steps")
-		n      = flag.Int("n", 10, "domain size (smoothed/lazy models)")
-		s      = flag.Float64("s", 0.05, "Laplacian smoothing parameter (smoothed model)")
-		stay   = flag.Float64("stay", 0.8, "stay probability (lazy model)")
-		eps    = flag.Float64("eps", 1, "Laplace budget for -out noisy")
-		seed   = flag.Int64("seed", 1, "random seed")
-		format = flag.String("format", "csv", "format for tabular outputs: "+report.FormatNames()+" (matrix outputs are always raw CSV)")
+		model   = flag.String("model", "fig1", "mobility model: fig1, smoothed, lazy")
+		out     = flag.String("out", "counts", "what to emit: traces, counts, noisy, matrix, matrixB")
+		users   = flag.Int("users", 100, "population size")
+		T       = flag.Int("T", 20, "number of time steps")
+		n       = flag.Int("n", 10, "domain size (smoothed/lazy models)")
+		s       = flag.Float64("s", 0.05, "Laplacian smoothing parameter (smoothed model)")
+		stay    = flag.Float64("stay", 0.8, "stay probability (lazy model)")
+		eps     = flag.Float64("eps", 1, "Laplace budget for -out noisy")
+		seed    = flag.Int64("seed", 1, "random seed")
+		format  = flag.String("format", "csv", "format for tabular outputs: "+report.FormatNames()+" (matrix outputs are always raw CSV)")
+		showVer = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println("tplsim", version.String())
+		return
+	}
 	if err := run(os.Stdout, *model, *out, *users, *T, *n, *s, *stay, *eps, *seed, *format); err != nil {
 		fmt.Fprintf(os.Stderr, "tplsim: %v\n", err)
 		os.Exit(1)

@@ -1,12 +1,17 @@
-// Served: drive the continuous-release service over HTTP, end to end.
+// Served: drive the continuous-release service over its v2 wire API,
+// end to end, through the typed tpl/client SDK.
 //
 // This walkthrough boots the tplserved service in-process on a free
 // port, then acts as a remote tenant: it creates a session whose
 // 10,000-user population is declared as three cohorts (users sharing an
 // adversary model share one accountant — the cohort-sharded accounting
-// that makes large sessions cheap), streams twenty time steps of counts
-// with explicit and planned budgets, and reads the leakage back in the
-// report JSON-lines wire format, re-rendering it locally as text.
+// that makes large sessions cheap), streams twenty time steps in two
+// idempotent batches (ten exploratory steps with an explicit budget,
+// ten drawn from the attached quantified plan), watches the per-step
+// TPL frames arrive over the SSE stream, and reads the guarantee back
+// in the report JSON-lines wire format, re-rendering it locally as
+// text. No hand-rolled HTTP anywhere: every call goes through
+// tpl/client.
 //
 // Run with: go run ./examples/served
 package main
@@ -14,24 +19,27 @@ package main
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
-	"io"
 	"log"
 	"math/rand"
 	"net"
-	"net/http"
 	"os"
 
 	"repro/internal/markov"
 	"repro/internal/report"
 	"repro/internal/service"
+	"repro/tpl/client"
 )
 
 func main() {
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// chainRows converts an internal markov.Chain to the SDK's wire form.
+func chainRows(c *markov.Chain) *client.Chain {
+	return &client.Chain{Rows: c.Rows()}
 }
 
 func run() error {
@@ -52,77 +60,98 @@ func run() error {
 	}
 	fmt.Printf("service up at %s\n\n", base)
 
-	// 2. Create a session: 10,000 users in three cohorts. The strongly
-	// correlated minority dominates the leakage; the uncorrelated
-	// majority is the traditional DP population.
-	strong := markov.Fig7Backward()
-	forward := markov.Fig7Forward()
-	weak, err := strong.Mix(0.5)
+	c, err := client.New(base)
 	if err != nil {
 		return err
 	}
-	cfg := service.SessionConfig{
-		Name:   "city",
-		Domain: strong.N(),
-		Cohorts: []service.CohortConfig{
-			{Users: 500, Model: service.ModelConfig{Backward: strong, Forward: forward}},
-			{Users: 1500, Model: service.ModelConfig{Backward: weak}},
-			{Users: 8000, Model: service.ModelConfig{}},
-		},
-		Plan: &service.PlanConfig{
-			Kind: "quantified", Alpha: 1, Horizon: 20,
-			Model: &service.ModelConfig{Backward: strong, Forward: forward},
-		},
+
+	// 2. Create a session: 10,000 users in three cohorts. The strongly
+	// correlated minority dominates the leakage; the uncorrelated
+	// majority is the traditional DP population.
+	strong := chainRows(markov.Fig7Backward())
+	forward := chainRows(markov.Fig7Forward())
+	weakChain, err := markov.Fig7Backward().Mix(0.5)
+	if err != nil {
+		return err
 	}
-	var created service.Summary
-	if err := call(http.MethodPost, base+"/v1/sessions", cfg, &created); err != nil {
+	weak := chainRows(weakChain)
+	created, err := c.CreateSession(ctx, client.SessionConfig{
+		Name:   "city",
+		Domain: len(strong.Rows),
+		Cohorts: []client.Cohort{
+			{Users: 500, Model: client.Model{Backward: strong, Forward: forward}},
+			{Users: 1500, Model: client.Model{Backward: weak}},
+			{Users: 8000, Model: client.Model{}},
+		},
+		Plan: &client.PlanSpec{
+			Kind: "quantified", Alpha: 1, Horizon: 20,
+			Model: &client.Model{Backward: strong, Forward: forward},
+		},
+	})
+	if err != nil {
 		return err
 	}
 	fmt.Printf("created session %q: %d users deduplicated into %d cohorts\n\n",
 		created.Name, created.Users, created.Cohorts)
 
-	// 3. Stream 20 time steps: ten exploratory steps with an explicit
-	// small budget, then ten drawn from the attached quantified plan.
-	rng := rand.New(rand.NewSource(42))
-	values := make([]int, created.Users)
-	for t := 1; t <= 20; t++ {
-		for i := range values {
-			values[i] = rng.Intn(created.Domain)
-		}
-		req := map[string]any{"values": values}
-		if t <= 10 {
-			req["eps"] = 0.05
-		}
-		var step struct {
-			T       int     `json:"t"`
-			Eps     float64 `json:"eps"`
-			Planned bool    `json:"planned"`
-		}
-		if err := call(http.MethodPost, base+"/v1/sessions/city/steps", req, &step); err != nil {
-			return err
-		}
-		if t == 1 || t == 11 {
-			kind := "explicit"
-			if step.Planned {
-				kind = "planned"
-			}
-			fmt.Printf("step %2d: eps=%.4f (%s)\n", step.T, step.Eps, kind)
-		}
-	}
-	fmt.Println()
-
-	// 4. Read the guarantee back in the report JSON-lines wire format
-	// and re-render it locally — the same bytes the CLIs and docs use.
-	resp, err := http.Get(base + "/v1/sessions/city/report?format=jsonl")
+	// 3. Watch the leakage live: the SSE stream pushes one TPL/BPL/FPL
+	// frame per published step.
+	w, err := c.Watch(ctx, "city", -1)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(resp.Body)
-		return fmt.Errorf("report: %s: %s", resp.Status, body)
+	defer w.Close()
+
+	// 4. Stream 20 time steps in two atomic, idempotency-keyed batches:
+	// ten exploratory steps with an explicit small budget, then ten
+	// drawn from the attached quantified plan. (A retry of either batch
+	// — after a timeout, a dropped connection — would be replayed, not
+	// double-charged; the SDK keys every batch by default.)
+	rng := rand.New(rand.NewSource(42))
+	step := func(explicit bool) client.Step {
+		values := make([]int, created.Users)
+		for i := range values {
+			values[i] = rng.Intn(created.Domain)
+		}
+		st := client.Step{Values: values}
+		if explicit {
+			st.Eps = client.Eps(0.05)
+		}
+		return st
 	}
-	tables, err := report.ParseJSONLines(resp.Body)
+	for _, phase := range []string{"explicit", "planned"} {
+		batch := make([]client.Step, 10)
+		for i := range batch {
+			batch[i] = step(phase == "explicit")
+		}
+		res, err := c.StepsNDJSON(ctx, "city", batch)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("batch of %d %s steps landed at t=%d..%d (eps of first: %.4f)\n",
+			res.Count, phase, res.FirstT, res.LastT, res.Results[0].Eps)
+	}
+	fmt.Println()
+
+	// Drain a few live frames to show the push side.
+	seen := 0
+	for ev := range w.Events() {
+		fmt.Printf("watch: t=%2d eps=%.4f TPL=%.4f (BPL %.4f + FPL %.4f - eps, worst user %d)\n",
+			ev.T, ev.Eps, ev.TPL, ev.BPL, ev.FPL, ev.WorstUser)
+		if seen++; seen == 3 {
+			break
+		}
+	}
+	w.Close()
+	fmt.Println()
+
+	// 5. Read the guarantee back in the report JSON-lines wire format
+	// and re-render it locally — the same bytes the CLIs and docs use.
+	raw, err := c.ReportJSONLines(ctx, "city")
+	if err != nil {
+		return err
+	}
+	tables, err := report.ParseJSONLines(bytes.NewReader(raw))
 	if err != nil {
 		return err
 	}
@@ -132,33 +161,7 @@ func run() error {
 		}
 	}
 
-	// 5. Shut the service down gracefully.
+	// 6. Shut the service down gracefully.
 	cancel()
 	return <-errc
-}
-
-// call posts (or sends) one JSON request and decodes the 2xx response.
-func call(method, url string, in, out any) error {
-	raw, err := json.Marshal(in)
-	if err != nil {
-		return err
-	}
-	req, err := http.NewRequest(method, url, bytes.NewReader(raw))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("%s %s: %s: %s", method, url, resp.Status, body)
-	}
-	return json.Unmarshal(body, out)
 }

@@ -1,0 +1,50 @@
+// Package loadgen builds synthetic multi-cohort session configs for
+// the load generator (cmd/tplload) and the wire-API benchmark
+// (tplbench -fig api), so the two tools exercise the service with the
+// same population shape instead of drifting copies.
+package loadgen
+
+import (
+	"fmt"
+
+	"repro/internal/markov"
+	"repro/tpl/client"
+)
+
+// SessionConfig declares users split over `cohorts` distinct
+// adversary-model cohorts: cohort 0 is the traditional DP population
+// (no correlations), the rest are lazy chains with stay probability
+// graded up to 0.5+staySpread — distinct content, so the server's
+// cohort sharding is exercised like a real mixed fleet. seed (0 =
+// none) makes the session's noise stream reproducible.
+func SessionConfig(name string, users, domain, cohorts int, staySpread float64, seed int64) (client.SessionConfig, error) {
+	if users < 1 || domain < 1 {
+		return client.SessionConfig{}, fmt.Errorf("loadgen: need positive users and domain, got %d, %d", users, domain)
+	}
+	if cohorts < 1 {
+		cohorts = 1
+	}
+	if cohorts > users {
+		cohorts = users
+	}
+	cfg := client.SessionConfig{Name: name, Domain: domain, Seed: seed}
+	per := users / cohorts
+	left := users
+	for k := 0; k < cohorts; k++ {
+		n := per
+		if k == cohorts-1 {
+			n = left
+		}
+		left -= n
+		var m client.Model
+		if k > 0 {
+			chain, err := markov.Lazy(domain, 0.5+staySpread*float64(k)/float64(cohorts))
+			if err != nil {
+				return client.SessionConfig{}, err
+			}
+			m.Backward = &client.Chain{Rows: chain.Rows()}
+		}
+		cfg.Cohorts = append(cfg.Cohorts, client.Cohort{Users: n, Model: m})
+	}
+	return cfg, nil
+}

@@ -85,6 +85,17 @@ func (c *Chain) Prob(i, j int) float64 { return c.p.At(i, j) }
 // distribution of the next state given current state i.
 func (c *Chain) Row(i int) matrix.Vector { return c.p.Row(i).Clone() }
 
+// Rows returns a copy of all transition rows — the chain's content in
+// the [][]float64 shape wire formats (service configs, the client SDK)
+// use.
+func (c *Chain) Rows() [][]float64 {
+	rows := make([][]float64, c.N())
+	for i := range rows {
+		rows[i] = c.Row(i)
+	}
+	return rows
+}
+
 // SetLabels attaches human-readable state names (e.g. "loc1".."loc5").
 // The length must match the number of states.
 func (c *Chain) SetLabels(labels []string) error {

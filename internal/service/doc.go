@@ -1,42 +1,74 @@
 // Package service turns the in-process continuous-release library
 // (internal/stream) into a long-running multi-tenant server: the
-// trusted aggregator of the paper's Fig. 1 operated as a JSON HTTP
+// trusted aggregator of the paper's Fig. 1 operated as an HTTP
 // service instead of a batch CLI.
 //
 // The unit of tenancy is the session: one named, independently
 // configured stream.Server — value domain, per-user (or per-cohort)
 // adversary models, noise kind, optional release plan. Sessions live
 // in a concurrency-safe Registry and are driven over a stdlib-only
-// net/http API:
+// net/http API with two wire versions on one endpoint layer.
 //
-//	GET    /healthz                          liveness: sessions, users, uptime, persistence health
-//	GET    /v1/sessions                      list session summaries
-//	POST   /v1/sessions                      create a session (SessionConfig JSON)
-//	GET    /v1/sessions/{name}               one session summary
-//	DELETE /v1/sessions/{name}               drop a session (and its persisted state)
-//	POST   /v1/sessions/{name}/steps         collect one time step (explicit eps or planned)
-//	POST   /v1/sessions/{name}/snapshot      force a durable snapshot now (409 in ephemeral mode)
-//	GET    /v1/sessions/{name}/published     release history (?t= for one step)
-//	GET    /v1/sessions/{name}/tpl?user=U    per-user TPL series
-//	GET    /v1/sessions/{name}/wevent?w=W    w-window leakage (?user=U, else population worst)
-//	GET    /v1/sessions/{name}/report        the Definition-8 guarantee summary
+// # The v2 wire contract (current; see DESIGN.md §7)
 //
-// The tpl, wevent and report endpoints accept ?format=jsonl and then
-// answer in internal/report's JSON-lines wire format, so API responses
-// parse back with report.ParseJSONLines and drop into the same
-// documents as the experiment harness output.
+//	GET    /healthz                          liveness: version, sessions, users, uptime, persistence health
+//	GET    /v2/sessions                      list session summaries
+//	POST   /v2/sessions                      create a session (SessionConfig JSON)
+//	GET    /v2/sessions/{name}               one session summary
+//	DELETE /v2/sessions/{name}               drop a session (and its persisted state)
+//	POST   /v2/sessions/{name}/steps         BATCH step ingestion: a JSON array of steps, or an
+//	                                         NDJSON stream (Content-Type: application/x-ndjson);
+//	                                         each step carries "values" (per-user) or "counts"
+//	                                         (pre-aggregated histogram) and an optional "eps";
+//	                                         validated atomically — the batch lands whole or not
+//	                                         at all; an Idempotency-Key header makes retries
+//	                                         exactly-once (replays answer from history)
+//	POST   /v2/sessions/{name}/snapshot      force a durable snapshot now (409 in ephemeral mode)
+//	GET    /v2/sessions/{name}/published     release history, cursor-paginated (?cursor=&limit=)
+//	GET    /v2/sessions/{name}/tpl?user=U    per-user TPL series, cursor-paginated
+//	GET    /v2/sessions/{name}/wevent?w=W    w-window leakage (?user=U, else population worst)
+//	GET    /v2/sessions/{name}/report        the Definition-8 guarantee summary
+//	GET    /v2/sessions/{name}/watch         SSE stream: one TPL/BPL/FPL frame per published step
+//	                                         (?from=T replays history after T, Last-Event-ID resumes)
 //
-// Scale comes from the cohort-sharded accounting in internal/stream:
-// a session declares its million-user population as a handful of
-// cohorts (users sharing an adversary model share an accountant), so
-// collecting a step costs one accountant update per distinct model,
-// not per user.
+// Errors are uniform RFC 7807 application/problem+json documents with
+// stable machine-readable codes (problem.go): budget_exhausted,
+// session_not_found, invalid_state, idempotency_conflict,
+// unsupported_format (listing the supported values), and so on. The
+// public tpl/client package wraps all of this in a typed Go SDK with
+// automatic idempotency keys and retry-safe batching — new callers
+// should use it rather than raw HTTP.
+//
+// # The v1 wire contract (deprecated)
+//
+// The original one-request-per-step API (/v1/sessions...) remains as
+// thin shims over the same endpoint layer, parity-tested against v2
+// (an identical workload produces bit-identical reports, TPL series
+// and histograms). v1 responses carry "Deprecation: true" and a
+// successor-version Link header. Its error bodies are the same
+// problem+json documents; the legacy {"error": ...} member is kept for
+// old clients.
+//
+// # Scale
+//
+// Scale comes from the cohort-sharded accounting in internal/stream —
+// a million-user population declared as a handful of cohorts costs one
+// accountant update per distinct model per step — and from batched
+// ingestion: one v2 NDJSON request lands thousands of steps under a
+// single lock acquisition, with a hand-rolled fast-path decoder
+// (fastpath.go) for the hot step shape and a pre-aggregated "counts"
+// form that removes the O(users) transport term entirely. BENCH_api.json
+// records the resulting v1-vs-v2 ingest throughput.
+//
+// # Durability
 //
 // Durability is opt-in per process (tplserved -state-dir): the
-// registry then snapshots each session's full accounting state
-// (coalesced, atomically replaced) and journals every published step
+// registry snapshots each session's full accounting state (coalesced,
+// atomically replaced) and journals every ingestion batch — steps plus
+// idempotency record, one checksummed journal record per batch —
 // through internal/persist, restores all sessions on boot from the
 // last snapshot plus the journal tail, and survives SIGKILL with a
-// bit-identical leakage series — see DESIGN.md §6, including the
-// noise-reseed provenance caveat for entropy-seeded sessions.
+// bit-identical leakage series; the idempotency memory survives with
+// it, so a retry of a batch that landed just before a crash is
+// replayed, not double-charged — see DESIGN.md §6 and §7.
 package service

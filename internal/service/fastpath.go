@@ -1,0 +1,273 @@
+package service
+
+import (
+	"strconv"
+
+	"repro/internal/stream"
+)
+
+// The NDJSON ingest fast path. Batched values ingestion is bottlenecked
+// not by accounting (cohort-sharded, ~µs/step) but by encoding/json
+// reflection over 100k-integer arrays (~10ms/step at 100k users). The
+// v2 NDJSON contract is one flat step object per line, so a strict
+// hand-rolled scanner can parse the common shape — {"values":[ints],
+// "eps":num} / {"counts":[ints],...} in any key order — an order of
+// magnitude faster. Anything the scanner does not recognize (escaped
+// keys, nested objects, floats in values, unknown fields, objects
+// spanning lines) bails out and the remainder of the body is handled
+// by the encoding/json slow path, so semantics — including
+// unknown-field rejection — are identical; the fast path only ever
+// accepts byte sequences the slow path would parse to the same step.
+// BENCH_api.json records the effect.
+
+// stepParser scans one NDJSON line.
+type stepParser struct {
+	b []byte
+	i int
+}
+
+func (p *stepParser) skipWS() {
+	for p.i < len(p.b) {
+		switch p.b[p.i] {
+		case ' ', '\t', '\r', '\n':
+			p.i++
+		default:
+			return
+		}
+	}
+}
+
+// literal consumes c and reports success.
+func (p *stepParser) literal(c byte) bool {
+	if p.i < len(p.b) && p.b[p.i] == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// key parses a plain (escape-free) object key.
+func (p *stepParser) key() (string, bool) {
+	if !p.literal('"') {
+		return "", false
+	}
+	start := p.i
+	for p.i < len(p.b) {
+		c := p.b[p.i]
+		if c == '"' {
+			k := string(p.b[start:p.i])
+			p.i++
+			return k, true
+		}
+		if c == '\\' || c < 0x20 {
+			return "", false // escapes and control chars go to the slow path
+		}
+		p.i++
+	}
+	return "", false
+}
+
+// intArray parses [int, int, ...] of plain decimal integers. The
+// inner loop avoids per-element helper calls: the common case —
+// "v,v,v" with no whitespace — touches each byte exactly once.
+func (p *stepParser) intArray() ([]int, bool) {
+	if !p.literal('[') {
+		return nil, false
+	}
+	p.skipWS()
+	if p.literal(']') {
+		return []int{}, true
+	}
+	// "d," is two bytes per element, so half the remaining line is a
+	// tight capacity estimate for the dominant small-values case. The
+	// loop runs on local copies of the cursor and buffer so the hot
+	// path stays in registers; p.i is written back before every return.
+	out := make([]int, 0, (len(p.b)-p.i)/2+1)
+	b := p.b
+	i := p.i
+	for {
+		if i < len(b) {
+			if c := b[i]; c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+				p.i = i
+				p.skipWS()
+				i = p.i
+			}
+		}
+		neg := false
+		if i < len(b) && b[i] == '-' {
+			neg = true
+			i++
+		}
+		start := i
+		v := 0
+		for i < len(b) {
+			c := b[i] - '0'
+			if c > 9 {
+				break
+			}
+			v = v*10 + int(c)
+			i++
+		}
+		if n := i - start; n == 0 || n > 12 || (n > 1 && b[start] == '0') {
+			// 0 digits, implausibly large, or a leading zero (invalid
+			// JSON): the slow path decides.
+			p.i = i
+			return nil, false
+		}
+		if i < len(b) {
+			if c := b[i]; c == '.' || c == 'e' || c == 'E' {
+				p.i = i
+				return nil, false // a float literal; the slow path decides
+			}
+		}
+		if neg {
+			v = -v
+		}
+		out = append(out, v)
+		if i < len(b) {
+			switch b[i] {
+			case ',':
+				i++
+				continue
+			case ']':
+				p.i = i + 1
+				return out, true
+			case ' ', '\t', '\r', '\n':
+				p.i = i
+				p.skipWS()
+				if p.literal(',') {
+					i = p.i
+					continue
+				}
+				if p.literal(']') {
+					return out, true
+				}
+				i = p.i
+			}
+		}
+		p.i = i
+		return nil, false
+	}
+}
+
+// number parses a token following the exact JSON number grammar —
+// strconv.ParseFloat alone is laxer (it takes ".5", "5.", "+1", hex),
+// and the fast path must never accept what the slow path would 400.
+func (p *stepParser) number() (float64, bool) {
+	b := p.b
+	start := p.i
+	i := p.i
+	if i < len(b) && b[i] == '-' {
+		i++
+	}
+	// int: "0" or [1-9][0-9]*
+	switch {
+	case i < len(b) && b[i] == '0':
+		i++
+	case i < len(b) && b[i] >= '1' && b[i] <= '9':
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+	default:
+		return 0, false
+	}
+	// frac: '.' [0-9]+
+	if i < len(b) && b[i] == '.' {
+		i++
+		d := i
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+		if i == d {
+			return 0, false
+		}
+	}
+	// exp: [eE] [+-]? [0-9]+
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		if i < len(b) && (b[i] == '+' || b[i] == '-') {
+			i++
+		}
+		d := i
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			i++
+		}
+		if i == d {
+			return 0, false
+		}
+	}
+	v, err := strconv.ParseFloat(string(b[start:i]), 64)
+	if err != nil {
+		return 0, false
+	}
+	p.i = i
+	return v, true
+}
+
+// fastParseStep attempts the strict fast parse of one NDJSON line.
+// ok=false means "use the slow path", not "invalid".
+func fastParseStep(line []byte) (stream.BatchStep, bool) {
+	var st stream.BatchStep
+	p := &stepParser{b: line}
+	p.skipWS()
+	if !p.literal('{') {
+		return st, false
+	}
+	p.skipWS()
+	if p.literal('}') { // {} is a valid (empty) step object
+		p.skipWS()
+		return st, p.i == len(p.b)
+	}
+	for {
+		p.skipWS()
+		k, ok := p.key()
+		if !ok {
+			return st, false
+		}
+		p.skipWS()
+		if !p.literal(':') {
+			return st, false
+		}
+		p.skipWS()
+		switch k {
+		case "values":
+			if st.Values != nil {
+				return st, false // duplicate key; slow path decides
+			}
+			if st.Values, ok = p.intArray(); !ok {
+				return st, false
+			}
+		case "counts":
+			if st.Counts != nil {
+				return st, false
+			}
+			if st.Counts, ok = p.intArray(); !ok {
+				return st, false
+			}
+		case "eps":
+			if st.Eps != nil {
+				return st, false
+			}
+			v, ok := p.number()
+			if !ok {
+				return st, false
+			}
+			st.Eps = &v
+		default:
+			return st, false // unknown field: the slow path rejects it with the right error
+		}
+		p.skipWS()
+		if p.literal(',') {
+			continue
+		}
+		if p.literal('}') {
+			break
+		}
+		return st, false
+	}
+	p.skipWS()
+	if p.i != len(p.b) {
+		return st, false // trailing bytes (second object on the line, garbage)
+	}
+	return st, true
+}

@@ -1,0 +1,129 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// slowParse is the reference: the strict encoding/json decode of one
+// step object.
+func slowParse(line []byte) (stream.BatchStep, error) {
+	var ws wireStep
+	if err := json.Unmarshal(line, &ws); err != nil {
+		return stream.BatchStep{}, err
+	}
+	return stream.BatchStep(ws), nil
+}
+
+// TestFastParseStepDifferential: every line the fast path accepts must
+// decode to exactly what encoding/json produces; every line it bails
+// on must either be rejected by the slow path too or at least be
+// decodable there (the fallback keeps behavior identical either way).
+func TestFastParseStepDifferential(t *testing.T) {
+	accept := []string{
+		`{"values":[0,1,2,3],"eps":0.5}`,
+		`{"eps":0.5,"values":[0,1]}`,
+		`{"counts":[10,0,5],"eps":1e-3}`,
+		`{"values":[]}`,
+		`{"values":[-1,7]}`,
+		`  {"values":[0]}  `,
+		`{"values":[ 0 , 1 ]}`,
+		`{}`,
+		`{"eps":2.5E2}`,
+		`{"eps":1e-3}`,
+		`{"eps":0.25}`,
+		`{"values":[-0,0]}`,
+		`{"counts":[1000000,0]}`,
+	}
+	for _, line := range accept {
+		st, ok := fastParseStep([]byte(line))
+		if !ok {
+			t.Fatalf("fast path bailed on %q", line)
+		}
+		want, err := slowParse([]byte(line))
+		if err != nil {
+			t.Fatalf("slow path rejected %q: %v", line, err)
+		}
+		if !stepsEqual(st, want) {
+			t.Fatalf("%q: fast %+v != slow %+v", line, st, want)
+		}
+	}
+
+	// Lines the fast path must hand to the slow path (which then decides).
+	bail := []string{
+		`{"values":[0.5]}`,           // float in an int array
+		`{"values":[1e3]}`,           // exponent in an int array
+		`{"vals":[0]}`,               // unknown field -> slow path rejects
+		`{"values":[0],"x":1}`,       // unknown second field
+		`{"values":[0]} {"eps":1}`,   // two objects on one line
+		`{"values":[0],"eps":"x"}`,   // non-numeric eps
+		`{"valu\u0065s":[0]}`,        // escaped key (the slow path accepts it)
+		`{"values":[0]`,              // truncated (object spans lines)
+		`[{"values":[0]}]`,           // an array, not an object
+		`{"values":[0],"eps":1,}`,    // trailing comma
+		`{"values":[9999999999999]}`, // implausibly large int
+		`{"eps":1,"eps":2}`,          // duplicate key
+		`{"eps":.5}`,                 // not a JSON number (ParseFloat would take it)
+		`{"eps":5.}`,                 // trailing dot
+		`{"eps":+1}`,                 // leading plus
+		`{"eps":01}`,                 // leading zero
+		`{"eps":1e}`,                 // empty exponent
+		`{"values":[007]}`,           // leading-zero int literal
+		`{"values":[0x1]}`,           // hex (ParseFloat would take it)
+	}
+	for _, line := range bail {
+		if _, ok := fastParseStep([]byte(line)); ok {
+			t.Fatalf("fast path accepted %q", line)
+		}
+	}
+}
+
+// TestFastParseStepRandomized fuzzes well-formed random step lines and
+// checks fast/slow agreement.
+func TestFastParseStepRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		var line string
+		kind := rng.Intn(3)
+		n := rng.Intn(6)
+		arr := make([]int, n)
+		for j := range arr {
+			arr[j] = rng.Intn(100) - 10
+		}
+		raw, _ := json.Marshal(arr)
+		switch kind {
+		case 0:
+			line = fmt.Sprintf(`{"values":%s,"eps":%g}`, raw, rng.Float64())
+		case 1:
+			line = fmt.Sprintf(`{"counts":%s}`, raw)
+		default:
+			line = fmt.Sprintf(`{"eps":%g,"values":%s}`, rng.Float64()*100, raw)
+		}
+		st, ok := fastParseStep([]byte(line))
+		if !ok {
+			t.Fatalf("fast path bailed on generated %q", line)
+		}
+		want, err := slowParse([]byte(line))
+		if err != nil {
+			t.Fatalf("slow path rejected generated %q: %v", line, err)
+		}
+		if !stepsEqual(st, want) {
+			t.Fatalf("%q: fast %+v != slow %+v", line, st, want)
+		}
+	}
+}
+
+func stepsEqual(a, b stream.BatchStep) bool {
+	if !reflect.DeepEqual(a.Values, b.Values) || !reflect.DeepEqual(a.Counts, b.Counts) {
+		return false
+	}
+	if (a.Eps == nil) != (b.Eps == nil) {
+		return false
+	}
+	return a.Eps == nil || *a.Eps == *b.Eps
+}

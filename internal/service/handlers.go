@@ -6,11 +6,12 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
-	"repro/internal/release"
 	"repro/internal/report"
 	"repro/internal/stream"
+	"repro/internal/version"
 )
 
 // maxBodyBytes caps a request body. It must admit a full step of the
@@ -19,20 +20,45 @@ import (
 // payload.
 const maxBodyBytes = 256 << 20
 
-// ndjsonContentType is the media type of report JSON-lines responses.
+// ndjsonContentType is the media type of NDJSON request and response
+// bodies (streamed report tables, batched step ingestion).
 const ndjsonContentType = "application/x-ndjson"
 
-// API is the HTTP face of a session registry.
+// API is the HTTP face of a session registry. It serves two wire
+// versions over one endpoint layer (the Registry/Session methods):
+//
+//   - /v2: the current contract — batched step ingestion, idempotency
+//     keys, cursor pagination, problem+json errors, SSE watch (v2.go).
+//   - /v1: the original one-call-per-step contract, kept as thin shims
+//     for existing callers. Deprecated: v1 responses carry a
+//     "Deprecation: true" header; new clients use tpl/client against v2.
 type API struct {
 	reg     *Registry
 	started time.Time
+
+	// watchStop, when closed, ends every open SSE watch stream (nil is
+	// legal and means "never"). StopWatchers closes it; the serving
+	// layer registers that on graceful shutdown so long-lived watch
+	// connections cannot stall http.Server.Shutdown.
+	watchStop     chan struct{}
+	watchStopOnce sync.Once
 }
 
 // NewAPI creates an API over a fresh registry.
 func NewAPI() *API {
-	api := &API{reg: NewRegistry()}
+	api := &API{reg: NewRegistry(), watchStop: make(chan struct{})}
 	api.started = api.reg.now()
 	return api
+}
+
+// StopWatchers ends every open watch stream. Idempotent; new watch
+// requests after it return immediately.
+func (a *API) StopWatchers() {
+	a.watchStopOnce.Do(func() {
+		if a.watchStop != nil {
+			close(a.watchStop)
+		}
+	})
 }
 
 // Registry exposes the session store (for embedding callers and tests).
@@ -42,64 +68,77 @@ func (a *API) Registry() *Registry { return a.reg }
 func (a *API) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", a.health)
-	mux.HandleFunc("GET /v1/sessions", a.listSessions)
-	mux.HandleFunc("POST /v1/sessions", a.createSession)
-	mux.HandleFunc("GET /v1/sessions/{name}", a.getSession)
-	mux.HandleFunc("DELETE /v1/sessions/{name}", a.deleteSession)
-	mux.HandleFunc("POST /v1/sessions/{name}/steps", a.postStep)
-	mux.HandleFunc("POST /v1/sessions/{name}/snapshot", a.postSnapshot)
-	mux.HandleFunc("GET /v1/sessions/{name}/published", a.getPublished)
-	mux.HandleFunc("GET /v1/sessions/{name}/tpl", a.getTPL)
-	mux.HandleFunc("GET /v1/sessions/{name}/wevent", a.getWEvent)
-	mux.HandleFunc("GET /v1/sessions/{name}/report", a.getReport)
+
+	// v1 — deprecated shims (see package doc and DESIGN.md §7).
+	mux.HandleFunc("GET /v1/sessions", deprecated(a.listSessions))
+	mux.HandleFunc("POST /v1/sessions", deprecated(a.createSession))
+	mux.HandleFunc("GET /v1/sessions/{name}", deprecated(a.getSession))
+	mux.HandleFunc("DELETE /v1/sessions/{name}", deprecated(a.deleteSession))
+	mux.HandleFunc("POST /v1/sessions/{name}/steps", deprecated(a.postStep))
+	mux.HandleFunc("POST /v1/sessions/{name}/snapshot", deprecated(a.postSnapshot))
+	mux.HandleFunc("GET /v1/sessions/{name}/published", deprecated(a.getPublishedV1))
+	mux.HandleFunc("GET /v1/sessions/{name}/tpl", deprecated(a.getTPLV1))
+	mux.HandleFunc("GET /v1/sessions/{name}/wevent", deprecated(a.getWEvent))
+	mux.HandleFunc("GET /v1/sessions/{name}/report", deprecated(a.getReport))
+
+	// v2 — the current contract (v2.go).
+	mux.HandleFunc("GET /v2/sessions", a.listSessions)
+	mux.HandleFunc("POST /v2/sessions", a.createSession)
+	mux.HandleFunc("GET /v2/sessions/{name}", a.getSession)
+	mux.HandleFunc("DELETE /v2/sessions/{name}", a.deleteSession)
+	mux.HandleFunc("POST /v2/sessions/{name}/steps", a.postStepsV2)
+	mux.HandleFunc("POST /v2/sessions/{name}/snapshot", a.postSnapshot)
+	mux.HandleFunc("GET /v2/sessions/{name}/published", a.getPublishedV2)
+	mux.HandleFunc("GET /v2/sessions/{name}/tpl", a.getTPLV2)
+	mux.HandleFunc("GET /v2/sessions/{name}/wevent", a.getWEvent)
+	mux.HandleFunc("GET /v2/sessions/{name}/report", a.getReport)
+	mux.HandleFunc("GET /v2/sessions/{name}/watch", a.watchSession)
 	return mux
 }
 
-// writeJSON emits one JSON response body.
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+// deprecated marks a v1 handler's responses (RFC 9745 header plus the
+// successor pointer) without changing its behavior.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v2>; rel="successor-version"`)
+		h(w, r)
+	}
+}
+
+// writeBody emits a response body as JSON after headers are settled.
+// The Content-Type must already be set (writeJSON and writeProblem do).
+func writeBody(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	_ = enc.Encode(v) // the status line is already out; nothing to do on error
 }
 
-// writeError maps an error to a JSON problem body.
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
-}
-
-// errStatus picks the HTTP status for a registry/stream error.
-func errStatus(err error) int {
-	var tooBig *http.MaxBytesError
-	switch {
-	case errors.Is(err, ErrNotFound):
-		return http.StatusNotFound
-	case errors.Is(err, ErrExists):
-		return http.StatusConflict
-	case errors.Is(err, ErrCapacity):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, stream.ErrNoPlan), errors.Is(err, release.ErrHorizonExceeded):
-		return http.StatusConflict
-	case errors.As(err, &tooBig):
-		return http.StatusRequestEntityTooLarge
-	default:
-		return http.StatusBadRequest
-	}
+// writeJSON emits one JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	writeBody(w, status, v)
 }
 
 // session resolves the {name} path value, writing the 404 itself.
 func (a *API) session(w http.ResponseWriter, r *http.Request) (*Session, bool) {
 	s, err := a.reg.Get(r.PathValue("name"))
 	if err != nil {
-		writeError(w, errStatus(err), err)
+		writeError(w, err)
 		return nil, false
 	}
 	return s, true
 }
 
+// reportFormats are the ?format= values the report-shaped endpoints
+// (tpl, wevent, report) offer, in both API versions.
+var reportFormats = []string{"json", "jsonl"}
+
 // wantJSONLines reports whether the request asked for the report
-// JSON-lines wire format, and validates the format parameter.
+// JSON-lines wire format. An unknown format is rejected with an
+// unsupported_format problem listing the supported values — shared by
+// v1 and v2.
 func wantJSONLines(w http.ResponseWriter, r *http.Request) (jsonl, ok bool) {
 	switch f := r.URL.Query().Get("format"); f {
 	case "", "json":
@@ -107,7 +146,10 @@ func wantJSONLines(w http.ResponseWriter, r *http.Request) (jsonl, ok bool) {
 	case "jsonl":
 		return true, true
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: unknown format %q (want json or jsonl)", f))
+		p := newProblem(http.StatusBadRequest, CodeUnsupportedFormat,
+			fmt.Sprintf("service: unknown format %q (want json or jsonl)", f))
+		p.Supported = reportFormats
+		writeProblem(w, p)
 		return false, false
 	}
 }
@@ -132,11 +174,12 @@ func intQuery(r *http.Request, key string) (int, error) {
 }
 
 // healthResponse is the GET /healthz body: enough for an operator to
-// see at a glance that the process is alive, how long it has been, how
+// see at a glance that the process is alive, what build it runs, how
 // many tenants it carries, and whether their accounting state is
 // durably persisted (and how stale the persistence is).
 type healthResponse struct {
 	Status        string            `json:"status"`
+	Version       string            `json:"version"`
 	Sessions      int               `json:"sessions"`
 	Users         int               `json:"users"`
 	UptimeSeconds float64           `json:"uptime_seconds"`
@@ -146,6 +189,7 @@ type healthResponse struct {
 func (a *API) health(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, healthResponse{
 		Status:        "ok",
+		Version:       version.String(),
 		Sessions:      a.reg.Len(),
 		Users:         a.reg.Users(),
 		UptimeSeconds: a.reg.now().Sub(a.started).Seconds(),
@@ -162,11 +206,11 @@ func (a *API) postSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	info, err := s.SnapshotNow()
 	if err != nil {
-		status := http.StatusInternalServerError
 		if errors.Is(err, ErrNoStore) {
-			status = http.StatusConflict
+			writeError(w, err)
+		} else {
+			writeErrorStatus(w, http.StatusInternalServerError, err)
 		}
-		writeError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"name": s.Name(), "t": s.Server().T(), "persistence": info})
@@ -184,12 +228,12 @@ func (a *API) listSessions(w http.ResponseWriter, r *http.Request) {
 func (a *API) createSession(w http.ResponseWriter, r *http.Request) {
 	var cfg SessionConfig
 	if err := decodeBody(w, r, &cfg); err != nil {
-		writeError(w, errStatus(err), err)
+		writeError(w, err)
 		return
 	}
 	s, err := a.reg.Create(&cfg)
 	if err != nil {
-		writeError(w, errStatus(err), err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, s.Summary())
@@ -220,20 +264,21 @@ func (a *API) getSession(w http.ResponseWriter, r *http.Request) {
 
 func (a *API) deleteSession(w http.ResponseWriter, r *http.Request) {
 	if err := a.reg.Delete(r.PathValue("name")); err != nil {
-		writeError(w, errStatus(err), err)
+		writeError(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// stepRequest is the POST steps body. Eps nil means "use the attached
-// release plan".
+// stepRequest is the v1 POST steps body. Eps nil means "use the
+// attached release plan".
 type stepRequest struct {
 	Values []int    `json:"values"`
 	Eps    *float64 `json:"eps,omitempty"`
 }
 
-// stepResponse reports the step the collection landed on.
+// stepResponse reports the step a collection landed on (one element of
+// the v2 batch response, and the whole v1 step response).
 type stepResponse struct {
 	T         int       `json:"t"`
 	Eps       float64   `json:"eps"`
@@ -241,6 +286,9 @@ type stepResponse struct {
 	Published []float64 `json:"published"`
 }
 
+// postStep is the deprecated v1 single-step shim: a one-element batch
+// through the same endpoint layer v2 uses (no idempotency key — v1
+// never had a retry contract).
 func (a *API) postStep(w http.ResponseWriter, r *http.Request) {
 	s, ok := a.session(w, r)
 	if !ok {
@@ -248,28 +296,21 @@ func (a *API) postStep(w http.ResponseWriter, r *http.Request) {
 	}
 	var req stepRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		writeError(w, errStatus(err), err)
+		writeError(w, err)
 		return
 	}
-	var (
-		noisy []float64
-		t     int
-		eps   float64
-		err   error
-	)
-	if req.Eps != nil {
-		noisy, t, eps, err = s.Collect(req.Values, *req.Eps)
-	} else {
-		noisy, t, eps, err = s.CollectPlanned(req.Values)
-	}
+	results, _, err := s.CollectBatch("", []stream.BatchStep{{Values: req.Values, Eps: req.Eps}})
 	if err != nil {
-		writeError(w, errStatus(err), err)
+		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, stepResponse{T: t, Eps: eps, Planned: req.Eps == nil, Published: noisy})
+	res := results[0]
+	writeJSON(w, http.StatusOK, stepResponse{T: res.T, Eps: res.Eps, Planned: res.Planned, Published: res.Published})
 }
 
-func (a *API) getPublished(w http.ResponseWriter, r *http.Request) {
+// getPublishedV1 is the deprecated v1 history endpoint: one histogram
+// with ?t=, else the entire history in one response (v2 paginates).
+func (a *API) getPublishedV1(w http.ResponseWriter, r *http.Request) {
 	s, ok := a.session(w, r)
 	if !ok {
 		return
@@ -278,12 +319,12 @@ func (a *API) getPublished(w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("t"); raw != "" {
 		t, err := intQuery(r, "t")
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, err)
 			return
 		}
 		hist, err := srv.Published(t)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"t": t, "published": hist})
@@ -296,7 +337,7 @@ func (a *API) getPublished(w http.ResponseWriter, r *http.Request) {
 	for t := 1; t <= len(budgets); t++ {
 		hist, err := srv.Published(t)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeErrorStatus(w, http.StatusInternalServerError, err)
 			return
 		}
 		published[t-1] = hist
@@ -308,7 +349,9 @@ func (a *API) getPublished(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (a *API) getTPL(w http.ResponseWriter, r *http.Request) {
+// getTPLV1 is the deprecated v1 TPL endpoint: the whole series in one
+// response (v2 paginates).
+func (a *API) getTPLV1(w http.ResponseWriter, r *http.Request) {
 	s, ok := a.session(w, r)
 	if !ok {
 		return
@@ -319,12 +362,12 @@ func (a *API) getTPL(w http.ResponseWriter, r *http.Request) {
 	}
 	user, err := intQuery(r, "user")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
 	series, err := s.Server().UserTPLSeries(user)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
 	if !jsonl {
@@ -352,7 +395,7 @@ func (a *API) getWEvent(w http.ResponseWriter, r *http.Request) {
 	}
 	wWin, err := intQuery(r, "w")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
 	srv := s.Server()
@@ -368,7 +411,7 @@ func (a *API) getWEvent(w http.ResponseWriter, r *http.Request) {
 		leak, user, err = srv.MaxWEvent(wWin)
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
 	if !jsonl {
@@ -405,7 +448,7 @@ func (a *API) getReport(w http.ResponseWriter, r *http.Request) {
 	}
 	rep, err := s.Server().Report()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeErrorStatus(w, http.StatusInternalServerError, err)
 		return
 	}
 	if !jsonl {

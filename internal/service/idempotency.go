@@ -1,0 +1,199 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/stream"
+)
+
+// Idempotent batch ingestion. A v2 steps request may carry an
+// Idempotency-Key header; the session remembers, per key, which steps
+// that batch landed (in a bounded LRU), so a client retrying after an
+// ambiguous failure — timeout, dropped connection, 5xx — gets the
+// original batch's results back instead of double-charging every
+// user's privacy budget. The memory rides the existing durability
+// pipeline: the whole batch (step records + idempotency record) is
+// journaled as one checksummed record and the LRU is carried in
+// snapshots, so exactly-once holds across crashes too — a torn journal
+// tail drops a batch and its key together, and a batch that survived
+// keeps its key. Replayed responses are reconstructed from the
+// published history rather than stored, so an entry costs O(key +
+// batch length), not O(batch x domain).
+
+// idemCacheSize bounds the per-session key memory. At the default
+// batch sizes this is hours of continuous retry-safe ingestion; evicted
+// keys degrade to at-most-once (a retry of an evicted batch is applied
+// again), which is why the bound is generous.
+const idemCacheSize = 256
+
+// idemRecord is one remembered batch: the key, a digest of the request
+// content (so a reused key with a different body is rejected rather
+// than silently answered with someone else's results), and the span of
+// steps the batch landed.
+type idemRecord struct {
+	Key     string
+	Hash    [32]byte
+	FirstT  int
+	Planned []bool
+}
+
+// lastT returns the final 1-based step the batch landed.
+func (e *idemRecord) lastT() int { return e.FirstT + len(e.Planned) - 1 }
+
+// idemCache is a bounded LRU of idemRecords. Not safe for concurrent
+// use; the owning session serializes access under stepMu.
+type idemCache struct {
+	order *list.List // front = least recently used
+	byKey map[string]*list.Element
+}
+
+func (c *idemCache) init() {
+	if c.order == nil {
+		c.order = list.New()
+		c.byKey = make(map[string]*list.Element)
+	}
+}
+
+// get returns the record for key, marking it recently used.
+func (c *idemCache) get(key string) (*idemRecord, bool) {
+	c.init()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToBack(el)
+	rec := el.Value.(*idemRecord)
+	return rec, true
+}
+
+// put inserts (or refreshes) a record, evicting the least recently
+// used entry past the capacity.
+func (c *idemCache) put(rec idemRecord) {
+	c.init()
+	if el, ok := c.byKey[rec.Key]; ok {
+		el.Value = &rec
+		c.order.MoveToBack(el)
+		return
+	}
+	c.byKey[rec.Key] = c.order.PushBack(&rec)
+	for c.order.Len() > idemCacheSize {
+		front := c.order.Front()
+		delete(c.byKey, front.Value.(*idemRecord).Key)
+		c.order.Remove(front)
+	}
+}
+
+// entries returns the cache contents oldest-first (the order snapshots
+// store and restores replay, so LRU order survives restarts).
+func (c *idemCache) entries() []idemRecord {
+	c.init()
+	out := make([]idemRecord, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, *el.Value.(*idemRecord))
+	}
+	return out
+}
+
+// batchHash digests a batch's content deterministically: step framing,
+// presence bits, and every value, so any semantic difference — values
+// vs counts, a different eps, one changed entry — changes the hash.
+func batchHash(steps []stream.BatchStep) [32]byte {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeInt(int64(len(steps)))
+	for _, st := range steps {
+		switch {
+		case st.Values != nil:
+			h.Write([]byte{'v'})
+			writeInt(int64(len(st.Values)))
+			for _, v := range st.Values {
+				writeInt(int64(v))
+			}
+		case st.Counts != nil:
+			h.Write([]byte{'c'})
+			writeInt(int64(len(st.Counts)))
+			for _, v := range st.Counts {
+				writeInt(int64(v))
+			}
+		default:
+			h.Write([]byte{'n'})
+		}
+		if st.Eps != nil {
+			h.Write([]byte{'e'})
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(*st.Eps))
+			h.Write(buf[:])
+		} else {
+			h.Write([]byte{'p'})
+		}
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// CollectBatch is the unified ingestion endpoint both API versions
+// call: it applies a validated-atomic batch of steps (stream.Server's
+// contract), persists it as one journal record, remembers it under the
+// idempotency key (when one is given), and notifies live watchers. A
+// replayed batch — same key, same content — re-answers from history
+// without touching any accountant; a reused key with different content
+// is an errIdemConflict.
+func (s *Session) CollectBatch(key string, steps []stream.BatchStep) (results []stream.StepResult, replayed bool, err error) {
+	s.stepMu.Lock()
+	defer s.stepMu.Unlock()
+	var hash [32]byte
+	if key != "" {
+		hash = batchHash(steps)
+		if rec, ok := s.idem.get(key); ok {
+			if rec.Hash != hash {
+				return nil, false, fmt.Errorf("%w: key %q", errIdemConflict, key)
+			}
+			res, err := s.recordedResults(rec)
+			return res, true, err
+		}
+	}
+	results, err = s.srv.CollectBatch(steps)
+	if err != nil {
+		return nil, false, err
+	}
+	var rec *idemRecord
+	if key != "" {
+		planned := make([]bool, len(results))
+		for i, r := range results {
+			planned[i] = r.Planned
+		}
+		rec = &idemRecord{Key: key, Hash: hash, FirstT: results[0].T, Planned: planned}
+		s.idem.put(*rec)
+	}
+	s.persistBatch(results, rec)
+	s.notifyStepsLocked(results)
+	return results, false, nil
+}
+
+// recordedResults reconstructs a remembered batch's results from the
+// retained history (budgets + published histograms), bit-identical to
+// the original response.
+func (s *Session) recordedResults(rec *idemRecord) ([]stream.StepResult, error) {
+	out := make([]stream.StepResult, len(rec.Planned))
+	for i := range out {
+		t := rec.FirstT + i
+		eps, err := s.srv.Budget(t)
+		if err != nil {
+			return nil, fmt.Errorf("service: replaying idempotent batch at t=%d: %w", t, err)
+		}
+		pub, err := s.srv.Published(t)
+		if err != nil {
+			return nil, fmt.Errorf("service: replaying idempotent batch at t=%d: %w", t, err)
+		}
+		out[i] = stream.StepResult{T: t, Eps: eps, Planned: rec.Planned[i], Published: pub}
+	}
+	return out, nil
+}

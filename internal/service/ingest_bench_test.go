@@ -1,0 +1,45 @@
+package service
+
+// BenchmarkNDJSONValuesIngest measures the v2 batch endpoint end to
+// end (handler, fast-path NDJSON decode, histogram build, cohort
+// accounting) on one 100k-user values step — the number behind the
+// v2-ndjson-values row of BENCH_api.json, kept as a Go benchmark so
+// the fast path's trajectory is visible to `go test -bench`.
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+)
+
+func BenchmarkNDJSONValuesIngest(b *testing.B) {
+	h := NewAPI().Handler()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v2/sessions", bytes.NewReader([]byte(`{"name":"s","domain":4,"users":100000}`)))
+	h.ServeHTTP(rec, req)
+	if rec.Code != 201 {
+		b.Fatal(rec.Body.String())
+	}
+	var line bytes.Buffer
+	line.WriteString(`{"values":[`)
+	for i := 0; i < 100000; i++ {
+		if i > 0 {
+			line.WriteByte(',')
+		}
+		line.WriteString(strconv.Itoa(i % 4))
+	}
+	line.WriteString(`],"eps":0.1}` + "\n")
+	body := line.Bytes()
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v2/sessions/s/steps", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatal(rec.Body.String())
+		}
+	}
+}

@@ -20,11 +20,22 @@ import (
 // the whole point of the accounting.
 
 // Snapshot/journal schema versions inside the persist envelopes. Bump
-// on any change to sessionState / stream.StepRecord encoding; restores
-// reject versions they do not understand rather than guessing.
+// on any change to the encodings; restores reject versions they do not
+// understand rather than guessing.
+//
+// Snapshots: version 2 added the idempotency entries (gob tolerates the
+// absent field, so version-1 snapshots still restore — with an empty
+// key memory). Journals: version-1 records are single stream.StepRecord
+// bodies (pre-batch); version-2 records are batchRecords carrying a
+// whole ingestion batch plus its optional idempotency record, appended
+// as ONE checksummed envelope so a torn tail drops a batch and its key
+// together — the retry-safety invariant (a key on disk implies all its
+// steps are too) depends on exactly that atomicity.
 const (
-	sessionSchemaVersion = 1
-	stepSchemaVersion    = 1
+	sessionSchemaVersion       = 2
+	sessionSchemaVersionLegacy = 1
+	stepSchemaVersion          = 1
+	batchSchemaVersion         = 2
 )
 
 // defaultSnapshotEvery is the snapshot coalescing interval in steps: a
@@ -35,12 +46,21 @@ const defaultSnapshotEvery = 64
 
 // sessionState is the gob body of a session snapshot: the original
 // config (JSON, exactly as submitted — plans and noise modes are
-// rebuilt from it rather than serialized), the creation time, and the
-// full server state.
+// rebuilt from it rather than serialized), the creation time, the full
+// server state, and the idempotency-key memory (oldest-first, so the
+// LRU order survives the restart).
 type sessionState struct {
 	ConfigJSON []byte
 	Created    time.Time
 	Server     *stream.ServerState
+	Idem       []idemRecord
+}
+
+// batchRecord is the version-2 journal body: one ingestion batch and
+// its optional idempotency record, durable or lost as a unit.
+type batchRecord struct {
+	Steps []stream.StepRecord
+	Idem  *idemRecord
 }
 
 // gobEncode/gobDecode are the body codec. Gob encodes float64 as raw
@@ -117,7 +137,7 @@ func (s *Session) initPersistenceLocked(store *persist.Store, cfg *SessionConfig
 // failed append left behind. Caller holds s.stepMu.
 func (s *Session) snapshotLocked() error {
 	st := s.srv.Snapshot()
-	body, err := gobEncode(sessionState{ConfigJSON: s.cfgJSON, Created: s.created, Server: st})
+	body, err := gobEncode(sessionState{ConfigJSON: s.cfgJSON, Created: s.created, Server: st, Idem: s.idem.entries()})
 	if err != nil {
 		return fmt.Errorf("service: encoding snapshot: %w", err)
 	}
@@ -146,19 +166,22 @@ func (s *Session) latchPersistErr(err error) {
 	s.persistMu.Unlock()
 }
 
-// persistStep journals one just-published step and coalesces a
-// snapshot every snapshotEvery steps. Persist failures never fail the
-// step — the in-memory accounting is already correct — but they are
-// latched into the session's health so operators see durability
-// degrade instead of discovering it at the next crash.
+// persistBatch journals one just-landed ingestion batch (with its
+// optional idempotency record) as a single checksummed journal record
+// and coalesces a snapshot every snapshotEvery steps. Persist failures
+// never fail the batch — the in-memory accounting is already correct —
+// but they are latched into the session's health so operators see
+// durability degrade instead of discovering it at the next crash.
 //
 // A failed append may leave a partial record on disk, and nothing
 // appended after such a poisoned tail is reachable by replay (recovery
 // stops at the first unverifiable record). So after an append failure
 // the session stops journaling and instead tries to resnapshot on
 // every step until one succeeds, which truncates the poisoned tail and
-// restores durability. Caller holds s.stepMu.
-func (s *Session) persistStep(t int, eps float64, noisy []float64) {
+// restores durability — and the snapshot carries the idempotency
+// memory, so exactly-once survives the degradation too. Caller holds
+// s.stepMu.
+func (s *Session) persistBatch(results []stream.StepResult, idem *idemRecord) {
 	if s.journal == nil {
 		return
 	}
@@ -166,15 +189,19 @@ func (s *Session) persistStep(t int, eps float64, noisy []float64) {
 		if err := s.snapshotLocked(); err != nil {
 			s.latchPersistErr(err)
 		}
-		return // on success the snapshot covers this step
+		return // on success the snapshot covers this batch
 	}
-	rec := stream.StepRecord{T: t, Eps: eps, Published: noisy, NoiseDraws: s.srv.NoiseState().Draws}
+	rec := batchRecord{Steps: make([]stream.StepRecord, len(results)), Idem: idem}
+	for i, r := range results {
+		rec.Steps[i] = stream.StepRecord{T: r.T, Eps: r.Eps, Published: r.Published, NoiseDraws: r.Draws}
+	}
 	body, err := gobEncode(rec)
 	if err == nil {
-		err = s.journal.Append(stepSchemaVersion, body)
+		err = s.journal.Append(batchSchemaVersion, body)
 	}
+	lastT := results[len(results)-1].T
 	if err != nil {
-		s.latchPersistErr(fmt.Errorf("service: journaling step %d: %w", t, err))
+		s.latchPersistErr(fmt.Errorf("service: journaling batch ending at step %d: %w", lastT, err))
 		s.journalBad = true
 		if serr := s.snapshotLocked(); serr != nil {
 			s.latchPersistErr(serr)
@@ -182,8 +209,8 @@ func (s *Session) persistStep(t int, eps float64, noisy []float64) {
 		return
 	}
 	s.persistMu.Lock()
-	s.journalRecords++
-	snapDue := t-s.lastSnapT >= s.snapshotEvery
+	s.journalRecords += len(results)
+	snapDue := lastT-s.lastSnapT >= s.snapshotEvery
 	s.persistMu.Unlock()
 	if snapDue {
 		if err := s.snapshotLocked(); err != nil {
@@ -307,7 +334,7 @@ func (r *Registry) restoreOne(store *persist.Store, name string) error {
 	if err != nil {
 		return err
 	}
-	if version != sessionSchemaVersion {
+	if version != sessionSchemaVersion && version != sessionSchemaVersionLegacy {
 		return fmt.Errorf("service: snapshot schema version %d not supported (want %d)", version, sessionSchemaVersion)
 	}
 	var st sessionState
@@ -342,21 +369,46 @@ func (r *Registry) restoreOne(store *persist.Store, name string) error {
 		return err
 	}
 	snapT := srv.T()
-	// Replay the journal tail. Records at or before the snapshot are
-	// expected (crash between snapshot and journal reset) and skipped;
-	// gaps or schema mismatches beyond it fail the session.
-	replay, err := store.ReplayJournal(name, func(version uint32, body []byte) error {
-		if version != stepSchemaVersion {
-			return fmt.Errorf("service: journal schema version %d not supported (want %d)", version, stepSchemaVersion)
-		}
-		var rec stream.StepRecord
-		if err := gobDecode(body, &rec); err != nil {
-			return fmt.Errorf("service: decoding journal record: %w", err)
-		}
+	// Replay the journal tail: version-1 records are single steps,
+	// version-2 records whole batches (steps + idempotency record).
+	// Step records at or before the snapshot are expected (crash between
+	// snapshot and journal reset) and skipped; gaps or schema mismatches
+	// beyond it fail the session. Idempotency records are collected in
+	// journal order and layered over the snapshot's entries below.
+	var idemTail []idemRecord
+	replayedSteps := 0
+	applyStep := func(rec stream.StepRecord) error {
 		if rec.T <= snapT {
 			return nil
 		}
+		replayedSteps++
 		return srv.ApplyStep(rec)
+	}
+	_, err = store.ReplayJournal(name, func(version uint32, body []byte) error {
+		switch version {
+		case stepSchemaVersion:
+			var rec stream.StepRecord
+			if err := gobDecode(body, &rec); err != nil {
+				return fmt.Errorf("service: decoding journal record: %w", err)
+			}
+			return applyStep(rec)
+		case batchSchemaVersion:
+			var rec batchRecord
+			if err := gobDecode(body, &rec); err != nil {
+				return fmt.Errorf("service: decoding journal batch record: %w", err)
+			}
+			for _, st := range rec.Steps {
+				if err := applyStep(st); err != nil {
+					return err
+				}
+			}
+			if rec.Idem != nil {
+				idemTail = append(idemTail, *rec.Idem)
+			}
+			return nil
+		default:
+			return fmt.Errorf("service: journal schema version %d not supported (want %d or %d)", version, stepSchemaVersion, batchSchemaVersion)
+		}
 	})
 	if err != nil {
 		return err
@@ -375,7 +427,16 @@ func (r *Registry) restoreOne(store *persist.Store, name string) error {
 		snapshotEvery:  r.snapshotEvery,
 		lastSnapT:      snapT,
 		lastSnapAt:     snapAt,
-		journalRecords: replay.Records,
+		journalRecords: replayedSteps,
+	}
+	// Rebuild the idempotency memory: snapshot entries first (their
+	// stored order is the LRU order), then the journal tail's. Entries
+	// naming steps beyond the restored history are dropped — their batch
+	// never fully landed, so a retry must be applied, not replayed.
+	for _, rec := range append(append([]idemRecord(nil), st.Idem...), idemTail...) {
+		if rec.FirstT >= 1 && rec.lastT() <= srv.T() {
+			s.idem.put(rec)
+		}
 	}
 	j, err := store.OpenJournal(name)
 	if err != nil {

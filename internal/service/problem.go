@@ -1,0 +1,153 @@
+package service
+
+import (
+	"errors"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/release"
+	"repro/internal/stream"
+)
+
+// The uniform error model of the wire API (v2, and shared with v1):
+// every error response is an RFC 7807 application/problem+json document
+// carrying a stable machine-readable code. Clients branch on Code, not
+// on error-string substrings; the human-readable Detail may change
+// between releases, the codes may not.
+
+// problemContentType is the RFC 7807 media type.
+const problemContentType = "application/problem+json"
+
+// Problem codes. Stable wire contract — append, never rename.
+const (
+	// CodeInvalidRequest: the request body or parameters failed
+	// validation (malformed JSON, unknown fields, bad shapes, bad
+	// budgets, out-of-range query parameters).
+	CodeInvalidRequest = "invalid_request"
+	// CodeSessionNotFound: the {name} path names no live session.
+	CodeSessionNotFound = "session_not_found"
+	// CodeSessionExists: create collided with a live session name.
+	CodeSessionExists = "session_exists"
+	// CodeCapacityExhausted: the process-wide population ceiling is
+	// reached; retry after sessions are deleted.
+	CodeCapacityExhausted = "capacity_exhausted"
+	// CodeBudgetExhausted: the attached release plan has no budget left
+	// (finite horizon exceeded) — continuing requires a new plan or
+	// explicit budgets.
+	CodeBudgetExhausted = "budget_exhausted"
+	// CodeInvalidState: the operation is legal but not in the session's
+	// current state (no release plan attached, restore-state mismatch).
+	CodeInvalidState = "invalid_state"
+	// CodeSnapshotUnavailable: a durable snapshot was requested from an
+	// ephemeral (no -state-dir) process.
+	CodeSnapshotUnavailable = "snapshot_unavailable"
+	// CodeUnsupportedFormat: the ?format= value is not offered; the
+	// problem's "supported" member lists the ones that are.
+	CodeUnsupportedFormat = "unsupported_format"
+	// CodePayloadTooLarge: the request body exceeded the byte ceiling.
+	CodePayloadTooLarge = "payload_too_large"
+	// CodeIdempotencyConflict: an Idempotency-Key was reused with a
+	// different request body.
+	CodeIdempotencyConflict = "idempotency_conflict"
+	// CodeInternal: the service failed; nothing was wrong with the
+	// request.
+	CodeInternal = "internal"
+)
+
+// Problem is the error response body. Type stays "about:blank" (the
+// RFC's registered default) with Title carrying the code's summary;
+// Code is the stable machine contract. Error mirrors Detail under the
+// pre-v2 key so v1 clients that read {"error": ...} keep working.
+type Problem struct {
+	Type      string   `json:"type"`
+	Title     string   `json:"title"`
+	Status    int      `json:"status"`
+	Code      string   `json:"code"`
+	Detail    string   `json:"detail,omitempty"`
+	Supported []string `json:"supported,omitempty"`
+	Error     string   `json:"error,omitempty"`
+}
+
+// problemTitles maps codes to their RFC 7807 titles.
+var problemTitles = map[string]string{
+	CodeInvalidRequest:      "invalid request",
+	CodeSessionNotFound:     "session not found",
+	CodeSessionExists:       "session already exists",
+	CodeCapacityExhausted:   "capacity exhausted",
+	CodeBudgetExhausted:     "privacy budget exhausted",
+	CodeInvalidState:        "invalid session state",
+	CodeSnapshotUnavailable: "snapshot unavailable",
+	CodeUnsupportedFormat:   "unsupported format",
+	CodePayloadTooLarge:     "payload too large",
+	CodeIdempotencyConflict: "idempotency key conflict",
+	CodeInternal:            "internal error",
+}
+
+// errIdemConflict tags idempotency-key reuse with a different body.
+var errIdemConflict = errors.New("service: idempotency key reused with a different request body")
+
+// classify maps an error to its HTTP status and problem code. It is the
+// single source of truth for both API versions (v1 reports the same
+// statuses it always has; v2 adds the codes).
+func classify(err error) (status int, code string) {
+	var tooBig *http.MaxBytesError
+	var invalid *core.InvalidStateError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound, CodeSessionNotFound
+	case errors.Is(err, ErrExists):
+		return http.StatusConflict, CodeSessionExists
+	case errors.Is(err, ErrCapacity):
+		return http.StatusServiceUnavailable, CodeCapacityExhausted
+	case errors.Is(err, release.ErrHorizonExceeded):
+		return http.StatusConflict, CodeBudgetExhausted
+	case errors.Is(err, stream.ErrNoPlan):
+		return http.StatusConflict, CodeInvalidState
+	case errors.Is(err, ErrNoStore):
+		return http.StatusConflict, CodeSnapshotUnavailable
+	case errors.Is(err, errIdemConflict):
+		return http.StatusUnprocessableEntity, CodeIdempotencyConflict
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge, CodePayloadTooLarge
+	case errors.As(err, &invalid), errors.Is(err, stream.ErrBadServerState):
+		return http.StatusUnprocessableEntity, CodeInvalidState
+	default:
+		return http.StatusBadRequest, CodeInvalidRequest
+	}
+}
+
+// newProblem builds a problem body for one code.
+func newProblem(status int, code, detail string) Problem {
+	return Problem{
+		Type:   "about:blank",
+		Title:  problemTitles[code],
+		Status: status,
+		Code:   code,
+		Detail: detail,
+		Error:  detail,
+	}
+}
+
+// writeProblem emits one problem+json response.
+func writeProblem(w http.ResponseWriter, p Problem) {
+	w.Header().Set("Content-Type", problemContentType)
+	writeBody(w, p.Status, p)
+}
+
+// writeError maps an error to a problem response with the status the
+// classifier picks.
+func writeError(w http.ResponseWriter, err error) {
+	status, code := classify(err)
+	writeProblem(w, newProblem(status, code, err.Error()))
+}
+
+// writeErrorStatus is writeError with the handler overriding the
+// status (e.g. a read endpoint reporting a server-side failure as 500
+// even though the underlying error would classify as a bad request).
+func writeErrorStatus(w http.ResponseWriter, status int, err error) {
+	_, code := classify(err)
+	if status == http.StatusInternalServerError {
+		code = CodeInternal
+	}
+	writeProblem(w, newProblem(status, code, err.Error()))
+}

@@ -61,6 +61,12 @@ type Session struct {
 	lastSnapAt     time.Time
 	journalRecords int
 	persistErr     error
+
+	// idem remembers recent idempotency-keyed batches (guarded by
+	// stepMu; persisted — see idempotency.go and persistence.go).
+	idem idemCache
+	// watch fans live step frames out to SSE subscribers (watch.go).
+	watch watchHub
 }
 
 // Name returns the session's registry key.
@@ -74,35 +80,27 @@ func (s *Session) Created() time.Time { return s.created }
 func (s *Session) Server() *stream.Server { return s.srv }
 
 // Collect runs one explicit-budget step and returns the published
-// histogram together with the 1-based step index it landed on.
+// histogram together with the 1-based step index it landed on. It is a
+// one-element CollectBatch (idempotency.go) — both API versions and
+// embedding callers share that endpoint.
 func (s *Session) Collect(values []int, eps float64) ([]float64, int, float64, error) {
-	s.stepMu.Lock()
-	defer s.stepMu.Unlock()
-	noisy, err := s.srv.Collect(values, eps)
+	results, _, err := s.CollectBatch("", []stream.BatchStep{{Values: values, Eps: &eps}})
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	t := s.srv.T()
-	s.persistStep(t, eps, noisy)
-	return noisy, t, eps, nil
+	r := results[0]
+	return r.Published, r.T, r.Eps, nil
 }
 
 // CollectPlanned runs one plan-budgeted step, reporting the budget the
 // plan charged.
 func (s *Session) CollectPlanned(values []int) ([]float64, int, float64, error) {
-	s.stepMu.Lock()
-	defer s.stepMu.Unlock()
-	noisy, err := s.srv.CollectPlanned(values)
+	results, _, err := s.CollectBatch("", []stream.BatchStep{{Values: values}})
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	t := s.srv.T()
-	eps, err := s.srv.Budget(t)
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	s.persistStep(t, eps, noisy)
-	return noisy, t, eps, nil
+	r := results[0]
+	return r.Published, r.T, r.Eps, nil
 }
 
 // Summary is the API's session digest.
@@ -288,8 +286,12 @@ func (r *Registry) Delete(name string) error {
 	r.totalUsers -= s.srv.Users()
 	r.mu.Unlock()
 	s.stepMu.Lock()
-	defer s.stepMu.Unlock()
-	return s.dropPersistenceLocked()
+	err := s.dropPersistenceLocked()
+	s.stepMu.Unlock()
+	// Disconnect live watchers — their session no longer exists, and a
+	// silently idle stream would hide that until a write timeout.
+	s.watch.closeAll()
+	return err
 }
 
 // List returns all sessions sorted by name.

@@ -90,6 +90,10 @@ func NewWithOptions(addr string, logger *log.Logger, opts Options) (*Server, err
 	if logger != nil {
 		s.http.ErrorLog = logger
 	}
+	// SSE watch streams end when Shutdown begins — an open watch held to
+	// the shutdown deadline would abort the drain and skip the final
+	// snapshots below.
+	s.http.RegisterOnShutdown(api.StopWatchers)
 	return s, nil
 }
 

@@ -1,0 +1,137 @@
+package service
+
+import (
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// Live leakage watching. GET /v2/sessions/{name}/watch holds a
+// server-sent-events stream open and pushes one frame per published
+// step: the population-worst TPL at that step with its backward and
+// forward components. The hub is deliberately lossy under backpressure:
+// a subscriber that cannot drain watchBuffer frames is disconnected
+// (its channel closed) rather than allowed to stall ingestion — SSE
+// clients reconnect with Last-Event-ID and replay what they missed
+// from history.
+
+// watchBuffer is each subscriber's frame buffer.
+const watchBuffer = 64
+
+// watchEvent is one SSE "step" frame.
+type watchEvent struct {
+	T         int     `json:"t"`
+	Eps       float64 `json:"eps"`
+	Planned   bool    `json:"planned"`
+	TPL       float64 `json:"tpl"`
+	BPL       float64 `json:"bpl"`
+	FPL       float64 `json:"fpl"`
+	WorstUser int     `json:"worst_user"`
+}
+
+// watchHub fans step frames out to subscribers.
+type watchHub struct {
+	mu     sync.Mutex
+	subs   map[chan watchEvent]struct{}
+	closed bool // session deleted; no further subscriptions
+}
+
+// subscribe registers a new subscriber. cancel unregisters it; the
+// returned channel is closed by cancel, by the hub on overflow, or by
+// closeAll. Subscribing to a closed hub (deleted session) returns an
+// already-closed channel.
+func (h *watchHub) subscribe() (ch chan watchEvent, cancel func()) {
+	ch = make(chan watchEvent, watchBuffer)
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	if h.subs == nil {
+		h.subs = make(map[chan watchEvent]struct{})
+	}
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	return ch, func() {
+		h.mu.Lock()
+		if _, ok := h.subs[ch]; ok {
+			delete(h.subs, ch)
+			close(ch)
+		}
+		h.mu.Unlock()
+	}
+}
+
+// closeAll disconnects every subscriber and refuses new ones — the
+// session is gone; leaving watchers hanging until a write timeout
+// would hide the deletion from them.
+func (h *watchHub) closeAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for ch := range h.subs {
+		delete(h.subs, ch)
+		close(ch)
+	}
+	h.closed = true
+}
+
+// active reports whether anyone is watching (the ingestion path skips
+// computing frames otherwise).
+func (h *watchHub) active() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs) > 0
+}
+
+// broadcast delivers one frame, disconnecting subscribers that are
+// watchBuffer frames behind.
+func (h *watchHub) broadcast(ev watchEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+		default:
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// notifyStepsLocked pushes one frame per just-landed step to live
+// watchers. Caller holds stepMu, which keeps frames ordered by t
+// across concurrent batches; the per-frame leakage digest is only
+// computed when someone is watching.
+func (s *Session) notifyStepsLocked(results []stream.StepResult) {
+	if !s.watch.active() {
+		return
+	}
+	for _, r := range results {
+		p, err := s.srv.LeakageAt(r.T)
+		if err != nil {
+			continue // the step exists; this cannot happen, but a frame is not worth a panic
+		}
+		s.watch.broadcast(watchEvent{
+			T:         p.T,
+			Eps:       p.Eps,
+			Planned:   r.Planned,
+			TPL:       p.TPL,
+			BPL:       p.BPL,
+			FPL:       p.FPL,
+			WorstUser: p.WorstUser,
+		})
+	}
+}
+
+// watchFrameAt rebuilds the frame for an already-published step (SSE
+// catch-up from ?from= or Last-Event-ID). History does not retain
+// whether a step's budget came from the plan, so catch-up frames report
+// planned=false — the flag is advisory and only live frames carry it.
+func (s *Session) watchFrameAt(t int) (watchEvent, error) {
+	p, err := s.srv.LeakageAt(t)
+	if err != nil {
+		return watchEvent{}, err
+	}
+	return watchEvent{T: p.T, Eps: p.Eps, TPL: p.TPL, BPL: p.BPL, FPL: p.FPL, WorstUser: p.WorstUser}, nil
+}

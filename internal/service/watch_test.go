@@ -1,0 +1,118 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// openWatch starts one SSE watch request against a live server and
+// returns a channel that closes when the stream ends.
+func openWatch(t *testing.T, base, session string) (done chan struct{}) {
+	t.Helper()
+	req, err := http.NewRequest("GET", base+"/v2/sessions/"+session+"/watch", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("watch: %d", resp.StatusCode)
+	}
+	done = make(chan struct{})
+	go func() {
+		defer close(done)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+		}
+	}()
+	return done
+}
+
+// TestDeleteDisconnectsWatchers: deleting a session must end its open
+// watch streams promptly, not leave them idling until a write timeout.
+func TestDeleteDisconnectsWatchers(t *testing.T) {
+	api := NewAPI()
+	h := api.Handler()
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	v2Session(t, h, "gone")
+	done := openWatch(t, srv.URL, "gone")
+
+	rec := doJSON(t, h, "DELETE", "/v2/sessions/gone", "", nil)
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("delete: %d", rec.Code)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch stream still open 5s after session delete")
+	}
+}
+
+// TestShutdownEndsWatchStreams: an open SSE stream must not hold
+// graceful shutdown to its deadline — Server.Run registers
+// StopWatchers on Shutdown, the stream ends, the drain completes
+// quickly, and the final snapshots run.
+func TestShutdownEndsWatchStreams(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := NewWithOptions("127.0.0.1:0", nil, Options{StateDir: dir, SnapshotEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- srv.Run(ctx, func(a net.Addr) { addrc <- a.String() })
+	}()
+	var base string
+	select {
+	case a := <-addrc:
+		base = "http://" + a
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never came up")
+	}
+	// Create a session and a couple of steps over the wire, then watch.
+	body := `{"name":"w","domain":2,"users":3,"seed":3}`
+	resp, err := http.Post(base+"/v2/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Post(base+"/v2/sessions/w/steps", "application/json", strings.NewReader(`[{"values":[0,1,0],"eps":0.1}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	done := openWatch(t, base, "w")
+
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(8 * time.Second):
+		t.Fatal("graceful shutdown hung behind the watch stream")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("shutdown took %v — the watch stream held the drain", elapsed)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("watch stream still open after shutdown")
+	}
+}

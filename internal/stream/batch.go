@@ -1,0 +1,284 @@
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mechanism"
+	"repro/internal/release"
+)
+
+// Batched collection. The v2 wire API ingests many time steps per
+// request; CollectBatch is its substrate: one lock acquisition, one
+// validation pass over the whole batch, then the releases. The batch is
+// atomic in the same sense a single Collect is — everything that can
+// fail (step shapes, budgets, plan horizon, mechanism parameters) is
+// checked before the first accountant is touched, so a rejected batch
+// charges no user for any of its steps.
+
+// BatchStep is one time step of a CollectBatch call. The step's
+// database is declared exactly one way: Values (one entry per user, as
+// Collect takes) or Counts (the pre-aggregated histogram — the compact
+// wire shape for large populations, since leakage accounting depends
+// only on the budget sequence, never on who held which value).
+type BatchStep struct {
+	// Values is the per-user database of the step (len == Users()).
+	Values []int
+	// Counts is the pre-aggregated histogram: len == Domain(),
+	// non-negative entries summing to Users().
+	Counts []int
+	// Eps is the explicit per-step budget; nil draws from the attached
+	// release plan (as CollectPlanned does).
+	Eps *float64
+}
+
+// StepResult reports one step a batch landed: the 1-based step index,
+// the budget actually charged, whether it came from the plan, and the
+// published noisy histogram. Draws is the noise-stream position after
+// the step (0 when the stream is untracked) — the journaling layer
+// records it so replays fast-forward the stream exactly.
+type StepResult struct {
+	T         int
+	Eps       float64
+	Planned   bool
+	Published []float64
+	Draws     uint64
+}
+
+// preparedStep is a fully validated step awaiting its release: the true
+// histogram, the resolved budget, and the noise mechanism already
+// constructed (so applying a prepared batch cannot fail).
+type preparedStep struct {
+	hist    []int
+	eps     float64
+	planned bool
+	release func(counts []int) []float64
+}
+
+// releaserLocked builds the noise mechanism for one step's budget.
+// Caller holds the write lock.
+func (s *Server) releaserLocked(eps float64) (func(counts []int) []float64, error) {
+	switch s.noise {
+	case release.GeometricNoise:
+		geo, err := mechanism.NewGeometric(eps, int(s.sensitivity), s.rng)
+		if err != nil {
+			return nil, err
+		}
+		return func(h []int) []float64 {
+			ints := geo.ReleaseCounts(h)
+			noisy := make([]float64, len(ints))
+			for i, v := range ints {
+				noisy[i] = float64(v)
+			}
+			return noisy
+		}, nil
+	default:
+		lap, err := mechanism.NewLaplace(eps, s.sensitivity, s.rng)
+		if err != nil {
+			return nil, err
+		}
+		return lap.ReleaseCounts, nil
+	}
+}
+
+// prepareLocked validates one step and resolves its budget. offset is
+// the number of batch steps that will land before this one (0 for a
+// single-step collect) — plan budgets are drawn by absolute step index,
+// so a batch mixing explicit and planned budgets indexes the plan
+// exactly as the equivalent sequence of single-step collects would.
+// Caller holds the write lock.
+func (s *Server) prepareLocked(st BatchStep, offset int) (preparedStep, error) {
+	var p preparedStep
+	switch {
+	case st.Values != nil && st.Counts != nil:
+		return p, fmt.Errorf("stream: step declares both values and counts")
+	case st.Values != nil:
+		if len(st.Values) != s.users {
+			return p, fmt.Errorf("%w: %d values for %d users", ErrDomainMismatch, len(st.Values), s.users)
+		}
+		// Build the histogram directly: one pass validates the domain
+		// range and aggregates, where mechanism.NewSnapshot would copy
+		// the 100k-value slice and scan it twice.
+		p.hist = make([]int, s.domain)
+		for i, v := range st.Values {
+			if v < 0 || v >= s.domain {
+				return p, fmt.Errorf("stream: user %d has value %d outside [0,%d)", i, v, s.domain)
+			}
+			p.hist[v]++
+		}
+	case st.Counts != nil:
+		if len(st.Counts) != s.domain {
+			return p, fmt.Errorf("%w: %d counts for domain %d", ErrDomainMismatch, len(st.Counts), s.domain)
+		}
+		total := 0
+		for v, c := range st.Counts {
+			if c < 0 {
+				return p, fmt.Errorf("stream: count for value %d is negative (%d)", v, c)
+			}
+			total += c
+		}
+		if total != s.users {
+			return p, fmt.Errorf("%w: counts sum to %d for %d users", ErrDomainMismatch, total, s.users)
+		}
+		p.hist = append([]int(nil), st.Counts...)
+	default:
+		return p, fmt.Errorf("stream: step declares neither values nor counts")
+	}
+	if st.Eps != nil {
+		p.eps = *st.Eps
+		if err := core.CheckBudget(p.eps); err != nil {
+			return p, fmt.Errorf("stream: %w", err)
+		}
+	} else {
+		if s.plan == nil {
+			return p, ErrNoPlan
+		}
+		p.planned = true
+		step := len(s.budgets) + offset - s.planBase + 1
+		if h := s.plan.Horizon(); h > 0 && step > h {
+			return p, fmt.Errorf("stream: plan step %d beyond horizon %d: %w", step, h, release.ErrHorizonExceeded)
+		}
+		eps, err := s.plan.BudgetAt(step)
+		if err != nil {
+			return p, err
+		}
+		p.eps = eps
+	}
+	var err error
+	if p.release, err = s.releaserLocked(p.eps); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// applyLocked releases one prepared step: noise, accountant fan-out,
+// history append. It cannot fail — everything fallible happened in
+// prepareLocked. Caller holds the write lock.
+func (s *Server) applyLocked(p preparedStep) StepResult {
+	noisy := p.release(p.hist)
+	s.observeAll(p.eps)
+	s.published = append(s.published, noisy)
+	s.budgets = append(s.budgets, p.eps)
+	r := StepResult{T: len(s.budgets), Eps: p.eps, Planned: p.planned, Published: noisy}
+	if s.noiseSrc != nil {
+		r.Draws = s.noiseSrc.draws
+	}
+	return r
+}
+
+// CollectBatch ingests a sequence of time steps under one lock: the
+// whole batch is validated first (shapes, budgets, plan horizon), then
+// every step is released in order. A batch that fails validation
+// publishes nothing and charges no accountant — the same all-or-nothing
+// contract Collect gives one step, extended to the sequence. Budgets
+// may mix explicit and planned steps; noise draws are identical to the
+// equivalent sequence of single-step collects.
+func (s *Server) CollectBatch(steps []BatchStep) ([]StepResult, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("stream: empty batch")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prepared := make([]preparedStep, len(steps))
+	for i, st := range steps {
+		p, err := s.prepareLocked(st, i)
+		if err != nil {
+			return nil, fmt.Errorf("stream: batch step %d: %w", i+1, err)
+		}
+		prepared[i] = p
+	}
+	results := make([]StepResult, len(prepared))
+	for i, p := range prepared {
+		results[i] = s.applyLocked(p)
+	}
+	return results, nil
+}
+
+// LeakagePoint is the per-step leakage digest of one published time
+// point: the population-worst TPL at t together with its backward and
+// forward components and the user attaining it. The watch endpoint
+// streams one per step.
+type LeakagePoint struct {
+	T         int
+	Eps       float64
+	TPL       float64
+	BPL       float64
+	FPL       float64
+	WorstUser int
+}
+
+// LeakageAt computes the population-worst leakage digest at 1-based
+// time t (one accountant query per cohort; FPL values reflect all
+// releases observed so far, per Eq. 10's backward-recomputation).
+func (s *Server) LeakageAt(t int) (LeakagePoint, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if t < 1 || t > len(s.budgets) {
+		return LeakagePoint{}, fmt.Errorf("stream: time %d out of range [1,%d]", t, len(s.budgets))
+	}
+	p := LeakagePoint{T: t, Eps: s.budgets[t-1]}
+	first := true
+	for _, c := range s.cohorts {
+		c.mu.Lock()
+		v, err := c.acc.TPL(t)
+		if err != nil {
+			c.mu.Unlock()
+			return LeakagePoint{}, err
+		}
+		if first || v > p.TPL {
+			first = false
+			b, berr := c.acc.BPL(t)
+			f, ferr := c.acc.FPL(t)
+			if berr != nil || ferr != nil {
+				c.mu.Unlock()
+				return LeakagePoint{}, fmt.Errorf("stream: leakage components at t=%d: %v %v", t, berr, ferr)
+			}
+			p.TPL, p.BPL, p.FPL, p.WorstUser = v, b, f, c.firstUser
+		}
+		c.mu.Unlock()
+	}
+	return p, nil
+}
+
+// PublishedRange returns copies of the budgets and published
+// histograms for 1-based steps [from, to] under one lock acquisition —
+// the paginated read of the release history (per-step Budget+Published
+// calls would take two locks per item).
+func (s *Server) PublishedRange(from, to int) (eps []float64, hists [][]float64, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if from < 1 || to > len(s.budgets) || from > to {
+		return nil, nil, fmt.Errorf("stream: range [%d,%d] outside [1,%d]", from, to, len(s.budgets))
+	}
+	eps = append(eps, s.budgets[from-1:to]...)
+	hists = make([][]float64, 0, to-from+1)
+	for t := from; t <= to; t++ {
+		hists = append(hists, append([]float64(nil), s.published[t-1]...))
+	}
+	return eps, hists, nil
+}
+
+// UserTPLRange returns user u's TPL at every 1-based time point in
+// [from, to] — the paginated slice of UserTPLSeries.
+func (s *Server) UserTPLRange(u, from, to int) ([]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if from < 1 || to > len(s.budgets) || from > to {
+		return nil, fmt.Errorf("stream: range [%d,%d] outside [1,%d]", from, to, len(s.budgets))
+	}
+	c, err := s.cohortFor(u)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]float64, 0, to-from+1)
+	for t := from; t <= to; t++ {
+		v, err := c.acc.TPL(t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -2,7 +2,6 @@ package stream
 
 import (
 	"errors"
-	"fmt"
 
 	"repro/internal/release"
 )
@@ -33,18 +32,11 @@ func (s *Server) SetPlan(plan release.Plan) {
 func (s *Server) CollectPlanned(values []int) ([]float64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.plan == nil {
-		return nil, ErrNoPlan
-	}
-	step := len(s.budgets) - s.planBase + 1
-	if h := s.plan.Horizon(); h > 0 && step > h {
-		return nil, fmt.Errorf("stream: plan step %d beyond horizon %d: %w", step, h, release.ErrHorizonExceeded)
-	}
-	eps, err := s.plan.BudgetAt(step)
+	p, err := s.prepareLocked(BatchStep{Values: values}, 0)
 	if err != nil {
 		return nil, err
 	}
-	return s.collectLocked(values, eps)
+	return s.applyLocked(p).Published, nil
 }
 
 // PlanStep returns the 1-based step the next CollectPlanned will use

@@ -314,44 +314,17 @@ func (s *Server) Collect(values []int, eps float64) ([]float64, error) {
 	return s.collectLocked(values, eps)
 }
 
-// collectLocked is Collect with s.mu already write-held.
+// collectLocked is Collect with s.mu already write-held. It is the
+// single-step form of the batch pipeline: validate everything that can
+// fail — budget, snapshot, mechanism parameters — before the first
+// accountant update, so the step is atomic from the accounting point of
+// view (see batch.go for the shared prepare/apply helpers).
 func (s *Server) collectLocked(values []int, eps float64) ([]float64, error) {
-	if len(values) != s.users {
-		return nil, fmt.Errorf("%w: %d values for %d users", ErrDomainMismatch, len(values), s.users)
-	}
-	// Validate everything that can fail — budget, snapshot, mechanism
-	// parameters — before the first accountant update, so the step is
-	// atomic from the accounting point of view.
-	if err := core.CheckBudget(eps); err != nil {
-		return nil, fmt.Errorf("stream: %w", err)
-	}
-	snap, err := mechanism.NewSnapshot(s.domain, values)
+	p, err := s.prepareLocked(BatchStep{Values: values, Eps: &eps}, 0)
 	if err != nil {
 		return nil, err
 	}
-	var noisy []float64
-	switch s.noise {
-	case release.GeometricNoise:
-		geo, err := mechanism.NewGeometric(eps, int(s.sensitivity), s.rng)
-		if err != nil {
-			return nil, err
-		}
-		ints := geo.ReleaseCounts(snap.Histogram())
-		noisy = make([]float64, len(ints))
-		for i, v := range ints {
-			noisy[i] = float64(v)
-		}
-	default:
-		lap, err := mechanism.NewLaplace(eps, s.sensitivity, s.rng)
-		if err != nil {
-			return nil, err
-		}
-		noisy = lap.ReleaseCounts(snap.Histogram())
-	}
-	s.observeAll(eps)
-	s.published = append(s.published, noisy)
-	s.budgets = append(s.budgets, eps)
-	return noisy, nil
+	return s.applyLocked(p).Published, nil
 }
 
 // observeAll charges eps to every cohort accountant, fanning the

@@ -62,12 +62,7 @@ func chainRows(c *markov.Chain) [][]float64 {
 	if c == nil {
 		return nil
 	}
-	n := c.N()
-	rows := make([][]float64, n)
-	for i := 0; i < n; i++ {
-		rows[i] = c.Row(i)
-	}
-	return rows
+	return c.Rows()
 }
 
 // Snapshot captures the server's complete state as an explicit value:

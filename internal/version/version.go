@@ -1,0 +1,65 @@
+// Package version is the single source of the build's version string,
+// reported by every CLI's -version flag and the service's /healthz.
+//
+// Release builds stamp it at link time:
+//
+//	go build -ldflags "-X repro/internal/version.Version=v1.2.3" ./...
+//
+// Unstamped builds fall back to the build metadata the Go toolchain
+// embeds (module version or VCS revision via debug.ReadBuildInfo), and
+// to "devel" when even that is absent (e.g. test binaries).
+package version
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Version is the link-time override; empty in unstamped builds.
+var Version string
+
+var (
+	once     sync.Once
+	resolved string
+)
+
+// String returns the effective version: the -ldflags stamp if present,
+// else the module version, else "devel+<short revision>" from VCS build
+// settings, else "devel".
+func String() string {
+	once.Do(func() { resolved = resolve(debug.ReadBuildInfo) })
+	return resolved
+}
+
+// resolve computes the fallback chain; split out (with the reader
+// injected) so tests can exercise every branch.
+func resolve(read func() (*debug.BuildInfo, bool)) string {
+	if Version != "" {
+		return Version
+	}
+	info, ok := read()
+	if !ok || info == nil {
+		return "devel"
+	}
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev, dirty string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		return "devel+" + rev + dirty
+	}
+	return "devel"
+}

@@ -1,0 +1,58 @@
+package version
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestResolveFallbackChain(t *testing.T) {
+	withInfo := func(info *debug.BuildInfo, ok bool) func() (*debug.BuildInfo, bool) {
+		return func() (*debug.BuildInfo, bool) { return info, ok }
+	}
+
+	t.Run("ldflags stamp wins", func(t *testing.T) {
+		old := Version
+		Version = "v9.9.9"
+		defer func() { Version = old }()
+		if got := resolve(withInfo(nil, false)); got != "v9.9.9" {
+			t.Fatalf("got %q", got)
+		}
+	})
+	t.Run("no build info", func(t *testing.T) {
+		if got := resolve(withInfo(nil, false)); got != "devel" {
+			t.Fatalf("got %q", got)
+		}
+	})
+	t.Run("module version", func(t *testing.T) {
+		info := &debug.BuildInfo{}
+		info.Main.Version = "v1.2.3"
+		if got := resolve(withInfo(info, true)); got != "v1.2.3" {
+			t.Fatalf("got %q", got)
+		}
+	})
+	t.Run("vcs revision", func(t *testing.T) {
+		info := &debug.BuildInfo{}
+		info.Main.Version = "(devel)"
+		info.Settings = []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+			{Key: "vcs.modified", Value: "true"},
+		}
+		if got := resolve(withInfo(info, true)); got != "devel+0123456789ab-dirty" {
+			t.Fatalf("got %q", got)
+		}
+	})
+	t.Run("devel fallback", func(t *testing.T) {
+		info := &debug.BuildInfo{}
+		info.Main.Version = "(devel)"
+		if got := resolve(withInfo(info, true)); got != "devel" {
+			t.Fatalf("got %q", got)
+		}
+	})
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	if s := String(); s == "" || strings.ContainsAny(s, " \n") {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,362 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	mathrand "math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client talks to one tplserved base URL. It is safe for concurrent
+// use; construct with New.
+type Client struct {
+	base       string
+	hc         *http.Client
+	retries    int
+	backoff    time.Duration
+	backoffCap time.Duration
+	userAgent  string
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (default: a dedicated
+// http.Client with no global timeout — per-call deadlines come from
+// the context).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetries sets how many times a retryable request is re-sent after
+// the first attempt (default 3; 0 disables retrying).
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the exponential-backoff base delay and its cap
+// (defaults 100ms and 2s). The actual delay is jittered.
+func WithBackoff(base, cap time.Duration) Option {
+	return func(c *Client) { c.backoff, c.backoffCap = base, cap }
+}
+
+// WithUserAgent overrides the User-Agent header.
+func WithUserAgent(ua string) Option { return func(c *Client) { c.userAgent = ua } }
+
+// New validates the base URL ("http://host:port") and builds a client.
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: parsing base URL: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: base URL %q needs an http(s) scheme", baseURL)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q has no host", baseURL)
+	}
+	c := &Client{
+		base:       strings.TrimRight(baseURL, "/"),
+		hc:         &http.Client{},
+		retries:    3,
+		backoff:    100 * time.Millisecond,
+		backoffCap: 2 * time.Second,
+		userAgent:  "tpl-client/2",
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// newIdempotencyKey draws a fresh 128-bit key.
+func newIdempotencyKey() string {
+	var buf [16]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		// Entropy exhaustion is not a reason to drop retry safety;
+		// fall back to a time-derived key.
+		return "k-" + strconv.FormatInt(time.Now().UnixNano(), 36)
+	}
+	return hex.EncodeToString(buf[:])
+}
+
+// retryDelay is the jittered exponential backoff for attempt n >= 1.
+func (c *Client) retryDelay(attempt int) time.Duration {
+	d := c.backoff << (attempt - 1)
+	if d > c.backoffCap || d <= 0 {
+		d = c.backoffCap
+	}
+	// Half fixed, half jitter: avoids thundering-herd retries without
+	// ever collapsing to zero delay.
+	return d/2 + time.Duration(mathrand.Int63n(int64(d/2)+1))
+}
+
+// sleepCtx waits d or until the context ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// decodeProblem turns a non-2xx response into an *APIError. Bodies
+// that are not problem+json (proxies, panics) degrade to a status-only
+// error.
+func decodeProblem(status int, body []byte) *APIError {
+	var p struct {
+		Title     string   `json:"title"`
+		Code      string   `json:"code"`
+		Detail    string   `json:"detail"`
+		Supported []string `json:"supported"`
+	}
+	ae := &APIError{Status: status}
+	if err := json.Unmarshal(body, &p); err == nil && p.Code != "" {
+		ae.Code, ae.Title, ae.Detail, ae.Supported = p.Code, p.Title, p.Detail, p.Supported
+		return ae
+	}
+	if status >= 500 {
+		ae.Code = CodeInternal
+	} else {
+		ae.Code = CodeInvalidRequest
+	}
+	ae.Detail = strings.TrimSpace(string(body))
+	return ae
+}
+
+// do runs one JSON request. idempotent requests are retried on
+// transport errors and 5xx responses; non-idempotent ones are sent
+// exactly once (an ambiguous failure must surface, not be re-applied).
+// header entries are added to the request; the response header is
+// returned on success and on decoded API errors.
+func (c *Client) do(ctx context.Context, method, path string, header http.Header, contentType string, body []byte, idempotent bool, out any) (http.Header, error) {
+	attempts := 1
+	if idempotent {
+		attempts += c.retries
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, c.retryDelay(attempt)); err != nil {
+				return nil, fmt.Errorf("client: %s %s: %w (last error: %v)", method, path, err, lastErr)
+			}
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return nil, fmt.Errorf("client: building %s %s: %w", method, path, err)
+		}
+		req.Header.Set("User-Agent", c.userAgent)
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		for k, vs := range header {
+			for _, v := range vs {
+				req.Header.Set(k, v)
+			}
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = err
+			if idempotent && ctx.Err() == nil {
+				continue
+			}
+			return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+		}
+		respBody, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			lastErr = rerr
+			if idempotent && ctx.Err() == nil {
+				continue
+			}
+			return nil, fmt.Errorf("client: reading %s %s response: %w", method, path, rerr)
+		}
+		if resp.StatusCode/100 == 2 {
+			if out != nil && len(respBody) > 0 {
+				// *[]byte receives the raw body (non-JSON responses like
+				// the JSON-lines report); anything else decodes as JSON.
+				if bp, ok := out.(*[]byte); ok {
+					*bp = respBody
+				} else if err := json.Unmarshal(respBody, out); err != nil {
+					return nil, fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+				}
+			}
+			return resp.Header, nil
+		}
+		apiErr := decodeProblem(resp.StatusCode, respBody)
+		if idempotent && resp.StatusCode >= 500 {
+			lastErr = apiErr
+			continue
+		}
+		return resp.Header, apiErr
+	}
+	return nil, fmt.Errorf("client: %s %s: retries exhausted: %w", method, path, lastErr)
+}
+
+// get runs one idempotent GET.
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	_, err := c.do(ctx, http.MethodGet, path, nil, "", nil, true, out)
+	return err
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.get(ctx, "/healthz", &h)
+	return h, err
+}
+
+// CreateSession registers a new session. Not retried: an ambiguous
+// transport failure must not risk colliding with its own first attempt
+// — check with GetSession and retry explicitly.
+func (c *Client) CreateSession(ctx context.Context, cfg SessionConfig) (Summary, error) {
+	var sum Summary
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		return sum, fmt.Errorf("client: encoding session config: %w", err)
+	}
+	_, err = c.do(ctx, http.MethodPost, "/v2/sessions", nil, "application/json", body, false, &sum)
+	return sum, err
+}
+
+// GetSession fetches one session summary.
+func (c *Client) GetSession(ctx context.Context, name string) (Summary, error) {
+	var sum Summary
+	err := c.get(ctx, "/v2/sessions/"+url.PathEscape(name), &sum)
+	return sum, err
+}
+
+// ListSessions fetches all session summaries.
+func (c *Client) ListSessions(ctx context.Context) ([]Summary, error) {
+	var resp struct {
+		Sessions []Summary `json:"sessions"`
+	}
+	err := c.get(ctx, "/v2/sessions", &resp)
+	return resp.Sessions, err
+}
+
+// DeleteSession drops a session and its persisted state. Retried (the
+// operation is idempotent); note a retry of a delete that already
+// succeeded reports session_not_found.
+func (c *Client) DeleteSession(ctx context.Context, name string) error {
+	_, err := c.do(ctx, http.MethodDelete, "/v2/sessions/"+url.PathEscape(name), nil, "", nil, true, nil)
+	return err
+}
+
+// Report fetches the current guarantee summary.
+func (c *Client) Report(ctx context.Context, session string) (Report, error) {
+	var rep Report
+	err := c.get(ctx, "/v2/sessions/"+url.PathEscape(session)+"/report", &rep)
+	return rep, err
+}
+
+// ReportJSONLines fetches the report in the repository's JSON-lines
+// table wire format (parseable by internal/report.ParseJSONLines).
+func (c *Client) ReportJSONLines(ctx context.Context, session string) ([]byte, error) {
+	var body []byte
+	err := c.get(ctx, "/v2/sessions/"+url.PathEscape(session)+"/report?format=jsonl", &body)
+	return body, err
+}
+
+// WEvent fetches the worst w-window leakage over the population.
+func (c *Client) WEvent(ctx context.Context, session string, w int) (WEventResult, error) {
+	var res WEventResult
+	err := c.get(ctx, "/v2/sessions/"+url.PathEscape(session)+"/wevent?w="+strconv.Itoa(w), &res)
+	return res, err
+}
+
+// UserWEvent fetches one user's worst w-window leakage.
+func (c *Client) UserWEvent(ctx context.Context, session string, user, w int) (WEventResult, error) {
+	var res WEventResult
+	err := c.get(ctx, "/v2/sessions/"+url.PathEscape(session)+"/wevent?w="+strconv.Itoa(w)+"&user="+strconv.Itoa(user), &res)
+	return res, err
+}
+
+// Published fetches one page of the release history. cursor "" starts
+// at step 1; limit <= 0 uses the server default.
+func (c *Client) Published(ctx context.Context, session, cursor string, limit int) (PublishedPage, error) {
+	var page PublishedPage
+	q := url.Values{}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	path := "/v2/sessions/" + url.PathEscape(session) + "/published"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	err := c.get(ctx, path, &page)
+	return page, err
+}
+
+// PublishedAll pages through the whole release history.
+func (c *Client) PublishedAll(ctx context.Context, session string) ([]PublishedItem, error) {
+	var all []PublishedItem
+	cursor := ""
+	for {
+		page, err := c.Published(ctx, session, cursor, 0)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page.Items...)
+		if page.NextCursor == "" {
+			return all, nil
+		}
+		cursor = page.NextCursor
+	}
+}
+
+// TPL fetches one page of a user's TPL series.
+func (c *Client) TPL(ctx context.Context, session string, user int, cursor string, limit int) (TPLPage, error) {
+	var page TPLPage
+	q := url.Values{}
+	q.Set("user", strconv.Itoa(user))
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	err := c.get(ctx, "/v2/sessions/"+url.PathEscape(session)+"/tpl?"+q.Encode(), &page)
+	return page, err
+}
+
+// TPLSeries pages through a user's whole TPL series.
+func (c *Client) TPLSeries(ctx context.Context, session string, user int) ([]float64, error) {
+	var series []float64
+	cursor := ""
+	for {
+		page, err := c.TPL(ctx, session, user, cursor, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, it := range page.Items {
+			series = append(series, it.TPL)
+		}
+		if page.NextCursor == "" {
+			return series, nil
+		}
+		cursor = page.NextCursor
+	}
+}
+
+// Snapshot forces an immediate durable snapshot of one session.
+func (c *Client) Snapshot(ctx context.Context, session string) (SnapshotInfo, error) {
+	var info SnapshotInfo
+	_, err := c.do(ctx, http.MethodPost, "/v2/sessions/"+url.PathEscape(session)+"/snapshot", nil, "", nil, true, &info)
+	return info, err
+}

@@ -1,0 +1,70 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Problem codes of the service's RFC 7807 error model, mirrored here
+// so callers branch without importing server packages. Stable wire
+// contract.
+const (
+	CodeInvalidRequest      = "invalid_request"
+	CodeSessionNotFound     = "session_not_found"
+	CodeSessionExists       = "session_exists"
+	CodeCapacityExhausted   = "capacity_exhausted"
+	CodeBudgetExhausted     = "budget_exhausted"
+	CodeInvalidState        = "invalid_state"
+	CodeSnapshotUnavailable = "snapshot_unavailable"
+	CodeUnsupportedFormat   = "unsupported_format"
+	CodePayloadTooLarge     = "payload_too_large"
+	CodeIdempotencyConflict = "idempotency_conflict"
+	CodeInternal            = "internal"
+)
+
+// APIError is a non-2xx response decoded from its problem+json body.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the stable machine-readable problem code.
+	Code string
+	// Title and Detail are the human-readable halves.
+	Title  string
+	Detail string
+	// Supported lists acceptable values for unsupported_format errors.
+	Supported []string
+}
+
+func (e *APIError) Error() string {
+	if e.Detail != "" {
+		return fmt.Sprintf("%s (%d %s): %s", e.Code, e.Status, e.Title, e.Detail)
+	}
+	return fmt.Sprintf("%s (%d %s)", e.Code, e.Status, e.Title)
+}
+
+// codeIs reports whether err is an *APIError with the given code.
+func codeIs(err error, code string) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == code
+}
+
+// IsNotFound reports a session_not_found error.
+func IsNotFound(err error) bool { return codeIs(err, CodeSessionNotFound) }
+
+// IsExists reports a session_exists error.
+func IsExists(err error) bool { return codeIs(err, CodeSessionExists) }
+
+// IsBudgetExhausted reports a budget_exhausted error (the attached
+// plan's finite horizon is spent).
+func IsBudgetExhausted(err error) bool { return codeIs(err, CodeBudgetExhausted) }
+
+// IsInvalidState reports an invalid_state error (e.g. planned steps
+// without an attached plan).
+func IsInvalidState(err error) bool { return codeIs(err, CodeInvalidState) }
+
+// IsIdempotencyConflict reports an idempotency key reused with a
+// different batch body.
+func IsIdempotencyConflict(err error) bool { return codeIs(err, CodeIdempotencyConflict) }
+
+// IsCapacityExhausted reports the process-wide population ceiling.
+func IsCapacityExhausted(err error) bool { return codeIs(err, CodeCapacityExhausted) }

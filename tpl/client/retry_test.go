@@ -1,0 +1,214 @@
+package client_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/tpl/client"
+)
+
+// failMode scripts what the flaky proxy does to one steps request.
+type failMode int
+
+const (
+	passThrough failMode = iota
+	// failBefore rejects with a 500 before the service sees the request
+	// — the batch is never applied.
+	failBefore
+	// failAfter lets the service apply the batch, then replaces the
+	// response with a 500 — the classic ambiguous failure.
+	failAfter
+	// dropAfter lets the service apply the batch, then kills the
+	// connection mid-response (the client sees a transport error).
+	dropAfter
+	// stallAfter lets the service apply the batch, then stalls past the
+	// client's timeout.
+	stallAfter
+)
+
+// flakyHandler wraps the service handler and misbehaves, per script,
+// on POST .../steps requests. All other traffic passes through.
+type flakyHandler struct {
+	h http.Handler
+
+	mu     sync.Mutex
+	script []failMode
+	hits   int
+}
+
+func (f *flakyHandler) next(r *http.Request) failMode {
+	if r.Method != http.MethodPost || !strings.HasSuffix(r.URL.Path, "/steps") {
+		return passThrough
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hits++
+	if len(f.script) == 0 {
+		return passThrough
+	}
+	mode := f.script[0]
+	f.script = f.script[1:]
+	return mode
+}
+
+func (f *flakyHandler) push(modes ...failMode) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.script = append(f.script, modes...)
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch f.next(r) {
+	case failBefore:
+		http.Error(w, `{"code":"internal","title":"injected","status":500}`, http.StatusInternalServerError)
+	case failAfter:
+		rec := httptest.NewRecorder()
+		f.h.ServeHTTP(rec, r) // the service really applies the batch
+		http.Error(w, `{"code":"internal","title":"injected after apply","status":500}`, http.StatusInternalServerError)
+	case dropAfter:
+		rec := httptest.NewRecorder()
+		f.h.ServeHTTP(rec, r)
+		panic(http.ErrAbortHandler) // net/http closes the connection, no response
+	case stallAfter:
+		rec := httptest.NewRecorder()
+		f.h.ServeHTTP(rec, r)
+		time.Sleep(2 * time.Second) // past the client's timeout
+	default:
+		f.h.ServeHTTP(w, r)
+	}
+}
+
+// TestRetryExactlyOnce injects 500s, connection drops, and timeouts
+// around batches that the server did or did not apply, and asserts the
+// client's idempotent retries land every batch exactly once: the final
+// step count, budgets and TPL series match an unfailed control run
+// bit for bit.
+func TestRetryExactlyOnce(t *testing.T) {
+	ctx := context.Background()
+	flaky := &flakyHandler{h: service.NewAPI().Handler()}
+	srv := httptest.NewServer(flaky)
+	defer srv.Close()
+	c, err := client.New(srv.URL,
+		client.WithRetries(4),
+		client.WithBackoff(5*time.Millisecond, 40*time.Millisecond),
+		client.WithHTTPClient(&http.Client{Timeout: 500 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkSession(t, c, "flaky")
+
+	batches := [][]client.Step{
+		{{Values: []int{0, 1, 0, 1, 1}, Eps: client.Eps(0.1)}, {Values: []int{1, 0, 1, 0, 0}, Eps: client.Eps(0.2)}},
+		{{Values: []int{0, 0, 1, 1, 1}, Eps: client.Eps(0.1)}},
+		{{Counts: []int{3, 2}, Eps: client.Eps(0.3)}, {Counts: []int{1, 4}, Eps: client.Eps(0.1)}},
+		{{Values: []int{1, 1, 1, 0, 0}, Eps: client.Eps(0.2)}},
+	}
+	scripts := [][]failMode{
+		{failBefore, failAfter},             // never applied, then applied-but-lost, then replay
+		{dropAfter},                         // applied, connection died
+		{stallAfter, failBefore},            // applied, timed out; retry 500s before; then replay
+		{failBefore, failBefore, dropAfter}, // two clean rejections, then applied-and-dropped
+	}
+	wantReplayed := []bool{true, true, true, true}
+	totalSteps := 0
+	for i, batch := range batches {
+		flaky.push(scripts[i]...)
+		res, err := c.Steps(ctx, "flaky", batch)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if res.Count != len(batch) || res.FirstT != totalSteps+1 {
+			t.Fatalf("batch %d: %+v, want first_t %d", i, res, totalSteps+1)
+		}
+		if res.Replayed != wantReplayed[i] {
+			t.Fatalf("batch %d: replayed = %v, want %v", i, res.Replayed, wantReplayed[i])
+		}
+		totalSteps += len(batch)
+	}
+
+	// Exactly-once: the step count is the number of steps sent, no more.
+	sum, err := c.GetSession(ctx, "flaky")
+	if err != nil || sum.T != totalSteps {
+		t.Fatalf("final t = %d, want %d (%v)", sum.T, totalSteps, err)
+	}
+
+	// And the accounting matches an unfailed control run exactly.
+	ctl := httptest.NewServer(service.NewAPI().Handler())
+	defer ctl.Close()
+	cc, err := client.New(ctl.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkSession(t, cc, "flaky")
+	for _, batch := range batches {
+		if _, err := cc.Steps(ctx, "flaky", batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for u := 0; u < 5; u++ {
+		got, err := c.TPLSeries(ctx, "flaky", u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := cc.TPLSeries(ctx, "flaky", u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != totalSteps {
+			t.Fatalf("user %d: %d points, want %d", u, len(got), totalSteps)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("user %d TPL[%d]: flaky %v != control %v", u, i, got[i], want[i])
+			}
+		}
+	}
+	rep, err := c.Report(ctx, "flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRep, err := cc.Report(ctx, "flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != wantRep {
+		t.Fatalf("report diverges: %+v vs %+v", rep, wantRep)
+	}
+}
+
+// TestNoRetryWithoutKey pins the unsafe path: with WithoutIdempotency
+// the client must not retry a failed batch at all.
+func TestNoRetryWithoutKey(t *testing.T) {
+	ctx := context.Background()
+	flaky := &flakyHandler{h: service.NewAPI().Handler()}
+	srv := httptest.NewServer(flaky)
+	defer srv.Close()
+	c, err := client.New(srv.URL, client.WithRetries(5), client.WithBackoff(time.Millisecond, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkSession(t, c, "unsafe")
+	flaky.push(failAfter)
+	before := flaky.hits
+	_, err = c.Steps(ctx, "unsafe", []client.Step{{Values: []int{0, 1, 0, 1, 1}, Eps: client.Eps(0.1)}},
+		client.WithoutIdempotency())
+	if err == nil {
+		t.Fatal("injected failure did not surface")
+	}
+	if flaky.hits != before+1 {
+		t.Fatalf("unkeyed batch was retried (%d requests)", flaky.hits-before)
+	}
+	// The ambiguity is real: the server applied it, and without a key a
+	// blind retry would double it — which is exactly why the SDK keys
+	// batches by default.
+	sum, err := c.GetSession(ctx, "unsafe")
+	if err != nil || sum.T != 1 {
+		t.Fatalf("t = %d (%v)", sum.T, err)
+	}
+}

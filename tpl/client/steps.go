@@ -1,0 +1,246 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// StepsOption configures one Steps/StepsNDJSON call.
+type StepsOption func(*stepsConfig)
+
+type stepsConfig struct {
+	key   string
+	noKey bool
+}
+
+// WithIdempotencyKey pins the batch's idempotency key (default: a
+// fresh generated key per call). Reuse a pinned key only to retry the
+// exact same batch.
+func WithIdempotencyKey(key string) StepsOption {
+	return func(sc *stepsConfig) { sc.key = key }
+}
+
+// WithoutIdempotency sends the batch with no key. The call is then not
+// retried — an ambiguous failure could otherwise double-charge the
+// batch.
+func WithoutIdempotency() StepsOption {
+	return func(sc *stepsConfig) { sc.noKey = true }
+}
+
+// stepsPath is the batch ingestion endpoint for one session.
+func stepsPath(session string) string {
+	return "/v2/sessions/" + url.PathEscape(session) + "/steps"
+}
+
+// postBatch sends one encoded batch body with the configured
+// idempotency behavior.
+func (c *Client) postBatch(ctx context.Context, session, contentType string, body []byte, opts []StepsOption) (BatchResult, error) {
+	var sc stepsConfig
+	for _, opt := range opts {
+		opt(&sc)
+	}
+	header := http.Header{}
+	idempotent := false
+	if !sc.noKey {
+		key := sc.key
+		if key == "" {
+			key = newIdempotencyKey()
+		}
+		header.Set("Idempotency-Key", key)
+		idempotent = true
+	}
+	var res BatchResult
+	_, err := c.do(ctx, http.MethodPost, stepsPath(session), header, contentType, body, idempotent, &res)
+	return res, err
+}
+
+// Steps ingests a batch of time steps atomically: the server applies
+// the whole batch or none of it. A generated Idempotency-Key makes the
+// call retry-safe (see WithoutIdempotency to opt out).
+func (c *Client) Steps(ctx context.Context, session string, steps []Step, opts ...StepsOption) (BatchResult, error) {
+	if len(steps) == 0 {
+		return BatchResult{}, fmt.Errorf("client: empty batch")
+	}
+	body, err := json.Marshal(steps)
+	if err != nil {
+		return BatchResult{}, fmt.Errorf("client: encoding batch: %w", err)
+	}
+	return c.postBatch(ctx, session, "application/json", body, opts)
+}
+
+// StepsNDJSON ingests a batch as an NDJSON stream (one step per line)
+// — the same atomic semantics as Steps with a body the server can
+// decode incrementally; the high-throughput shape the load generator
+// and benchmarks use.
+func (c *Client) StepsNDJSON(ctx context.Context, session string, steps []Step, opts ...StepsOption) (BatchResult, error) {
+	if len(steps) == 0 {
+		return BatchResult{}, fmt.Errorf("client: empty batch")
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := range steps {
+		if err := enc.Encode(&steps[i]); err != nil {
+			return BatchResult{}, fmt.Errorf("client: encoding batch: %w", err)
+		}
+	}
+	return c.postBatch(ctx, session, "application/x-ndjson", buf.Bytes(), opts)
+}
+
+// BatchWriter buffers steps and flushes them as idempotent batches by
+// size or by interval — the streaming front door for telemetry
+// pipelines. Not safe for concurrent Add from multiple goroutines
+// unless stated: it is, via an internal mutex.
+type BatchWriter struct {
+	c       *Client
+	session string
+	ctx     context.Context
+
+	flushSize int
+	interval  time.Duration
+	onResult  func(BatchResult)
+
+	mu     sync.Mutex
+	buf    []Step
+	err    error
+	closed bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// WriterOption configures a BatchWriter.
+type WriterOption func(*BatchWriter)
+
+// WithFlushSize sets how many buffered steps trigger a flush
+// (default 64).
+func WithFlushSize(n int) WriterOption {
+	return func(w *BatchWriter) {
+		if n > 0 {
+			w.flushSize = n
+		}
+	}
+}
+
+// WithFlushInterval sets the background flush cadence (default 500ms;
+// 0 disables time-based flushing).
+func WithFlushInterval(d time.Duration) WriterOption {
+	return func(w *BatchWriter) { w.interval = d }
+}
+
+// WithResultHandler registers a callback invoked (on the flushing
+// goroutine) with each flushed batch's result.
+func WithResultHandler(fn func(BatchResult)) WriterOption {
+	return func(w *BatchWriter) { w.onResult = fn }
+}
+
+// NewBatchWriter builds a streaming writer for one session. ctx bounds
+// every flush the writer performs (including background ones); Close
+// flushes the remainder.
+func (c *Client) NewBatchWriter(ctx context.Context, session string, opts ...WriterOption) *BatchWriter {
+	w := &BatchWriter{
+		c:         c,
+		session:   session,
+		ctx:       ctx,
+		flushSize: 64,
+		interval:  500 * time.Millisecond,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(w)
+	}
+	go w.loop()
+	return w
+}
+
+// loop drives interval flushes until Close.
+func (w *BatchWriter) loop() {
+	defer close(w.done)
+	if w.interval <= 0 {
+		<-w.stop
+		return
+	}
+	t := time.NewTicker(w.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			w.flushLocked()
+			w.mu.Unlock()
+		}
+	}
+}
+
+// Add buffers one step, flushing when the buffer reaches the flush
+// size. It reports the first flush error the writer has hit (the
+// writer latches it and drops later steps — continuous pipelines check
+// Add's error or Close's).
+func (w *BatchWriter) Add(step Step) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("client: BatchWriter is closed")
+	}
+	if w.err != nil {
+		return w.err
+	}
+	w.buf = append(w.buf, step)
+	if len(w.buf) >= w.flushSize {
+		w.flushLocked()
+	}
+	return w.err
+}
+
+// flushLocked sends the buffered steps as one NDJSON batch. Caller
+// holds w.mu.
+func (w *BatchWriter) flushLocked() {
+	if w.err != nil || len(w.buf) == 0 {
+		return
+	}
+	steps := w.buf
+	w.buf = nil
+	res, err := w.c.StepsNDJSON(w.ctx, w.session, steps)
+	if err != nil {
+		w.err = err
+		return
+	}
+	if w.onResult != nil {
+		w.onResult(res)
+	}
+}
+
+// Flush sends whatever is buffered now.
+func (w *BatchWriter) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.flushLocked()
+	return w.err
+}
+
+// Close stops the background flusher, flushes the remainder, and
+// returns the writer's first error.
+func (w *BatchWriter) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		<-w.done
+		return w.err
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.stop)
+	<-w.done
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.flushLocked()
+	return w.err
+}

@@ -1,0 +1,101 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+)
+
+// V1 is the deprecated per-step wire contract, kept for parity testing
+// and for migrating callers still pinned to /v1. It has no idempotency
+// keys, so Step is sent exactly once — an ambiguous failure may or may
+// not have charged the step, which is precisely the problem v2 fixes.
+//
+// Deprecated: use the Client's v2 methods (Steps, Published, TPL, ...).
+type V1 struct {
+	c *Client
+}
+
+// V1 returns the deprecated v1 facade.
+//
+// Deprecated: use the Client's v2 methods.
+func (c *Client) V1() V1 { return V1{c: c} }
+
+// v1Session is the /v1 path prefix for one session.
+func v1Session(session string) string {
+	return "/v1/sessions/" + url.PathEscape(session)
+}
+
+// CreateSession registers a session over /v1 (same config schema as
+// v2).
+func (v V1) CreateSession(ctx context.Context, cfg SessionConfig) (Summary, error) {
+	var sum Summary
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		return sum, fmt.Errorf("client: encoding session config: %w", err)
+	}
+	_, err = v.c.do(ctx, http.MethodPost, "/v1/sessions", nil, "application/json", body, false, &sum)
+	return sum, err
+}
+
+// DeleteSession drops a session over /v1.
+func (v V1) DeleteSession(ctx context.Context, name string) error {
+	_, err := v.c.do(ctx, http.MethodDelete, v1Session(name), nil, "", nil, true, nil)
+	return err
+}
+
+// Step collects one time step. eps nil draws from the session's plan.
+// Not retried (no idempotency on v1).
+func (v V1) Step(ctx context.Context, session string, values []int, eps *float64) (StepResult, error) {
+	var res StepResult
+	body, err := json.Marshal(struct {
+		Values []int    `json:"values"`
+		Eps    *float64 `json:"eps,omitempty"`
+	}{values, eps})
+	if err != nil {
+		return res, fmt.Errorf("client: encoding step: %w", err)
+	}
+	_, err = v.c.do(ctx, http.MethodPost, v1Session(session)+"/steps", nil, "application/json", body, false, &res)
+	return res, err
+}
+
+// Report fetches the guarantee summary over /v1.
+func (v V1) Report(ctx context.Context, session string) (Report, error) {
+	var rep Report
+	err := v.c.get(ctx, v1Session(session)+"/report", &rep)
+	return rep, err
+}
+
+// TPLSeries fetches one user's whole TPL series over /v1 (one
+// unpaginated response).
+func (v V1) TPLSeries(ctx context.Context, session string, user int) ([]float64, error) {
+	var resp struct {
+		TPL []float64 `json:"tpl"`
+	}
+	err := v.c.get(ctx, v1Session(session)+"/tpl?user="+strconv.Itoa(user), &resp)
+	return resp.TPL, err
+}
+
+// WEvent fetches the population-worst w-window leakage over /v1.
+func (v V1) WEvent(ctx context.Context, session string, w int) (WEventResult, error) {
+	var res WEventResult
+	err := v.c.get(ctx, v1Session(session)+"/wevent?w="+strconv.Itoa(w), &res)
+	return res, err
+}
+
+// PublishedHistory is the unpaginated v1 history response.
+type PublishedHistory struct {
+	T         int         `json:"t"`
+	Budgets   []float64   `json:"budgets"`
+	Published [][]float64 `json:"published"`
+}
+
+// Published fetches the whole release history over /v1.
+func (v V1) Published(ctx context.Context, session string) (PublishedHistory, error) {
+	var h PublishedHistory
+	err := v.c.get(ctx, v1Session(session)+"/published", &h)
+	return h, err
+}

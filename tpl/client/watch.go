@@ -1,0 +1,111 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Watcher is a live subscription to a session's per-step leakage
+// frames (the /v2 watch SSE stream). Read Events until it closes, then
+// check Err; Close ends the subscription.
+type Watcher struct {
+	events chan WatchEvent
+	cancel context.CancelFunc
+	done   chan struct{}
+	err    error
+}
+
+// Events delivers frames in step order. The channel closes when the
+// stream ends — context cancellation, Close, a transport error, or the
+// server disconnecting a lagging consumer (reconnect with the last
+// seen frame's T as from).
+func (w *Watcher) Events() <-chan WatchEvent { return w.events }
+
+// Err reports why the stream ended, nil for a clean close. Valid after
+// Events is closed.
+func (w *Watcher) Err() error {
+	<-w.done
+	return w.err
+}
+
+// Close cancels the subscription.
+func (w *Watcher) Close() {
+	w.cancel()
+	<-w.done
+}
+
+// Watch subscribes to a session's step frames. from >= 0 replays
+// history after step from before going live (0 = everything); from < 0
+// means live-only. The stream is a single long request — it is not
+// retried; reconnect with the last seen T to resume.
+func (c *Client) Watch(ctx context.Context, session string, from int) (*Watcher, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	path := c.base + "/v2/sessions/" + url.PathEscape(session) + "/watch"
+	if from >= 0 {
+		path += "?from=" + strconv.Itoa(from)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	req.Header.Set("User-Agent", c.userAgent)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		cancel()
+		return nil, fmt.Errorf("client: opening watch stream: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		cancel()
+		return nil, decodeProblem(resp.StatusCode, body)
+	}
+	if mt := resp.Header.Get("Content-Type"); !strings.HasPrefix(mt, "text/event-stream") {
+		resp.Body.Close()
+		cancel()
+		return nil, fmt.Errorf("client: watch endpoint answered %q, want text/event-stream", mt)
+	}
+	w := &Watcher{
+		events: make(chan WatchEvent, 16),
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	go w.read(ctx, resp.Body)
+	return w, nil
+}
+
+// read parses SSE frames until the stream ends.
+func (w *Watcher) read(ctx context.Context, body io.ReadCloser) {
+	defer close(w.done)
+	defer close(w.events)
+	defer body.Close()
+	sc := bufio.NewScanner(body)
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue // event:/id: framing lines and keep-alives
+		}
+		var ev WatchEvent
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			w.err = fmt.Errorf("client: decoding watch frame: %w", err)
+			return
+		}
+		select {
+		case w.events <- ev:
+		case <-ctx.Done():
+			return
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		w.err = fmt.Errorf("client: watch stream: %w", err)
+	}
+}
