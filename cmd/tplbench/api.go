@@ -10,7 +10,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/loadgen"
@@ -20,10 +23,10 @@ import (
 )
 
 // The wire-API perf smoke behind -fig api: how fast can a tenant push
-// time steps into the accountant over HTTP? Three wire shapes are
-// measured against a real TCP server with an identical 100k-user
-// session (10 cohorts, so each landed step does the same accounting
-// work in every mode):
+// time steps into the accountant over HTTP? Wire shapes measured
+// against a real TCP server with identical 100k-user sessions (10
+// cohorts, so each landed step does the same accounting work in every
+// mode):
 //
 //   - v1-per-step: the deprecated contract — one request per step,
 //     per-user values.
@@ -33,20 +36,33 @@ import (
 //   - v2-ndjson-counts: the v2 batch endpoint, NDJSON, pre-aggregated
 //     histograms. The at-scale wire shape: a step is domain-sized, so
 //     the transport stops being the bottleneck entirely.
+//   - v2-ndjson-counts-minimal: the same wire shape with
+//     `Prefer: return=minimal`, skipping the per-step noisy-value echo
+//     in the response — the recommended high-rate ingest contract.
+//   - v2-ndjson-counts-contended: aggregate throughput of several
+//     sessions ingesting counts batches concurrently — the striped
+//     registry's contention number.
 //
-// Request bodies are pre-encoded outside the timed window — the figure
-// is server ingest throughput, not client marshaling. Written as
-// BENCH_api.json so CI tracks the trajectory next to BENCH_engine.json
-// and BENCH_persist.json.
+// Each mode is warmed up untimed, then measured over a bounded-time
+// window (not a fixed tiny request count — the old harness timed the
+// counts row over ~3ms, which made the trajectory noise). Request
+// bodies are pre-encoded outside the timed window. Alloc/op comes from
+// runtime.MemStats deltas around the timed window and is process-wide:
+// client and server share the process, so it bounds the server's
+// steady-state garbage from above. Written as BENCH_api.json so CI
+// tracks the trajectory next to BENCH_engine.json and
+// BENCH_persist.json (the perf-gate job fails on >15% regressions).
 
 // apiPoint is one row of BENCH_api.json.
 type apiPoint struct {
-	Mode         string  `json:"mode"`
-	Steps        int     `json:"steps"`
-	Requests     int     `json:"requests"`
-	BytesPerStep int     `json:"bytes_per_step"`
-	NsPerStep    int64   `json:"ns_per_step"`
-	StepsPerSec  float64 `json:"steps_per_sec"`
+	Mode          string  `json:"mode"`
+	Steps         int     `json:"steps"`
+	Requests      int     `json:"requests"`
+	Writers       int     `json:"writers,omitempty"` // concurrent writers (contended row)
+	BytesPerStep  int     `json:"bytes_per_step"`
+	NsPerStep     int64   `json:"ns_per_step"`
+	StepsPerSec   float64 `json:"steps_per_sec"`
+	AllocsPerStep float64 `json:"allocs_per_step"` // process-wide (client+server)
 }
 
 // apiBenchFile is the BENCH_api.json document.
@@ -77,9 +93,18 @@ func encodeStepJSON(key string, data []int, eps float64) []byte {
 	return buf.Bytes()
 }
 
-// postRaw sends one pre-encoded body and drains the response.
-func postRaw(hc *http.Client, url, contentType string, body []byte) error {
-	resp, err := hc.Post(url, contentType, bytes.NewReader(body))
+// postRaw sends one pre-encoded body and drains the response. minimal
+// asks the server for the batch-ack-only response (RFC 7240).
+func postRaw(hc *http.Client, url, contentType string, body []byte, minimal bool) error {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", contentType)
+	if minimal {
+		req.Header.Set("Prefer", "return=minimal")
+	}
+	resp, err := hc.Do(req)
 	if err != nil {
 		return err
 	}
@@ -92,14 +117,65 @@ func postRaw(hc *http.Client, url, contentType string, body []byte) error {
 	return err
 }
 
-// runAPIBench measures the three wire modes and optionally writes
+// timedResult is one measured window.
+type timedResult struct {
+	steps, requests int
+	elapsed         time.Duration
+	allocsPerStep   float64
+}
+
+// runTimed posts the pre-encoded bodies cyclically: one untimed warmup
+// pass, then a timed loop that runs at least one full pass AND at least
+// minWindow of wall clock — short fixed request counts made the old
+// trajectory numbers noise. Alloc accounting wraps only the timed loop.
+func runTimed(minWindow time.Duration, stepsPerBody []int, post func(i int) error) (timedResult, error) {
+	n := len(stepsPerBody)
+	for i := 0; i < n; i++ {
+		if err := post(i); err != nil {
+			return timedResult{}, fmt.Errorf("warmup: %w", err)
+		}
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	var res timedResult
+	start := time.Now()
+	for i := 0; ; i++ {
+		if err := post(i % n); err != nil {
+			return timedResult{}, err
+		}
+		res.steps += stepsPerBody[i%n]
+		res.requests++
+		if res.requests >= n && time.Since(start) >= minWindow {
+			break
+		}
+	}
+	res.elapsed = time.Since(start)
+	runtime.ReadMemStats(&after)
+	res.allocsPerStep = float64(after.Mallocs-before.Mallocs) / float64(res.steps)
+	return res, nil
+}
+
+// point converts a timed window into a BENCH_api.json row.
+func (r timedResult) point(mode string, bytesPerStep int) apiPoint {
+	return apiPoint{
+		Mode: mode, Steps: r.steps, Requests: r.requests,
+		BytesPerStep:  bytesPerStep,
+		NsPerStep:     r.elapsed.Nanoseconds() / int64(r.steps),
+		StepsPerSec:   float64(r.steps) / r.elapsed.Seconds(),
+		AllocsPerStep: r.allocsPerStep,
+	}
+}
+
+// runAPIBench measures the wire modes and optionally writes
 // BENCH_api.json.
 func runAPIBench(wr *report.Writer, seed int64, full bool, jsonPath string) error {
 	users, domain, cohorts := 100_000, 4, 10
-	v1Steps, valuesSteps, countsSteps := 12, 48, 384
 	batch := 96
+	minWindow := 500 * time.Millisecond
+	contendedWriters := 8
 	if full {
-		v1Steps, valuesSteps, countsSteps = 30, 120, 1024
+		minWindow = 2 * time.Second
 	}
 	rng := rand.New(rand.NewSource(seed))
 
@@ -147,112 +223,134 @@ func runAPIBench(wr *report.Writer, seed int64, full bool, jsonPath string) erro
 		cs[domain-1] = left
 		return cs
 	}
+	ndjsonBody := func(key string, steps int, gen func() []int) []byte {
+		var buf bytes.Buffer
+		for j := 0; j < steps; j++ {
+			buf.Write(encodeStepJSON(key, gen(), 0.1))
+			buf.WriteByte('\n')
+		}
+		return buf.Bytes()
+	}
+	// Steps landed per session (warmup included), for the sanity check.
+	landed := map[string]int{}
 
 	doc := apiBenchFile{
 		Benchmark: "api", Users: users, Domain: domain, Cohorts: cohorts,
-		Note: "pre-encoded bodies over real TCP; identical accounting per step in every mode; counts is the recommended at-scale wire shape",
+		Note: "warmed, bounded-time windows; pre-encoded bodies over real TCP; identical accounting per step in every mode; allocs/step is process-wide (client+server); counts(+minimal) is the recommended at-scale wire shape",
 	}
 
 	// --- v1: one request per step ---
 	if err := newSession("bench-v1"); err != nil {
 		return err
 	}
-	v1Bodies := make([][]byte, v1Steps)
+	v1Bodies := make([][]byte, 12)
+	v1Steps := make([]int, len(v1Bodies))
 	for i := range v1Bodies {
 		v1Bodies[i] = encodeStepJSON("values", values(), 0.1)
+		v1Steps[i] = 1
 	}
-	start := time.Now()
-	for _, body := range v1Bodies {
-		if err := postRaw(hc, base+"/v1/sessions/bench-v1/steps", "application/json", body); err != nil {
-			return fmt.Errorf("v1 step: %w", err)
-		}
+	res, err := runTimed(minWindow, v1Steps, func(i int) error {
+		landed["bench-v1"]++
+		return postRaw(hc, base+"/v1/sessions/bench-v1/steps", "application/json", v1Bodies[i], false)
+	})
+	if err != nil {
+		return fmt.Errorf("v1 step: %w", err)
 	}
-	elapsed := time.Since(start)
-	p1 := apiPoint{
-		Mode: "v1-per-step", Steps: v1Steps, Requests: v1Steps,
-		BytesPerStep: len(v1Bodies[0]),
-		NsPerStep:    elapsed.Nanoseconds() / int64(v1Steps),
-		StepsPerSec:  float64(v1Steps) / elapsed.Seconds(),
-	}
+	p1 := res.point("v1-per-step", len(v1Bodies[0]))
 	doc.Points = append(doc.Points, p1)
 
 	// --- v2: NDJSON batches of per-user values ---
 	if err := newSession("bench-v2v"); err != nil {
 		return err
 	}
-	var vBodies [][]byte
-	for done := 0; done < valuesSteps; {
-		n := min(batch, valuesSteps-done)
-		var buf bytes.Buffer
-		for j := 0; j < n; j++ {
-			buf.Write(encodeStepJSON("values", values(), 0.1))
-			buf.WriteByte('\n')
-		}
-		vBodies = append(vBodies, buf.Bytes())
-		done += n
+	vBatch := 48 // a values batch is ~10 MB; keep bodies modest
+	vBodies := [][]byte{ndjsonBody("values", vBatch, values)}
+	res, err = runTimed(minWindow, []int{vBatch}, func(i int) error {
+		landed["bench-v2v"] += vBatch
+		return postRaw(hc, base+"/v2/sessions/bench-v2v/steps", "application/x-ndjson", vBodies[i], false)
+	})
+	if err != nil {
+		return fmt.Errorf("v2 values batch: %w", err)
 	}
-	start = time.Now()
-	for _, body := range vBodies {
-		if err := postRaw(hc, base+"/v2/sessions/bench-v2v/steps", "application/x-ndjson", body); err != nil {
-			return fmt.Errorf("v2 values batch: %w", err)
-		}
-	}
-	elapsed = time.Since(start)
-	p2 := apiPoint{
-		Mode: "v2-ndjson-values", Steps: valuesSteps, Requests: len(vBodies),
-		BytesPerStep: len(vBodies[0]) / min(batch, valuesSteps),
-		NsPerStep:    elapsed.Nanoseconds() / int64(valuesSteps),
-		StepsPerSec:  float64(valuesSteps) / elapsed.Seconds(),
-	}
+	p2 := res.point("v2-ndjson-values", len(vBodies[0])/vBatch)
 	doc.Points = append(doc.Points, p2)
 
-	// --- v2: NDJSON batches of pre-aggregated counts ---
+	// --- v2: NDJSON batches of pre-aggregated counts (full echo) ---
 	if err := newSession("bench-v2c"); err != nil {
 		return err
 	}
-	var cBodies [][]byte
-	for done := 0; done < countsSteps; {
-		n := min(batch, countsSteps-done)
-		var buf bytes.Buffer
-		for j := 0; j < n; j++ {
-			buf.Write(encodeStepJSON("counts", counts(), 0.1))
-			buf.WriteByte('\n')
-		}
-		cBodies = append(cBodies, buf.Bytes())
-		done += n
+	cBodies := make([][]byte, 4)
+	cSteps := make([]int, len(cBodies))
+	for i := range cBodies {
+		cBodies[i] = ndjsonBody("counts", batch, counts)
+		cSteps[i] = batch
 	}
-	start = time.Now()
-	for _, body := range cBodies {
-		if err := postRaw(hc, base+"/v2/sessions/bench-v2c/steps", "application/x-ndjson", body); err != nil {
-			return fmt.Errorf("v2 counts batch: %w", err)
-		}
+	res, err = runTimed(minWindow, cSteps, func(i int) error {
+		landed["bench-v2c"] += batch
+		return postRaw(hc, base+"/v2/sessions/bench-v2c/steps", "application/x-ndjson", cBodies[i], false)
+	})
+	if err != nil {
+		return fmt.Errorf("v2 counts batch: %w", err)
 	}
-	elapsed = time.Since(start)
-	p3 := apiPoint{
-		Mode: "v2-ndjson-counts", Steps: countsSteps, Requests: len(cBodies),
-		BytesPerStep: len(cBodies[0]) / min(batch, countsSteps),
-		NsPerStep:    elapsed.Nanoseconds() / int64(countsSteps),
-		StepsPerSec:  float64(countsSteps) / elapsed.Seconds(),
-	}
+	p3 := res.point("v2-ndjson-counts", len(cBodies[0])/batch)
 	doc.Points = append(doc.Points, p3)
 
+	// --- v2 counts with Prefer: return=minimal (batch ack only) ---
+	if err := newSession("bench-v2m"); err != nil {
+		return err
+	}
+	res, err = runTimed(minWindow, cSteps, func(i int) error {
+		landed["bench-v2m"] += batch
+		return postRaw(hc, base+"/v2/sessions/bench-v2m/steps", "application/x-ndjson", cBodies[i], true)
+	})
+	if err != nil {
+		return fmt.Errorf("v2 counts minimal batch: %w", err)
+	}
+	pm := res.point("v2-ndjson-counts-minimal", len(cBodies[0])/batch)
+	doc.Points = append(doc.Points, pm)
+
+	// --- v2 counts at the at-scale batch size (1024 steps/request,
+	// minimal response): the headline ingest-rate number. At batch 96
+	// the per-request TCP+client round trip (~175µs in-process-client
+	// terms) is the dominant cost; 1024-step batches amortize it away.
+	if err := newSession("bench-v2b"); err != nil {
+		return err
+	}
+	bigBatch := 1024
+	bBodies := [][]byte{ndjsonBody("counts", bigBatch, counts), ndjsonBody("counts", bigBatch, counts)}
+	bSteps := []int{bigBatch, bigBatch}
+	res, err = runTimed(minWindow, bSteps, func(i int) error {
+		landed["bench-v2b"] += bigBatch
+		return postRaw(hc, base+"/v2/sessions/bench-v2b/steps", "application/x-ndjson", bBodies[i], true)
+	})
+	if err != nil {
+		return fmt.Errorf("v2 counts big batch: %w", err)
+	}
+	pb := res.point("v2-ndjson-counts-b1024-minimal", len(bBodies[0])/bigBatch)
+	doc.Points = append(doc.Points, pb)
+
+	// --- contended: aggregate counts ingest across concurrent sessions ---
+	contended, err := runContended(hc, c, base, newSession, cBodies, batch, contendedWriters, minWindow, landed)
+	if err != nil {
+		return err
+	}
+	doc.Points = append(doc.Points, contended.point("v2-ndjson-counts-contended", len(cBodies[0])/batch))
+	doc.Points[len(doc.Points)-1].Writers = contendedWriters
+
 	// Sanity: every mode really accounted its steps.
-	for _, chk := range []struct {
-		name string
-		want int
-	}{{"bench-v1", v1Steps}, {"bench-v2v", valuesSteps}, {"bench-v2c", countsSteps}} {
-		sum, err := c.GetSession(ctx, chk.name)
+	for name, want := range landed {
+		sum, err := c.GetSession(ctx, name)
 		if err != nil {
 			return err
 		}
-		if sum.T != chk.want {
-			return fmt.Errorf("session %s ended at t=%d, want %d", chk.name, sum.T, chk.want)
+		if sum.T != want {
+			return fmt.Errorf("session %s ended at t=%d, want %d", name, sum.T, want)
 		}
 	}
 
 	doc.SpeedupValuesVsV1 = p2.StepsPerSec / p1.StepsPerSec
 	doc.SpeedupCountsVsV1 = p3.StepsPerSec / p1.StepsPerSec
-	doc.SpeedupBatchedVsV1 = max(doc.SpeedupValuesVsV1, doc.SpeedupCountsVsV1)
+	doc.SpeedupBatchedVsV1 = max(doc.SpeedupValuesVsV1, pm.StepsPerSec/p1.StepsPerSec)
 
 	if jsonPath != "" {
 		blob, err := json.MarshalIndent(doc, "", "  ")
@@ -266,21 +364,110 @@ func runAPIBench(wr *report.Writer, seed int64, full bool, jsonPath string) erro
 
 	tb := &report.Table{
 		Title:  fmt.Sprintf("Wire-API ingest benchmark (%d users, %d cohorts, domain %d)", users, cohorts, domain),
-		Header: []string{"mode", "steps", "requests", "bytes/step", "per step", "steps/s", "vs v1"},
+		Header: []string{"mode", "steps", "requests", "writers", "bytes/step", "per step", "steps/s", "allocs/step", "vs v1"},
 	}
 	for _, p := range doc.Points {
+		writers := p.Writers
+		if writers == 0 {
+			writers = 1
+		}
 		tb.AddRow(
 			p.Mode,
 			strconv.Itoa(p.Steps),
 			strconv.Itoa(p.Requests),
+			strconv.Itoa(writers),
 			strconv.Itoa(p.BytesPerStep),
 			time.Duration(p.NsPerStep).Round(time.Microsecond).String(),
 			fmt.Sprintf("%.1f", p.StepsPerSec),
+			fmt.Sprintf("%.1f", p.AllocsPerStep),
 			fmt.Sprintf("%.1fx", p.StepsPerSec/p1.StepsPerSec),
 		)
 	}
 	tb.Notes = append(tb.Notes,
 		"values batching removes per-request overhead but still JSON-decodes one integer per user per step; counts removes the transport bottleneck",
+		"counts-minimal adds `Prefer: return=minimal` (batch ack instead of the per-step noisy-value echo) — the high-rate ingest contract",
+		"allocs/step is a process-wide MemStats delta (client+server share the process): an upper bound on server-side garbage",
 		"regenerate BENCH_api.json with: go run ./cmd/tplbench -fig api -api-json BENCH_api.json")
 	return wr.WriteTable(tb)
+}
+
+// runContended measures aggregate counts-mode throughput with one
+// writer goroutine per session, all ingesting concurrently against the
+// same registry until a shared deadline — the striped-lock contention
+// number.
+func runContended(hc *http.Client, c *client.Client, base string, newSession func(string) error,
+	bodies [][]byte, batch, writers int, minWindow time.Duration, landed map[string]int) (timedResult, error) {
+	names := make([]string, writers)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench-cont-%d", i)
+		if err := newSession(names[i]); err != nil {
+			return timedResult{}, err
+		}
+	}
+	post := func(name string, body []byte) error {
+		return postRaw(hc, base+"/v2/sessions/"+name+"/steps", "application/x-ndjson", body, true)
+	}
+	// Untimed warmup: one body per writer, concurrently.
+	var wg sync.WaitGroup
+	warmErr := make(chan error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := post(names[i], bodies[0]); err != nil {
+				warmErr <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-warmErr:
+		return timedResult{}, fmt.Errorf("contended warmup: %w", err)
+	default:
+	}
+	for _, name := range names {
+		landed[name] += batch
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	var steps, requests atomic.Int64
+	perWriter := make([]int, writers) // landed steps, merged after the join
+	errs := make(chan error, writers)
+	start := time.Now()
+	deadline := start.Add(minWindow)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; time.Now().Before(deadline); k++ {
+				if err := post(names[i], bodies[k%len(bodies)]); err != nil {
+					errs <- fmt.Errorf("contended writer %d: %w", i, err)
+					return
+				}
+				perWriter[i] += batch
+				steps.Add(int64(batch))
+				requests.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, n := range perWriter {
+		landed[names[i]] += n
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	select {
+	case err := <-errs:
+		return timedResult{}, err
+	default:
+	}
+	res := timedResult{
+		steps:    int(steps.Load()),
+		requests: int(requests.Load()),
+		elapsed:  elapsed,
+	}
+	res.allocsPerStep = float64(after.Mallocs-before.Mallocs) / float64(res.steps)
+	return res, nil
 }

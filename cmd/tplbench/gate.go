@@ -1,0 +1,64 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/perfgate"
+)
+
+// runGate executes the perf-regression gate: each spec entry is
+// "trajectory.json:fresh.json", comma-separated for several documents.
+// It prints one summary line per comparison and returns an error (which
+// main turns into a non-zero exit) if any metric regressed beyond the
+// tolerance — this is what the CI perf-gate step runs after
+// regenerating the BENCH_*.ci.json files.
+func runGate(w io.Writer, spec string, tolerance float64) error {
+	pairs := strings.Split(spec, ",")
+	failed := 0
+	for _, pair := range pairs {
+		oldPath, newPath, ok := strings.Cut(strings.TrimSpace(pair), ":")
+		if !ok || oldPath == "" || newPath == "" {
+			return fmt.Errorf("-gate wants trajectory.json:fresh.json pairs, got %q", pair)
+		}
+		oldDoc, err := os.ReadFile(oldPath)
+		if err != nil {
+			return err
+		}
+		newDoc, err := os.ReadFile(newPath)
+		if err != nil {
+			return err
+		}
+		rep, err := perfgate.Compare(oldDoc, newDoc, tolerance)
+		if err != nil {
+			return err
+		}
+		status := "ok"
+		if !rep.OK() {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(w, "perf-gate %s: %s (%d rows, %d metrics vs %s)\n",
+			rep.Benchmark, status, rep.Points, rep.Metrics, oldPath)
+		for _, np := range rep.NewPoints {
+			fmt.Fprintf(w, "  new row (no trajectory yet): %s\n", np)
+		}
+		for _, reg := range rep.Regressions {
+			fmt.Fprintf(w, "  regression: %s\n", reg)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("perf gate failed: %d benchmark document(s) regressed beyond %.0f%%",
+			failed, 100*effectiveTolerance(tolerance))
+	}
+	return nil
+}
+
+func effectiveTolerance(tol float64) float64 {
+	if tol <= 0 {
+		return perfgate.DefaultTolerance
+	}
+	return tol
+}

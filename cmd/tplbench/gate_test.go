@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGateCommand drives the -gate code path end to end on files: a
+// clean comparison passes, an injected 20% throughput slowdown fails
+// with the offending metric named, and malformed specs are rejected.
+func TestGateCommand(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	traj := write("BENCH_api.json", `{"benchmark":"api","points":[
+		{"mode":"v2-ndjson-counts","steps_per_sec":500000,"ns_per_step":2000}]}`)
+	same := write("fresh_ok.json", `{"benchmark":"api","points":[
+		{"mode":"v2-ndjson-counts","steps_per_sec":510000,"ns_per_step":1960}]}`)
+	slow := write("fresh_slow.json", `{"benchmark":"api","points":[
+		{"mode":"v2-ndjson-counts","steps_per_sec":400000,"ns_per_step":2500}]}`)
+
+	var buf bytes.Buffer
+	if err := runGate(&buf, traj+":"+same, 0); err != nil {
+		t.Fatalf("clean gate failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "perf-gate api: ok") {
+		t.Fatalf("missing ok summary:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	err := runGate(&buf, traj+":"+slow, 0)
+	if err == nil {
+		t.Fatalf("20%% slowdown passed the gate:\n%s", buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "steps_per_sec") {
+		t.Fatalf("failure output does not name the regression:\n%s", out)
+	}
+
+	if err := runGate(&buf, "only-one-path", 0); err == nil {
+		t.Fatal("malformed spec accepted")
+	}
+	if err := runGate(&buf, traj+":"+dir+"/missing.json", 0); err == nil {
+		t.Fatal("missing fresh file accepted")
+	}
+}

@@ -23,8 +23,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -90,6 +92,22 @@ func (wk *workload) step(counts bool) client.Step {
 	return st
 }
 
+// percentile reads the pth percentile from an ascending-sorted sample
+// using the nearest-rank rule (p in [0,100]).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
 func run(w io.Writer, addr, mode string, sessions, users, domain, cohorts, steps, batchSize int, eps float64, seed int64, keep bool, format string) error {
 	f, err := report.ParseFormat(report.ResolveFormat(format, false))
 	if err != nil {
@@ -132,10 +150,11 @@ func run(w io.Writer, addr, mode string, sessions, users, domain, cohorts, steps
 	}
 
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		sent     int
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		firstErr  error
+		sent      int
+		latencies []time.Duration // one entry per ingest request, all workers
 	)
 	start := time.Now()
 	for i := 0; i < sessions; i++ {
@@ -145,9 +164,13 @@ func run(w io.Writer, addr, mode string, sessions, users, domain, cohorts, steps
 			wk := &workload{rng: rand.New(rand.NewSource(seed + int64(i))), users: users, domain: domain, eps: eps}
 			name := names[i]
 			done := 0
+			// Collected worker-locally; merged under the mutex at the end
+			// so the timing loop never contends on it.
+			local := make([]time.Duration, 0, (steps+batchSize-1)/batchSize)
 			for done < steps {
 				var err error
 				var n int
+				reqStart := time.Now()
 				switch mode {
 				case "v1":
 					n = 1
@@ -168,11 +191,15 @@ func run(w io.Writer, addr, mode string, sessions, users, domain, cohorts, steps
 					mu.Unlock()
 					return
 				}
+				local = append(local, time.Since(reqStart))
 				done += n
 				mu.Lock()
 				sent += n
 				mu.Unlock()
 			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
 		}(i)
 	}
 	wg.Wait()
@@ -181,10 +208,11 @@ func run(w io.Writer, addr, mode string, sessions, users, domain, cohorts, steps
 		return firstErr
 	}
 
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	perStep := elapsed / time.Duration(sent)
 	tb := &report.Table{
 		Title:  fmt.Sprintf("tplload: %s ingest against %s", mode, addr),
-		Header: []string{"sessions", "users", "cohorts", "steps", "elapsed", "steps/s", "user-values/s", "per step"},
+		Header: []string{"sessions", "users", "cohorts", "steps", "elapsed", "steps/s", "user-values/s", "per step", "p50", "p95", "p99"},
 	}
 	tb.AddRow(
 		strconv.Itoa(sessions),
@@ -195,7 +223,11 @@ func run(w io.Writer, addr, mode string, sessions, users, domain, cohorts, steps
 		fmt.Sprintf("%.1f", float64(sent)/elapsed.Seconds()),
 		fmt.Sprintf("%.3g", float64(sent)*float64(users)/elapsed.Seconds()),
 		perStep.Round(time.Microsecond).String(),
+		percentile(latencies, 50).Round(time.Microsecond).String(),
+		percentile(latencies, 95).Round(time.Microsecond).String(),
+		percentile(latencies, 99).Round(time.Microsecond).String(),
 	)
+	tb.Notes = append(tb.Notes, "p50/p95/p99: per-request ingest latency across all workers (a v2 request carries one batch)")
 	if mode != "v1" {
 		tb.Notes = append(tb.Notes, fmt.Sprintf("batched NDJSON, %d steps per request, idempotency-keyed (retry-safe)", batchSize))
 	} else {

@@ -5,6 +5,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/service"
 )
@@ -31,6 +32,46 @@ func TestLoadModes(t *testing.T) {
 				t.Fatalf("%d sessions left behind", api.Registry().Len())
 			}
 		})
+	}
+}
+
+// TestLoadReportsLatencyPercentiles: the report carries the latency
+// distribution columns, and the percentile math follows nearest-rank.
+func TestLoadReportsLatencyPercentiles(t *testing.T) {
+	api := service.NewAPI()
+	srv := httptest.NewServer(api.Handler())
+	defer srv.Close()
+	var buf bytes.Buffer
+	if err := run(&buf, srv.URL, "v2-counts", 1, 50, 3, 4, 7, 3, 0.1, 43, false, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(buf.String(), "\n", 2)[0]
+	for _, col := range []string{"p50", "p95", "p99"} {
+		if !strings.Contains(header, col) {
+			t.Fatalf("report header lacks %s:\n%s", col, buf.String())
+		}
+	}
+
+	sample := make([]time.Duration, 100)
+	for i := range sample {
+		sample[i] = time.Duration(i+1) * time.Millisecond // 1ms..100ms sorted
+	}
+	for _, tc := range []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 50 * time.Millisecond},
+		{95, 95 * time.Millisecond},
+		{99, 99 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+		{0, 1 * time.Millisecond},
+	} {
+		if got := percentile(sample, tc.p); got != tc.want {
+			t.Errorf("percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("percentile(empty) = %v, want 0", got)
 	}
 }
 

@@ -59,6 +59,8 @@ func main() {
 		quiet         = flag.Bool("quiet", false, "suppress serving logs")
 		stateDir      = flag.String("state-dir", "", "directory for durable session state (snapshots + step journals); empty = ephemeral, state dies with the process")
 		snapshotEvery = flag.Int("snapshot-every", 0, "steps between coalesced session snapshots (0 = default; journal records are appended every step regardless)")
+		journalSync   = flag.String("journal-sync", "group", "journal durability: none (page-cache only), group (one fsync per commit group, bounded latency) or step (fsync every batch)")
+		journalWindow = flag.Duration("journal-window", 0, "group-commit latency window: how long an append may wait for companions before its fsync (0 = default)")
 		showVer       = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -68,7 +70,13 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *quiet, *stateDir, *snapshotEvery, nil); err != nil {
+	opts := service.Options{
+		StateDir:      *stateDir,
+		SnapshotEvery: *snapshotEvery,
+		JournalSync:   *journalSync,
+		JournalWindow: *journalWindow,
+	}
+	if err := run(ctx, *addr, *quiet, opts, nil); err != nil {
 		fmt.Fprintf(os.Stderr, "tplserved: %v\n", err)
 		os.Exit(1)
 	}
@@ -76,12 +84,12 @@ func main() {
 
 // run serves until ctx is cancelled. ready, when non-nil, learns the
 // bound address (tests listen on port 0).
-func run(ctx context.Context, addr string, quiet bool, stateDir string, snapshotEvery int, ready func(net.Addr)) error {
+func run(ctx context.Context, addr string, quiet bool, opts service.Options, ready func(net.Addr)) error {
 	var logger *log.Logger
 	if !quiet {
 		logger = log.New(os.Stderr, "", log.LstdFlags)
 	}
-	srv, err := service.NewWithOptions(addr, logger, service.Options{StateDir: stateDir, SnapshotEvery: snapshotEvery})
+	srv, err := service.NewWithOptions(addr, logger, opts)
 	if err != nil {
 		return err
 	}

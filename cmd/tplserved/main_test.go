@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/service"
 	"repro/tpl/client"
 )
 
@@ -18,7 +19,7 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	addrc := make(chan net.Addr, 1)
 	errc := make(chan error, 1)
 	go func() {
-		errc <- run(ctx, "127.0.0.1:0", true, "", 0, func(a net.Addr) { addrc <- a })
+		errc <- run(ctx, "127.0.0.1:0", true, service.Options{}, func(a net.Addr) { addrc <- a })
 	}()
 
 	var base string

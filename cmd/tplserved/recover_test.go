@@ -29,17 +29,7 @@ import (
 // histograms must match an uninterrupted in-process control run bit
 // for bit.
 func TestKillAndRecover(t *testing.T) {
-	if testing.Short() {
-		t.Skip("child-process recovery test skipped in -short mode")
-	}
-	goBin, err := exec.LookPath("go")
-	if err != nil {
-		t.Skip("go binary not in PATH")
-	}
-	bin := filepath.Join(t.TempDir(), "tplserved")
-	if out, err := exec.Command(goBin, "build", "-o", bin, ".").CombinedOutput(); err != nil {
-		t.Fatalf("build: %v\n%s", err, out)
-	}
+	bin := buildServed(t)
 	stateDir := t.TempDir()
 	ctx := context.Background()
 
@@ -218,12 +208,183 @@ func TestKillAndRecover(t *testing.T) {
 	}
 }
 
-// startChild launches the built tplserved on a free port with the given
-// state dir and returns the running command plus its base URL, parsed
-// from the listen log line.
-func startChild(t *testing.T, bin, stateDir string) (*exec.Cmd, string) {
+// TestKillMidCommitWindowAndRecover kills the child while a batch is
+// parked INSIDE the group-commit window: journaling is configured with
+// a long -journal-window, the batch is posted asynchronously, and the
+// SIGKILL lands before (usually) its group has fsync'd — so the record
+// may or may not have reached the disk, and the client never got an
+// acknowledgement either way. The group-commit contract makes this
+// safe: an unacked record is retried idempotently after restart, and
+// whether the retry finds it journaled (Replayed=true) or re-applies it
+// fresh (Replayed=false), the final leakage series must be bit-exact
+// against an uninterrupted control run.
+func TestKillMidCommitWindowAndRecover(t *testing.T) {
+	bin := buildServed(t)
+	stateDir := t.TempDir()
+	ctx := context.Background()
+	syncFlags := []string{"-journal-sync", "group", "-journal-window", "250ms"}
+
+	const (
+		users    = 4
+		batchLen = 3
+		batches  = 4 // 12 steps total
+		killAtB  = 3 // batch 3 is in flight when the SIGKILL lands
+	)
+	cfg := client.SessionConfig{
+		Name: "midwin", Domain: 2, Seed: 777,
+		Cohorts: []client.Cohort{
+			{Users: 2, Model: client.Model{Backward: &client.Chain{Rows: [][]float64{{0.7, 0.3}, {0.2, 0.8}}}}},
+			{Users: 2, Model: client.Model{}},
+		},
+	}
+	batch := func(b int) []client.Step {
+		steps := make([]client.Step, batchLen)
+		for j := range steps {
+			i := (b-1)*batchLen + j + 1
+			v := make([]int, users)
+			for u := range v {
+				v[u] = (i*5 + u) % 2
+			}
+			steps[j] = client.Step{Values: v, Eps: client.Eps(0.1 + 0.05*float64(i%2))}
+		}
+		return steps
+	}
+	key := func(b int) string { return fmt.Sprintf("midwin-batch-%d", b) }
+
+	child, base := startChild(t, bin, stateDir, syncFlags...)
+	c1, err := client.New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.CreateSession(ctx, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for b := 1; b < killAtB; b++ {
+		if _, err := c1.StepsNDJSON(ctx, "midwin", batch(b), client.WithIdempotencyKey(key(b))); err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+	}
+	// Post the kill batch asynchronously: its journal append parks in
+	// the 250ms commit window, and the SIGKILL lands ~60ms in. The
+	// request fails (or, if scheduling is slow, may have committed) —
+	// either way no acknowledged data may be lost.
+	inflight := make(chan error, 1)
+	go func() {
+		_, err := c1.StepsNDJSON(ctx, "midwin", batch(killAtB), client.WithIdempotencyKey(key(killAtB)))
+		inflight <- err
+	}()
+	time.Sleep(60 * time.Millisecond)
+	if err := child.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_ = child.Wait()
+	<-inflight // outcome intentionally ignored: the client treats it as unknown
+
+	// Restart and retry the unacknowledged batch with the same key.
+	child2, base2 := startChild(t, bin, stateDir, syncFlags...)
+	defer func() {
+		_ = child2.Process.Signal(syscall.SIGKILL)
+		_ = child2.Wait()
+	}()
+	c2, err := client.New(base2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c2.StepsNDJSON(ctx, "midwin", batch(killAtB), client.WithIdempotencyKey(key(killAtB)))
+	if err != nil {
+		t.Fatalf("post-crash retry: %v", err)
+	}
+	// Replayed is true iff the group happened to fsync before the kill;
+	// both outcomes are legal. The step position is not negotiable.
+	if res.LastT != killAtB*batchLen {
+		t.Fatalf("post-crash retry: %+v", res)
+	}
+	for b := killAtB + 1; b <= batches; b++ {
+		if _, err := c2.StepsNDJSON(ctx, "midwin", batch(b), client.WithIdempotencyKey(key(b))); err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+	}
+
+	// Control: uninterrupted in-process run of the same seeded workload.
+	ctl := httptest.NewServer(service.NewAPI().Handler())
+	defer ctl.Close()
+	cc, err := client.New(ctl.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.CreateSession(ctx, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for b := 1; b <= batches; b++ {
+		if _, err := cc.StepsNDJSON(ctx, "midwin", batch(b)); err != nil {
+			t.Fatalf("control batch %d: %v", b, err)
+		}
+	}
+
+	const totalSteps = batches * batchLen
+	for u := 0; u < users; u++ {
+		got, err := c2.TPLSeries(ctx, "midwin", u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := cc.TPLSeries(ctx, "midwin", u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != totalSteps || len(want) != totalSteps {
+			t.Fatalf("user %d: series lengths %d/%d", u, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("user %d TPL[%d]: recovered %v != control %v", u, i, got[i], want[i])
+			}
+		}
+	}
+	gotPub, err := c2.PublishedAll(ctx, "midwin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPub, err := cc.PublishedAll(ctx, "midwin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotPub) != totalSteps {
+		t.Fatalf("published history %d steps", len(gotPub))
+	}
+	for i := range wantPub {
+		for j := range wantPub[i].Published {
+			if gotPub[i].Published[j] != wantPub[i].Published[j] {
+				t.Fatalf("published[%d][%d]: recovered %v != control %v", i, j, gotPub[i].Published[j], wantPub[i].Published[j])
+			}
+		}
+	}
+}
+
+// buildServed compiles the tplserved binary once per test into a temp
+// dir (skipping in -short mode or without a go toolchain).
+func buildServed(t *testing.T) string {
 	t.Helper()
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-state-dir", stateDir, "-snapshot-every", "5")
+	if testing.Short() {
+		t.Skip("child-process recovery test skipped in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not in PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "tplserved")
+	if out, err := exec.Command(goBin, "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startChild launches the built tplserved on a free port with the given
+// state dir (plus any extra flags) and returns the running command plus
+// its base URL, parsed from the listen log line.
+func startChild(t *testing.T, bin, stateDir string, extra ...string) (*exec.Cmd, string) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-state-dir", stateDir, "-snapshot-every", "5"}, extra...)
+	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)

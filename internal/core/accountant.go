@@ -38,6 +38,20 @@ type Accountant struct {
 	bpl    []float64 // bpl[t], maintained incrementally
 	fpl    []float64 // cached FPL series for the first fplT observations
 	fplT   int       // observation count the fpl cache was computed at
+
+	// Backward-loss memo: the last two (alpha, L(alpha)) evaluations.
+	// The BPL recurrence bpl[t] = L(bpl[t-1]) + eps[t] saturates under
+	// any bounded-supremum correlation; once it reaches its floating-
+	// point fixed point (or a 2-cycle, hence two entries) the argument
+	// repeats *exactly*, and the memo answers without touching the
+	// engine. This is pure memoization of a deterministic function —
+	// bit-identical results, it only skips re-deriving them — and it is
+	// what keeps steady-state ingest cost flat: a converged stream pays
+	// two float compares per step instead of an envelope search and a
+	// log/exp chain.
+	memoArg [2]float64
+	memoVal [2]float64
+	memoN   int // valid entries (0..2); memoArg[0] is most recent
 }
 
 // NewAccountant builds an accountant for an adversary with the given
@@ -75,14 +89,54 @@ func (a *Accountant) Observe(eps float64) (int, error) {
 	if err := CheckBudget(eps); err != nil {
 		return 0, err
 	}
+	// bpl and eps always grow in lockstep; doubling them by hand keeps
+	// total re-copying at ~2N bytes where append's large-slice growth
+	// factor would pay several times that — on a long-lived accountant
+	// the history is multi-MB and cold, and the memmove shows up as a
+	// top-line cost of batch ingest.
+	if len(a.eps) == cap(a.eps) {
+		a.eps = growDouble(a.eps)
+	}
+	if len(a.bpl) == cap(a.bpl) {
+		a.bpl = growDouble(a.bpl)
+	}
 	if len(a.bpl) == 0 {
 		a.bpl = append(a.bpl, eps)
 	} else {
-		prev := a.bpl[len(a.bpl)-1]
-		a.bpl = append(a.bpl, a.qb.LossValue(prev)+eps)
+		a.bpl = append(a.bpl, a.backwardLoss(a.bpl[len(a.bpl)-1])+eps)
 	}
 	a.eps = append(a.eps, eps)
 	return len(a.eps), nil
+}
+
+// backwardLoss evaluates the backward quantifier through the two-entry
+// memo (see the field comment on memoArg).
+func (a *Accountant) backwardLoss(alpha float64) float64 {
+	if a.memoN > 0 && a.memoArg[0] == alpha {
+		return a.memoVal[0]
+	}
+	if a.memoN > 1 && a.memoArg[1] == alpha {
+		// Promote so an exact 2-cycle keeps hitting.
+		a.memoArg[0], a.memoArg[1] = a.memoArg[1], a.memoArg[0]
+		a.memoVal[0], a.memoVal[1] = a.memoVal[1], a.memoVal[0]
+		return a.memoVal[0]
+	}
+	v := a.qb.LossValue(alpha)
+	a.memoArg[1], a.memoVal[1] = a.memoArg[0], a.memoVal[0]
+	a.memoArg[0], a.memoVal[0] = alpha, v
+	if a.memoN < 2 {
+		a.memoN++
+	}
+	return v
+}
+
+// growDouble reallocates s at double capacity (matching length), for
+// hot-path slices where append's sublinear growth factor would re-copy
+// the history too often.
+func growDouble(s []float64) []float64 {
+	grown := make([]float64, len(s), max(64, 2*cap(s)))
+	copy(grown, s)
+	return grown
 }
 
 // T returns the number of releases observed so far.

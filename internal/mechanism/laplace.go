@@ -105,10 +105,16 @@ func (l *Laplace) ReleaseVec(trueValues []float64) []float64 {
 // clamping is a post-processing choice left to the caller (both preserve
 // DP).
 func (l *Laplace) ReleaseCounts(counts []int) []float64 {
-	out := make([]float64, len(counts))
+	return l.AppendReleaseCounts(make([]float64, 0, len(counts)), counts)
+}
+
+// AppendReleaseCounts is ReleaseCounts appending to dst — the batched
+// release path carves many steps' outputs from one slab instead of
+// allocating per step. Noise draws are identical to ReleaseCounts.
+func (l *Laplace) AppendReleaseCounts(dst []float64, counts []int) []float64 {
 	scale := l.Scale()
-	for i, v := range counts {
-		out[i] = float64(v) + SampleLaplace(l.rng, scale)
+	for _, v := range counts {
+		dst = append(dst, float64(v)+SampleLaplace(l.rng, scale))
 	}
-	return out
+	return dst
 }

@@ -1,0 +1,243 @@
+// Package perfgate compares two machine-readable benchmark documents —
+// the committed BENCH_*.json trajectory and a fresh run of the same
+// benchmark — and reports performance regressions beyond a tolerance.
+// It is the library behind `tplbench -gate` and the perf-regression CI
+// job: the committed file is the floor the build must not sink under,
+// so a change that silently costs >15% of ingest throughput (or
+// engine-eval latency, or journal-append latency) fails instead of
+// drifting into the trajectory unnoticed.
+//
+// The comparison is structural, not schema-bound: a document is
+// `{"benchmark": "...", "points": [{...}, ...]}` where each point mixes
+// identity fields (which row is this), configuration fields, and
+// metrics. Rows are matched across the two documents by their identity
+// key; within a matched pair, every recognized metric field is compared
+// directionally:
+//
+//   - fields containing "per_sec" or "speedup" are higher-better,
+//   - fields ending in "_ns", containing "ns_per", or starting with
+//     "allocs_per" are lower-better,
+//   - everything else (counts, sizes, labels) is identity/configuration
+//     and never gated.
+//
+// Rows present only in the new document are fine (new benchmarks land
+// before their trajectory does); rows that disappear are an error — a
+// deleted benchmark must be deleted from the committed file too, not
+// silently skipped.
+package perfgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DefaultTolerance is the relative slack a metric may lose before the
+// gate fails: 0.15 means a >15% regression fails the build.
+const DefaultTolerance = 0.15
+
+// allocsFloor is the absolute slack for allocs_per_* metrics: pooled
+// hot paths sit near zero allocations per step, where a relative
+// tolerance alone would turn background-GC dust (0.10 -> 0.13) into a
+// failure. A real pooling regression re-introduces whole allocations
+// per step and clears this floor immediately.
+const allocsFloor = 0.25
+
+// identityKeys maps a document's "benchmark" label to the point fields
+// that identify a row. Unknown benchmarks fall back to every
+// string-valued field, which is the right default for label-keyed
+// documents.
+var identityKeys = map[string][]string{
+	"api":     {"mode"},
+	"engine":  {"n", "chain"},
+	"persist": {"users", "cohorts", "steps"},
+}
+
+// Regression is one gated metric that got worse beyond tolerance.
+type Regression struct {
+	Point  string  // identity of the row, e.g. mode=v2-ndjson-counts
+	Metric string  // field name, e.g. steps_per_sec
+	Old    float64 // committed trajectory value
+	New    float64 // fresh run value
+	Change float64 // signed relative change, (new-old)/old
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %.6g -> %.6g (%+.1f%%)", r.Point, r.Metric, r.Old, r.New, 100*r.Change)
+}
+
+// Report is the outcome of one document comparison.
+type Report struct {
+	Benchmark   string       // the documents' "benchmark" label
+	Points      int          // rows matched and compared
+	Metrics     int          // metric pairs compared across those rows
+	NewPoints   []string     // rows only in the new document (allowed)
+	Regressions []Regression // metrics worse than tolerance
+}
+
+// OK reports whether the gate passes.
+func (r *Report) OK() bool { return len(r.Regressions) == 0 }
+
+type document struct {
+	Benchmark string                       `json:"benchmark"`
+	Points    []map[string]json.RawMessage `json:"points"`
+}
+
+// Compare gates newDoc against oldDoc (both BENCH_*.json bytes) at the
+// given tolerance (<=0 means DefaultTolerance). It returns an error for
+// malformed documents, mismatched benchmark labels, duplicate row
+// identities, or rows that disappeared from the new document;
+// regressions are reported in the Report, not as errors, so callers
+// decide how to fail.
+func Compare(oldDoc, newDoc []byte, tolerance float64) (*Report, error) {
+	if tolerance <= 0 {
+		tolerance = DefaultTolerance
+	}
+	var oldD, newD document
+	if err := json.Unmarshal(oldDoc, &oldD); err != nil {
+		return nil, fmt.Errorf("perfgate: old document: %w", err)
+	}
+	if err := json.Unmarshal(newDoc, &newD); err != nil {
+		return nil, fmt.Errorf("perfgate: new document: %w", err)
+	}
+	if oldD.Benchmark != newD.Benchmark {
+		return nil, fmt.Errorf("perfgate: comparing %q against %q", oldD.Benchmark, newD.Benchmark)
+	}
+	oldRows, err := index(oldD)
+	if err != nil {
+		return nil, err
+	}
+	newRows, err := index(newD)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Benchmark: oldD.Benchmark}
+	var missing []string
+	for _, key := range sortedKeys(oldRows) {
+		newPoint, ok := newRows[key]
+		if !ok {
+			missing = append(missing, key)
+			continue
+		}
+		rep.Points++
+		for _, metric := range sortedKeys(oldRows[key]) {
+			higherBetter, gated := classify(metric)
+			if !gated {
+				continue
+			}
+			oldV, okOld := asFloat(oldRows[key][metric])
+			newV, okNew := asFloat(newPoint[metric])
+			if !okOld || !okNew {
+				continue
+			}
+			rep.Metrics++
+			if reg, bad := judge(metric, oldV, newV, higherBetter, tolerance); bad {
+				reg.Point = key
+				rep.Regressions = append(rep.Regressions, reg)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		return nil, fmt.Errorf("perfgate: rows in the trajectory but not the fresh run: %s", strings.Join(missing, "; "))
+	}
+	for _, key := range sortedKeys(newRows) {
+		if _, ok := oldRows[key]; !ok {
+			rep.NewPoints = append(rep.NewPoints, key)
+		}
+	}
+	return rep, nil
+}
+
+// judge decides whether one metric pair regressed beyond tolerance.
+func judge(metric string, oldV, newV float64, higherBetter bool, tolerance float64) (Regression, bool) {
+	if oldV == 0 {
+		return Regression{}, false // no baseline to be relative to
+	}
+	change := (newV - oldV) / oldV
+	bad := false
+	if higherBetter {
+		bad = newV < oldV*(1-tolerance)
+	} else {
+		bad = newV > oldV*(1+tolerance)
+		if strings.HasPrefix(metric, "allocs_per") && newV-oldV < allocsFloor {
+			bad = false
+		}
+	}
+	if !bad {
+		return Regression{}, false
+	}
+	return Regression{Metric: metric, Old: oldV, New: newV, Change: change}, true
+}
+
+// classify reports a field's gating direction and whether it is a
+// metric at all.
+func classify(name string) (higherBetter, gated bool) {
+	switch {
+	case strings.Contains(name, "per_sec"), strings.Contains(name, "speedup"):
+		return true, true
+	case strings.HasSuffix(name, "_ns"), strings.Contains(name, "ns_per"), strings.HasPrefix(name, "allocs_per"):
+		return false, true
+	}
+	return false, false
+}
+
+// index keys a document's points by their identity.
+func index(d document) (map[string]map[string]json.RawMessage, error) {
+	rows := make(map[string]map[string]json.RawMessage, len(d.Points))
+	for i, p := range d.Points {
+		key, err := identity(d.Benchmark, p)
+		if err != nil {
+			return nil, fmt.Errorf("perfgate: %s point %d: %w", d.Benchmark, i, err)
+		}
+		if _, dup := rows[key]; dup {
+			return nil, fmt.Errorf("perfgate: %s has two rows with identity %s", d.Benchmark, key)
+		}
+		rows[key] = p
+	}
+	return rows, nil
+}
+
+// identity renders a point's identity key.
+func identity(benchmark string, p map[string]json.RawMessage) (string, error) {
+	keys, ok := identityKeys[benchmark]
+	if !ok {
+		for name, raw := range p {
+			var s string
+			if json.Unmarshal(raw, &s) == nil {
+				keys = append(keys, name)
+			}
+		}
+		sort.Strings(keys)
+	}
+	if len(keys) == 0 {
+		return "", fmt.Errorf("no identity fields (benchmark %q unknown and the point has no string fields)", benchmark)
+	}
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		raw, ok := p[k]
+		if !ok {
+			return "", fmt.Errorf("missing identity field %q", k)
+		}
+		parts = append(parts, k+"="+strings.Trim(string(raw), `"`))
+	}
+	return strings.Join(parts, ","), nil
+}
+
+func asFloat(raw json.RawMessage) (float64, bool) {
+	var v float64
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,187 @@
+package perfgate
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// apiDoc builds an api-benchmark document with one counts row at the
+// given throughput/latency/allocs.
+func apiDoc(t *testing.T, stepsPerSec, nsPerStep, allocs float64) []byte {
+	t.Helper()
+	doc := map[string]any{
+		"benchmark": "api",
+		"points": []map[string]any{{
+			"mode":            "v2-ndjson-counts",
+			"steps":           100000,
+			"requests":        1000,
+			"bytes_per_step":  45,
+			"ns_per_step":     nsPerStep,
+			"steps_per_sec":   stepsPerSec,
+			"allocs_per_step": allocs,
+		}},
+	}
+	blob, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestGateFailsOnInjectedSlowdown is the acceptance check for the perf
+// gate: a 20% throughput loss on the committed trajectory must fail.
+func TestGateFailsOnInjectedSlowdown(t *testing.T) {
+	old := apiDoc(t, 500_000, 2000, 1.1)
+	slow := apiDoc(t, 400_000, 2500, 1.1) // 20% fewer steps/s, 25% more ns/step
+	rep, err := Compare(old, slow, DefaultTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("gate passed a 20% throughput regression")
+	}
+	metrics := map[string]bool{}
+	for _, r := range rep.Regressions {
+		metrics[r.Metric] = true
+		if r.Point != "mode=v2-ndjson-counts" {
+			t.Errorf("regression attributed to %q", r.Point)
+		}
+	}
+	if !metrics["steps_per_sec"] || !metrics["ns_per_step"] {
+		t.Fatalf("expected steps_per_sec and ns_per_step regressions, got %v", rep.Regressions)
+	}
+}
+
+// TestGateWithinTolerance: a 10% wobble in either direction passes at
+// the default 15% tolerance, and improvements always pass.
+func TestGateWithinTolerance(t *testing.T) {
+	old := apiDoc(t, 500_000, 2000, 1.1)
+	for name, fresh := range map[string][]byte{
+		"wobble-down": apiDoc(t, 450_000, 2200, 1.2),
+		"improvement": apiDoc(t, 900_000, 1100, 0.4),
+	} {
+		rep, err := Compare(old, fresh, DefaultTolerance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Errorf("%s failed the gate: %v", name, rep.Regressions)
+		}
+		if rep.Points != 1 || rep.Metrics != 3 {
+			t.Errorf("%s compared %d points / %d metrics, want 1/3", name, rep.Points, rep.Metrics)
+		}
+	}
+}
+
+// TestGateAllocsFloor: near-zero allocs/step rows get absolute slack
+// (GC dust is not a pooling regression), but re-introduced per-step
+// allocations fail.
+func TestGateAllocsFloor(t *testing.T) {
+	old := apiDoc(t, 500_000, 2000, 0.10)
+	rep, err := Compare(old, apiDoc(t, 500_000, 2000, 0.20), DefaultTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("doubled-from-dust allocs failed the gate: %v", rep.Regressions)
+	}
+	rep, err = Compare(old, apiDoc(t, 500_000, 2000, 1.5), DefaultTolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("re-introduced per-step allocation passed the gate")
+	}
+}
+
+// TestGateNewAndMissingRows: rows only in the fresh run are allowed and
+// listed; rows that disappeared are an error.
+func TestGateNewAndMissingRows(t *testing.T) {
+	oldDoc := []byte(`{"benchmark":"api","points":[
+		{"mode":"a","steps_per_sec":100}]}`)
+	newDoc := []byte(`{"benchmark":"api","points":[
+		{"mode":"a","steps_per_sec":100},
+		{"mode":"b","steps_per_sec":5}]}`)
+	rep, err := Compare(oldDoc, newDoc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || len(rep.NewPoints) != 1 || rep.NewPoints[0] != "mode=b" {
+		t.Fatalf("new-row handling wrong: %+v", rep)
+	}
+	if _, err := Compare(newDoc, oldDoc, 0); err == nil || !strings.Contains(err.Error(), "mode=b") {
+		t.Fatalf("missing row not reported, err=%v", err)
+	}
+}
+
+// TestGateIdentityMismatches: mismatched benchmark labels and duplicate
+// identities are errors, not silent passes.
+func TestGateIdentityMismatches(t *testing.T) {
+	api := []byte(`{"benchmark":"api","points":[{"mode":"a","steps_per_sec":1}]}`)
+	eng := []byte(`{"benchmark":"engine","points":[{"n":4,"chain":"x","eval_ns":9}]}`)
+	if _, err := Compare(api, eng, 0); err == nil {
+		t.Fatal("cross-benchmark comparison accepted")
+	}
+	dup := []byte(`{"benchmark":"api","points":[
+		{"mode":"a","steps_per_sec":1},{"mode":"a","steps_per_sec":2}]}`)
+	if _, err := Compare(dup, dup, 0); err == nil {
+		t.Fatal("duplicate identity accepted")
+	}
+}
+
+// TestGateEngineAndPersistIdentities: the composite identity keys of
+// the other two trajectory documents match rows correctly, and config
+// fields (sizes, counts) are never gated.
+func TestGateEngineAndPersistIdentities(t *testing.T) {
+	oldEng := []byte(`{"benchmark":"engine","points":[
+		{"n":16,"chain":"dense","compile_ns":1000,"eval_ns":100,"speedup_per_eval":50,"pairs":240},
+		{"n":128,"chain":"dense","compile_ns":2000,"eval_ns":110,"speedup_per_eval":60,"pairs":16256}]}`)
+	newEng := []byte(`{"benchmark":"engine","points":[
+		{"n":128,"chain":"dense","compile_ns":2100,"eval_ns":115,"speedup_per_eval":58,"pairs":99999},
+		{"n":16,"chain":"dense","compile_ns":900,"eval_ns":101,"speedup_per_eval":51,"pairs":240}]}`)
+	rep, err := Compare(oldEng, newEng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || rep.Points != 2 {
+		t.Fatalf("engine comparison: %+v", rep)
+	}
+
+	oldPer := []byte(`{"benchmark":"persist","points":[
+		{"users":1000,"cohorts":9,"steps":32,"journal_append_ns":1000,"replay_per_sec":20000,"journal_record_len":148}]}`)
+	newPer := []byte(`{"benchmark":"persist","points":[
+		{"users":1000,"cohorts":9,"steps":32,"journal_append_ns":1400,"replay_per_sec":21000,"journal_record_len":300}]}`)
+	rep, err = Compare(oldPer, newPer, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("40% journal_append_ns regression passed")
+	}
+	if len(rep.Regressions) != 1 || rep.Regressions[0].Metric != "journal_append_ns" {
+		t.Fatalf("expected only journal_append_ns to fail (record_len is config), got %v", rep.Regressions)
+	}
+}
+
+// TestGateCommittedTrajectories: every committed BENCH_*.json gates
+// cleanly against itself — the repo's own trajectory files stay
+// parseable by the gate that CI runs on them.
+func TestGateCommittedTrajectories(t *testing.T) {
+	root := "../.."
+	for _, name := range []string{"BENCH_api.json", "BENCH_engine.json", "BENCH_persist.json"} {
+		blob, err := os.ReadFile(filepath.Join(root, name))
+		if err != nil {
+			t.Fatalf("%s: %v (trajectory files must stay in the repo root)", name, err)
+		}
+		rep, err := Compare(blob, blob, DefaultTolerance)
+		if err != nil {
+			t.Fatalf("%s does not self-compare: %v", name, err)
+		}
+		if !rep.OK() || rep.Points == 0 || rep.Metrics == 0 {
+			t.Fatalf("%s self-comparison degenerate: %+v", name, rep)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package persist
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestJournal(t *testing.T, s *Store, name string) *Journal {
+	t.Helper()
+	j, err := s.OpenJournal(name)
+	if err != nil {
+		t.Fatalf("OpenJournal(%s): %v", name, err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+func replayBodies(t *testing.T, s *Store, name string) []string {
+	t.Helper()
+	var bodies []string
+	if _, err := s.ReplayJournal(name, func(version uint32, body []byte) error {
+		bodies = append(bodies, string(body))
+		return nil
+	}); err != nil {
+		t.Fatalf("ReplayJournal(%s): %v", name, err)
+	}
+	return bodies
+}
+
+// Concurrent appenders across several journals: every record must land,
+// and each journal's records must replay in the order its (single)
+// appender submitted them — the FIFO contract sessions rely on.
+func TestGroupCommitterConcurrentOrdering(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGroupCommitter(500 * time.Microsecond)
+	defer g.Close()
+
+	const journals = 8
+	const perJournal = 50
+	var wg sync.WaitGroup
+	for i := 0; i < journals; i++ {
+		name := fmt.Sprintf("sess-%d", i)
+		j := newTestJournal(t, s, name)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < perJournal; k++ {
+				body := []byte(fmt.Sprintf("%s:%d", name, k))
+				if err := g.Append(j, 1, body); err != nil {
+					t.Errorf("Append(%s, %d): %v", name, k, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := 0; i < journals; i++ {
+		name := fmt.Sprintf("sess-%d", i)
+		bodies := replayBodies(t, s, name)
+		if len(bodies) != perJournal {
+			t.Fatalf("journal %s: replayed %d records, want %d", name, len(bodies), perJournal)
+		}
+		for k, b := range bodies {
+			want := fmt.Sprintf("%s:%d", name, k)
+			if b != want {
+				t.Fatalf("journal %s record %d: got %q, want %q", name, k, b, want)
+			}
+		}
+	}
+}
+
+// A write failure must poison only its own journal for the rest of the
+// group; a healthy journal in the same group still commits.
+func TestGroupCommitterPoisonedJournal(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A wide window so both appends join one group.
+	g := NewGroupCommitter(200 * time.Millisecond)
+	defer g.Close()
+
+	bad := newTestJournal(t, s, "bad")
+	good := newTestJournal(t, s, "good")
+	// Closing the underlying file makes every subsequent write fail.
+	bad.f.Close()
+
+	var wg sync.WaitGroup
+	var badErr, goodErr error
+	wg.Add(2)
+	go func() { defer wg.Done(); badErr = g.Append(bad, 1, []byte("doomed")) }()
+	go func() { defer wg.Done(); goodErr = g.Append(good, 1, []byte("fine")) }()
+	wg.Wait()
+
+	if badErr == nil {
+		t.Fatal("append to closed journal: want error, got nil")
+	}
+	if goodErr != nil {
+		t.Fatalf("append to healthy journal in same group: %v", goodErr)
+	}
+	if bodies := replayBodies(t, s, "good"); len(bodies) != 1 || bodies[0] != "fine" {
+		t.Fatalf("good journal replay: %v", bodies)
+	}
+}
+
+// Close must flush whatever is queued, and appends after Close must be
+// refused rather than silently dropped.
+func TestGroupCommitterCloseFlushesAndRefuses(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A long window so records are still lingering when Close arrives.
+	g := NewGroupCommitter(time.Minute)
+	j := newTestJournal(t, s, "sess")
+
+	const n = 5
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for k := 0; k < n; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[k] = g.Append(j, 1, []byte(fmt.Sprintf("r%d", k)))
+		}()
+	}
+	// Let the appends reach the queue before closing.
+	time.Sleep(20 * time.Millisecond)
+	if err := g.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			t.Fatalf("append %d during close: %v", k, err)
+		}
+	}
+	if bodies := replayBodies(t, s, "sess"); len(bodies) != n {
+		t.Fatalf("replayed %d records after Close, want %d", len(bodies), n)
+	}
+	if err := g.Append(j, 1, []byte("late")); err != ErrCommitterClosed {
+		t.Fatalf("append after Close: got %v, want ErrCommitterClosed", err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

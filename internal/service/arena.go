@@ -1,0 +1,287 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// The ingest arena. Steady-state batch ingestion must not allocate:
+// at hundreds of thousands of steps per second, per-step garbage —
+// body buffers, step slices, decoded int arrays, eps boxes, response
+// bytes — turns into GC pressure that dwarfs the accounting itself.
+// Every v2 steps request therefore borrows one batchArena from a
+// sync.Pool, decodes into its slabs, encodes its response out of its
+// scratch buffer, and returns it when the response is written.
+//
+// The safety contract is strict and test-enforced (fuzz_test.go):
+//
+//   - An arena is owned by exactly one request from get to release;
+//     nothing decoded into it may outlive the request. This holds
+//     because stream.CollectBatch borrows the step slices only for the
+//     duration of the call (histograms are dead once a step is
+//     applied; published outputs are freshly allocated by the noise
+//     mechanisms) and the idempotency layer stores digests and step
+//     spans, never the request's slices.
+//   - release truncates and clears every slab, so a recycled arena can
+//     never leak one batch's bytes into the next — not through stale
+//     lengths, not through aliased BatchStep slices.
+//   - Oversized slabs (a values-mode batch can decode to tens of MB of
+//     ints) are dropped rather than pooled, bounding the pool's
+//     steady-state memory at a few MB per concurrent request. The
+//     at-scale counts shape stays fully pooled.
+
+const (
+	// maxPooledBody bounds the recycled raw-body buffer (counts-mode
+	// bodies are a few KB; values-mode bodies up to 256 MiB are not
+	// worth pinning).
+	maxPooledBody = 1 << 20
+	// maxPooledInts bounds the recycled decode slab in ints (1 MiB).
+	maxPooledInts = 1 << 17
+	// maxPooledResp bounds the recycled response buffer.
+	maxPooledResp = 1 << 20
+)
+
+// batchArena holds the per-request scratch memory of one v2 steps
+// ingestion: the raw body, the decoded steps, the int slab their
+// values/counts slices are carved from, the eps slab their budget
+// pointers point into, and the response encoding buffer.
+type batchArena struct {
+	body  []byte
+	steps []stream.BatchStep
+	ints  []int
+	eps   []float64
+	resp  []byte
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(batchArena) }}
+
+// getArena borrows an arena from the pool.
+func getArena() *batchArena { return arenaPool.Get().(*batchArena) }
+
+// release clears the arena and returns it to the pool. Step entries
+// are zeroed before truncation so no pooled BatchStep keeps a decoded
+// slice (and its backing bytes) alive across requests.
+func (a *batchArena) release() {
+	for i := range a.steps {
+		a.steps[i] = stream.BatchStep{}
+	}
+	a.steps = a.steps[:0]
+	a.body = a.body[:0]
+	a.ints = a.ints[:0]
+	a.eps = a.eps[:0]
+	a.resp = a.resp[:0]
+	if cap(a.body) > maxPooledBody {
+		a.body = nil
+	}
+	if cap(a.ints) > maxPooledInts {
+		a.ints = nil
+	}
+	if cap(a.resp) > maxPooledResp {
+		a.resp = nil
+	}
+	arenaPool.Put(a)
+}
+
+// readBody reads r to EOF into the arena's recycled body buffer.
+// sizeHint (the client-claimed Content-Length) seeds the capacity,
+// capped at maxPooledBody — the header is attacker-controlled, so
+// pre-allocating the full body ceiling for an idle connection would be
+// a free memory-exhaustion lever; past the cap the buffer grows with
+// bytes actually received.
+func (a *batchArena) readBody(r io.Reader, sizeHint int64) ([]byte, error) {
+	buf := a.body[:0]
+	if n := min(sizeHint, maxPooledBody); n > 0 && int(n)+1 > cap(buf) {
+		buf = make([]byte, 0, n+1)
+	}
+	for {
+		if len(buf) == cap(buf) {
+			// Grow 4x, not append's 1.25x: past the header-seeded cap the
+			// buffer only grows in response to bytes actually received, so
+			// the factor is a copy-cost knob, not a DoS surface — and
+			// quadrupling keeps total re-copying under a third of the body
+			// instead of several times it.
+			grown := make([]byte, len(buf), max(4096, 4*cap(buf)))
+			copy(grown, buf)
+			buf = grown
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			a.body = buf
+			return buf, nil
+		}
+		if err != nil {
+			a.body = buf
+			return nil, err
+		}
+	}
+}
+
+// grabEps boxes one explicit budget in the eps slab and returns its
+// address. Slab growth may move earlier entries to a new backing
+// array; already-handed-out pointers keep reading the old (immutable)
+// values, so they stay correct.
+func (a *batchArena) grabEps(v float64) *float64 {
+	if cap(a.eps) == 0 {
+		a.eps = make([]float64, 0, 64)
+	}
+	a.eps = append(a.eps, v)
+	return &a.eps[len(a.eps)-1]
+}
+
+// appendJSONFloat appends v exactly as encoding/json renders a float64
+// (shortest round-trip form, 'e' only for very small/large magnitudes,
+// exponent without a leading zero) — the hand-rolled batch response
+// must be byte-identical to what the reflective encoder produced.
+func appendJSONFloat(b []byte, v float64) []byte {
+	abs := math.Abs(v)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, v, format, -1, 64)
+	if format == 'e' {
+		// Trim "e-09" to "e-9", as encoding/json does.
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// encodeBatchResponse renders the v2 steps response into the arena's
+// recycled buffer, byte-identical to encoding/json marshaling the
+// batchResponse struct (including the trailing newline json.Encoder
+// emits). Reflection and per-field allocation were ~a quarter of the
+// ingest hot path; this is a flat append loop.
+func (a *batchArena) encodeBatchResponse(results []stream.StepResult, replayed bool) []byte {
+	b := a.resp[:0]
+	b = append(b, `{"results":[`...)
+	// Streams overwhelmingly charge the same budget step after step;
+	// memoize the last eps rendering so the common batch formats it
+	// once, not 96 times.
+	var epsMemo []byte
+	epsMemoFor := math.NaN()
+	for i, r := range results {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"t":`...)
+		b = strconv.AppendInt(b, int64(r.T), 10)
+		b = append(b, `,"eps":`...)
+		if r.Eps == epsMemoFor {
+			b = append(b, epsMemo...)
+		} else {
+			mark := len(b)
+			b = appendJSONFloat(b, r.Eps)
+			epsMemo, epsMemoFor = append(epsMemo[:0], b[mark:]...), r.Eps
+		}
+		if r.Planned {
+			b = append(b, `,"planned":true,"published":[`...)
+		} else {
+			b = append(b, `,"planned":false,"published":[`...)
+		}
+		for j, v := range r.Published {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			b = appendJSONFloat(b, v)
+		}
+		b = append(b, `]}`...)
+	}
+	b = append(b, `],"count":`...)
+	b = strconv.AppendInt(b, int64(len(results)), 10)
+	b = append(b, `,"first_t":`...)
+	b = strconv.AppendInt(b, int64(results[0].T), 10)
+	b = append(b, `,"last_t":`...)
+	b = strconv.AppendInt(b, int64(results[len(results)-1].T), 10)
+	if replayed {
+		b = append(b, `,"replayed":true`...)
+	}
+	b = append(b, '}', '\n')
+	a.resp = b
+	return b
+}
+
+// encodeMinimalBatchResponse is the Prefer: return=minimal rendering
+// of the v2 steps response: the batch acknowledgement without the
+// per-step results. An ingest pipeline pushing a million steps a
+// second has no use for its own noisy values echoed back (consumers
+// read /published or /watch), and at that rate the echo — hundreds of
+// shortest-round-trip float renderings per batch — would be the
+// largest single CPU cost of the endpoint.
+func (a *batchArena) encodeMinimalBatchResponse(results []stream.StepResult, replayed bool) []byte {
+	b := a.resp[:0]
+	b = append(b, `{"count":`...)
+	b = strconv.AppendInt(b, int64(len(results)), 10)
+	b = append(b, `,"first_t":`...)
+	b = strconv.AppendInt(b, int64(results[0].T), 10)
+	b = append(b, `,"last_t":`...)
+	b = strconv.AppendInt(b, int64(results[len(results)-1].T), 10)
+	if replayed {
+		b = append(b, `,"replayed":true`...)
+	}
+	b = append(b, '}', '\n')
+	a.resp = b
+	return b
+}
+
+// decodeNDJSONArena decodes a full NDJSON body into the arena: fast
+// path per line, strict encoding/json fallback for anything the
+// scanner does not recognize. It is the transport-independent core of
+// readBatch, factored out so the fuzz harness can drive it without an
+// HTTP server.
+func (a *batchArena) decodeNDJSONArena(raw []byte) ([]stream.BatchStep, error) {
+	// Pre-size the int slab off the body length: a JSON integer token is
+	// at least two bytes ("N,"), so len/2 bounds the decoded ints. One
+	// right-sized allocation matters here — growing a shared multi-MB
+	// slab geometrically re-copies every earlier step's data each time,
+	// and since oversized slabs are dropped at release, a values-mode
+	// body was paying ~4x its own size in cold memmove on every request.
+	if need := len(raw)/2 + 8; cap(a.ints)-len(a.ints) < need {
+		grown := make([]int, len(a.ints), len(a.ints)+need)
+		copy(grown, a.ints)
+		a.ints = grown
+	}
+	steps := a.steps[:0]
+	defer func() { a.steps = steps }()
+	for start := 0; start < len(raw); {
+		lineEnd := bytes.IndexByte(raw[start:], '\n')
+		var line []byte
+		next := len(raw)
+		if lineEnd < 0 {
+			line = raw[start:]
+		} else {
+			line = raw[start : start+lineEnd]
+			next = start + lineEnd + 1
+		}
+		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
+			st, ok := fastParseStep(trimmed, a)
+			if !ok {
+				// Re-feed this line plus the rest of the body through the
+				// strict decoder (it reads concatenated values, so objects
+				// spanning lines work there too).
+				if err := decodeNDJSONSlow(bytes.NewReader(raw[start:]), &steps); err != nil {
+					return nil, err
+				}
+				break
+			}
+			if len(steps) >= maxBatchSteps {
+				return nil, fmt.Errorf("service: batch exceeds %d steps", maxBatchSteps)
+			}
+			steps = append(steps, st)
+		}
+		start = next
+	}
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("service: empty batch")
+	}
+	return steps, nil
+}

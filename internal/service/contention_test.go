@@ -1,0 +1,167 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestContendedIngest is the striped-registry race test: many sessions,
+// each with several concurrent batch writers, plus readers and
+// create/delete churn, all hammering the HTTP surface at once. Under
+// -race this exercises every contended structure of the hot path — the
+// stripe locks, the atomic capacity accounting, the arena pool, the
+// idempotency memory and the per-session step lock. Correctness checks
+// are deliberately coarse (final step counts), because the point is the
+// interleaving, not the values.
+func TestContendedIngest(t *testing.T) {
+	api := NewAPI()
+	ts := httptest.NewServer(api.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	do := func(method, path, body string) (int, string) {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := c.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	const (
+		sessions  = 6
+		writers   = 4 // concurrent batch writers per session
+		perWriter = 8 // batches per writer
+		batchLen  = 4
+	)
+	name := func(i int) string { return fmt.Sprintf("contend-%d", i) }
+	for i := 0; i < sessions; i++ {
+		cfg := fmt.Sprintf(`{"name":%q,"domain":2,"users":10,"seed":%d}`, name(i), 100+i)
+		if code, body := do("POST", "/v2/sessions", cfg); code != http.StatusCreated {
+			t.Fatalf("create %s: %d %s", name(i), code, body)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan string, sessions*writers+sessions+16)
+
+	// Writers: each posts its own idempotency-keyed batches. Concurrent
+	// writers to ONE session serialize on the step lock; writers across
+	// sessions ride different stripes.
+	batchBody := strings.Repeat(`{"counts":[3,7],"eps":0.1}`+"\n", batchLen)
+	for i := 0; i < sessions; i++ {
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for b := 0; b < perWriter; b++ {
+					req, err := http.NewRequest("POST", ts.URL+"/v2/sessions/"+name(i)+"/steps", strings.NewReader(batchBody))
+					if err != nil {
+						errc <- err.Error()
+						return
+					}
+					req.Header.Set("Content-Type", "application/x-ndjson")
+					req.Header.Set("Idempotency-Key", fmt.Sprintf("w%d-b%d", w, b))
+					if w%2 == 0 {
+						req.Header.Set("Prefer", "return=minimal")
+					}
+					resp, err := c.Do(req)
+					if err != nil {
+						errc <- err.Error()
+						return
+					}
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errc <- fmt.Sprintf("%s write: %d %s", name(i), resp.StatusCode, body)
+						return
+					}
+				}
+			}()
+		}
+	}
+
+	// Readers: published history, reports, session list — all while the
+	// writers run.
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 20; k++ {
+				if code, body := do("GET", "/v2/sessions/"+name(i)+"/published?limit=5", ""); code != http.StatusOK {
+					errc <- fmt.Sprintf("%s read: %d %s", name(i), code, body)
+					return
+				}
+				if code, _ := do("GET", "/v2/sessions", ""); code != http.StatusOK {
+					errc <- fmt.Sprintf("list: %d", code)
+					return
+				}
+			}
+		}()
+	}
+
+	// Churn: sessions created and deleted concurrently with the ingest,
+	// landing on arbitrary stripes.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 10; k++ {
+				n := fmt.Sprintf("churn-%d-%d", g, k)
+				cfg := fmt.Sprintf(`{"name":%q,"domain":2,"users":5}`, n)
+				if code, body := do("POST", "/v2/sessions", cfg); code != http.StatusCreated {
+					errc <- fmt.Sprintf("churn create: %d %s", code, body)
+					return
+				}
+				if code, body := do("POST", "/v2/sessions/"+n+"/steps", `[{"counts":[2,3],"eps":0.2}]`); code != http.StatusOK {
+					errc <- fmt.Sprintf("churn step: %d %s", code, body)
+					return
+				}
+				if code, body := do("DELETE", "/v2/sessions/"+n, ""); code != http.StatusNoContent {
+					errc <- fmt.Sprintf("churn delete: %d %s", code, body)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errc)
+	for msg := range errc {
+		t.Error(msg)
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Every acknowledged batch landed exactly once.
+	wantT := writers * perWriter * batchLen
+	for i := 0; i < sessions; i++ {
+		s, err := api.Registry().Get(name(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Server().T(); got != wantT {
+			t.Errorf("%s: T=%d, want %d", name(i), got, wantT)
+		}
+	}
+	// Churned sessions are gone; capacity accounting drained back to the
+	// survivors.
+	if got, want := api.Registry().Len(), sessions; got != want {
+		t.Errorf("registry holds %d sessions, want %d", got, want)
+	}
+	if got, want := api.Registry().Users(), sessions*10; got != want {
+		t.Errorf("registry accounts %d users, want %d", got, want)
+	}
+}

@@ -1,0 +1,108 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// TestEncodeBatchResponseEquivalence pins the hand-rolled batch
+// response encoder to encoding/json: for any results (floats across
+// the fixed/exponent boundary included), the arena encoder must emit
+// byte-for-byte what writeJSON would have — clients must not be able
+// to tell the fast encoder happened.
+func TestEncodeBatchResponseEquivalence(t *testing.T) {
+	floats := []float64{
+		0, 1, -1, 0.5, -0.25, 1e-6, 9.999999e-7, 1e-7, -1e-7, 1e21, 1e20,
+		-1e21, 2.5e22, 123456.789, 1.0 / 3.0, math.SmallestNonzeroFloat64,
+		math.MaxFloat64, 42, -17.25, 3.14159265358979, 1e-300, 1e300,
+	}
+	cases := []struct {
+		name     string
+		results  []stream.StepResult
+		replayed bool
+	}{
+		{
+			name: "single",
+			results: []stream.StepResult{
+				{T: 1, Eps: 0.5, Planned: false, Published: []float64{1.5, -2.25, 0}},
+			},
+		},
+		{
+			name: "multi-planned-replayed",
+			results: []stream.StepResult{
+				{T: 7, Eps: 1e-3, Planned: true, Published: []float64{0.1}},
+				{T: 8, Eps: 2.5, Planned: false, Published: []float64{}},
+				{T: 9, Eps: 1.0 / 3.0, Planned: true, Published: floats},
+			},
+			replayed: true,
+		},
+		{
+			name: "boundary-floats",
+			results: []stream.StepResult{
+				{T: 3, Eps: 1e-7, Published: floats},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := batchResponse{
+				Results:  make([]stepResponse, len(tc.results)),
+				Count:    len(tc.results),
+				FirstT:   tc.results[0].T,
+				LastT:    tc.results[len(tc.results)-1].T,
+				Replayed: tc.replayed,
+			}
+			for i, r := range tc.results {
+				ref.Results[i] = stepResponse{T: r.T, Eps: r.Eps, Planned: r.Planned, Published: r.Published}
+			}
+			var want bytes.Buffer
+			enc := json.NewEncoder(&want)
+			enc.SetEscapeHTML(false)
+			if err := enc.Encode(ref); err != nil {
+				t.Fatal(err)
+			}
+			a := getArena()
+			defer a.release()
+			got := a.encodeBatchResponse(tc.results, tc.replayed)
+			if !bytes.Equal(got, want.Bytes()) {
+				t.Fatalf("encoder mismatch:\n got  %s\n want %s", got, want.Bytes())
+			}
+		})
+	}
+}
+
+// TestAppendJSONFloatEquivalence sweeps appendJSONFloat against
+// json.Marshal over deterministic pseudo-random float64 bit patterns.
+func TestAppendJSONFloatEquivalence(t *testing.T) {
+	// xorshift64 so the sweep is reproducible without math/rand.
+	x := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+	checked := 0
+	for i := 0; i < 20000; i++ {
+		v := math.Float64frombits(next())
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue // encoding/json rejects these; they cannot reach the encoder
+		}
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := appendJSONFloat(nil, v)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("float %x (%v): got %s want %s", math.Float64bits(v), v, got, want)
+		}
+		checked++
+	}
+	if checked < 10000 {
+		t.Fatalf("sweep degenerated: only %d finite floats", checked)
+	}
+}

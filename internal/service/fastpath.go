@@ -20,10 +20,12 @@ import (
 // accepts byte sequences the slow path would parse to the same step.
 // BENCH_api.json records the effect.
 
-// stepParser scans one NDJSON line.
+// stepParser scans one NDJSON line, carving decoded int arrays and
+// eps boxes out of the request's arena slabs instead of allocating.
 type stepParser struct {
 	b []byte
 	i int
+	a *batchArena
 }
 
 func (p *stepParser) skipWS() {
@@ -46,30 +48,38 @@ func (p *stepParser) literal(c byte) bool {
 	return false
 }
 
-// key parses a plain (escape-free) object key.
-func (p *stepParser) key() (string, bool) {
+// key parses a plain (escape-free) object key. The returned slice
+// aliases the line buffer; callers compare it in a string-conversion
+// switch, which the compiler keeps allocation-free.
+func (p *stepParser) key() ([]byte, bool) {
 	if !p.literal('"') {
-		return "", false
+		return nil, false
 	}
 	start := p.i
 	for p.i < len(p.b) {
 		c := p.b[p.i]
 		if c == '"' {
-			k := string(p.b[start:p.i])
+			k := p.b[start:p.i]
 			p.i++
 			return k, true
 		}
 		if c == '\\' || c < 0x20 {
-			return "", false // escapes and control chars go to the slow path
+			return nil, false // escapes and control chars go to the slow path
 		}
 		p.i++
 	}
-	return "", false
+	return nil, false
 }
 
 // intArray parses [int, int, ...] of plain decimal integers. The
 // inner loop avoids per-element helper calls: the common case —
 // "v,v,v" with no whitespace — touches each byte exactly once.
+//
+// Elements append to the arena's int slab and the carved region is
+// returned as a capacity-capped sub-slice: subsequent arrays append
+// past it, and slab growth relocating the backing array leaves
+// already-carved slices reading the old (immutable) memory, so every
+// returned slice stays valid for the life of the request.
 func (p *stepParser) intArray() ([]int, bool) {
 	if !p.literal('[') {
 		return nil, false
@@ -78,11 +88,8 @@ func (p *stepParser) intArray() ([]int, bool) {
 	if p.literal(']') {
 		return []int{}, true
 	}
-	// "d," is two bytes per element, so half the remaining line is a
-	// tight capacity estimate for the dominant small-values case. The
-	// loop runs on local copies of the cursor and buffer so the hot
-	// path stays in registers; p.i is written back before every return.
-	out := make([]int, 0, (len(p.b)-p.i)/2+1)
+	base := len(p.a.ints)
+	out := p.a.ints
 	b := p.b
 	i := p.i
 	for {
@@ -131,7 +138,8 @@ func (p *stepParser) intArray() ([]int, bool) {
 				continue
 			case ']':
 				p.i = i + 1
-				return out, true
+				p.a.ints = out
+				return out[base:len(out):len(out)], true
 			case ' ', '\t', '\r', '\n':
 				p.i = i
 				p.skipWS()
@@ -140,11 +148,14 @@ func (p *stepParser) intArray() ([]int, bool) {
 					continue
 				}
 				if p.literal(']') {
-					return out, true
+					p.a.ints = out
+					return out[base:len(out):len(out)], true
 				}
 				i = p.i
 			}
 		}
+		// Bail without writing the slab back: nothing past the carve
+		// base is visible to anyone.
 		p.i = i
 		return nil, false
 	}
@@ -204,11 +215,19 @@ func (p *stepParser) number() (float64, bool) {
 	return v, true
 }
 
-// fastParseStep attempts the strict fast parse of one NDJSON line.
-// ok=false means "use the slow path", not "invalid".
-func fastParseStep(line []byte) (stream.BatchStep, bool) {
-	var st stream.BatchStep
-	p := &stepParser{b: line}
+// fastParseStep attempts the strict fast parse of one NDJSON line
+// into the arena. ok=false means "use the slow path", not "invalid";
+// a bailing parse rolls the arena slabs back to their pre-line marks
+// so rejected lines waste no slab space.
+func fastParseStep(line []byte, a *batchArena) (st stream.BatchStep, ok bool) {
+	intsMark, epsMark := len(a.ints), len(a.eps)
+	defer func() {
+		if !ok {
+			a.ints = a.ints[:intsMark]
+			a.eps = a.eps[:epsMark]
+		}
+	}()
+	p := &stepParser{b: line, a: a}
 	p.skipWS()
 	if !p.literal('{') {
 		return st, false
@@ -229,7 +248,7 @@ func fastParseStep(line []byte) (stream.BatchStep, bool) {
 			return st, false
 		}
 		p.skipWS()
-		switch k {
+		switch string(k) {
 		case "values":
 			if st.Values != nil {
 				return st, false // duplicate key; slow path decides
@@ -252,7 +271,7 @@ func fastParseStep(line []byte) (stream.BatchStep, bool) {
 			if !ok {
 				return st, false
 			}
-			st.Eps = &v
+			st.Eps = a.grabEps(v)
 		default:
 			return st, false // unknown field: the slow path rejects it with the right error
 		}

@@ -41,7 +41,7 @@ func TestFastParseStepDifferential(t *testing.T) {
 		`{"counts":[1000000,0]}`,
 	}
 	for _, line := range accept {
-		st, ok := fastParseStep([]byte(line))
+		st, ok := fastParseStep([]byte(line), new(batchArena))
 		if !ok {
 			t.Fatalf("fast path bailed on %q", line)
 		}
@@ -77,7 +77,7 @@ func TestFastParseStepDifferential(t *testing.T) {
 		`{"values":[0x1]}`,           // hex (ParseFloat would take it)
 	}
 	for _, line := range bail {
-		if _, ok := fastParseStep([]byte(line)); ok {
+		if _, ok := fastParseStep([]byte(line), new(batchArena)); ok {
 			t.Fatalf("fast path accepted %q", line)
 		}
 	}
@@ -104,7 +104,7 @@ func TestFastParseStepRandomized(t *testing.T) {
 		default:
 			line = fmt.Sprintf(`{"eps":%g,"values":%s}`, rng.Float64()*100, raw)
 		}
-		st, ok := fastParseStep([]byte(line))
+		st, ok := fastParseStep([]byte(line), new(batchArena))
 		if !ok {
 			t.Fatalf("fast path bailed on generated %q", line)
 		}

@@ -13,7 +13,61 @@ import (
 	"testing"
 )
 
+// BenchmarkNDJSONCountsIngest is the v2-ndjson-counts shape of
+// BENCH_api.json without the TCP hop: a 96-step batch of domain-4
+// histograms against a 100k-user, 10-cohort session. ReportAllocs
+// makes the pooled-arena contract visible: steady state should be a
+// handful of allocations per *batch*, not per step.
+func BenchmarkNDJSONCountsIngest(b *testing.B) {
+	h := NewAPI().Handler()
+	rec := httptest.NewRecorder()
+	cfg := `{"name":"s","domain":4,"users":100000,"seed":7,"cohorts":[`
+	for i := 0; i < 10; i++ {
+		if i > 0 {
+			cfg += ","
+		}
+		cfg += `{"users":10000}`
+	}
+	cfg += `]}`
+	req := httptest.NewRequest("POST", "/v2/sessions", bytes.NewReader([]byte(cfg)))
+	h.ServeHTTP(rec, req)
+	if rec.Code != 201 {
+		b.Fatal(rec.Body.String())
+	}
+	var buf bytes.Buffer
+	for s := 0; s < 96; s++ {
+		buf.WriteString(`{"counts":[25000,25000,25000,25000],"eps":0.1}` + "\n")
+	}
+	body := buf.Bytes()
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v2/sessions/s/steps", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatal(rec.Body.String())
+		}
+	}
+}
+
 func BenchmarkNDJSONValuesIngest(b *testing.B) {
+	benchValuesIngest(b, 1)
+}
+
+// BenchmarkNDJSONValuesBatchIngest is the multi-step values body (the
+// BENCH_api.json request shape). It pins the slab pre-sizing in
+// decodeNDJSONArena: without it, growing the shared int slab under a
+// ~10MB body re-copies every earlier step's ints on each growth, and
+// this benchmark runs several times slower than 48x the single-step
+// one.
+func BenchmarkNDJSONValuesBatchIngest(b *testing.B) {
+	benchValuesIngest(b, 48)
+}
+
+func benchValuesIngest(b *testing.B, steps int) {
 	h := NewAPI().Handler()
 	rec := httptest.NewRecorder()
 	req := httptest.NewRequest("POST", "/v2/sessions", bytes.NewReader([]byte(`{"name":"s","domain":4,"users":100000}`)))
@@ -22,14 +76,16 @@ func BenchmarkNDJSONValuesIngest(b *testing.B) {
 		b.Fatal(rec.Body.String())
 	}
 	var line bytes.Buffer
-	line.WriteString(`{"values":[`)
-	for i := 0; i < 100000; i++ {
-		if i > 0 {
-			line.WriteByte(',')
+	for s := 0; s < steps; s++ {
+		line.WriteString(`{"values":[`)
+		for i := 0; i < 100000; i++ {
+			if i > 0 {
+				line.WriteByte(',')
+			}
+			line.WriteString(strconv.Itoa(i % 4))
 		}
-		line.WriteString(strconv.Itoa(i % 4))
+		line.WriteString(`],"eps":0.1}` + "\n")
 	}
-	line.WriteString(`],"eps":0.1}` + "\n")
 	body := line.Bytes()
 	b.SetBytes(int64(len(body)))
 	b.ResetTimer()

@@ -1,0 +1,115 @@
+package service
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/persist"
+)
+
+// syncedRegistry builds a durable registry in dir with the given
+// journal sync mode (a tight group window keeps the test fast).
+func syncedRegistry(t *testing.T, dir string, mode JournalSyncMode) *Registry {
+	t.Helper()
+	store, err := persist.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	if err := r.SetJournalSync(mode, 500*time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EnablePersistence(store, 100); err != nil { // coalescing never fires
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestJournalSyncDifferentialReplay is the differential test behind the
+// group-commit optimisation: the SAME seeded workload journaled under
+// per-batch fsync ("step", the reference), group commit and plain
+// appends must recover to bit-identical sessions after a crash (no
+// graceful Close, so recovery replays the journal). Group commit only
+// batches fsyncs — it must never change what replay reconstructs.
+func TestJournalSyncDifferentialReplay(t *testing.T) {
+	const steps = 7
+	modes := []JournalSyncMode{JournalSyncStep, JournalSyncGroup, JournalSyncNone}
+
+	restoredByMode := func(t *testing.T, tearTail bool) map[JournalSyncMode]*Session {
+		t.Helper()
+		out := make(map[JournalSyncMode]*Session, len(modes))
+		for _, mode := range modes {
+			dir := t.TempDir()
+			r1 := syncedRegistry(t, dir, mode)
+			s1, err := r1.Create(persistTestConfig("sess", 1234, false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			stepSession(t, s1, rand.New(rand.NewSource(6)), steps)
+			if info := s1.persistInfo(); info.JournalRecords != steps {
+				t.Fatalf("%s: journal holds %d records, want %d", mode, info.JournalRecords, steps)
+			}
+			if tearTail {
+				// A crash mid-append leaves a torn final record; replay
+				// must stop there identically in every mode.
+				jpath := filepath.Join(dir, "sess.journal")
+				raw, err := os.ReadFile(jpath)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(jpath, raw[:len(raw)-5], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// No r1.Close(): the crash. Restore into a fresh registry.
+			r2 := syncedRegistry(t, dir, mode)
+			if _, failed := r2.RestoreAll(); len(failed) != 0 {
+				t.Fatalf("%s: restore failures: %v", mode, failed)
+			}
+			s2, err := r2.Get("sess")
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[mode] = s2
+		}
+		return out
+	}
+
+	t.Run("intact", func(t *testing.T) {
+		restored := restoredByMode(t, false)
+		for _, mode := range modes[1:] {
+			mustMatchSessions(t, restored[JournalSyncStep], restored[mode])
+		}
+		if got := restored[JournalSyncGroup].Server().T(); got != steps {
+			t.Fatalf("group-commit replay reached T=%d, want %d", got, steps)
+		}
+	})
+
+	t.Run("torn-tail", func(t *testing.T) {
+		restored := restoredByMode(t, true)
+		for _, mode := range modes[1:] {
+			mustMatchSessions(t, restored[JournalSyncStep], restored[mode])
+		}
+		if got := restored[JournalSyncGroup].Server().T(); got != steps-1 {
+			t.Fatalf("torn-tail group replay reached T=%d, want %d", got, steps-1)
+		}
+	})
+}
+
+// TestSetJournalSyncValidation: unknown modes are rejected, and the
+// mode is boot wiring — immutable once sessions exist.
+func TestSetJournalSyncValidation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.SetJournalSync("fsync-sometimes", 0); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if _, err := r.Create(persistTestConfig("sess", 7, false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetJournalSync(JournalSyncGroup, 0); err == nil {
+		t.Fatal("SetJournalSync accepted with live sessions")
+	}
+}

@@ -44,6 +44,61 @@ const (
 // most N records.
 const defaultSnapshotEvery = 64
 
+// JournalSyncMode selects how journal appends reach stable storage.
+// All three modes replay to bit-identical state; they differ only in
+// which crashes can lose the (never-acknowledged-as-durable) tail.
+type JournalSyncMode string
+
+const (
+	// JournalSyncNone: plain appends, no fsync. Process death never
+	// loses page-cache data; whole-machine power loss can lose the
+	// un-synced tail. The registry default (the pre-group-commit
+	// behavior).
+	JournalSyncNone JournalSyncMode = "none"
+	// JournalSyncGroup: appends are coalesced across all sessions into
+	// one fsync per commit group with a bounded latency window
+	// (persist.GroupCommitter). Power-loss durable at a fraction of
+	// per-append fsync cost; the tplserved default.
+	JournalSyncGroup JournalSyncMode = "group"
+	// JournalSyncStep: one fsync per batch append — the strictest and
+	// slowest mode, kept as the differential-testing reference.
+	JournalSyncStep JournalSyncMode = "step"
+)
+
+// ParseJournalSyncMode validates a wire/flag spelling of a sync mode.
+func ParseJournalSyncMode(s string) (JournalSyncMode, error) {
+	switch m := JournalSyncMode(s); m {
+	case JournalSyncNone, JournalSyncGroup, JournalSyncStep:
+		return m, nil
+	default:
+		return "", fmt.Errorf("service: unknown journal sync mode %q (want none, group or step)", s)
+	}
+}
+
+// SetJournalSync selects the journal durability mode (boot-time
+// wiring, like EnablePersistence; must precede any session). window
+// bounds how long a group-commit append may wait for companions
+// (<= 0 selects the default).
+func (r *Registry) SetJournalSync(mode JournalSyncMode, window time.Duration) error {
+	if _, err := ParseJournalSyncMode(string(mode)); err != nil {
+		return err
+	}
+	if n := r.Len(); n > 0 {
+		return fmt.Errorf("service: journal sync must be configured before sessions exist (%d registered)", n)
+	}
+	r.pmu.Lock()
+	defer r.pmu.Unlock()
+	r.syncMode = mode
+	if mode == JournalSyncGroup && r.committer == nil {
+		r.committer = persist.NewGroupCommitter(window)
+	}
+	if mode != JournalSyncGroup && r.committer != nil {
+		r.committer.Close()
+		r.committer = nil
+	}
+	return nil
+}
+
 // sessionState is the gob body of a session snapshot: the original
 // config (JSON, exactly as submitted — plans and noise modes are
 // rebuilt from it rather than serialized), the creation time, the full
@@ -85,11 +140,11 @@ func (r *Registry) EnablePersistence(store *persist.Store, snapshotEvery int) er
 	if snapshotEvery <= 0 {
 		snapshotEvery = defaultSnapshotEvery
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if len(r.sessions) > 0 {
-		return fmt.Errorf("service: persistence must be enabled before sessions exist (%d registered)", len(r.sessions))
+	if n := r.Len(); n > 0 {
+		return fmt.Errorf("service: persistence must be enabled before sessions exist (%d registered)", n)
 	}
+	r.pmu.Lock()
+	defer r.pmu.Unlock()
 	r.store = store
 	r.snapshotEvery = snapshotEvery
 	return nil
@@ -97,9 +152,16 @@ func (r *Registry) EnablePersistence(store *persist.Store, snapshotEvery int) er
 
 // Store returns the attached snapshot store, or nil in ephemeral mode.
 func (r *Registry) Store() *persist.Store {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.pmu.Lock()
+	defer r.pmu.Unlock()
 	return r.store
+}
+
+// snapEvery returns the configured snapshot coalescing interval.
+func (r *Registry) snapEvery() int {
+	r.pmu.Lock()
+	defer r.pmu.Unlock()
+	return r.snapshotEvery
 }
 
 // initPersistenceLocked writes the session's initial snapshot and opens
@@ -197,7 +259,7 @@ func (s *Session) persistBatch(results []stream.StepResult, idem *idemRecord) {
 	}
 	body, err := gobEncode(rec)
 	if err == nil {
-		err = s.journal.Append(batchSchemaVersion, body)
+		err = s.appendJournal(batchSchemaVersion, body)
 	}
 	lastT := results[len(results)-1].T
 	if err != nil {
@@ -216,6 +278,31 @@ func (s *Session) persistBatch(results []stream.StepResult, idem *idemRecord) {
 		if err := s.snapshotLocked(); err != nil {
 			s.latchPersistErr(err)
 		}
+	}
+}
+
+// appendJournal writes one record through the session's configured
+// sync mode: plain append (none), the shared group committer (group —
+// blocks until the group's fsync covers the record), or a private
+// append+fsync (step). All modes return only after whatever durability
+// the mode promises holds, so persistBatch's poisoned-tail handling is
+// mode-independent. Caller holds s.stepMu, which is what limits each
+// journal to one outstanding group-commit request and so keeps the
+// on-disk record order equal to step order.
+func (s *Session) appendJournal(version uint32, body []byte) error {
+	switch s.syncMode {
+	case JournalSyncGroup:
+		if s.committer != nil {
+			return s.committer.Append(s.journal, version, body)
+		}
+		fallthrough // configured group but no committer: degrade to step
+	case JournalSyncStep:
+		if err := s.journal.Append(version, body); err != nil {
+			return err
+		}
+		return s.journal.Sync()
+	default:
+		return s.journal.Append(version, body)
 	}
 }
 
@@ -417,6 +504,9 @@ func (r *Registry) restoreOne(store *persist.Store, name string) error {
 	if mod, _, err := store.SnapshotStat(name); err == nil {
 		snapAt = mod
 	}
+	r.pmu.Lock()
+	every, mode, committer := r.snapshotEvery, r.syncMode, r.committer
+	r.pmu.Unlock()
 	s := &Session{
 		name:           name,
 		created:        st.Created,
@@ -424,7 +514,9 @@ func (r *Registry) restoreOne(store *persist.Store, name string) error {
 		now:            r.now,
 		store:          store,
 		cfgJSON:        st.ConfigJSON,
-		snapshotEvery:  r.snapshotEvery,
+		snapshotEvery:  every,
+		syncMode:       mode,
+		committer:      committer,
 		lastSnapT:      snapT,
 		lastSnapAt:     snapAt,
 		journalRecords: replayedSteps,
@@ -455,23 +547,26 @@ func (r *Registry) restoreOne(store *persist.Store, name string) error {
 		s.journalBad = true // persistStep retries the snapshot instead of appending
 		s.latchPersistErr(err)
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, taken := r.sessions[name]; taken {
+	if err := r.reserveUsers(srv.Users()); err != nil {
+		j.Close()
+		return err
+	}
+	stripe := r.stripe(name)
+	stripe.mu.Lock()
+	if _, taken := stripe.sessions[name]; taken {
+		stripe.mu.Unlock()
+		r.totalUsers.Add(-int64(srv.Users()))
 		j.Close()
 		return fmt.Errorf("%w: %q", ErrExists, name)
 	}
-	if r.totalUsers+srv.Users() > r.capacity {
-		j.Close()
-		return fmt.Errorf("%w: %d users in use, %d requested, limit %d", ErrCapacity, r.totalUsers, srv.Users(), r.capacity)
-	}
-	r.sessions[name] = s
-	r.totalUsers += srv.Users()
+	stripe.sessions[name] = s
+	stripe.mu.Unlock()
 	return nil
 }
 
 // Close finishes every session's durability (final snapshot + journal
-// close). Called on graceful shutdown; ephemeral registries no-op.
+// close) and stops the group committer. Called on graceful shutdown;
+// ephemeral registries no-op.
 func (r *Registry) Close() error {
 	var firstErr error
 	for _, s := range r.List() {
@@ -480,6 +575,17 @@ func (r *Registry) Close() error {
 			firstErr = err
 		}
 		s.stepMu.Unlock()
+	}
+	// After the loop no session appends anymore (each was closed under
+	// its stepMu), so the committer drains cleanly.
+	r.pmu.Lock()
+	gc := r.committer
+	r.committer = nil
+	r.pmu.Unlock()
+	if gc != nil {
+		if err := gc.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	return firstErr
 }
@@ -508,7 +614,7 @@ func (r *Registry) PersistenceHealth() PersistenceHealth {
 	if store == nil {
 		return PersistenceHealth{Mode: "ephemeral"}
 	}
-	h := PersistenceHealth{Mode: "durable", StateDir: store.Dir(), SnapshotEvery: r.snapshotEvery}
+	h := PersistenceHealth{Mode: "durable", StateDir: store.Dir(), SnapshotEvery: r.snapEvery()}
 	now := r.now()
 	var oldest time.Time
 	for _, s := range r.List() {

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/persist"
@@ -52,6 +53,8 @@ type Session struct {
 	journalBad    bool   // a failed append poisoned the tail; stop appending until a snapshot resets it
 	cfgJSON       []byte // the creating config, for restore-time rebuilds
 	snapshotEvery int
+	syncMode      JournalSyncMode         // how appends reach stable storage
+	committer     *persist.GroupCommitter // shared group-commit leader (JournalSyncGroup)
 
 	// persistMu guards only the bookkeeping below, so health and
 	// summary reads never block behind an in-flight collect or an
@@ -137,6 +140,20 @@ func (s *Session) Summary() Summary {
 	}
 }
 
+// sessionStripes shards the session table across independent locks
+// (power of two; the stripe is picked by name hash). A single shared
+// RWMutex made every session lookup — one per ingest request —
+// rendezvous on one cache line; with striping, concurrent ingestion
+// into different sessions contends only when names collide in a
+// stripe, and create/delete churn never stalls unrelated traffic.
+const sessionStripes = 64
+
+// sessionStripe is one shard of the session table.
+type sessionStripe struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+}
+
 // Registry is the concurrency-safe session store. The zero value is not
 // usable; construct with NewRegistry.
 //
@@ -145,25 +162,62 @@ func (s *Session) Summary() Summary {
 // one compiled leakage engine per distinct transition matrix instead of
 // re-quantifying it per session.
 type Registry struct {
-	mu         sync.RWMutex
-	sessions   map[string]*Session
-	totalUsers int              // declared population across all sessions
+	stripes [sessionStripes]sessionStripe
+	// totalUsers is the declared population across all sessions.
+	// Creations reserve capacity with a CAS loop before inserting, so
+	// the ceiling holds without any lock shared across stripes.
+	totalUsers atomic.Int64
 	capacity   int              // aggregate population ceiling; lowered in tests
 	now        func() time.Time // injectable for tests
 	models     *stream.ModelCache
 
-	// Durability (persistence.go); nil store means ephemeral mode.
+	// Durability wiring (persistence.go); boot-time configuration
+	// guarded by pmu, nil store means ephemeral mode.
+	pmu           sync.Mutex
 	store         *persist.Store
 	snapshotEvery int
+	syncMode      JournalSyncMode
+	committer     *persist.GroupCommitter
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
-		sessions: make(map[string]*Session),
+	r := &Registry{
 		capacity: maxTotalUsers,
 		now:      time.Now,
 		models:   stream.NewModelCache(),
+	}
+	for i := range r.stripes {
+		r.stripes[i].sessions = make(map[string]*Session)
+	}
+	return r
+}
+
+// stripe returns the shard owning the given session name (FNV-1a).
+func (r *Registry) stripe(name string) *sessionStripe {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return &r.stripes[h&(sessionStripes-1)]
+}
+
+// reserveUsers claims n users of aggregate capacity, or reports
+// ErrCapacity without claiming anything. Release by adding -n back.
+func (r *Registry) reserveUsers(n int) error {
+	for {
+		cur := r.totalUsers.Load()
+		if cur+int64(n) > int64(r.capacity) {
+			return fmt.Errorf("%w: %d users in use, %d requested, limit %d", ErrCapacity, cur, n, r.capacity)
+		}
+		if r.totalUsers.CompareAndSwap(cur, cur+int64(n)) {
+			return nil
+		}
 	}
 }
 
@@ -195,15 +249,16 @@ func (r *Registry) Create(cfg *SessionConfig) (*Session, error) {
 	if err := checkName(cfg.Name); err != nil {
 		return nil, err
 	}
-	pop := cfg.population()
-	r.mu.RLock()
-	_, taken := r.sessions[cfg.Name]
-	over := r.totalUsers+pop > r.capacity
-	r.mu.RUnlock()
+	stripe := r.stripe(cfg.Name)
+	stripe.mu.RLock()
+	_, taken := stripe.sessions[cfg.Name]
+	stripe.mu.RUnlock()
 	if taken {
 		return nil, fmt.Errorf("%w: %q", ErrExists, cfg.Name)
 	}
-	if over {
+	// Advisory capacity check before the expensive build; the binding
+	// check is the CAS reservation below.
+	if pop := cfg.population(); r.totalUsers.Load()+int64(pop) > int64(r.capacity) {
 		return nil, fmt.Errorf("%w: %d users in use, %d requested, limit %d", ErrCapacity, r.Users(), pop, r.capacity)
 	}
 	srv, err := cfg.BuildCached(r.models)
@@ -218,33 +273,35 @@ func (r *Registry) Create(cfg *SessionConfig) (*Session, error) {
 	// journal; a persist failure rolls the insert back.
 	s.stepMu.Lock()
 	defer s.stepMu.Unlock()
-	r.mu.Lock()
-	if _, taken := r.sessions[cfg.Name]; taken {
-		r.mu.Unlock()
+	if err := r.reserveUsers(srv.Users()); err != nil {
+		return nil, err
+	}
+	stripe.mu.Lock()
+	if _, taken := stripe.sessions[cfg.Name]; taken {
+		stripe.mu.Unlock()
+		r.totalUsers.Add(-int64(srv.Users()))
 		return nil, fmt.Errorf("%w: %q", ErrExists, cfg.Name)
 	}
-	if r.totalUsers+srv.Users() > r.capacity {
-		inUse := r.totalUsers
-		r.mu.Unlock()
-		return nil, fmt.Errorf("%w: %d users in use, %d requested, limit %d", ErrCapacity, inUse, srv.Users(), r.capacity)
-	}
-	r.sessions[cfg.Name] = s
-	r.totalUsers += srv.Users()
+	stripe.sessions[cfg.Name] = s
+	stripe.mu.Unlock()
+	r.pmu.Lock()
 	store, every := r.store, r.snapshotEvery
-	r.mu.Unlock()
+	s.syncMode, s.committer = r.syncMode, r.committer
+	r.pmu.Unlock()
 	if store != nil {
 		if err := s.initPersistenceLocked(store, cfg, every); err != nil {
-			r.mu.Lock()
-			owned := r.sessions[cfg.Name] == s
+			stripe.mu.Lock()
+			owned := stripe.sessions[cfg.Name] == s
 			if owned {
-				delete(r.sessions, cfg.Name)
-				r.totalUsers -= srv.Users()
+				delete(stripe.sessions, cfg.Name)
 			}
-			r.mu.Unlock()
-			// Only clean up files while the name is still ours: if a
-			// concurrent Delete already freed the slot, a re-created
-			// session of the same name may own them by now.
+			stripe.mu.Unlock()
+			// Only release capacity and clean up files while the name is
+			// still ours: if a concurrent Delete already freed the slot
+			// (and the reservation), a re-created session of the same
+			// name may own the files by now.
 			if owned {
+				r.totalUsers.Add(-int64(srv.Users()))
 				store.Remove(cfg.Name)
 			}
 			return nil, err
@@ -255,16 +312,15 @@ func (r *Registry) Create(cfg *SessionConfig) (*Session, error) {
 
 // Users returns the aggregate declared population across all sessions.
 func (r *Registry) Users() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.totalUsers
+	return int(r.totalUsers.Load())
 }
 
 // Get returns the named session.
 func (r *Registry) Get(name string) (*Session, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	s, ok := r.sessions[name]
+	stripe := r.stripe(name)
+	stripe.mu.RLock()
+	s, ok := stripe.sessions[name]
+	stripe.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
@@ -273,18 +329,20 @@ func (r *Registry) Get(name string) (*Session, error) {
 
 // Delete removes the named session, releasing its population from the
 // aggregate capacity and deleting its persisted state. The map removal
-// happens first (under r.mu alone — taking stepMu under r.mu would
-// invert Create's lock order), so the file cleanup races no new steps.
+// happens first (under the stripe lock alone — taking stepMu under it
+// would invert Create's lock order), so the file cleanup races no new
+// steps.
 func (r *Registry) Delete(name string) error {
-	r.mu.Lock()
-	s, ok := r.sessions[name]
+	stripe := r.stripe(name)
+	stripe.mu.Lock()
+	s, ok := stripe.sessions[name]
 	if !ok {
-		r.mu.Unlock()
+		stripe.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	delete(r.sessions, name)
-	r.totalUsers -= s.srv.Users()
-	r.mu.Unlock()
+	delete(stripe.sessions, name)
+	stripe.mu.Unlock()
+	r.totalUsers.Add(-int64(s.srv.Users()))
 	s.stepMu.Lock()
 	err := s.dropPersistenceLocked()
 	s.stepMu.Unlock()
@@ -296,19 +354,27 @@ func (r *Registry) Delete(name string) error {
 
 // List returns all sessions sorted by name.
 func (r *Registry) List() []*Session {
-	r.mu.RLock()
-	out := make([]*Session, 0, len(r.sessions))
-	for _, s := range r.sessions {
-		out = append(out, s)
+	var out []*Session
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		st.mu.RLock()
+		for _, s := range st.sessions {
+			out = append(out, s)
+		}
+		st.mu.RUnlock()
 	}
-	r.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
 	return out
 }
 
 // Len returns the number of registered sessions.
 func (r *Registry) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.sessions)
+	n := 0
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		st.mu.RLock()
+		n += len(st.sessions)
+		st.mu.RUnlock()
+	}
+	return n
 }

@@ -33,6 +33,14 @@ type Options struct {
 	// SnapshotEvery is the snapshot coalescing interval in steps
 	// (<= 0 selects the default).
 	SnapshotEvery int
+	// JournalSync selects the journal durability mode ("none", "group"
+	// or "step"; empty selects "group" — power-loss durability at
+	// group-commit cost). Ignored without a StateDir.
+	JournalSync string
+	// JournalWindow bounds how long a group-commit append may wait for
+	// companions (<= 0 selects the default). Only meaningful with
+	// JournalSync "group".
+	JournalWindow time.Duration
 }
 
 // New creates a server for the given listen address. logger may be nil
@@ -58,6 +66,13 @@ func NewWithOptions(addr string, logger *log.Logger, opts Options) (*Server, err
 	if opts.StateDir != "" {
 		store, err := persist.NewStore(opts.StateDir)
 		if err != nil {
+			return nil, err
+		}
+		syncMode := JournalSyncMode(opts.JournalSync)
+		if syncMode == "" {
+			syncMode = JournalSyncGroup
+		}
+		if err := api.Registry().SetJournalSync(syncMode, opts.JournalWindow); err != nil {
 			return nil, err
 		}
 		if err := api.Registry().EnablePersistence(store, opts.SnapshotEvery); err != nil {

@@ -47,37 +47,57 @@ type StepResult struct {
 
 // preparedStep is a fully validated step awaiting its release: the true
 // histogram, the resolved budget, and the noise mechanism already
-// constructed (so applying a prepared batch cannot fail).
+// constructed (so applying a prepared batch cannot fail). release
+// appends the noisy histogram to dst — the batch path carves every
+// step's output from one slab instead of allocating per step.
 type preparedStep struct {
 	hist    []int
 	eps     float64
 	planned bool
-	release func(counts []int) []float64
+	release func(dst []float64, counts []int) []float64
 }
 
-// releaserLocked builds the noise mechanism for one step's budget.
-// Caller holds the write lock.
-func (s *Server) releaserLocked(eps float64) (func(counts []int) []float64, error) {
+// releaserLocked builds the noise mechanism for one step's budget,
+// memoizing the last construction: a stream charging the same budget
+// step after step (the common continuous-release shape) rebuilds
+// nothing. The memo is invalidated whenever the noise kind, the
+// sensitivity, or the RNG seam changes (SetNoise, SetSensitivity,
+// setNoiseSourceLocked) — the mechanism itself is stateless between
+// releases; only the rand.Rand it draws from carries state, and that is
+// shared by construction. Caller holds the write lock.
+func (s *Server) releaserLocked(eps float64) (func(dst []float64, counts []int) []float64, error) {
+	if s.relFn != nil && s.relEps == eps && s.relNoise == s.noise && s.relSens == s.sensitivity {
+		return s.relFn, nil
+	}
+	fn, err := s.buildReleaserLocked(eps)
+	if err != nil {
+		return nil, err
+	}
+	s.relFn, s.relEps, s.relNoise, s.relSens = fn, eps, s.noise, s.sensitivity
+	return fn, nil
+}
+
+// buildReleaserLocked constructs the mechanism without consulting the
+// memo. Caller holds the write lock.
+func (s *Server) buildReleaserLocked(eps float64) (func(dst []float64, counts []int) []float64, error) {
 	switch s.noise {
 	case release.GeometricNoise:
 		geo, err := mechanism.NewGeometric(eps, int(s.sensitivity), s.rng)
 		if err != nil {
 			return nil, err
 		}
-		return func(h []int) []float64 {
-			ints := geo.ReleaseCounts(h)
-			noisy := make([]float64, len(ints))
-			for i, v := range ints {
-				noisy[i] = float64(v)
+		return func(dst []float64, h []int) []float64 {
+			for _, v := range geo.ReleaseCounts(h) {
+				dst = append(dst, float64(v))
 			}
-			return noisy
+			return dst
 		}, nil
 	default:
 		lap, err := mechanism.NewLaplace(eps, s.sensitivity, s.rng)
 		if err != nil {
 			return nil, err
 		}
-		return lap.ReleaseCounts, nil
+		return lap.AppendReleaseCounts, nil
 	}
 }
 
@@ -120,7 +140,12 @@ func (s *Server) prepareLocked(st BatchStep, offset int) (preparedStep, error) {
 		if total != s.users {
 			return p, fmt.Errorf("%w: counts sum to %d for %d users", ErrDomainMismatch, total, s.users)
 		}
-		p.hist = append([]int(nil), st.Counts...)
+		// Alias, don't copy: the histogram is only read (the release
+		// mechanisms allocate their own output), and it is dead once the
+		// step is applied — CollectBatch borrows the caller's slices for
+		// the duration of the call, which is what lets the service layer
+		// feed pooled decode buffers straight through.
+		p.hist = st.Counts
 	default:
 		return p, fmt.Errorf("stream: step declares neither values nor counts")
 	}
@@ -155,8 +180,40 @@ func (s *Server) prepareLocked(st BatchStep, offset int) (preparedStep, error) {
 // history append. It cannot fail — everything fallible happened in
 // prepareLocked. Caller holds the write lock.
 func (s *Server) applyLocked(p preparedStep) StepResult {
-	noisy := p.release(p.hist)
-	s.observeAll(p.eps)
+	slab := make([]float64, 0, s.domain)
+	r := s.releaseLocked(p, &slab)
+	s.observeAll([]float64{p.eps})
+	return r
+}
+
+// releaseLocked publishes one prepared step — noise draw, history
+// append — WITHOUT charging the accountants; the caller owes an
+// observeAll for the step's budget. Splitting release from observation
+// lets CollectBatch draw noise in exact step order (the RNG stream is
+// serial) while fanning the independent per-cohort accounting out once
+// per batch instead of once per step. The noisy histogram is carved
+// from slab (capacity-capped, so later carves cannot clobber it; if
+// the slab grows and relocates, earlier carves keep reading their own
+// immutable memory). Caller holds the write lock.
+func (s *Server) releaseLocked(p preparedStep, slab *[]float64) StepResult {
+	start := len(*slab)
+	buf := p.release(*slab, p.hist)
+	*slab = buf
+	noisy := buf[start:len(buf):len(buf)]
+	// The history slices live for the session; double them by hand so
+	// the steady-state re-copying stays ~2N instead of append's
+	// several-times-N at large-slice growth factors (the history is
+	// cold memory, and the memmove was visible in ingest profiles).
+	if len(s.published) == cap(s.published) {
+		grown := make([][]float64, len(s.published), max(64, 2*cap(s.published)))
+		copy(grown, s.published)
+		s.published = grown
+	}
+	if len(s.budgets) == cap(s.budgets) {
+		grown := make([]float64, len(s.budgets), max(64, 2*cap(s.budgets)))
+		copy(grown, s.budgets)
+		s.budgets = grown
+	}
 	s.published = append(s.published, noisy)
 	s.budgets = append(s.budgets, p.eps)
 	r := StepResult{T: len(s.budgets), Eps: p.eps, Planned: p.planned, Published: noisy}
@@ -188,9 +245,20 @@ func (s *Server) CollectBatch(steps []BatchStep) ([]StepResult, error) {
 		prepared[i] = p
 	}
 	results := make([]StepResult, len(prepared))
+	epsSeq := make([]float64, len(prepared))
+	// One output slab for the whole batch: the per-step noisy
+	// histograms land in history and live forever, so carving them from
+	// one allocation costs nothing extra and saves a per-step malloc.
+	slab := make([]float64, 0, len(prepared)*s.domain)
 	for i, p := range prepared {
-		results[i] = s.applyLocked(p)
+		results[i] = s.releaseLocked(p, &slab)
+		epsSeq[i] = p.eps
 	}
+	// One accounting fan-out for the whole batch: each cohort observes
+	// the batch's budgets in step order (per-cohort accounting is
+	// sequential in eps order but independent across cohorts), so a
+	// 96-step batch costs one goroutine hand-off per worker, not 96.
+	s.observeAll(epsSeq)
 	return results, nil
 }
 

@@ -88,6 +88,8 @@ func (s *Server) setNoiseSourceLocked(seed int64, provenance string) {
 	s.rng = rand.New(s.noiseSrc)
 	s.noiseSeed = seed
 	s.noiseProvenance = provenance
+	// The releaser memo captured the previous rand.Rand; drop it.
+	s.relFn = nil
 }
 
 // SetNoiseSeed makes the noise stream deterministic and fully

@@ -103,6 +103,13 @@ type Server struct {
 	planBase int          // number of steps already taken when the plan was attached
 
 	noise release.Noise // perturbation primitive; Laplace by default
+
+	// Releaser memo (see releaserLocked): the last-built noise mechanism
+	// and the parameters it was built for. relFn nil means no memo.
+	relFn    func(dst []float64, counts []int) []float64
+	relEps   float64
+	relSens  float64
+	relNoise release.Noise
 }
 
 // NewServer creates a release server over the given value domain and
@@ -327,15 +334,17 @@ func (s *Server) collectLocked(values []int, eps float64) ([]float64, error) {
 	return s.applyLocked(p).Published, nil
 }
 
-// observeAll charges eps to every cohort accountant, fanning the
-// updates out over the configured worker count. eps has already passed
-// core.CheckBudget — the only error Observe can return — so an error
-// here is a core invariant violation, not an input problem, and panics
-// rather than leaving the step half-observed. The panic is raised from
-// the calling goroutine (worker errors are collected first), so a
-// recover higher up — e.g. net/http's handler recovery — confines the
-// blast radius to one request instead of the whole process.
-func (s *Server) observeAll(eps float64) {
+// observeAll charges a sequence of budgets (one per batch step, in
+// step order) to every cohort accountant, fanning the per-cohort work
+// out over the configured worker count — one fan-out per batch, not per
+// step. Every eps has already passed core.CheckBudget — the only error
+// Observe can return — so an error here is a core invariant violation,
+// not an input problem, and panics rather than leaving the batch
+// half-observed. The panic is raised from the calling goroutine (worker
+// errors are collected first), so a recover higher up — e.g. net/http's
+// handler recovery — confines the blast radius to one request instead
+// of the whole process.
+func (s *Server) observeAll(epsSeq []float64) {
 	workers := s.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -343,10 +352,18 @@ func (s *Server) observeAll(eps float64) {
 	if workers > len(s.cohorts) {
 		workers = len(s.cohorts)
 	}
+	observeCohort := func(c *cohort) error {
+		for _, eps := range epsSeq {
+			if _, err := c.acc.Observe(eps); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	var invariant error
 	if workers <= 1 {
 		for _, c := range s.cohorts {
-			if _, err := c.acc.Observe(eps); err != nil && invariant == nil {
+			if err := observeCohort(c); err != nil && invariant == nil {
 				invariant = err
 			}
 		}
@@ -358,7 +375,7 @@ func (s *Server) observeAll(eps float64) {
 			go func(w int) {
 				defer wg.Done()
 				for i := w; i < len(s.cohorts); i += workers {
-					if _, err := s.cohorts[i].acc.Observe(eps); err != nil && errs[w] == nil {
+					if err := observeCohort(s.cohorts[i]); err != nil && errs[w] == nil {
 						errs[w] = err
 					}
 				}

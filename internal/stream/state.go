@@ -346,7 +346,7 @@ func (s *Server) ApplyStep(rec StepRecord) error {
 	if len(rec.Published) != s.domain {
 		return badState("step %d publishes %d bins, domain is %d", rec.T, len(rec.Published), s.domain)
 	}
-	s.observeAll(rec.Eps)
+	s.observeAll([]float64{rec.Eps})
 	s.published = append(s.published, append([]float64(nil), rec.Published...))
 	s.budgets = append(s.budgets, rec.Eps)
 	if s.noiseSrc != nil && s.noiseProvenance == NoiseSeeded && rec.NoiseDraws > s.noiseSrc.draws {
