@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/loadgen"
+	"repro/internal/plugins/logs"
 	"repro/internal/report"
 	"repro/internal/service"
 	"repro/tpl/client"
@@ -308,6 +309,39 @@ func runAPIBench(wr *report.Writer, seed int64, full bool, jsonPath string) erro
 	}
 	pm := res.point("v2-ndjson-counts-minimal", len(cBodies[0])/batch)
 	doc.Points = append(doc.Points, pm)
+
+	// --- v2 counts-minimal with the decision-log plugin attached ---
+	// The management-plane overhead row: the same wire shape as
+	// counts-minimal, but every batch's accounting decision flows
+	// through the non-blocking sink into a gzip spool (batch 256). The
+	// perf gate keeps this within noise of the undecorated row.
+	if err := newSession("bench-v2d"); err != nil {
+		return err
+	}
+	spoolDir, err := os.MkdirTemp("", "tplbench-declog")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(spoolDir)
+	lp, err := logs.NewPlugin(logs.Config{SpoolPath: spoolDir + "/decisions.gz", Batch: 256, Buffer: 8192})
+	if err != nil {
+		return err
+	}
+	if err := lp.Start(ctx); err != nil {
+		return err
+	}
+	api.Registry().SetDecisionSink(lp)
+	res, err = runTimed(minWindow, cSteps, func(i int) error {
+		landed["bench-v2d"] += batch
+		return postRaw(hc, base+"/v2/sessions/bench-v2d/steps", "application/x-ndjson", cBodies[i], true)
+	})
+	api.Registry().SetDecisionSink(nil)
+	lp.Stop(ctx)
+	if err != nil {
+		return fmt.Errorf("v2 counts declog batch: %w", err)
+	}
+	pd := res.point("v2-ndjson-counts-declog-minimal", len(cBodies[0])/batch)
+	doc.Points = append(doc.Points, pd)
 
 	// --- v2 counts at the at-scale batch size (1024 steps/request,
 	// minimal response): the headline ingest-rate number. At batch 96

@@ -1,0 +1,276 @@
+// Command tplbundle builds, signs, verifies and serves model bundles —
+// the artifact side of tplserved's management plane (see
+// internal/plugins/bundle). A bundle is a named set of adversary
+// models (Markov transition matrices); its revision is the hex SHA-256
+// of the canonical model encoding, optionally signed with Ed25519.
+//
+// Usage:
+//
+//	tplbundle keygen -out keys/release
+//	tplbundle build -models models.json -key keys/release.key -out bundle.json
+//	tplbundle build -fig7 -out bundle.json
+//	tplbundle verify -in bundle.json -pub keys/release.pub
+//	tplbundle serve -in bundle.json -addr :8345
+//
+// The models file is a JSON object mapping model names to
+// {"backward": {"rows": [[...]]}, "forward": {"rows": [[...]]}}; -fig7
+// instead emits the paper's Fig. 7 road-network chains as a ready-made
+// fixture. serve watches the bundle file and republishes whenever its
+// revision changes, so flipping the served revision is just
+// overwriting the file — long-polling tplserved instances pick the
+// change up immediately.
+package main
+
+import (
+	"context"
+	"crypto/ed25519"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/markov"
+	"repro/internal/plugins/bundle"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "keygen":
+		err = keygen(os.Args[2:])
+	case "build":
+		err = build(os.Args[2:])
+	case "verify":
+		err = verify(os.Args[2:])
+	case "serve":
+		err = serve(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "tplbundle: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tplbundle: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: tplbundle <command> [flags]
+
+commands:
+  keygen  generate an Ed25519 signing key pair (<out>.key, <out>.pub)
+  build   build (and optionally sign) a bundle from a models file
+  verify  check a bundle's content hash and signature
+  serve   serve a bundle file over HTTP with ETag + long-poll support`)
+}
+
+func keygen(args []string) error {
+	fs := flag.NewFlagSet("keygen", flag.ExitOnError)
+	out := fs.String("out", "bundle", "output path prefix (writes <out>.key and <out>.pub)")
+	fs.Parse(args)
+	pub, priv, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out+".key", []byte(hex.EncodeToString(priv)+"\n"), 0o600); err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out+".pub", []byte(hex.EncodeToString(pub)+"\n"), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s.key (private) and %s.pub (public)\n", *out, *out)
+	return nil
+}
+
+func build(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	modelsPath := fs.String("models", "", "models file: JSON object of name -> {backward, forward} chains")
+	fig7 := fs.Bool("fig7", false, "use the paper's Fig. 7 road-network chains instead of -models")
+	keyPath := fs.String("key", "", "hex Ed25519 private key file; omit for an unsigned bundle")
+	out := fs.String("out", "", "output bundle file (default stdout)")
+	fs.Parse(args)
+
+	var models map[string]bundle.Model
+	switch {
+	case *fig7 && *modelsPath != "":
+		return fmt.Errorf("-models and -fig7 are mutually exclusive")
+	case *fig7:
+		models = map[string]bundle.Model{
+			"road":         {Backward: markov.Fig7Backward(), Forward: markov.Fig7Forward()},
+			"independent2": {},
+		}
+	case *modelsPath != "":
+		data, err := os.ReadFile(*modelsPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &models); err != nil {
+			return fmt.Errorf("parsing %s: %w", *modelsPath, err)
+		}
+	default:
+		return fmt.Errorf("build needs -models or -fig7")
+	}
+
+	var priv ed25519.PrivateKey
+	if *keyPath != "" {
+		var err error
+		if priv, err = readPrivateKey(*keyPath); err != nil {
+			return err
+		}
+	}
+	b, err := bundle.Build(models, priv)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bundle revision %s (%d models, signed=%t)\n", b.Revision, len(b.Models), priv != nil)
+	return nil
+}
+
+func verify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	in := fs.String("in", "", "bundle file to verify")
+	pubPath := fs.String("pub", "", "hex Ed25519 public key file; omit to check the content hash only")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("verify needs -in")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	var pub ed25519.PublicKey
+	if *pubPath != "" {
+		if pub, err = readPublicKey(*pubPath); err != nil {
+			return err
+		}
+	}
+	b, err := bundle.Parse(data, pub)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ok: revision %s, %d models, signed=%t\n", b.Revision, len(b.Models), b.Signature != "")
+	return nil
+}
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	in := fs.String("in", "", "bundle file to serve (rechecked every -reload; overwrite it to flip the revision)")
+	addr := fs.String("addr", ":8345", "listen address")
+	reload := fs.Duration("reload", time.Second, "how often the bundle file is rechecked for a new revision")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("serve needs -in")
+	}
+	srv := bundle.NewServer()
+	publish := func() error {
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			return err
+		}
+		// The served bundle's integrity is the pollers' concern
+		// (signature checks happen client-side); the server only
+		// requires a well-formed, hash-consistent file.
+		b, err := bundle.Parse(data, nil)
+		if err != nil {
+			return err
+		}
+		if srv.Revision() != b.Revision {
+			if err := srv.SetBundle(b); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "tplbundle: serving revision %s\n", b.Revision)
+		}
+		return nil
+	}
+	if err := publish(); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		t := time.NewTicker(*reload)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if err := publish(); err != nil {
+					fmt.Fprintf(os.Stderr, "tplbundle: reload: %v\n", err)
+				}
+			}
+		}
+	}()
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "tplbundle: listening on %s\n", *addr)
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(shutCtx)
+	}
+}
+
+func readPrivateKey(path string) (ed25519.PrivateKey, error) {
+	raw, err := readHexKey(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) != ed25519.PrivateKeySize {
+		return nil, fmt.Errorf("%s: want %d key bytes, got %d", path, ed25519.PrivateKeySize, len(raw))
+	}
+	return ed25519.PrivateKey(raw), nil
+}
+
+func readPublicKey(path string) (ed25519.PublicKey, error) {
+	raw, err := readHexKey(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) != ed25519.PublicKeySize {
+		return nil, fmt.Errorf("%s: want %d key bytes, got %d", path, ed25519.PublicKeySize, len(raw))
+	}
+	return ed25519.PublicKey(raw), nil
+}
+
+func readHexKey(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := hex.DecodeString(strings.TrimSpace(string(data)))
+	if err != nil {
+		return nil, fmt.Errorf("%s: not hex: %v", path, err)
+	}
+	return raw, nil
+}

@@ -6,6 +6,8 @@
 //
 //	tplserved -addr :8344
 //	tplserved -addr :8344 -state-dir /var/lib/tplserved -snapshot-every 64
+//	tplserved -config /etc/tplserved/config.json
+//	tplserved -config config.json -validate-config
 //
 // With -state-dir the accounting is durable: each session's leakage
 // state is snapshotted (coalesced, atomically replaced) and every step
@@ -16,21 +18,32 @@
 // leakage), which would let an operator reset privacy budgets by
 // bouncing the process.
 //
+// With -config the server loads a declarative JSON config file
+// (schema: internal/plugins/plugincfg) that additionally drives the
+// management plane: a bundle plugin polling signed model bundles and
+// hot-swapping them into the shared model cache, a decision-log plugin
+// streaming every accounting decision to an upload endpoint or spool
+// file, and a status plugin reporting bundle revisions, snapshot ages
+// and budget pressure. Precedence is fixed: built-in defaults <
+// config file < explicitly-set flags. -validate-config lints the file
+// and exits without booting.
+//
 // Sessions are created over the API, ingest time steps in atomic
 // batches (v2: JSON arrays or NDJSON streams, idempotency-keyed so
 // retries are exactly-once) with explicit or planned budgets, and
 // answer leakage queries; users declaring identical adversary models
 // share one accountant (cohort-sharded accounting), so sessions scale
-// to very large populations. Errors are RFC 7807 problem+json with
-// stable codes; the deprecated /v1 per-step API remains as shims. Go
-// callers should use the typed tpl/client SDK instead of raw HTTP.
-// The server shuts down gracefully on SIGINT/SIGTERM, draining
-// in-flight requests.
+// to very large populations. Session configs may reference bundle
+// models by name ({"model": {"ref": "road"}}) instead of inlining
+// matrices. Errors are RFC 7807 problem+json with stable codes; the
+// deprecated /v1 per-step API remains as shims. Go callers should use
+// the typed tpl/client SDK instead of raw HTTP. The server shuts down
+// gracefully on SIGINT/SIGTERM, draining in-flight requests.
 //
 //	curl -s localhost:8344/healthz
 //	curl -s -X POST localhost:8344/v2/sessions -d '{
 //	  "name": "demo", "domain": 2,
-//	  "cohorts": [{"users": 100000, "model": {"backward": {"rows": [[0.8,0.2],[0.2,0.8]]}}},
+//	  "cohorts": [{"users": 100000, "model": {"ref": "road"}},
 //	              {"users": 900000, "model": {}}]}'
 //	curl -s -X POST localhost:8344/v2/sessions/demo/steps -H 'Idempotency-Key: b1' \
 //	  -d '[{"counts": [...], "eps": 0.1}, {"counts": [...], "eps": 0.1}]'
@@ -48,19 +61,31 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"repro/internal/plugins/plugincfg"
 	"repro/internal/service"
 	"repro/internal/version"
 )
 
+// pluginStopGrace bounds the graceful plugin stop (final decision-log
+// flush) after the server has drained.
+const pluginStopGrace = 10 * time.Second
+
 func main() {
+	// Flag defaults come from plugincfg.Default() — the single source
+	// of tplserved defaults. Precedence: defaults < config file <
+	// explicitly-set flags (plugincfg.ApplyFlags).
+	def := plugincfg.Default()
 	var (
-		addr          = flag.String("addr", ":8344", "listen address (host:port; port 0 picks a free port)")
-		quiet         = flag.Bool("quiet", false, "suppress serving logs")
-		stateDir      = flag.String("state-dir", "", "directory for durable session state (snapshots + step journals); empty = ephemeral, state dies with the process")
-		snapshotEvery = flag.Int("snapshot-every", 0, "steps between coalesced session snapshots (0 = default; journal records are appended every step regardless)")
-		journalSync   = flag.String("journal-sync", "group", "journal durability: none (page-cache only), group (one fsync per commit group, bounded latency) or step (fsync every batch)")
-		journalWindow = flag.Duration("journal-window", 0, "group-commit latency window: how long an append may wait for companions before its fsync (0 = default)")
+		configPath    = flag.String("config", "", "JSON config file (schema: internal/plugins/plugincfg); explicitly-set flags override it")
+		validateOnly  = flag.Bool("validate-config", false, "parse and validate -config, print every problem, and exit (non-zero when invalid)")
+		addr          = flag.String("addr", def.Addr, "listen address (host:port; port 0 picks a free port)")
+		quiet         = flag.Bool("quiet", def.Quiet, "suppress serving logs")
+		stateDir      = flag.String("state-dir", def.StateDir, "directory for durable session state (snapshots + step journals); empty = ephemeral, state dies with the process")
+		snapshotEvery = flag.Int("snapshot-every", def.SnapshotEvery, "steps between coalesced session snapshots (0 = default; journal records are appended every step regardless)")
+		journalSync   = flag.String("journal-sync", def.JournalSync, "journal durability: none (page-cache only), group (one fsync per commit group, bounded latency) or step (fsync every batch)")
+		journalWindow = flag.Duration("journal-window", time.Duration(def.JournalWindow), "group-commit latency window: how long an append may wait for companions before its fsync (0 = default)")
 		showVer       = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -68,15 +93,38 @@ func main() {
 		fmt.Println("tplserved", version.String())
 		return
 	}
+	cfg := def
+	if *configPath != "" {
+		var err error
+		if cfg, err = plugincfg.Load(*configPath); err != nil {
+			fmt.Fprintf(os.Stderr, "tplserved: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *validateOnly {
+		if *configPath == "" {
+			fmt.Fprintln(os.Stderr, "tplserved: -validate-config requires -config")
+			os.Exit(2)
+		}
+		if problems := cfg.Validate(); len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintf(os.Stderr, "tplserved: config: %s\n", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("tplserved: %s: config ok\n", *configPath)
+		return
+	}
+	cfg.ApplyFlags(flag.CommandLine, addr, quiet, stateDir, snapshotEvery, journalSync, journalWindow)
+	if problems := cfg.Validate(); len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "tplserved: config: %s\n", p)
+		}
+		os.Exit(1)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	opts := service.Options{
-		StateDir:      *stateDir,
-		SnapshotEvery: *snapshotEvery,
-		JournalSync:   *journalSync,
-		JournalWindow: *journalWindow,
-	}
-	if err := run(ctx, *addr, *quiet, opts, nil); err != nil {
+	if err := run(ctx, cfg, nil); err != nil {
 		fmt.Fprintf(os.Stderr, "tplserved: %v\n", err)
 		os.Exit(1)
 	}
@@ -84,14 +132,31 @@ func main() {
 
 // run serves until ctx is cancelled. ready, when non-nil, learns the
 // bound address (tests listen on port 0).
-func run(ctx context.Context, addr string, quiet bool, opts service.Options, ready func(net.Addr)) error {
+func run(ctx context.Context, cfg plugincfg.File, ready func(net.Addr)) error {
 	var logger *log.Logger
-	if !quiet {
+	if !cfg.Quiet {
 		logger = log.New(os.Stderr, "", log.LstdFlags)
 	}
-	srv, err := service.NewWithOptions(addr, logger, opts)
+	srv, err := service.NewWithOptions(cfg.Addr, logger, cfg.Options())
 	if err != nil {
 		return err
 	}
+	mgr, err := cfg.BuildPlugins(srv.API().Registry())
+	if err != nil {
+		return err
+	}
+	srv.API().SetPluginHealth(func() any { return mgr.StatusAll() })
+	// Plugins run on their own context: the manager's Stop (below), not
+	// the serve context, ends them — decisions recorded while in-flight
+	// requests drain after ctx cancels still reach the log's final
+	// flush.
+	if err := mgr.Start(context.Background()); err != nil {
+		return err
+	}
+	defer func() {
+		stopCtx, cancel := context.WithTimeout(context.Background(), pluginStopGrace)
+		defer cancel()
+		mgr.Stop(stopCtx)
+	}()
 	return srv.Run(ctx, ready)
 }

@@ -6,7 +6,7 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/service"
+	"repro/internal/plugins/plugincfg"
 	"repro/tpl/client"
 )
 
@@ -18,8 +18,11 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	defer cancel()
 	addrc := make(chan net.Addr, 1)
 	errc := make(chan error, 1)
+	cfg := plugincfg.Default()
+	cfg.Addr = "127.0.0.1:0"
+	cfg.Quiet = true
 	go func() {
-		errc <- run(ctx, "127.0.0.1:0", true, service.Options{}, func(a net.Addr) { addrc <- a })
+		errc <- run(ctx, cfg, func(a net.Addr) { addrc <- a })
 	}()
 
 	var base string

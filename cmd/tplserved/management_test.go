@@ -1,0 +1,503 @@
+package main
+
+import (
+	"bufio"
+	"compress/gzip"
+	"context"
+	"crypto/ed25519"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/markov"
+	"repro/internal/plugins/bundle"
+	"repro/internal/service"
+	"repro/tpl/client"
+)
+
+// mgmtFixture is everything the management e2e tests share: a signed
+// bundle served from the test process and a config file pointing a
+// tplserved child at it.
+type mgmtFixture struct {
+	pub     ed25519.PublicKey
+	priv    ed25519.PrivateKey
+	srv     *bundle.Server
+	httpSrv *httptest.Server
+	cfgPath string
+	spool   string
+}
+
+func newMgmtFixture(t *testing.T, b1 *bundle.Bundle) *mgmtFixture {
+	t.Helper()
+	srv := bundle.NewServer()
+	if err := srv.SetBundle(b1); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	dir := t.TempDir()
+	f := &mgmtFixture{srv: srv, httpSrv: ts, cfgPath: filepath.Join(dir, "config.json"), spool: filepath.Join(dir, "decisions.ndjson.gz")}
+	return f
+}
+
+// writeConfig renders the management-plane config file. The bundle
+// public key is optional (empty = unsigned bundles accepted).
+func (f *mgmtFixture) writeConfig(t *testing.T, pubHex string) {
+	t.Helper()
+	cfg := fmt.Sprintf(`{
+		"plugins": {
+			"bundle": {"url": %q, "public_key": %q, "poll": "2s", "min_backoff": "20ms", "max_backoff": "200ms"},
+			"decision_logs": {"spool_path": %q, "batch": 2, "flush_interval": "50ms"},
+			"status": {"interval": "100ms"}
+		}
+	}`, f.httpSrv.URL, pubHex, f.spool)
+	if pubHex == "" {
+		cfg = strings.Replace(cfg, `"public_key": "", `, "", 1)
+	}
+	if err := os.WriteFile(f.cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitBundleRevision polls the child's healthz until the bundle plugin
+// reports the wanted revision.
+func waitBundleRevision(t *testing.T, c *client.Client, want string) {
+	t.Helper()
+	ctx := context.Background()
+	deadline := time.Now().Add(15 * time.Second)
+	var last string
+	for time.Now().Before(deadline) {
+		h, err := c.Health(ctx)
+		if err == nil {
+			if st, ok := h.Plugins["bundle"]; ok {
+				if rev, _ := st.Detail["revision"].(string); rev == want {
+					return
+				} else {
+					last = rev
+				}
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("bundle plugin never reported revision %s (last %q)", want, last)
+}
+
+// readSpool decodes the decision spool's concatenated gzip members.
+func readSpool(t *testing.T, path string) []service.Decision {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer zr.Close()
+	var out []service.Decision
+	sc := bufio.NewScanner(zr)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var d service.Decision
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatalf("bad spool line %q: %v", sc.Text(), err)
+		}
+		out = append(out, d)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// testBundleModels builds the two bundle revisions the e2e tests flip
+// between: rev1's "road" is the paper's Fig. 7 pair, rev2 rewires it.
+func testBundleModels() (rev1, rev2 map[string]bundle.Model) {
+	rev1 = map[string]bundle.Model{
+		"road":         {Backward: markov.Fig7Backward(), Forward: markov.Fig7Forward()},
+		"independent2": {},
+	}
+	rev2 = map[string]bundle.Model{
+		"road": {Backward: markov.Fig7Forward(), Forward: markov.Fig7Backward()},
+	}
+	return rev1, rev2
+}
+
+// TestManagementPlaneE2E boots a tplserved child against an in-test
+// bundle server with the full plugin config: the bundle plugin
+// activates the signed fixture, a revision flip hot-swaps without a
+// restart (observed via healthz), sessions pin the revision they were
+// created under, and after a graceful stop the decision spool holds
+// the run's accounting decisions — including a budget refusal.
+func TestManagementPlaneE2E(t *testing.T) {
+	bin := buildServed(t)
+	pub, priv, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := testBundleModels()
+	b1, err := bundle.Build(m1, priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix := newMgmtFixture(t, b1)
+	fix.writeConfig(t, hex.EncodeToString(pub))
+
+	child, base := startChild(t, bin, t.TempDir(), "-config", fix.cfgPath)
+	c, err := client.New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	waitBundleRevision(t, c, b1.Revision)
+
+	// A session resolves its ref against the active bundle and pins it.
+	cfg := client.SessionConfig{
+		Name: "refsess", Domain: 2,
+		Cohorts: []client.Cohort{
+			{Users: 2, Model: client.Model{Ref: "road"}},
+			{Users: 1, Model: client.Model{}},
+		},
+	}
+	if _, err := c.CreateSession(ctx, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Steps(ctx, "refsess", []client.Step{
+		{Values: []int{0, 1, 0}, Eps: client.Eps(0.2)},
+		{Values: []int{1, 1, 0}, Eps: client.Eps(0.2)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A planned session that runs out of horizon: the refused batch
+	// must land in the decision log.
+	planCfg := client.SessionConfig{
+		Name: "planned", Domain: 2, Users: 2,
+		Plan: &client.PlanSpec{Kind: "quantified", Alpha: 1.0, Horizon: 2, Model: &client.Model{Ref: "road"}},
+	}
+	if _, err := c.CreateSession(ctx, planCfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Steps(ctx, "planned", []client.Step{
+		{Values: []int{0, 1}}, {Values: []int{1, 0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Steps(ctx, "planned", []client.Step{{Values: []int{0, 0}}})
+	if err == nil || !strings.Contains(err.Error(), "budget_exhausted") {
+		t.Fatalf("horizon overrun not refused: %v", err)
+	}
+
+	// Flip the revision: the long-polling child hot-swaps without a
+	// restart...
+	b2, err := bundle.Build(m2, priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fix.srv.SetBundle(b2); err != nil {
+		t.Fatal(err)
+	}
+	waitBundleRevision(t, c, b2.Revision)
+	// ...while the in-flight session keeps the revision pinned at its
+	// creation and keeps accounting.
+	sum, err := c.GetSession(ctx, "refsess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.ModelRevision != b1.Revision {
+		t.Fatalf("session rebound: revision %s, want %s", sum.ModelRevision, b1.Revision)
+	}
+	if _, err := c.Steps(ctx, "refsess", []client.Step{{Values: []int{0, 0, 1}, Eps: client.Eps(0.2)}}); err != nil {
+		t.Fatal(err)
+	}
+	// A session created now binds the new revision.
+	if _, err := c.CreateSession(ctx, client.SessionConfig{
+		Name: "latesess", Domain: 2,
+		Cohorts: []client.Cohort{{Users: 1, Model: client.Model{Ref: "road"}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sum, err = c.GetSession(ctx, "latesess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.ModelRevision != b2.Revision {
+		t.Fatalf("late session revision %s, want %s", sum.ModelRevision, b2.Revision)
+	}
+	// But the old revision's other models are gone: refusal, not limbo.
+	_, err = c.CreateSession(ctx, client.SessionConfig{
+		Name: "gone", Domain: 2,
+		Cohorts: []client.Cohort{{Users: 1, Model: client.Model{Ref: "independent2"}}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "model_not_found") {
+		t.Fatalf("stale ref not refused: %v", err)
+	}
+
+	// Graceful stop: SIGTERM drains the server and the plugin manager's
+	// stop flushes the tail of the decision log.
+	if err := child.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Wait(); err != nil {
+		t.Fatalf("graceful exit: %v", err)
+	}
+
+	recs := readSpool(t, fix.spool)
+	var steps, refusals int
+	var sawExhausted, sawRevision bool
+	for _, d := range recs {
+		switch d.Kind {
+		case "steps":
+			steps++
+			if d.Session == "refsess" && d.ModelRevision == b1.Revision {
+				sawRevision = true
+			}
+		case "refusal":
+			refusals++
+			if d.Session == "planned" && d.Code == "budget_exhausted" {
+				sawExhausted = true
+			}
+		}
+	}
+	if steps < 3 {
+		t.Fatalf("spool has %d steps decisions, want >= 3 (%+v)", steps, recs)
+	}
+	if !sawExhausted {
+		t.Fatalf("no budget_exhausted refusal in the spool (%d records, %d refusals)", len(recs), refusals)
+	}
+	if !sawRevision {
+		t.Fatal("steps decisions do not carry the pinned model revision")
+	}
+}
+
+// TestValidateConfigCLI covers the -validate-config mode end to end:
+// a good file exits 0, a bad one exits non-zero listing every problem,
+// an unparsable one fails at load.
+func TestValidateConfigCLI(t *testing.T) {
+	bin := buildServed(t)
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	runCLI := func(args ...string) (string, int) {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		return string(out), code
+	}
+
+	good := write("good.json", `{"addr": ":0", "plugins": {"status": {"interval": "5s"}}}`)
+	if out, code := runCLI("-config", good, "-validate-config"); code != 0 || !strings.Contains(out, "config ok") {
+		t.Fatalf("good config: exit %d, output %q", code, out)
+	}
+
+	bad := write("bad.json", `{
+		"journal_sync": "sometimes",
+		"plugins": {
+			"bundle": {"public_key": "zz"},
+			"decision_logs": {"upload_url": "http://x", "spool_path": "/y"}
+		}
+	}`)
+	out, code := runCLI("-config", bad, "-validate-config")
+	if code == 0 {
+		t.Fatalf("bad config validated: %q", out)
+	}
+	for _, want := range []string{"journal_sync", "plugins.bundle.url", "plugins.bundle.public_key", "plugins.decision_logs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("problem list missing %q:\n%s", want, out)
+		}
+	}
+
+	typo := write("typo.json", `{"adr": ":8344"}`)
+	if out, code := runCLI("-config", typo, "-validate-config"); code == 0 || !strings.Contains(out, "adr") {
+		t.Fatalf("typoed key: exit %d, output %q", code, out)
+	}
+
+	// A bad config also refuses to BOOT (not just to validate).
+	if out, code := runCLI("-config", bad); code == 0 {
+		t.Fatalf("server booted on a bad config: %q", out)
+	}
+	if _, code := runCLI("-validate-config"); code != 2 {
+		t.Fatal("-validate-config without -config must exit 2")
+	}
+}
+
+// TestKillAndRecoverWithPlugins is the crash-safety acceptance test
+// with the whole management plane enabled: a child ingesting through
+// bundle-resolved models and a live decision log is SIGKILLed
+// mid-stream, the bundle server flips to a NEW revision, and the
+// restarted child must still recover the session bit-for-bit against
+// an uninterrupted control — restore re-reads the resolved chains from
+// the persisted config, never the currently-active bundle.
+func TestKillAndRecoverWithPlugins(t *testing.T) {
+	bin := buildServed(t)
+	m1, m2 := testBundleModels()
+	b1, err := bundle.Build(m1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix := newMgmtFixture(t, b1)
+	fix.writeConfig(t, "")
+	stateDir := t.TempDir()
+	ctx := context.Background()
+
+	const (
+		users      = 4
+		batchLen   = 3
+		batches    = 5
+		killAfterB = 3
+	)
+	cfg := client.SessionConfig{
+		Name: "mgmtcrash", Domain: 2, Seed: 991199,
+		Cohorts: []client.Cohort{
+			{Users: 2, Model: client.Model{Ref: "road"}},
+			{Users: 2, Model: client.Model{}},
+		},
+	}
+	batch := func(b int) []client.Step {
+		steps := make([]client.Step, batchLen)
+		for j := range steps {
+			i := (b-1)*batchLen + j + 1
+			v := make([]int, users)
+			for u := range v {
+				v[u] = (i*3 + u*5) % 2
+			}
+			steps[j] = client.Step{Values: v, Eps: client.Eps(0.1 + 0.05*float64(i%2))}
+		}
+		return steps
+	}
+	key := func(b int) string { return fmt.Sprintf("mgmtcrash-%d", b) }
+
+	child, base := startChild(t, bin, stateDir, "-config", fix.cfgPath)
+	c1, err := client.New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitBundleRevision(t, c1, b1.Revision)
+	if _, err := c1.CreateSession(ctx, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for b := 1; b <= killAfterB; b++ {
+		if _, err := c1.StepsNDJSON(ctx, "mgmtcrash", batch(b), client.WithIdempotencyKey(key(b))); err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+	}
+	if err := child.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_ = child.Wait()
+
+	// Flip the bundle while the server is down: the restarted child
+	// activates rev2, but the restored session must keep rev1's chains.
+	b2, err := bundle.Build(m2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fix.srv.SetBundle(b2); err != nil {
+		t.Fatal(err)
+	}
+
+	child2, base2 := startChild(t, bin, stateDir, "-config", fix.cfgPath)
+	defer func() {
+		_ = child2.Process.Signal(syscall.SIGKILL)
+		_ = child2.Wait()
+	}()
+	c2, err := client.New(base2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitBundleRevision(t, c2, b2.Revision)
+	sum, err := c2.GetSession(ctx, "mgmtcrash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.ModelRevision != b1.Revision {
+		t.Fatalf("restored session revision %s, want %s", sum.ModelRevision, b1.Revision)
+	}
+	// Retry the unacknowledged batch, then drive the stream to the end.
+	res, err := c2.StepsNDJSON(ctx, "mgmtcrash", batch(killAfterB), client.WithIdempotencyKey(key(killAfterB)))
+	if err != nil {
+		t.Fatalf("post-crash retry: %v", err)
+	}
+	if !res.Replayed || res.LastT != killAfterB*batchLen {
+		t.Fatalf("post-crash retry: %+v", res)
+	}
+	for b := killAfterB + 1; b <= batches; b++ {
+		if _, err := c2.StepsNDJSON(ctx, "mgmtcrash", batch(b), client.WithIdempotencyKey(key(b))); err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+	}
+
+	// Control: uninterrupted in-process run with rev1 active.
+	api := service.NewAPI()
+	api.Registry().ModelCache().ActivateNamed(b1.Revision, b1.AdversaryModels())
+	ctl := httptest.NewServer(api.Handler())
+	defer ctl.Close()
+	cc, err := client.New(ctl.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.CreateSession(ctx, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for b := 1; b <= batches; b++ {
+		if _, err := cc.StepsNDJSON(ctx, "mgmtcrash", batch(b)); err != nil {
+			t.Fatalf("control batch %d: %v", b, err)
+		}
+	}
+
+	const totalSteps = batches * batchLen
+	for u := 0; u < users; u++ {
+		got, err := c2.TPLSeries(ctx, "mgmtcrash", u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := cc.TPLSeries(ctx, "mgmtcrash", u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != totalSteps || len(want) != totalSteps {
+			t.Fatalf("user %d: series lengths %d/%d", u, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("user %d TPL[%d]: recovered %v != control %v", u, i, got[i], want[i])
+			}
+		}
+	}
+	gotPub, err := c2.PublishedAll(ctx, "mgmtcrash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPub, err := cc.PublishedAll(ctx, "mgmtcrash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotPub) != totalSteps {
+		t.Fatalf("published history %d steps", len(gotPub))
+	}
+	for i := range wantPub {
+		for j := range wantPub[i].Published {
+			if gotPub[i].Published[j] != wantPub[i].Published[j] {
+				t.Fatalf("published[%d][%d]: recovered %v != control %v", i, j, gotPub[i].Published[j], wantPub[i].Published[j])
+			}
+		}
+	}
+}

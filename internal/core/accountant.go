@@ -156,6 +156,14 @@ func (a *Accountant) FPL(t int) (float64, error) {
 	if err := a.checkT(t); err != nil {
 		return 0, err
 	}
+	// Tail fast path: Eq. (10)'s forward recursion bottoms out at the
+	// newest release — no future observations exist yet, so its forward
+	// leakage is exactly its own budget. Skipping the refresh keeps
+	// per-step tail queries (the decision-log hook) O(1) instead of
+	// re-walking the history.
+	if t == len(a.eps) {
+		return a.eps[t-1], nil
+	}
 	if err := a.refreshFPL(); err != nil {
 		return 0, err
 	}
@@ -167,6 +175,14 @@ func (a *Accountant) FPL(t int) (float64, error) {
 func (a *Accountant) TPL(t int) (float64, error) {
 	if err := a.checkT(t); err != nil {
 		return 0, err
+	}
+	// Tail fast path, mirroring FPL: at t == T the forward term equals
+	// eps[t-1]. The add-then-subtract is kept (not simplified to bare
+	// BPL) so the result stays bit-identical to the general formula and
+	// to the batch TPLSeries — x + e - e can differ from x in the last
+	// ULP, and every differential test here demands exact equality.
+	if t == len(a.eps) {
+		return a.bpl[t-1] + a.eps[t-1] - a.eps[t-1], nil
 	}
 	if err := a.refreshFPL(); err != nil {
 		return 0, err

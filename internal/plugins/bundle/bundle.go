@@ -1,0 +1,135 @@
+// Package bundle implements signed model bundles: named sets of
+// transition-matrix adversary models distributed to tplserved fleets
+// the way OPA distributes policy — content-addressed, signature-
+// verified artifacts that activate atomically into the running
+// service's model cache. A bundle's revision IS its content hash, so
+// caching, long-polling and audit trails all key off one value, and a
+// tampered bundle cannot keep its revision.
+package bundle
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/markov"
+	"repro/internal/stream"
+)
+
+// Model is one named adversary model: the backward/forward transition
+// matrices of the paper's Markov correlation adversary. Either may be
+// absent; both absent is the traditional DP adversary.
+type Model struct {
+	Backward *markov.Chain `json:"backward,omitempty"`
+	Forward  *markov.Chain `json:"forward,omitempty"`
+}
+
+// Bundle is the wire artifact: the models, the content-hash revision,
+// and an optional detached signature over the revision.
+type Bundle struct {
+	// Revision is the lowercase hex SHA-256 of the canonical JSON
+	// encoding of Models. It is recomputed and checked on every load —
+	// a bundle whose content does not hash to its revision is rejected
+	// before any signature check.
+	Revision string `json:"revision"`
+	// Models is the named model set.
+	Models map[string]Model `json:"models"`
+	// Signature is the hex Ed25519 signature over the revision's raw
+	// digest bytes (not the hex string), when the bundle is signed.
+	Signature string `json:"signature,omitempty"`
+}
+
+// Revision computes the content-hash revision of a model set: SHA-256
+// over the canonical JSON encoding (Go marshals map keys sorted, so
+// the encoding is deterministic for a given content).
+func Revision(models map[string]Model) (string, error) {
+	digest, err := revisionDigest(models)
+	if err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(digest), nil
+}
+
+// revisionDigest returns the raw digest the signature covers.
+func revisionDigest(models map[string]Model) ([]byte, error) {
+	canonical, err := json.Marshal(models)
+	if err != nil {
+		return nil, fmt.Errorf("bundle: encoding models: %w", err)
+	}
+	sum := sha256.Sum256(canonical)
+	return sum[:], nil
+}
+
+// Build assembles a bundle from a model set, computing the revision
+// and, when priv is non-nil, signing it.
+func Build(models map[string]Model, priv ed25519.PrivateKey) (*Bundle, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("bundle: empty model set")
+	}
+	digest, err := revisionDigest(models)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bundle{Revision: hex.EncodeToString(digest), Models: models}
+	if priv != nil {
+		b.Signature = hex.EncodeToString(ed25519.Sign(priv, digest))
+	}
+	return b, nil
+}
+
+// Verify checks the bundle's integrity: the revision must equal the
+// content hash, and — when pub is non-nil — the signature must verify
+// under it. A consumer configured with a public key therefore rejects
+// unsigned bundles; a consumer without one checks content integrity
+// only.
+func (b *Bundle) Verify(pub ed25519.PublicKey) error {
+	if len(b.Models) == 0 {
+		return fmt.Errorf("bundle: empty model set")
+	}
+	digest, err := revisionDigest(b.Models)
+	if err != nil {
+		return err
+	}
+	if got := hex.EncodeToString(digest); got != b.Revision {
+		return fmt.Errorf("bundle: revision %s does not match content hash %s", b.Revision, got)
+	}
+	if pub == nil {
+		return nil
+	}
+	if b.Signature == "" {
+		return fmt.Errorf("bundle: revision %s is unsigned but a verification key is configured", b.Revision)
+	}
+	sig, err := hex.DecodeString(b.Signature)
+	if err != nil {
+		return fmt.Errorf("bundle: decoding signature: %w", err)
+	}
+	if !ed25519.Verify(pub, digest, sig) {
+		return fmt.Errorf("bundle: revision %s signature does not verify", b.Revision)
+	}
+	return nil
+}
+
+// AdversaryModels converts the bundle's models to the stream package's
+// form, ready for ModelCache.ActivateNamed.
+func (b *Bundle) AdversaryModels() map[string]stream.AdversaryModel {
+	out := make(map[string]stream.AdversaryModel, len(b.Models))
+	for name, m := range b.Models {
+		out[name] = stream.AdversaryModel{Backward: m.Backward, Forward: m.Forward}
+	}
+	return out
+}
+
+// Parse decodes and integrity-checks a bundle (signature checked only
+// when pub is non-nil).
+func Parse(data []byte, pub ed25519.PublicKey) (*Bundle, error) {
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("bundle: decoding: %w", err)
+	}
+	if err := b.Verify(pub); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}

@@ -1,0 +1,282 @@
+package bundle
+
+import (
+	"context"
+	"crypto/ed25519"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/plugins/manager"
+	"repro/internal/stream"
+)
+
+// maxBundleBytes bounds a fetched bundle (64 MiB: thousands of
+// moderate transition matrices; anything bigger is a config mistake,
+// not a model set).
+const maxBundleBytes = 64 << 20
+
+// Config drives the polling plugin.
+type Config struct {
+	// URL is the bundle endpoint (required).
+	URL string
+	// PublicKey, when non-nil, requires every fetched bundle to carry a
+	// valid Ed25519 signature. Without it only content hashes are
+	// checked.
+	PublicKey ed25519.PublicKey
+	// Poll is the long-poll hold time sent as ?timeout= once a revision
+	// is cached (default 30s).
+	Poll time.Duration
+	// MinBackoff/MaxBackoff bound the jittered exponential backoff
+	// after fetch failures (defaults 500ms / 30s).
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+	// Client overrides the HTTP client (tests; default has a timeout
+	// comfortably above Poll).
+	Client *http.Client
+}
+
+// withDefaults fills the zero fields.
+func (c Config) withDefaults() Config {
+	if c.Poll <= 0 {
+		c.Poll = 30 * time.Second
+	}
+	if c.MinBackoff <= 0 {
+		c.MinBackoff = 500 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 30 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: c.Poll + 30*time.Second}
+	}
+	return c
+}
+
+// Plugin polls a bundle server and activates verified bundles into the
+// shared model cache. Activation is atomic (ModelCache.ActivateNamed):
+// sessions created before a swap keep the engines they resolved,
+// sessions created after resolve against the new revision, and no
+// request ever sees half a bundle.
+type Plugin struct {
+	cache *stream.ModelCache
+
+	mu          sync.Mutex
+	cfg         Config
+	state       string
+	lastErr     string
+	revision    string // last revision this plugin activated
+	activations int
+	lastSuccess time.Time
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewPlugin creates the bundle plugin activating into cache.
+func NewPlugin(cache *stream.ModelCache, cfg Config) (*Plugin, error) {
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("bundle: plugin needs a bundle URL")
+	}
+	return &Plugin{cache: cache, cfg: cfg.withDefaults(), state: "registered"}, nil
+}
+
+// Name implements manager.Plugin.
+func (p *Plugin) Name() string { return "bundle" }
+
+// Start launches the polling loop.
+func (p *Plugin) Start(ctx context.Context) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cancel != nil {
+		return fmt.Errorf("bundle: already started")
+	}
+	ctx, p.cancel = context.WithCancel(ctx)
+	p.done = make(chan struct{})
+	p.state = "running"
+	go p.loop(ctx, p.done)
+	return nil
+}
+
+// Stop ends the polling loop, waiting for it (bounded by ctx).
+func (p *Plugin) Stop(ctx context.Context) {
+	p.mu.Lock()
+	cancel, done := p.cancel, p.done
+	p.cancel, p.done = nil, nil
+	if p.state == "running" {
+		p.state = "stopped"
+	}
+	p.mu.Unlock()
+	if cancel == nil {
+		return
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+}
+
+// Reconfigure accepts a new Config (URL, key, intervals) and applies
+// it to the next poll. Implements manager.Reconfigurable.
+func (p *Plugin) Reconfigure(cfg any) error {
+	c, ok := cfg.(Config)
+	if !ok {
+		return fmt.Errorf("bundle: reconfigure wants a bundle.Config, got %T", cfg)
+	}
+	if c.URL == "" {
+		return fmt.Errorf("bundle: plugin needs a bundle URL")
+	}
+	p.mu.Lock()
+	p.cfg = c.withDefaults()
+	p.mu.Unlock()
+	return nil
+}
+
+// Status implements manager.Plugin.
+func (p *Plugin) Status() manager.Status {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := manager.Status{State: p.state, Message: p.lastErr, Detail: map[string]any{
+		"url":         p.cfg.URL,
+		"revision":    p.revision,
+		"activations": p.activations,
+		"signed":      p.cfg.PublicKey != nil,
+	}}
+	if !p.lastSuccess.IsZero() {
+		st.Detail["last_success"] = p.lastSuccess.UTC().Format(time.RFC3339Nano)
+	}
+	return st
+}
+
+// Revision returns the last revision the plugin activated.
+func (p *Plugin) Revision() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.revision
+}
+
+// loop is the polling goroutine: fetch (long-polling once a revision
+// is cached), verify, activate; jittered exponential backoff on any
+// failure so a broken bundle server sees a trickle, not a stampede.
+func (p *Plugin) loop(ctx context.Context, done chan struct{}) {
+	defer close(done)
+	backoff := time.Duration(0)
+	for {
+		p.mu.Lock()
+		cfg, etag := p.cfg, p.revision
+		p.mu.Unlock()
+		changed, err := p.fetchOnce(ctx, cfg, etag)
+		switch {
+		case ctx.Err() != nil:
+			return
+		case err != nil:
+			if backoff == 0 {
+				backoff = cfg.MinBackoff
+			} else {
+				backoff = min(backoff*2, cfg.MaxBackoff)
+			}
+			p.mu.Lock()
+			p.lastErr = err.Error()
+			p.state = "error"
+			p.mu.Unlock()
+			// Full jitter: sleep U(0, backoff]. Decorrelates a fleet of
+			// pollers recovering from one server outage.
+			sleep := time.Duration(rand.Int63n(int64(backoff))) + time.Millisecond
+			select {
+			case <-time.After(sleep):
+			case <-ctx.Done():
+				return
+			}
+		default:
+			backoff = 0
+			p.mu.Lock()
+			p.lastErr = ""
+			p.state = "running"
+			p.lastSuccess = time.Now()
+			p.mu.Unlock()
+			if !changed && etag == "" {
+				// Nothing published yet and no long-poll hold happened
+				// (no ETag to wait on): pace the retry.
+				select {
+				case <-time.After(cfg.MinBackoff):
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}
+}
+
+// fetchOnce performs one conditional GET. With a cached revision it
+// long-polls (the server holds the request until the bundle changes or
+// cfg.Poll lapses); a 200 verifies and activates. changed reports
+// whether a new revision was activated.
+func (p *Plugin) fetchOnce(ctx context.Context, cfg Config, etag string) (changed bool, err error) {
+	url := cfg.URL
+	if etag != "" {
+		sep := "?"
+		if containsQuery(url) {
+			sep = "&"
+		}
+		url += sep + "timeout=" + cfg.Poll.String()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false, err
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return false, nil
+	case http.StatusNotFound:
+		// The server is up but has no bundle yet — not an error worth
+		// backing off hard for; treated as "no change".
+		return false, nil
+	case http.StatusOK:
+	default:
+		return false, fmt.Errorf("bundle: %s returned %s", cfg.URL, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBundleBytes+1))
+	if err != nil {
+		return false, err
+	}
+	if len(body) > maxBundleBytes {
+		return false, fmt.Errorf("bundle: payload exceeds %d bytes", maxBundleBytes)
+	}
+	b, err := Parse(body, cfg.PublicKey)
+	if err != nil {
+		return false, err
+	}
+	if b.Revision == etag {
+		return false, nil
+	}
+	// Activation compiles new chains through the content cache here, on
+	// the plugin goroutine, then swaps the table atomically.
+	p.cache.ActivateNamed(b.Revision, b.AdversaryModels())
+	p.mu.Lock()
+	p.revision = b.Revision
+	p.activations++
+	p.mu.Unlock()
+	return true, nil
+}
+
+// containsQuery reports whether a URL already carries a query string.
+func containsQuery(url string) bool {
+	for i := 0; i < len(url); i++ {
+		if url[i] == '?' {
+			return true
+		}
+	}
+	return false
+}

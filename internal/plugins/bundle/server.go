@@ -1,0 +1,121 @@
+package bundle
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// maxLongPoll caps how long the server holds a long-poll request open.
+const maxLongPoll = 60 * time.Second
+
+// Server serves one bundle over HTTP with ETag caching and long-poll:
+// the distribution side of the management plane, used by cmd/tplbundle
+// and by tests. GET returns the bundle with `ETag: <revision>`; a
+// request carrying `If-None-Match: <revision>` gets 304 immediately —
+// or, with `?timeout=<duration>`, is held open until the bundle
+// changes or the timeout lapses, which is what lets pollers pick up a
+// new revision in milliseconds without hammering the endpoint.
+type Server struct {
+	mu     sync.Mutex
+	raw    []byte // marshaled bundle
+	rev    string
+	change chan struct{} // closed when the bundle changes; then replaced
+}
+
+// NewServer creates a server with no bundle (GET returns 404 until
+// SetBundle).
+func NewServer() *Server {
+	return &Server{change: make(chan struct{})}
+}
+
+// SetBundle publishes a bundle, waking every held long-poll. The
+// bundle is integrity-checked first so a serving mistake cannot
+// distribute a bundle consumers would reject.
+func (s *Server) SetBundle(b *Bundle) error {
+	if err := b.Verify(nil); err != nil {
+		return err
+	}
+	raw, err := json.Marshal(b)
+	if err != nil {
+		return fmt.Errorf("bundle: encoding: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b.Revision == s.rev {
+		return nil // same content; don't wake pollers for nothing
+	}
+	s.raw, s.rev = raw, b.Revision
+	close(s.change)
+	s.change = make(chan struct{})
+	return nil
+}
+
+// Revision returns the served revision ("" before the first SetBundle).
+func (s *Server) Revision() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rev
+}
+
+// snapshot returns the current payload and the channel that signals
+// the next change.
+func (s *Server) snapshot() (raw []byte, rev string, change chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.raw, s.rev, s.change
+}
+
+// ServeHTTP implements the bundle endpoint.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	raw, rev, change := s.snapshot()
+	// Long-poll: the client already has this revision and asked to wait
+	// for the next one.
+	if match := r.Header.Get("If-None-Match"); match != "" && match == rev {
+		wait := time.Duration(0)
+		if v := r.URL.Query().Get("timeout"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				if secs, serr := strconv.Atoi(v); serr == nil {
+					d, err = time.Duration(secs)*time.Second, nil
+				}
+			}
+			if err != nil || d < 0 {
+				http.Error(w, "bad timeout", http.StatusBadRequest)
+				return
+			}
+			wait = min(d, maxLongPoll)
+		}
+		if wait > 0 {
+			timer := time.NewTimer(wait)
+			defer timer.Stop()
+			select {
+			case <-change:
+				raw, rev, _ = s.snapshot()
+			case <-timer.C:
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if rev == match {
+			w.Header().Set("ETag", rev)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	if rev == "" {
+		http.Error(w, "no bundle published", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", rev)
+	w.Write(raw)
+}

@@ -1,0 +1,307 @@
+// Package logs implements the decision-log plugin: a bounded, batched,
+// gzip'd NDJSON sink for the service's accounting decisions. Every
+// ingestion outcome (service.Decision) is one JSON line; lines are
+// batched, compressed, and shipped to an upload endpoint or appended
+// to a local spool file. The sink never blocks the ingest hot path: a
+// full buffer drops the record and counts the drop, because a privacy
+// accountant that stalls ingestion to save an audit line has its
+// priorities inverted — the drop counter is the honest record of the
+// gap.
+package logs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/plugins/manager"
+	"repro/internal/service"
+)
+
+// Config drives the decision-log plugin. Exactly one of UploadURL and
+// SpoolPath must be set.
+type Config struct {
+	// UploadURL receives each batch as a POST with Content-Type
+	// application/x-ndjson and Content-Encoding gzip.
+	UploadURL string
+	// SpoolPath appends each batch to a local file as one gzip member
+	// (concatenated members decode as one stream).
+	SpoolPath string
+	// Buffer is the in-flight record capacity; past it, records are
+	// dropped and counted (default 4096).
+	Buffer int
+	// Batch is the flush threshold in records (default 256).
+	Batch int
+	// FlushInterval bounds how long a partial batch waits (default 2s).
+	FlushInterval time.Duration
+	// Client overrides the upload HTTP client (tests).
+	Client *http.Client
+}
+
+// withDefaults fills the zero fields.
+func (c Config) withDefaults() Config {
+	if c.Buffer <= 0 {
+		c.Buffer = 4096
+	}
+	if c.Batch <= 0 {
+		c.Batch = 256
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 2 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return c
+}
+
+// validate checks the sink destination.
+func (c Config) validate() error {
+	if (c.UploadURL == "") == (c.SpoolPath == "") {
+		return fmt.Errorf("logs: exactly one of upload URL and spool path must be set")
+	}
+	return nil
+}
+
+// Plugin is the decision-log sink. It implements service.DecisionSink
+// (Record) and manager.Plugin; wire it with Registry.SetDecisionSink.
+type Plugin struct {
+	ch       chan service.Decision
+	recorded atomic.Int64
+	dropped  atomic.Int64
+
+	mu       sync.Mutex
+	cfg      Config
+	state    string
+	lastErr  string
+	batches  int64 // flushed batches
+	shipped  int64 // records in them
+	failures int64 // failed flushes (their records are lost and counted dropped)
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewPlugin creates the decision-log plugin.
+func NewPlugin(cfg Config) (*Plugin, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	return &Plugin{ch: make(chan service.Decision, cfg.Buffer), cfg: cfg, state: "registered"}, nil
+}
+
+// Record implements service.DecisionSink: one non-blocking channel
+// send; a full buffer drops the record and counts it.
+func (p *Plugin) Record(d service.Decision) {
+	select {
+	case p.ch <- d:
+		p.recorded.Add(1)
+	default:
+		p.dropped.Add(1)
+	}
+}
+
+// Name implements manager.Plugin.
+func (p *Plugin) Name() string { return "decision_logs" }
+
+// Start launches the batching loop.
+func (p *Plugin) Start(ctx context.Context) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cancel != nil {
+		return fmt.Errorf("logs: already started")
+	}
+	ctx, p.cancel = context.WithCancel(ctx)
+	p.done = make(chan struct{})
+	p.state = "running"
+	go p.loop(ctx, p.done)
+	return nil
+}
+
+// Stop ends the loop, flushing everything already buffered (bounded by
+// ctx).
+func (p *Plugin) Stop(ctx context.Context) {
+	p.mu.Lock()
+	cancel, done := p.cancel, p.done
+	p.cancel, p.done = nil, nil
+	if p.state == "running" {
+		p.state = "stopped"
+	}
+	p.mu.Unlock()
+	if cancel == nil {
+		return
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+}
+
+// Status implements manager.Plugin.
+func (p *Plugin) Status() manager.Status {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	detail := map[string]any{
+		"recorded":       p.recorded.Load(),
+		"dropped":        p.dropped.Load(),
+		"batches":        p.batches,
+		"shipped":        p.shipped,
+		"flush_failures": p.failures,
+		"batch_size":     p.cfg.Batch,
+	}
+	if p.cfg.UploadURL != "" {
+		detail["upload_url"] = p.cfg.UploadURL
+	}
+	if p.cfg.SpoolPath != "" {
+		detail["spool_path"] = p.cfg.SpoolPath
+	}
+	return manager.Status{State: p.state, Message: p.lastErr, Detail: detail}
+}
+
+// Dropped returns the count of decisions lost to a full buffer.
+func (p *Plugin) Dropped() int64 { return p.dropped.Load() }
+
+// Reconfigure accepts a new Config. The buffer capacity is fixed at
+// construction (records in flight must not be lost to a resize);
+// destination, batch size and flush interval apply to the next flush.
+func (p *Plugin) Reconfigure(cfg any) error {
+	c, ok := cfg.(Config)
+	if !ok {
+		return fmt.Errorf("logs: reconfigure wants a logs.Config, got %T", cfg)
+	}
+	if err := c.validate(); err != nil {
+		return err
+	}
+	c = c.withDefaults()
+	p.mu.Lock()
+	c.Buffer = p.cfg.Buffer
+	p.cfg = c
+	p.mu.Unlock()
+	return nil
+}
+
+// loop drains the channel into batches and flushes on size or timer.
+// On cancellation it drains whatever is already buffered and flushes
+// once more, so a graceful stop loses nothing that Record accepted.
+func (p *Plugin) loop(ctx context.Context, done chan struct{}) {
+	defer close(done)
+	var batch []service.Decision
+	p.mu.Lock()
+	interval := p.cfg.FlushInterval
+	p.mu.Unlock()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		p.flush(batch)
+		batch = batch[:0]
+	}
+	for {
+		p.mu.Lock()
+		size := p.cfg.Batch
+		p.mu.Unlock()
+		select {
+		case d := <-p.ch:
+			batch = append(batch, d)
+			if len(batch) >= size {
+				flush()
+			}
+		case <-ticker.C:
+			flush()
+		case <-ctx.Done():
+			for {
+				select {
+				case d := <-p.ch:
+					batch = append(batch, d)
+					continue
+				default:
+				}
+				break
+			}
+			flush()
+			return
+		}
+	}
+}
+
+// flush encodes one batch as gzip'd NDJSON and ships it. A failed
+// flush loses the batch: its records move to the dropped count so the
+// totals stay honest.
+func (p *Plugin) flush(batch []service.Decision) {
+	p.mu.Lock()
+	cfg := p.cfg
+	p.mu.Unlock()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	enc := json.NewEncoder(zw) // Encode appends the newline: NDJSON
+	var err error
+	for _, d := range batch {
+		if err = enc.Encode(d); err != nil {
+			break
+		}
+	}
+	if cerr := zw.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		if cfg.UploadURL != "" {
+			err = upload(cfg, buf.Bytes())
+		} else {
+			err = spool(cfg.SpoolPath, buf.Bytes())
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err != nil {
+		p.failures++
+		p.lastErr = err.Error()
+		p.dropped.Add(int64(len(batch)))
+		return
+	}
+	p.lastErr = ""
+	p.batches++
+	p.shipped += int64(len(batch))
+}
+
+// upload POSTs one compressed batch.
+func upload(cfg Config, gz []byte) error {
+	req, err := http.NewRequest(http.MethodPost, cfg.UploadURL, bytes.NewReader(gz))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("logs: upload to %s returned %s", cfg.UploadURL, resp.Status)
+	}
+	return nil
+}
+
+// spool appends one gzip member to the spool file.
+func spool(path string, gz []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(gz)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

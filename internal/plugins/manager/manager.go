@@ -1,0 +1,163 @@
+// Package manager hosts the service's management-plane plugins: small
+// background components (bundle polling, decision logging, status
+// reporting) with a shared lifecycle — init → start → reconfigure →
+// graceful stop — driven by the declarative config file tplserved
+// loads at boot. The manager is deliberately ignorant of what a plugin
+// does; it owns ordering, failure unwinding, and the aggregated status
+// the healthz endpoint reports.
+package manager
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Plugin is one managed component. Implementations must make Start
+// non-blocking (spawn goroutines, return), Stop idempotent and bounded
+// by the context, and Status safe to call from any goroutine at any
+// lifecycle stage.
+type Plugin interface {
+	// Name identifies the plugin in status reports and reconfiguration.
+	Name() string
+	// Start begins background work. An error fails the whole manager
+	// start (already-started plugins are stopped).
+	Start(ctx context.Context) error
+	// Stop gracefully ends background work, flushing whatever the
+	// plugin buffers, bounded by ctx.
+	Stop(ctx context.Context)
+	// Status reports the plugin's current state.
+	Status() Status
+}
+
+// Reconfigurable is implemented by plugins that accept runtime
+// reconfiguration. The config value's concrete type is plugin-specific;
+// a plugin rejects types it does not understand.
+type Reconfigurable interface {
+	Reconfigure(cfg any) error
+}
+
+// Status is one plugin's health digest, embedded in the healthz
+// "plugins" block.
+type Status struct {
+	// State is "registered", "running", "stopped" or "error".
+	State string `json:"state"`
+	// Message carries the last error in state "error".
+	Message string `json:"message,omitempty"`
+	// Detail is plugin-specific (bundle revision, dropped decisions,
+	// last report time, ...).
+	Detail map[string]any `json:"detail,omitempty"`
+}
+
+// Manager owns an ordered set of plugins. Registration happens before
+// Start; Start and Stop bracket the serving lifetime; StatusAll is safe
+// throughout.
+type Manager struct {
+	mu      sync.Mutex
+	order   []Plugin
+	byName  map[string]Plugin
+	started bool
+}
+
+// New creates an empty manager.
+func New() *Manager {
+	return &Manager{byName: make(map[string]Plugin)}
+}
+
+// Register adds a plugin. Registration order is start order (and the
+// reverse is stop order, so later plugins may depend on earlier ones).
+// Duplicate names and registration after Start are errors.
+func (m *Manager) Register(p Plugin) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return fmt.Errorf("plugins: cannot register %q after start", p.Name())
+	}
+	if _, dup := m.byName[p.Name()]; dup {
+		return fmt.Errorf("plugins: duplicate plugin %q", p.Name())
+	}
+	m.byName[p.Name()] = p
+	m.order = append(m.order, p)
+	return nil
+}
+
+// Plugin returns a registered plugin by name.
+func (m *Manager) Plugin(name string) (Plugin, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.byName[name]
+	return p, ok
+}
+
+// Names lists the registered plugins in start order.
+func (m *Manager) Names() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, len(m.order))
+	for i, p := range m.order {
+		out[i] = p.Name()
+	}
+	return out
+}
+
+// Start starts every plugin in registration order. The first failure
+// stops the already-started plugins in reverse order and reports which
+// plugin failed; the manager is then restartable.
+func (m *Manager) Start(ctx context.Context) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return fmt.Errorf("plugins: already started")
+	}
+	for i, p := range m.order {
+		if err := p.Start(ctx); err != nil {
+			for j := i - 1; j >= 0; j-- {
+				m.order[j].Stop(ctx)
+			}
+			return fmt.Errorf("plugins: starting %q: %w", p.Name(), err)
+		}
+	}
+	m.started = true
+	return nil
+}
+
+// Stop stops every plugin in reverse registration order, bounded by
+// ctx. Idempotent.
+func (m *Manager) Stop(ctx context.Context) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.started {
+		return
+	}
+	for i := len(m.order) - 1; i >= 0; i-- {
+		m.order[i].Stop(ctx)
+	}
+	m.started = false
+}
+
+// Reconfigure hands a new config value to the named plugin. Unknown
+// names and plugins without runtime reconfiguration are errors.
+func (m *Manager) Reconfigure(name string, cfg any) error {
+	p, ok := m.Plugin(name)
+	if !ok {
+		return fmt.Errorf("plugins: no plugin %q", name)
+	}
+	rc, ok := p.(Reconfigurable)
+	if !ok {
+		return fmt.Errorf("plugins: plugin %q does not support reconfiguration", name)
+	}
+	return rc.Reconfigure(cfg)
+}
+
+// StatusAll aggregates every plugin's status, keyed by name — the
+// healthz "plugins" block.
+func (m *Manager) StatusAll() map[string]Status {
+	m.mu.Lock()
+	plugins := append([]Plugin(nil), m.order...)
+	m.mu.Unlock()
+	out := make(map[string]Status, len(plugins))
+	for _, p := range plugins {
+		out[p.Name()] = p.Status()
+	}
+	return out
+}

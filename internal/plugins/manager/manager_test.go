@@ -1,0 +1,101 @@
+package manager
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// fakePlugin records lifecycle calls into a shared trace.
+type fakePlugin struct {
+	name     string
+	trace    *[]string
+	startErr error
+	cfg      any
+}
+
+func (f *fakePlugin) Name() string { return f.name }
+func (f *fakePlugin) Start(ctx context.Context) error {
+	*f.trace = append(*f.trace, "start:"+f.name)
+	return f.startErr
+}
+func (f *fakePlugin) Stop(ctx context.Context) { *f.trace = append(*f.trace, "stop:"+f.name) }
+func (f *fakePlugin) Status() Status           { return Status{State: "running"} }
+func (f *fakePlugin) Reconfigure(cfg any) error {
+	f.cfg = cfg
+	return nil
+}
+
+func TestManagerLifecycle(t *testing.T) {
+	var trace []string
+	m := New()
+	for _, name := range []string{"a", "b", "c"} {
+		if err := m.Register(&fakePlugin{name: name, trace: &trace}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Register(&fakePlugin{name: "b", trace: &trace}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	ctx := context.Background()
+	if err := m.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(ctx); err == nil {
+		t.Fatal("double start accepted")
+	}
+	if err := m.Register(&fakePlugin{name: "d", trace: &trace}); err == nil {
+		t.Fatal("registration after start accepted")
+	}
+	st := m.StatusAll()
+	if len(st) != 3 || st["a"].State != "running" {
+		t.Fatalf("StatusAll %+v", st)
+	}
+	m.Stop(ctx)
+	m.Stop(ctx) // idempotent
+	want := []string{"start:a", "start:b", "start:c", "stop:c", "stop:b", "stop:a"}
+	if fmt.Sprint(trace) != fmt.Sprint(want) {
+		t.Fatalf("trace %v, want %v", trace, want)
+	}
+}
+
+func TestManagerStartFailureUnwinds(t *testing.T) {
+	var trace []string
+	m := New()
+	m.Register(&fakePlugin{name: "a", trace: &trace})
+	m.Register(&fakePlugin{name: "b", trace: &trace, startErr: fmt.Errorf("boom")})
+	m.Register(&fakePlugin{name: "c", trace: &trace})
+	err := m.Start(context.Background())
+	if err == nil {
+		t.Fatal("start succeeded past a failing plugin")
+	}
+	// a started and was unwound; c never started.
+	want := []string{"start:a", "start:b", "stop:a"}
+	if fmt.Sprint(trace) != fmt.Sprint(want) {
+		t.Fatalf("trace %v, want %v", trace, want)
+	}
+	// The manager is restartable after the failure is fixed.
+	trace = trace[:0]
+	p, _ := m.Plugin("b")
+	p.(*fakePlugin).startErr = nil
+	if err := m.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	m.Stop(context.Background())
+}
+
+func TestManagerReconfigure(t *testing.T) {
+	var trace []string
+	m := New()
+	p := &fakePlugin{name: "a", trace: &trace}
+	m.Register(p)
+	if err := m.Reconfigure("a", 42); err != nil {
+		t.Fatal(err)
+	}
+	if p.cfg != 42 {
+		t.Fatalf("cfg %v", p.cfg)
+	}
+	if err := m.Reconfigure("ghost", 1); err == nil {
+		t.Fatal("unknown plugin reconfigured")
+	}
+}

@@ -1,0 +1,304 @@
+// Package plugincfg is the declarative configuration of tplserved's
+// management plane: the schema of the -config file, its validation
+// (usable standalone via -validate-config), the single place where
+// flag-vs-config precedence is enforced, and the factory that turns a
+// parsed file into a running plugin manager. It is the only package
+// that imports both the service and every plugin — the service itself
+// stays ignorant of plugins, and plugins stay ignorant of each other.
+package plugincfg
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/plugins/bundle"
+	"repro/internal/plugins/logs"
+	"repro/internal/plugins/manager"
+	"repro/internal/plugins/status"
+	"repro/internal/service"
+)
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("2s", "500ms") — the config file's only duration spelling; bare
+// numbers are rejected so a config can never be ambiguous about units.
+type Duration time.Duration
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("durations are strings like \"30s\" or \"500ms\", got %s", b)
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return err
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// File is the tplserved config file. Every server flag has a
+// counterpart here; flags set explicitly on the command line override
+// the file (ApplyFlags), and the file overrides the built-in defaults
+// (Default) — that one sentence is the whole precedence story.
+type File struct {
+	// Addr is the listen address.
+	Addr string `json:"addr,omitempty"`
+	// Quiet suppresses serving logs.
+	Quiet bool `json:"quiet,omitempty"`
+	// StateDir enables durable accounting (empty = ephemeral).
+	StateDir string `json:"state_dir,omitempty"`
+	// SnapshotEvery is the snapshot coalescing interval in steps.
+	SnapshotEvery int `json:"snapshot_every,omitempty"`
+	// JournalSync is "none", "group" or "step".
+	JournalSync string `json:"journal_sync,omitempty"`
+	// JournalWindow bounds the group-commit latency window.
+	JournalWindow Duration `json:"journal_window,omitempty"`
+	// Plugins configures the management-plane plugins; a section that
+	// is absent leaves that plugin off.
+	Plugins Plugins `json:"plugins,omitempty"`
+}
+
+// Plugins is the per-plugin configuration block.
+type Plugins struct {
+	Bundle       *Bundle       `json:"bundle,omitempty"`
+	DecisionLogs *DecisionLogs `json:"decision_logs,omitempty"`
+	Status       *Status       `json:"status,omitempty"`
+}
+
+// Bundle configures the bundle-polling plugin.
+type Bundle struct {
+	// URL is the bundle endpoint (required).
+	URL string `json:"url"`
+	// PublicKey is the hex Ed25519 verification key; when set, every
+	// bundle must carry a valid signature.
+	PublicKey string `json:"public_key,omitempty"`
+	// Poll is the long-poll hold time.
+	Poll Duration `json:"poll,omitempty"`
+	// MinBackoff/MaxBackoff bound the failure backoff.
+	MinBackoff Duration `json:"min_backoff,omitempty"`
+	MaxBackoff Duration `json:"max_backoff,omitempty"`
+}
+
+// DecisionLogs configures the decision-log plugin.
+type DecisionLogs struct {
+	// UploadURL and SpoolPath are the two sink destinations; exactly
+	// one must be set.
+	UploadURL string `json:"upload_url,omitempty"`
+	SpoolPath string `json:"spool_path,omitempty"`
+	// Buffer is the in-flight record capacity.
+	Buffer int `json:"buffer,omitempty"`
+	// Batch is the flush threshold in records.
+	Batch int `json:"batch,omitempty"`
+	// FlushInterval bounds how long a partial batch waits.
+	FlushInterval Duration `json:"flush_interval,omitempty"`
+}
+
+// Status configures the status plugin.
+type Status struct {
+	// Interval is the reporting period.
+	Interval Duration `json:"interval,omitempty"`
+	// UploadURL, when set, receives each report as JSON.
+	UploadURL string `json:"upload_url,omitempty"`
+}
+
+// Default returns the built-in configuration — the single source of
+// every tplserved default (the flag declarations take theirs from
+// here).
+func Default() File {
+	return File{
+		Addr:        ":8344",
+		JournalSync: string(service.JournalSyncGroup),
+	}
+}
+
+// Load reads a config file over the defaults: absent keys keep their
+// Default values, unknown keys are errors (a typoed key silently doing
+// nothing is the worst failure mode a config can have).
+func Load(path string) (File, error) {
+	f := Default()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return f, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if dec.More() {
+		return f, fmt.Errorf("parsing %s: trailing data after the config object", path)
+	}
+	return f, nil
+}
+
+// Validate checks the configuration and returns every problem found
+// (nil means valid). The -validate-config mode prints this list.
+func (f *File) Validate() []string {
+	var problems []string
+	bad := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	if f.Addr == "" {
+		bad("addr: must not be empty")
+	}
+	if f.SnapshotEvery < 0 {
+		bad("snapshot_every: must not be negative, got %d", f.SnapshotEvery)
+	}
+	if f.JournalSync != "" {
+		if _, err := service.ParseJournalSyncMode(f.JournalSync); err != nil {
+			bad("journal_sync: %v", err)
+		}
+	}
+	if f.JournalWindow < 0 {
+		bad("journal_window: must not be negative")
+	}
+	if b := f.Plugins.Bundle; b != nil {
+		if b.URL == "" {
+			bad("plugins.bundle.url: required")
+		}
+		if b.PublicKey != "" {
+			if _, err := parsePublicKey(b.PublicKey); err != nil {
+				bad("plugins.bundle.public_key: %v", err)
+			}
+		}
+		for name, d := range map[string]Duration{"poll": b.Poll, "min_backoff": b.MinBackoff, "max_backoff": b.MaxBackoff} {
+			if d < 0 {
+				bad("plugins.bundle.%s: must not be negative", name)
+			}
+		}
+	}
+	if l := f.Plugins.DecisionLogs; l != nil {
+		if (l.UploadURL == "") == (l.SpoolPath == "") {
+			bad("plugins.decision_logs: exactly one of upload_url and spool_path must be set")
+		}
+		if l.Buffer < 0 || l.Batch < 0 {
+			bad("plugins.decision_logs: buffer and batch must not be negative")
+		}
+		if l.FlushInterval < 0 {
+			bad("plugins.decision_logs.flush_interval: must not be negative")
+		}
+	}
+	if s := f.Plugins.Status; s != nil {
+		if s.Interval < 0 {
+			bad("plugins.status.interval: must not be negative")
+		}
+	}
+	return problems
+}
+
+// parsePublicKey decodes a hex Ed25519 public key.
+func parsePublicKey(s string) (ed25519.PublicKey, error) {
+	key, err := hex.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("not hex: %v", err)
+	}
+	if len(key) != ed25519.PublicKeySize {
+		return nil, fmt.Errorf("want %d bytes, got %d", ed25519.PublicKeySize, len(key))
+	}
+	return ed25519.PublicKey(key), nil
+}
+
+// ApplyFlags overlays explicitly-set command-line flags onto the file:
+// the one place flag-vs-config precedence lives. Only flags the user
+// actually passed win (fs.Visit enumerates exactly those); defaults
+// never shadow the file.
+func (f *File) ApplyFlags(fs *flag.FlagSet, addr *string, quiet *bool, stateDir *string, snapshotEvery *int, journalSync *string, journalWindow *time.Duration) {
+	fs.Visit(func(fl *flag.Flag) {
+		switch fl.Name {
+		case "addr":
+			f.Addr = *addr
+		case "quiet":
+			f.Quiet = *quiet
+		case "state-dir":
+			f.StateDir = *stateDir
+		case "snapshot-every":
+			f.SnapshotEvery = *snapshotEvery
+		case "journal-sync":
+			f.JournalSync = *journalSync
+		case "journal-window":
+			f.JournalWindow = Duration(*journalWindow)
+		}
+	})
+}
+
+// Options converts the file to the service's serving options.
+func (f *File) Options() service.Options {
+	return service.Options{
+		StateDir:      f.StateDir,
+		SnapshotEvery: f.SnapshotEvery,
+		JournalSync:   f.JournalSync,
+		JournalWindow: time.Duration(f.JournalWindow),
+	}
+}
+
+// BuildPlugins constructs the configured plugins into a manager wired
+// to the registry: the bundle plugin activates into the registry's
+// model cache, the decision-log plugin is attached as the registry's
+// decision sink, and the status plugin reads the registry. Plugins
+// start in registration order — bundle first, so models are available
+// as early as possible; status last, so its first report sees the
+// rest. A file configuring no plugins yields an empty (still
+// startable) manager.
+func (f *File) BuildPlugins(reg *service.Registry) (*manager.Manager, error) {
+	m := manager.New()
+	if bc := f.Plugins.Bundle; bc != nil {
+		cfg := bundle.Config{
+			URL:        bc.URL,
+			Poll:       time.Duration(bc.Poll),
+			MinBackoff: time.Duration(bc.MinBackoff),
+			MaxBackoff: time.Duration(bc.MaxBackoff),
+		}
+		if bc.PublicKey != "" {
+			key, err := parsePublicKey(bc.PublicKey)
+			if err != nil {
+				return nil, fmt.Errorf("plugincfg: plugins.bundle.public_key: %w", err)
+			}
+			cfg.PublicKey = key
+		}
+		p, err := bundle.NewPlugin(reg.ModelCache(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Register(p); err != nil {
+			return nil, err
+		}
+	}
+	if lc := f.Plugins.DecisionLogs; lc != nil {
+		p, err := logs.NewPlugin(logs.Config{
+			UploadURL:     lc.UploadURL,
+			SpoolPath:     lc.SpoolPath,
+			Buffer:        lc.Buffer,
+			Batch:         lc.Batch,
+			FlushInterval: time.Duration(lc.FlushInterval),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Register(p); err != nil {
+			return nil, err
+		}
+		reg.SetDecisionSink(p)
+	}
+	if sc := f.Plugins.Status; sc != nil {
+		p := status.NewPlugin(reg, status.Config{
+			Interval:  time.Duration(sc.Interval),
+			UploadURL: sc.UploadURL,
+		})
+		if err := m.Register(p); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

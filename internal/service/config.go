@@ -24,9 +24,17 @@ func randomSeed() (int64, error) {
 // (stream.AdversaryModel): either chain may be absent, and a model with
 // both absent is the traditional DP adversary. Chains use the markov
 // package's JSON encoding ({"rows": [[...], ...]}).
+//
+// Instead of inline chains, a model may name one from the active model
+// bundle with Ref ({"ref": "road"}). Refs are resolved once, at
+// session creation, against the bundle revision active at that moment
+// — the resolved chains are inlined into the persisted config, so a
+// crash recovery rebuilds the session the bundle it was created from,
+// not whatever is active at restore time.
 type ModelConfig struct {
 	Backward *markov.Chain `json:"backward,omitempty"`
 	Forward  *markov.Chain `json:"forward,omitempty"`
+	Ref      string        `json:"ref,omitempty"`
 }
 
 func (m ModelConfig) adversary() stream.AdversaryModel {
@@ -66,6 +74,12 @@ type SessionConfig struct {
 	Users   int            `json:"users,omitempty"`
 	Models  []ModelConfig  `json:"models,omitempty"`
 	Cohorts []CohortConfig `json:"cohorts,omitempty"`
+
+	// ModelRevision records the bundle revision model refs resolved
+	// from. It is set by the server during resolution (a client-supplied
+	// value is overwritten) and rides the persisted config so restores
+	// and summaries report the provenance of the session's models.
+	ModelRevision string `json:"model_revision,omitempty"`
 
 	// Noise is "laplace" (default) or "geometric".
 	Noise string `json:"noise,omitempty"`
@@ -138,6 +152,11 @@ func (c *SessionConfig) population() int {
 // models expands the population declaration into one adversary model
 // per user.
 func (c *SessionConfig) models() ([]stream.AdversaryModel, error) {
+	if refs := c.modelRefs(); len(refs) > 0 {
+		// Build without a preceding resolveRefs (Registry.Create does it;
+		// a bare Build cannot — it has no bundle to resolve against).
+		return nil, fmt.Errorf("%w: unresolved model ref %q", ErrModelNotFound, refs[0].Ref)
+	}
 	if c.Domain > maxDomain {
 		return nil, fmt.Errorf("service: domain %d exceeds the per-session limit %d", c.Domain, maxDomain)
 	}
@@ -195,6 +214,65 @@ func (c *SessionConfig) models() ([]stream.AdversaryModel, error) {
 		}
 		return make([]stream.AdversaryModel, c.Users), nil
 	}
+}
+
+// modelRefs collects pointers to every ModelConfig in the population
+// declaration (and the plan override) that names a bundle model.
+func (c *SessionConfig) modelRefs() []*ModelConfig {
+	var refs []*ModelConfig
+	add := func(m *ModelConfig) {
+		if m.Ref != "" {
+			refs = append(refs, m)
+		}
+	}
+	for i := range c.Models {
+		add(&c.Models[i])
+	}
+	for i := range c.Cohorts {
+		add(&c.Cohorts[i].Model)
+	}
+	if c.Plan != nil && c.Plan.Model != nil {
+		add(c.Plan.Model)
+	}
+	return refs
+}
+
+// resolveRefs rewrites every bundle-model ref in the config to the
+// chains it names in the cache's active named revision, recording that
+// revision in ModelRevision. All refs resolve against one revision (a
+// single atomic read), even while a bundle activation races. With no
+// refs the config is untouched and ModelRevision is cleared — the
+// field is server-assigned, never client-supplied.
+func (c *SessionConfig) resolveRefs(cache *stream.ModelCache) error {
+	refs := c.modelRefs()
+	c.ModelRevision = ""
+	if len(refs) == 0 {
+		return nil
+	}
+	names := make([]string, len(refs))
+	for i, m := range refs {
+		if m.Backward != nil || m.Forward != nil {
+			return fmt.Errorf("service: model declares both ref %q and inline chains; pick one", m.Ref)
+		}
+		names[i] = m.Ref
+	}
+	if cache == nil {
+		return fmt.Errorf("%w: no model bundle active (refs %v)", ErrModelNotFound, names)
+	}
+	revision, models, missing := cache.ResolveNamed(names)
+	if missing != nil {
+		if revision == "" {
+			return fmt.Errorf("%w: no model bundle active (refs %v)", ErrModelNotFound, missing)
+		}
+		return fmt.Errorf("%w: bundle revision %s has no model %v", ErrModelNotFound, revision, missing)
+	}
+	for i, m := range refs {
+		m.Ref = ""
+		m.Backward = models[i].Backward
+		m.Forward = models[i].Forward
+	}
+	c.ModelRevision = revision
+	return nil
 }
 
 // firstModel returns the first user's adversary model without

@@ -42,6 +42,12 @@ type API struct {
 	// connections cannot stall http.Server.Shutdown.
 	watchStop     chan struct{}
 	watchStopOnce sync.Once
+
+	// pluginHealth, when set, contributes the healthz "plugins" block.
+	// The seam is a plain closure so the service layer never imports the
+	// plugin packages; the plugin manager installs its StatusAll here.
+	pluginMu     sync.RWMutex
+	pluginHealth func() any
 }
 
 // NewAPI creates an API over a fresh registry.
@@ -184,17 +190,35 @@ type healthResponse struct {
 	Users         int               `json:"users"`
 	UptimeSeconds float64           `json:"uptime_seconds"`
 	Persistence   PersistenceHealth `json:"persistence"`
+	// Plugins reports the plugin manager's per-plugin status (absent
+	// when no manager is attached — see SetPluginHealth).
+	Plugins any `json:"plugins,omitempty"`
+}
+
+// SetPluginHealth installs (or, with nil, removes) the provider of the
+// healthz "plugins" block. Safe to call while serving.
+func (a *API) SetPluginHealth(f func() any) {
+	a.pluginMu.Lock()
+	a.pluginHealth = f
+	a.pluginMu.Unlock()
 }
 
 func (a *API) health(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthResponse{
+	resp := healthResponse{
 		Status:        "ok",
 		Version:       version.String(),
 		Sessions:      a.reg.Len(),
 		Users:         a.reg.Users(),
 		UptimeSeconds: a.reg.now().Sub(a.started).Seconds(),
 		Persistence:   a.reg.PersistenceHealth(),
-	})
+	}
+	a.pluginMu.RLock()
+	ph := a.pluginHealth
+	a.pluginMu.RUnlock()
+	if ph != nil {
+		resp.Plugins = ph()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // postSnapshot forces an immediate durable snapshot of one session and

@@ -149,19 +149,32 @@ func batchHash(steps []stream.BatchStep) [32]byte {
 func (s *Session) CollectBatch(key string, steps []stream.BatchStep) (results []stream.StepResult, replayed bool, err error) {
 	s.stepMu.Lock()
 	defer s.stepMu.Unlock()
+	// One atomic load decides whether this batch is audited; the
+	// disabled path pays nothing else (decision.go).
+	sink := s.decisionSink()
 	var hash [32]byte
 	if key != "" {
 		hash = batchHash(steps)
 		if rec, ok := s.idem.get(key); ok {
 			if rec.Hash != hash {
-				return nil, false, fmt.Errorf("%w: key %q", errIdemConflict, key)
+				err := fmt.Errorf("%w: key %q", errIdemConflict, key)
+				if sink != nil {
+					s.recordRefusal(sink, len(steps), key, err)
+				}
+				return nil, false, err
 			}
 			res, err := s.recordedResults(rec)
+			if err == nil && sink != nil {
+				s.recordReplay(sink, rec.FirstT, rec.lastT(), key)
+			}
 			return res, true, err
 		}
 	}
 	results, err = s.srv.CollectBatch(steps)
 	if err != nil {
+		if sink != nil {
+			s.recordRefusal(sink, len(steps), key, err)
+		}
 		return nil, false, err
 	}
 	var rec *idemRecord
@@ -175,6 +188,16 @@ func (s *Session) CollectBatch(key string, steps []stream.BatchStep) (results []
 	}
 	s.persistBatch(results, rec)
 	s.notifyStepsLocked(results)
+	if sink != nil {
+		epsSum, epsMax := 0.0, 0.0
+		for _, r := range results {
+			epsSum += r.Eps
+			if r.Eps > epsMax {
+				epsMax = r.Eps
+			}
+		}
+		s.recordSteps(sink, results[0].T, results[len(results)-1].T, epsSum, epsMax, len(results), key)
+	}
 	return results, false, nil
 }
 

@@ -512,6 +512,8 @@ func (r *Registry) restoreOne(store *persist.Store, name string) error {
 		created:        st.Created,
 		srv:            srv,
 		now:            r.now,
+		sink:           &r.decisions,
+		modelRevision:  cfg.ModelRevision,
 		store:          store,
 		cfgJSON:        st.ConfigJSON,
 		snapshotEvery:  every,

@@ -49,6 +49,10 @@ const (
 	// CodeIdempotencyConflict: an Idempotency-Key was reused with a
 	// different request body.
 	CodeIdempotencyConflict = "idempotency_conflict"
+	// CodeModelNotFound: a session config referenced a named bundle
+	// model that the active bundle revision does not carry (or no bundle
+	// is active). Retry after the right bundle activates.
+	CodeModelNotFound = "model_not_found"
 	// CodeInternal: the service failed; nothing was wrong with the
 	// request.
 	CodeInternal = "internal"
@@ -80,8 +84,13 @@ var problemTitles = map[string]string{
 	CodeUnsupportedFormat:   "unsupported format",
 	CodePayloadTooLarge:     "payload too large",
 	CodeIdempotencyConflict: "idempotency key conflict",
+	CodeModelNotFound:       "bundle model not found",
 	CodeInternal:            "internal error",
 }
+
+// ErrModelNotFound tags a session config referencing a bundle model
+// the active revision does not carry.
+var ErrModelNotFound = errors.New("service: bundle model not found")
 
 // errIdemConflict tags idempotency-key reuse with a different body.
 var errIdemConflict = errors.New("service: idempotency key reused with a different request body")
@@ -107,6 +116,11 @@ func classify(err error) (status int, code string) {
 		return http.StatusConflict, CodeSnapshotUnavailable
 	case errors.Is(err, errIdemConflict):
 		return http.StatusUnprocessableEntity, CodeIdempotencyConflict
+	case errors.Is(err, ErrModelNotFound):
+		// 409, not 404: the request names no missing resource path — it
+		// conflicts with the server's current bundle state, and the same
+		// request can succeed once the right revision activates.
+		return http.StatusConflict, CodeModelNotFound
 	case errors.As(err, &tooBig):
 		return http.StatusRequestEntityTooLarge, CodePayloadTooLarge
 	case errors.As(err, &invalid), errors.Is(err, stream.ErrBadServerState):

@@ -70,6 +70,13 @@ type Session struct {
 	idem idemCache
 	// watch fans live step frames out to SSE subscribers (watch.go).
 	watch watchHub
+
+	// sink points at the registry's decision-sink slot (decision.go);
+	// nil for sessions built without a registry. modelRevision is the
+	// bundle revision the session's model refs resolved from, pinned at
+	// creation and persisted with the config.
+	sink          *atomic.Pointer[sinkBox]
+	modelRevision string
 }
 
 // Name returns the session's registry key.
@@ -108,16 +115,23 @@ func (s *Session) CollectPlanned(values []int) ([]float64, int, float64, error) 
 
 // Summary is the API's session digest.
 type Summary struct {
-	Name        string    `json:"name"`
-	Domain      int       `json:"domain"`
-	Users       int       `json:"users"`
-	Cohorts     int       `json:"cohorts"`
-	T           int       `json:"t"`
-	Noise       string    `json:"noise"`
-	Sensitivity float64   `json:"sensitivity"`
-	HasPlan     bool      `json:"has_plan"`
-	PlanStep    int       `json:"plan_step,omitempty"`
-	Created     time.Time `json:"created"`
+	Name        string  `json:"name"`
+	Domain      int     `json:"domain"`
+	Users       int     `json:"users"`
+	Cohorts     int     `json:"cohorts"`
+	T           int     `json:"t"`
+	Noise       string  `json:"noise"`
+	Sensitivity float64 `json:"sensitivity"`
+	HasPlan     bool    `json:"has_plan"`
+	PlanStep    int     `json:"plan_step,omitempty"`
+	// PlanHorizon is the attached plan's finite horizon (0 when
+	// horizonless or no plan): PlanStep/PlanHorizon is the budget
+	// pressure the status plugin reports.
+	PlanHorizon int `json:"plan_horizon,omitempty"`
+	// ModelRevision is the bundle revision the session's models were
+	// resolved from (empty for inline-configured sessions).
+	ModelRevision string    `json:"model_revision,omitempty"`
+	Created       time.Time `json:"created"`
 	// Persistence reports snapshot/journal health; absent in ephemeral
 	// mode.
 	Persistence *PersistInfo `json:"persistence,omitempty"`
@@ -126,17 +140,19 @@ type Summary struct {
 // Summary captures the session's current state.
 func (s *Session) Summary() Summary {
 	return Summary{
-		Name:        s.name,
-		Domain:      s.srv.Domain(),
-		Users:       s.srv.Users(),
-		Cohorts:     s.srv.Cohorts(),
-		T:           s.srv.T(),
-		Noise:       noiseName(s.srv.Noise()),
-		Sensitivity: s.srv.Sensitivity(),
-		HasPlan:     s.srv.HasPlan(),
-		PlanStep:    s.srv.PlanStep(),
-		Created:     s.created,
-		Persistence: s.persistInfo(),
+		Name:          s.name,
+		Domain:        s.srv.Domain(),
+		Users:         s.srv.Users(),
+		Cohorts:       s.srv.Cohorts(),
+		T:             s.srv.T(),
+		Noise:         noiseName(s.srv.Noise()),
+		Sensitivity:   s.srv.Sensitivity(),
+		HasPlan:       s.srv.HasPlan(),
+		PlanStep:      s.srv.PlanStep(),
+		PlanHorizon:   s.srv.PlanHorizon(),
+		ModelRevision: s.modelRevision,
+		Created:       s.created,
+		Persistence:   s.persistInfo(),
 	}
 }
 
@@ -170,6 +186,10 @@ type Registry struct {
 	capacity   int              // aggregate population ceiling; lowered in tests
 	now        func() time.Time // injectable for tests
 	models     *stream.ModelCache
+	// decisions is the attached decision sink (decision.go); sessions
+	// load through a pointer to this slot, so SetDecisionSink reaches
+	// every live session without touching any per-session lock.
+	decisions atomic.Pointer[sinkBox]
 
 	// Durability wiring (persistence.go); boot-time configuration
 	// guarded by pmu, nil store means ephemeral mode.
@@ -261,11 +281,20 @@ func (r *Registry) Create(cfg *SessionConfig) (*Session, error) {
 	if pop := cfg.population(); r.totalUsers.Load()+int64(pop) > int64(r.capacity) {
 		return nil, fmt.Errorf("%w: %d users in use, %d requested, limit %d", ErrCapacity, r.Users(), pop, r.capacity)
 	}
+	// Bundle refs resolve here, against the active named revision, and
+	// the config is rewritten in place to the resolved inline chains.
+	// Everything downstream — the build, and crucially the persisted
+	// cfgJSON — sees only resolved models, so a crash recovery rebuilds
+	// exactly what was created even if a different bundle is active by
+	// then.
+	if err := cfg.resolveRefs(r.models); err != nil {
+		return nil, err
+	}
 	srv, err := cfg.BuildCached(r.models)
 	if err != nil {
 		return nil, err
 	}
-	s := &Session{name: cfg.Name, created: r.now(), srv: srv, now: r.now}
+	s := &Session{name: cfg.Name, created: r.now(), srv: srv, now: r.now, sink: &r.decisions, modelRevision: cfg.ModelRevision}
 	// The session is inserted before its persistence is initialized, so
 	// a concurrent create of the same name loses cleanly at the map —
 	// never by overwriting the winner's files. Holding stepMu across the

@@ -308,6 +308,50 @@ func (s *Server) LeakageAt(t int) (LeakagePoint, error) {
 	return p, nil
 }
 
+// CohortLeakage is one cohort's leakage digest at a time point: the
+// shared accountant's TPL with its backward and forward components,
+// attributed to the cohort's smallest member id. The decision-log hook
+// embeds one per cohort in each audit record.
+type CohortLeakage struct {
+	Cohort    int
+	FirstUser int
+	TPL       float64
+	BPL       float64
+	FPL       float64
+}
+
+// CohortLeakages computes every cohort's leakage digest at 1-based
+// time t — K accountant queries, K = distinct adversary models, so the
+// cost matches one step of accounting, not the population size. FPL
+// values reflect all releases observed so far (Eq. 10 recomputes
+// forward leakage backward from the stream tail), so querying an older
+// t reports that step's leakage as currently known.
+func (s *Server) CohortLeakages(t int) ([]CohortLeakage, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if t < 1 || t > len(s.budgets) {
+		return nil, fmt.Errorf("stream: time %d out of range [1,%d]", t, len(s.budgets))
+	}
+	out := make([]CohortLeakage, len(s.cohorts))
+	for i, c := range s.cohorts {
+		c.mu.Lock()
+		tpl, err := c.acc.TPL(t)
+		var bpl, fpl float64
+		if err == nil {
+			bpl, err = c.acc.BPL(t)
+		}
+		if err == nil {
+			fpl, err = c.acc.FPL(t)
+		}
+		c.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("stream: cohort %d leakage at t=%d: %w", i, t, err)
+		}
+		out[i] = CohortLeakage{Cohort: i, FirstUser: c.firstUser, TPL: tpl, BPL: bpl, FPL: fpl}
+	}
+	return out, nil
+}
+
 // PublishedRange returns copies of the budgets and published
 // histograms for 1-based steps [from, to] under one lock acquisition —
 // the paginated read of the release history (per-step Budget+Published

@@ -295,6 +295,50 @@ func TestLeakageAt(t *testing.T) {
 	}
 }
 
+// TestCohortLeakages checks the per-cohort digest (the decision-log
+// payload) against direct per-user queries.
+func TestCohortLeakages(t *testing.T) {
+	srv := batchTestServer(t, 5)
+	e := 0.1
+	var batch []BatchStep
+	for i := 0; i < 4; i++ {
+		batch = append(batch, BatchStep{Values: []int{0, 1, 0, 1, 0}, Eps: &e})
+	}
+	if _, err := srv.CollectBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	leaks, err := srv.CohortLeakages(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// batchTestServer's five users share two distinct models, so the
+	// server folds them into two cohorts.
+	if len(leaks) != 2 {
+		t.Fatalf("%d cohorts, want 2", len(leaks))
+	}
+	for i, l := range leaks {
+		if l.Cohort != i {
+			t.Fatalf("cohort %d labelled %d", i, l.Cohort)
+		}
+		want, err := srv.UserTPL(l.FirstUser, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.TPL != want {
+			t.Fatalf("cohort %d: TPL %v != user %d's %v", i, l.TPL, l.FirstUser, want)
+		}
+		if got := l.BPL + l.FPL - e; math.Abs(got-l.TPL) > 1e-12 {
+			t.Fatalf("cohort %d: TPL %v != BPL+FPL-eps %v", i, l.TPL, got)
+		}
+	}
+	if _, err := srv.CohortLeakages(0); err == nil {
+		t.Fatal("CohortLeakages(0) accepted")
+	}
+	if _, err := srv.CohortLeakages(5); err == nil {
+		t.Fatal("CohortLeakages(5) accepted")
+	}
+}
+
 // TestUserTPLRange checks pagination slices against the full series.
 func TestUserTPLRange(t *testing.T) {
 	srv := batchTestServer(t, 4)

@@ -2,7 +2,9 @@ package stream
 
 import (
 	"crypto/sha256"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/markov"
@@ -31,6 +33,19 @@ type ModelCache struct {
 	cap    int
 	hits   int64
 	misses int64
+
+	// named is the active named-model set (nil until the first
+	// activation). Activations swap the whole pointer, so readers never
+	// observe a half-updated table — the hot-swap seam the bundle
+	// plugin drives (see internal/plugins/bundle).
+	named atomic.Pointer[namedSet]
+}
+
+// namedSet is one immutable revision of the named-model table. The map
+// is never mutated after Activate publishes it.
+type namedSet struct {
+	revision string
+	models   map[string]AdversaryModel
 }
 
 // NewModelCache creates an empty cache with the default capacity.
@@ -78,4 +93,79 @@ func (mc *ModelCache) Stats() ModelCacheStats {
 	mc.mu.Lock()
 	defer mc.mu.Unlock()
 	return ModelCacheStats{Size: len(mc.m), Hits: mc.hits, Misses: mc.misses}
+}
+
+// ActivateNamed atomically replaces the cache's named-model table with
+// a new revision. Names resolve against exactly one revision at a time:
+// a resolver running concurrently with an activation sees either the
+// whole old set or the whole new set, never a mix. Sessions built
+// before the swap keep the chain pointers (and compiled engines) they
+// resolved — activation changes what *future* resolutions see, it never
+// rebinds a live accountant; that is what makes bundle hot-swap safe
+// under live ingest.
+//
+// Every chain in the new set is compiled through the content-keyed
+// cache before the swap, so the first session to reference a new model
+// pays a map hit, not a compile — the activation (a background plugin
+// goroutine) absorbs the compile cost instead of an ingest request.
+// Chains whose content survives across revisions share the already
+// compiled engine.
+func (mc *ModelCache) ActivateNamed(revision string, models map[string]AdversaryModel) {
+	set := &namedSet{revision: revision, models: make(map[string]AdversaryModel, len(models))}
+	fps := make(map[*markov.Chain]string)
+	for name, m := range models {
+		mc.quantifier(m.Backward, chainFingerprint(m.Backward, fps))
+		mc.quantifier(m.Forward, chainFingerprint(m.Forward, fps))
+		set.models[name] = m
+	}
+	mc.named.Store(set)
+}
+
+// ResolveNamed resolves model names against the active named-model
+// revision in one atomic read: all names resolve against the same
+// revision even while an activation races. It returns the revision the
+// names resolved under, the resolved models (index-aligned with names),
+// and the names that did not resolve (nil on full success). With no
+// revision active every name is missing and the revision is empty.
+func (mc *ModelCache) ResolveNamed(names []string) (revision string, models []AdversaryModel, missing []string) {
+	set := mc.named.Load()
+	if set == nil {
+		return "", nil, append([]string(nil), names...)
+	}
+	models = make([]AdversaryModel, len(names))
+	for i, name := range names {
+		m, ok := set.models[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		models[i] = m
+	}
+	if missing != nil {
+		return set.revision, nil, missing
+	}
+	return set.revision, models, nil
+}
+
+// NamedRevision returns the active named-model revision ("" before the
+// first activation).
+func (mc *ModelCache) NamedRevision() string {
+	if set := mc.named.Load(); set != nil {
+		return set.revision
+	}
+	return ""
+}
+
+// NamedModels lists the active revision's model names, sorted.
+func (mc *ModelCache) NamedModels() []string {
+	set := mc.named.Load()
+	if set == nil {
+		return nil
+	}
+	out := make([]string, 0, len(set.models))
+	for name := range set.models {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }

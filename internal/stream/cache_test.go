@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/markov"
@@ -111,6 +112,126 @@ func TestModelCacheAcrossServers(t *testing.T) {
 	if a != b {
 		t.Fatalf("shared-model TPL diverged across servers: %v vs %v", a, b)
 	}
+}
+
+// TestActivateNamed covers the named-revision activation seam: atomic
+// swap semantics, one-revision-per-resolve, precompilation through the
+// content cache, and content sharing across revisions.
+func TestActivateNamed(t *testing.T) {
+	pb, pf := markov.Fig7Backward(), markov.Fig7Forward()
+	cache := NewModelCache()
+	if rev := cache.NamedRevision(); rev != "" {
+		t.Fatalf("fresh cache has named revision %q", rev)
+	}
+	if rev, _, missing := cache.ResolveNamed([]string{"road"}); rev != "" || len(missing) != 1 {
+		t.Fatalf("resolve before activation: rev=%q missing=%v", rev, missing)
+	}
+
+	cache.ActivateNamed("rev1", map[string]AdversaryModel{
+		"road": {Backward: pb, Forward: pf},
+		"none": {},
+	})
+	// Activation precompiled both chains.
+	if st := cache.Stats(); st.Misses != 2 {
+		t.Fatalf("activation compiled %d models, want 2 (stats %+v)", st.Misses, st)
+	}
+	rev, models, missing := cache.ResolveNamed([]string{"road", "none"})
+	if rev != "rev1" || missing != nil || len(models) != 2 {
+		t.Fatalf("resolve: rev=%q models=%d missing=%v", rev, len(models), missing)
+	}
+	if models[0].Backward != pb || models[0].Forward != pf || models[1].Backward != nil {
+		t.Fatalf("resolved models do not match activation")
+	}
+	if names := cache.NamedModels(); len(names) != 2 || names[0] != "none" || names[1] != "road" {
+		t.Fatalf("NamedModels = %v", names)
+	}
+	// A partially-missing resolve returns no models and the missing names.
+	if _, models, missing := cache.ResolveNamed([]string{"road", "ghost"}); models != nil || len(missing) != 1 || missing[0] != "ghost" {
+		t.Fatalf("partial resolve: models=%v missing=%v", models, missing)
+	}
+
+	// A server built from rev1's resolution keeps its chains after the
+	// table swaps to rev2 — activation never rebinds a live accountant.
+	_, res, _ := cache.ResolveNamed([]string{"road"})
+	s1, err := NewServerCached(pb.N(), 1, []AdversaryModel{res[0]}, rand.New(rand.NewSource(1)), cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses := cache.Stats().Misses
+	cache.ActivateNamed("rev2", map[string]AdversaryModel{
+		"road": {Backward: pf}, // new content for the name...
+		"map":  {Backward: pb}, // ...and rev1 content under a new name
+	})
+	if st := cache.Stats(); st.Misses != misses {
+		t.Fatalf("rev2 activation compiled %d new models, want 0 — both chains were already compiled (stats %+v)", st.Misses-misses, st)
+	}
+	if rev := cache.NamedRevision(); rev != "rev2" {
+		t.Fatalf("active revision %q, want rev2", rev)
+	}
+	if _, err := s1.Collect([]int{0}, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s1.UserTPL(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := core.NewAccountant(pb, pf) // rev1's model, the one s1 pinned
+	if _, err := acc.Observe(0.2); err != nil {
+		t.Fatal(err)
+	}
+	want, err := acc.TPL(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("pinned session TPL %v, want rev1 model's %v", got, want)
+	}
+}
+
+// TestActivateNamedRace races activations against resolutions and
+// checks every resolve sees a consistent revision (run under -race).
+func TestActivateNamedRace(t *testing.T) {
+	pb, pf := markov.Fig7Backward(), markov.Fig7Forward()
+	cache := NewModelCache()
+	cache.ActivateNamed("rev0", map[string]AdversaryModel{"a": {Backward: pb}, "b": {Backward: pf}})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rev := "rev1"
+			if i%2 == 0 {
+				rev = "rev2"
+			}
+			cache.ActivateNamed(rev, map[string]AdversaryModel{"a": {Backward: pb, Forward: pf}, "b": {}})
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				rev, models, missing := cache.ResolveNamed([]string{"a", "b"})
+				if missing != nil {
+					t.Errorf("resolve missing %v under revision %q", missing, rev)
+					return
+				}
+				if len(models) != 2 {
+					t.Errorf("resolve returned %d models", len(models))
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
 }
 
 // TestModelCacheSharedRace is the race test for compiled engines shared

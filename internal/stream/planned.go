@@ -50,6 +50,19 @@ func (s *Server) PlanStep() int {
 	return len(s.budgets) - s.planBase + 1
 }
 
+// PlanHorizon returns the attached plan's finite horizon in steps, or
+// 0 when no plan is attached or the plan is horizonless. Together with
+// PlanStep it is the budget-pressure signal the status plugin reports:
+// plan_step/horizon is how much of the planned budget is spent.
+func (s *Server) PlanHorizon() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.plan == nil {
+		return 0
+	}
+	return s.plan.Horizon()
+}
+
 // HasPlan reports whether a budget plan is attached.
 func (s *Server) HasPlan() bool {
 	s.mu.RLock()

@@ -57,6 +57,27 @@ func TestCollectPlannedUsesPlanBudgets(t *testing.T) {
 	}
 }
 
+// TestPlanHorizon checks the budget-pressure signal the status plugin
+// reports: 0 without a plan, the finite horizon with one.
+func TestPlanHorizon(t *testing.T) {
+	s, pb, pf := plannedServer(t)
+	if h := s.PlanHorizon(); h != 0 {
+		t.Fatalf("horizon %d with no plan, want 0", h)
+	}
+	plan, err := release.Quantified(pb, pf, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetPlan(plan)
+	if h := s.PlanHorizon(); h != 4 {
+		t.Fatalf("horizon %d, want 4", h)
+	}
+	s.SetPlan(nil)
+	if h := s.PlanHorizon(); h != 0 {
+		t.Fatalf("horizon %d after detach, want 0", h)
+	}
+}
+
 func TestCollectPlannedHorizonExhaustion(t *testing.T) {
 	s, pb, pf := plannedServer(t)
 	plan, err := release.Quantified(pb, pf, 1, 2)

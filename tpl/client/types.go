@@ -15,9 +15,14 @@ type Chain struct {
 
 // Model declares one adversary's temporal correlations; either chain
 // may be absent (both absent = the traditional DP adversary).
+// Alternatively Ref names a model from the server's active bundle
+// (management plane) instead of inlining chains; a ref is resolved
+// once, at session creation, against the bundle revision active at
+// that moment — later bundle activations never rebind the session.
 type Model struct {
 	Backward *Chain `json:"backward,omitempty"`
 	Forward  *Chain `json:"forward,omitempty"`
+	Ref      string `json:"ref,omitempty"`
 }
 
 // Cohort declares a block of users sharing one adversary model.
@@ -63,17 +68,21 @@ type PersistInfo struct {
 
 // Summary is the service's session digest.
 type Summary struct {
-	Name        string       `json:"name"`
-	Domain      int          `json:"domain"`
-	Users       int          `json:"users"`
-	Cohorts     int          `json:"cohorts"`
-	T           int          `json:"t"`
-	Noise       string       `json:"noise"`
-	Sensitivity float64      `json:"sensitivity"`
-	HasPlan     bool         `json:"has_plan"`
-	PlanStep    int          `json:"plan_step,omitempty"`
-	Created     time.Time    `json:"created"`
-	Persistence *PersistInfo `json:"persistence,omitempty"`
+	Name        string  `json:"name"`
+	Domain      int     `json:"domain"`
+	Users       int     `json:"users"`
+	Cohorts     int     `json:"cohorts"`
+	T           int     `json:"t"`
+	Noise       string  `json:"noise"`
+	Sensitivity float64 `json:"sensitivity"`
+	HasPlan     bool    `json:"has_plan"`
+	PlanStep    int     `json:"plan_step,omitempty"`
+	PlanHorizon int     `json:"plan_horizon,omitempty"`
+	// ModelRevision is the bundle revision the session's model refs
+	// resolved against at creation ("" when every model was inline).
+	ModelRevision string       `json:"model_revision,omitempty"`
+	Created       time.Time    `json:"created"`
+	Persistence   *PersistInfo `json:"persistence,omitempty"`
 }
 
 // Step is one time step of a batch: per-user Values or a pre-
@@ -125,14 +134,23 @@ type PersistenceHealth struct {
 	SessionsWithErrors     int      `json:"sessions_with_errors,omitempty"`
 }
 
-// Health is the GET /healthz response.
+// PluginStatus is one management-plane plugin's healthz block.
+type PluginStatus struct {
+	State   string         `json:"state"`
+	Message string         `json:"message,omitempty"`
+	Detail  map[string]any `json:"detail,omitempty"`
+}
+
+// Health is the GET /healthz response. Plugins is present only when
+// the server runs with a management-plane config.
 type Health struct {
-	Status        string            `json:"status"`
-	Version       string            `json:"version"`
-	Sessions      int               `json:"sessions"`
-	Users         int               `json:"users"`
-	UptimeSeconds float64           `json:"uptime_seconds"`
-	Persistence   PersistenceHealth `json:"persistence"`
+	Status        string                  `json:"status"`
+	Version       string                  `json:"version"`
+	Sessions      int                     `json:"sessions"`
+	Users         int                     `json:"users"`
+	UptimeSeconds float64                 `json:"uptime_seconds"`
+	Persistence   PersistenceHealth       `json:"persistence"`
+	Plugins       map[string]PluginStatus `json:"plugins,omitempty"`
 }
 
 // PublishedItem is one step of the paginated release history.
