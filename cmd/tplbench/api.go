@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"runtime"
 	"strconv"
@@ -94,18 +95,47 @@ func encodeStepJSON(key string, data []int, eps float64) []byte {
 	return buf.Bytes()
 }
 
-// postRaw sends one pre-encoded body and drains the response. minimal
-// asks the server for the batch-ack-only response (RFC 7240).
-func postRaw(hc *http.Client, url, contentType string, body []byte, minimal bool) error {
-	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+// poster sends pre-encoded bodies to one endpoint, re-using a URL
+// parsed once and a header map built once. http.NewRequest re-parses
+// the URL (a percent-escape scan) and allocates fresh headers on every
+// call — client-side overhead the harness would otherwise charge to
+// the server being measured. The transport treats URL and Header as
+// read-only, so sharing them across this poster's requests is safe
+// (contended mode gives each writer its own poster).
+type poster struct {
+	hc     *http.Client
+	u      *url.URL
+	header http.Header
+}
+
+// newPoster builds a poster for one endpoint. minimal asks the server
+// for the batch-ack-only response (RFC 7240).
+func newPoster(hc *http.Client, rawURL, contentType string, minimal bool) (*poster, error) {
+	u, err := url.Parse(rawURL)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	req.Header.Set("Content-Type", contentType)
+	h := http.Header{"Content-Type": []string{contentType}}
 	if minimal {
-		req.Header.Set("Prefer", "return=minimal")
+		h.Set("Prefer", "return=minimal")
 	}
-	resp, err := hc.Do(req)
+	return &poster{hc: hc, u: u, header: h}, nil
+}
+
+// post sends one pre-encoded body and drains the response.
+func (p *poster) post(body []byte) error {
+	req := &http.Request{
+		Method:        http.MethodPost,
+		URL:           p.u,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        p.header,
+		Host:          p.u.Host,
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)),
+	}
+	resp, err := p.hc.Do(req)
 	if err != nil {
 		return err
 	}
@@ -250,9 +280,13 @@ func runAPIBench(wr *report.Writer, seed int64, full bool, jsonPath string) erro
 		v1Bodies[i] = encodeStepJSON("values", values(), 0.1)
 		v1Steps[i] = 1
 	}
+	v1Post, err := newPoster(hc, base+"/v1/sessions/bench-v1/steps", "application/json", false)
+	if err != nil {
+		return err
+	}
 	res, err := runTimed(minWindow, v1Steps, func(i int) error {
 		landed["bench-v1"]++
-		return postRaw(hc, base+"/v1/sessions/bench-v1/steps", "application/json", v1Bodies[i], false)
+		return v1Post.post(v1Bodies[i])
 	})
 	if err != nil {
 		return fmt.Errorf("v1 step: %w", err)
@@ -266,9 +300,13 @@ func runAPIBench(wr *report.Writer, seed int64, full bool, jsonPath string) erro
 	}
 	vBatch := 48 // a values batch is ~10 MB; keep bodies modest
 	vBodies := [][]byte{ndjsonBody("values", vBatch, values)}
+	vPost, err := newPoster(hc, base+"/v2/sessions/bench-v2v/steps", "application/x-ndjson", false)
+	if err != nil {
+		return err
+	}
 	res, err = runTimed(minWindow, []int{vBatch}, func(i int) error {
 		landed["bench-v2v"] += vBatch
-		return postRaw(hc, base+"/v2/sessions/bench-v2v/steps", "application/x-ndjson", vBodies[i], false)
+		return vPost.post(vBodies[i])
 	})
 	if err != nil {
 		return fmt.Errorf("v2 values batch: %w", err)
@@ -286,9 +324,13 @@ func runAPIBench(wr *report.Writer, seed int64, full bool, jsonPath string) erro
 		cBodies[i] = ndjsonBody("counts", batch, counts)
 		cSteps[i] = batch
 	}
+	cPost, err := newPoster(hc, base+"/v2/sessions/bench-v2c/steps", "application/x-ndjson", false)
+	if err != nil {
+		return err
+	}
 	res, err = runTimed(minWindow, cSteps, func(i int) error {
 		landed["bench-v2c"] += batch
-		return postRaw(hc, base+"/v2/sessions/bench-v2c/steps", "application/x-ndjson", cBodies[i], false)
+		return cPost.post(cBodies[i])
 	})
 	if err != nil {
 		return fmt.Errorf("v2 counts batch: %w", err)
@@ -300,9 +342,13 @@ func runAPIBench(wr *report.Writer, seed int64, full bool, jsonPath string) erro
 	if err := newSession("bench-v2m"); err != nil {
 		return err
 	}
+	mPost, err := newPoster(hc, base+"/v2/sessions/bench-v2m/steps", "application/x-ndjson", true)
+	if err != nil {
+		return err
+	}
 	res, err = runTimed(minWindow, cSteps, func(i int) error {
 		landed["bench-v2m"] += batch
-		return postRaw(hc, base+"/v2/sessions/bench-v2m/steps", "application/x-ndjson", cBodies[i], true)
+		return mPost.post(cBodies[i])
 	})
 	if err != nil {
 		return fmt.Errorf("v2 counts minimal batch: %w", err)
@@ -331,9 +377,13 @@ func runAPIBench(wr *report.Writer, seed int64, full bool, jsonPath string) erro
 		return err
 	}
 	api.Registry().SetDecisionSink(lp)
+	dPost, err := newPoster(hc, base+"/v2/sessions/bench-v2d/steps", "application/x-ndjson", true)
+	if err != nil {
+		return err
+	}
 	res, err = runTimed(minWindow, cSteps, func(i int) error {
 		landed["bench-v2d"] += batch
-		return postRaw(hc, base+"/v2/sessions/bench-v2d/steps", "application/x-ndjson", cBodies[i], true)
+		return dPost.post(cBodies[i])
 	})
 	api.Registry().SetDecisionSink(nil)
 	lp.Stop(ctx)
@@ -353,9 +403,13 @@ func runAPIBench(wr *report.Writer, seed int64, full bool, jsonPath string) erro
 	bigBatch := 1024
 	bBodies := [][]byte{ndjsonBody("counts", bigBatch, counts), ndjsonBody("counts", bigBatch, counts)}
 	bSteps := []int{bigBatch, bigBatch}
+	bPost, err := newPoster(hc, base+"/v2/sessions/bench-v2b/steps", "application/x-ndjson", true)
+	if err != nil {
+		return err
+	}
 	res, err = runTimed(minWindow, bSteps, func(i int) error {
 		landed["bench-v2b"] += bigBatch
-		return postRaw(hc, base+"/v2/sessions/bench-v2b/steps", "application/x-ndjson", bBodies[i], true)
+		return bPost.post(bBodies[i])
 	})
 	if err != nil {
 		return fmt.Errorf("v2 counts big batch: %w", err)
@@ -438,8 +492,16 @@ func runContended(hc *http.Client, c *client.Client, base string, newSession fun
 			return timedResult{}, err
 		}
 	}
+	posters := make(map[string]*poster, writers)
+	for _, name := range names {
+		p, err := newPoster(hc, base+"/v2/sessions/"+name+"/steps", "application/x-ndjson", true)
+		if err != nil {
+			return timedResult{}, err
+		}
+		posters[name] = p
+	}
 	post := func(name string, body []byte) error {
-		return postRaw(hc, base+"/v2/sessions/"+name+"/steps", "application/x-ndjson", body, true)
+		return posters[name].post(body)
 	}
 	// Untimed warmup: one body per writer, concurrently.
 	var wg sync.WaitGroup

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/enginecache"
 	"repro/internal/markov"
 	"repro/internal/matrix"
 	"repro/internal/report"
@@ -28,10 +29,17 @@ type enginePoint struct {
 	EvalNs      float64 `json:"eval_ns"`
 	NaiveEvalNs int64   `json:"naive_eval_ns"`
 	Speedup     float64 `json:"speedup_per_eval"`
-	Pairs       int     `json:"pairs"`
-	Curves      int     `json:"curves"`
-	Frontier    int     `json:"frontier"`
-	Segments    int     `json:"segments"`
+	// Warm-start columns: the on-disk engine cache's per-entry write
+	// and load cost, and how many times cheaper a load is than the
+	// compile it replaces. load is averaged over many repetitions —
+	// entries are tiny, so a single load sits at timer resolution.
+	CacheWriteNs int64   `json:"cache_write_ns"`
+	CacheLoadNs  int64   `json:"cache_load_ns"`
+	LoadSpeedup  float64 `json:"speedup_load_vs_compile"`
+	Pairs        int     `json:"pairs"`
+	Curves       int     `json:"curves"`
+	Frontier     int     `json:"frontier"`
+	Segments     int     `json:"segments"`
 }
 
 // engineBenchFile is the BENCH_engine.json document.
@@ -110,6 +118,41 @@ func engineBench(seed int64, n int, alpha float64) (enginePoint, error) {
 	if p.EvalNs > 0 {
 		p.Speedup = float64(p.NaiveEvalNs) / p.EvalNs
 	}
+
+	// Warm start: persist the compiled engine through the on-disk cache
+	// and measure the load that replaces a compile on the next boot.
+	// Load repetitions are high because a few-hundred-byte read plus
+	// decode is microseconds — far below one compile at any size.
+	dir, err := os.MkdirTemp("", "tplbench-enginecache-*")
+	if err != nil {
+		return enginePoint{}, err
+	}
+	defer os.RemoveAll(dir)
+	cache, err := enginecache.Open(dir)
+	if err != nil {
+		return enginePoint{}, err
+	}
+	hash := qt.ContentHash()
+	// Store is fsync-dominated, so one sample is all jitter: average a
+	// handful of overwrites (same temp-write/sync/rename path as the
+	// first store).
+	const writeReps = 8
+	start = time.Now()
+	for r := 0; r < writeReps; r++ {
+		cache.Store(hash, qt.Engine())
+	}
+	p.CacheWriteNs = time.Since(start).Nanoseconds() / writeReps
+	const loadReps = 50
+	start = time.Now()
+	for r := 0; r < loadReps; r++ {
+		if _, ok := cache.Load(hash, n); !ok {
+			return enginePoint{}, fmt.Errorf("engine bench: cache load failed for n=%d", n)
+		}
+	}
+	p.CacheLoadNs = time.Since(start).Nanoseconds() / loadReps
+	if p.CacheLoadNs > 0 {
+		p.LoadSpeedup = float64(p.CompileNs) / float64(p.CacheLoadNs)
+	}
 	return p, nil
 }
 
@@ -127,7 +170,7 @@ func runEngineBench(wr *report.Writer, seed int64, jsonPath string, sizes []int)
 	doc := engineBenchFile{
 		Benchmark: "engine",
 		Alpha:     alpha,
-		Note:      "compile_ns is the one-time cost per matrix; eval_ns is per Loss(alpha) after compilation; naive_eval_ns is the pre-refactor pair scan per evaluation",
+		Note:      "compile_ns is the one-time cost per matrix; eval_ns is per Loss(alpha) after compilation; naive_eval_ns is the pre-refactor pair scan per evaluation; cache_load_ns is the warm-start disk load that replaces compile_ns on restart",
 	}
 	for _, n := range sizes {
 		p, err := engineBench(seed, n, alpha)
@@ -147,7 +190,7 @@ func runEngineBench(wr *report.Writer, seed int64, jsonPath string, sizes []int)
 	}
 	tb := &report.Table{
 		Title:  fmt.Sprintf("Compiled-engine benchmark (alpha=%g)", alpha),
-		Header: []string{"n", "chain", "compile", "eval/op", "naive eval/op", "speedup", "segments"},
+		Header: []string{"n", "chain", "compile", "eval/op", "naive eval/op", "speedup", "cache write", "cache load", "load speedup", "segments"},
 	}
 	for _, p := range doc.Points {
 		tb.AddRow(
@@ -156,6 +199,9 @@ func runEngineBench(wr *report.Writer, seed int64, jsonPath string, sizes []int)
 			time.Duration(int64(p.EvalNs)).String(),
 			time.Duration(p.NaiveEvalNs).String(),
 			fmt.Sprintf("%.0fx", p.Speedup),
+			time.Duration(p.CacheWriteNs).String(),
+			time.Duration(p.CacheLoadNs).String(),
+			fmt.Sprintf("%.0fx", p.LoadSpeedup),
 			fmt.Sprintf("%d", p.Segments),
 		)
 	}

@@ -78,15 +78,16 @@ func main() {
 	// explicitly-set flags (plugincfg.ApplyFlags).
 	def := plugincfg.Default()
 	var (
-		configPath    = flag.String("config", "", "JSON config file (schema: internal/plugins/plugincfg); explicitly-set flags override it")
-		validateOnly  = flag.Bool("validate-config", false, "parse and validate -config, print every problem, and exit (non-zero when invalid)")
-		addr          = flag.String("addr", def.Addr, "listen address (host:port; port 0 picks a free port)")
-		quiet         = flag.Bool("quiet", def.Quiet, "suppress serving logs")
-		stateDir      = flag.String("state-dir", def.StateDir, "directory for durable session state (snapshots + step journals); empty = ephemeral, state dies with the process")
-		snapshotEvery = flag.Int("snapshot-every", def.SnapshotEvery, "steps between coalesced session snapshots (0 = default; journal records are appended every step regardless)")
-		journalSync   = flag.String("journal-sync", def.JournalSync, "journal durability: none (page-cache only), group (one fsync per commit group, bounded latency) or step (fsync every batch)")
-		journalWindow = flag.Duration("journal-window", time.Duration(def.JournalWindow), "group-commit latency window: how long an append may wait for companions before its fsync (0 = default)")
-		showVer       = flag.Bool("version", false, "print the build version and exit")
+		configPath     = flag.String("config", "", "JSON config file (schema: internal/plugins/plugincfg); explicitly-set flags override it")
+		validateOnly   = flag.Bool("validate-config", false, "parse and validate -config, print every problem, and exit (non-zero when invalid)")
+		addr           = flag.String("addr", def.Addr, "listen address (host:port; port 0 picks a free port)")
+		quiet          = flag.Bool("quiet", def.Quiet, "suppress serving logs")
+		stateDir       = flag.String("state-dir", def.StateDir, "directory for durable session state (snapshots + step journals); empty = ephemeral, state dies with the process")
+		snapshotEvery  = flag.Int("snapshot-every", def.SnapshotEvery, "steps between coalesced session snapshots (0 = default; journal records are appended every step regardless)")
+		journalSync    = flag.String("journal-sync", def.JournalSync, "journal durability: none (page-cache only), group (one fsync per commit group, bounded latency) or step (fsync every batch)")
+		journalWindow  = flag.Duration("journal-window", time.Duration(def.JournalWindow), "group-commit latency window: how long an append may wait for companions before its fsync (0 = default)")
+		engineCacheDir = flag.String("engine-cache-dir", def.EngineCacheDir, "directory for the on-disk compiled-engine cache: adversary models seen by any previous process warm-start instead of recompiling; empty = compile fresh every boot")
+		showVer        = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
 	if *showVer {
@@ -115,7 +116,7 @@ func main() {
 		fmt.Printf("tplserved: %s: config ok\n", *configPath)
 		return
 	}
-	cfg.ApplyFlags(flag.CommandLine, addr, quiet, stateDir, snapshotEvery, journalSync, journalWindow)
+	cfg.ApplyFlags(flag.CommandLine, addr, quiet, stateDir, snapshotEvery, journalSync, journalWindow, engineCacheDir)
 	if problems := cfg.Validate(); len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintf(os.Stderr, "tplserved: config: %s\n", p)

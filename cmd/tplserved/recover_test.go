@@ -31,6 +31,11 @@ import (
 func TestKillAndRecover(t *testing.T) {
 	bin := buildServed(t)
 	stateDir := t.TempDir()
+	// Both child runs share an on-disk engine cache, while the control
+	// run compiles fresh: the equality checks below therefore also pin
+	// down that a cache-loaded engine is bit-identical to a compile.
+	cacheDir := t.TempDir()
+	cacheFlags := []string{"-engine-cache-dir", cacheDir}
 	ctx := context.Background()
 
 	const (
@@ -67,7 +72,7 @@ func TestKillAndRecover(t *testing.T) {
 	key := func(b int) string { return fmt.Sprintf("crashy-batch-%d", b) }
 
 	// --- interrupted run, phase 1: serve, batch, SIGKILL ---
-	child, base := startChild(t, bin, stateDir)
+	child, base := startChild(t, bin, stateDir, cacheFlags...)
 	c1, err := client.New(base)
 	if err != nil {
 		t.Fatal(err)
@@ -90,7 +95,7 @@ func TestKillAndRecover(t *testing.T) {
 	_ = child.Wait()
 
 	// --- interrupted run, phase 2: restart on the same state dir ---
-	child2, base2 := startChild(t, bin, stateDir)
+	child2, base2 := startChild(t, bin, stateDir, cacheFlags...)
 	defer func() {
 		_ = child2.Process.Signal(syscall.SIGKILL)
 		_ = child2.Wait()
@@ -105,6 +110,16 @@ func TestKillAndRecover(t *testing.T) {
 	}
 	if health.Sessions != 1 || health.Persistence.Mode != "durable" {
 		t.Fatalf("restarted health: %+v", health)
+	}
+	// Cold-start-free restart: the restored session's two chains (one
+	// backward, one forward) must have loaded their compiled engines
+	// from the cache the first process wrote — hits with zero stores
+	// means no recompilation happened at all.
+	if health.EngineCache == nil {
+		t.Fatal("restarted health has no engine_cache block")
+	}
+	if health.EngineCache.Hits == 0 || health.EngineCache.Stores != 0 {
+		t.Fatalf("restart was not cold-start-free: %+v", *health.EngineCache)
 	}
 	// The client never heard back about batch 4 before the kill (as far
 	// as a real caller knows): retry it with the same key. The restored

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/chunked"
 	"repro/internal/markov"
 )
 
@@ -34,10 +35,14 @@ type lossQuantifier interface {
 // An Accountant is not safe for concurrent use.
 type Accountant struct {
 	qb, qf lossQuantifier
-	eps    []float64
-	bpl    []float64 // bpl[t], maintained incrementally
-	fpl    []float64 // cached FPL series for the first fplT observations
-	fplT   int       // observation count the fpl cache was computed at
+	// eps and bpl live for the session and grow every step; chunked
+	// storage makes the append O(1) with no memmove of the settled
+	// history (see internal/chunked — the hand-doubled slices they
+	// replace re-copied the whole multi-MB history on every doubling).
+	eps  chunked.Log[float64]
+	bpl  chunked.Log[float64] // bpl[t], maintained incrementally
+	fpl  []float64            // cached FPL series for the first fplT observations
+	fplT int                  // observation count the fpl cache was computed at
 
 	// Backward-loss memo: the last two (alpha, L(alpha)) evaluations.
 	// The BPL recurrence bpl[t] = L(bpl[t-1]) + eps[t] saturates under
@@ -89,24 +94,15 @@ func (a *Accountant) Observe(eps float64) (int, error) {
 	if err := CheckBudget(eps); err != nil {
 		return 0, err
 	}
-	// bpl and eps always grow in lockstep; doubling them by hand keeps
-	// total re-copying at ~2N bytes where append's large-slice growth
-	// factor would pay several times that — on a long-lived accountant
-	// the history is multi-MB and cold, and the memmove shows up as a
-	// top-line cost of batch ingest.
-	if len(a.eps) == cap(a.eps) {
-		a.eps = growDouble(a.eps)
-	}
-	if len(a.bpl) == cap(a.bpl) {
-		a.bpl = growDouble(a.bpl)
-	}
-	if len(a.bpl) == 0 {
-		a.bpl = append(a.bpl, eps)
+	// bpl and eps grow in lockstep into chunked tail slots: no append
+	// growth factor, no memmove of the settled history ever.
+	if n := a.bpl.Len(); n == 0 {
+		a.bpl.Append(eps)
 	} else {
-		a.bpl = append(a.bpl, a.backwardLoss(a.bpl[len(a.bpl)-1])+eps)
+		a.bpl.Append(a.backwardLoss(a.bpl.At(n-1)) + eps)
 	}
-	a.eps = append(a.eps, eps)
-	return len(a.eps), nil
+	a.eps.Append(eps)
+	return a.eps.Len(), nil
 }
 
 // backwardLoss evaluates the backward quantifier through the two-entry
@@ -130,24 +126,15 @@ func (a *Accountant) backwardLoss(alpha float64) float64 {
 	return v
 }
 
-// growDouble reallocates s at double capacity (matching length), for
-// hot-path slices where append's sublinear growth factor would re-copy
-// the history too often.
-func growDouble(s []float64) []float64 {
-	grown := make([]float64, len(s), max(64, 2*cap(s)))
-	copy(grown, s)
-	return grown
-}
-
 // T returns the number of releases observed so far.
-func (a *Accountant) T() int { return len(a.eps) }
+func (a *Accountant) T() int { return a.eps.Len() }
 
 // BPL returns the backward privacy leakage at 1-based time t.
 func (a *Accountant) BPL(t int) (float64, error) {
 	if err := a.checkT(t); err != nil {
 		return 0, err
 	}
-	return a.bpl[t-1], nil
+	return a.bpl.At(t - 1), nil
 }
 
 // FPL returns the forward privacy leakage at 1-based time t, as of the
@@ -161,8 +148,8 @@ func (a *Accountant) FPL(t int) (float64, error) {
 	// leakage is exactly its own budget. Skipping the refresh keeps
 	// per-step tail queries (the decision-log hook) O(1) instead of
 	// re-walking the history.
-	if t == len(a.eps) {
-		return a.eps[t-1], nil
+	if t == a.eps.Len() {
+		return a.eps.At(t - 1), nil
 	}
 	if err := a.refreshFPL(); err != nil {
 		return 0, err
@@ -181,43 +168,83 @@ func (a *Accountant) TPL(t int) (float64, error) {
 	// BPL) so the result stays bit-identical to the general formula and
 	// to the batch TPLSeries — x + e - e can differ from x in the last
 	// ULP, and every differential test here demands exact equality.
-	if t == len(a.eps) {
-		return a.bpl[t-1] + a.eps[t-1] - a.eps[t-1], nil
+	if t == a.eps.Len() {
+		e := a.eps.At(t - 1)
+		return a.bpl.At(t-1) + e - e, nil
 	}
 	if err := a.refreshFPL(); err != nil {
 		return 0, err
 	}
-	return a.bpl[t-1] + a.fpl[t-1] - a.eps[t-1], nil
+	return a.bpl.At(t-1) + a.fpl[t-1] - a.eps.At(t-1), nil
 }
 
 // MaxTPL returns the worst TPL across all time points so far: the
 // smallest alpha for which the release so far satisfies alpha-DP_T.
 func (a *Accountant) MaxTPL() (float64, error) {
-	if len(a.eps) == 0 {
+	T := a.eps.Len()
+	if T == 0 {
 		return 0, nil
 	}
 	if err := a.refreshFPL(); err != nil {
 		return 0, err
 	}
 	worst := math.Inf(-1)
-	for t := range a.eps {
-		if v := a.bpl[t] + a.fpl[t] - a.eps[t]; v > worst {
-			worst = v
+	// Walk chunk-by-chunk: one bounds check per chunk instead of three
+	// per element, and the arithmetic order matches the pre-chunk scan
+	// exactly (t ascending).
+	for ci, t := 0, 0; t < T; ci++ {
+		bc, ec := a.bpl.Chunk(ci), a.eps.Chunk(ci)
+		for i := range ec {
+			if v := bc[i] + a.fpl[t] - ec[i]; v > worst {
+				worst = v
+			}
+			t++
 		}
 	}
 	return worst, nil
 }
 
 // UserLevel returns the user-level leakage of everything released so far
-// (Corollary 1).
-func (a *Accountant) UserLevel() float64 { return UserLevelTPL(a.eps) }
+// (Corollary 1): the plain sequential sum of the budgets, accumulated in
+// step order exactly as UserLevelTPL sums a contiguous series.
+func (a *Accountant) UserLevel() float64 {
+	total := 0.0
+	for ci, n := 0, a.eps.Chunks(); ci < n; ci++ {
+		for _, e := range a.eps.Chunk(ci) {
+			total += e
+		}
+	}
+	return total
+}
 
-// WEvent returns the worst w-window leakage so far (Theorem 2).
+// WEvent returns the worst w-window leakage so far (Theorem 2). It
+// evaluates every length-w window with the same arithmetic WEventTPL
+// applies to contiguous series — the chunked walk only changes where
+// the loads come from, never the order they are added in.
 func (a *Accountant) WEvent(w int) (float64, error) {
 	if err := a.refreshFPL(); err != nil {
 		return 0, err
 	}
-	return WEventTPL(a.bpl, a.fpl, a.eps, w)
+	T := a.eps.Len()
+	if w < 1 || w > T {
+		return 0, fmt.Errorf("core: window w=%d out of range [1,%d]", w, T)
+	}
+	worst := 0.0
+	for start := 0; start+w <= T; start++ {
+		var v float64
+		if w == 1 {
+			v = EventLevelTPL(a.bpl.At(start), a.fpl[start], a.eps.At(start))
+		} else {
+			v = a.bpl.At(start) + a.fpl[start+w-1]
+			for t := start + 1; t < start+w-1; t++ {
+				v += a.eps.At(t)
+			}
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst, nil
 }
 
 // WindowTPL returns the leakage of the specific window {M_from, ...,
@@ -237,17 +264,23 @@ func (a *Accountant) WindowTPL(from, to int) (float64, error) {
 		return 0, err
 	}
 	if from == to {
-		return EventLevelTPL(a.bpl[from-1], a.fpl[from-1], a.eps[from-1]), nil
+		return EventLevelTPL(a.bpl.At(from-1), a.fpl[from-1], a.eps.At(from-1)), nil
 	}
-	return ComposeTPL(a.bpl[from-1], a.fpl[to-1], a.eps[from:to-1]), nil
+	// ComposeTPL's arithmetic order: first + last, then the middle
+	// budgets in step order.
+	total := a.bpl.At(from-1) + a.fpl[to-1]
+	for t := from; t < to-1; t++ {
+		total += a.eps.At(t)
+	}
+	return total, nil
 }
 
 // Budgets returns a copy of the per-step budgets observed so far.
-func (a *Accountant) Budgets() []float64 { return append([]float64(nil), a.eps...) }
+func (a *Accountant) Budgets() []float64 { return a.eps.CopyAll() }
 
 func (a *Accountant) checkT(t int) error {
-	if t < 1 || t > len(a.eps) {
-		return fmt.Errorf("core: time %d out of range [1,%d]", t, len(a.eps))
+	if t < 1 || t > a.eps.Len() {
+		return fmt.Errorf("core: time %d out of range [1,%d]", t, a.eps.Len())
 	}
 	return nil
 }
@@ -262,19 +295,19 @@ func (a *Accountant) checkT(t int) error {
 // is no input to reject; the error return is kept for symmetry with the
 // other accessors.
 func (a *Accountant) refreshFPL() error {
-	T := len(a.eps)
+	T := a.eps.Len()
 	if a.fplT == T {
 		return nil
 	}
 	old, oldT := a.fpl, a.fplT
 	fpl := make([]float64, T)
-	fpl[T-1] = a.eps[T-1]
+	fpl[T-1] = a.eps.At(T - 1)
 	for t := T - 2; t >= 0; t-- {
 		if t+1 < oldT && fpl[t+1] == old[t+1] {
 			copy(fpl[:t+1], old[:t+1])
 			break
 		}
-		fpl[t] = a.qf.LossValue(fpl[t+1]) + a.eps[t]
+		fpl[t] = a.qf.LossValue(fpl[t+1]) + a.eps.At(t)
 	}
 	a.fpl, a.fplT = fpl, T
 	return nil

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file gives the compiled engine a wire form so the compilation
+// can be cached across process restarts (internal/enginecache). The
+// engine is a pure function of chain content — compileRows is
+// deterministic — so a serialized engine keyed by the chain's content
+// hash is exactly as trustworthy as a fresh compile, provided the
+// decoder never accepts a structurally invalid envelope. Decoding
+// therefore re-validates every structural invariant compilation
+// guarantees; anything off loses to a recompile, never a panic.
+
+// engineWireVersion is bumped whenever the engine's compiled
+// representation changes meaning. Old cache entries then fail the
+// version check and fall back to a fresh compile — stale-on-upgrade is
+// a cache miss, not a correctness hazard.
+const engineWireVersion = 1
+
+// engineSegSize is the encoded size of one envelope segment: five
+// float64 (q, d, sumQ, sumD, alpha) plus two uint64 row indices.
+const engineSegSize = 7 * 8
+
+// engineHeaderSize is the encoded size before the segments: version
+// byte, n, the five stats counters, and the segment count.
+const engineHeaderSize = 1 + 7*8
+
+// MarshalBinary encodes the compiled engine: a version byte, the
+// state-space size, the compile statistics, and the envelope segments
+// as raw little-endian float bits (exact round-trip, no formatting).
+// A nil engine (the no-correlation loss) is not encodable — callers
+// cache only compiled quantifiers.
+func (e *Engine) MarshalBinary() ([]byte, error) {
+	if e == nil {
+		return nil, fmt.Errorf("core: cannot marshal nil engine")
+	}
+	buf := make([]byte, 0, engineHeaderSize+len(e.segs)*engineSegSize)
+	buf = append(buf, engineWireVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.n))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.stats.N))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.stats.Pairs))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.stats.Curves))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.stats.Frontier))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.stats.Segments))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(e.segs)))
+	for _, s := range e.segs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.q))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.d))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.sumQ))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.sumD))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.alpha))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.rowQ))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.rowD))
+	}
+	return buf, nil
+}
+
+// badEngine wraps every UnmarshalEngine rejection so callers can
+// distinguish "corrupt cache entry" from other failures with one check.
+func badEngine(format string, args ...any) error {
+	return fmt.Errorf("core: invalid engine encoding: "+format, args...)
+}
+
+// UnmarshalEngine decodes an engine produced by MarshalBinary,
+// re-validating every structural invariant compilation guarantees:
+// consistent counts, finite non-negative curve scalars, in-range row
+// indices, and non-decreasing envelope breakpoints. It never panics on
+// arbitrary input and never returns a partially valid engine — a
+// corrupt or version-skewed encoding yields an error the caller treats
+// as a cache miss.
+func UnmarshalEngine(data []byte) (*Engine, error) {
+	if len(data) < engineHeaderSize {
+		return nil, badEngine("%d bytes, need at least %d", len(data), engineHeaderSize)
+	}
+	if data[0] != engineWireVersion {
+		return nil, badEngine("version %d, support %d", data[0], engineWireVersion)
+	}
+	u := func(i int) uint64 { return binary.LittleEndian.Uint64(data[1+8*i:]) }
+	const maxCount = 1 << 40 // far beyond any compilable matrix; guards the int casts
+	n, statsN := u(0), u(1)
+	pairs, curves, frontier, segments := u(2), u(3), u(4), u(5)
+	segCount := u(6)
+	for _, v := range []uint64{n, statsN, pairs, curves, frontier, segments, segCount} {
+		if v > maxCount {
+			return nil, badEngine("implausible count %d", v)
+		}
+	}
+	if statsN != n {
+		return nil, badEngine("stats.N=%d but n=%d", statsN, n)
+	}
+	if segments != segCount {
+		return nil, badEngine("stats.Segments=%d but %d segments encoded", segments, segCount)
+	}
+	if frontier > curves || segCount > frontier {
+		return nil, badEngine("inconsistent counts: curves=%d frontier=%d segments=%d", curves, frontier, segCount)
+	}
+	want := engineHeaderSize + int(segCount)*engineSegSize
+	if len(data) != want {
+		return nil, badEngine("%d bytes for %d segments, want %d", len(data), segCount, want)
+	}
+	e := &Engine{
+		n: int(n),
+		stats: EngineStats{
+			N:        int(statsN),
+			Pairs:    int(pairs),
+			Curves:   int(curves),
+			Frontier: int(frontier),
+			Segments: int(segments),
+		},
+	}
+	if segCount == 0 {
+		return e, nil
+	}
+	e.segs = make([]envSeg, segCount)
+	off := engineHeaderSize
+	prevAlpha := math.Inf(-1)
+	for i := range e.segs {
+		f := func(k int) float64 { return math.Float64frombits(binary.LittleEndian.Uint64(data[off+8*k:])) }
+		s := envSeg{
+			curve: curve{
+				q:    f(0),
+				d:    f(1),
+				sumQ: f(2),
+				sumD: f(3),
+				rowQ: int(binary.LittleEndian.Uint64(data[off+8*5:])),
+				rowD: int(binary.LittleEndian.Uint64(data[off+8*6:])),
+			},
+			alpha: f(4),
+		}
+		for _, v := range []float64{s.q, s.d, s.sumQ, s.sumD, s.alpha} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return nil, badEngine("segment %d has non-finite or negative scalar %v", i, v)
+			}
+		}
+		if s.rowQ < 0 || s.rowQ >= e.n || s.rowD < 0 || s.rowD >= e.n || s.rowQ == s.rowD {
+			return nil, badEngine("segment %d rows (%d,%d) out of range for n=%d", i, s.rowQ, s.rowD, e.n)
+		}
+		if s.alpha < prevAlpha {
+			return nil, badEngine("segment %d breakpoint %v decreases from %v", i, s.alpha, prevAlpha)
+		}
+		prevAlpha = s.alpha
+		e.segs[i] = s
+		off += engineSegSize
+	}
+	return e, nil
+}

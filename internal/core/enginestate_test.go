@@ -1,0 +1,176 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/markov"
+)
+
+// diffMarshalLoss asserts that an engine surviving a marshal/unmarshal
+// round trip evaluates bit-identically — not merely close — to the
+// original across the alpha grid. Exact equality is the contract the
+// on-disk cache rests on: a loaded engine must be indistinguishable
+// from the compile it replaces.
+func diffMarshalLoss(t *testing.T, c *markov.Chain, label string) {
+	t.Helper()
+	fresh := NewQuantifier(c)
+	data, err := fresh.Engine().MarshalBinary()
+	if err != nil {
+		t.Fatalf("%s: marshal: %v", label, err)
+	}
+	loaded, err := UnmarshalEngine(data)
+	if err != nil {
+		t.Fatalf("%s: unmarshal: %v", label, err)
+	}
+	adopted := NewQuantifier(c)
+	if !adopted.AdoptEngine(loaded) {
+		t.Fatalf("%s: adoption refused", label)
+	}
+	if got, want := adopted.Engine(), loaded; got != want {
+		t.Fatalf("%s: adopted engine is not the loaded one", label)
+	}
+	for _, alpha := range engineAlphas {
+		want := fresh.Loss(alpha)
+		got := adopted.Loss(alpha)
+		if got != want {
+			t.Fatalf("%s alpha=%g: loaded engine %+v, fresh %+v", label, alpha, got, want)
+		}
+	}
+	if fresh.Engine().Stats() != loaded.Stats() {
+		t.Fatalf("%s: stats %+v round-tripped to %+v", label, fresh.Engine().Stats(), loaded.Stats())
+	}
+}
+
+func TestEngineMarshalRoundTripCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(911))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(24)
+		c, err := markov.UniformRandom(rng, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffMarshalLoss(t, c, "dense")
+	}
+	for trial := 0; trial < 10; trial++ {
+		diffMarshalLoss(t, sparseChain(t, rng, 4+rng.Intn(30), 3), "sparse")
+	}
+	id, err := markov.IdentityChain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroCol, err := markov.FromRows([][]float64{
+		{0.5, 0.5, 0},
+		{0.3, 0.7, 0},
+		{1, 0, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pointMass, err := markov.FromRows([][]float64{
+		{0, 1, 0},
+		{0, 1, 0},
+		{0, 1, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := markov.UniformChain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffMarshalLoss(t, id, "identity")
+	diffMarshalLoss(t, zeroCol, "zero-column")
+	diffMarshalLoss(t, pointMass, "point-mass")
+	diffMarshalLoss(t, uni, "uniform")
+	diffMarshalLoss(t, markov.Fig2Forward(), "fig2")
+	diffMarshalLoss(t, markov.ModerateExample(), "moderate")
+}
+
+func TestUnmarshalEngineRejectsCorruption(t *testing.T) {
+	c := markov.Fig2Forward()
+	data, err := NewQuantifier(c).Engine().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalEngine(data); err != nil {
+		t.Fatalf("pristine encoding rejected: %v", err)
+	}
+
+	// Truncations at every boundary-ish length must error, never panic.
+	for _, cut := range []int{0, 1, engineHeaderSize - 1, engineHeaderSize, len(data) - 1} {
+		if cut >= len(data) {
+			continue
+		}
+		if _, err := UnmarshalEngine(data[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+
+	// Version skew.
+	skew := append([]byte(nil), data...)
+	skew[0] = engineWireVersion + 1
+	if _, err := UnmarshalEngine(skew); err == nil {
+		t.Fatal("version skew accepted")
+	}
+
+	// Inconsistent n vs stats.N.
+	bad := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint64(bad[1:], binary.LittleEndian.Uint64(bad[1:])+1)
+	if _, err := UnmarshalEngine(bad); err == nil {
+		t.Fatal("n / stats.N mismatch accepted")
+	}
+
+	// Segment count that disagrees with the byte length.
+	bad = append([]byte(nil), data...)
+	binary.LittleEndian.PutUint64(bad[1+8*6:], binary.LittleEndian.Uint64(bad[1+8*6:])+1)
+	if _, err := UnmarshalEngine(bad); err == nil {
+		t.Fatal("segment count mismatch accepted")
+	}
+
+	// NaN scalar inside a segment.
+	bad = append([]byte(nil), data...)
+	binary.LittleEndian.PutUint64(bad[engineHeaderSize:], math.Float64bits(math.NaN()))
+	if _, err := UnmarshalEngine(bad); err == nil {
+		t.Fatal("NaN segment scalar accepted")
+	}
+
+	// Out-of-range row index.
+	bad = append([]byte(nil), data...)
+	binary.LittleEndian.PutUint64(bad[engineHeaderSize+8*5:], 1<<20)
+	if _, err := UnmarshalEngine(bad); err == nil {
+		t.Fatal("out-of-range row index accepted")
+	}
+}
+
+func TestAdoptEngineRefusals(t *testing.T) {
+	c := markov.Fig2Forward()
+	e := NewQuantifier(c).Engine()
+
+	var nilQ *Quantifier
+	if nilQ.AdoptEngine(e) {
+		t.Fatal("nil quantifier adopted an engine")
+	}
+	if NewQuantifier(c).AdoptEngine(nil) {
+		t.Fatal("nil engine adopted")
+	}
+
+	bigger, err := markov.UniformChain(e.N() + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NewQuantifier(bigger).AdoptEngine(e) {
+		t.Fatal("state-space mismatch adopted")
+	}
+
+	q := NewQuantifier(c)
+	own := q.Engine() // compiles
+	if q.AdoptEngine(e) {
+		t.Fatal("already-compiled quantifier adopted a replacement")
+	}
+	if q.Engine() != own {
+		t.Fatal("adoption after compile replaced the engine")
+	}
+}

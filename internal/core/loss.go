@@ -47,6 +47,13 @@ type Quantifier struct {
 
 	compileOnce sync.Once
 	eng         *Engine
+
+	// onCompile, when set, runs inside the compile Once right after
+	// compileRows — the persistence hook the on-disk engine cache uses
+	// to capture freshly compiled engines. It must be set before the
+	// quantifier is shared (SetOnCompile documents the contract); it is
+	// never called for adopted engines.
+	onCompile func(*Engine)
 }
 
 // NewQuantifier builds a Quantifier from a Markov chain describing the
@@ -83,8 +90,47 @@ func (qt *Quantifier) Engine() *Engine {
 	if qt == nil {
 		return nil
 	}
-	qt.compileOnce.Do(func() { qt.eng = compileRows(qt.rows) })
+	qt.compileOnce.Do(func() {
+		qt.eng = compileRows(qt.rows)
+		if qt.onCompile != nil {
+			qt.onCompile(qt.eng)
+		}
+	})
 	return qt.eng
+}
+
+// AdoptEngine pre-seeds the quantifier with an already compiled engine
+// (deserialized from the on-disk cache), consuming the compile Once so
+// no compilation ever runs. It reports whether the engine was adopted:
+// a nil quantifier, a nil engine, a state-space mismatch, or a
+// quantifier that already compiled all refuse. Compilation is a
+// deterministic function of chain content, so adopting an engine that
+// was compiled (by any process) from the same content is
+// indistinguishable from compiling here.
+func (qt *Quantifier) AdoptEngine(e *Engine) bool {
+	if qt == nil || e == nil || e.n != qt.n {
+		return false
+	}
+	adopted := false
+	qt.compileOnce.Do(func() {
+		qt.eng = e
+		adopted = true
+	})
+	return adopted
+}
+
+// SetOnCompile registers f to run with the freshly compiled engine if
+// and when this quantifier compiles one itself (adopted engines do not
+// fire it — they were already persisted). It must be called before the
+// quantifier escapes to other goroutines: the field write is
+// unsynchronized by design, ordered only by whatever publishes the
+// quantifier (the model cache sets it under its own lock, before the
+// quantifier is returned to any caller).
+func (qt *Quantifier) SetOnCompile(f func(*Engine)) {
+	if qt == nil {
+		return
+	}
+	qt.onCompile = f
 }
 
 // Loss evaluates the loss function at prior leakage alpha through the

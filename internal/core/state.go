@@ -6,6 +6,8 @@ import (
 	"encoding/hex"
 	"fmt"
 	"math"
+
+	"repro/internal/chunked"
 )
 
 // This file makes the accountant's state an explicit, serializable
@@ -104,8 +106,8 @@ func (a *Accountant) Snapshot() *AccountantState {
 	return &AccountantState{
 		BackwardHash: quantifierHash(a.qb),
 		ForwardHash:  quantifierHash(a.qf),
-		Eps:          append([]float64(nil), a.eps...),
-		BPL:          append([]float64(nil), a.bpl...),
+		Eps:          a.eps.CopyAll(),
+		BPL:          a.bpl.CopyAll(),
 		FPL:          append([]float64(nil), a.fpl...),
 		FPLT:         a.fplT,
 	}
@@ -180,8 +182,8 @@ func RestoreAccountant(st *AccountantState, qb, qf *Quantifier) (*Accountant, er
 	return &Accountant{
 		qb:   qb,
 		qf:   qf,
-		eps:  append([]float64(nil), st.Eps...),
-		bpl:  append([]float64(nil), st.BPL...),
+		eps:  chunked.FromSlice(st.Eps),
+		bpl:  chunked.FromSlice(st.BPL),
 		fpl:  append([]float64(nil), st.FPL...),
 		fplT: st.FPLT,
 	}, nil

@@ -1,0 +1,284 @@
+// Package enginecache persists compiled leakage engines
+// (core.Engine) on disk, keyed by the content hash of the transition
+// matrix they were compiled from. Compilation is a deterministic
+// function of chain content, so a cache hit is bit-identical to a
+// fresh compile — the cache turns every process restart (deploys,
+// crash recovery, bundle re-activation) from "recompile every model
+// the fleet has ever seen" into "read a few hundred bytes per model".
+//
+// Layout: one file per engine, named <hex sha-256 of the chain
+// content>.eng, each a checksummed persist envelope wrapping the
+// engine's versioned wire form. Writes are atomic
+// (write-temp, fsync, rename) so a crash mid-store leaves either the
+// old entry or none. Reads re-validate everything: envelope checksum,
+// envelope version, engine wire version, and the engine's structural
+// invariants. Any failure — truncation, bit flips, version skew, a
+// hand-edited file — is a cache miss that falls back to compilation;
+// the cache can never make a result wrong, only cold.
+package enginecache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+)
+
+// envelopeVersion is the persist-envelope version tag for engine cache
+// entries. Distinct from the engine wire version inside the body: the
+// envelope version says "this file is an engine cache entry of this
+// framing", the body version says how the engine itself is encoded.
+const envelopeVersion = 1
+
+// fileExt suffixes every cache entry; temp files use a different
+// suffix so a crash mid-write never leaves a file Load would open.
+const fileExt = ".eng"
+
+// DefaultMaxEntries bounds the cache directory by default. Entries are
+// a few hundred bytes to a few tens of KB each, so the default bound
+// keeps even a pathological chain-churning workload under ~100 MB of
+// disk while holding vastly more models than any real fleet ships.
+const DefaultMaxEntries = 4096
+
+// Cache is an on-disk, content-addressed store of compiled engines.
+// All methods are safe for concurrent use; the counters are plain
+// atomics so the hot path (Load on session construction) never takes a
+// lock.
+type Cache struct {
+	dir        string
+	maxEntries int
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	loads     atomic.Int64
+	loadNs    atomic.Int64
+	stores    atomic.Int64
+	writeNs   atomic.Int64
+	evictions atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness, shaped for
+// the healthz engine_cache block.
+type Stats struct {
+	// Hits counts Loads answered from disk; Misses counts Loads that
+	// fell back to compilation (absent, corrupt, or version-skewed
+	// entries all count here — the caller compiles either way).
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Loads counts successful engine deserializations (== Hits) and
+	// LoadNs their cumulative wall time, so load_ns/loads is the mean
+	// cost of a warm start per model.
+	Loads  int64 `json:"loads"`
+	LoadNs int64 `json:"load_ns"`
+	// Stores counts engines persisted and WriteNs their cumulative
+	// wall time (marshal + write + fsync + rename).
+	Stores  int64 `json:"stores"`
+	WriteNs int64 `json:"write_ns"`
+	// Evictions counts entries removed to hold the entry bound.
+	Evictions int64 `json:"evictions"`
+	// Entries and Bytes describe the directory right now.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// Open creates (if needed) the cache directory and returns a cache
+// bounded by DefaultMaxEntries.
+func Open(dir string) (*Cache, error) {
+	return OpenLimit(dir, DefaultMaxEntries)
+}
+
+// OpenLimit is Open with an explicit entry bound; maxEntries <= 0
+// means unbounded.
+func OpenLimit(dir string, maxEntries int) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("enginecache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("enginecache: %w", err)
+	}
+	return &Cache{dir: dir, maxEntries: maxEntries}, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// validHash reports whether key is a plausible content hash: exactly
+// the 64 lowercase hex characters hex-encoded SHA-256 produces. This
+// is also the path-traversal guard — the key becomes a file name, so
+// nothing outside this alphabet may pass.
+func validHash(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		ch := key[i]
+		if (ch < '0' || ch > '9') && (ch < 'a' || ch > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Load returns the cached engine for the given content hash, if a
+// valid entry exists and its state-space size matches n. Every failure
+// mode — absent file, bad checksum, truncated body, version skew,
+// structural invalidity, size mismatch — returns (nil, false) and
+// counts as a miss; corrupt entries are additionally removed so the
+// next Store rewrites them cleanly. Load never returns an error: the
+// caller's fallback is always "compile fresh".
+func (c *Cache) Load(hash string, n int) (*core.Engine, bool) {
+	if c == nil || !validHash(hash) {
+		return nil, false
+	}
+	start := time.Now()
+	path := filepath.Join(c.dir, hash+fileExt)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	version, body, err := persist.DecodeEnvelope(bytes.NewReader(data))
+	if err != nil || version != envelopeVersion {
+		c.misses.Add(1)
+		os.Remove(path) // corrupt or skewed: clear so Store can rewrite
+		return nil, false
+	}
+	e, err := core.UnmarshalEngine(body)
+	if err != nil || e.N() != n {
+		c.misses.Add(1)
+		os.Remove(path)
+		return nil, false
+	}
+	c.hits.Add(1)
+	c.loads.Add(1)
+	c.loadNs.Add(time.Since(start).Nanoseconds())
+	return e, true
+}
+
+// Store persists a compiled engine under the given content hash,
+// atomically: the envelope is written to a temp file in the same
+// directory, fsynced, and renamed over the final name. Failures are
+// silently dropped — a cache that cannot write is merely cold, and the
+// hot path this runs on (first compile of a model) must not grow an
+// error branch callers would have to thread upward.
+func (c *Cache) Store(hash string, e *core.Engine) {
+	if c == nil || e == nil || !validHash(hash) {
+		return
+	}
+	start := time.Now()
+	body, err := e.MarshalBinary()
+	if err != nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := persist.EncodeEnvelope(&buf, envelopeVersion, body); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "tmp-*.part")
+	if err != nil {
+		return
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		return
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(c.dir, hash+fileExt)); err != nil {
+		return
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if d, err := os.Open(c.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	c.stores.Add(1)
+	c.writeNs.Add(time.Since(start).Nanoseconds())
+	c.evict()
+}
+
+// evict trims the directory to the entry bound, oldest
+// modification time first. It scans on every store; stores are rare
+// (one per distinct model per process lifetime) and directories are
+// small, so the scan is cheaper than maintaining an index file that
+// could itself go stale.
+func (c *Cache) evict() {
+	if c.maxEntries <= 0 {
+		return
+	}
+	entries, err := c.entryInfos()
+	if err != nil || len(entries) <= c.maxEntries {
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+	for _, ent := range entries[:len(entries)-c.maxEntries] {
+		if os.Remove(filepath.Join(c.dir, ent.name)) == nil {
+			c.evictions.Add(1)
+		}
+	}
+}
+
+type entryInfo struct {
+	name  string
+	size  int64
+	mtime time.Time
+}
+
+// entryInfos lists the cache entries (ignoring temp files and anything
+// that is not a well-formed entry name).
+func (c *Cache) entryInfos() ([]entryInfo, error) {
+	dirents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]entryInfo, 0, len(dirents))
+	for _, de := range dirents {
+		name := de.Name()
+		if de.IsDir() || filepath.Ext(name) != fileExt || !validHash(name[:len(name)-len(fileExt)]) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, entryInfo{name: name, size: info.Size(), mtime: info.ModTime()})
+	}
+	return out, nil
+}
+
+// Stats snapshots the counters and scans the directory for the entry
+// count and byte size. A nil cache reports zeros, so callers surface
+// the block unconditionally.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	s := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Loads:     c.loads.Load(),
+		LoadNs:    c.loadNs.Load(),
+		Stores:    c.stores.Load(),
+		WriteNs:   c.writeNs.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	if entries, err := c.entryInfos(); err == nil {
+		s.Entries = len(entries)
+		for _, e := range entries {
+			s.Bytes += e.size
+		}
+	}
+	return s
+}

@@ -1,0 +1,242 @@
+package enginecache
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/markov"
+	"repro/internal/matrix"
+)
+
+// engineAlphas mirrors the differential grid of the core engine tests.
+var engineAlphas = []float64{1e-9, 1e-3, 0.05, 0.3, 1, 2.5, 7, 20, 80, 400}
+
+// corpusChains builds the representative shapes of the core
+// differential corpus: dense random, sparse road-network-style,
+// identity-like, zero-column and point-mass chains.
+func corpusChains(t *testing.T) map[string]*markov.Chain {
+	t.Helper()
+	rng := rand.New(rand.NewSource(921))
+	chains := map[string]*markov.Chain{}
+	for i := 0; i < 5; i++ {
+		c, err := markov.UniformRandom(rng, 2+rng.Intn(20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		chains["dense-"+string(rune('a'+i))] = c
+	}
+	for i := 0; i < 5; i++ {
+		n := 4 + rng.Intn(24)
+		m := matrix.New(n, n)
+		for r := 0; r < n; r++ {
+			k := 1 + rng.Intn(3)
+			for _, j := range rng.Perm(n)[:k] {
+				m.Set(r, j, rng.Float64()+0.05)
+			}
+		}
+		if err := m.NormalizeRows(); err != nil {
+			t.Fatal(err)
+		}
+		c, err := markov.New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chains["sparse-"+string(rune('a'+i))] = c
+	}
+	id, err := markov.IdentityChain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains["identity"] = id
+	zeroCol, err := markov.FromRows([][]float64{
+		{0.5, 0.5, 0},
+		{0.3, 0.7, 0},
+		{1, 0, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains["zero-column"] = zeroCol
+	pointMass, err := markov.FromRows([][]float64{
+		{0, 1, 0},
+		{0, 1, 0},
+		{0, 1, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains["point-mass"] = pointMass
+	return chains
+}
+
+// TestDiskLoadedEngineBitIdentical is the cache's differential test:
+// an engine stored to disk, loaded back, and adopted by a fresh
+// quantifier must evaluate Loss bit-identically — exact equality on
+// every LossResult field — to an independent fresh compile, across the
+// whole corpus.
+func TestDiskLoadedEngineBitIdentical(t *testing.T) {
+	cache, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for label, c := range corpusChains(t) {
+		fresh := core.NewQuantifier(c)
+		hash := fresh.ContentHash()
+		cache.Store(hash, fresh.Engine())
+		loaded, ok := cache.Load(hash, c.N())
+		if !ok {
+			t.Fatalf("%s: stored engine did not load", label)
+		}
+		adopted := core.NewQuantifier(c)
+		if !adopted.AdoptEngine(loaded) {
+			t.Fatalf("%s: adoption refused", label)
+		}
+		for _, alpha := range engineAlphas {
+			if got, want := adopted.Loss(alpha), fresh.Loss(alpha); got != want {
+				t.Fatalf("%s alpha=%g: disk-loaded %+v, fresh %+v", label, alpha, got, want)
+			}
+		}
+	}
+	st := cache.Stats()
+	if st.Hits == 0 || st.Stores == 0 || st.Misses != 0 {
+		t.Fatalf("unexpected stats after clean round trips: %+v", st)
+	}
+	if st.Loads != st.Hits {
+		t.Fatalf("loads %d != hits %d", st.Loads, st.Hits)
+	}
+	if st.Entries == 0 || st.Bytes == 0 {
+		t.Fatalf("directory empty after %d stores: %+v", st.Stores, st)
+	}
+}
+
+func storeOne(t *testing.T, cache *Cache, seed int64) (hash string, n int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	c, err := markov.UniformRandom(rng, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qt := core.NewQuantifier(c)
+	cache.Store(qt.ContentHash(), qt.Engine())
+	return qt.ContentHash(), c.N()
+}
+
+func TestLoadCorruptEntriesNeverLoad(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, n := storeOne(t, cache, 1)
+	path := filepath.Join(dir, hash+fileExt)
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reset := func(mutate func([]byte) []byte) {
+		t.Helper()
+		if err := os.WriteFile(path, mutate(append([]byte(nil), pristine...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Truncation at every prefix length.
+	for cut := 0; cut < len(pristine); cut += 7 {
+		reset(func(b []byte) []byte { return b[:cut] })
+		if _, ok := cache.Load(hash, n); ok {
+			t.Fatalf("truncation to %d bytes loaded", cut)
+		}
+	}
+	// Single bit flips across the file (the envelope checksum must
+	// catch every one).
+	for pos := 0; pos < len(pristine); pos += 11 {
+		reset(func(b []byte) []byte { b[pos] ^= 0x10; return b })
+		if _, ok := cache.Load(hash, n); ok {
+			t.Fatalf("bit flip at byte %d loaded", pos)
+		}
+	}
+	// Wrong state-space size must refuse even a pristine entry.
+	reset(func(b []byte) []byte { return b })
+	if _, ok := cache.Load(hash, n+1); ok {
+		t.Fatal("entry loaded for the wrong state-space size")
+	}
+	// Corrupt entries are removed so a rewrite can heal them.
+	reset(func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b })
+	if _, ok := cache.Load(hash, n); ok {
+		t.Fatal("corrupt tail loaded")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not removed")
+	}
+	if st := cache.Stats(); st.Misses == 0 {
+		t.Fatalf("corruption did not count as misses: %+v", st)
+	}
+}
+
+func TestInvalidHashRefused(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := markov.UniformChain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.NewQuantifier(c).Engine()
+	for _, bad := range []string{
+		"",
+		"short",
+		"../../../../tmp/escape",
+		strings.Repeat("g", 64),       // not hex
+		strings.Repeat("A", 64),       // wrong case
+		strings.Repeat("0", 63) + "/", // separator
+		strings.Repeat("0", 32) + ".." + "00000000" + strings.Repeat("0", 22),
+	} {
+		cache.Store(bad, e)
+		if _, ok := cache.Load(bad, 3); ok {
+			t.Fatalf("hash %q loaded", bad)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("invalid hashes created %d files", len(ents))
+	}
+}
+
+func TestEvictionHoldsEntryBound(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenLimit(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		storeOne(t, cache, seed)
+	}
+	st := cache.Stats()
+	if st.Entries > 2 {
+		t.Fatalf("bound 2 but %d entries remain", st.Entries)
+	}
+	if st.Evictions < 2 {
+		t.Fatalf("expected >= 2 evictions, got %d", st.Evictions)
+	}
+}
+
+func TestNilCacheIsInert(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Load(strings.Repeat("0", 64), 3); ok {
+		t.Fatal("nil cache loaded")
+	}
+	c.Store(strings.Repeat("0", 64), nil)
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil cache stats %+v", st)
+	}
+}

@@ -1,0 +1,72 @@
+package enginecache
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/markov"
+	"repro/internal/persist"
+)
+
+// FuzzLoad feeds arbitrary bytes to the cache's read path as a cache
+// entry file. The contract under fuzzing: Load never panics, and it
+// either refuses (the overwhelmingly common case — the envelope
+// checksum rejects random mutations) or produces a structurally valid
+// engine of the requested size. Seeds include a pristine entry, a
+// version-skewed envelope, truncations and raw garbage, so the fuzzer
+// starts from every interesting region of the format.
+func FuzzLoad(f *testing.F) {
+	rng := rand.New(rand.NewSource(931))
+	c, err := markov.UniformRandom(rng, 6)
+	if err != nil {
+		f.Fatal(err)
+	}
+	qt := core.NewQuantifier(c)
+	body, err := qt.Engine().MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var pristine bytes.Buffer
+	if err := persist.EncodeEnvelope(&pristine, envelopeVersion, body); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(pristine.Bytes(), 6)
+	var skewed bytes.Buffer
+	if err := persist.EncodeEnvelope(&skewed, envelopeVersion+7, body); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(skewed.Bytes(), 6)
+	f.Add(pristine.Bytes()[:pristine.Len()/2], 6)
+	f.Add([]byte{}, 0)
+	f.Add([]byte("not an envelope at all"), 3)
+
+	hash := strings.Repeat("ab", 32)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		dir := t.TempDir()
+		cache, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, hash+fileExt), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		e, ok := cache.Load(hash, n)
+		if ok {
+			if e == nil {
+				t.Fatal("Load reported ok with a nil engine")
+			}
+			if e.N() != n {
+				t.Fatalf("loaded engine has n=%d, requested %d", e.N(), n)
+			}
+			// A loaded engine must be evaluable without panicking.
+			_ = e.EvalValue(0.5)
+		} else if e != nil {
+			t.Fatal("Load reported !ok with a non-nil engine")
+		}
+	})
+}

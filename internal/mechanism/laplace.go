@@ -22,24 +22,25 @@ var ErrBudget = errors.New("mechanism: privacy budget must be finite and positiv
 // sensitivities.
 var ErrSensitivity = errors.New("mechanism: sensitivity must be finite and positive")
 
-// SampleLaplace draws one sample from the Laplace distribution with mean
-// zero and the given scale b (density exp(-|x|/b)/(2b)), using inverse
-// CDF sampling.
+// SampleLaplace draws one sample from the Laplace distribution with
+// mean zero and the given scale b (density exp(-|x|/b)/(2b)), as a
+// fair-signed exponential: |X| ~ Exp(1/b) and the sign is an
+// independent coin, which is exactly Laplace(b). The ziggurat
+// exponential replaces the inverse-CDF form's math.Log — at histogram
+// release rates the log was the single largest CPU cost of the ingest
+// hot path. Draw counts per sample differ from the inverse-CDF form,
+// which is fine: journal replay restores recorded noisy values
+// verbatim and fast-forwards the stream to recorded positions, never
+// re-deriving either.
 func SampleLaplace(rng *rand.Rand, scale float64) float64 {
 	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
 		panic(fmt.Sprintf("mechanism: Laplace scale must be finite and positive, got %v", scale))
 	}
-	// u uniform in (-1/2, 1/2]; Float64 returns [0,1).
-	u := rng.Float64() - 0.5
-	if u == 0 {
-		return 0
+	e := rng.ExpFloat64()
+	if rng.Int63()&1 == 0 {
+		return -scale * e
 	}
-	sign := 1.0
-	if u < 0 {
-		sign = -1
-		u = -u
-	}
-	return -scale * sign * math.Log(1-2*u)
+	return scale * e
 }
 
 // Laplace is the eps-DP Laplace mechanism for queries with a fixed L1

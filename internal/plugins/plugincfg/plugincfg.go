@@ -65,6 +65,9 @@ type File struct {
 	JournalSync string `json:"journal_sync,omitempty"`
 	// JournalWindow bounds the group-commit latency window.
 	JournalWindow Duration `json:"journal_window,omitempty"`
+	// EngineCacheDir enables the on-disk compiled-engine cache
+	// (empty = compile fresh every process).
+	EngineCacheDir string `json:"engine_cache_dir,omitempty"`
 	// Plugins configures the management-plane plugins; a section that
 	// is absent leaves that plugin off.
 	Plugins Plugins `json:"plugins,omitempty"`
@@ -214,7 +217,7 @@ func parsePublicKey(s string) (ed25519.PublicKey, error) {
 // the one place flag-vs-config precedence lives. Only flags the user
 // actually passed win (fs.Visit enumerates exactly those); defaults
 // never shadow the file.
-func (f *File) ApplyFlags(fs *flag.FlagSet, addr *string, quiet *bool, stateDir *string, snapshotEvery *int, journalSync *string, journalWindow *time.Duration) {
+func (f *File) ApplyFlags(fs *flag.FlagSet, addr *string, quiet *bool, stateDir *string, snapshotEvery *int, journalSync *string, journalWindow *time.Duration, engineCacheDir *string) {
 	fs.Visit(func(fl *flag.Flag) {
 		switch fl.Name {
 		case "addr":
@@ -229,6 +232,8 @@ func (f *File) ApplyFlags(fs *flag.FlagSet, addr *string, quiet *bool, stateDir 
 			f.JournalSync = *journalSync
 		case "journal-window":
 			f.JournalWindow = Duration(*journalWindow)
+		case "engine-cache-dir":
+			f.EngineCacheDir = *engineCacheDir
 		}
 	})
 }
@@ -236,10 +241,11 @@ func (f *File) ApplyFlags(fs *flag.FlagSet, addr *string, quiet *bool, stateDir 
 // Options converts the file to the service's serving options.
 func (f *File) Options() service.Options {
 	return service.Options{
-		StateDir:      f.StateDir,
-		SnapshotEvery: f.SnapshotEvery,
-		JournalSync:   f.JournalSync,
-		JournalWindow: time.Duration(f.JournalWindow),
+		StateDir:       f.StateDir,
+		SnapshotEvery:  f.SnapshotEvery,
+		JournalSync:    f.JournalSync,
+		JournalWindow:  time.Duration(f.JournalWindow),
+		EngineCacheDir: f.EngineCacheDir,
 	}
 }
 

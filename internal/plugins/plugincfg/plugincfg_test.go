@@ -124,8 +124,9 @@ func TestApplyFlagsPrecedence(t *testing.T) {
 	snapshotEvery := fs.Int("snapshot-every", def.SnapshotEvery, "")
 	journalSync := fs.String("journal-sync", def.JournalSync, "")
 	journalWindow := fs.Duration("journal-window", time.Duration(def.JournalWindow), "")
-	// The user passes exactly two flags.
-	if err := fs.Parse([]string{"-addr", ":9999", "-snapshot-every", "7"}); err != nil {
+	engineCacheDir := fs.String("engine-cache-dir", def.EngineCacheDir, "")
+	// The user passes exactly three flags.
+	if err := fs.Parse([]string{"-addr", ":9999", "-snapshot-every", "7", "-engine-cache-dir", "/flagcache"}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -133,15 +134,16 @@ func TestApplyFlagsPrecedence(t *testing.T) {
 		"addr": ":1111",
 		"state_dir": "/data",
 		"journal_sync": "step",
-		"journal_window": "9ms"
+		"journal_window": "9ms",
+		"engine_cache_dir": "/filecache"
 	}`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	f.ApplyFlags(fs, addr, quiet, stateDir, snapshotEvery, journalSync, journalWindow)
+	f.ApplyFlags(fs, addr, quiet, stateDir, snapshotEvery, journalSync, journalWindow, engineCacheDir)
 
 	// Explicit flags win over the file.
-	if f.Addr != ":9999" || f.SnapshotEvery != 7 {
+	if f.Addr != ":9999" || f.SnapshotEvery != 7 || f.EngineCacheDir != "/flagcache" {
 		t.Fatalf("explicit flags did not win: %+v", f)
 	}
 	// Unset flags must not drag the file's values back to the flag
@@ -151,7 +153,7 @@ func TestApplyFlagsPrecedence(t *testing.T) {
 		t.Fatalf("flag defaults shadowed the file: %+v", f)
 	}
 	opts := f.Options()
-	if opts.StateDir != "/data" || opts.JournalSync != "step" || opts.SnapshotEvery != 7 {
+	if opts.StateDir != "/data" || opts.JournalSync != "step" || opts.SnapshotEvery != 7 || opts.EngineCacheDir != "/flagcache" {
 		t.Fatalf("options %+v", opts)
 	}
 }

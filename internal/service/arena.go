@@ -57,6 +57,16 @@ type batchArena struct {
 	ints  []int
 	eps   []float64
 	resp  []byte
+	// epsTok memoizes the last eps number token parsed by the fast
+	// path and its value: a stream charging the same budget step after
+	// step repeats the identical literal, so the common batch parses
+	// (and allocates the strconv string for) it once, not per step. The
+	// token bytes are owned by the arena, and the mapping is pure
+	// content → value, so the memo stays valid across recycled requests
+	// and never needs resetting.
+	epsTok    [24]byte
+	epsTokLen int
+	epsTokVal float64
 }
 
 var arenaPool = sync.Pool{New: func() any { return new(batchArena) }}

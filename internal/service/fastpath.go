@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"strconv"
 
 	"repro/internal/stream"
@@ -207,9 +208,18 @@ func (p *stepParser) number() (float64, bool) {
 			return 0, false
 		}
 	}
-	v, err := strconv.ParseFloat(string(b[start:i]), 64)
+	tok := b[start:i]
+	if a := p.a; a != nil && a.epsTokLen == len(tok) && bytes.Equal(a.epsTok[:a.epsTokLen], tok) {
+		p.i = i
+		return a.epsTokVal, true
+	}
+	v, err := strconv.ParseFloat(string(tok), 64)
 	if err != nil {
 		return 0, false
+	}
+	if a := p.a; a != nil && len(tok) <= len(a.epsTok) {
+		a.epsTokLen = copy(a.epsTok[:], tok)
+		a.epsTokVal = v
 	}
 	p.i = i
 	return v, true

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/enginecache"
 	"repro/internal/report"
 	"repro/internal/stream"
 	"repro/internal/version"
@@ -190,6 +191,10 @@ type healthResponse struct {
 	Users         int               `json:"users"`
 	UptimeSeconds float64           `json:"uptime_seconds"`
 	Persistence   PersistenceHealth `json:"persistence"`
+	// EngineCache reports the on-disk compiled-engine cache counters
+	// (absent in memory-only mode): warm-start hit rate, cumulative
+	// load/write time, evictions, and directory footprint.
+	EngineCache *enginecache.Stats `json:"engine_cache,omitempty"`
 	// Plugins reports the plugin manager's per-plugin status (absent
 	// when no manager is attached — see SetPluginHealth).
 	Plugins any `json:"plugins,omitempty"`
@@ -211,6 +216,10 @@ func (a *API) health(w http.ResponseWriter, r *http.Request) {
 		Users:         a.reg.Users(),
 		UptimeSeconds: a.reg.now().Sub(a.started).Seconds(),
 		Persistence:   a.reg.PersistenceHealth(),
+	}
+	if ec := a.reg.EngineCache(); ec != nil {
+		st := ec.Stats()
+		resp.EngineCache = &st
 	}
 	a.pluginMu.RLock()
 	ph := a.pluginHealth

@@ -19,6 +19,19 @@ import (
 // makes the pooled-arena contract visible: steady state should be a
 // handful of allocations per *batch*, not per step.
 func BenchmarkNDJSONCountsIngest(b *testing.B) {
+	benchCountsIngest(b, false)
+}
+
+// BenchmarkNDJSONCountsIngestMinimal is the same batch with
+// `Prefer: return=minimal` — the recommended high-rate ingest
+// contract, which acks the batch instead of echoing every step's
+// noisy histogram. The gap to BenchmarkNDJSONCountsIngest is the echo
+// encoding cost.
+func BenchmarkNDJSONCountsIngestMinimal(b *testing.B) {
+	benchCountsIngest(b, true)
+}
+
+func benchCountsIngest(b *testing.B, minimal bool) {
 	h := NewAPI().Handler()
 	rec := httptest.NewRecorder()
 	cfg := `{"name":"s","domain":4,"users":100000,"seed":7,"cohorts":[`
@@ -45,6 +58,9 @@ func BenchmarkNDJSONCountsIngest(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		req := httptest.NewRequest("POST", "/v2/sessions/s/steps", bytes.NewReader(body))
 		req.Header.Set("Content-Type", "application/x-ndjson")
+		if minimal {
+			req.Header.Set("Prefer", "return=minimal")
+		}
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, req)
 		if rec.Code != 200 {

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/enginecache"
 	"repro/internal/persist"
 	"repro/internal/stream"
 )
@@ -186,6 +187,10 @@ type Registry struct {
 	capacity   int              // aggregate population ceiling; lowered in tests
 	now        func() time.Time // injectable for tests
 	models     *stream.ModelCache
+	// engineCache is the optional on-disk tier behind models: compiled
+	// engines persist across process restarts, keyed by chain content.
+	// Attached at boot (SetEngineCache), before any session exists.
+	engineCache *enginecache.Cache
 	// decisions is the attached decision sink (decision.go); sessions
 	// load through a pointer to this slot, so SetDecisionSink reaches
 	// every live session without touching any per-session lock.
@@ -244,6 +249,24 @@ func (r *Registry) reserveUsers(n int) error {
 // ModelCache exposes the registry's shared compiled-model cache (for
 // stats reporting and tests).
 func (r *Registry) ModelCache() *stream.ModelCache { return r.models }
+
+// SetEngineCache attaches an on-disk compiled-engine cache behind the
+// model cache: chains seen in any previous process load their compiled
+// engine from disk instead of recompiling, and fresh compilations are
+// persisted for the next process. Attach before restoring or creating
+// sessions — quantifiers built earlier keep in-memory-only behavior.
+func (r *Registry) SetEngineCache(c *enginecache.Cache) {
+	r.engineCache = c
+	if c != nil {
+		r.models.SetEngineStore(c)
+	} else {
+		r.models.SetEngineStore(nil)
+	}
+}
+
+// EngineCache returns the attached on-disk engine cache, or nil in
+// memory-only mode.
+func (r *Registry) EngineCache() *enginecache.Cache { return r.engineCache }
 
 // checkName validates a session name: non-empty, at most 128 bytes, no
 // path or whitespace characters (names appear in URL paths).

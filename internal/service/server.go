@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/enginecache"
 	"repro/internal/persist"
 )
 
@@ -41,6 +42,12 @@ type Options struct {
 	// companions (<= 0 selects the default). Only meaningful with
 	// JournalSync "group".
 	JournalWindow time.Duration
+	// EngineCacheDir, when non-empty, enables the on-disk compiled-
+	// engine cache: adversary models whose chain content was seen by
+	// any previous process load their compiled leakage engine from disk
+	// instead of recompiling. Safe to share between the state dir and
+	// across restarts; a missing or corrupt cache only costs compiles.
+	EngineCacheDir string
 }
 
 // New creates a server for the given listen address. logger may be nil
@@ -63,6 +70,18 @@ func New(addr string, logger *log.Logger) *Server {
 // opened at all fails construction.
 func NewWithOptions(addr string, logger *log.Logger, opts Options) (*Server, error) {
 	api := NewAPI()
+	// The engine cache attaches before any restore below, so restored
+	// sessions warm-start their compiled models from disk too.
+	if opts.EngineCacheDir != "" {
+		ec, err := enginecache.Open(opts.EngineCacheDir)
+		if err != nil {
+			return nil, err
+		}
+		api.Registry().SetEngineCache(ec)
+		if logger != nil {
+			logger.Printf("tplserved: engine cache at %s (%d entries)", opts.EngineCacheDir, ec.Stats().Entries)
+		}
+	}
 	if opts.StateDir != "" {
 		store, err := persist.NewStore(opts.StateDir)
 		if err != nil {

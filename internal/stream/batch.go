@@ -101,20 +101,22 @@ func (s *Server) buildReleaserLocked(eps float64) (func(dst []float64, counts []
 	}
 }
 
-// prepareLocked validates one step and resolves its budget. offset is
+// prepareLocked validates one step and resolves its budget into *p
+// (written in place: the batch path prepares straight into its
+// preallocated slice, and the struct's slice/func fields make a
+// by-value return a measurable per-step write-barrier cost). offset is
 // the number of batch steps that will land before this one (0 for a
 // single-step collect) — plan budgets are drawn by absolute step index,
 // so a batch mixing explicit and planned budgets indexes the plan
 // exactly as the equivalent sequence of single-step collects would.
 // Caller holds the write lock.
-func (s *Server) prepareLocked(st BatchStep, offset int) (preparedStep, error) {
-	var p preparedStep
+func (s *Server) prepareLocked(p *preparedStep, st BatchStep, offset int) error {
 	switch {
 	case st.Values != nil && st.Counts != nil:
-		return p, fmt.Errorf("stream: step declares both values and counts")
+		return fmt.Errorf("stream: step declares both values and counts")
 	case st.Values != nil:
 		if len(st.Values) != s.users {
-			return p, fmt.Errorf("%w: %d values for %d users", ErrDomainMismatch, len(st.Values), s.users)
+			return fmt.Errorf("%w: %d values for %d users", ErrDomainMismatch, len(st.Values), s.users)
 		}
 		// Build the histogram directly: one pass validates the domain
 		// range and aggregates, where mechanism.NewSnapshot would copy
@@ -122,23 +124,23 @@ func (s *Server) prepareLocked(st BatchStep, offset int) (preparedStep, error) {
 		p.hist = make([]int, s.domain)
 		for i, v := range st.Values {
 			if v < 0 || v >= s.domain {
-				return p, fmt.Errorf("stream: user %d has value %d outside [0,%d)", i, v, s.domain)
+				return fmt.Errorf("stream: user %d has value %d outside [0,%d)", i, v, s.domain)
 			}
 			p.hist[v]++
 		}
 	case st.Counts != nil:
 		if len(st.Counts) != s.domain {
-			return p, fmt.Errorf("%w: %d counts for domain %d", ErrDomainMismatch, len(st.Counts), s.domain)
+			return fmt.Errorf("%w: %d counts for domain %d", ErrDomainMismatch, len(st.Counts), s.domain)
 		}
 		total := 0
 		for v, c := range st.Counts {
 			if c < 0 {
-				return p, fmt.Errorf("stream: count for value %d is negative (%d)", v, c)
+				return fmt.Errorf("stream: count for value %d is negative (%d)", v, c)
 			}
 			total += c
 		}
 		if total != s.users {
-			return p, fmt.Errorf("%w: counts sum to %d for %d users", ErrDomainMismatch, total, s.users)
+			return fmt.Errorf("%w: counts sum to %d for %d users", ErrDomainMismatch, total, s.users)
 		}
 		// Alias, don't copy: the histogram is only read (the release
 		// mechanisms allocate their own output), and it is dead once the
@@ -147,41 +149,42 @@ func (s *Server) prepareLocked(st BatchStep, offset int) (preparedStep, error) {
 		// feed pooled decode buffers straight through.
 		p.hist = st.Counts
 	default:
-		return p, fmt.Errorf("stream: step declares neither values nor counts")
+		return fmt.Errorf("stream: step declares neither values nor counts")
 	}
 	if st.Eps != nil {
 		p.eps = *st.Eps
 		if err := core.CheckBudget(p.eps); err != nil {
-			return p, fmt.Errorf("stream: %w", err)
+			return fmt.Errorf("stream: %w", err)
 		}
 	} else {
 		if s.plan == nil {
-			return p, ErrNoPlan
+			return ErrNoPlan
 		}
 		p.planned = true
-		step := len(s.budgets) + offset - s.planBase + 1
+		step := s.budgets.Len() + offset - s.planBase + 1
 		if h := s.plan.Horizon(); h > 0 && step > h {
-			return p, fmt.Errorf("stream: plan step %d beyond horizon %d: %w", step, h, release.ErrHorizonExceeded)
+			return fmt.Errorf("stream: plan step %d beyond horizon %d: %w", step, h, release.ErrHorizonExceeded)
 		}
 		eps, err := s.plan.BudgetAt(step)
 		if err != nil {
-			return p, err
+			return err
 		}
 		p.eps = eps
 	}
 	var err error
 	if p.release, err = s.releaserLocked(p.eps); err != nil {
-		return p, err
+		return err
 	}
-	return p, nil
+	return nil
 }
 
 // applyLocked releases one prepared step: noise, accountant fan-out,
 // history append. It cannot fail — everything fallible happened in
 // prepareLocked. Caller holds the write lock.
-func (s *Server) applyLocked(p preparedStep) StepResult {
+func (s *Server) applyLocked(p *preparedStep) StepResult {
 	slab := make([]float64, 0, s.domain)
-	r := s.releaseLocked(p, &slab)
+	var r StepResult
+	s.releaseLocked(p, &slab, &r)
 	s.observeAll([]float64{p.eps})
 	return r
 }
@@ -194,33 +197,25 @@ func (s *Server) applyLocked(p preparedStep) StepResult {
 // per batch instead of once per step. The noisy histogram is carved
 // from slab (capacity-capped, so later carves cannot clobber it; if
 // the slab grows and relocates, earlier carves keep reading their own
-// immutable memory). Caller holds the write lock.
-func (s *Server) releaseLocked(p preparedStep, slab *[]float64) StepResult {
+// immutable memory). The result is written into *out — the batch path
+// releases straight into its preallocated results slice, and the
+// struct's Published slice field makes a by-value return a per-step
+// write-barrier cost. Caller holds the write lock.
+func (s *Server) releaseLocked(p *preparedStep, slab *[]float64, out *StepResult) {
 	start := len(*slab)
 	buf := p.release(*slab, p.hist)
 	*slab = buf
 	noisy := buf[start:len(buf):len(buf)]
-	// The history slices live for the session; double them by hand so
-	// the steady-state re-copying stays ~2N instead of append's
-	// several-times-N at large-slice growth factors (the history is
-	// cold memory, and the memmove was visible in ingest profiles).
-	if len(s.published) == cap(s.published) {
-		grown := make([][]float64, len(s.published), max(64, 2*cap(s.published)))
-		copy(grown, s.published)
-		s.published = grown
-	}
-	if len(s.budgets) == cap(s.budgets) {
-		grown := make([]float64, len(s.budgets), max(64, 2*cap(s.budgets)))
-		copy(grown, s.budgets)
-		s.budgets = grown
-	}
-	s.published = append(s.published, noisy)
-	s.budgets = append(s.budgets, p.eps)
-	r := StepResult{T: len(s.budgets), Eps: p.eps, Planned: p.planned, Published: noisy}
+	// The history lives for the session in chunked logs: the append
+	// writes one tail slot and never re-copies the settled history
+	// (the doubling memmove it replaces was visible in ingest
+	// profiles).
+	s.published.Append(noisy)
+	s.budgets.Append(p.eps)
+	*out = StepResult{T: s.budgets.Len(), Eps: p.eps, Planned: p.planned, Published: noisy}
 	if s.noiseSrc != nil {
-		r.Draws = s.noiseSrc.draws
+		out.Draws = s.noiseSrc.draws
 	}
-	return r
 }
 
 // CollectBatch ingests a sequence of time steps under one lock: the
@@ -238,11 +233,9 @@ func (s *Server) CollectBatch(steps []BatchStep) ([]StepResult, error) {
 	defer s.mu.Unlock()
 	prepared := make([]preparedStep, len(steps))
 	for i, st := range steps {
-		p, err := s.prepareLocked(st, i)
-		if err != nil {
+		if err := s.prepareLocked(&prepared[i], st, i); err != nil {
 			return nil, fmt.Errorf("stream: batch step %d: %w", i+1, err)
 		}
-		prepared[i] = p
 	}
 	results := make([]StepResult, len(prepared))
 	epsSeq := make([]float64, len(prepared))
@@ -250,9 +243,9 @@ func (s *Server) CollectBatch(steps []BatchStep) ([]StepResult, error) {
 	// histograms land in history and live forever, so carving them from
 	// one allocation costs nothing extra and saves a per-step malloc.
 	slab := make([]float64, 0, len(prepared)*s.domain)
-	for i, p := range prepared {
-		results[i] = s.releaseLocked(p, &slab)
-		epsSeq[i] = p.eps
+	for i := range prepared {
+		s.releaseLocked(&prepared[i], &slab, &results[i])
+		epsSeq[i] = prepared[i].eps
 	}
 	// One accounting fan-out for the whole batch: each cohort observes
 	// the batch's budgets in step order (per-cohort accounting is
@@ -281,10 +274,10 @@ type LeakagePoint struct {
 func (s *Server) LeakageAt(t int) (LeakagePoint, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if t < 1 || t > len(s.budgets) {
-		return LeakagePoint{}, fmt.Errorf("stream: time %d out of range [1,%d]", t, len(s.budgets))
+	if t < 1 || t > s.budgets.Len() {
+		return LeakagePoint{}, fmt.Errorf("stream: time %d out of range [1,%d]", t, s.budgets.Len())
 	}
-	p := LeakagePoint{T: t, Eps: s.budgets[t-1]}
+	p := LeakagePoint{T: t, Eps: s.budgets.At(t - 1)}
 	first := true
 	for _, c := range s.cohorts {
 		c.mu.Lock()
@@ -329,8 +322,8 @@ type CohortLeakage struct {
 func (s *Server) CohortLeakages(t int) ([]CohortLeakage, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if t < 1 || t > len(s.budgets) {
-		return nil, fmt.Errorf("stream: time %d out of range [1,%d]", t, len(s.budgets))
+	if t < 1 || t > s.budgets.Len() {
+		return nil, fmt.Errorf("stream: time %d out of range [1,%d]", t, s.budgets.Len())
 	}
 	out := make([]CohortLeakage, len(s.cohorts))
 	for i, c := range s.cohorts {
@@ -359,13 +352,13 @@ func (s *Server) CohortLeakages(t int) ([]CohortLeakage, error) {
 func (s *Server) PublishedRange(from, to int) (eps []float64, hists [][]float64, err error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if from < 1 || to > len(s.budgets) || from > to {
-		return nil, nil, fmt.Errorf("stream: range [%d,%d] outside [1,%d]", from, to, len(s.budgets))
+	if from < 1 || to > s.budgets.Len() || from > to {
+		return nil, nil, fmt.Errorf("stream: range [%d,%d] outside [1,%d]", from, to, s.budgets.Len())
 	}
-	eps = append(eps, s.budgets[from-1:to]...)
+	eps = s.budgets.AppendRange(eps, from-1, to)
 	hists = make([][]float64, 0, to-from+1)
 	for t := from; t <= to; t++ {
-		hists = append(hists, append([]float64(nil), s.published[t-1]...))
+		hists = append(hists, append([]float64(nil), s.published.At(t-1)...))
 	}
 	return eps, hists, nil
 }
@@ -375,8 +368,8 @@ func (s *Server) PublishedRange(from, to int) (eps []float64, hists [][]float64,
 func (s *Server) UserTPLRange(u, from, to int) ([]float64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if from < 1 || to > len(s.budgets) || from > to {
-		return nil, fmt.Errorf("stream: range [%d,%d] outside [1,%d]", from, to, len(s.budgets))
+	if from < 1 || to > s.budgets.Len() || from > to {
+		return nil, fmt.Errorf("stream: range [%d,%d] outside [1,%d]", from, to, s.budgets.Len())
 	}
 	c, err := s.cohortFor(u)
 	if err != nil {

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"crypto/sha256"
+	"encoding/hex"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -33,6 +34,12 @@ type ModelCache struct {
 	cap    int
 	hits   int64
 	misses int64
+
+	// store, when set, is the on-disk tier behind the in-memory map:
+	// first sight of a chain content tries a disk load before
+	// compiling, and fresh compilations are persisted back. See
+	// SetEngineStore.
+	store EngineStore
 
 	// named is the active named-model set (nil until the first
 	// activation). Activations swap the whole pointer, so readers never
@@ -72,10 +79,49 @@ func (mc *ModelCache) quantifier(c *markov.Chain, fp string) *core.Quantifier {
 	}
 	mc.misses++
 	q := core.NewQuantifier(c)
+	if mc.store != nil {
+		// Disk tier: adopt a previously persisted engine, or arrange
+		// for the eventual compilation to be persisted. Both sides key
+		// by the same content hash, and compilation is deterministic,
+		// so a loaded engine is bit-identical to the compile it skips.
+		// The hook is set here, under mc.mu, before the quantifier can
+		// escape to any other goroutine.
+		hexKey := hex.EncodeToString(key[:])
+		if e, ok := mc.store.Load(hexKey, q.N()); ok && q.AdoptEngine(e) {
+			// Warm start: no compile will ever run for this model.
+		} else {
+			st := mc.store
+			q.SetOnCompile(func(e *core.Engine) { st.Store(hexKey, e) })
+		}
+	}
 	if len(mc.m) < mc.cap {
 		mc.m[key] = q
 	}
 	return q
+}
+
+// EngineStore is a persistent second tier for compiled engines, keyed
+// by the hex SHA-256 of the chain's content fingerprint — the same
+// digest core.Quantifier.ContentHash reports and the signed bundle
+// manifests embed. internal/enginecache implements it on disk; the
+// interface keeps stream free of filesystem concerns and lets tests
+// substitute in-memory stores. Implementations must be safe for
+// concurrent use and must never return an invalid engine (Load
+// failures of any kind are simply (nil, false)).
+type EngineStore interface {
+	Load(hash string, n int) (*core.Engine, bool)
+	Store(hash string, e *core.Engine)
+}
+
+// SetEngineStore attaches a persistent engine tier. Quantifiers built
+// before the call keep their in-memory-only behavior; attach the store
+// before the first session is built (the service does this at
+// construction) to get warm starts for every model. A nil store
+// detaches.
+func (mc *ModelCache) SetEngineStore(s EngineStore) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	mc.store = s
 }
 
 // ModelCacheStats is a point-in-time snapshot of cache effectiveness.

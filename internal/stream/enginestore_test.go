@@ -1,0 +1,113 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/markov"
+)
+
+// memStore is an in-memory EngineStore recording its traffic, so the
+// tests can see exactly when the model cache consults the persistent
+// tier and with which keys.
+type memStore struct {
+	mu     sync.Mutex
+	m      map[string]*core.Engine
+	loads  []string
+	stores []string
+}
+
+func newMemStore() *memStore { return &memStore{m: map[string]*core.Engine{}} }
+
+func (s *memStore) Load(hash string, n int) (*core.Engine, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.loads = append(s.loads, hash)
+	e, ok := s.m[hash]
+	if !ok || e.N() != n {
+		return nil, false
+	}
+	return e, true
+}
+
+func (s *memStore) Store(hash string, e *core.Engine) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stores = append(s.stores, hash)
+	s.m[hash] = e
+}
+
+// TestModelCacheEngineStoreRoundTrip pins the two sides of the
+// persistent tier: a cold cache compiles and persists through the
+// store, and a second cache sharing the store adopts the persisted
+// engine instead of compiling — observable because the adopted engine
+// is pointer-identical to the stored one.
+func TestModelCacheEngineStoreRoundTrip(t *testing.T) {
+	pb, err := markov.FromRows([][]float64{{0.8, 0.2}, {0.3, 0.7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := []AdversaryModel{{Backward: pb}}
+	store := newMemStore()
+
+	// Cold process: miss on load, compile on first evaluation, persist.
+	mc1 := NewModelCache()
+	mc1.SetEngineStore(store)
+	s1, err := NewServerCached(2, 1, models, nil, mc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(store.loads) != 1 || len(store.stores) != 0 {
+		t.Fatalf("construction traffic: loads=%v stores=%v", store.loads, store.stores)
+	}
+	// Two steps: the first BPL is the bare budget, so the engine only
+	// compiles (and persists) when the second step evaluates the
+	// backward loss.
+	e := 0.1
+	twoSteps := []BatchStep{{Counts: []int{1, 0}, Eps: &e}, {Counts: []int{0, 1}, Eps: &e}}
+	if _, err := s1.CollectBatch(twoSteps); err != nil {
+		t.Fatal(err)
+	}
+	if len(store.stores) != 1 {
+		t.Fatalf("first evaluation did not persist the engine: stores=%v", store.stores)
+	}
+	wantHash := core.NewQuantifier(pb).ContentHash()
+	if store.stores[0] != wantHash {
+		t.Fatalf("stored under %s, want the chain's content hash %s", store.stores[0], wantHash)
+	}
+
+	// Warm process: the same chain content adopts the persisted engine.
+	mc2 := NewModelCache()
+	mc2.SetEngineStore(store)
+	pb2, err := markov.New(pb.P())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewServerCached(2, 1, []AdversaryModel{{Backward: pb2}}, nil, mc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.CollectBatch(twoSteps); err != nil {
+		t.Fatal(err)
+	}
+	if len(store.stores) != 1 {
+		t.Fatalf("warm start recompiled and re-persisted: stores=%v", store.stores)
+	}
+	// The cached quantifier must hand back the exact engine object the
+	// store holds — adoption, not a fresh compile that happened to agree.
+	if got := mc2.quantifier(pb2, chainFingerprint(pb2, map[*markov.Chain]string{})).Engine(); got != store.m[wantHash] {
+		t.Fatal("warm server did not adopt the stored engine")
+	}
+	_ = s2
+
+	// Same-process second sight never re-consults the store: the
+	// in-memory map answers first.
+	before := len(store.loads)
+	if _, err := NewServerCached(2, 1, []AdversaryModel{{Backward: pb}}, nil, mc1); err != nil {
+		t.Fatal(err)
+	}
+	if len(store.loads) != before {
+		t.Fatalf("in-memory hit consulted the store: loads=%v", store.loads)
+	}
+}

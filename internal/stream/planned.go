@@ -21,7 +21,7 @@ func (s *Server) SetPlan(plan release.Plan) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.plan = plan
-	s.planBase = len(s.budgets)
+	s.planBase = s.budgets.Len()
 }
 
 // CollectPlanned ingests one time step using the attached plan's budget
@@ -32,11 +32,11 @@ func (s *Server) SetPlan(plan release.Plan) {
 func (s *Server) CollectPlanned(values []int) ([]float64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	p, err := s.prepareLocked(BatchStep{Values: values}, 0)
-	if err != nil {
+	var p preparedStep
+	if err := s.prepareLocked(&p, BatchStep{Values: values}, 0); err != nil {
 		return nil, err
 	}
-	return s.applyLocked(p).Published, nil
+	return s.applyLocked(&p).Published, nil
 }
 
 // PlanStep returns the 1-based step the next CollectPlanned will use
@@ -47,7 +47,7 @@ func (s *Server) PlanStep() int {
 	if s.plan == nil {
 		return 0
 	}
-	return len(s.budgets) - s.planBase + 1
+	return s.budgets.Len() - s.planBase + 1
 }
 
 // PlanHorizon returns the attached plan's finite horizon in steps, or

@@ -41,7 +41,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/chunked"
 	"repro/internal/core"
 	"repro/internal/markov"
 	"repro/internal/mechanism"
@@ -95,9 +97,12 @@ type Server struct {
 	noiseSeed       int64
 	noiseProvenance string
 	cohorts         []*cohort
-	userCohort      []int       // user id -> index into cohorts
-	published       [][]float64 // r^1, r^2, ... (noisy histograms)
-	budgets         []float64   // eps_t actually spent
+	userCohort      []int // user id -> index into cohorts
+	// published and budgets are the session-lifetime release history;
+	// chunked storage keeps the per-step append free of history
+	// memmove (see internal/chunked).
+	published chunked.Log[[]float64] // r^1, r^2, ... (noisy histograms)
+	budgets   chunked.Log[float64]   // eps_t actually spent
 
 	plan     release.Plan // optional budget plan for CollectPlanned
 	planBase int          // number of steps already taken when the plan was attached
@@ -110,6 +115,12 @@ type Server struct {
 	relEps   float64
 	relSens  float64
 	relNoise release.Noise
+
+	// obsNs estimates one accountant Observe in nanoseconds (EWMA,
+	// see observeAll). Trivial cohorts cost a few ns per observe;
+	// engine-backed ones 30-150ns — three orders of magnitude around
+	// the point where goroutine fan-out stops paying for itself.
+	obsNs float64
 }
 
 // NewServer creates a release server over the given value domain and
@@ -327,24 +338,40 @@ func (s *Server) Collect(values []int, eps float64) ([]float64, error) {
 // accountant update, so the step is atomic from the accounting point of
 // view (see batch.go for the shared prepare/apply helpers).
 func (s *Server) collectLocked(values []int, eps float64) ([]float64, error) {
-	p, err := s.prepareLocked(BatchStep{Values: values, Eps: &eps}, 0)
-	if err != nil {
+	var p preparedStep
+	if err := s.prepareLocked(&p, BatchStep{Values: values, Eps: &eps}, 0); err != nil {
 		return nil, err
 	}
-	return s.applyLocked(p).Published, nil
+	return s.applyLocked(&p).Published, nil
 }
 
 // observeAll charges a sequence of budgets (one per batch step, in
-// step order) to every cohort accountant, fanning the per-cohort work
-// out over the configured worker count — one fan-out per batch, not per
-// step. Every eps has already passed core.CheckBudget — the only error
-// Observe can return — so an error here is a core invariant violation,
-// not an input problem, and panics rather than leaving the batch
-// half-observed. The panic is raised from the calling goroutine (worker
-// errors are collected first), so a recover higher up — e.g. net/http's
-// handler recovery — confines the blast radius to one request instead
-// of the whole process.
+// step order) to every cohort accountant, adaptively fanning the
+// per-cohort work out over the configured worker count — one fan-out
+// decision per batch, not per step. Every eps has already passed
+// core.CheckBudget — the only error Observe can return — so an error
+// here is a core invariant violation, not an input problem, and panics
+// rather than leaving the batch half-observed. The panic is raised from
+// the calling goroutine (worker errors are collected first), so a
+// recover higher up — e.g. net/http's handler recovery — confines the
+// blast radius to one request instead of the whole process.
+//
+// Adaptivity: a per-cohort observe ranges from a few ns (budget check
+// plus two chunked appends, loss memoized) to ~150ns (engine-backed
+// loss on a cold memo), while spawning a worker costs on the order of
+// a microsecond. Charging a 96-step batch to ten trivial cohorts is
+// ~4µs of real work — a parallel dispatch would spend more than that
+// on goroutine startup alone, and the single-step Collect path used to
+// pay that tax on every call. So cohort 0 is always charged inline and
+// timed, feeding an EWMA of the per-observe cost; the remaining
+// cohorts go parallel only when the estimated sequential remainder
+// exceeds the spawn cost of the workers that would absorb it.
+// Sequential batches time the full truth, so an estimate that ever
+// misjudges heavy work corrects itself on the next batch.
 func (s *Server) observeAll(epsSeq []float64) {
+	if len(s.cohorts) == 0 {
+		return
+	}
 	workers := s.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -360,9 +387,29 @@ func (s *Server) observeAll(epsSeq []float64) {
 		}
 		return nil
 	}
-	var invariant error
-	if workers <= 1 {
-		for _, c := range s.cohorts {
+
+	// Cohort 0 runs inline as this batch's cost sample.
+	start := time.Now()
+	invariant := observeCohort(s.cohorts[0])
+	if n := len(epsSeq); n > 0 {
+		sample := float64(time.Since(start).Nanoseconds()) / float64(n)
+		if s.obsNs == 0 {
+			s.obsNs = sample
+		} else {
+			s.obsNs += (sample - s.obsNs) / 8 // EWMA, alpha = 1/8
+		}
+	}
+
+	rest := s.cohorts[1:]
+	if workers > len(rest) {
+		workers = len(rest)
+	}
+	// Estimated cost of charging the remaining cohorts sequentially,
+	// vs ~1.5µs of startup+handoff per worker goroutine.
+	const spawnNs = 1500
+	estimate := s.obsNs * float64(len(epsSeq)) * float64(len(rest))
+	if workers <= 1 || estimate < float64(workers)*spawnNs {
+		for _, c := range rest {
 			if err := observeCohort(c); err != nil && invariant == nil {
 				invariant = err
 			}
@@ -374,8 +421,8 @@ func (s *Server) observeAll(epsSeq []float64) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				for i := w; i < len(s.cohorts); i += workers {
-					if err := observeCohort(s.cohorts[i]); err != nil && errs[w] == nil {
+				for i := w; i < len(rest); i += workers {
+					if err := observeCohort(rest[i]); err != nil && errs[w] == nil {
 						errs[w] = err
 					}
 				}
@@ -383,9 +430,8 @@ func (s *Server) observeAll(epsSeq []float64) {
 		}
 		wg.Wait()
 		for _, err := range errs {
-			if err != nil {
+			if err != nil && invariant == nil {
 				invariant = err
-				break
 			}
 		}
 	}
@@ -398,24 +444,24 @@ func (s *Server) observeAll(epsSeq []float64) {
 func (s *Server) T() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.published)
+	return s.published.Len()
 }
 
 // Published returns the noisy histogram released at 1-based time t.
 func (s *Server) Published(t int) ([]float64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if t < 1 || t > len(s.published) {
-		return nil, fmt.Errorf("stream: time %d out of range [1,%d]", t, len(s.published))
+	if t < 1 || t > s.published.Len() {
+		return nil, fmt.Errorf("stream: time %d out of range [1,%d]", t, s.published.Len())
 	}
-	return append([]float64(nil), s.published[t-1]...), nil
+	return append([]float64(nil), s.published.At(t-1)...), nil
 }
 
 // Budgets returns a copy of the per-step budgets spent so far.
 func (s *Server) Budgets() []float64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return append([]float64(nil), s.budgets...)
+	return s.budgets.CopyAll()
 }
 
 // Budget returns the budget spent at 1-based time t (O(1), unlike
@@ -423,10 +469,10 @@ func (s *Server) Budgets() []float64 {
 func (s *Server) Budget(t int) (float64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if t < 1 || t > len(s.budgets) {
-		return 0, fmt.Errorf("stream: time %d out of range [1,%d]", t, len(s.budgets))
+	if t < 1 || t > s.budgets.Len() {
+		return 0, fmt.Errorf("stream: time %d out of range [1,%d]", t, s.budgets.Len())
 	}
-	return s.budgets[t-1], nil
+	return s.budgets.At(t - 1), nil
 }
 
 // UserTPL returns user u's temporal privacy leakage at 1-based time t.
@@ -495,13 +541,18 @@ type Report struct {
 func (s *Server) Report() (*Report, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if len(s.budgets) == 0 {
+	if s.budgets.Len() == 0 {
 		return &Report{}, nil
 	}
-	r := &Report{T: len(s.budgets), UserLevel: core.UserLevelTPL(s.budgets)}
-	for _, e := range s.budgets {
-		if e > r.NominalEventLevel {
-			r.NominalEventLevel = e
+	// UserLevel is core.UserLevelTPL's plain sequential sum, walked
+	// chunk-by-chunk in the same step order.
+	r := &Report{T: s.budgets.Len()}
+	for ci, n := 0, s.budgets.Chunks(); ci < n; ci++ {
+		for _, e := range s.budgets.Chunk(ci) {
+			r.UserLevel += e
+			if e > r.NominalEventLevel {
+				r.NominalEventLevel = e
+			}
 		}
 	}
 	// Every member of a cohort attains the same leakage, and cohorts

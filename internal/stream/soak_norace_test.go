@@ -1,0 +1,9 @@
+//go:build !race
+
+package stream
+
+// soakSteps is the release count the chunked-history soak walks. The
+// full run is a bit over 1M steps — far past the point where the old
+// doubling slices would have re-copied the history eight-plus times —
+// and crosses 256 chunk boundaries.
+const soakSteps = 1<<20 + 37

@@ -1,0 +1,12 @@
+//go:build race
+
+package stream
+
+import "repro/internal/chunked"
+
+// soakSteps under the race detector: every memory access is
+// instrumented, so the million-step walk is cut to a few chunks. Three
+// boundary crossings still exercise everything the full run does —
+// tail-chunk appends, spine growth, cross-chunk pagination — just not
+// at volume.
+const soakSteps = 3*chunked.Size + 37

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/chunked"
 	"repro/internal/core"
 	"repro/internal/markov"
 	"repro/internal/release"
@@ -80,14 +81,14 @@ func (s *Server) Snapshot() *ServerState {
 		Sensitivity: s.sensitivity,
 		Noise:       int(s.noise),
 		UserCohort:  append([]int(nil), s.userCohort...),
-		Budgets:     append([]float64(nil), s.budgets...),
+		Budgets:     s.budgets.CopyAll(),
 		HasPlan:     s.plan != nil,
 		PlanBase:    s.planBase,
 		RNG:         s.noiseStateLocked(),
 	}
-	st.Published = make([][]float64, len(s.published))
-	for i, row := range s.published {
-		st.Published[i] = append([]float64(nil), row...)
+	st.Published = make([][]float64, s.published.Len())
+	for i := range st.Published {
+		st.Published[i] = append([]float64(nil), s.published.At(i)...)
 	}
 	st.Cohorts = make([]CohortState, len(s.cohorts))
 	for i, c := range s.cohorts {
@@ -255,13 +256,12 @@ func RestoreServer(st *ServerState, opts RestoreOptions) (*Server, error) {
 		sensitivity: st.Sensitivity,
 		noise:       release.Noise(st.Noise),
 		userCohort:  append([]int(nil), st.UserCohort...),
-		budgets:     append([]float64(nil), st.Budgets...),
+		budgets:     chunked.FromSlice(st.Budgets),
 		planBase:    st.PlanBase,
 		plan:        opts.Plan,
 	}
-	s.published = make([][]float64, len(st.Published))
-	for i, row := range st.Published {
-		s.published[i] = append([]float64(nil), row...)
+	for _, row := range st.Published {
+		s.published.Append(append([]float64(nil), row...))
 	}
 	fps := make(map[*markov.Chain]string)
 	restoreChain := func(ci int, dir string, rows [][]float64) (*markov.Chain, string, error) {
@@ -337,8 +337,8 @@ type StepRecord struct {
 func (s *Server) ApplyStep(rec StepRecord) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if rec.T != len(s.budgets)+1 {
-		return badState("step record for t=%d but server is at t=%d", rec.T, len(s.budgets))
+	if rec.T != s.budgets.Len()+1 {
+		return badState("step record for t=%d but server is at t=%d", rec.T, s.budgets.Len())
 	}
 	if err := core.CheckBudget(rec.Eps); err != nil {
 		return badState("step %d: %v", rec.T, err)
@@ -347,8 +347,8 @@ func (s *Server) ApplyStep(rec StepRecord) error {
 		return badState("step %d publishes %d bins, domain is %d", rec.T, len(rec.Published), s.domain)
 	}
 	s.observeAll([]float64{rec.Eps})
-	s.published = append(s.published, append([]float64(nil), rec.Published...))
-	s.budgets = append(s.budgets, rec.Eps)
+	s.published.Append(append([]float64(nil), rec.Published...))
+	s.budgets.Append(rec.Eps)
 	if s.noiseSrc != nil && s.noiseProvenance == NoiseSeeded && rec.NoiseDraws > s.noiseSrc.draws {
 		s.noiseSrc.skip(rec.NoiseDraws - s.noiseSrc.draws)
 	}

@@ -134,6 +134,21 @@ type PersistenceHealth struct {
 	SessionsWithErrors     int      `json:"sessions_with_errors,omitempty"`
 }
 
+// EngineCacheHealth is the healthz engine_cache block: the on-disk
+// compiled-engine cache's counters. Present only when the server runs
+// with -engine-cache-dir.
+type EngineCacheHealth struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Loads     int64 `json:"loads"`
+	LoadNs    int64 `json:"load_ns"`
+	Stores    int64 `json:"stores"`
+	WriteNs   int64 `json:"write_ns"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+}
+
 // PluginStatus is one management-plane plugin's healthz block.
 type PluginStatus struct {
 	State   string         `json:"state"`
@@ -150,6 +165,7 @@ type Health struct {
 	Users         int                     `json:"users"`
 	UptimeSeconds float64                 `json:"uptime_seconds"`
 	Persistence   PersistenceHealth       `json:"persistence"`
+	EngineCache   *EngineCacheHealth      `json:"engine_cache,omitempty"`
 	Plugins       map[string]PluginStatus `json:"plugins,omitempty"`
 }
 
