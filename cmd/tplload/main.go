@@ -11,6 +11,20 @@
 //	tplload -mode v2-values -batch 64 -sessions 4
 //	tplload -mode v1 -steps 50          # the deprecated per-step wire
 //
+// Cluster targets:
+//
+//	tplload -addr http://h1:8344,http://h2:8344 -sessions 8
+//	tplload -addr http://router:8344 -topology -sessions 8
+//
+// A comma-separated -addr list drives the shards directly: each
+// session is placed on the shard the cluster's own consistent hashing
+// names, exactly as a router would place it. With -topology the single
+// -addr is a cluster entry point (normally the router): the topology
+// document is fetched once and every worker dials its session's owning
+// shard directly over the shard-routing SDK. Either way the report
+// shows the aggregate plus one row per shard, so scaling bottlenecks
+// are attributable.
+//
 // Modes: v2-counts (default; NDJSON batches of pre-aggregated
 // histograms — the at-scale shape), v2-values (NDJSON batches of raw
 // per-user values), v1 (one request per step over the deprecated API).
@@ -28,9 +42,11 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/loadgen"
 	"repro/internal/report"
 	"repro/internal/version"
@@ -39,7 +55,8 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "http://127.0.0.1:8344", "base URL of the tplserved service")
+		addr     = flag.String("addr", "http://127.0.0.1:8344", "base URL of the tplserved service, or a comma-separated shard list")
+		topology = flag.Bool("topology", false, "treat -addr as a cluster entry point: fetch /v2/topology and dial each session's owning shard directly")
 		mode     = flag.String("mode", "v2-counts", "wire mode: v2-counts, v2-values, v1")
 		sessions = flag.Int("sessions", 1, "concurrent sessions (one worker each)")
 		users    = flag.Int("users", 100000, "population per session")
@@ -58,7 +75,7 @@ func main() {
 		fmt.Println("tplload", version.String())
 		return
 	}
-	if err := run(os.Stdout, *addr, *mode, *sessions, *users, *domain, *cohorts, *steps, *batch, *eps, *seed, *keep, *format); err != nil {
+	if err := run(os.Stdout, *addr, *mode, *topology, *sessions, *users, *domain, *cohorts, *steps, *batch, *eps, *seed, *keep, *format); err != nil {
 		fmt.Fprintf(os.Stderr, "tplload: %v\n", err)
 		os.Exit(1)
 	}
@@ -108,7 +125,98 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 	return sorted[rank-1]
 }
 
-func run(w io.Writer, addr, mode string, sessions, users, domain, cohorts, steps, batchSize int, eps float64, seed int64, keep bool, format string) error {
+// target is one ingest destination a worker drives: the client to use
+// and the shard label its numbers are attributed to.
+type target struct {
+	label string
+	c     *client.Client
+}
+
+// resolveTargets maps each session name to its target and returns the
+// client used for session lifecycle (create/delete) plus the shard
+// labels in report order.
+func resolveTargets(ctx context.Context, addr string, topology bool, names []string) (byName map[string]*target, admin *client.Client, labels []string, err error) {
+	byName = make(map[string]*target, len(names))
+
+	if topology {
+		// One entry point; the shard-routing SDK dials owners directly.
+		rc, err := client.New(addr, client.WithShardRouting())
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		doc, err := rc.Topology(ctx)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("fetching topology from %s: %w", addr, err)
+		}
+		topo := &cluster.Topology{Version: doc.Version, RingSize: doc.RingSize, Overrides: doc.Overrides}
+		for _, s := range doc.Shards {
+			topo.Shards = append(topo.Shards, cluster.Shard{ID: s.ID, Addr: s.Addr})
+		}
+		if err := topo.Validate(); err != nil {
+			return nil, nil, nil, err
+		}
+		for _, s := range topo.Shards {
+			labels = append(labels, s.ID)
+		}
+		for _, name := range names {
+			owner, err := topo.Owner(name)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			byName[name] = &target{label: owner.ID, c: rc}
+		}
+		return byName, rc, labels, nil
+	}
+
+	if strings.Contains(addr, ",") {
+		// Direct shard list: place sessions exactly as the cluster's own
+		// hashing would, and drive each shard with its own client.
+		shards, err := cluster.ParseShards(addr)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		topo, err := cluster.New(shards, 0)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		clients := make(map[string]*client.Client, len(shards))
+		for _, s := range shards {
+			c, err := client.New(s.Addr)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			clients[s.ID] = c
+			labels = append(labels, s.ID)
+		}
+		for _, name := range names {
+			owner, err := topo.Owner(name)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			byName[name] = &target{label: owner.ID, c: clients[owner.ID]}
+		}
+		// Lifecycle calls go to each session's own shard; any client
+		// works for the health probe.
+		return byName, clients[shards[0].ID], labels, nil
+	}
+
+	c, err := client.New(addr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, name := range names {
+		byName[name] = &target{label: addr, c: c}
+	}
+	return byName, c, []string{addr}, nil
+}
+
+// shardStats accumulates one shard's numbers across workers.
+type shardStats struct {
+	sent      int
+	latencies []time.Duration
+}
+
+func run(w io.Writer, addr, mode string, topology bool, sessions, users, domain, cohorts, steps, batchSize int, eps float64, seed int64, keep bool, format string) error {
 	f, err := report.ParseFormat(report.ResolveFormat(format, false))
 	if err != nil {
 		return err
@@ -121,41 +229,45 @@ func run(w io.Writer, addr, mode string, sessions, users, domain, cohorts, steps
 	if sessions < 1 || steps < 1 || batchSize < 1 {
 		return fmt.Errorf("-sessions, -steps and -batch must be positive")
 	}
-	c, err := client.New(addr)
-	if err != nil {
-		return err
-	}
 	ctx := context.Background()
-	if _, err := c.Health(ctx); err != nil {
-		return fmt.Errorf("service not reachable at %s: %w", addr, err)
-	}
 
 	names := make([]string, sessions)
 	for i := range names {
 		names[i] = "load-" + strconv.FormatInt(seed, 10) + "-" + strconv.Itoa(i)
-		cfg, err := loadgen.SessionConfig(names[i], users, domain, cohorts, 0.4, 0)
+	}
+	byName, admin, labels, err := resolveTargets(ctx, addr, topology, names)
+	if err != nil {
+		return err
+	}
+	if _, err := admin.Health(ctx); err != nil {
+		return fmt.Errorf("service not reachable at %s: %w", addr, err)
+	}
+	for _, name := range names {
+		cfg, err := loadgen.SessionConfig(name, users, domain, cohorts, 0.4, 0)
 		if err != nil {
 			return err
 		}
-		if _, err := c.CreateSession(ctx, cfg); err != nil {
-			return fmt.Errorf("creating %s: %w", names[i], err)
+		if _, err := byName[name].c.CreateSession(ctx, cfg); err != nil {
+			return fmt.Errorf("creating %s: %w", name, err)
 		}
 	}
 	if !keep {
 		defer func() {
 			for _, name := range names {
-				_ = c.DeleteSession(context.Background(), name)
+				_ = byName[name].c.DeleteSession(context.Background(), name)
 			}
 		}()
 	}
 
 	var (
-		wg        sync.WaitGroup
-		mu        sync.Mutex
-		firstErr  error
-		sent      int
-		latencies []time.Duration // one entry per ingest request, all workers
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		perShard = make(map[string]*shardStats, len(labels))
 	)
+	for _, label := range labels {
+		perShard[label] = &shardStats{}
+	}
 	start := time.Now()
 	for i := 0; i < sessions; i++ {
 		wg.Add(1)
@@ -163,6 +275,7 @@ func run(w io.Writer, addr, mode string, sessions, users, domain, cohorts, steps
 			defer wg.Done()
 			wk := &workload{rng: rand.New(rand.NewSource(seed + int64(i))), users: users, domain: domain, eps: eps}
 			name := names[i]
+			tgt := byName[name]
 			done := 0
 			// Collected worker-locally; merged under the mutex at the end
 			// so the timing loop never contends on it.
@@ -174,14 +287,14 @@ func run(w io.Writer, addr, mode string, sessions, users, domain, cohorts, steps
 				switch mode {
 				case "v1":
 					n = 1
-					_, err = c.V1().Step(ctx, name, wk.step(false).Values, &eps)
+					_, err = tgt.c.V1().Step(ctx, name, wk.step(false).Values, &eps)
 				default:
 					n = min(batchSize, steps-done)
 					batch := make([]client.Step, n)
 					for j := range batch {
 						batch[j] = wk.step(mode == "v2-counts")
 					}
-					_, err = c.StepsNDJSON(ctx, name, batch)
+					_, err = tgt.c.StepsNDJSON(ctx, name, batch)
 				}
 				if err != nil {
 					mu.Lock()
@@ -193,12 +306,11 @@ func run(w io.Writer, addr, mode string, sessions, users, domain, cohorts, steps
 				}
 				local = append(local, time.Since(reqStart))
 				done += n
-				mu.Lock()
-				sent += n
-				mu.Unlock()
 			}
 			mu.Lock()
-			latencies = append(latencies, local...)
+			st := perShard[tgt.label]
+			st.sent += done
+			st.latencies = append(st.latencies, local...)
 			mu.Unlock()
 		}(i)
 	}
@@ -208,13 +320,20 @@ func run(w io.Writer, addr, mode string, sessions, users, domain, cohorts, steps
 		return firstErr
 	}
 
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	var sent int
+	var all []time.Duration
+	for _, st := range perShard {
+		sent += st.sent
+		all = append(all, st.latencies...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	perStep := elapsed / time.Duration(sent)
 	tb := &report.Table{
 		Title:  fmt.Sprintf("tplload: %s ingest against %s", mode, addr),
-		Header: []string{"sessions", "users", "cohorts", "steps", "elapsed", "steps/s", "user-values/s", "per step", "p50", "p95", "p99"},
+		Header: []string{"shard", "sessions", "users", "cohorts", "steps", "elapsed", "steps/s", "user-values/s", "per step", "p50", "p95", "p99"},
 	}
 	tb.AddRow(
+		"all",
 		strconv.Itoa(sessions),
 		strconv.Itoa(users),
 		strconv.Itoa(cohorts),
@@ -223,15 +342,50 @@ func run(w io.Writer, addr, mode string, sessions, users, domain, cohorts, steps
 		fmt.Sprintf("%.1f", float64(sent)/elapsed.Seconds()),
 		fmt.Sprintf("%.3g", float64(sent)*float64(users)/elapsed.Seconds()),
 		perStep.Round(time.Microsecond).String(),
-		percentile(latencies, 50).Round(time.Microsecond).String(),
-		percentile(latencies, 95).Round(time.Microsecond).String(),
-		percentile(latencies, 99).Round(time.Microsecond).String(),
+		percentile(all, 50).Round(time.Microsecond).String(),
+		percentile(all, 95).Round(time.Microsecond).String(),
+		percentile(all, 99).Round(time.Microsecond).String(),
 	)
+	if len(labels) > 1 {
+		// One row per shard: same wall clock (the run is concurrent), so
+		// per-shard steps/s sum to the aggregate and imbalances show up
+		// directly.
+		for _, label := range labels {
+			st := perShard[label]
+			if st.sent == 0 {
+				continue
+			}
+			sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
+			nSess := 0
+			for _, name := range names {
+				if byName[name].label == label {
+					nSess++
+				}
+			}
+			tb.AddRow(
+				label,
+				strconv.Itoa(nSess),
+				strconv.Itoa(users),
+				strconv.Itoa(cohorts),
+				strconv.Itoa(st.sent),
+				elapsed.Round(time.Millisecond).String(),
+				fmt.Sprintf("%.1f", float64(st.sent)/elapsed.Seconds()),
+				fmt.Sprintf("%.3g", float64(st.sent)*float64(users)/elapsed.Seconds()),
+				(elapsed / time.Duration(st.sent)).Round(time.Microsecond).String(),
+				percentile(st.latencies, 50).Round(time.Microsecond).String(),
+				percentile(st.latencies, 95).Round(time.Microsecond).String(),
+				percentile(st.latencies, 99).Round(time.Microsecond).String(),
+			)
+		}
+	}
 	tb.Notes = append(tb.Notes, "p50/p95/p99: per-request ingest latency across all workers (a v2 request carries one batch)")
 	if mode != "v1" {
 		tb.Notes = append(tb.Notes, fmt.Sprintf("batched NDJSON, %d steps per request, idempotency-keyed (retry-safe)", batchSize))
 	} else {
 		tb.Notes = append(tb.Notes, "deprecated v1 wire: one request per step, no retry safety")
+	}
+	if len(labels) > 1 {
+		tb.Notes = append(tb.Notes, "per-shard rows share the run's wall clock: their steps/s sum to the aggregate")
 	}
 	return tb.RenderFormat(w, f)
 }

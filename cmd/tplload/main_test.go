@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -21,7 +22,7 @@ func TestLoadModes(t *testing.T) {
 	for _, mode := range []string{"v2-counts", "v2-values", "v1"} {
 		t.Run(mode, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := run(&buf, srv.URL, mode, 2, 50, 3, 4, 7, 3, 0.1, 42, false, "csv"); err != nil {
+			if err := run(&buf, srv.URL, mode, false, 2, 50, 3, 4, 7, 3, 0.1, 42, false, "csv"); err != nil {
 				t.Fatal(err)
 			}
 			out := buf.String()
@@ -42,7 +43,7 @@ func TestLoadReportsLatencyPercentiles(t *testing.T) {
 	srv := httptest.NewServer(api.Handler())
 	defer srv.Close()
 	var buf bytes.Buffer
-	if err := run(&buf, srv.URL, "v2-counts", 1, 50, 3, 4, 7, 3, 0.1, 43, false, "csv"); err != nil {
+	if err := run(&buf, srv.URL, "v2-counts", false, 1, 50, 3, 4, 7, 3, 0.1, 43, false, "csv"); err != nil {
 		t.Fatal(err)
 	}
 	header := strings.SplitN(buf.String(), "\n", 2)[0]
@@ -75,12 +76,57 @@ func TestLoadReportsLatencyPercentiles(t *testing.T) {
 	}
 }
 
+// TestLoadClusterModes drives the two cluster target shapes — a
+// direct shard list and a router entry point with -topology — against
+// two in-process shards, and checks the report carries per-shard rows
+// alongside the aggregate.
+func TestLoadClusterModes(t *testing.T) {
+	apiA, apiB := service.NewAPI(), service.NewAPI()
+	srvA := httptest.NewServer(apiA.Handler())
+	defer srvA.Close()
+	srvB := httptest.NewServer(apiB.Handler())
+	defer srvB.Close()
+	shards, err := cluster.ParseShards(srvA.URL + "," + srvB.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := cluster.New(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := httptest.NewServer(cluster.NewRouter(topo).Handler())
+	defer router.Close()
+
+	for name, addr := range map[string]string{
+		"shard-list": srvA.URL + "," + srvB.URL,
+		"topology":   router.URL,
+	} {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			// 6 sessions so both shards almost surely own at least one.
+			if err := run(&buf, addr, "v2-counts", name == "topology", 6, 50, 3, 4, 7, 3, 0.1, 42, false, "csv"); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "all") || !strings.Contains(out, "shard-0") || !strings.Contains(out, "shard-1") {
+				t.Fatalf("report lacks aggregate or per-shard rows:\n%s", out)
+			}
+			if !strings.Contains(out, "42") { // 6 sessions x 7 steps
+				t.Fatalf("output does not report 42 steps:\n%s", out)
+			}
+			if apiA.Registry().Len()+apiB.Registry().Len() != 0 {
+				t.Fatalf("sessions left behind: A=%d B=%d", apiA.Registry().Len(), apiB.Registry().Len())
+			}
+		})
+	}
+}
+
 func TestLoadBadFlags(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "http://127.0.0.1:1", "nope", 1, 10, 2, 1, 1, 1, 0.1, 1, false, ""); err == nil {
+	if err := run(&buf, "http://127.0.0.1:1", "nope", false, 1, 10, 2, 1, 1, 1, 0.1, 1, false, ""); err == nil {
 		t.Fatal("unknown mode accepted")
 	}
-	if err := run(&buf, "http://127.0.0.1:1", "v1", 0, 10, 2, 1, 1, 1, 0.1, 1, false, ""); err == nil {
+	if err := run(&buf, "http://127.0.0.1:1", "v1", false, 0, 10, 2, 1, 1, 1, 0.1, 1, false, ""); err == nil {
 		t.Fatal("zero sessions accepted")
 	}
 }

@@ -1,0 +1,378 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/service"
+	"repro/tpl/client"
+)
+
+// startRouter launches the built tplserved in router mode over the
+// given shard base URLs and returns the command plus its base URL.
+func startRouter(t *testing.T, bin string, shardURLs ...string) (*exec.Cmd, string) {
+	t.Helper()
+	args := []string{"-addr", "127.0.0.1:0", "-role", "router", "-shards", strings.Join(shardURLs, ",")}
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Signal(syscall.SIGKILL)
+		_, _ = cmd.Process.Wait()
+	})
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				addrc <- strings.TrimSpace(line[i+len("listening on "):])
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		return cmd, "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("router never logged its listen address")
+	}
+	panic("unreachable")
+}
+
+// TestMigrateMidStreamDifferential is the migration acceptance test,
+// run with the same discipline as TestKillAndRecover: a session
+// streams batches into shard A, is migrated to shard B while a keyed
+// batch is in flight, the unacknowledged batch is retried, and the
+// stream finishes at B. Every leakage answer — per-user TPL series,
+// the report, the w-event maximum, the published histograms — must
+// match an unmigrated in-process control run bit for bit. Both shards
+// share an on-disk engine cache, so the import rebinds compiled
+// engines instead of recompiling.
+func TestMigrateMidStreamDifferential(t *testing.T) {
+	bin := buildServed(t)
+	cacheDir := t.TempDir()
+	cacheFlags := []string{"-engine-cache-dir", cacheDir}
+	ctx := context.Background()
+
+	const (
+		users    = 5
+		batchLen = 3
+		batches  = 6 // 18 steps total
+		moveAtB  = 3 // batch 3 races the migration
+	)
+	chain := &client.Chain{Rows: [][]float64{{0.8, 0.2}, {0.3, 0.7}}}
+	fwd := &client.Chain{Rows: [][]float64{{0.6, 0.4}, {0.1, 0.9}}}
+	cfg := client.SessionConfig{
+		Name: "roamer", Domain: 2, Seed: 99331,
+		Cohorts: []client.Cohort{
+			{Users: 3, Model: client.Model{Backward: chain, Forward: fwd}},
+			{Users: 2, Model: client.Model{}},
+		},
+	}
+	batch := func(b int) []client.Step {
+		steps := make([]client.Step, batchLen)
+		for j := range steps {
+			i := (b-1)*batchLen + j + 1
+			v := make([]int, users)
+			for u := range v {
+				v[u] = (i*7 + u*3) % 2
+			}
+			steps[j] = client.Step{Values: v, Eps: client.Eps(0.1 + 0.05*float64(i%3))}
+		}
+		return steps
+	}
+	key := func(b int) string { return fmt.Sprintf("roamer-batch-%d", b) }
+
+	_, baseA := startChild(t, bin, t.TempDir(), cacheFlags...)
+	_, baseB := startChild(t, bin, t.TempDir(), cacheFlags...)
+
+	// The streaming client is shard-routing: it follows the migration
+	// transparently via the 421 location (no router in this test).
+	c, err := client.New(baseA, client.WithShardRouting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateSession(ctx, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for b := 1; b < moveAtB; b++ {
+		if _, err := c.StepsNDJSON(ctx, "roamer", batch(b), client.WithIdempotencyKey(key(b))); err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+	}
+
+	// Race a keyed batch against the migration. Whatever interleaving
+	// the scheduler picks — batch applied before the freeze, parked on
+	// the session lock during the push, or refused with wrong_shard and
+	// transparently re-routed — the idempotency key guarantees it lands
+	// exactly once.
+	inflight := make(chan error, 1)
+	go func() {
+		_, err := c.StepsNDJSON(ctx, "roamer", batch(moveAtB), client.WithIdempotencyKey(key(moveAtB)))
+		inflight <- err
+	}()
+	loc, err := c.Migrate(ctx, "roamer", baseB)
+	if err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	if loc != baseB {
+		t.Fatalf("migrate location %q, want %s", loc, baseB)
+	}
+	if err := <-inflight; err != nil {
+		t.Fatalf("racing batch: %v", err)
+	}
+	// The client treats the racing batch as unacknowledged and retries
+	// it with the same key; the new owner must replay it from migrated
+	// idempotency memory, never double-charge.
+	res, err := c.StepsNDJSON(ctx, "roamer", batch(moveAtB), client.WithIdempotencyKey(key(moveAtB)))
+	if err != nil {
+		t.Fatalf("post-migrate retry: %v", err)
+	}
+	if !res.Replayed || res.LastT != moveAtB*batchLen {
+		t.Fatalf("post-migrate retry: %+v", res)
+	}
+	for b := moveAtB + 1; b <= batches; b++ {
+		res, err := c.StepsNDJSON(ctx, "roamer", batch(b), client.WithIdempotencyKey(key(b)))
+		if err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		if res.Replayed || res.LastT != b*batchLen {
+			t.Fatalf("batch %d: %+v", b, res)
+		}
+	}
+
+	// Placement assertions: B owns the session, A redirects.
+	cb, err := client.New(baseB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum, err := cb.GetSession(ctx, "roamer"); err != nil || sum.T != batches*batchLen {
+		t.Fatalf("session on target: %+v, %v", sum, err)
+	}
+	ca, err := client.New(baseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ca.GetSession(ctx, "roamer"); !client.IsWrongShard(err) {
+		t.Fatalf("old owner answered %v, want wrong_shard", err)
+	}
+
+	// --- control run: same session, never migrated, in process ---
+	ctl := httptest.NewServer(service.NewAPI().Handler())
+	defer ctl.Close()
+	cc, err := client.New(ctl.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.CreateSession(ctx, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for b := 1; b <= batches; b++ {
+		if _, err := cc.StepsNDJSON(ctx, "roamer", batch(b)); err != nil {
+			t.Fatalf("control batch %d: %v", b, err)
+		}
+	}
+
+	// --- equality, bit for bit ---
+	const totalSteps = batches * batchLen
+	for u := 0; u < users; u++ {
+		got, err := cb.TPLSeries(ctx, "roamer", u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := cc.TPLSeries(ctx, "roamer", u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != totalSteps || len(want) != totalSteps {
+			t.Fatalf("user %d: series lengths %d/%d", u, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("user %d TPL[%d]: migrated %v != control %v", u, i, got[i], want[i])
+			}
+		}
+	}
+	gotRep, err := cb.Report(ctx, "roamer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRep, err := cc.Report(ctx, "roamer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRep != wantRep {
+		t.Fatalf("report: migrated %+v != control %+v", gotRep, wantRep)
+	}
+	gotW, err := cb.WEvent(ctx, "roamer", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantW, err := cc.WEvent(ctx, "roamer", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotW != wantW {
+		t.Fatalf("wevent: migrated %+v != control %+v", gotW, wantW)
+	}
+	gotPub, err := cb.PublishedAll(ctx, "roamer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPub, err := cc.PublishedAll(ctx, "roamer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotPub) != totalSteps {
+		t.Fatalf("published history %d steps", len(gotPub))
+	}
+	for i := range wantPub {
+		for j := range wantPub[i].Published {
+			if gotPub[i].Published[j] != wantPub[i].Published[j] {
+				t.Fatalf("published[%d][%d]: migrated %v != control %v", i, j, gotPub[i].Published[j], wantPub[i].Published[j])
+			}
+		}
+	}
+}
+
+// TestClusterSmoke is the end-to-end cluster exercise with real
+// binaries: two shards and a router, creation through the router,
+// SDK direct-to-shard ingest from the fetched topology, a migration,
+// and a shard SIGKILL that must leave the router answering
+// shard_unavailable for the dead shard's sessions while the surviving
+// shard keeps serving.
+func TestClusterSmoke(t *testing.T) {
+	bin := buildServed(t)
+	ctx := context.Background()
+
+	shardA, baseA := startChild(t, bin, t.TempDir())
+	shardB, baseB := startChild(t, bin, t.TempDir())
+	_, routerURL := startRouter(t, bin, baseA, baseB)
+	_ = shardA
+
+	// Mirror the router's placement locally to pick names landing on
+	// each shard deterministically.
+	shards, err := cluster.ParseShards(baseA + "," + baseB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := cluster.New(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nameOn := func(addr string) string {
+		for i := 0; i < 10000; i++ {
+			name := fmt.Sprintf("smoke-%d", i)
+			if topo.OwnerAddr(name) == addr {
+				return name
+			}
+		}
+		t.Fatal("no name hashes to shard")
+		return ""
+	}
+	nameA, nameB := nameOn(baseA), nameOn(baseB)
+
+	// Create both sessions through the router; each must land on its
+	// ring owner.
+	c, err := client.New(routerURL, client.WithShardRouting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{nameA, nameB} {
+		if _, err := c.CreateSession(ctx, client.SessionConfig{Name: name, Domain: 2, Users: 2, Seed: 1}); err != nil {
+			t.Fatalf("create %s via router: %v", name, err)
+		}
+	}
+	direct := func(base, name string) client.Summary {
+		t.Helper()
+		pc, err := client.New(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := pc.GetSession(ctx, name)
+		if err != nil {
+			t.Fatalf("session %s not on %s: %v", name, base, err)
+		}
+		return sum
+	}
+	direct(baseA, nameA)
+	direct(baseB, nameB)
+
+	// SDK ingest: the routing client fetched the topology from the
+	// router and dials shards directly.
+	if topoDoc, err := c.Topology(ctx); err != nil || len(topoDoc.Shards) != 2 {
+		t.Fatalf("topology via router: %+v, %v", topoDoc, err)
+	}
+	for _, name := range []string{nameA, nameB} {
+		for i := 0; i < 3; i++ {
+			if _, err := c.Steps(ctx, name, []client.Step{{Values: []int{1, 0}, Eps: client.Eps(0.1)}}); err != nil {
+				t.Fatalf("ingest %s: %v", name, err)
+			}
+		}
+	}
+
+	// Migrate the A-owned session to B through the router.
+	if loc, err := c.Migrate(ctx, nameA, baseB); err != nil || loc != baseB {
+		t.Fatalf("migrate via router: %q, %v", loc, err)
+	}
+	if sum := direct(baseB, nameA); sum.T != 3 {
+		t.Fatalf("migrated session T=%d, want 3", sum.T)
+	}
+	if _, err := c.Steps(ctx, nameA, []client.Step{{Values: []int{0, 1}, Eps: client.Eps(0.1)}}); err != nil {
+		t.Fatalf("ingest after migrate: %v", err)
+	}
+
+	// Kill shard B. Requests for its sessions must answer
+	// shard_unavailable at the router; shard A keeps serving. A fresh
+	// session hashing to A can still be created and driven.
+	if err := shardB.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = shardB.Process.Wait()
+
+	// Via the router only (no learned direct dials): a plain client.
+	rc, err := client.New(routerURL, client.WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, err = rc.GetSession(ctx, nameB)
+		if client.IsShardUnavailable(err) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router answered %v for dead shard, want shard_unavailable", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fresh := nameOn(baseA) + "-post-kill"
+	if topo.OwnerAddr(fresh) != baseA {
+		// The suffix may move the hash; find a fresh A-owned name.
+		for i := 0; ; i++ {
+			fresh = fmt.Sprintf("post-kill-%d", i)
+			if topo.OwnerAddr(fresh) == baseA {
+				break
+			}
+		}
+	}
+	if _, err := rc.CreateSession(ctx, client.SessionConfig{Name: fresh, Domain: 2, Users: 1}); err != nil {
+		t.Fatalf("create on surviving shard: %v", err)
+	}
+	if _, err := rc.Steps(ctx, fresh, []client.Step{{Values: []int{1}, Eps: client.Eps(0.1)}}); err != nil {
+		t.Fatalf("ingest on surviving shard: %v", err)
+	}
+}

@@ -54,15 +54,18 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/plugins/plugincfg"
 	"repro/internal/service"
 	"repro/internal/version"
@@ -87,6 +90,9 @@ func main() {
 		journalSync    = flag.String("journal-sync", def.JournalSync, "journal durability: none (page-cache only), group (one fsync per commit group, bounded latency) or step (fsync every batch)")
 		journalWindow  = flag.Duration("journal-window", time.Duration(def.JournalWindow), "group-commit latency window: how long an append may wait for companions before its fsync (0 = default)")
 		engineCacheDir = flag.String("engine-cache-dir", def.EngineCacheDir, "directory for the on-disk compiled-engine cache: adversary models seen by any previous process warm-start instead of recompiling; empty = compile fresh every boot")
+		role           = flag.String("role", def.Role, "process role: serve (one ingest shard, the default) or router (cluster front door proxying to -shards by consistent hashing)")
+		shards         = flag.String("shards", "", "comma-separated shard list (role router): bare base URLs (order fixes IDs shard-0,shard-1,...) or id=addr pairs, e.g. a=http://h1:8344,b=http://h2:8344")
+		ringSize       = flag.Int("ring-size", def.RingSize, "consistent-hash ring slots (role router; 0 = default)")
 		showVer        = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -116,7 +122,7 @@ func main() {
 		fmt.Printf("tplserved: %s: config ok\n", *configPath)
 		return
 	}
-	cfg.ApplyFlags(flag.CommandLine, addr, quiet, stateDir, snapshotEvery, journalSync, journalWindow, engineCacheDir)
+	cfg.ApplyFlags(flag.CommandLine, addr, quiet, stateDir, snapshotEvery, journalSync, journalWindow, engineCacheDir, role, shards, ringSize)
 	if problems := cfg.Validate(); len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintf(os.Stderr, "tplserved: config: %s\n", p)
@@ -137,6 +143,9 @@ func run(ctx context.Context, cfg plugincfg.File, ready func(net.Addr)) error {
 	var logger *log.Logger
 	if !cfg.Quiet {
 		logger = log.New(os.Stderr, "", log.LstdFlags)
+	}
+	if cfg.Role == "router" {
+		return runRouter(ctx, cfg, logger, ready)
 	}
 	srv, err := service.NewWithOptions(cfg.Addr, logger, cfg.Options())
 	if err != nil {
@@ -160,4 +169,61 @@ func run(ctx context.Context, cfg plugincfg.File, ready func(net.Addr)) error {
 		mgr.Stop(stopCtx)
 	}()
 	return srv.Run(ctx, ready)
+}
+
+// routerShutdownGrace bounds the in-flight drain of a stopping router.
+const routerShutdownGrace = 10 * time.Second
+
+// runRouter serves the cluster front door: no sessions, no durability —
+// just the topology document and the consistent-hash proxy over the
+// configured shards (internal/cluster).
+func runRouter(ctx context.Context, cfg plugincfg.File, logger *log.Logger, ready func(net.Addr)) error {
+	topo, err := cfg.Topology()
+	if err != nil {
+		return err
+	}
+	rt := cluster.NewRouter(topo)
+	hs := &http.Server{
+		Addr:              cfg.Addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// Same bounds the shards use: honest traffic fits easily, a
+		// byte-trickling client cannot pin a proxy goroutine forever.
+		ReadTimeout:  5 * time.Minute,
+		WriteTimeout: 5 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
+	}
+	if logger != nil {
+		hs.ErrorLog = logger
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	if logger != nil {
+		logger.Printf("tplserved: listening on %s", ln.Addr())
+		logger.Printf("tplserved: router over %d shard(s), ring size %d, topology v%d", len(topo.Shards), topo.RingSize, topo.Version)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	if logger != nil {
+		logger.Printf("tplserved: shutting down")
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), routerShutdownGrace)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }

@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func testShards(n int) []Shard {
+	shards := make([]Shard, n)
+	for i := range shards {
+		shards[i] = Shard{ID: fmt.Sprintf("shard-%d", i), Addr: fmt.Sprintf("http://10.0.0.%d:8344", i+1)}
+	}
+	return shards
+}
+
+func TestParseShards(t *testing.T) {
+	shards, err := ParseShards(" http://a:1 ,http://b:2/, ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 2 || shards[0].ID != "shard-0" || shards[1].ID != "shard-1" {
+		t.Fatalf("shards %+v", shards)
+	}
+	if shards[1].Addr != "http://b:2" {
+		t.Fatalf("trailing slash kept: %q", shards[1].Addr)
+	}
+	for _, bad := range []string{"", "   ", "ftp://a:1", "http://", "a:1,b:2"} {
+		if _, err := ParseShards(bad); err == nil {
+			t.Errorf("ParseShards(%q) accepted", bad)
+		}
+	}
+
+	// Explicit id=addr pairs: the ID keys the rendezvous hash, so it
+	// must survive exactly as written.
+	named, err := ParseShards("a = http://a:1 ,b=http://b:2/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(named) != 2 || named[0].ID != "a" || named[1].ID != "b" || named[1].Addr != "http://b:2" {
+		t.Fatalf("named shards %+v", named)
+	}
+	// A query string's '=' does not make a bare URL a named entry.
+	q, err := ParseShards("http://a:1/x?k=v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q[0].ID != "shard-0" || q[0].Addr != "http://a:1/x?k=v" {
+		t.Fatalf("query-string shard %+v", q[0])
+	}
+	for _, bad := range []string{"a=", "=http://a:1", "a=ftp://x:1", "a=http://a:1,http://b:2"} {
+		if _, err := ParseShards(bad); err == nil {
+			t.Errorf("ParseShards(%q) accepted", bad)
+		}
+	}
+}
+
+func TestOwnerDeterministicAndComplete(t *testing.T) {
+	topo, err := New(testShards(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.RingSize != DefaultRingSize || topo.Version != 1 {
+		t.Fatalf("defaults %+v", topo)
+	}
+	// Same name, same shard, every time — and every name resolves.
+	for i := 0; i < 200; i++ {
+		name := fmt.Sprintf("session-%d", i)
+		a, err := topo.Owner(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := topo.Owner(name)
+		if a != b {
+			t.Fatalf("owner of %q flapped: %v vs %v", name, a, b)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	topo, _ := New(testShards(4), 0)
+	counts := topo.SlotCounts()
+	if len(counts) != 4 {
+		t.Fatalf("slot counts %v: a shard owns nothing", counts)
+	}
+	// Rendezvous over 1024 slots should keep every shard within 2x of
+	// the fair share — loose, but catches a broken hash outright.
+	fair := DefaultRingSize / 4
+	for id, n := range counts {
+		if n < fair/2 || n > fair*2 {
+			t.Errorf("shard %s owns %d slots, fair share %d", id, n, fair)
+		}
+	}
+}
+
+func TestConsistency(t *testing.T) {
+	// Removing one shard of 4 must only move sessions that shard owned.
+	big, _ := New(testShards(4), 0)
+	small, _ := New(testShards(3), 0) // drops shard-3
+	moved, total := 0, 500
+	for i := 0; i < total; i++ {
+		name := fmt.Sprintf("s-%d", i)
+		was, _ := big.Owner(name)
+		now, _ := small.Owner(name)
+		if was.ID == "shard-3" {
+			continue // had to move
+		}
+		if was.ID != now.ID {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d/%d sessions moved that were not on the removed shard", moved, total)
+	}
+}
+
+func TestOverrides(t *testing.T) {
+	topo, _ := New(testShards(2), 8)
+	name := "pinned"
+	nat, _ := topo.Owner(name)
+	other := "shard-0"
+	if nat.ID == other {
+		other = "shard-1"
+	}
+	v := topo.Version
+	if !topo.SetOverride(name, other) {
+		t.Fatal("override rejected")
+	}
+	if topo.Version != v+1 {
+		t.Fatalf("version %d, want %d", topo.Version, v+1)
+	}
+	if got, _ := topo.Owner(name); got.ID != other {
+		t.Fatalf("override ignored: owner %s", got.ID)
+	}
+	// Repeating the same pin changes nothing.
+	if topo.SetOverride(name, other) {
+		t.Fatal("idempotent override bumped the version")
+	}
+	// Pinning back to the natural owner removes the pin entirely.
+	if !topo.SetOverride(name, nat.ID) {
+		t.Fatal("pin-back rejected")
+	}
+	if len(topo.Overrides) != 0 {
+		t.Fatalf("pin-back left overrides %v", topo.Overrides)
+	}
+	if got, _ := topo.Owner(name); got.ID != nat.ID {
+		t.Fatalf("owner after pin-back %s, want %s", got.ID, nat.ID)
+	}
+	// Unknown shard IDs are refused.
+	if topo.SetOverride(name, "shard-99") {
+		t.Fatal("override to unknown shard accepted")
+	}
+}
+
+func TestValidateAndJSONRoundTrip(t *testing.T) {
+	topo, _ := New(testShards(3), 64)
+	topo.SetOverride("moved", "shard-2")
+	raw, err := json.Marshal(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Topology
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		name := fmt.Sprintf("s-%d", i)
+		if topo.OwnerAddr(name) != back.OwnerAddr(name) {
+			t.Fatalf("placement of %q changed across the wire", name)
+		}
+	}
+
+	bad := []Topology{
+		{RingSize: 0, Shards: testShards(1)},
+		{RingSize: 8},
+		{RingSize: 8, Shards: []Shard{{ID: "", Addr: "http://x"}}},
+		{RingSize: 8, Shards: append(testShards(1), testShards(1)...)},
+		{RingSize: 8, Shards: testShards(1), Overrides: map[string]string{"s": "ghost"}},
+	}
+	for i := range bad {
+		if bad[i].Validate() == nil {
+			t.Errorf("bad topology %d validated", i)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	topo, _ := New(testShards(2), 8)
+	topo.SetOverride("a", "shard-0")
+	c := topo.Clone()
+	c.SetOverride("b", "shard-1")
+	if _, ok := topo.Overrides["b"]; ok {
+		t.Fatal("clone shares the override map")
+	}
+}

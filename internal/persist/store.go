@@ -16,6 +16,8 @@ const (
 	snapSuffix    = ".snap"
 	snapTmpSuffix = ".snap.tmp"
 	journalSuffix = ".journal"
+	tombSuffix    = ".tomb"
+	tombTmpSuffix = ".tomb.tmp"
 )
 
 // ErrNoSnapshot is returned by LoadSnapshot when the named session has
@@ -184,4 +186,74 @@ func (s *Store) Remove(name string) error {
 		}
 	}
 	return firstErr
+}
+
+func (s *Store) tombPath(name string) string { return filepath.Join(s.dir, name+tombSuffix) }
+
+// SaveTombstone durably records that the named session migrated to the
+// shard at location (a base URL). The write is atomic like snapshots:
+// temp, fsync, rename — a restarted shard must keep redirecting, so a
+// tombstone is part of the session's durable state.
+func (s *Store) SaveTombstone(name, location string) error {
+	if err := checkSessionName(name); err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, name+tombTmpSuffix)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: creating tombstone temp: %w", err)
+	}
+	if _, err := f.WriteString(location + "\n"); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: writing tombstone: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: syncing tombstone: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: closing tombstone: %w", err)
+	}
+	if err := os.Rename(tmp, s.tombPath(name)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: publishing tombstone: %w", err)
+	}
+	syncDir(s.dir)
+	return nil
+}
+
+// LoadTombstones returns every persisted session -> new-owner redirect.
+func (s *Store) LoadTombstones() (map[string]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: listing state dir: %w", err)
+	}
+	tombs := make(map[string]string)
+	for _, e := range entries {
+		n := e.Name()
+		if !e.Type().IsRegular() || !strings.HasSuffix(n, tombSuffix) || strings.HasSuffix(n, tombTmpSuffix) {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, n))
+		if err != nil {
+			return nil, fmt.Errorf("persist: reading tombstone %s: %w", n, err)
+		}
+		tombs[strings.TrimSuffix(n, tombSuffix)] = strings.TrimSpace(string(data))
+	}
+	return tombs, nil
+}
+
+// RemoveTombstone deletes a session's redirect (a session re-created or
+// migrated back under the name supersedes it). Missing files are fine.
+func (s *Store) RemoveTombstone(name string) error {
+	if err := checkSessionName(name); err != nil {
+		return err
+	}
+	if err := os.Remove(s.tombPath(name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("persist: removing tombstone: %w", err)
+	}
+	return nil
 }

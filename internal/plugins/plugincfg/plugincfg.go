@@ -15,8 +15,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/plugins/bundle"
 	"repro/internal/plugins/logs"
 	"repro/internal/plugins/manager"
@@ -68,6 +70,16 @@ type File struct {
 	// EngineCacheDir enables the on-disk compiled-engine cache
 	// (empty = compile fresh every process).
 	EngineCacheDir string `json:"engine_cache_dir,omitempty"`
+	// Role selects the process role: "serve" (default — one ingest
+	// shard) or "router" (the cluster front door: no sessions of its
+	// own, proxies traffic to the shards by consistent hashing).
+	Role string `json:"role,omitempty"`
+	// Shards lists the shard base URLs a router proxies to (router role
+	// only; order fixes shard IDs, so keep it stable across restarts).
+	Shards []string `json:"shards,omitempty"`
+	// RingSize is the consistent-hash ring's slot count (router role
+	// only; 0 = the cluster package default).
+	RingSize int `json:"ring_size,omitempty"`
 	// Plugins configures the management-plane plugins; a section that
 	// is absent leaves that plugin off.
 	Plugins Plugins `json:"plugins,omitempty"`
@@ -167,6 +179,38 @@ func (f *File) Validate() []string {
 	if f.JournalWindow < 0 {
 		bad("journal_window: must not be negative")
 	}
+	switch f.Role {
+	case "", "serve":
+		if len(f.Shards) > 0 {
+			bad("shards: only meaningful with role \"router\"")
+		}
+		if f.RingSize != 0 {
+			bad("ring_size: only meaningful with role \"router\"")
+		}
+	case "router":
+		if len(f.Shards) == 0 {
+			bad("shards: role \"router\" needs at least one shard base URL")
+		}
+		if _, err := f.Topology(); err != nil && len(f.Shards) > 0 {
+			bad("shards: %v", err)
+		}
+		if f.RingSize < 0 {
+			bad("ring_size: must not be negative, got %d", f.RingSize)
+		}
+		// A router holds no sessions, so per-shard durability knobs are
+		// misconfigurations rather than silent no-ops.
+		if f.StateDir != "" {
+			bad("state_dir: a router holds no session state; configure it on the shards")
+		}
+		if f.EngineCacheDir != "" {
+			bad("engine_cache_dir: a router compiles no engines; configure it on the shards")
+		}
+		if f.Plugins != (Plugins{}) {
+			bad("plugins: the management plane runs on the shards, not the router")
+		}
+	default:
+		bad("role: %q is not a role (want \"serve\" or \"router\")", f.Role)
+	}
 	if b := f.Plugins.Bundle; b != nil {
 		if b.URL == "" {
 			bad("plugins.bundle.url: required")
@@ -217,7 +261,7 @@ func parsePublicKey(s string) (ed25519.PublicKey, error) {
 // the one place flag-vs-config precedence lives. Only flags the user
 // actually passed win (fs.Visit enumerates exactly those); defaults
 // never shadow the file.
-func (f *File) ApplyFlags(fs *flag.FlagSet, addr *string, quiet *bool, stateDir *string, snapshotEvery *int, journalSync *string, journalWindow *time.Duration, engineCacheDir *string) {
+func (f *File) ApplyFlags(fs *flag.FlagSet, addr *string, quiet *bool, stateDir *string, snapshotEvery *int, journalSync *string, journalWindow *time.Duration, engineCacheDir *string, role *string, shards *string, ringSize *int) {
 	fs.Visit(func(fl *flag.Flag) {
 		switch fl.Name {
 		case "addr":
@@ -234,8 +278,36 @@ func (f *File) ApplyFlags(fs *flag.FlagSet, addr *string, quiet *bool, stateDir 
 			f.JournalWindow = Duration(*journalWindow)
 		case "engine-cache-dir":
 			f.EngineCacheDir = *engineCacheDir
+		case "role":
+			f.Role = *role
+		case "shards":
+			f.Shards = splitShards(*shards)
+		case "ring-size":
+			f.RingSize = *ringSize
 		}
 	})
+}
+
+// splitShards parses the -shards flag's comma-separated address list.
+func splitShards(list string) []string {
+	var out []string
+	for _, a := range strings.Split(list, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Topology builds the router's placement document (router role only).
+// Entries are bare addresses (positional shard-N IDs, stable as long
+// as the order is) or explicit "id=addr" pairs.
+func (f *File) Topology() (*cluster.Topology, error) {
+	shards, err := cluster.ParseShardList(f.Shards)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.New(shards, f.RingSize)
 }
 
 // Options converts the file to the service's serving options.

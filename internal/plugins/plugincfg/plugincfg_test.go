@@ -125,6 +125,9 @@ func TestApplyFlagsPrecedence(t *testing.T) {
 	journalSync := fs.String("journal-sync", def.JournalSync, "")
 	journalWindow := fs.Duration("journal-window", time.Duration(def.JournalWindow), "")
 	engineCacheDir := fs.String("engine-cache-dir", def.EngineCacheDir, "")
+	role := fs.String("role", def.Role, "")
+	shards := fs.String("shards", "", "")
+	ringSize := fs.Int("ring-size", def.RingSize, "")
 	// The user passes exactly three flags.
 	if err := fs.Parse([]string{"-addr", ":9999", "-snapshot-every", "7", "-engine-cache-dir", "/flagcache"}); err != nil {
 		t.Fatal(err)
@@ -140,7 +143,7 @@ func TestApplyFlagsPrecedence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f.ApplyFlags(fs, addr, quiet, stateDir, snapshotEvery, journalSync, journalWindow, engineCacheDir)
+	f.ApplyFlags(fs, addr, quiet, stateDir, snapshotEvery, journalSync, journalWindow, engineCacheDir, role, shards, ringSize)
 
 	// Explicit flags win over the file.
 	if f.Addr != ":9999" || f.SnapshotEvery != 7 || f.EngineCacheDir != "/flagcache" {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/enginecache"
+	"repro/internal/persist"
 	"repro/internal/report"
 	"repro/internal/stream"
 	"repro/internal/version"
@@ -100,7 +101,52 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /v2/sessions/{name}/wevent", a.getWEvent)
 	mux.HandleFunc("GET /v2/sessions/{name}/report", a.getReport)
 	mux.HandleFunc("GET /v2/sessions/{name}/watch", a.watchSession)
+
+	// Cluster plane (migrate.go): source-driven session hand-off. The
+	// literal "import" segment wins over {name} patterns by ServeMux
+	// precedence, so "import" is not a reachable session name here.
+	mux.HandleFunc("POST /v2/sessions/{name}/migrate", a.postMigrate)
+	mux.HandleFunc("POST /v2/sessions/import", a.importSession)
 	return mux
+}
+
+// migrateRequest is the POST /v2/sessions/{name}/migrate body.
+type migrateRequest struct {
+	// Target is the receiving shard's base URL.
+	Target string `json:"target"`
+}
+
+// postMigrate hands one session off to another shard: snapshot here,
+// restore there, tombstone + 421 redirects here afterwards.
+func (a *API) postMigrate(w http.ResponseWriter, r *http.Request) {
+	var req migrateRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	name := r.PathValue("name")
+	location, err := a.reg.Migrate(r.Context(), name, req.Target)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "location": location})
+}
+
+// importSession receives a migrating session's state (the snapshot
+// envelope, pushed by the source's Migrate) and registers it here.
+func (a *API) importSession(w http.ResponseWriter, r *http.Request) {
+	version, body, err := persist.DecodeEnvelope(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, fmt.Errorf("service: decoding import envelope: %w", err))
+		return
+	}
+	s, err := a.reg.ImportSession(version, body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.Summary())
 }
 
 // deprecated marks a v1 handler's responses (RFC 9745 header plus the

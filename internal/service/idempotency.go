@@ -149,6 +149,13 @@ func batchHash(steps []stream.BatchStep) [32]byte {
 func (s *Session) CollectBatch(key string, steps []stream.BatchStep) (results []stream.StepResult, replayed bool, err error) {
 	s.stepMu.Lock()
 	defer s.stepMu.Unlock()
+	// A writer that raced a migration and still holds this pointer is
+	// refused before touching any accountant: the state left with the
+	// export, so applying here would acknowledge a lost write. The 421
+	// redirect tells the client where to resend (migrate.go).
+	if s.retired {
+		return nil, false, &WrongShardError{Name: s.name, Location: s.retiredTo}
+	}
 	// One atomic load decides whether this batch is audited; the
 	// disabled path pays nothing else (decision.go).
 	sink := s.decisionSink()

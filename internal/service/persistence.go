@@ -168,17 +168,12 @@ func (r *Registry) snapEvery() int {
 // its journal. Caller holds s.stepMu; the session may already be
 // visible in the registry, so holding stepMu is what keeps any early
 // step from slipping past the journal.
-func (s *Session) initPersistenceLocked(store *persist.Store, cfg *SessionConfig, snapshotEvery int) error {
-	cfgJSON, err := json.Marshal(cfg)
-	if err != nil {
-		return fmt.Errorf("service: serializing session config: %w", err)
-	}
+func (s *Session) initPersistenceLocked(store *persist.Store, snapshotEvery int) error {
 	// store doubles as persistInfo's "is persistence on" flag and is
 	// read under persistMu there, so its writes hold both mutexes.
 	s.persistMu.Lock()
 	s.store = store
 	s.persistMu.Unlock()
-	s.cfgJSON = cfgJSON
 	s.snapshotEvery = snapshotEvery
 	if err := s.snapshotLocked(); err != nil {
 		return err
@@ -199,9 +194,9 @@ func (s *Session) initPersistenceLocked(store *persist.Store, cfg *SessionConfig
 // failed append left behind. Caller holds s.stepMu.
 func (s *Session) snapshotLocked() error {
 	st := s.srv.Snapshot()
-	body, err := gobEncode(sessionState{ConfigJSON: s.cfgJSON, Created: s.created, Server: st, Idem: s.idem.entries()})
+	body, err := s.encodeStateLocked(st)
 	if err != nil {
-		return fmt.Errorf("service: encoding snapshot: %w", err)
+		return err
 	}
 	if err := s.store.SaveSnapshot(s.name, sessionSchemaVersion, body); err != nil {
 		return err
@@ -219,6 +214,17 @@ func (s *Session) snapshotLocked() error {
 	s.persistErr = nil
 	s.persistMu.Unlock()
 	return nil
+}
+
+// encodeStateLocked gob-encodes the session's full portable state (the
+// same body snapshots persist; migration ships it over the wire). Caller
+// holds s.stepMu; st is a fresh s.srv.Snapshot().
+func (s *Session) encodeStateLocked(st *stream.ServerState) ([]byte, error) {
+	body, err := gobEncode(sessionState{ConfigJSON: s.cfgJSON, Created: s.created, Server: st, Idem: s.idem.entries()})
+	if err != nil {
+		return nil, fmt.Errorf("service: encoding snapshot: %w", err)
+	}
+	return body, nil
 }
 
 // latchPersistErr records a persist failure for health reporting.
@@ -405,6 +411,18 @@ func (r *Registry) RestoreAll() (restored []string, failed map[string]error) {
 		failed[""] = err
 		return nil, failed
 	}
+	// Reload migration tombstones first: a restarted shard must keep
+	// redirecting traffic for sessions it handed off before the crash.
+	if tombs, terr := store.LoadTombstones(); terr != nil {
+		failed[""] = terr
+	} else {
+		for name, loc := range tombs {
+			stripe := r.stripe(name)
+			stripe.mu.Lock()
+			stripe.tombstones[name] = loc
+			stripe.mu.Unlock()
+		}
+	}
 	for _, name := range names {
 		if err := r.restoreOne(store, name); err != nil {
 			failed[name] = err
@@ -415,45 +433,56 @@ func (r *Registry) RestoreAll() (restored []string, failed map[string]error) {
 	return restored, failed
 }
 
+// decodeSessionState verifies a snapshot envelope body and rebuilds the
+// portable session value it carries: the stored config, and a live
+// server with its plan and noise mode reconstructed and its compiled
+// engines re-attached by content hash through the shared model cache.
+// Both boot-time restore and cross-shard import go through it.
+func (r *Registry) decodeSessionState(version uint32, body []byte) (st sessionState, cfg SessionConfig, srv *stream.Server, err error) {
+	if version != sessionSchemaVersion && version != sessionSchemaVersionLegacy {
+		return st, cfg, nil, fmt.Errorf("service: snapshot schema version %d not supported (want %d)", version, sessionSchemaVersion)
+	}
+	if err := gobDecode(body, &st); err != nil {
+		return st, cfg, nil, fmt.Errorf("service: decoding snapshot: %w", err)
+	}
+	if st.Server == nil {
+		return st, cfg, nil, fmt.Errorf("service: snapshot has no server state")
+	}
+	if err := json.Unmarshal(st.ConfigJSON, &cfg); err != nil {
+		return st, cfg, nil, fmt.Errorf("service: decoding stored config: %w", err)
+	}
+	opts := stream.RestoreOptions{Cache: r.models}
+	if cfg.Plan != nil {
+		plan, err := cfg.Plan.buildPlan(cfg.firstModel())
+		if err != nil {
+			return st, cfg, nil, fmt.Errorf("service: rebuilding plan: %w", err)
+		}
+		opts.Plan = plan
+	}
+	if st.Server.RNG.Provenance != stream.NoiseSeeded {
+		if opts.ReseedSeed, err = randomSeed(); err != nil {
+			return st, cfg, nil, err
+		}
+	}
+	srv, err = stream.RestoreServer(st.Server, opts)
+	if err != nil {
+		return st, cfg, nil, err
+	}
+	return st, cfg, srv, nil
+}
+
 // restoreOne loads, verifies, replays and registers one session.
 func (r *Registry) restoreOne(store *persist.Store, name string) error {
 	version, body, err := store.LoadSnapshot(name)
 	if err != nil {
 		return err
 	}
-	if version != sessionSchemaVersion && version != sessionSchemaVersionLegacy {
-		return fmt.Errorf("service: snapshot schema version %d not supported (want %d)", version, sessionSchemaVersion)
-	}
-	var st sessionState
-	if err := gobDecode(body, &st); err != nil {
-		return fmt.Errorf("service: decoding snapshot: %w", err)
-	}
-	if st.Server == nil {
-		return fmt.Errorf("service: snapshot has no server state")
-	}
-	var cfg SessionConfig
-	if err := json.Unmarshal(st.ConfigJSON, &cfg); err != nil {
-		return fmt.Errorf("service: decoding stored config: %w", err)
+	st, cfg, srv, err := r.decodeSessionState(version, body)
+	if err != nil {
+		return err
 	}
 	if cfg.Name != name {
 		return fmt.Errorf("service: snapshot file %q holds config for session %q", name, cfg.Name)
-	}
-	opts := stream.RestoreOptions{Cache: r.models}
-	if cfg.Plan != nil {
-		plan, err := cfg.Plan.buildPlan(cfg.firstModel())
-		if err != nil {
-			return fmt.Errorf("service: rebuilding plan: %w", err)
-		}
-		opts.Plan = plan
-	}
-	if st.Server.RNG.Provenance != stream.NoiseSeeded {
-		if opts.ReseedSeed, err = randomSeed(); err != nil {
-			return err
-		}
-	}
-	srv, err := stream.RestoreServer(st.Server, opts)
-	if err != nil {
-		return err
 	}
 	snapT := srv.T()
 	// Replay the journal tail: version-1 records are single steps,

@@ -53,6 +53,19 @@ const (
 	// model that the active bundle revision does not carry (or no bundle
 	// is active). Retry after the right bundle activates.
 	CodeModelNotFound = "model_not_found"
+	// CodeWrongShard: this process no longer owns the session — it was
+	// migrated to another shard. The problem's "location" member carries
+	// the new owner's base URL; re-route and retry (the refusing shard
+	// applied nothing, so even non-idempotent requests are safe to
+	// resend).
+	CodeWrongShard = "wrong_shard"
+	// CodeShardUnavailable: the router could not reach the shard owning
+	// the session. Retry after the shard recovers or is replaced.
+	CodeShardUnavailable = "shard_unavailable"
+	// CodeMigrateFailed: a migrate request could not complete because the
+	// target shard refused or was unreachable; the session is untouched
+	// on its current owner.
+	CodeMigrateFailed = "migrate_failed"
 	// CodeInternal: the service failed; nothing was wrong with the
 	// request.
 	CodeInternal = "internal"
@@ -69,7 +82,9 @@ type Problem struct {
 	Code      string   `json:"code"`
 	Detail    string   `json:"detail,omitempty"`
 	Supported []string `json:"supported,omitempty"`
-	Error     string   `json:"error,omitempty"`
+	// Location carries the new owner's base URL on wrong_shard problems.
+	Location string `json:"location,omitempty"`
+	Error    string `json:"error,omitempty"`
 }
 
 // problemTitles maps codes to their RFC 7807 titles.
@@ -85,8 +100,29 @@ var problemTitles = map[string]string{
 	CodePayloadTooLarge:     "payload too large",
 	CodeIdempotencyConflict: "idempotency key conflict",
 	CodeModelNotFound:       "bundle model not found",
+	CodeWrongShard:          "session owned by another shard",
+	CodeShardUnavailable:    "shard unavailable",
+	CodeMigrateFailed:       "migration failed",
 	CodeInternal:            "internal error",
 }
+
+// WrongShardError reports that a session migrated away from this process.
+// Location is the new owner's base URL when known.
+type WrongShardError struct {
+	Name     string
+	Location string
+}
+
+func (e *WrongShardError) Error() string {
+	if e.Location == "" {
+		return "service: session " + e.Name + " has migrated to another shard"
+	}
+	return "service: session " + e.Name + " has migrated to " + e.Location
+}
+
+// ErrMigrateFailed tags a migrate whose target shard refused or was
+// unreachable; the source session is untouched.
+var ErrMigrateFailed = errors.New("service: migration failed")
 
 // ErrModelNotFound tags a session config referencing a bundle model
 // the active revision does not carry.
@@ -101,7 +137,13 @@ var errIdemConflict = errors.New("service: idempotency key reused with a differe
 func classify(err error) (status int, code string) {
 	var tooBig *http.MaxBytesError
 	var invalid *core.InvalidStateError
+	var wrongShard *WrongShardError
 	switch {
+	case errors.As(err, &wrongShard):
+		// 421 Misdirected Request: the session lives on another shard.
+		return http.StatusMisdirectedRequest, CodeWrongShard
+	case errors.Is(err, ErrMigrateFailed):
+		return http.StatusBadGateway, CodeMigrateFailed
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound, CodeSessionNotFound
 	case errors.Is(err, ErrExists):
@@ -142,6 +184,17 @@ func newProblem(status int, code, detail string) Problem {
 	}
 }
 
+// NewProblem builds a problem body for one code; the cluster router uses
+// it to answer with the same wire shapes the shards produce.
+func NewProblem(status int, code, detail string) Problem {
+	return newProblem(status, code, detail)
+}
+
+// WriteProblem emits one problem+json response (exported for the router).
+func WriteProblem(w http.ResponseWriter, p Problem) {
+	writeProblem(w, p)
+}
+
 // writeProblem emits one problem+json response.
 func writeProblem(w http.ResponseWriter, p Problem) {
 	w.Header().Set("Content-Type", problemContentType)
@@ -152,7 +205,12 @@ func writeProblem(w http.ResponseWriter, p Problem) {
 // classifier picks.
 func writeError(w http.ResponseWriter, err error) {
 	status, code := classify(err)
-	writeProblem(w, newProblem(status, code, err.Error()))
+	p := newProblem(status, code, err.Error())
+	var wrongShard *WrongShardError
+	if errors.As(err, &wrongShard) {
+		p.Location = wrongShard.Location
+	}
+	writeProblem(w, p)
 }
 
 // writeErrorStatus is writeError with the handler overriding the

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -65,6 +66,14 @@ type Session struct {
 	lastSnapAt     time.Time
 	journalRecords int
 	persistErr     error
+
+	// retired marks a session whose state was migrated to another shard
+	// (guarded by stepMu): any write that raced the migration and still
+	// holds this pointer is refused with WrongShardError pointing at
+	// retiredTo, so no step can land on the orphaned server after its
+	// state left the process. See migrate.go.
+	retired   bool
+	retiredTo string
 
 	// idem remembers recent idempotency-keyed batches (guarded by
 	// stepMu; persisted — see idempotency.go and persistence.go).
@@ -169,6 +178,10 @@ const sessionStripes = 64
 type sessionStripe struct {
 	mu       sync.RWMutex
 	sessions map[string]*Session
+	// tombstones maps migrated-away session names to their new owner's
+	// base URL. Checked only on a Get miss, so the tombstone table costs
+	// the hot path nothing. Persisted as .tomb files (migrate.go).
+	tombstones map[string]string
 }
 
 // Registry is the concurrency-safe session store. The zero value is not
@@ -214,6 +227,7 @@ func NewRegistry() *Registry {
 	}
 	for i := range r.stripes {
 		r.stripes[i].sessions = make(map[string]*Session)
+		r.stripes[i].tombstones = make(map[string]string)
 	}
 	return r
 }
@@ -317,7 +331,14 @@ func (r *Registry) Create(cfg *SessionConfig) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Session{name: cfg.Name, created: r.now(), srv: srv, now: r.now, sink: &r.decisions, modelRevision: cfg.ModelRevision}
+	// The resolved config is serialized for every session, durable or
+	// not: restores rebuild from it, and migration ships it with the
+	// exported state, so even an ephemeral shard can hand a session off.
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("service: serializing session config: %w", err)
+	}
+	s := &Session{name: cfg.Name, created: r.now(), srv: srv, now: r.now, sink: &r.decisions, modelRevision: cfg.ModelRevision, cfgJSON: cfgJSON}
 	// The session is inserted before its persistence is initialized, so
 	// a concurrent create of the same name loses cleanly at the map —
 	// never by overwriting the winner's files. Holding stepMu across the
@@ -335,13 +356,21 @@ func (r *Registry) Create(cfg *SessionConfig) (*Session, error) {
 		return nil, fmt.Errorf("%w: %q", ErrExists, cfg.Name)
 	}
 	stripe.sessions[cfg.Name] = s
+	// A fresh session under a migrated-away name supersedes the redirect.
+	hadTomb := false
+	if _, hadTomb = stripe.tombstones[cfg.Name]; hadTomb {
+		delete(stripe.tombstones, cfg.Name)
+	}
 	stripe.mu.Unlock()
+	if hadTomb {
+		r.removeTombstoneFile(cfg.Name)
+	}
 	r.pmu.Lock()
 	store, every := r.store, r.snapshotEvery
 	s.syncMode, s.committer = r.syncMode, r.committer
 	r.pmu.Unlock()
 	if store != nil {
-		if err := s.initPersistenceLocked(store, cfg, every); err != nil {
+		if err := s.initPersistenceLocked(store, every); err != nil {
 			stripe.mu.Lock()
 			owned := stripe.sessions[cfg.Name] == s
 			if owned {
@@ -367,13 +396,23 @@ func (r *Registry) Users() int {
 	return int(r.totalUsers.Load())
 }
 
-// Get returns the named session.
+// Get returns the named session. A name that was migrated away resolves
+// to WrongShardError carrying the new owner's base URL; the tombstone is
+// consulted only after the live-session miss, so clustered redirects add
+// zero cost to the resident hot path.
 func (r *Registry) Get(name string) (*Session, error) {
 	stripe := r.stripe(name)
 	stripe.mu.RLock()
 	s, ok := stripe.sessions[name]
+	loc, gone := "", false
+	if !ok {
+		loc, gone = stripe.tombstones[name]
+	}
 	stripe.mu.RUnlock()
 	if !ok {
+		if gone {
+			return nil, &WrongShardError{Name: name, Location: loc}
+		}
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	return s, nil

@@ -6,6 +6,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	mathrand "math/rand"
@@ -13,11 +14,22 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
+
+	"repro/internal/cluster"
 )
 
 // Client talks to one tplserved base URL. It is safe for concurrent
 // use; construct with New.
+//
+// With WithShardRouting the base URL is treated as a cluster entry
+// point (a router, or any shard): the client fetches GET /v2/topology
+// once, dials each session's owning shard directly — skipping the
+// router hop on the hot path — and on a wrong_shard refusal learns the
+// session's new home and retries transparently (safe even for
+// non-idempotent calls: a 421 means the refusing shard applied
+// nothing).
 type Client struct {
 	base       string
 	hc         *http.Client
@@ -25,6 +37,15 @@ type Client struct {
 	backoff    time.Duration
 	backoffCap time.Duration
 	userAgent  string
+	routing    bool
+
+	// Shard-routing state (topoMu): the fetched topology document, a
+	// failure timestamp bounding refetch churn, and per-session homes
+	// learned from 421 locations and migrations.
+	topoMu      sync.Mutex
+	topo        *cluster.Topology
+	topoErrAt   time.Time
+	sessionAddr map[string]string
 }
 
 // Option configures a Client.
@@ -47,6 +68,13 @@ func WithBackoff(base, cap time.Duration) Option {
 
 // WithUserAgent overrides the User-Agent header.
 func WithUserAgent(ua string) Option { return func(c *Client) { c.userAgent = ua } }
+
+// WithShardRouting makes the client cluster-aware: session-scoped
+// calls resolve the owning shard from the cluster topology (fetched
+// lazily from GET /v2/topology on the base URL) and dial it directly,
+// and wrong_shard refusals trigger a transparent re-route and retry.
+// Non-session calls (create, list, health) keep using the base URL.
+func WithShardRouting() Option { return func(c *Client) { c.routing = true } }
 
 // New validates the base URL ("http://host:port") and builds a client.
 func New(baseURL string, opts ...Option) (*Client, error) {
@@ -117,10 +145,12 @@ func decodeProblem(status int, body []byte) *APIError {
 		Code      string   `json:"code"`
 		Detail    string   `json:"detail"`
 		Supported []string `json:"supported"`
+		Location  string   `json:"location"`
 	}
 	ae := &APIError{Status: status}
 	if err := json.Unmarshal(body, &p); err == nil && p.Code != "" {
 		ae.Code, ae.Title, ae.Detail, ae.Supported = p.Code, p.Title, p.Detail, p.Supported
+		ae.Location = p.Location
 		return ae
 	}
 	if status >= 500 {
@@ -132,12 +162,18 @@ func decodeProblem(status int, body []byte) *APIError {
 	return ae
 }
 
-// do runs one JSON request. idempotent requests are retried on
-// transport errors and 5xx responses; non-idempotent ones are sent
-// exactly once (an ambiguous failure must surface, not be re-applied).
-// header entries are added to the request; the response header is
-// returned on success and on decoded API errors.
+// do runs one JSON request against the base URL.
 func (c *Client) do(ctx context.Context, method, path string, header http.Header, contentType string, body []byte, idempotent bool, out any) (http.Header, error) {
+	return c.doBase(ctx, c.base, method, path, header, contentType, body, idempotent, out)
+}
+
+// doBase runs one JSON request against an explicit base URL (the
+// client's own, or a shard's when routing). idempotent requests are
+// retried on transport errors and 5xx responses; non-idempotent ones
+// are sent exactly once (an ambiguous failure must surface, not be
+// re-applied). header entries are added to the request; the response
+// header is returned on success and on decoded API errors.
+func (c *Client) doBase(ctx context.Context, base, method, path string, header http.Header, contentType string, body []byte, idempotent bool, out any) (http.Header, error) {
 	attempts := 1
 	if idempotent {
 		attempts += c.retries
@@ -153,7 +189,7 @@ func (c *Client) do(ctx context.Context, method, path string, header http.Header
 		if body != nil {
 			rd = bytes.NewReader(body)
 		}
-		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 		if err != nil {
 			return nil, fmt.Errorf("client: building %s %s: %w", method, path, err)
 		}
@@ -211,6 +247,148 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 	return err
 }
 
+// topoRefetchBackoff bounds how often a failing topology fetch is
+// retried; in between, session calls fall back to the base URL (a
+// router there still reaches the right shard).
+const topoRefetchBackoff = time.Second
+
+// wrongShardRetries bounds transparent re-routes per call: an initial
+// stale guess plus a migration landing mid-flight both resolve within
+// two hops; more means the cluster is flapping and the caller should
+// see it.
+const wrongShardRetries = 3
+
+// fetchTopology pulls and validates the topology document from the
+// base URL.
+func (c *Client) fetchTopology(ctx context.Context) (*cluster.Topology, error) {
+	var t cluster.Topology
+	if _, err := c.doBase(ctx, c.base, http.MethodGet, "/v2/topology", nil, "", nil, true, &t); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("client: invalid topology from %s: %w", c.base, err)
+	}
+	return &t, nil
+}
+
+// sessionBase resolves the base URL to dial for one session: a home
+// learned from wrong_shard/migration, else the topology owner, else
+// the client's base URL (single node, routing off, or topology
+// temporarily unfetchable).
+func (c *Client) sessionBase(ctx context.Context, session string) string {
+	if !c.routing {
+		return c.base
+	}
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	if addr, ok := c.sessionAddr[session]; ok {
+		return addr
+	}
+	if c.topo == nil {
+		if time.Since(c.topoErrAt) < topoRefetchBackoff {
+			return c.base
+		}
+		t, err := c.fetchTopology(ctx)
+		if err != nil {
+			c.topoErrAt = time.Now()
+			return c.base
+		}
+		c.topo = t
+	}
+	if addr := c.topo.OwnerAddr(session); addr != "" {
+		return addr
+	}
+	return c.base
+}
+
+// noteWrongShard records what a wrong_shard refusal taught us: the
+// session's new home when the refuser named one, otherwise that the
+// cached topology document is stale and must be refetched.
+func (c *Client) noteWrongShard(session, location string) {
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	if location != "" {
+		if c.sessionAddr == nil {
+			c.sessionAddr = make(map[string]string)
+		}
+		c.sessionAddr[session] = strings.TrimRight(location, "/")
+		return
+	}
+	c.topo = nil
+}
+
+// forgetSession drops a learned per-session home (the session is gone
+// or its record proved wrong).
+func (c *Client) forgetSession(session string) {
+	c.topoMu.Lock()
+	delete(c.sessionAddr, session)
+	c.topoMu.Unlock()
+}
+
+// doSession runs one session-scoped request with shard routing: dial
+// the resolved owner, and on a wrong_shard refusal learn the new home
+// and retry. The retry is safe even for non-idempotent calls — a 421
+// means the refusing shard applied nothing. Without WithShardRouting
+// this is doBase against the base URL.
+func (c *Client) doSession(ctx context.Context, session, method, path string, header http.Header, contentType string, body []byte, idempotent bool, out any) (http.Header, error) {
+	var lastHdr http.Header
+	var lastErr error
+	for attempt := 0; attempt <= wrongShardRetries; attempt++ {
+		hdr, err := c.doBase(ctx, c.sessionBase(ctx, session), method, path, header, contentType, body, idempotent, out)
+		if err == nil || !c.routing || !IsWrongShard(err) {
+			return hdr, err
+		}
+		var ae *APIError
+		errors.As(err, &ae)
+		// A learned home that itself refuses is stale; start over from
+		// whatever the refusal teaches.
+		c.forgetSession(session)
+		c.noteWrongShard(session, ae.Location)
+		lastHdr, lastErr = hdr, err
+	}
+	return lastHdr, lastErr
+}
+
+// getSession runs one idempotent session-scoped GET.
+func (c *Client) getSession(ctx context.Context, session, path string, out any) error {
+	_, err := c.doSession(ctx, session, http.MethodGet, path, nil, "", nil, true, out)
+	return err
+}
+
+// Topology fetches the cluster topology document (shards, hash-ring
+// size, per-session overrides). Single-node servers without cluster
+// support answer 404.
+func (c *Client) Topology(ctx context.Context) (Topology, error) {
+	var t Topology
+	err := c.get(ctx, "/v2/topology", &t)
+	return t, err
+}
+
+// Migrate asks the session's current owner to hand the session to the
+// shard at target (a base URL from the topology). On success the
+// session serves from target and the old owner answers wrong_shard;
+// the client records the new home for its own subsequent calls. Not
+// retried: an ambiguous failure should be observed via GetSession, not
+// re-pushed.
+func (c *Client) Migrate(ctx context.Context, session, target string) (string, error) {
+	body, err := json.Marshal(map[string]string{"target": target})
+	if err != nil {
+		return "", fmt.Errorf("client: encoding migrate request: %w", err)
+	}
+	var resp struct {
+		Name     string `json:"name"`
+		Location string `json:"location"`
+	}
+	base := c.sessionBase(ctx, session)
+	if _, err := c.doBase(ctx, base, http.MethodPost, "/v2/sessions/"+url.PathEscape(session)+"/migrate", nil, "application/json", body, false, &resp); err != nil {
+		return "", err
+	}
+	if c.routing && resp.Location != "" {
+		c.noteWrongShard(session, resp.Location)
+	}
+	return resp.Location, nil
+}
+
 // Health fetches /healthz.
 func (c *Client) Health(ctx context.Context) (Health, error) {
 	var h Health
@@ -234,7 +412,7 @@ func (c *Client) CreateSession(ctx context.Context, cfg SessionConfig) (Summary,
 // GetSession fetches one session summary.
 func (c *Client) GetSession(ctx context.Context, name string) (Summary, error) {
 	var sum Summary
-	err := c.get(ctx, "/v2/sessions/"+url.PathEscape(name), &sum)
+	err := c.getSession(ctx, name, "/v2/sessions/"+url.PathEscape(name), &sum)
 	return sum, err
 }
 
@@ -251,14 +429,17 @@ func (c *Client) ListSessions(ctx context.Context) ([]Summary, error) {
 // operation is idempotent); note a retry of a delete that already
 // succeeded reports session_not_found.
 func (c *Client) DeleteSession(ctx context.Context, name string) error {
-	_, err := c.do(ctx, http.MethodDelete, "/v2/sessions/"+url.PathEscape(name), nil, "", nil, true, nil)
+	_, err := c.doSession(ctx, name, http.MethodDelete, "/v2/sessions/"+url.PathEscape(name), nil, "", nil, true, nil)
+	if err == nil {
+		c.forgetSession(name)
+	}
 	return err
 }
 
 // Report fetches the current guarantee summary.
 func (c *Client) Report(ctx context.Context, session string) (Report, error) {
 	var rep Report
-	err := c.get(ctx, "/v2/sessions/"+url.PathEscape(session)+"/report", &rep)
+	err := c.getSession(ctx, session, "/v2/sessions/"+url.PathEscape(session)+"/report", &rep)
 	return rep, err
 }
 
@@ -266,21 +447,21 @@ func (c *Client) Report(ctx context.Context, session string) (Report, error) {
 // table wire format (parseable by internal/report.ParseJSONLines).
 func (c *Client) ReportJSONLines(ctx context.Context, session string) ([]byte, error) {
 	var body []byte
-	err := c.get(ctx, "/v2/sessions/"+url.PathEscape(session)+"/report?format=jsonl", &body)
+	err := c.getSession(ctx, session, "/v2/sessions/"+url.PathEscape(session)+"/report?format=jsonl", &body)
 	return body, err
 }
 
 // WEvent fetches the worst w-window leakage over the population.
 func (c *Client) WEvent(ctx context.Context, session string, w int) (WEventResult, error) {
 	var res WEventResult
-	err := c.get(ctx, "/v2/sessions/"+url.PathEscape(session)+"/wevent?w="+strconv.Itoa(w), &res)
+	err := c.getSession(ctx, session, "/v2/sessions/"+url.PathEscape(session)+"/wevent?w="+strconv.Itoa(w), &res)
 	return res, err
 }
 
 // UserWEvent fetches one user's worst w-window leakage.
 func (c *Client) UserWEvent(ctx context.Context, session string, user, w int) (WEventResult, error) {
 	var res WEventResult
-	err := c.get(ctx, "/v2/sessions/"+url.PathEscape(session)+"/wevent?w="+strconv.Itoa(w)+"&user="+strconv.Itoa(user), &res)
+	err := c.getSession(ctx, session, "/v2/sessions/"+url.PathEscape(session)+"/wevent?w="+strconv.Itoa(w)+"&user="+strconv.Itoa(user), &res)
 	return res, err
 }
 
@@ -299,7 +480,7 @@ func (c *Client) Published(ctx context.Context, session, cursor string, limit in
 	if enc := q.Encode(); enc != "" {
 		path += "?" + enc
 	}
-	err := c.get(ctx, path, &page)
+	err := c.getSession(ctx, session, path, &page)
 	return page, err
 }
 
@@ -331,7 +512,7 @@ func (c *Client) TPL(ctx context.Context, session string, user int, cursor strin
 	if limit > 0 {
 		q.Set("limit", strconv.Itoa(limit))
 	}
-	err := c.get(ctx, "/v2/sessions/"+url.PathEscape(session)+"/tpl?"+q.Encode(), &page)
+	err := c.getSession(ctx, session, "/v2/sessions/"+url.PathEscape(session)+"/tpl?"+q.Encode(), &page)
 	return page, err
 }
 
@@ -357,6 +538,6 @@ func (c *Client) TPLSeries(ctx context.Context, session string, user int) ([]flo
 // Snapshot forces an immediate durable snapshot of one session.
 func (c *Client) Snapshot(ctx context.Context, session string) (SnapshotInfo, error) {
 	var info SnapshotInfo
-	_, err := c.do(ctx, http.MethodPost, "/v2/sessions/"+url.PathEscape(session)+"/snapshot", nil, "", nil, true, &info)
+	_, err := c.doSession(ctx, session, http.MethodPost, "/v2/sessions/"+url.PathEscape(session)+"/snapshot", nil, "", nil, true, &info)
 	return info, err
 }

@@ -19,6 +19,9 @@ const (
 	CodeUnsupportedFormat   = "unsupported_format"
 	CodePayloadTooLarge     = "payload_too_large"
 	CodeIdempotencyConflict = "idempotency_conflict"
+	CodeWrongShard          = "wrong_shard"
+	CodeShardUnavailable    = "shard_unavailable"
+	CodeMigrateFailed       = "migrate_failed"
 	CodeInternal            = "internal"
 )
 
@@ -33,6 +36,10 @@ type APIError struct {
 	Detail string
 	// Supported lists acceptable values for unsupported_format errors.
 	Supported []string
+	// Location is the owning shard's base URL on wrong_shard errors —
+	// the address to retry against. Empty when the refusing shard does
+	// not know the new home.
+	Location string
 }
 
 func (e *APIError) Error() string {
@@ -68,3 +75,19 @@ func IsIdempotencyConflict(err error) bool { return codeIs(err, CodeIdempotencyC
 
 // IsCapacityExhausted reports the process-wide population ceiling.
 func IsCapacityExhausted(err error) bool { return codeIs(err, CodeCapacityExhausted) }
+
+// IsWrongShard reports a wrong_shard refusal: the addressed shard does
+// not own the session (moved by migration or a topology change). The
+// refusing shard applied nothing, so retrying at APIError.Location —
+// or after a topology refetch — is always safe, even for batch posts.
+// Clients built WithShardRouting handle this transparently.
+func IsWrongShard(err error) bool { return codeIs(err, CodeWrongShard) }
+
+// IsShardUnavailable reports a shard_unavailable error: a router could
+// not reach the session's owning shard. Other shards keep serving;
+// retry later or after the shard recovers.
+func IsShardUnavailable(err error) bool { return codeIs(err, CodeShardUnavailable) }
+
+// IsMigrateFailed reports a failed migration push; the session stayed
+// on its original shard and remains fully usable there.
+func IsMigrateFailed(err error) bool { return codeIs(err, CodeMigrateFailed) }

@@ -1,0 +1,220 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/tpl/client"
+)
+
+// fakeShard is a minimal shard double: it accepts batches for one
+// session until moved, then refuses with 421 wrong_shard pointing at
+// the new home.
+type fakeShard struct {
+	session  string
+	moved    atomic.Bool
+	location atomic.Value // string: where the session went
+	batches  atomic.Int64
+	steps    atomic.Int64
+}
+
+func (f *fakeShard) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v2/sessions/{name}/steps", func(w http.ResponseWriter, r *http.Request) {
+		if r.PathValue("name") != f.session {
+			http.NotFound(w, r)
+			return
+		}
+		if f.moved.Load() {
+			loc, _ := f.location.Load().(string)
+			w.Header().Set("Content-Type", "application/problem+json")
+			w.WriteHeader(http.StatusMisdirectedRequest)
+			fmt.Fprintf(w, `{"status":421,"code":"wrong_shard","title":"session owned by another shard","location":%q}`, loc)
+			return
+		}
+		// JSON-array bodies decode directly; NDJSON bodies (one step
+		// per line, the BatchWriter shape) decode as a stream.
+		body, _ := io.ReadAll(r.Body)
+		var n int64
+		if len(body) > 0 && body[0] == '[' {
+			var steps []client.Step
+			if json.Unmarshal(body, &steps) == nil {
+				n = int64(len(steps))
+			}
+		} else {
+			dec := json.NewDecoder(bytes.NewReader(body))
+			for {
+				var st client.Step
+				if dec.Decode(&st) != nil {
+					break
+				}
+				n++
+			}
+		}
+		f.batches.Add(1)
+		f.steps.Add(n)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"results":[],"count":%d,"first_t":1,"last_t":%d}`, n, n)
+	})
+	mux.HandleFunc("GET /v2/sessions/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if f.moved.Load() {
+			loc, _ := f.location.Load().(string)
+			w.Header().Set("Content-Type", "application/problem+json")
+			w.WriteHeader(http.StatusMisdirectedRequest)
+			fmt.Fprintf(w, `{"status":421,"code":"wrong_shard","title":"session owned by another shard","location":%q}`, loc)
+			return
+		}
+		fmt.Fprintf(w, `{"name":%q,"domain":2,"users":1,"t":0}`, f.session)
+	})
+	return mux
+}
+
+// fakeCluster wires two shard doubles and a topology endpoint pinning
+// the session to shard A.
+func fakeCluster(t *testing.T, session string) (entry string, a, b *fakeShard, flip func()) {
+	t.Helper()
+	a = &fakeShard{session: session}
+	b = &fakeShard{session: session}
+	srvA := httptest.NewServer(a.handler())
+	t.Cleanup(srvA.Close)
+	srvB := httptest.NewServer(b.handler())
+	t.Cleanup(srvB.Close)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v2/topology", func(w http.ResponseWriter, r *http.Request) {
+		topo := map[string]any{
+			"version":   1,
+			"ring_size": 8,
+			"shards": []map[string]string{
+				{"id": "a", "addr": srvA.URL},
+				{"id": "b", "addr": srvB.URL},
+			},
+			"overrides": map[string]string{session: "a"},
+		}
+		json.NewEncoder(w).Encode(topo)
+	})
+	front := httptest.NewServer(mux)
+	t.Cleanup(front.Close)
+
+	flip = func() {
+		a.location.Store(srvB.URL)
+		a.moved.Store(true)
+	}
+	return front.URL, a, b, flip
+}
+
+// TestShardRoutingFollowsWrongShard: a routed client dials the owner
+// from the topology document and transparently follows a mid-session
+// move.
+func TestShardRoutingFollowsWrongShard(t *testing.T) {
+	entry, a, b, flip := fakeCluster(t, "web")
+	c, err := client.New(entry, client.WithShardRouting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if _, err := c.Steps(ctx, "web", []client.Step{{Values: []int{1}, Eps: client.Eps(0.1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if a.batches.Load() != 1 || b.batches.Load() != 0 {
+		t.Fatalf("first batch went to a=%d b=%d", a.batches.Load(), b.batches.Load())
+	}
+
+	flip()
+	if _, err := c.Steps(ctx, "web", []client.Step{{Values: []int{1}, Eps: client.Eps(0.1)}}); err != nil {
+		t.Fatalf("batch across the flip: %v", err)
+	}
+	if b.batches.Load() != 1 {
+		t.Fatalf("flipped batch did not reach the new owner (b=%d)", b.batches.Load())
+	}
+
+	// The learned home sticks: the next call goes straight to B.
+	if _, err := c.Steps(ctx, "web", []client.Step{{Values: []int{1}, Eps: client.Eps(0.1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if b.batches.Load() != 2 {
+		t.Fatalf("learned home not reused (b=%d)", b.batches.Load())
+	}
+}
+
+// TestWrongShardSurfacesWithoutRouting: a plain client reports the
+// typed refusal (with the new location) instead of silently following.
+func TestWrongShardSurfacesWithoutRouting(t *testing.T) {
+	a := &fakeShard{session: "web"}
+	srvA := httptest.NewServer(a.handler())
+	defer srvA.Close()
+	a.location.Store("http://elsewhere:1")
+	a.moved.Store(true)
+
+	c, err := client.New(srvA.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.GetSession(context.Background(), "web")
+	if !client.IsWrongShard(err) {
+		t.Fatalf("err %v, want wrong_shard", err)
+	}
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Location != "http://elsewhere:1" || ae.Status != http.StatusMisdirectedRequest {
+		t.Fatalf("APIError %+v", ae)
+	}
+}
+
+// TestShardUnavailablePredicate: the router's 503 problem decodes to
+// the typed predicate.
+func TestShardUnavailablePredicate(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/problem+json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"status":503,"code":"shard_unavailable","title":"shard unavailable"}`)
+	}))
+	defer srv.Close()
+	c, err := client.New(srv.URL, client.WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.GetSession(context.Background(), "web")
+	if !client.IsShardUnavailable(err) {
+		t.Fatalf("err %v, want shard_unavailable", err)
+	}
+}
+
+// TestBatchWriterSurvivesTopologyFlip: a topology change mid-stream
+// must not latch the writer into an error — the flush re-routes and
+// every step lands exactly once.
+func TestBatchWriterSurvivesTopologyFlip(t *testing.T) {
+	entry, a, b, flip := fakeCluster(t, "web")
+	c, err := client.New(entry, client.WithShardRouting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := c.NewBatchWriter(context.Background(), "web",
+		client.WithFlushSize(4), client.WithFlushInterval(0))
+	const total = 24
+	for i := 0; i < total; i++ {
+		if i == total/2 {
+			flip()
+		}
+		if err := w.Add(client.Step{Values: []int{1}, Eps: client.Eps(0.1)}); err != nil {
+			t.Fatalf("Add %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := a.steps.Load() + b.steps.Load(); got != total {
+		t.Fatalf("steps landed %d (a=%d b=%d), want %d", got, a.steps.Load(), b.steps.Load(), total)
+	}
+	if b.steps.Load() == 0 {
+		t.Fatal("no steps reached the new owner after the flip")
+	}
+}

@@ -56,7 +56,7 @@ func (c *Client) postBatch(ctx context.Context, session, contentType string, bod
 		idempotent = true
 	}
 	var res BatchResult
-	_, err := c.do(ctx, http.MethodPost, stepsPath(session), header, contentType, body, idempotent, &res)
+	_, err := c.doSession(ctx, session, http.MethodPost, stepsPath(session), header, contentType, body, idempotent, &res)
 	return res, err
 }
 

@@ -212,6 +212,23 @@ type SnapshotInfo struct {
 	Persistence PersistInfo `json:"persistence"`
 }
 
+// TopologyShard is one shard of the cluster topology document.
+type TopologyShard struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// Topology is the GET /v2/topology response: the versioned placement
+// document mapping sessions to shards (consistent hashing over
+// RingSize slots, plus explicit per-session overrides from
+// migrations). Version increases on every observable change.
+type Topology struct {
+	Version   int               `json:"version"`
+	RingSize  int               `json:"ring_size"`
+	Shards    []TopologyShard   `json:"shards"`
+	Overrides map[string]string `json:"overrides,omitempty"`
+}
+
 // WatchEvent is one SSE "step" frame: the population-worst leakage at
 // a just-published step. Planned is advisory and live-only — frames
 // replayed from history (Watch from >= 0, or a reconnect) report it

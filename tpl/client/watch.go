@@ -47,27 +47,37 @@ func (w *Watcher) Close() {
 // retried; reconnect with the last seen T to resume.
 func (c *Client) Watch(ctx context.Context, session string, from int) (*Watcher, error) {
 	ctx, cancel := context.WithCancel(ctx)
-	path := c.base + "/v2/sessions/" + url.PathEscape(session) + "/watch"
+	suffix := "/v2/sessions/" + url.PathEscape(session) + "/watch"
 	if from >= 0 {
-		path += "?from=" + strconv.Itoa(from)
+		suffix += "?from=" + strconv.Itoa(from)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
-	if err != nil {
-		cancel()
-		return nil, err
-	}
-	req.Header.Set("User-Agent", c.userAgent)
-	req.Header.Set("Accept", "text/event-stream")
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		cancel()
-		return nil, fmt.Errorf("client: opening watch stream: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK {
+	var resp *http.Response
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.sessionBase(ctx, session)+suffix, nil)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		req.Header.Set("User-Agent", c.userAgent)
+		req.Header.Set("Accept", "text/event-stream")
+		resp, err = c.hc.Do(req)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("client: opening watch stream: %w", err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
 		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
+		ae := decodeProblem(resp.StatusCode, body)
+		if c.routing && ae.Code == CodeWrongShard && attempt < wrongShardRetries {
+			c.forgetSession(session)
+			c.noteWrongShard(session, ae.Location)
+			continue
+		}
 		cancel()
-		return nil, decodeProblem(resp.StatusCode, body)
+		return nil, ae
 	}
 	if mt := resp.Header.Get("Content-Type"); !strings.HasPrefix(mt, "text/event-stream") {
 		resp.Body.Close()
