@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestSelectAnalyzers(t *testing.T) {
+	all, err := selectAnalyzers("")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("default selection: got %d analyzers, err %v", len(all), err)
+	}
+	two, err := selectAnalyzers("locksafe, determinism")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("subset selection: got %d analyzers, err %v", len(two), err)
+	}
+	if _, err := selectAnalyzers("bogus"); err == nil {
+		t.Fatal("unknown analyzer name accepted")
+	}
+	if _, err := selectAnalyzers(","); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	// The driver's own package is clean: no markers, out of scope.
+	if got := run([]string{"."}); got != 0 {
+		t.Fatalf("clean package: exit %d, want 0", got)
+	}
+	if got := run([]string{"-analyzers", "bogus", "."}); got != 2 {
+		t.Fatalf("unknown analyzer: exit %d, want 2", got)
+	}
+	if got := run([]string{"./does-not-exist"}); got != 2 {
+		t.Fatalf("bad pattern: exit %d, want 2", got)
+	}
+}

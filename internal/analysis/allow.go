@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression escape hatch. A finding is intentional when the line
+// carrying it (or the line above) has
+//
+//	//tplvet:allow <analyzer> <reason>
+//
+// The reason is not decoration: an allow with no reason, or one naming
+// an analyzer that does not exist, is itself reported — the whole point
+// of mechanical invariants is that every exception is written down.
+
+const allowPrefix = "tplvet:allow"
+
+// allowEntry is one parsed allow comment.
+type allowEntry struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+}
+
+// allowIndex maps file -> line -> allows ending or starting there.
+type allowIndex map[string]map[int][]allowEntry
+
+// covers reports whether an allow for analyzer exists on line or the
+// line directly above it in file.
+func (ai allowIndex) covers(analyzer, file string, line int) bool {
+	lines := ai[file]
+	for _, l := range [2]int{line, line - 1} {
+		for _, e := range lines[l] {
+			if e.analyzer == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parseAllows builds the index for one file's comments.
+func parseAllows(fset *token.FileSet, files []*ast.File) allowIndex {
+	idx := make(allowIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				analyzer, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				e := allowEntry{analyzer: analyzer, reason: strings.TrimSpace(reason), pos: pos}
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]allowEntry)
+					idx[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], e)
+			}
+		}
+	}
+	return idx
+}
+
+// checkAllowHygiene reports malformed allows: missing analyzer name,
+// missing reason, or an analyzer the suite does not know (a typo there
+// would silently suppress nothing — or the wrong thing — forever).
+func checkAllowHygiene(pkg *Package, known map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	bad := func(e allowEntry, msg string) {
+		diags = append(diags, Diagnostic{Analyzer: "allow", Pos: e.pos, Message: msg})
+	}
+	for _, lines := range pkg.allows {
+		for _, entries := range lines {
+			for _, e := range entries {
+				switch {
+				case e.analyzer == "":
+					bad(e, "tplvet:allow needs an analyzer name and a reason")
+				case !known[e.analyzer]:
+					bad(e, fmt.Sprintf("tplvet:allow names unknown analyzer %q", e.analyzer))
+				case e.reason == "":
+					bad(e, "tplvet:allow "+e.analyzer+" needs a written reason")
+				}
+			}
+		}
+	}
+	return diags
+}

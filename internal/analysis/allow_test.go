@@ -1,0 +1,31 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllowHygiene(t *testing.T) {
+	pkg := loadFixture(t, "allowhygiene", "repro/internal/service/fixture")
+	diags := Run([]*Package{pkg}, All())
+	expected := []string{
+		"tplvet:allow needs an analyzer name and a reason",
+		`tplvet:allow names unknown analyzer "nosuchanalyzer"`,
+		"tplvet:allow locksafe needs a written reason",
+	}
+	if len(diags) != len(expected) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(diags), len(expected), diags)
+	}
+	for _, want := range expected {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == "allow" && strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no [allow] finding containing %q in %v", want, diags)
+		}
+	}
+}

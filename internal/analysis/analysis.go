@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check. Run inspects a single package and
+// reports findings through the pass; the driver handles suppression,
+// ordering and exit codes.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Package is one loaded, typechecked package.
+type Package struct {
+	Path  string
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	allows allowIndex
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	// Index holds cross-package facts (the wire-struct table) built over
+	// every package of the run before any analyzer executes.
+	Index *Index
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless an allow comment for this
+// analyzer covers the position (same line or the line above).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Allowed(pos) {
+		return
+	}
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{Analyzer: p.Analyzer.Name, Pos: position, Message: fmt.Sprintf(format, args...)})
+}
+
+// Allowed reports whether a `//tplvet:allow <analyzer> <reason>`
+// comment covers pos for this analyzer. Analyzers use it directly to
+// honor allows at secondary positions (locksafe checks the Lock call
+// and the mutex declaration, not just the blocking call).
+func (p *Pass) Allowed(pos token.Pos) bool {
+	if !pos.IsValid() {
+		return false
+	}
+	position := p.Pkg.Fset.Position(pos)
+	return p.Pkg.allows.covers(p.Analyzer.Name, position.Filename, position.Line)
+}
+
+// TypeOf is a nil-tolerant p.Pkg.Info.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if e == nil {
+		return nil
+	}
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package function, method, or interface method), or nil for builtins,
+// conversions and calls through function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// Run executes the analyzers over the packages, filters suppressed
+// findings, appends the allow-hygiene meta findings, and returns
+// everything sorted by position. This is the whole driver: cmd/tplvet
+// prints the result, tests assert on it.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	idx := BuildIndex(pkgs)
+	var diags []Diagnostic
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Index: idx, diags: &diags}
+			a.Run(pass)
+		}
+		diags = append(diags, checkAllowHygiene(pkg, known)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Locksafe, Determinism, Wirecompat, Hotalloc}
+}

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Fixture harness in the analysistest style: packages under
+// testdata/src/<name> carry `// want "regexp"` comments on the lines
+// where a finding must appear; the runner loads the fixture, runs the
+// chosen analyzers, and diffs findings against expectations both ways.
+//
+// The fixture is typechecked under a caller-chosen import path (asPath)
+// rather than its real testdata path, because locksafe and determinism
+// scope by package path — a fixture checked as
+// "repro/internal/stream/fixture" exercises the in-scope behavior, the
+// same files checked as "repro/tools/fixture" prove the scope gate.
+
+// loadFixture typechecks testdata/src/<name> as if it were asPath.
+func loadFixture(t *testing.T, name, asPath string) *Package {
+	t.Helper()
+	rel := "./" + filepath.ToSlash(filepath.Join("testdata", "src", name))
+	listed, err := goList(".", []string{rel})
+	if err != nil {
+		t.Fatalf("listing fixture %s: %v", name, err)
+	}
+	exports := make(map[string]string, len(listed))
+	var target *listPackage
+	for i, p := range listed {
+		if p.Error != nil {
+			t.Fatalf("go list %s: %s: %s", name, p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			target = &listed[i]
+		}
+	}
+	if target == nil {
+		t.Fatalf("fixture %s: no target package listed", name)
+	}
+	fset := token.NewFileSet()
+	pkg, err := typecheck(fset, newExportImporter(fset, exports), asPath, target.Dir, target.GoFiles)
+	if err != nil {
+		t.Fatalf("typechecking fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+// wantRe extracts the quoted expectations from a `// want` comment.
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+// wantQuoted pulls each backquoted or double-quoted pattern in order.
+var wantQuoted = regexp.MustCompile("`([^`]*)`" + `|"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want` entry.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// parseWants scans the fixture sources for expectations.
+func parseWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantQuoted.FindAllStringSubmatch(m[1], -1) {
+					pat := q[1]
+					if pat == "" {
+						pat = strings.ReplaceAll(q[2], `\"`, `"`)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture asserts that the analyzers' findings on the fixture match
+// its want comments exactly.
+func runFixture(t *testing.T, name, asPath string, analyzers []*Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, name, asPath)
+	wants := parseWants(t, pkg)
+	diags := Run([]*Package{pkg}, analyzers)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(fmt.Sprintf("[%s] %s", d.Analyzer, d.Message)) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// expectClean asserts the analyzers produce nothing on the fixture,
+// ignoring its want comments (used to prove scope gates and allow
+// suppression on fixtures that are violating by construction).
+func expectClean(t *testing.T, name, asPath string, analyzers []*Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, name, asPath)
+	for _, d := range Run([]*Package{pkg}, analyzers) {
+		t.Errorf("expected no findings, got: %s", d)
+	}
+}

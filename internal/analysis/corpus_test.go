@@ -1,0 +1,25 @@
+package analysis
+
+import "testing"
+
+// TestRepoCorpusClean runs the full suite over the real repository —
+// the no-false-positive corpus. Every idiom the production code uses
+// (collect-then-sort over maps, arena reslicing, closures under locks
+// that run after release) must pass without a finding; every
+// intentional exception must already carry a reasoned allow. This is
+// the same bar CI enforces with `go run ./cmd/tplvet ./...`.
+func TestRepoCorpusClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole repository")
+	}
+	pkgs, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded (%d); the corpus test is not covering the tree", len(pkgs))
+	}
+	for _, d := range Run(pkgs, All()) {
+		t.Errorf("unexpected finding on clean tree: %s", d)
+	}
+}

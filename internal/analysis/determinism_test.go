@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestDeterminismFindings(t *testing.T) {
+	runFixture(t, "determinism", "repro/internal/persist/fixture", []*Analyzer{Determinism})
+}
+
+func TestDeterminismFunctionScope(t *testing.T) {
+	// In internal/core only snapshot/replay-named functions are scoped.
+	runFixture(t, "determinismscope", "repro/internal/core/fixture", []*Analyzer{Determinism})
+}
+
+func TestDeterminismOutOfScope(t *testing.T) {
+	expectClean(t, "determinism", "repro/tools/fixture", []*Analyzer{Determinism})
+}

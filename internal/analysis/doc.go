@@ -1,0 +1,50 @@
+// Package analysis is tplvet's analyzer suite: repo-specific static
+// checks that turn the system's correctness invariants — deterministic
+// wire encoding, no I/O under accounting locks, versioned persist
+// schemas, alloc-free ingest — from differential-test tribal knowledge
+// into machine-checked lints that fail CI at review time.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis shape
+// (Analyzer, Pass, Diagnostic) but is self-contained on the standard
+// library: packages are loaded with `go list -export -deps -json` and
+// typechecked against the build cache's export data via go/importer, so
+// the tool needs no module dependency and runs offline. See cmd/tplvet
+// for the driver.
+//
+// Four analyzers ship today:
+//
+//   - locksafe: blocking calls (file/network I/O, fsync, time.Sleep,
+//     sends on unbuffered channels, anything reaching the persist or
+//     enginecache layers) made while a sync.Mutex/RWMutex of the
+//     accounting packages (internal/stream, internal/service,
+//     internal/persist) is held. The PR-4 healthz-behind-fsync stall is
+//     the bug class this catches.
+//   - determinism: on the replay/wire path (internal/persist,
+//     internal/chunked, internal/report, and snapshot/restore/encode
+//     functions in internal/core and internal/stream), unsorted map
+//     iteration, time.Now / global math/rand use, and float
+//     accumulation in map-iteration order — the invariants behind every
+//     bit-identical differential test.
+//   - wirecompat: structs marked `//tplvet:wire vN schema=HASH` must
+//     keep their recorded field-set hash (any field change forces the
+//     marker line — and therefore a reviewed version decision — to
+//     change in the same diff), and composite literals of wire structs
+//     must use keyed fields so a field addition cannot silently shift
+//     encoded values.
+//   - hotalloc: functions marked `//tplvet:hotpath` (the v2 NDJSON
+//     decode → CollectBatch → journal pipeline) must not defeat the
+//     arena pooling: no fmt formatting, no interface-boxing of step
+//     values, no escaping closures, no append to a slice that starts
+//     empty. Error-return construction is exempt — rejections are the
+//     cold path.
+//
+// Suppression: a finding is silenced by a comment on the same line or
+// the line above it:
+//
+//	//tplvet:allow <analyzer> <reason>
+//
+// The reason is mandatory; a bare allow is itself a finding. locksafe
+// additionally honors allows placed on the Lock() call or on the mutex
+// field declaration (for mutexes that order I/O by design, like the
+// session step lock).
+package analysis

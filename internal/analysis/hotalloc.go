@@ -1,0 +1,328 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotalloc: functions marked `//tplvet:hotpath` are the v2 ingest
+// pipeline — NDJSON decode, CollectBatch, response encode, journal
+// append — whose ~1 alloc/step steady state (PR 6's arena pooling) is
+// a benchmarked, perf-gated property. The constructs that silently
+// regress it:
+//
+//   - fmt formatting (reflection + per-verb allocation);
+//   - boxing a concrete value into an interface parameter (every
+//     non-pointer-shaped value converted to interface heap-allocates);
+//   - closures that capture outer variables and escape (the captured
+//     variables move to the heap for the life of the closure; deferred
+//     and immediately-invoked closures stay on the stack and pass);
+//   - append to a slice that starts empty (guaranteed geometric
+//     regrowth; the arena slabs and pre-sized makes exist precisely to
+//     avoid it).
+//
+// Constructing an error to return is exempt: a rejected request is the
+// cold path, and the batch contract means nothing was charged before
+// the rejection. The exemption is syntactic — the allocation must
+// appear inside a return statement.
+
+// Hotalloc is the analyzer instance.
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocation sources in //tplvet:hotpath functions",
+	Run:  runHotalloc,
+}
+
+const hotpathMarker = "tplvet:hotpath"
+
+// hasHotpathMarker reports whether a doc comment carries the marker.
+func hasHotpathMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == hotpathMarker {
+			return true
+		}
+	}
+	return false
+}
+
+// runHotalloc is the per-package entry point.
+func runHotalloc(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasHotpathMarker(fd.Doc) {
+				continue
+			}
+			checkHotalloc(pass, fd)
+		}
+	}
+}
+
+// checkHotalloc scans one annotated function.
+func checkHotalloc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	emptySlices := emptySliceLocals(info, fd.Body)
+	returns := returnSpans(fd.Body)
+	exempt := func(n ast.Node) bool {
+		for _, span := range returns {
+			if n.Pos() >= span[0] && n.End() <= span[1] {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(info, st)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				if !exempt(st) {
+					pass.Reportf(st.Pos(), "fmt.%s on hotpath %s: formatting reflects and allocates per call; use strconv appends or a preallocated error", fn.Name(), fd.Name.Name)
+				}
+				return true // don't double-report its boxed arguments
+			}
+			if !exempt(st) {
+				checkBoxing(pass, fd, st)
+			}
+			if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					checkAppend(pass, fd, st, emptySlices)
+				}
+			}
+		case *ast.FuncLit:
+			checkClosure(pass, fd, st)
+			return false // the closure body is its own (non-hotpath) world
+		}
+		return true
+	})
+}
+
+// returnSpans collects the source spans of return statements — the
+// error-construction exemption.
+func returnSpans(body *ast.BlockStmt) [][2]token.Pos {
+	var spans [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			spans = append(spans, [2]token.Pos{ret.Pos(), ret.End()})
+		}
+		return true
+	})
+	return spans
+}
+
+// boxes reports whether converting from concrete type t to an
+// interface heap-allocates: every non-interface, non-pointer-shaped
+// value does (pointers, maps, channels and funcs are one word and ride
+// in the interface data word; nil is nil).
+func boxes(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil
+	default:
+		return true
+	}
+}
+
+// checkBoxing flags concrete values passed to interface parameters.
+func checkBoxing(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	sigT := pass.TypeOf(call.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramT types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			paramT = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			paramT = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := paramT.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		argT := pass.TypeOf(arg)
+		if boxes(argT) {
+			pass.Reportf(arg.Pos(), "value of type %s boxed into interface parameter on hotpath %s: the conversion heap-allocates per call", types.TypeString(argT, types.RelativeTo(pass.Pkg.Types)), fd.Name.Name)
+		}
+	}
+}
+
+// checkClosure flags escaping capturing closures. A FuncLit escapes
+// when it is not immediately invoked and not a defer argument: passed
+// to a call, assigned, returned, or launched with go.
+func checkClosure(pass *Pass, fd *ast.FuncDecl, lit *ast.FuncLit) {
+	ctx := enclosing(fd.Body, lit)
+	switch parent := ctx.(type) {
+	case *ast.CallExpr:
+		if parent.Fun == lit {
+			return // immediately invoked: func(){...}()
+		}
+	case *ast.DeferStmt:
+		if parent.Call.Fun == lit {
+			return // deferred closures stay on the stack
+		}
+	}
+	captured := capturedVars(pass.Pkg.Info, lit)
+	if len(captured) == 0 {
+		return // capture-free closures are a static allocation
+	}
+	pass.Reportf(lit.Pos(), "closure on hotpath %s captures %s and escapes: the captures move to the heap per call", fd.Name.Name, strings.Join(captured, ", "))
+}
+
+// enclosing finds the immediate interesting ancestor of lit.
+func enclosing(body *ast.BlockStmt, lit *ast.FuncLit) ast.Node {
+	var parent ast.Node
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if n == lit && len(stack) > 0 {
+			parent = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parent
+}
+
+// capturedVars lists outer variables referenced inside lit.
+func capturedVars(info *types.Info, lit *ast.FuncLit) []string {
+	seen := make(map[string]bool)
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Pkg() == nil {
+			return true
+		}
+		// Declared outside the literal = captured.
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			if !seen[v.Name()] {
+				seen[v.Name()] = true
+				names = append(names, v.Name())
+			}
+		}
+		return true
+	})
+	return names
+}
+
+// emptySliceLocals finds local slice variables that start with no
+// capacity: `var x []T`, `x := []T{}`, `x := make([]T, 0)`.
+func emptySliceLocals(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	mark := func(id *ast.Ident) {
+		if obj := info.Defs[id]; obj != nil {
+			if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+				out[obj] = true
+			}
+		}
+	}
+	startsEmpty := func(rhs ast.Expr) bool {
+		switch e := ast.Unparen(rhs).(type) {
+		case *ast.CompositeLit:
+			return len(e.Elts) == 0
+		case *ast.CallExpr:
+			id, ok := e.Fun.(*ast.Ident)
+			if !ok || id.Name != "make" {
+				return false
+			}
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+				return false
+			}
+			// make([]T, 0) or make([]T, 0, 0): only a literal zero
+			// length/capacity counts — a computed size is a pre-size.
+			for _, arg := range e.Args[1:] {
+				lit, ok := ast.Unparen(arg).(*ast.BasicLit)
+				if !ok || lit.Value != "0" {
+					return false
+				}
+			}
+			return len(e.Args) >= 2
+		default:
+			return false
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok != token.DEFINE || len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i := range st.Lhs {
+				if id, ok := st.Lhs[i].(*ast.Ident); ok && startsEmpty(st.Rhs[i]) {
+					mark(id)
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Values) == 0 {
+				for _, id := range st.Names {
+					mark(id) // var x []T — nil, zero capacity
+				}
+				return true
+			}
+			if len(st.Values) == len(st.Names) {
+				for i, id := range st.Names {
+					if startsEmpty(st.Values[i]) {
+						mark(id)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkAppend flags appends whose base slice provably starts empty.
+func checkAppend(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, empty map[types.Object]bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	base := ast.Unparen(call.Args[0])
+	// Unwrap reslices: append(x[:0], ...) grows x's backing array.
+	for {
+		if sl, ok := base.(*ast.SliceExpr); ok {
+			base = ast.Unparen(sl.X)
+			continue
+		}
+		break
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.Pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Pkg.Info.Defs[id]
+	}
+	if obj == nil || !empty[obj] {
+		return
+	}
+	pass.Reportf(call.Pos(), "append to %s, which starts empty, on hotpath %s: guaranteed geometric regrowth; carve from an arena slab or pre-size with make", id.Name, fd.Name.Name)
+}

@@ -1,0 +1,8 @@
+package analysis
+
+import "testing"
+
+func TestHotallocFindings(t *testing.T) {
+	// hotalloc is not path-scoped: the //tplvet:hotpath marker opts in.
+	runFixture(t, "hotalloc", "repro/tools/fixture", []*Analyzer{Hotalloc})
+}

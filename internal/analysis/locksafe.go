@@ -1,0 +1,477 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// locksafe: no blocking call while an accounting mutex is held.
+//
+// The bug class is concrete and has shipped twice: PR 4's healthz
+// endpoint stalled behind an fsync'ing snapshot because a health read
+// shared a mutex with the durability path, and PR 5's SSE watchers kept
+// graceful shutdown from finishing. Both were caught by differential
+// tests after the fact; this analyzer catches them at review time.
+//
+// Scope: packages internal/stream, internal/service, internal/persist —
+// the lock-holding accounting core. Within each function the analyzer
+// computes held regions per mutex (Lock()..Unlock() in source order;
+// `defer Unlock()` extends to the function end) and flags, inside a
+// region, calls that can block:
+//
+//   - direct I/O and sleeps: os file operations, (*os.File) methods,
+//     net dials/listens, anything in net/http, syscall fsyncs,
+//     (*bufio.Writer).Flush, time.Sleep;
+//   - the durability layers by contract: any call into internal/persist
+//     or internal/enginecache from outside them, and the
+//     stream.EngineStore interface (its implementations do disk I/O);
+//   - sends on channels this function made unbuffered (sends inside a
+//     select with a default are non-blocking and exempt);
+//   - package-local functions that transitively do any of the above
+//     (a conservative intraprocedural fixpoint over the package's call
+//     graph; the reported message names the chain).
+//
+// The walk is deliberately conservative rather than sound: it does not
+// follow interface dispatch (beyond EngineStore), function values, or
+// cross-package calls outside the durability layers. Escape hatch:
+// `//tplvet:allow locksafe <reason>` on the blocking call, on the
+// Lock() line, or on the mutex field declaration (for mutexes that
+// order I/O by design, like the session step lock).
+
+// Locksafe is the analyzer instance.
+var Locksafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "flags blocking calls made while an accounting mutex is held",
+	Run:  runLocksafe,
+}
+
+// locksafeScope lists the package path fragments in scope.
+var locksafeScope = []string{"internal/stream", "internal/service", "internal/persist"}
+
+// blockingFuncs are fully-qualified functions/methods that block.
+var blockingFuncs = map[string]bool{
+	"time.Sleep": true,
+
+	"os.Open": true, "os.OpenFile": true, "os.Create": true, "os.CreateTemp": true,
+	"os.Rename": true, "os.Remove": true, "os.RemoveAll": true,
+	"os.Mkdir": true, "os.MkdirAll": true, "os.MkdirTemp": true,
+	"os.ReadFile": true, "os.WriteFile": true, "os.ReadDir": true,
+	"os.Stat": true, "os.Lstat": true, "os.Truncate": true,
+	"os.Symlink": true, "os.Link": true, "os.Chmod": true,
+
+	"(*os.File).Sync": true, "(*os.File).Write": true, "(*os.File).WriteString": true,
+	"(*os.File).WriteAt": true, "(*os.File).Read": true, "(*os.File).ReadAt": true,
+	"(*os.File).Close": true, "(*os.File).Truncate": true,
+
+	"net.Dial": true, "net.DialTimeout": true, "net.Listen": true,
+
+	"syscall.Fsync": true, "syscall.Fdatasync": true,
+
+	"(*bufio.Writer).Flush": true,
+
+	// The engine store interface is I/O by contract: its one production
+	// implementation (internal/enginecache) reads and writes disk.
+	"(repro/internal/stream.EngineStore).Load":  true,
+	"(repro/internal/stream.EngineStore).Store": true,
+}
+
+// blockingPkgs are whole packages whose every call blocks by contract
+// when made from outside them: the durability layers fsync, rename and
+// group-commit. In-package calls are handled by the fixpoint instead,
+// so persist's own helpers are not all tarred as blocking.
+var blockingPkgs = []string{"internal/persist", "internal/enginecache", "net/http", "net"}
+
+// inLocksafeScope reports whether a package path is analyzed.
+func inLocksafeScope(path string) bool {
+	for _, s := range locksafeScope {
+		if strings.Contains(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// directBlockReason classifies a call as directly blocking, returning a
+// human-readable reason ("" = not blocking). pkgPath is the analyzed
+// package (for the outside-the-layer test).
+func directBlockReason(info *types.Info, call *ast.CallExpr, pkgPath string) string {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return ""
+	}
+	name := fn.FullName()
+	if blockingFuncs[name] {
+		return name + " blocks"
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() != pkgPath {
+		for _, bp := range blockingPkgs {
+			if pkg.Path() == bp || strings.HasSuffix(pkg.Path(), bp) {
+				return name + " reaches the " + pkg.Path() + " layer (I/O by contract)"
+			}
+		}
+	}
+	return ""
+}
+
+// funcUnit is one analyzed body: a FuncDecl or a FuncLit. FuncLits get
+// their own unit because a closure built under a lock usually runs
+// after it is released; treating its body as lock-held would drown the
+// real findings in false positives.
+type funcUnit struct {
+	name string
+	body *ast.BlockStmt
+	decl *ast.FuncDecl // nil for FuncLits
+}
+
+// collectUnits gathers every function body in the file.
+func collectUnits(f *ast.File) []funcUnit {
+	var units []funcUnit
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				units = append(units, funcUnit{name: fn.Name.Name, body: fn.Body, decl: fn})
+			}
+		case *ast.FuncLit:
+			units = append(units, funcUnit{name: "func literal", body: fn.Body})
+		}
+		return true
+	})
+	return units
+}
+
+// walkShallow visits the statements of body without descending into
+// nested function literals.
+func walkShallow(body *ast.BlockStmt, visit func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		return visit(n)
+	})
+}
+
+// mutexCall decodes a call like x.mu.Lock() into (key, method, mutex
+// object) when the method is a sync.Mutex/RWMutex lock primitive. The
+// key is the printed receiver expression — two calls on the same
+// textual path are treated as the same mutex, which is exactly the
+// intraprocedural notion needed.
+func mutexCall(info *types.Info, call *ast.CallExpr) (key, method string, obj types.Object) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", nil
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", nil
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", "", nil
+	}
+	switch named := recvNamed(recv.Type()); named {
+	case "Mutex", "RWMutex":
+	default:
+		return "", "", nil
+	}
+	// The declared object behind the receiver path, for decl-site allows.
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		obj = info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = info.Uses[x.Sel]
+	}
+	return types.ExprString(sel.X), fn.Name(), obj
+}
+
+// recvNamed unwraps a receiver type to its named type's name.
+func recvNamed(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// lockRegion is one held interval of one mutex within a function body.
+type lockRegion struct {
+	key      string
+	lockPos  token.Pos // the Lock() call
+	declPos  token.Pos // the mutex object's declaration (may be NoPos)
+	start    token.Pos
+	end      token.Pos
+	readOnly bool // RLock
+}
+
+// lockRegions computes the held intervals of a function body. For each
+// Lock/RLock at position P: if the body defers the matching Unlock, the
+// region runs to the body end; otherwise it ends at the next matching
+// Unlock after P in source order (or the body end when none exists —
+// the conservative reading of branchy unlock placement).
+func lockRegions(info *types.Info, body *ast.BlockStmt) []lockRegion {
+	type event struct {
+		pos      token.Pos
+		key      string
+		method   string
+		deferred bool
+		obj      types.Object
+	}
+	var events []event
+	walkShallow(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			if key, method, obj := mutexCall(info, st.Call); key != "" {
+				events = append(events, event{pos: st.Pos(), key: key, method: method, deferred: true, obj: obj})
+			}
+			return false
+		case *ast.CallExpr:
+			if key, method, obj := mutexCall(info, st); key != "" {
+				events = append(events, event{pos: st.Pos(), key: key, method: method, obj: obj})
+			}
+		}
+		return true
+	})
+	deferredUnlock := make(map[string]bool)
+	for _, e := range events {
+		if e.deferred && (e.method == "Unlock" || e.method == "RUnlock") {
+			deferredUnlock[e.key] = true
+		}
+	}
+	var regions []lockRegion
+	for _, e := range events {
+		if e.deferred || (e.method != "Lock" && e.method != "RLock") {
+			continue
+		}
+		r := lockRegion{key: e.key, lockPos: e.pos, start: e.pos, end: body.End(), readOnly: e.method == "RLock"}
+		if e.obj != nil {
+			r.declPos = e.obj.Pos()
+		}
+		if !deferredUnlock[e.key] {
+			for _, u := range events {
+				if !u.deferred && u.key == e.key && (u.method == "Unlock" || u.method == "RUnlock") && u.pos > e.pos {
+					r.end = u.pos
+					break
+				}
+			}
+		}
+		regions = append(regions, r)
+	}
+	return regions
+}
+
+// unbufferedChans returns the objects of local variables bound to
+// make(chan T) with no capacity in this body.
+func unbufferedChans(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return
+		}
+		if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "make" {
+			return
+		}
+		if _, isChan := info.TypeOf(call.Args[0]).(*types.Chan); !isChan {
+			return
+		}
+		if obj := info.Defs[id]; obj != nil {
+			out[obj] = true
+		} else if obj := info.Uses[id]; obj != nil {
+			out[obj] = true
+		}
+	}
+	walkShallow(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i := range st.Lhs {
+					bind(st.Lhs[i], st.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) == len(st.Values) {
+				for i := range st.Names {
+					bind(st.Names[i], st.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// blockingSite is one blocking operation found in a body.
+type blockingSite struct {
+	pos    token.Pos
+	reason string
+}
+
+// blockingSites finds the blocking operations of a body: direct calls,
+// calls to package-local functions marked blocking by the fixpoint, and
+// unbuffered-channel sends outside select/default.
+func blockingSites(info *types.Info, pkgPath string, body *ast.BlockStmt, marked map[*types.Func]string) []blockingSite {
+	unbuf := unbufferedChans(info, body)
+	// Sends inside a select that has a default clause never block.
+	nonBlockingSend := make(map[*ast.SendStmt]bool)
+	walkShallow(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if c.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			if send, ok := c.(*ast.CommClause).Comm.(*ast.SendStmt); ok {
+				nonBlockingSend[send] = true
+			}
+		}
+		return true
+	})
+	var sites []blockingSite
+	walkShallow(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			if reason := directBlockReason(info, st, pkgPath); reason != "" {
+				sites = append(sites, blockingSite{pos: st.Pos(), reason: reason})
+			} else if fn := calleeFunc(info, st); fn != nil {
+				if chain, ok := marked[fn]; ok {
+					sites = append(sites, blockingSite{pos: st.Pos(), reason: fn.Name() + " " + chain})
+				}
+			}
+		case *ast.SendStmt:
+			if nonBlockingSend[st] {
+				return true
+			}
+			if id, ok := ast.Unparen(st.Chan).(*ast.Ident); ok {
+				obj := info.Uses[id]
+				if obj == nil {
+					obj = info.Defs[id]
+				}
+				if obj != nil && unbuf[obj] {
+					sites = append(sites, blockingSite{pos: st.Pos(), reason: "send on unbuffered channel " + id.Name + " blocks until a receiver is ready"})
+				}
+			}
+		}
+		return true
+	})
+	return sites
+}
+
+// markBlockingFuncs runs the package-local fixpoint: a function is
+// blocking if its body (FuncLits excluded) contains a direct blocking
+// call or a call to an already-marked package function. The value is
+// the reason chain for the report.
+func markBlockingFuncs(pkg *Package) map[*types.Func]string {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	marked := make(map[*types.Func]string)
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range decls {
+			if _, done := marked[fn]; done {
+				continue
+			}
+			var reason string
+			walkShallow(fd.Body, func(n ast.Node) bool {
+				if reason != "" {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if r := directBlockReason(pkg.Info, call, pkg.Path); r != "" {
+					reason = "calls " + r
+					return false
+				}
+				if callee := calleeFunc(pkg.Info, call); callee != nil && callee != fn {
+					if chain, ok := marked[callee]; ok {
+						reason = "calls " + callee.Name() + ", which " + chain
+						return false
+					}
+				}
+				return true
+			})
+			if reason != "" {
+				marked[fn] = reason
+				changed = true
+			}
+		}
+	}
+	return marked
+}
+
+// runLocksafe is the per-package entry point.
+func runLocksafe(pass *Pass) {
+	if !inLocksafeScope(pass.Pkg.Path) {
+		return
+	}
+	marked := markBlockingFuncs(pass.Pkg)
+	for _, f := range pass.Pkg.Files {
+		for _, unit := range collectUnits(f) {
+			regions := lockRegions(pass.Pkg.Info, unit.body)
+			if len(regions) == 0 {
+				continue
+			}
+			sites := blockingSites(pass.Pkg.Info, pass.Pkg.Path, unit.body, marked)
+			for _, site := range sites {
+				for _, r := range regions {
+					if site.pos <= r.start || site.pos >= r.end {
+						continue
+					}
+					// Honor allows at the blocking call (Reportf), at the
+					// Lock() site, and at the mutex field declaration.
+					if pass.Allowed(r.lockPos) || pass.Allowed(r.declPos) {
+						continue
+					}
+					kind := "write lock"
+					if r.readOnly {
+						kind = "read lock"
+					}
+					lockLine := pass.Pkg.Fset.Position(r.lockPos).Line
+					pass.Reportf(site.pos, "%s while holding the %s of %s (locked at line %d): %s",
+						blockVerb(site.reason), kind, r.key, lockLine, site.reason)
+					break // one report per site is enough
+				}
+			}
+		}
+	}
+}
+
+// blockVerb phrases the finding head.
+func blockVerb(reason string) string {
+	if strings.HasPrefix(reason, "send on") {
+		return "channel send may block"
+	}
+	return "blocking call"
+}

@@ -1,0 +1,17 @@
+package analysis
+
+import "testing"
+
+func TestLocksafeFindings(t *testing.T) {
+	runFixture(t, "locksafe", "repro/internal/stream/fixture", []*Analyzer{Locksafe})
+}
+
+func TestLocksafeAllowPlacements(t *testing.T) {
+	expectClean(t, "locksafeallow", "repro/internal/stream/fixture", []*Analyzer{Locksafe})
+}
+
+func TestLocksafeOutOfScope(t *testing.T) {
+	// The same violating fixture, loaded under a path outside the
+	// accounting core, must produce nothing.
+	expectClean(t, "locksafe", "repro/tools/fixture", []*Analyzer{Locksafe})
+}

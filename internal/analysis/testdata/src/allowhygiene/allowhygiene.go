@@ -1,0 +1,27 @@
+// Package allowhygienefix carries the three malformed allow shapes:
+// no analyzer name, an unknown analyzer, and a missing reason. The
+// runner asserts each is reported (and that the reason-less allow
+// still suppresses nothing it shouldn't).
+package allowhygienefix
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *guarded) bump() {
+	//tplvet:allow
+	g.mu.Lock()
+	g.n++
+	//tplvet:allow nosuchanalyzer because reasons
+	g.mu.Unlock()
+}
+
+func (g *guarded) read() int {
+	//tplvet:allow locksafe
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}

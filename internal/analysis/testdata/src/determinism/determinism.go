@@ -1,0 +1,66 @@
+// Package determinismfix exercises the determinism analyzer under an
+// in-scope package path. The unflagged functions are the idiomatic
+// deterministic forms: collect-then-sort, map fills, deletes, integer
+// counting, seeded rand.
+package determinismfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func encodeOrder(m map[string]float64, w func(string, float64)) {
+	for k, v := range m { // want `map iteration order is randomized`
+		w(k, v)
+	}
+}
+
+func sumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `float accumulation over map iteration order`
+		total += v
+	}
+	return total
+}
+
+func collectSorted(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fill(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func drain(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func countInts(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now`
+}
+
+func globalDraw() float64 {
+	return rand.Float64() // want `math/rand\.Float64 uses the global source`
+}
+
+func seededDraw(r *rand.Rand) float64 {
+	return r.Float64()
+}

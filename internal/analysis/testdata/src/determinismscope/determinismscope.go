@@ -1,0 +1,16 @@
+// Package determinismscopefix proves the function-name scoping: in
+// internal/core and internal/stream only snapshot/replay-named
+// functions are on the wire path.
+package determinismscopefix
+
+import "time"
+
+// SnapshotClock is in scope by name.
+func SnapshotClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now`
+}
+
+// serveClock is the live path; clocks are fine here.
+func serveClock() int64 {
+	return time.Now().UnixNano()
+}

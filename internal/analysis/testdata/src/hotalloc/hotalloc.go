@@ -1,0 +1,79 @@
+// Package hotallocfix exercises the hotalloc analyzer: fmt calls,
+// interface boxing, escaping closures and empty-slice appends inside
+// //tplvet:hotpath functions, with the return-statement exemption and
+// the unannotated-function negative case.
+package hotallocfix
+
+import (
+	"fmt"
+	"strconv"
+)
+
+func sink(v any) { _ = v }
+
+func takeFunc(f func()) { f() }
+
+//tplvet:hotpath
+func sprintfHot(n int) string {
+	s := fmt.Sprintf("%d", n) // want `fmt\.Sprintf on hotpath sprintfHot`
+	return s
+}
+
+//tplvet:hotpath
+func errReturn(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("negative: %d", n) // error construction in a return: exempt
+	}
+	return n, nil
+}
+
+//tplvet:hotpath
+func boxing(n int, p *int) {
+	sink(n) // want `value of type int boxed into interface parameter`
+	sink(p)
+}
+
+//tplvet:hotpath
+func closures(xs []int) int {
+	total := 0
+	takeFunc(func() { total += len(xs) }) // want `closure on hotpath closures captures total, xs and escapes`
+	func() { total++ }()
+	defer func() { total = 0 }()
+	return total
+}
+
+//tplvet:hotpath
+func appendEmpty(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `append to out, which starts empty`
+	}
+	return out
+}
+
+//tplvet:hotpath
+func appendSized(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+//tplvet:hotpath
+func appendReslice(buf []int, n int) []int {
+	scratch := []int{}
+	scratch = append(scratch[:0], n) // want `append to scratch, which starts empty`
+	return append(buf[:0], scratch...)
+}
+
+//tplvet:hotpath
+func hotClean(b []byte, n int) []byte {
+	return strconv.AppendInt(b, int64(n), 10)
+}
+
+// coldSprintf has no marker: hotalloc ignores it entirely.
+func coldSprintf(n int) string {
+	s := fmt.Sprintf("%d", n)
+	return s
+}

@@ -1,0 +1,79 @@
+// Package locksafefix exercises the locksafe analyzer: each flagged
+// line carries a want comment; unflagged lines are the negative corpus
+// (blocking after unlock, buffered sends, select-with-default,
+// closures built under a lock).
+package locksafefix
+
+import (
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu  sync.Mutex
+	rmu sync.RWMutex
+}
+
+func (s *store) deferHeld() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.WriteFile("x", nil, 0o644) // want `\[locksafe\] blocking call while holding the write lock of s\.mu .*os\.WriteFile blocks`
+}
+
+func (s *store) explicitRegion() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep blocks`
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond) // after the unlock: fine
+}
+
+func (s *store) transitive() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.helperIO() // want `helperIO calls os\.ReadFile blocks`
+}
+
+func (s *store) helperIO() {
+	_, _ = os.ReadFile("x")
+}
+
+func (s *store) readHeld() {
+	s.rmu.RLock()
+	defer s.rmu.RUnlock()
+	time.Sleep(time.Millisecond) // want `while holding the read lock of s\.rmu`
+}
+
+func (s *store) httpHeld(c *http.Client) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = c.Get("http://example.invalid") // want `reaches the net/http layer`
+}
+
+func (s *store) channels() {
+	ch := make(chan int)
+	buf := make(chan int, 1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch <- 1 // want `channel send may block .*unbuffered channel ch`
+	buf <- 2
+	select {
+	case ch <- 3:
+	default:
+	}
+}
+
+func (s *store) closureBuiltUnderLock() func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := func() {
+		_, _ = os.ReadFile("x") // runs after release: a separate unit
+	}
+	return f
+}
+
+func (s *store) blockingWithoutLock() {
+	time.Sleep(time.Millisecond)
+	_, _ = os.ReadFile("x")
+}

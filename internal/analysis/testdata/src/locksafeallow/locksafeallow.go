@@ -1,0 +1,37 @@
+// Package locksafeallowfix proves every allow placement the locksafe
+// analyzer honors: the blocking call line, the Lock() line, and the
+// mutex field declaration. The runner asserts zero findings.
+package locksafeallowfix
+
+import (
+	"os"
+	"sync"
+)
+
+type store struct {
+	// declMu orders I/O by contract, like the service step lock.
+	//
+	//tplvet:allow locksafe fixture: declaration-site allow covering every region of this mutex
+	declMu sync.Mutex
+	mu     sync.Mutex
+	mu2    sync.Mutex
+}
+
+func (s *store) declAllowed() {
+	s.declMu.Lock()
+	defer s.declMu.Unlock()
+	_, _ = os.ReadFile("x")
+}
+
+func (s *store) lockLineAllowed() {
+	//tplvet:allow locksafe fixture: the probe below runs once per boot
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = os.ReadFile("x")
+}
+
+func (s *store) callLineAllowed() {
+	s.mu2.Lock()
+	defer s.mu2.Unlock()
+	_, _ = os.ReadFile("x") //tplvet:allow locksafe fixture: this read is served from a ramdisk
+}

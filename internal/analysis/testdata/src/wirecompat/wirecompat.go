@@ -1,0 +1,45 @@
+// Package wirecompatfix exercises the wirecompat analyzer: marker
+// integrity (missing checksum, stale checksum, marker on a non-struct)
+// and literal keyedness.
+package wirecompatfix
+
+// GoodRec's marker records the current field set.
+//
+//tplvet:wire v1 schema=4ca07ffc3e6f
+type GoodRec struct {
+	T   int
+	Eps float64
+}
+
+// FreshRec was just marked; the checksum is not recorded yet.
+//
+//tplvet:wire v1
+type FreshRec struct { // want `has no schema checksum; record the current field set with .schema=5f15b8412177.`
+	A uint64
+	B string
+}
+
+// StaleRec's marker predates a field change.
+//
+//tplvet:wire v1 schema=deadbeef0000
+type StaleRec struct { // want `field set changed \(schema is now 5f15b8412177, marker records deadbeef0000\)`
+	A uint64
+	B string
+}
+
+// NotAStruct misuses the marker.
+//
+//tplvet:wire v3
+type NotAStruct int // want `tplvet:wire marks NotAStruct, which is not a struct`
+
+func build(t int, eps float64) GoodRec {
+	return GoodRec{t, eps} // want `unkeyed composite literal of wire struct GoodRec`
+}
+
+func buildKeyed(t int, eps float64) GoodRec {
+	return GoodRec{T: t, Eps: eps}
+}
+
+func buildZero() GoodRec {
+	return GoodRec{}
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wirecompat: persisted schemas evolve only through a reviewed version
+// decision. Structs that cross the durability boundary — the persist
+// envelope bodies, snapshot state, journal records, topology documents
+// — carry a marker:
+//
+//	//tplvet:wire v2 schema=3f6c0a1d9b42
+//
+// The schema hash fingerprints the field set (names + types, in
+// order). Editing any field breaks the hash, so the marker line must
+// change in the same diff: the analyzer prints the new hash, and the
+// author decides — and the reviewer sees — whether the change is
+// compatible (update schema=) or needs a version bump (vN+1 plus the
+// decoder work). A field added silently, the failure mode that corrupts
+// a restore, cannot pass CI.
+//
+// Composite literals of wire structs must be keyed everywhere: an
+// unkeyed literal binds by position, so the very field addition the
+// marker governs would silently shift every later value into the wrong
+// slot at the literal site.
+
+// Wirecompat is the analyzer instance.
+var Wirecompat = &Analyzer{
+	Name: "wirecompat",
+	Doc:  "enforces schema markers and keyed literals on persisted wire structs",
+	Run:  runWirecompat,
+}
+
+// runWirecompat checks marker integrity for structs declared in this
+// package and literal keyedness for wire structs used anywhere in it.
+func runWirecompat(pass *Pass) {
+	// Marker integrity: only for types declared here (their marker
+	// comment lives in this package's files).
+	for tn, ws := range pass.Index.Wire {
+		if tn.Pkg() == nil || tn.Pkg().Path() != pass.Pkg.Path {
+			continue
+		}
+		switch {
+		case ws.NonStruct:
+			pass.Reportf(ws.NamePos, "tplvet:wire marks %s, which is not a struct", tn.Name())
+		case ws.RecordedSchema == "":
+			pass.Reportf(ws.NamePos, "wire struct %s (%s) has no schema checksum; record the current field set with `schema=%s`", tn.Name(), ws.Version, ws.ActualSchema)
+		case ws.RecordedSchema != ws.ActualSchema:
+			pass.Reportf(ws.NamePos, "wire struct %s: field set changed (schema is now %s, marker records %s) — if the persisted encoding changed, bump %s and teach the decoder; then update schema=", tn.Name(), ws.ActualSchema, ws.RecordedSchema, ws.Version)
+		}
+	}
+	// Keyedness: every composite literal of a wire struct, wherever the
+	// struct was declared.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(lit)
+			if t == nil {
+				return true
+			}
+			named, ok := derefNamed(t)
+			if !ok {
+				return true
+			}
+			ws, isWire := pass.Index.Wire[named.Obj()]
+			if !isWire || ws.NonStruct || len(lit.Elts) == 0 {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				if _, keyed := elt.(*ast.KeyValueExpr); !keyed {
+					pass.Reportf(lit.Pos(), "unkeyed composite literal of wire struct %s (%s): a field addition would silently shift every later value; use keyed fields", named.Obj().Name(), ws.Version)
+					break
+				}
+			}
+			return true
+		})
+	}
+}
+
+// derefNamed unwraps pointers and aliases to a named type.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	return n, ok
+}

@@ -1,0 +1,8 @@
+package analysis
+
+import "testing"
+
+func TestWirecompatFindings(t *testing.T) {
+	// wirecompat is not path-scoped: wire structs carry their own marker.
+	runFixture(t, "wirecompat", "repro/tools/fixture", []*Analyzer{Wirecompat})
+}

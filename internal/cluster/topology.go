@@ -35,6 +35,8 @@ type Shard struct {
 // individual sessions to a shard regardless of the ring — the router records
 // one after a migration. Version increases on every observable change so
 // clients can cheaply detect staleness.
+//
+//tplvet:wire v1 schema=0104c280bcd7
 type Topology struct {
 	Version   int               `json:"version"`
 	RingSize  int               `json:"ring_size"`

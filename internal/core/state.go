@@ -65,6 +65,8 @@ type contentHashed interface{ ContentHash() string }
 // were computed against. It is a deep copy — mutating it never touches
 // the accountant it came from — and round-trips bit-identically through
 // MarshalBinary/UnmarshalBinary.
+//
+//tplvet:wire v2 schema=f21af116e89a
 type AccountantState struct {
 	// BackwardHash, ForwardHash identify the correlation models
 	// (Quantifier.ContentHash); "" means no correlation in that

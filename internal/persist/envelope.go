@@ -58,6 +58,8 @@ var (
 )
 
 // EncodeEnvelope frames a body with magic, schema version and checksum.
+//
+//tplvet:hotpath
 func EncodeEnvelope(w io.Writer, version uint32, body []byte) error {
 	if len(body) > maxBodyBytes {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(body))

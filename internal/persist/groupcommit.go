@@ -78,6 +78,8 @@ func NewGroupCommitter(window time.Duration) *GroupCommitter {
 
 // Append submits one record and blocks until it is written AND
 // fsync'd (or failed). Safe for concurrent use.
+//
+//tplvet:hotpath
 func (g *GroupCommitter) Append(j *Journal, version uint32, body []byte) error {
 	req := &commitReq{j: j, version: version, body: body, done: make(chan error, 1)}
 	// The read lock is held across the send: once Close has the write
@@ -165,6 +167,8 @@ func (g *GroupCommitter) drainPending() []*commitReq {
 
 // flush commits one group: writes in arrival order, one fsync per
 // distinct journal, acks last.
+//
+//tplvet:hotpath
 func (g *GroupCommitter) flush(batch []*commitReq) {
 	if len(batch) == 0 {
 		return
@@ -172,10 +176,15 @@ func (g *GroupCommitter) flush(batch []*commitReq) {
 	// Writes, in order. The first write error poisons its journal for
 	// the rest of the group; other journals are unaffected.
 	poisoned := make(map[*Journal]error)
-	var written []*Journal // journals with >= 1 successful write, dedup'd
+	// Journals with >= 1 successful write, dedup'd; a group touches at
+	// most one journal per request, so len(batch) bounds it exactly.
+	written := make([]*Journal, 0, len(batch))
 	seen := make(map[*Journal]bool)
 	for _, req := range batch {
 		if err := poisoned[req.j]; err != nil {
+			// The journal is already poisoned: this group is failing, so
+			// the error construction below is not steady-state work.
+			//tplvet:allow hotalloc runs only after an append error poisoned the journal; the group is already failing, not hot
 			req.err = fmt.Errorf("persist: earlier append in commit group failed: %w", err)
 			continue
 		}

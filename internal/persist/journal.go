@@ -43,6 +43,8 @@ func (s *Store) OpenJournal(name string) (*Journal, error) {
 }
 
 // Append writes one record (an envelope framing body) to the journal.
+//
+//tplvet:hotpath
 func (j *Journal) Append(version uint32, body []byte) error {
 	return EncodeEnvelope(j.f, version, body)
 }

@@ -77,6 +77,8 @@ func getArena() *batchArena { return arenaPool.Get().(*batchArena) }
 // release clears the arena and returns it to the pool. Step entries
 // are zeroed before truncation so no pooled BatchStep keeps a decoded
 // slice (and its backing bytes) alive across requests.
+//
+//tplvet:hotpath
 func (a *batchArena) release() {
 	for i := range a.steps {
 		a.steps[i] = stream.BatchStep{}
@@ -104,6 +106,8 @@ func (a *batchArena) release() {
 // pre-allocating the full body ceiling for an idle connection would be
 // a free memory-exhaustion lever; past the cap the buffer grows with
 // bytes actually received.
+//
+//tplvet:hotpath
 func (a *batchArena) readBody(r io.Reader, sizeHint int64) ([]byte, error) {
 	buf := a.body[:0]
 	if n := min(sizeHint, maxPooledBody); n > 0 && int(n)+1 > cap(buf) {
@@ -137,6 +141,8 @@ func (a *batchArena) readBody(r io.Reader, sizeHint int64) ([]byte, error) {
 // address. Slab growth may move earlier entries to a new backing
 // array; already-handed-out pointers keep reading the old (immutable)
 // values, so they stay correct.
+//
+//tplvet:hotpath
 func (a *batchArena) grabEps(v float64) *float64 {
 	if cap(a.eps) == 0 {
 		a.eps = make([]float64, 0, 64)
@@ -149,6 +155,8 @@ func (a *batchArena) grabEps(v float64) *float64 {
 // (shortest round-trip form, 'e' only for very small/large magnitudes,
 // exponent without a leading zero) — the hand-rolled batch response
 // must be byte-identical to what the reflective encoder produced.
+//
+//tplvet:hotpath
 func appendJSONFloat(b []byte, v float64) []byte {
 	abs := math.Abs(v)
 	format := byte('f')
@@ -171,13 +179,16 @@ func appendJSONFloat(b []byte, v float64) []byte {
 // batchResponse struct (including the trailing newline json.Encoder
 // emits). Reflection and per-field allocation were ~a quarter of the
 // ingest hot path; this is a flat append loop.
+//
+//tplvet:hotpath
 func (a *batchArena) encodeBatchResponse(results []stream.StepResult, replayed bool) []byte {
 	b := a.resp[:0]
 	b = append(b, `{"results":[`...)
 	// Streams overwhelmingly charge the same budget step after step;
 	// memoize the last eps rendering so the common batch formats it
-	// once, not 96 times.
-	var epsMemo []byte
+	// once, not 96 times. 32 bytes covers any float rendering, so the
+	// memo never regrows.
+	epsMemo := make([]byte, 0, 32)
 	epsMemoFor := math.NaN()
 	for i, r := range results {
 		if i > 0 {
@@ -227,6 +238,8 @@ func (a *batchArena) encodeBatchResponse(results []stream.StepResult, replayed b
 // read /published or /watch), and at that rate the echo — hundreds of
 // shortest-round-trip float renderings per batch — would be the
 // largest single CPU cost of the endpoint.
+//
+//tplvet:hotpath
 func (a *batchArena) encodeMinimalBatchResponse(results []stream.StepResult, replayed bool) []byte {
 	b := a.resp[:0]
 	b = append(b, `{"count":`...)
@@ -248,6 +261,8 @@ func (a *batchArena) encodeMinimalBatchResponse(results []stream.StepResult, rep
 // scanner does not recognize. It is the transport-independent core of
 // readBatch, factored out so the fuzz harness can drive it without an
 // HTTP server.
+//
+//tplvet:hotpath
 func (a *batchArena) decodeNDJSONArena(raw []byte) ([]stream.BatchStep, error) {
 	// Pre-size the int slab off the body length: a JSON integer token is
 	// at least two bytes ("N,"), so len/2 bounds the decoded ints. One

@@ -29,6 +29,7 @@ type stepParser struct {
 	a *batchArena
 }
 
+//tplvet:hotpath
 func (p *stepParser) skipWS() {
 	for p.i < len(p.b) {
 		switch p.b[p.i] {
@@ -41,6 +42,8 @@ func (p *stepParser) skipWS() {
 }
 
 // literal consumes c and reports success.
+//
+//tplvet:hotpath
 func (p *stepParser) literal(c byte) bool {
 	if p.i < len(p.b) && p.b[p.i] == c {
 		p.i++
@@ -52,6 +55,8 @@ func (p *stepParser) literal(c byte) bool {
 // key parses a plain (escape-free) object key. The returned slice
 // aliases the line buffer; callers compare it in a string-conversion
 // switch, which the compiler keeps allocation-free.
+//
+//tplvet:hotpath
 func (p *stepParser) key() ([]byte, bool) {
 	if !p.literal('"') {
 		return nil, false
@@ -81,6 +86,8 @@ func (p *stepParser) key() ([]byte, bool) {
 // past it, and slab growth relocating the backing array leaves
 // already-carved slices reading the old (immutable) memory, so every
 // returned slice stays valid for the life of the request.
+//
+//tplvet:hotpath
 func (p *stepParser) intArray() ([]int, bool) {
 	if !p.literal('[') {
 		return nil, false
@@ -165,6 +172,8 @@ func (p *stepParser) intArray() ([]int, bool) {
 // number parses a token following the exact JSON number grammar —
 // strconv.ParseFloat alone is laxer (it takes ".5", "5.", "+1", hex),
 // and the fast path must never accept what the slow path would 400.
+//
+//tplvet:hotpath
 func (p *stepParser) number() (float64, bool) {
 	b := p.b
 	start := p.i
@@ -229,6 +238,8 @@ func (p *stepParser) number() (float64, bool) {
 // into the arena. ok=false means "use the slow path", not "invalid";
 // a bailing parse rolls the arena slabs back to their pre-line marks
 // so rejected lines waste no slab space.
+//
+//tplvet:hotpath
 func fastParseStep(line []byte, a *batchArena) (st stream.BatchStep, ok bool) {
 	intsMark, epsMark := len(a.ints), len(a.eps)
 	defer func() {

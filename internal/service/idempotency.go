@@ -34,6 +34,8 @@ const idemCacheSize = 256
 // content (so a reused key with a different body is rejected rather
 // than silently answered with someone else's results), and the span of
 // steps the batch landed.
+//
+//tplvet:wire v2 schema=2e9d7b2c3d14
 type idemRecord struct {
 	Key     string
 	Hash    [32]byte

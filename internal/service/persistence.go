@@ -86,15 +86,29 @@ func (r *Registry) SetJournalSync(mode JournalSyncMode, window time.Duration) er
 	if n := r.Len(); n > 0 {
 		return fmt.Errorf("service: journal sync must be configured before sessions exist (%d registered)", n)
 	}
-	r.pmu.Lock()
-	defer r.pmu.Unlock()
-	r.syncMode = mode
-	if mode == JournalSyncGroup && r.committer == nil {
-		r.committer = persist.NewGroupCommitter(window)
+	// Construct and close committers outside pmu: pmu is the
+	// never-blocks bookkeeping lock (healthz reads it), so even
+	// boot-time persist-layer calls stay off it.
+	var fresh *persist.GroupCommitter
+	if mode == JournalSyncGroup {
+		fresh = persist.NewGroupCommitter(window)
 	}
-	if mode != JournalSyncGroup && r.committer != nil {
-		r.committer.Close()
-		r.committer = nil
+	r.pmu.Lock()
+	r.syncMode = mode
+	var stale *persist.GroupCommitter
+	if mode == JournalSyncGroup {
+		if r.committer == nil {
+			r.committer, fresh = fresh, nil
+		}
+	} else {
+		stale, r.committer = r.committer, nil
+	}
+	r.pmu.Unlock()
+	if fresh != nil {
+		fresh.Close() // a committer was already installed; discard the spare
+	}
+	if stale != nil {
+		stale.Close() // flushes pending appends off-lock
 	}
 	return nil
 }
@@ -104,6 +118,8 @@ func (r *Registry) SetJournalSync(mode JournalSyncMode, window time.Duration) er
 // rebuilt from it rather than serialized), the creation time, the full
 // server state, and the idempotency-key memory (oldest-first, so the
 // LRU order survives the restart).
+//
+//tplvet:wire v2 schema=9bd3818beedc
 type sessionState struct {
 	ConfigJSON []byte
 	Created    time.Time
@@ -113,6 +129,8 @@ type sessionState struct {
 
 // batchRecord is the version-2 journal body: one ingestion batch and
 // its optional idempotency record, durable or lost as a unit.
+//
+//tplvet:wire v2 schema=25063561ee9b
 type batchRecord struct {
 	Steps []stream.StepRecord
 	Idem  *idemRecord

@@ -48,7 +48,12 @@ type Session struct {
 
 	// stepMu serializes the collect-then-read-budget sequence of the
 	// steps endpoint and, in durable mode, the persist pipeline behind
-	// it (journal append order must match step order).
+	// it (journal append order must match step order). Holding it
+	// across journal fsyncs is the ack-after-durable contract itself —
+	// a step is not acknowledged until its record is on disk — so the
+	// I/O lives under this lock by design. Liveness reads (healthz,
+	// status) must use pmu instead and must never touch stepMu.
+	//tplvet:allow locksafe stepMu orders the durability pipeline; ack-after-fsync requires I/O under it, and liveness paths use pmu instead
 	stepMu        sync.Mutex
 	store         *persist.Store
 	journal       *persist.Journal

@@ -65,6 +65,8 @@ type preparedStep struct {
 // setNoiseSourceLocked) — the mechanism itself is stateless between
 // releases; only the rand.Rand it draws from carries state, and that is
 // shared by construction. Caller holds the write lock.
+//
+//tplvet:hotpath
 func (s *Server) releaserLocked(eps float64) (func(dst []float64, counts []int) []float64, error) {
 	if s.relFn != nil && s.relEps == eps && s.relNoise == s.noise && s.relSens == s.sensitivity {
 		return s.relFn, nil
@@ -110,6 +112,8 @@ func (s *Server) buildReleaserLocked(eps float64) (func(dst []float64, counts []
 // so a batch mixing explicit and planned budgets indexes the plan
 // exactly as the equivalent sequence of single-step collects would.
 // Caller holds the write lock.
+//
+//tplvet:hotpath
 func (s *Server) prepareLocked(p *preparedStep, st BatchStep, offset int) error {
 	switch {
 	case st.Values != nil && st.Counts != nil:
@@ -181,6 +185,8 @@ func (s *Server) prepareLocked(p *preparedStep, st BatchStep, offset int) error 
 // applyLocked releases one prepared step: noise, accountant fan-out,
 // history append. It cannot fail — everything fallible happened in
 // prepareLocked. Caller holds the write lock.
+//
+//tplvet:hotpath
 func (s *Server) applyLocked(p *preparedStep) StepResult {
 	slab := make([]float64, 0, s.domain)
 	var r StepResult
@@ -201,6 +207,8 @@ func (s *Server) applyLocked(p *preparedStep) StepResult {
 // releases straight into its preallocated results slice, and the
 // struct's Published slice field makes a by-value return a per-step
 // write-barrier cost. Caller holds the write lock.
+//
+//tplvet:hotpath
 func (s *Server) releaseLocked(p *preparedStep, slab *[]float64, out *StepResult) {
 	start := len(*slab)
 	buf := p.release(*slab, p.hist)
@@ -225,6 +233,8 @@ func (s *Server) releaseLocked(p *preparedStep, slab *[]float64, out *StepResult
 // contract Collect gives one step, extended to the sequence. Budgets
 // may mix explicit and planned steps; noise draws are identical to the
 // equivalent sequence of single-step collects.
+//
+//tplvet:hotpath
 func (s *Server) CollectBatch(steps []BatchStep) ([]StepResult, error) {
 	if len(steps) == 0 {
 		return nil, fmt.Errorf("stream: empty batch")

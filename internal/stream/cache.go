@@ -71,6 +71,12 @@ func (mc *ModelCache) quantifier(c *markov.Chain, fp string) *core.Quantifier {
 		return nil
 	}
 	key := sha256.Sum256([]byte(fp))
+	// The store probe stays under mu on purpose: the adopt-or-hook
+	// decision must be made before the quantifier can escape to another
+	// goroutine, or two callers could compile the same model twice and
+	// persist divergent entries. Misses are once-per-model cold-start
+	// work, not steady-state ingest.
+	//tplvet:allow locksafe single-flight adopt-or-hook must resolve under mu before the quantifier escapes; store probes are once per model
 	mc.mu.Lock()
 	defer mc.mu.Unlock()
 	if q, ok := mc.m[key]; ok {

@@ -32,6 +32,8 @@ const (
 )
 
 // NoiseState is the serializable position of a server's noise stream.
+//
+//tplvet:wire v2 schema=7102e512f0eb
 type NoiseState struct {
 	// Provenance is one of the Noise* constants above.
 	Provenance string

@@ -21,6 +21,8 @@ var ErrBadServerState = errors.New("stream: invalid server state")
 // CohortState is one cohort's share of a snapshot: the adversary
 // model's chain content (from which the compiled engine is re-derived
 // on restore — engines are never serialized) and the accountant state.
+//
+//tplvet:wire v2 schema=007e4468ff2c
 type CohortState struct {
 	FirstUser int
 	// Backward, Forward are the transition rows of the cohort's chains;
@@ -40,6 +42,8 @@ type CohortState struct {
 // construction parameters, which the owning layer (service configs)
 // retains; the snapshot records only the attachment position so a
 // rebuilt plan resumes at the right step.
+//
+//tplvet:wire v2 schema=624116c4936f
 type ServerState struct {
 	Domain      int
 	Users       int
@@ -317,6 +321,8 @@ func RestoreServer(st *ServerState, opts RestoreOptions) (*Server, error) {
 // without re-drawing noise. It is deliberately free of derived leakage
 // values — replay recomputes them through the accountants, so a
 // tampered journal cannot assert a leakage the series does not imply.
+//
+//tplvet:wire v1 schema=95e9cde6239e
 type StepRecord struct {
 	// T is the 1-based step this record publishes.
 	T int
